@@ -1,0 +1,62 @@
+"""Ablation — scaling of the compiler and simulator with problem size:
+t-line length and CNN grid size."""
+
+import pytest
+
+import repro
+from repro.paradigms.cnn import default_image, edge_detector
+from repro.paradigms.tln import TLineSpec, linear_tline
+
+from conftest import report
+
+TLINE_SIZES = (13, 26, 52)
+CNN_SIZES = (8, 12, 16)
+
+
+@pytest.mark.benchmark(group="scaling-tline-compile")
+@pytest.mark.parametrize("segments", TLINE_SIZES)
+def test_tline_compile(benchmark, segments):
+    graph = linear_tline(TLineSpec(n_segments=segments))
+    benchmark(repro.compile_graph, graph)
+
+
+@pytest.mark.benchmark(group="scaling-tline-simulate")
+@pytest.mark.parametrize("segments", TLINE_SIZES)
+def test_tline_simulate(benchmark, segments):
+    system = repro.compile_graph(
+        linear_tline(TLineSpec(n_segments=segments)))
+    benchmark.pedantic(repro.simulate,
+                       args=(system, (0.0, 2e-8 + segments * 1e-9)),
+                       kwargs={"n_points": 100}, rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="scaling-cnn-compile")
+@pytest.mark.parametrize("size", CNN_SIZES)
+def test_cnn_compile(benchmark, size):
+    graph = edge_detector(default_image(size))
+    benchmark.pedantic(repro.compile_graph, args=(graph,), rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="scaling-cnn-simulate")
+@pytest.mark.parametrize("size", CNN_SIZES)
+def test_cnn_simulate(benchmark, size):
+    system = repro.compile_graph(edge_detector(default_image(size)))
+    benchmark.pedantic(repro.simulate, args=(system, (0.0, 10.0)),
+                       kwargs={"n_points": 60}, rounds=3, iterations=1)
+
+
+def test_report_scaling():
+    rows = []
+    for segments in TLINE_SIZES:
+        graph = linear_tline(TLineSpec(n_segments=segments))
+        rows.append(f"t-line n_segments={segments}: "
+                    f"{graph.stats()['states']} states, "
+                    f"{graph.stats()['edges']} edges")
+    for size in CNN_SIZES:
+        graph = edge_detector(default_image(size))
+        rows.append(f"CNN {size}x{size}: "
+                    f"{graph.stats()['states']} states, "
+                    f"{graph.stats()['edges']} edges")
+    report("ablation_scaling", rows)

@@ -1,0 +1,51 @@
+"""Extension — ML modeling attack on the TLN PUF (§2's "hard to
+predict" requirement quantified): cross-validated prediction accuracy
+for the Gm-mismatch design at two feature degrees, plus the cost of the
+attack's two kernels (CRP harvesting and model fitting)."""
+
+import numpy as np
+import pytest
+
+from repro.paradigms.tln import TLineSpec
+from repro.puf import PufDesign
+from repro.puf.attack import (LogisticModel, challenge_features,
+                              collect_crps, cross_validate)
+
+from conftest import report
+
+DESIGN = PufDesign(spec=TLineSpec(n_segments=10, pulse_width=4e-9),
+                   branch_positions=(2, 4, 6, 8),
+                   branch_lengths=(3, 5, 4, 6))
+WINDOW = (8e-9, 4.5e-8)
+EVAL = dict(n_bits=16, window=WINDOW, n_points=240)
+
+
+@pytest.fixture(scope="module")
+def harvest():
+    return collect_crps(DESIGN, list(range(16)), seed=3, **EVAL)
+
+
+@pytest.mark.benchmark(group="attack-harvest")
+def test_crp_harvest_cost(benchmark):
+    benchmark.pedantic(collect_crps, args=(DESIGN, [5], 3),
+                       kwargs=EVAL, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="attack-fit")
+def test_model_fit_cost(benchmark, harvest):
+    bits, labels = harvest
+    features = challenge_features(bits, DESIGN.n_bits, degree=2)
+    benchmark(lambda: LogisticModel().fit(features, labels))
+
+
+def test_report_attack():
+    rows = [f"4-branch Gm-mismatch PUF, 16 challenges, 16-bit "
+            f"responses, 4-fold CV"]
+    for degree in (1, 2):
+        result = cross_validate(DESIGN, seed=3, k=4, degree=degree,
+                                rng=0, **EVAL)
+        rows.append(
+            f"degree {degree}: accuracy {result.accuracy:.3f}, "
+            f"baseline {result.baseline:.3f}, advantage "
+            f"{result.advantage:+.3f}")
+    report("extension_attack", rows)

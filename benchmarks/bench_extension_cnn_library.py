@@ -1,0 +1,47 @@
+"""Extension — CNN template library and PDE solving: pixel-exactness of
+every library template against its discrete reference, heat-equation
+accuracy against the exact solution, and the cost of one template
+application at two grid sizes."""
+
+import numpy as np
+import pytest
+
+from repro.paradigms.cnn import (LIBRARY, apply_template,
+                                 diffusion_step_response,
+                                 run_library_template)
+from repro.paradigms.cnn.library import DILATION_TEMPLATE
+
+from conftest import report
+
+
+def random_image(seed: int, size: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.where(rng.random((size, size)) < 0.4, 1.0, -1.0)
+
+
+@pytest.mark.benchmark(group="cnn-template-apply")
+@pytest.mark.parametrize("size", (8, 12))
+def test_template_apply_cost(benchmark, size):
+    image = random_image(0, size)
+    benchmark.pedantic(apply_template, args=(image, DILATION_TEMPLATE),
+                       rounds=3, iterations=1)
+
+
+def test_report_library():
+    rows = ["library template vs discrete reference "
+            "(10 random 8x8 images each):"]
+    for name in sorted(LIBRARY):
+        errors = 0
+        for seed in range(10):
+            output, reference = run_library_template(
+                random_image(seed, 8), name)
+            errors += int((output != reference).sum())
+        rows.append(f"  {name:10s}: {errors} wrong pixels / 640")
+        assert errors == 0, name
+    result = diffusion_step_response(size=8, rate=0.5,
+                                     times=(0.5, 1.0, 2.0))
+    worst = float(result["rmse"].max())
+    rows.append(f"heat equation, 8x8 grid: worst RMSE vs exact "
+                f"solution {worst:.2e}")
+    report("extension_cnn_library", rows)
+    assert worst < 1e-5

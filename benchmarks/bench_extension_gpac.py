@@ -1,0 +1,70 @@
+"""Extension — the GPAC paradigm: accuracy of every analog-computer
+program against its scipy reference, the integrator-leak ablation
+(open-loop sine generator vs feedback-stabilized Van der Pol), and the
+compile/simulate cost of the Lorenz program."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.gpac import (harmonic_oscillator, leaky,
+                                  limit_cycle_amplitude, lorenz,
+                                  lorenz_reference, lotka_volterra,
+                                  lotka_volterra_reference,
+                                  oscillator_reference, van_der_pol,
+                                  van_der_pol_reference)
+
+from conftest import report
+
+TIGHT = dict(rtol=1e-9, atol=1e-11)
+
+
+@pytest.mark.benchmark(group="gpac-compile")
+def test_lorenz_compile_cost(benchmark):
+    graph = lorenz()
+    benchmark(repro.compile_graph, graph)
+
+
+@pytest.mark.benchmark(group="gpac-simulate")
+def test_lorenz_simulate_cost(benchmark):
+    system = repro.compile_graph(lorenz())
+    benchmark.pedantic(repro.simulate, args=(system, (0.0, 5.0)),
+                       kwargs=dict(n_points=201), rounds=3,
+                       iterations=1)
+
+
+def test_report_gpac_accuracy():
+    rows = ["GPAC program vs independent scipy integration "
+            "(max abs error):"]
+    osc = repro.simulate(harmonic_oscillator(omega=2.0), (0, 8),
+                         n_points=201, **TIGHT)
+    rows.append(f"  sine generator : "
+                f"{np.abs(osc['x'] - oscillator_reference(2.0, 1.0, osc.t)).max():.2e}")
+    lv = repro.simulate(lotka_volterra(), (0, 20), n_points=201,
+                        **TIGHT)
+    lv_ref = lotka_volterra_reference(1.1, 0.4, 0.1, 0.4, 10, 10, lv.t)
+    rows.append(f"  Lotka-Volterra : "
+                f"{np.abs(lv['x'] - lv_ref[0]).max():.2e}")
+    vdp = repro.simulate(van_der_pol(), (0, 20), n_points=401, **TIGHT)
+    vdp_ref = van_der_pol_reference(1.0, 0.5, 0.0, vdp.t)
+    rows.append(f"  Van der Pol    : "
+                f"{np.abs(vdp['x'] - vdp_ref[0]).max():.2e}")
+    lz = repro.simulate(lorenz(), (0, 2), n_points=201, rtol=1e-10,
+                        atol=1e-12)
+    lz_ref = lorenz_reference(10.0, 28.0, 8 / 3, 1, 1, 1, lz.t)
+    rows.append(f"  Lorenz (t<=2)  : "
+                f"{np.abs(lz['z'] - lz_ref[2]).max():.2e}")
+
+    rows.append("integrator-leak ablation (t in [0, 40], amplitude "
+                "after transient):")
+    for leak in (0.0, 0.1, 0.2):
+        osc_run = repro.simulate(harmonic_oscillator(types=leaky(leak)),
+                                 (0, 40), n_points=801)
+        vdp_run = repro.simulate(van_der_pol(types=leaky(leak)),
+                                 (0, 40), n_points=801)
+        rows.append(
+            f"  leak={leak:.1f}: sine "
+            f"{limit_cycle_amplitude(osc_run.t, osc_run['x']):6.3f}"
+            f"   Van der Pol "
+            f"{limit_cycle_amplitude(vdp_run.t, vdp_run['x']):6.3f}")
+    report("extension_gpac", rows)

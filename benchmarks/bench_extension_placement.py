@@ -1,0 +1,53 @@
+"""Extension — placement onto the intercon-obc fabric: routing-cost
+quality of the three placers over a population of random graphs, and the
+cost of one placement + network materialization."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.obc import (place_greedy, place_kernighan_lin,
+                                 place_random, placed_network,
+                                 random_graphs)
+
+from conftest import report
+
+VERTICES = 10
+GRAPHS = random_graphs(50, n_vertices=VERTICES, seed=11,
+                       edge_probability=0.3)
+
+
+@pytest.mark.benchmark(group="placement-solve")
+def test_kernighan_lin_cost(benchmark):
+    benchmark(place_kernighan_lin, GRAPHS[0], VERTICES, seed=0)
+
+
+@pytest.mark.benchmark(group="placement-build")
+def test_placed_network_build_cost(benchmark):
+    placement = place_kernighan_lin(GRAPHS[0], VERTICES, seed=0)
+    benchmark(placed_network, GRAPHS[0], placement)
+
+
+def test_report_placement():
+    totals = {"random": 0, "greedy": 0, "kernighan-lin": 0}
+    for edges in GRAPHS:
+        totals["random"] += place_random(
+            edges, VERTICES, seed=1).coupling_cost
+        totals["greedy"] += place_greedy(
+            edges, VERTICES, seed=1).coupling_cost
+        totals["kernighan-lin"] += place_kernighan_lin(
+            edges, VERTICES, seed=1).coupling_cost
+    rows = [f"mean routing cost over {len(GRAPHS)} random "
+            f"{VERTICES}-vertex graphs (p=0.3):"]
+    for name, total in totals.items():
+        rows.append(f"  {name:14s}: {total / len(GRAPHS):7.1f}")
+    rows.append("(greedy may merge groups; Kernighan-Lin keeps them "
+                "balanced)")
+    report("extension_placement", rows)
+    assert totals["greedy"] <= totals["random"]
+    assert totals["kernighan-lin"] <= totals["random"]
+
+    # Spot-check legality of a materialized placement.
+    placement = place_kernighan_lin(GRAPHS[0], VERTICES, seed=1)
+    graph = placed_network(GRAPHS[0], placement)
+    assert repro.validate(graph, backend="flow").valid

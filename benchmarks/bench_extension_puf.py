@@ -1,0 +1,63 @@
+"""Extension — TLN PUF quality metrics over a fabricated-chip
+population (the §2 design problem carried to its metrics), plus the cost
+of one challenge-response evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.paradigms.tln import TLineSpec
+from repro.puf import (PufDesign, evaluate_puf, reliability,
+                       uniformity, uniqueness)
+
+from conftest import report
+
+CHIPS = 8
+DESIGN = PufDesign(spec=TLineSpec(n_segments=16),
+                   branch_positions=(4, 8, 12),
+                   branch_lengths=(5, 8, 11))
+CHALLENGE = "101"
+
+
+@pytest.fixture(scope="module")
+def population():
+    return [evaluate_puf(DESIGN, CHALLENGE, seed=chip, n_bits=32)
+            for chip in range(CHIPS)]
+
+
+@pytest.mark.benchmark(group="puf-evaluate")
+def test_challenge_response_cost(benchmark):
+    benchmark.pedantic(evaluate_puf, args=(DESIGN, CHALLENGE, 0),
+                       kwargs={"n_bits": 32}, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="puf-build")
+def test_instance_build_cost(benchmark):
+    benchmark(DESIGN.build, CHALLENGE, 0)
+
+
+def test_report_puf(population):
+    rng = np.random.default_rng(7)
+    noisy = [evaluate_puf(DESIGN, CHALLENGE, seed=0, n_bits=32,
+                          noise_sigma=2e-3, rng=rng)
+             for _ in range(5)]
+    control = PufDesign(spec=DESIGN.spec,
+                        branch_positions=DESIGN.branch_positions,
+                        branch_lengths=DESIGN.branch_lengths,
+                        variant="ideal")
+    clones = [evaluate_puf(control, CHALLENGE, seed=chip, n_bits=32)
+              for chip in range(3)]
+    rows = [
+        f"{CHIPS}-chip Gm-mismatch population, challenge "
+        f"{CHALLENGE!r}, 32-bit responses",
+        f"uniqueness  = {uniqueness(population):.3f} (ideal 0.5)",
+        f"uniformity  = "
+        f"{float(np.mean([uniformity(r) for r in population])):.3f}"
+        " (ideal 0.5)",
+        f"reliability = {reliability(population[0], noisy):.3f}"
+        " (ideal 1.0, 2e-3 V noise)",
+        f"ideal-variant uniqueness = {uniqueness(clones):.3f}"
+        " (no mismatch -> clones)",
+    ]
+    report("extension_puf", rows)
+    assert uniqueness(population) > 0.05
+    assert uniqueness(clones) == 0.0

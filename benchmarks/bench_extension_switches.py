@@ -1,0 +1,53 @@
+"""Extension — off-state switch parasitics (§4.3 off rules): the PUF's
+challenge sensitivity vs the switch feedthrough fraction alpha, plus the
+cost of building and simulating one parasitic instance."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.tln import TLineSpec
+from repro.puf import PufDesign, evaluate_puf
+from repro.puf.metrics import hamming_fraction
+
+from conftest import report
+
+SPEC = TLineSpec(n_segments=10, pulse_width=4e-9)
+EVAL = dict(n_bits=16, window=(8e-9, 4.5e-8), n_points=240)
+
+
+def design(alpha: float) -> PufDesign:
+    return PufDesign(spec=SPEC, branch_positions=(2, 6),
+                     branch_lengths=(3, 5), switch_alpha=alpha)
+
+
+@pytest.mark.benchmark(group="switches-build")
+def test_parasitic_build_cost(benchmark):
+    benchmark(design(0.3).build, 1, 4)
+
+
+@pytest.mark.benchmark(group="switches-evaluate")
+def test_parasitic_evaluate_cost(benchmark):
+    benchmark.pedantic(evaluate_puf, args=(design(0.3), 1, 4),
+                       kwargs=EVAL, rounds=3, iterations=1)
+
+
+def test_report_isolation_sweep():
+    rows = ["challenge bit-flip sensitivity vs switch feedthrough "
+            "alpha (2-branch PUF, seed 4):"]
+    previous = None
+    for alpha in (0.0, 0.1, 0.3, 0.5, 0.7, 1.0):
+        puf = design(alpha)
+        responses = {c: evaluate_puf(puf, c, seed=4, **EVAL)
+                     for c in range(4)}
+        sensitivity = float(np.mean(
+            [hamming_fraction(responses[a], responses[b])
+             for a, b in ((0, 1), (0, 2), (3, 1), (3, 2))]))
+        rows.append(f"  alpha={alpha:.1f}: sensitivity "
+                    f"{sensitivity:.3f}")
+        if previous is not None:
+            assert sensitivity <= previous + 1e-9
+        previous = sensitivity
+    rows.append("(alpha=1 erases the challenge entirely -> switch "
+                "isolation is a first-order PUF design requirement)")
+    report("extension_switches", rows)

@@ -1,0 +1,87 @@
+"""Fig. 11 — the CNN edge detector under the four hardware variants:
+correctness, convergence ordering, and simulation cost."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.cnn import (default_image, edge_detector,
+                                 expected_edges, run_cnn, sat, sat_ni)
+
+from conftest import report
+
+SIZE = 16
+SEED = 3
+VARIANTS = ("ideal", "bias_mismatch", "template_mismatch",
+            "nonideal_sat")
+
+
+@pytest.fixture(scope="module")
+def image():
+    return default_image(SIZE)
+
+
+@pytest.fixture(scope="module")
+def expected(image):
+    return expected_edges(image)
+
+
+@pytest.fixture(scope="module")
+def runs(image, expected):
+    results = {}
+    for variant in VARIANTS:
+        graph = edge_detector(image, variant, seed=SEED)
+        results[variant] = run_cnn(graph, SIZE, SIZE, variant=variant,
+                                   expected=expected)
+    return results
+
+
+@pytest.mark.benchmark(group="fig11-build")
+def test_build_grid(benchmark, image):
+    benchmark(edge_detector, image)
+
+
+@pytest.mark.benchmark(group="fig11-compile")
+def test_compile_grid(benchmark, image):
+    graph = edge_detector(image)
+    benchmark(repro.compile_graph, graph)
+
+
+@pytest.mark.benchmark(group="fig11-simulate")
+def test_simulate_ideal(benchmark, image):
+    system = repro.compile_graph(edge_detector(image))
+    benchmark.pedantic(repro.simulate, args=(system, (0.0, 10.0)),
+                       kwargs={"n_points": 100}, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig11-activation")
+def test_sat_kernel(benchmark):
+    xs = np.linspace(-2, 2, 1000)
+    benchmark(lambda: [sat(x) for x in xs])
+
+
+@pytest.mark.benchmark(group="fig11-activation")
+def test_sat_ni_kernel(benchmark):
+    xs = np.linspace(-2, 2, 1000)
+    benchmark(lambda: [sat_ni(x) for x in xs])
+
+
+def test_report_fig11(runs):
+    rows = ["paper Fig. 11c: A correct | B slower, correct | C wrong "
+            "pixels | D faster, correct"]
+    for label, variant in zip("ABCD", VARIANTS):
+        run = runs[variant]
+        converged = (f"{run.converged_at:.2f}" if run.converged
+                     else "never")
+        rows.append(f"measured {label} ({variant}): errors="
+                    f"{run.errors} converged_at={converged}")
+    report("fig11_cnn", rows)
+    assert runs["ideal"].errors == 0
+    assert runs["bias_mismatch"].errors == 0
+    assert runs["bias_mismatch"].converged_at > \
+        runs["ideal"].converged_at
+    assert runs["template_mismatch"].errors > 0 or \
+        not runs["template_mismatch"].converged
+    assert runs["nonideal_sat"].errors == 0
+    assert runs["nonideal_sat"].converged_at < \
+        runs["ideal"].converged_at

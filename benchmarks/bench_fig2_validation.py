@@ -1,0 +1,50 @@
+"""Fig. 2 — validation verdicts for the branched, linear, and malformed
+t-lines, and the cost of the Algorithm-2 validator on the 53-node
+topologies."""
+
+import pytest
+
+import repro
+from repro.paradigms.tln import branched_tline, linear_tline
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def lines():
+    linear = linear_tline()
+    branched = branched_tline()
+    malformed = linear_tline()
+    malformed.add_edge("bad", "IN_V", "V_0", "E")  # V-V short circuit
+    return {"linear": linear, "branched": branched,
+            "malformed": malformed}
+
+
+@pytest.mark.benchmark(group="fig2-validate")
+def test_validate_linear_milp(benchmark, lines):
+    result = benchmark(repro.validate, lines["linear"], backend="milp")
+    assert result.valid
+
+
+@pytest.mark.benchmark(group="fig2-validate")
+def test_validate_branched_milp(benchmark, lines):
+    result = benchmark(repro.validate, lines["branched"],
+                       backend="milp")
+    assert result.valid
+
+
+@pytest.mark.benchmark(group="fig2-validate")
+def test_validate_malformed_milp(benchmark, lines):
+    result = benchmark(repro.validate, lines["malformed"],
+                       backend="milp")
+    assert not result.valid
+
+
+def test_report_fig2(lines):
+    rows = ["paper Fig. 2: (i) branched valid, (ii) linear valid,"
+            " (iii) V-V malformed invalid"]
+    for name, graph in lines.items():
+        verdict = repro.validate(graph, backend="milp")
+        rows.append(f"measured: {name:9s} valid={verdict.valid}")
+    report("fig2_validation", rows)
+    assert repro.validate(lines["malformed"]).valid is False

@@ -1,0 +1,85 @@
+"""Fig. 4 — t-line transients: pulse amplitudes, echo, observation
+windows (a/b) and the Cint-vs-Gm mismatch ensembles (c/d)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import observation_window, window_spread
+from repro.paradigms.tln import (branched_tline, linear_tline,
+                                 mismatched_tline)
+
+from conftest import report
+
+T_END = 8e-8
+ENSEMBLE = 30  # paper: 100; run_experiments.py uses the full count
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    linear = repro.simulate(linear_tline(), (0.0, T_END), n_points=600)
+    branched = repro.simulate(branched_tline(), (0.0, T_END),
+                              n_points=600)
+    return linear, branched
+
+
+@pytest.fixture(scope="module")
+def ensembles():
+    spreads = {}
+    for kind in ("cint", "gm"):
+        runs = repro.simulate_ensemble(
+            lambda seed, kind=kind: mismatched_tline(kind, seed=seed),
+            seeds=range(ENSEMBLE), t_span=(0.0, T_END), n_points=300)
+        spreads[kind] = window_spread(runs, "OUT_V", (1e-8, 3e-8))
+    return spreads
+
+
+@pytest.mark.benchmark(group="fig4-simulate")
+def test_simulate_linear_53(benchmark):
+    graph = linear_tline()
+    system = repro.compile_graph(graph)
+    benchmark(repro.simulate, system, (0.0, T_END), 300)
+
+
+@pytest.mark.benchmark(group="fig4-simulate")
+def test_simulate_branched(benchmark):
+    system = repro.compile_graph(branched_tline())
+    benchmark(repro.simulate, system, (0.0, T_END), 300)
+
+
+@pytest.mark.benchmark(group="fig4-compile")
+def test_compile_linear_53(benchmark):
+    graph = linear_tline()
+    benchmark(repro.compile_graph, graph)
+
+
+@pytest.mark.benchmark(group="fig4-mismatch")
+def test_mismatched_instance_build(benchmark):
+    benchmark(mismatched_tline, "gm", seed=1)
+
+
+def test_report_fig4(trajectories, ensembles):
+    linear, branched = trajectories
+    lin_peak = linear["OUT_V"].max()
+    brn = branched["OUT_V"]
+    mask_main = (branched.t >= 1e-8) & (branched.t <= 3.5e-8)
+    mask_echo = (branched.t >= 4e-8) & (branched.t <= 8e-8)
+    w_lin = observation_window(linear, "OUT_V", threshold=0.1)
+    w_brn = observation_window(branched, "OUT_V", threshold=0.1)
+    rows = [
+        "paper Fig. 4b: linear pulse ~0.5 inside 1e-8..3e-8 s",
+        f"measured: linear peak {lin_peak:.3f}, window "
+        f"[{w_lin[0]:.1e}, {w_lin[1]:.1e}]",
+        "paper Fig. 4a: branched pulse ~0.3 plus echo in 4e-8..8e-8 s",
+        f"measured: branched main {brn[mask_main].max():.3f}, echo "
+        f"{np.abs(brn[mask_echo]).max():.3f}, window "
+        f"[{w_brn[0]:.1e}, {w_brn[1]:.1e}]",
+        "paper Figs. 4c/4d: Gm mismatch spreads much more than Cint",
+        f"measured ({ENSEMBLE} chips): cint spread "
+        f"{ensembles['cint']:.4f}, gm spread {ensembles['gm']:.4f} "
+        f"(ratio {ensembles['gm'] / ensembles['cint']:.1f}x)",
+    ]
+    report("fig4_tline", rows)
+    assert brn[mask_main].max() < lin_peak
+    assert np.abs(brn[mask_echo]).max() > 0.05
+    assert ensembles["gm"] > ensembles["cint"]

@@ -1,0 +1,75 @@
+"""Table 1 — max-cut sync/solved probabilities for the ideal and
+offset-afflicted OBC solvers at two readout tolerances."""
+
+import math
+
+import pytest
+
+from repro.paradigms.obc import (maxcut_experiment, maxcut_network,
+                                 random_graphs, solve_maxcut)
+import repro
+
+from conftest import report
+
+TRIALS = 120  # paper: 1000; run_experiments.py uses the full count
+TOLERANCES = (0.01 * math.pi, 0.1 * math.pi)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return random_graphs(TRIALS, 4, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def table(graphs):
+    ideal = maxcut_experiment(graphs, 4, tolerances=TOLERANCES,
+                              edge_type="Cpl")
+    offset = maxcut_experiment(graphs, 4, tolerances=TOLERANCES,
+                               edge_type="Cpl_ofs", mismatch_seeds=True)
+    return ideal, offset
+
+
+@pytest.mark.benchmark(group="table1-solve")
+def test_single_instance_solve(benchmark, graphs):
+    benchmark(solve_maxcut, graphs[0], 4, d=TOLERANCES, seed=0)
+
+
+@pytest.mark.benchmark(group="table1-build")
+def test_network_build(benchmark, graphs):
+    benchmark(maxcut_network, graphs[0], 4)
+
+
+@pytest.mark.benchmark(group="table1-compile")
+def test_network_compile(benchmark, graphs):
+    graph = maxcut_network(graphs[0], 4)
+    benchmark(repro.compile_graph, graph)
+
+
+def test_report_table1(table):
+    ideal, offset = table
+    paper = {
+        (0.01, "obc"): (94.1, 94.1), (0.01, "ofs"): (54.1, 54.1),
+        (0.10, "obc"): (94.2, 94.1), (0.10, "ofs"): (94.8, 94.6),
+    }
+    rows = [f"{TRIALS} random 4-vertex graphs (paper: 1000)",
+            f"{'d':>8s} {'config':>8s} {'paper sync/slvd':>16s} "
+            f"{'measured sync/slvd':>20s}"]
+    for d in TOLERANCES:
+        key = round(d / math.pi, 2)
+        for config, sweeps in (("obc", ideal), ("ofs", offset)):
+            p_sync, p_solved = paper[(key, config)]
+            sweep = sweeps[d]
+            rows.append(
+                f"{key:>7.2f}p {config:>8s} "
+                f"{p_sync:>7.1f}/{p_solved:<8.1f} "
+                f"{sweep.sync_probability * 100:>9.1f}/"
+                f"{sweep.solved_probability * 100:<10.1f}")
+    report("table1_maxcut", rows)
+
+    tight, loose = TOLERANCES
+    assert ideal[tight].solved_probability > 0.8
+    assert offset[tight].solved_probability < \
+        ideal[tight].solved_probability
+    assert offset[loose].solved_probability > \
+        offset[tight].solved_probability
+    assert offset[loose].solved_probability > 0.8

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures (reduced size; ``benchmarks/run_experiments.py`` produces the
+full-size numbers) and measures the performance of its computational
+kernel with pytest-benchmark. Reproduced numbers are printed through
+:func:`report`, which both echoes to stdout (visible with ``-s``) and
+appends to ``benchmarks/_results/<name>.txt`` so the artifacts survive
+output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+def report(name: str, lines: list[str]):
+    """Print reproduction lines and persist them under _results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n[{name}]\n{text}")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_collection_modifyitems(items):
+    """Keep benchmark ordering stable: reports run after their
+    benchmarks within each module (pytest preserves file order, this is
+    just a no-op hook kept for clarity)."""

@@ -1,0 +1,78 @@
+"""The §7.1 CNN edge-detection study (Fig. 11) in the terminal.
+
+Runs the edge detector under the four Fig. 11c hardware variants:
+
+  A  ideal CNN
+  B  10% mismatch in the integrator bias (hw-cnn ``Vm``)
+  C  10% mismatch in the template weights (hw-cnn ``fEm``)
+  D  non-ideal MOS saturation (hw-cnn ``OutNL``)
+
+and prints the evolving cell states as ASCII frames plus the paper's
+takeaways: B converges more slowly but correctly, C can produce wrong
+pixels, D converges *faster* and correctly (a nonideality that helps).
+
+Run:  python examples/cnn_edge_detection.py [--size N] [--seed K]
+"""
+
+import argparse
+
+import repro
+from repro.paradigms.cnn import (default_image, edge_detector,
+                                 expected_edges, run_cnn, to_ascii)
+
+COLUMNS = {
+    "A": ("ideal", "ideal CNN"),
+    "B": ("bias_mismatch", "10% integrator-bias mismatch"),
+    "C": ("template_mismatch", "10% template-weight mismatch"),
+    "D": ("nonideal_sat", "non-ideal MOS saturation"),
+}
+
+
+def main(size: int, seed: int, show_frames: bool) -> None:
+    image = default_image(size)
+    expected = expected_edges(image)
+    print("input image:")
+    print(to_ascii(image))
+    print("\nexpected edges:")
+    print(to_ascii(expected))
+
+    results = {}
+    for column, (variant, label) in COLUMNS.items():
+        graph = edge_detector(image, variant, seed=seed)
+        repro.validate(graph, backend="flow").raise_if_invalid()
+        run = run_cnn(graph, size, size, variant=variant,
+                      expected=expected)
+        results[column] = run
+        print(f"\n--- column {column}: {label} ---")
+        if show_frames:
+            for fraction, grid in sorted(run.snapshots.items()):
+                print(f"t = {fraction:.2f} * T:")
+                print(to_ascii(grid))
+        else:
+            print(to_ascii(run.output))
+        converged = (f"{run.converged_at:.2f}" if run.converged
+                     else "never")
+        print(f"converged at t={converged}, pixel errors: {run.errors}")
+
+    print("\n=== takeaways (paper §7.1) ===")
+    a, b, c, d = (results[k] for k in "ABCD")
+    if b.converged and a.converged and b.converged_at > a.converged_at:
+        print("* bias mismatch (B) converges more slowly than ideal (A)"
+              f" ({b.converged_at:.2f} vs {a.converged_at:.2f})")
+    if c.errors:
+        print(f"* template mismatch (C) corrupts the output "
+              f"({c.errors} wrong pixels) -> reduce g mismatch first")
+    if d.converged and a.converged and d.converged_at < a.converged_at:
+        print("* the non-ideal saturation (D) actually *improves* "
+              f"convergence ({d.converged_at:.2f} vs "
+              f"{a.converged_at:.2f}) -> an acceptable nonideality")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--frames", action="store_true",
+                        help="print every Fig. 11c time snapshot")
+    args = parser.parse_args()
+    main(args.size, args.seed, args.frames)

@@ -1,0 +1,85 @@
+"""A multi-template CNN image pipeline plus heat-equation solving.
+
+The CNN usage model is one analog array reprogrammed with a sequence of
+templates. This example chains library templates into a noise-robust
+edge detector —
+
+  1. EROSION then DILATION (morphological opening) removes salt noise,
+  2. EDGE extracts the contours of the cleaned objects,
+  3. SHADOW casts the contours leftward (a classic CNN projection)
+
+— verifying every analog stage against its discrete reference, and then
+reprograms the same array as a *PDE solver*: linear diffusion of a hot
+square, checked against the exact solution of the discretized heat
+equation (the paper's §7.1 "PDE solving" application; see
+repro/paradigms/cnn/pde.py).
+
+Run:  python examples/cnn_image_pipeline.py [--size N] [--noise P]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.paradigms.cnn import (DILATION_TEMPLATE, EDGE_TEMPLATE,
+                                 EROSION_TEMPLATE, SHADOW_TEMPLATE,
+                                 WHITE, apply_template, default_image,
+                                 diffusion_step_response, expected_edges,
+                                 expected_opening, expected_shadow,
+                                 pixel_errors, to_ascii)
+
+
+def salted(image: np.ndarray, probability: float,
+           seed: int) -> np.ndarray:
+    """Flip a fraction of white pixels to black (salt noise)."""
+    rng = np.random.default_rng(seed)
+    noisy = image.copy()
+    salt = (rng.random(image.shape) < probability) & (image < 0)
+    noisy[salt] = 1.0
+    return noisy
+
+
+def stage(label: str, output: np.ndarray,
+          reference: np.ndarray) -> None:
+    errors = pixel_errors(output, reference)
+    print(f"\n--- {label} (pixel errors vs reference: {errors}) ---")
+    print(to_ascii(output))
+
+
+def main(size: int, noise: float, seed: int) -> None:
+    image = salted(default_image(size), noise, seed)
+    print("noisy input image:")
+    print(to_ascii(image))
+
+    # Stage 1: morphological opening (erosion, then dilation).
+    eroded = apply_template(image, EROSION_TEMPLATE)
+    opened = apply_template(eroded, DILATION_TEMPLATE)
+    stage("opening (noise removal)", opened, expected_opening(image))
+
+    # Stage 2: edge detection on the cleaned image.
+    edges = apply_template(opened, EDGE_TEMPLATE, boundary=WHITE)
+    stage("edge detection", edges, expected_edges(opened))
+
+    # Stage 3: leftward shadow of the contours.
+    shadow = apply_template(edges, SHADOW_TEMPLATE)
+    stage("shadow projection", shadow, expected_shadow(edges))
+
+    # Finale: the same array as a heat-equation solver.
+    print("\n=== PDE mode: diffusing a hot square ===")
+    result = diffusion_step_response(size=min(size, 10), rate=0.5,
+                                     times=(0.0, 0.5, 1.0, 2.0))
+    for t, frame, rmse in zip(result["times"], result["cnn"],
+                              result["rmse"]):
+        peak = frame.max()
+        print(f"t={t:4.1f}: peak temperature {peak:6.3f}, "
+              f"RMSE vs exact heat equation {rmse:.2e}")
+    print("the analog array solves the PDE to solver precision.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=12)
+    parser.add_argument("--noise", type=float, default=0.04)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    main(args.size, args.noise, args.seed)

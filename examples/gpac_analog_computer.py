@@ -1,0 +1,85 @@
+"""Programming a general-purpose analog computer in Ark.
+
+Builds the classic analog-computer repertoire in the GPAC DSL —
+exponential decay, a sine generator, Lotka-Volterra, Van der Pol, and
+the Lorenz attractor — verifies each against an independent scipy
+integration, and then runs the hw-gpac nonideality study: how much
+integrator *leak* (finite DC gain, the dominant nonideality in the VLSI
+analog computers the paper cites) can each computation tolerate?
+
+The takeaway mirrors the paper's §7.1 lesson that some nonidealities
+are benign: the open-loop sine generator loses its amplitude to any
+leak, while the Van der Pol limit cycle — whose feedback re-injects
+energy — keeps oscillating at 10x the leak.
+
+Run:  python examples/gpac_analog_computer.py [--leak L]
+"""
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.paradigms.gpac import (decay_reference, exponential_decay,
+                                  harmonic_oscillator, leaky,
+                                  limit_cycle_amplitude, lorenz,
+                                  lorenz_reference, lotka_volterra,
+                                  lotka_volterra_reference,
+                                  oscillator_reference, van_der_pol,
+                                  van_der_pol_reference)
+
+TIGHT = dict(rtol=1e-9, atol=1e-11)
+
+
+def check(label: str, graph, span, nodes_and_refs, n_points=401,
+          **options) -> None:
+    repro.validate(graph).raise_if_invalid()
+    trajectory = repro.simulate(graph, span, n_points=n_points,
+                                **(TIGHT | options))
+    worst = max(float(np.abs(trajectory[node] - ref(trajectory.t)).max())
+                for node, ref in nodes_and_refs.items())
+    states = len(graph.nodes)
+    print(f"  {label:18s} {states:3d} nodes   "
+          f"max |ark - scipy| = {worst:.2e}")
+
+
+def main(leak: float) -> None:
+    print("=== GPAC programs vs independent scipy integration ===")
+    check("decay", exponential_decay(rate=0.7, initial=2.0), (0, 5),
+          {"x": lambda t: decay_reference(0.7, 2.0, t)})
+    check("sine generator", harmonic_oscillator(omega=2.0), (0, 8),
+          {"x": lambda t: oscillator_reference(2.0, 1.0, t)})
+    check("Lotka-Volterra", lotka_volterra(), (0, 20),
+          {"x": lambda t: lotka_volterra_reference(
+              1.1, 0.4, 0.1, 0.4, 10, 10, t)[0]})
+    check("Van der Pol", van_der_pol(), (0, 20),
+          {"x": lambda t: van_der_pol_reference(1.0, 0.5, 0.0, t)[0]})
+    check("Lorenz (t<=2)", lorenz(), (0, 2),
+          {"z": lambda t: lorenz_reference(10.0, 28.0, 8 / 3, 1, 1, 1,
+                                           t)[2]},
+          rtol=1e-10, atol=1e-12)
+
+    print(f"\n=== hw-gpac integrator-leak study (leak = {leak}) ===")
+    span = (0.0, 40.0)
+    ideal_vdp = repro.simulate(van_der_pol(), span, n_points=801)
+    print(f"  {'computation':18s} {'ideal amp':>10s} {'leaky amp':>10s}")
+    for label, factory in (
+            ("sine generator", lambda t: harmonic_oscillator(types=t)),
+            ("Van der Pol", lambda t: van_der_pol(types=t))):
+        ideal = repro.simulate(factory(leaky(0.0)), span, n_points=801)
+        nonideal = repro.simulate(factory(leaky(leak)), span,
+                                  n_points=801)
+        ideal_amp = limit_cycle_amplitude(ideal.t, ideal["x"])
+        leaky_amp = limit_cycle_amplitude(nonideal.t, nonideal["x"])
+        print(f"  {label:18s} {ideal_amp:10.3f} {leaky_amp:10.3f}")
+    print("\nthe sine generator's amplitude decays as exp(-leak*t); the"
+          "\nVan der Pol limit cycle self-restores -> tolerate the leak"
+          "\nin feedback-stabilized computations, spend design effort"
+          "\nonly where the computation is open-loop.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--leak", type=float, default=0.2)
+    args = parser.parse_args()
+    main(args.leak)

@@ -1,0 +1,120 @@
+"""The §7.2 interconnect-tradeoff study with intercon-obc (Fig. 13).
+
+Two oscillator groups solve a max-cut instance. Intra-group couplings
+use cheap local edges (cost 1); cross-group couplings must use expensive
+global edges (cost 10) — a restriction the intercon-obc validity rules
+enforce at compile time. The example:
+
+1. builds a *legal* clustered topology and reports its routing cost;
+2. shows that the validator rejects a local edge smuggled across groups;
+3. sweeps the cluster split to show the programmability/cost tradeoff
+   (the all-to-all [32] vs neighbor-coupled [5] spectrum);
+4. simulates the legal network to confirm it still solves max-cut;
+5. closes the loop with the automatic placers
+   (repro.paradigms.obc.placement): random baseline vs greedy vs
+   Kernighan-Lin, with the placed networks re-validated and re-solved.
+
+Run:  python examples/intercon_design.py
+"""
+
+import math
+
+import numpy as np
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.paradigms.obc import (brute_force_maxcut, cut_value,
+                                 extract_partition,
+                                 intercon_obc_language,
+                                 interconnect_cost, placed_network,
+                                 placement_study)
+
+
+def clustered_network(edges, groups, *, illegal_local_cross=False):
+    """A max-cut network whose vertices are pre-assigned to two groups.
+
+    Cross-group couplings use Cpl_g; with ``illegal_local_cross`` the
+    first cross-group edge is (wrongly) built as a local Cpl_l edge to
+    demonstrate compile-time rejection.
+    """
+    language = intercon_obc_language()
+    builder = GraphBuilder(language, "clustered-maxcut")
+    for vertex, group in enumerate(groups):
+        name = f"Osc_{vertex}"
+        builder.node(name, f"Osc_G{group}")
+        builder.set_init(name, 0.1 + 0.9 * vertex)
+        builder.edge(name, name, f"Shil_{vertex}", "Cpl_l")
+        builder.set_attr(f"Shil_{vertex}", "k", 0.0)
+        builder.set_attr(f"Shil_{vertex}", "cost", 1)
+    smuggled = illegal_local_cross
+    for index, (i, j) in enumerate(edges):
+        cross = groups[i] != groups[j]
+        edge_type = "Cpl_g" if cross and not smuggled else "Cpl_l"
+        if cross and smuggled:
+            smuggled = False  # only the first cross edge is illegal
+        name = f"Cpl_{index}"
+        builder.edge(f"Osc_{i}", f"Osc_{j}", name, edge_type)
+        builder.set_attr(name, "k", -1.0)
+        builder.set_attr(name, "cost", 10 if edge_type == "Cpl_g" else 1)
+    return builder.finish()
+
+
+def main() -> None:
+    # A 6-vertex instance: two triangles joined by two cross edges.
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3),
+             (0, 5)]
+    groups = [0, 0, 0, 1, 1, 1]
+
+    legal = clustered_network(edges, groups)
+    repro.validate(legal, backend="flow").raise_if_invalid()
+    print(f"legal clustered network: routing cost = "
+          f"{interconnect_cost(legal)} "
+          "(6 SHIL + 6 local + 2 global edges)")
+
+    illegal = clustered_network(edges, groups, illegal_local_cross=True)
+    report = repro.validate(illegal, backend="flow")
+    print(f"illegal variant valid? {report.valid} -> "
+          f"{report.violations[0][:72]}...")
+
+    print("\ncluster-split sweep (same instance, different mapping):")
+    print(f"{'split':>12s} {'global edges':>14s} {'cost':>6s}")
+    for split in range(1, 6):
+        mapping = [0 if v < split else 1 for v in range(6)]
+        network = clustered_network(edges, mapping)
+        n_global = sum(1 for i, j in edges
+                       if mapping[i] != mapping[j])
+        print(f"{split}|{6 - split:>10d} {n_global:>14d} "
+              f"{interconnect_cost(network):>6d}")
+    print("-> fewer cross-cluster edges = cheaper routing; the mapper "
+          "trades solution freedom for area, the Fig. 13 story")
+
+    trajectory = repro.simulate(legal, (0.0, 100e-9), n_points=60,
+                                rtol=1e-8, atol=1e-10)
+    partition = extract_partition(trajectory, 6, d=0.1 * math.pi)
+    achieved = cut_value(edges, partition)
+    optimal = brute_force_maxcut(edges, 6)
+    print(f"\nsimulated legal network: cut {achieved} / optimal "
+          f"{optimal} (partition {partition})")
+
+    print("\nautomatic placement (the architect's design loop):")
+    print(f"{'placer':>14s} {'local':>6s} {'global':>7s} {'cost':>6s} "
+          f"{'cut':>4s}")
+    rng = np.random.default_rng(7)
+    phases = rng.uniform(0.0, 2.0 * math.pi, 6)
+    for name, placement in placement_study(edges, 6, seed=3).items():
+        network = placed_network(edges, placement,
+                                 initial_phases=phases)
+        repro.validate(network, backend="flow").raise_if_invalid()
+        run = repro.simulate(network, (0.0, 100e-9), n_points=60,
+                             rtol=1e-8, atol=1e-10)
+        placed_cut = cut_value(
+            edges, extract_partition(run, 6, d=0.1 * math.pi))
+        print(f"{name:>14s} {placement.n_local:>6d} "
+              f"{placement.n_global:>7d} "
+              f"{placement.coupling_cost:>6d} {placed_cut:>4}")
+    print("-> every placement computes the same cut; only the routing "
+          "cost changes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""The §7.2 oscillator-based max-cut study (Table 1).
+
+Solves random unweighted 4-vertex max-cut instances on the coupled
+Kuramoto network, with and without the integrator-offset nonideality,
+and reads the steady-state phases at two deviation tolerances
+(d = 0.01*pi and 0.1*pi). Reproduces the paper's mitigation story: the
+offset wrecks the tight readout but widening the tolerance — a knob
+*outside* the analog circuit — absorbs the phase jitter.
+
+The paper uses 1000 instances; the default here is 300 for a ~30 s run.
+
+Run:  python examples/obc_maxcut.py [--trials N]
+"""
+
+import argparse
+import math
+
+from repro.paradigms.obc import maxcut_experiment, random_graphs
+
+
+def main(trials: int) -> None:
+    graphs = random_graphs(trials, n_vertices=4, seed=2024)
+    tolerances = (0.01 * math.pi, 0.1 * math.pi)
+
+    print(f"{trials} random unweighted 4-vertex graphs\n")
+    print(f"{'':12s} {'obc':>22s} {'offset-obc':>22s}")
+    print(f"{'d':12s} {'sync%':>10s} {'slvd%':>10s}"
+          f" {'sync%':>10s} {'slvd%':>10s}")
+
+    ideal = maxcut_experiment(graphs, 4, tolerances=tolerances,
+                              edge_type="Cpl")
+    offset = maxcut_experiment(graphs, 4, tolerances=tolerances,
+                               edge_type="Cpl_ofs", mismatch_seeds=True)
+    for d in tolerances:
+        label = f"{d / math.pi:.2f}*pi"
+        print(f"{label:12s} "
+              f"{ideal[d].sync_probability * 100:>9.1f} "
+              f"{ideal[d].solved_probability * 100:>10.1f} "
+              f"{offset[d].sync_probability * 100:>10.1f} "
+              f"{offset[d].solved_probability * 100:>10.1f}")
+
+    tight, loose = tolerances
+    print("\n=== takeaways (paper §7.2, Table 1) ===")
+    print(f"* offset drops tight-readout accuracy from "
+          f"{ideal[tight].solved_probability * 100:.0f}% to "
+          f"{offset[tight].solved_probability * 100:.0f}%")
+    print(f"* widening d to 0.1*pi restores it to "
+          f"{offset[loose].solved_probability * 100:.0f}% — a mitigation "
+          "applied entirely outside the analog circuit")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=300,
+                        help="number of random graphs (paper: 1000)")
+    args = parser.parse_args()
+    main(args.trials)

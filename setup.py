@@ -1,0 +1,6 @@
+"""Shim for environments whose setuptools cannot build PEP 517 editable
+wheels (install with ``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Trajectory analysis utilities used across the case studies.
+
+* :mod:`repro.analysis.windows` — signal observation windows (§2.2: the
+  linear line needs 1e-8..3e-8 s, the branched line 1e-8..8e-8 s to
+  capture its echo);
+* :mod:`repro.analysis.spread` — ensemble variation metrics (Figs. 4c/4d:
+  Gm mismatch spreads trajectories far more than Cint mismatch);
+* :mod:`repro.analysis.steadystate` — settling detection (CNN and OBC
+  readouts happen at steady state);
+* :mod:`repro.analysis.phase` — phase folding helpers for oscillator
+  readout;
+* :mod:`repro.analysis.sensitivity` — parameter sweeps and tornado
+  rankings (the quantitative "where to spend fidelity effort" loop of
+  the paper's design flow).
+"""
+
+from repro.analysis.phase import fold_phase, phase_distance
+from repro.analysis.sensitivity import (Sensitivity, SweepPoint,
+                                        SweepResult, format_tornado,
+                                        sweep, tornado)
+from repro.analysis.spread import (ensemble_matrix, ensemble_spread,
+                                   percentile_band, window_spread)
+from repro.analysis.steadystate import is_settled, settling_time
+from repro.analysis.windows import (energy_capture, observation_window,
+                                    window_covers)
+
+__all__ = [
+    "Sensitivity",
+    "SweepPoint",
+    "SweepResult",
+    "energy_capture",
+    "ensemble_matrix",
+    "ensemble_spread",
+    "fold_phase",
+    "format_tornado",
+    "is_settled",
+    "observation_window",
+    "percentile_band",
+    "phase_distance",
+    "settling_time",
+    "sweep",
+    "tornado",
+    "window_covers",
+    "window_spread",
+]

@@ -1,0 +1,19 @@
+"""Phase-folding helpers for oscillator readout (§7.2)."""
+
+from __future__ import annotations
+
+import math
+
+
+def fold_phase(phase: float) -> float:
+    """Fold an unbounded phase into [0, 2*pi)."""
+    folded = math.fmod(phase, 2.0 * math.pi)
+    if folded < 0:
+        folded += 2.0 * math.pi
+    return folded
+
+
+def phase_distance(phase: float, target: float) -> float:
+    """Circular distance between a phase and a target angle."""
+    delta = abs(fold_phase(phase) - fold_phase(target))
+    return min(delta, 2.0 * math.pi - delta)

@@ -1,0 +1,166 @@
+"""Parameter sensitivity sweeps for design-space exploration.
+
+The paper's design flow has the domain specialist "explore different
+analog design options" by re-simulating a computation across attribute
+settings (§1.2, §2.4). This module packages that loop as a reusable
+tool: sweep any attribute of any graph family, extract a scalar metric
+per run, and rank parameters by how strongly they move the metric —
+the quantitative version of "where should the analog designer spend
+fidelity effort?".
+
+Two entry points:
+
+* :func:`sweep` — one parameter, explicit values, full metric curve;
+* :func:`tornado` — many parameters, each nudged by ±delta around its
+  nominal value; returns per-parameter sensitivities sorted by impact
+  (the classic tornado-diagram data).
+
+Both take a *factory* (parameter values -> dynamical graph), keeping
+them paradigm-agnostic: the tests drive them with TLN, CNN, and GPAC
+families alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.simulator import Trajectory, simulate
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run of a parameter sweep."""
+
+    value: float
+    metric: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full one-parameter sweep."""
+
+    parameter: str
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array([p.value for p in self.points])
+
+    @property
+    def metrics(self) -> np.ndarray:
+        return np.array([p.metric for p in self.points])
+
+    @property
+    def metric_range(self) -> float:
+        """Peak-to-peak metric variation across the sweep."""
+        metrics = self.metrics
+        return float(metrics.max() - metrics.min())
+
+    def argbest(self, maximize: bool = True) -> SweepPoint:
+        """The sweep point with the best metric."""
+        index = int(np.argmax(self.metrics) if maximize
+                    else np.argmin(self.metrics))
+        return self.points[index]
+
+
+def sweep(factory: Callable[[float], object],
+          metric: Callable[[Trajectory], float],
+          values: Sequence[float], *,
+          parameter: str = "parameter",
+          t_span: tuple[float, float] = (0.0, 1.0),
+          **simulate_options) -> SweepResult:
+    """Simulate ``factory(v)`` for every value and collect the metric.
+
+    :param factory: parameter value -> dynamical graph (or compiled
+        system — anything :func:`repro.simulate` accepts).
+    :param metric: trajectory -> scalar figure of merit.
+    """
+    points = []
+    for value in values:
+        trajectory = simulate(factory(float(value)), t_span,
+                              **simulate_options)
+        points.append(SweepPoint(float(value),
+                                 float(metric(trajectory))))
+    return SweepResult(parameter=parameter, points=tuple(points))
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Local sensitivity of the metric to one parameter."""
+
+    parameter: str
+    nominal: float
+    low_metric: float
+    nominal_metric: float
+    high_metric: float
+
+    @property
+    def swing(self) -> float:
+        """Total metric excursion across the +/- nudge (the tornado
+        bar length)."""
+        return abs(self.high_metric - self.low_metric)
+
+    @property
+    def slope(self) -> float:
+        """Central-difference d(metric)/d(parameter), unnormalized."""
+        return self.high_metric - self.low_metric
+
+
+def tornado(factory: Callable[..., object],
+            metric: Callable[[Trajectory], float],
+            nominals: dict[str, float], *,
+            relative_delta: float = 0.1,
+            t_span: tuple[float, float] = (0.0, 1.0),
+            **simulate_options) -> list[Sensitivity]:
+    """Rank parameters by metric impact under a ±delta perturbation.
+
+    ``factory(**params)`` receives every parameter by name. Each
+    parameter is swept to ``(1 - delta) * nominal`` and
+    ``(1 + delta) * nominal`` while the others stay nominal (a
+    parameter with nominal 0 is nudged by ±delta absolutely).
+
+    :returns: sensitivities sorted by descending swing — the designer's
+        priority list.
+    """
+    if not nominals:
+        raise ValueError("tornado needs at least one parameter")
+    if relative_delta <= 0:
+        raise ValueError(
+            f"relative_delta must be positive, got {relative_delta}")
+
+    def run(params: dict[str, float]) -> float:
+        trajectory = simulate(factory(**params), t_span,
+                              **simulate_options)
+        return float(metric(trajectory))
+
+    nominal_metric = run(dict(nominals))
+    results = []
+    for name, nominal in nominals.items():
+        step = (abs(nominal) * relative_delta
+                if nominal != 0 else relative_delta)
+        low = dict(nominals)
+        low[name] = nominal - step
+        high = dict(nominals)
+        high[name] = nominal + step
+        results.append(Sensitivity(
+            parameter=name, nominal=nominal,
+            low_metric=run(low), nominal_metric=nominal_metric,
+            high_metric=run(high)))
+    return sorted(results, key=lambda s: s.swing, reverse=True)
+
+
+def format_tornado(sensitivities: list[Sensitivity],
+                   width: int = 40) -> str:
+    """ASCII tornado diagram: one bar per parameter, longest on top."""
+    if not sensitivities:
+        return "(no parameters)"
+    biggest = max(s.swing for s in sensitivities) or 1.0
+    lines = []
+    for entry in sensitivities:
+        bar = "#" * max(1, int(round(width * entry.swing / biggest)))
+        lines.append(f"{entry.parameter:>16s} |{bar:<{width}s}| "
+                     f"swing {entry.swing:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Ensemble variation metrics (Figs. 4c/4d).
+
+The paper simulates 100 mismatched instances of the linear t-line per
+mismatch source and observes that the Gm-sensitive line "experiences a
+much greater degree of variation across trials" than the Cint-sensitive
+line inside the observation window — the finding that steers the PUF
+design toward Gm mismatch. These helpers quantify that spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulator import Trajectory
+
+
+def ensemble_matrix(trajectories: list[Trajectory], node: str,
+                    times: np.ndarray) -> np.ndarray:
+    """Sample every trajectory at common times: shape (n_traj, n_t)."""
+    times = np.asarray(times, dtype=float)
+    return np.stack([traj.sample(node, times) for traj in trajectories])
+
+
+def ensemble_spread(trajectories: list[Trajectory], node: str,
+                    times: np.ndarray) -> dict[str, np.ndarray]:
+    """Pointwise ensemble statistics at the given times."""
+    matrix = ensemble_matrix(trajectories, node, times)
+    return {
+        "mean": matrix.mean(axis=0),
+        "std": matrix.std(axis=0),
+        "min": matrix.min(axis=0),
+        "max": matrix.max(axis=0),
+    }
+
+
+def window_spread(trajectories: list[Trajectory], node: str,
+                  window: tuple[float, float], n_samples: int = 100,
+                  ) -> float:
+    """Scalar spread score: the mean pointwise ensemble standard
+    deviation inside the observation window.
+
+    This is the number the Fig. 4c/4d comparison boils down to — a
+    variation-hungry PUF designer picks the mismatch source with the
+    larger score.
+    """
+    times = np.linspace(window[0], window[1], n_samples)
+    return float(ensemble_spread(trajectories, node, times)["std"].mean())
+
+
+def percentile_band(trajectories: list[Trajectory], node: str,
+                    times: np.ndarray, lower: float = 5.0,
+                    upper: float = 95.0,
+                    ) -> dict[str, np.ndarray]:
+    """Pointwise percentile envelope of the ensemble — the shaded bands
+    a Fig. 4c/4d-style plot would draw."""
+    if not 0.0 <= lower < upper <= 100.0:
+        raise ValueError(f"percentiles must satisfy 0 <= lower < upper "
+                         f"<= 100, got ({lower}, {upper})")
+    matrix = ensemble_matrix(trajectories, node, times)
+    return {
+        "median": np.percentile(matrix, 50.0, axis=0),
+        "lower": np.percentile(matrix, lower, axis=0),
+        "upper": np.percentile(matrix, upper, axis=0),
+    }

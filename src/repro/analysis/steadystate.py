@@ -1,0 +1,39 @@
+"""Steady-state detection.
+
+Both evaluation workloads read their answers at steady state (CNN output
+pixels, OBC oscillator phases). A trajectory is *settled* over its tail
+when the signal stops moving more than a tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulator import Trajectory
+
+
+def is_settled(trajectory: Trajectory, node: str,
+               tail_fraction: float = 0.2, tolerance: float = 1e-3,
+               ) -> bool:
+    """True when the node's value varies less than ``tolerance``
+    (peak-to-peak) over the trailing ``tail_fraction`` of the run."""
+    values = trajectory[node]
+    tail = values[int(len(values) * (1.0 - tail_fraction)):]
+    return bool(np.ptp(tail) <= tolerance)
+
+
+def settling_time(trajectory: Trajectory, node: str,
+                  tolerance: float = 1e-3) -> float | None:
+    """Earliest time after which the node stays within ``tolerance`` of
+    its final value; None when it never settles."""
+    values = trajectory[node]
+    final = values[-1]
+    outside = np.where(np.abs(values - final) > tolerance)[0]
+    if len(outside) == 0:
+        return float(trajectory.t[0])
+    last = outside[-1]
+    # The final sample always matches itself; settling requires at
+    # least one interior sample inside the tolerance band too.
+    if last + 1 >= len(values) - 1:
+        return None
+    return float(trajectory.t[last + 1])

@@ -1,0 +1,53 @@
+"""Observation-window analysis (§2.2).
+
+A TLN PUF reads its response from a voltage trajectory inside an
+observation window. The window must capture the informative part of the
+signal: the paper assigns 1e-8..3e-8 s to the linear line and widens it
+to 1e-8..8e-8 s for the branched line "to ensure that at least one of the
+signal echoes is captured in the response encoding".
+
+:func:`observation_window` recovers such windows automatically: the
+smallest interval containing every sample whose magnitude exceeds a
+fraction of the trajectory's peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulator import Trajectory
+from repro.errors import SimulationError
+
+
+def observation_window(trajectory: Trajectory, node: str,
+                       threshold: float = 0.05,
+                       ) -> tuple[float, float]:
+    """Smallest [t_start, t_end] containing all samples with
+    ``|v| >= threshold * max|v|``."""
+    values = np.abs(trajectory[node])
+    peak = values.max()
+    if peak <= 0:
+        raise SimulationError(
+            f"node {node} trajectory is identically zero; no window")
+    active = np.where(values >= threshold * peak)[0]
+    return float(trajectory.t[active[0]]), float(trajectory.t[active[-1]])
+
+
+def energy_capture(trajectory: Trajectory, node: str,
+                   window: tuple[float, float]) -> float:
+    """Fraction of the signal energy (integral of v^2) inside the
+    window."""
+    t = trajectory.t
+    v = trajectory[node]
+    energy = np.trapezoid(v * v, t)
+    if energy <= 0:
+        return 0.0
+    mask = (t >= window[0]) & (t <= window[1])
+    captured = np.trapezoid(np.where(mask, v * v, 0.0), t)
+    return float(captured / energy)
+
+
+def window_covers(window: tuple[float, float],
+                  other: tuple[float, float]) -> bool:
+    """True when ``window`` contains ``other`` entirely."""
+    return window[0] <= other[0] and other[1] <= window[1]

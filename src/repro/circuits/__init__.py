@@ -1,0 +1,37 @@
+"""Circuit-level GmC substrate (§2.3, §4.5).
+
+The paper validates the GmC-TLN language by generating SPICE netlists
+from 1000 random valid DGs and checking that the circuit-level transient
+dynamics match the dynamical-graph dynamics within 1% RMSE. We reproduce
+that check with an independent substrate:
+
+* :mod:`repro.circuits.netlist` — netlists of ideal transconductors,
+  capacitors, conductances, and sources (the elements of the Fig. 3 GmC
+  integrator);
+* :mod:`repro.circuits.synthesis` — the §2.3 mapping from TLN/GmC-TLN
+  dynamical graphs onto GmC netlists;
+* :mod:`repro.circuits.mna` — a nodal-analysis transient simulator that
+  integrates the netlist directly (never looking at the DG equations);
+* :mod:`repro.circuits.compare` — the RMSE comparison of the two paths.
+"""
+
+from repro.circuits.compare import compare_dg_netlist, relative_rmse
+from repro.circuits.mna import NodalSystem, assemble, simulate_netlist
+from repro.circuits.netlist import (Capacitor, Conductance,
+                                    CurrentSource, Netlist,
+                                    Transconductor)
+from repro.circuits.synthesis import synthesize_gmc
+
+__all__ = [
+    "Capacitor",
+    "Conductance",
+    "CurrentSource",
+    "Netlist",
+    "NodalSystem",
+    "Transconductor",
+    "assemble",
+    "compare_dg_netlist",
+    "relative_rmse",
+    "simulate_netlist",
+    "synthesize_gmc",
+]

@@ -1,0 +1,112 @@
+"""Nodal-analysis transient simulation of GmC netlists.
+
+Assembles the standard state-space form of a capacitively-defined
+network::
+
+    C * dv/dt = -G * v + sum_k e_k * fn_k(t)
+
+where ``C`` is the diagonal capacitance matrix, ``G`` collects ground
+conductances (diagonal) and transconductors (off-diagonal and diagonal),
+and the sources inject currents into their nets. This path never touches
+the Ark compiler — it is the independent reference the §4.5 validation
+compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.circuits.netlist import Netlist
+from repro.errors import SimulationError
+
+
+@dataclass
+class NodalSystem:
+    """Assembled matrices of a netlist."""
+
+    nets: list[str]
+    index: dict[str, int]
+    capacitance: np.ndarray          # (n,) diagonal of C
+    conductance: np.ndarray          # (n, n) G matrix
+    sources: list[tuple[int, Callable[[float], float]]]
+    v0: np.ndarray
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    def rhs(self):
+        inv_c = 1.0 / self.capacitance
+        minus_g = -self.conductance
+        sources = self.sources
+
+        def f(t: float, v: np.ndarray) -> np.ndarray:
+            currents = minus_g @ v
+            for net_index, fn in sources:
+                currents[net_index] += fn(t)
+            return inv_c * currents
+
+        return f
+
+
+def assemble(netlist: Netlist) -> NodalSystem:
+    """Build the state-space matrices from a netlist."""
+    netlist.check()
+    nets = netlist.nets()
+    index = {net: k for k, net in enumerate(nets)}
+    n = len(nets)
+
+    capacitance = np.zeros(n)
+    for cap in netlist.capacitors:
+        capacitance[index[cap.net]] += cap.farads
+
+    conductance = np.zeros((n, n))
+    for cond in netlist.conductances:
+        conductance[index[cond.net], index[cond.net]] += cond.siemens
+    for vccs in netlist.transconductors:
+        # i_out = gm * v_in flows INTO the output net: moves -gm*v_in
+        # to the G matrix (C dv/dt = -G v + ...).
+        conductance[index[vccs.output_net],
+                    index[vccs.input_net]] -= vccs.gm
+
+    sources = [(index[source.net], source.fn)
+               for source in netlist.sources]
+    v0 = np.array([netlist.initial_voltages.get(net, 0.0)
+                   for net in nets])
+    return NodalSystem(nets=nets, index=index, capacitance=capacitance,
+                       conductance=conductance, sources=sources, v0=v0)
+
+
+@dataclass
+class NetlistTrajectory:
+    """Transient result keyed by net name."""
+
+    t: np.ndarray
+    v: np.ndarray  # (n_nets, n_t)
+    system: NodalSystem
+
+    def __getitem__(self, net: str) -> np.ndarray:
+        return self.v[self.system.index[net]]
+
+
+def simulate_netlist(netlist: Netlist, t_span: tuple[float, float],
+                     n_points: int = 500, method: str = "RK45",
+                     rtol: float = 1e-7, atol: float = 1e-9,
+                     ) -> NetlistTrajectory:
+    """Integrate the netlist dynamics over ``t_span``."""
+    system = assemble(netlist)
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if not t1 > t0:
+        raise SimulationError(f"empty time span [{t0}, {t1}]")
+    t_eval = np.linspace(t0, t1, n_points)
+    solution = solve_ivp(system.rhs(), (t0, t1), system.v0,
+                         method=method, t_eval=t_eval, rtol=rtol,
+                         atol=atol)
+    if not solution.success:
+        raise SimulationError(
+            f"netlist simulation failed: {solution.message}")
+    return NetlistTrajectory(t=solution.t, v=solution.y, system=system)

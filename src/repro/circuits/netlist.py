@@ -1,0 +1,155 @@
+"""GmC netlist data model.
+
+A netlist is a bag of ideal elements over named nets (all referenced to
+ground), mirroring the inventory of the Fig. 3 GmC integrator:
+
+* :class:`Capacitor` — ``C`` farads from a net to ground;
+* :class:`Conductance` — ``G`` siemens from a net to ground;
+* :class:`Transconductor` — a VCCS pushing ``gm * v(input)`` amperes
+  *into* its output net (the sign convention of §2.3: a negative ``gm``
+  models the inverting input of the integrator);
+* :class:`CurrentSource` — a time-dependent source pushing ``fn(t)``
+  amperes into a net.
+
+The netlist knows nothing about dynamical graphs; it is simulated by
+:mod:`repro.circuits.mna` via nodal analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    net: str
+    farads: float
+
+    def __post_init__(self):
+        if self.farads <= 0:
+            raise GraphError(
+                f"capacitor on {self.net} must be positive, got "
+                f"{self.farads}")
+
+
+@dataclass(frozen=True)
+class Conductance:
+    net: str
+    siemens: float
+
+    def __post_init__(self):
+        if self.siemens < 0:
+            raise GraphError(
+                f"conductance on {self.net} must be non-negative, got "
+                f"{self.siemens}")
+
+
+@dataclass(frozen=True)
+class Transconductor:
+    """Current ``gm * v(input_net)`` flows into ``output_net``."""
+
+    output_net: str
+    input_net: str
+    gm: float
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Current ``fn(t)`` flows into ``net``."""
+
+    net: str
+    fn: Callable[[float], float]
+
+
+@dataclass
+class Netlist:
+    """A flat GmC netlist with per-net initial conditions."""
+
+    name: str = "netlist"
+    capacitors: list[Capacitor] = field(default_factory=list)
+    conductances: list[Conductance] = field(default_factory=list)
+    transconductors: list[Transconductor] = field(default_factory=list)
+    sources: list[CurrentSource] = field(default_factory=list)
+    initial_voltages: dict[str, float] = field(default_factory=dict)
+
+    def nets(self) -> list[str]:
+        """Every net mentioned by any element, in first-seen order."""
+        seen: dict[str, None] = {}
+        for cap in self.capacitors:
+            seen.setdefault(cap.net)
+        for cond in self.conductances:
+            seen.setdefault(cond.net)
+        for vccs in self.transconductors:
+            seen.setdefault(vccs.output_net)
+            seen.setdefault(vccs.input_net)
+        for source in self.sources:
+            seen.setdefault(source.net)
+        return list(seen)
+
+    def element_count(self) -> dict[str, int]:
+        return {
+            "capacitors": len(self.capacitors),
+            "conductances": len(self.conductances),
+            "transconductors": len(self.transconductors),
+            "sources": len(self.sources),
+        }
+
+    def check(self):
+        """Every net must carry exactly one capacitor (GmC integrators
+        are capacitively defined; a floating net has no dynamics)."""
+        capped = {}
+        for cap in self.capacitors:
+            if cap.net in capped:
+                raise GraphError(
+                    f"net {cap.net} carries more than one capacitor")
+            capped[cap.net] = cap
+        for net in self.nets():
+            if net not in capped:
+                raise GraphError(f"net {net} has no capacitor")
+
+    def to_spice(self, title: str | None = None,
+                 t_stop: float = 1e-7, t_step: float = 1e-10) -> str:
+        """Emit the netlist as SPICE deck text (§4.5's artifact).
+
+        Capacitors become ``C`` cards, ground conductances ``R`` cards,
+        transconductors ``G`` (VCCS) cards, and time-dependent current
+        sources PWL ``I`` cards sampled at ``t_step``. Initial
+        conditions are emitted as ``.ic`` lines. The deck is plain
+        ngspice-compatible text; this project integrates it with its
+        own nodal-analysis engine (:mod:`repro.circuits.mna`) instead
+        of an external simulator.
+        """
+        self.check()
+        index = {net: k + 1 for k, net in enumerate(self.nets())}
+        lines = [f"* {title or self.name}"]
+        for k, cap in enumerate(self.capacitors):
+            lines.append(f"C{k} {index[cap.net]} 0 {cap.farads:.6e}")
+        for k, cond in enumerate(self.conductances):
+            if cond.siemens > 0:
+                lines.append(
+                    f"R{k} {index[cond.net]} 0 "
+                    f"{1.0 / cond.siemens:.6e}")
+        for k, vccs in enumerate(self.transconductors):
+            # G<name> out+ out- in+ in- gm : current out+ -> out-
+            # equals gm * v(in). Our convention injects INTO the
+            # output net, i.e. from ground into out+.
+            lines.append(
+                f"G{k} 0 {index[vccs.output_net]} "
+                f"{index[vccs.input_net]} 0 {vccs.gm:.6e}")
+        for k, source in enumerate(self.sources):
+            n_samples = max(2, int(t_stop / t_step) + 1)
+            points = []
+            for sample in range(n_samples):
+                t = sample * t_step
+                points.append(f"{t:.4e} {source.fn(t):.6e}")
+            lines.append(f"I{k} 0 {index[source.net]} PWL("
+                         + " ".join(points) + ")")
+        for net, volts in self.initial_voltages.items():
+            if volts != 0.0:
+                lines.append(f".ic V({index[net]})={volts:.6e}")
+        lines.append(f".tran {t_step:.3e} {t_stop:.3e} uic")
+        lines.append(".end")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""DG -> GmC netlist synthesis (the §2.3 mapping, §4.5 validation).
+
+Every ``V``/``I`` node of a TLN or GmC-TLN dynamical graph becomes one
+GmC integrator output net: a capacitor of ``Cint = scale * c`` (resp.
+``scale * l``) and a ground conductance ``Gint = scale * g`` (resp.
+``scale * r``). Every line edge becomes the two transconductors of the
+Fig. 3 integrator:
+
+* edge ``V_prev -> I`` contributes ``Gm = +wt * scale`` into net ``I``
+  from ``V_prev``, and ``Gm = -ws * scale`` into net ``V_prev`` from
+  ``I`` (the paper's ``-Gm1 = Gm2 = Gm`` usage generalized to the
+  relaxed ``ws``/``wt`` circuit of Eq. 3);
+* input nodes become current sources with their shunt conductance.
+
+``scale`` is the free ``Cint`` sizing of §2.3 (``Gm/Gint`` and
+``Cint/Gm`` implement the TLN parameters, so scaling caps and
+transconductances together leaves the dynamics invariant — a property
+the test suite checks).
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import DynamicalGraph
+from repro.circuits.netlist import (Capacitor, Conductance,
+                                    CurrentSource, Netlist,
+                                    Transconductor)
+from repro.errors import GraphError
+
+
+def _root_type(node) -> str:
+    """Name of the oldest ancestor type (V for Vm, I for Im...)."""
+    return node.type.ancestry()[-1].name
+
+
+def synthesize_gmc(graph: DynamicalGraph, scale: float = 1.0) -> Netlist:
+    """Map a (GmC-)TLN dynamical graph onto a GmC netlist.
+
+    Uses only the graph's *resolved* attribute values (post-mismatch), so
+    a mismatched DG synthesizes the matching mismatched circuit.
+    """
+    if scale <= 0:
+        raise GraphError(f"Cint scale must be positive, got {scale}")
+    netlist = Netlist(name=f"gmc:{graph.name}")
+    kinds: dict[str, str] = {}
+
+    for node in graph.nodes:
+        root = _root_type(node)
+        kinds[node.name] = root
+        if root == "V":
+            netlist.capacitors.append(
+                Capacitor(node.name, scale * float(node.attrs["c"])))
+            netlist.conductances.append(
+                Conductance(node.name, scale * float(node.attrs["g"])))
+            netlist.initial_voltages[node.name] = node.inits.get(0, 0.0)
+        elif root == "I":
+            netlist.capacitors.append(
+                Capacitor(node.name, scale * float(node.attrs["l"])))
+            netlist.conductances.append(
+                Conductance(node.name, scale * float(node.attrs["r"])))
+            netlist.initial_voltages[node.name] = node.inits.get(0, 0.0)
+        elif root in ("InpV", "InpI"):
+            pass  # sources are expanded per edge below
+        else:
+            raise GraphError(
+                f"cannot synthesize node type {node.type.name}; the GmC "
+                "mapping covers TLN and GmC-TLN graphs")
+
+    for edge in graph.edges:
+        if not edge.on:
+            continue
+        src_kind = kinds[edge.src]
+        dst_kind = kinds[edge.dst]
+        ws = scale * float(edge.attrs.get("ws", 1.0))
+        wt = scale * float(edge.attrs.get("wt", 1.0))
+
+        if edge.is_self:
+            # Damping self edges are already covered by Gint above.
+            continue
+        if src_kind in ("V", "I") and dst_kind in ("V", "I"):
+            if src_kind == dst_kind:
+                raise GraphError(
+                    f"edge {edge.name} connects two {src_kind} nodes; "
+                    "not a valid TLN line")
+            netlist.transconductors.append(
+                Transconductor(edge.dst, edge.src, +wt))
+            netlist.transconductors.append(
+                Transconductor(edge.src, edge.dst, -ws))
+            continue
+        if src_kind == "InpI":
+            source = graph.node(edge.src)
+            fn = source.attrs["fn"]
+            shunt = float(source.attrs["g"])
+            if dst_kind == "V":
+                # dV/dt += wt*(fn(t) - g*V)/c
+                netlist.sources.append(
+                    CurrentSource(edge.dst,
+                                  _scaled(fn, wt)))
+                netlist.conductances.append(
+                    Conductance(edge.dst, wt * shunt))
+            else:
+                # dI/dt += wt*(fn(t) - I)/(g*l)
+                netlist.sources.append(
+                    CurrentSource(edge.dst, _scaled(fn, wt / shunt)))
+                netlist.conductances.append(
+                    Conductance(edge.dst, wt / shunt))
+            continue
+        if src_kind == "InpV":
+            source = graph.node(edge.src)
+            fn = source.attrs["fn"]
+            series = float(source.attrs["r"])
+            if dst_kind == "V":
+                # dV/dt += wt*(fn(t) - V)/(r*c)
+                netlist.sources.append(
+                    CurrentSource(edge.dst, _scaled(fn, wt / series)))
+                netlist.conductances.append(
+                    Conductance(edge.dst, wt / series))
+            else:
+                # dI/dt += wt*(fn(t) - r*I)/l
+                netlist.sources.append(
+                    CurrentSource(edge.dst, _scaled(fn, wt)))
+                netlist.conductances.append(
+                    Conductance(edge.dst, wt * series))
+            continue
+        raise GraphError(
+            f"cannot synthesize edge {edge.name} "
+            f"({src_kind}->{dst_kind})")
+
+    netlist.check()
+    return netlist
+
+
+def _scaled(fn, factor: float):
+    """A time-function scaled by a constant factor."""
+    return lambda t: factor * fn(t)

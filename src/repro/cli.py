@@ -1,0 +1,274 @@
+"""Command-line interface: run Ark programs from ``.ark`` files.
+
+Implements the §4.6 user workflow without writing Python::
+
+    python -m repro info program.ark
+    python -m repro validate program.ark --func br-func --arg br=1
+    python -m repro equations program.ark --func br-func --arg br=0
+    python -m repro simulate program.ark --func br-func --arg br=1 \
+        --t-end 8e-8 --node OUT_V --csv out.csv
+    python -m repro dot program.ark --func br-func --arg br=1
+
+Paradigm languages ship with the package, so an ``.ark`` file may use
+``tln``/``gmc-tln``/``sw-tln``/``cnn``/``hw-cnn``/``obc``/``ofs-obc``/
+``intercon-obc``/``color-obc``/``gpac``/``hw-gpac``/``fhn``/``hw-fhn``
+without redefining them (pass ``--no-prelude`` to disable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.core.compiler import compile_graph
+from repro.core.export import to_dot
+from repro.core.function import ArkFunction
+from repro.core.simulator import simulate
+from repro.core.validator import validate
+from repro.errors import ArkError
+from repro.lang import parse_program
+from repro.lang.unparse import unparse_function, unparse_language
+
+
+def _prelude_languages():
+    """The shipped paradigm DSLs, importable from .ark files."""
+    from repro.paradigms.cnn import cnn_language, hw_cnn_language
+    from repro.paradigms.fhn import fhn_language, hw_fhn_language
+    from repro.paradigms.gpac import gpac_language, hw_gpac_language
+    from repro.paradigms.obc import (color_obc_language,
+                                     intercon_obc_language,
+                                     obc_language, ofs_obc_language)
+    from repro.paradigms.tln import (gmc_tln_language, sw_tln_language,
+                                     tln_language)
+    return {
+        "tln": tln_language(),
+        "gmc-tln": gmc_tln_language(),
+        "cnn": cnn_language(),
+        "hw-cnn": hw_cnn_language(),
+        "obc": obc_language(),
+        "ofs-obc": ofs_obc_language(),
+        "intercon-obc": intercon_obc_language(),
+        "color-obc": color_obc_language(),
+        "gpac": gpac_language(),
+        "hw-gpac": hw_gpac_language(),
+        "sw-tln": sw_tln_language(),
+        "fhn": fhn_language(),
+        "hw-fhn": hw_fhn_language(),
+    }
+
+
+def _prelude_functions():
+    from repro.paradigms.cnn import sat, sat_ni
+    from repro.paradigms.tln import pulse
+    return {"pulse": pulse, "sat": sat, "sat_ni": sat_ni}
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"argument value {text!r} is not a number") from None
+
+
+def _load(args) -> tuple[dict, dict]:
+    source = pathlib.Path(args.file).read_text()
+    languages = _prelude_languages() if args.prelude else {}
+    program = parse_program(source, languages=languages,
+                            functions=_prelude_functions())
+    return program.languages, program.functions
+
+
+def _pick_function(functions: dict, name: str | None) -> ArkFunction:
+    if name is None:
+        if len(functions) != 1:
+            raise ArkError(
+                f"program defines {len(functions)} functions; pick one "
+                f"with --func ({', '.join(functions) or 'none'})")
+        return next(iter(functions.values()))
+    try:
+        return functions[name]
+    except KeyError:
+        raise ArkError(f"unknown function {name!r}; available: "
+                       f"{', '.join(functions) or 'none'}") from None
+
+
+def _invoke(args) -> "DynamicalGraph":  # noqa: F821 (doc only)
+    _, functions = _load(args)
+    function = _pick_function(functions, args.func)
+    arguments = {}
+    for pair in args.arg or []:
+        if "=" not in pair:
+            raise ArkError(f"--arg expects name=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        arguments[key] = _parse_value(value)
+    return function.invoke(arguments, seed=args.seed)
+
+
+def cmd_info(args) -> int:
+    languages, functions = _load(args)
+    for language in languages.values():
+        print(unparse_language(language))
+        print()
+    for function in functions.values():
+        print(unparse_function(function))
+        print()
+    return 0
+
+
+def cmd_validate(args) -> int:
+    graph = _invoke(args)
+    report = validate(graph, backend=args.backend)
+    print(f"graph {graph.name}: "
+          f"{'VALID' if report.valid else 'INVALID'}")
+    for violation in report.violations:
+        print(f"  - {violation}")
+    return 0 if report.valid else 1
+
+
+def cmd_equations(args) -> int:
+    graph = _invoke(args)
+    system = compile_graph(graph)
+    for equation in system.equations():
+        print(equation)
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    graph = _invoke(args)
+    report = validate(graph, backend=args.backend)
+    report.raise_if_invalid()
+    trajectory = simulate(graph, (0.0, args.t_end),
+                          n_points=args.points, method=args.method)
+    nodes = args.node or [
+        node.name for node in graph.nodes if node.type.order >= 1]
+    header = ["t"] + nodes
+    columns = [trajectory.t] + [trajectory[node] for node in nodes]
+    matrix = np.column_stack(columns)
+    if args.csv:
+        np.savetxt(args.csv, matrix, delimiter=",",
+                   header=",".join(header), comments="")
+        print(f"wrote {matrix.shape[0]} samples x "
+              f"{matrix.shape[1]} columns to {args.csv}")
+    else:
+        print(",".join(header))
+        step = max(1, len(trajectory.t) // args.print_rows)
+        for row in matrix[::step]:
+            print(",".join(f"{value:.6g}" for value in row))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    graph = _invoke(args)
+    print(to_dot(graph, include_attrs=args.attrs))
+    return 0
+
+
+def cmd_languages(args) -> int:
+    """Summarize the preloaded paradigm DSLs (no .ark file needed)."""
+    languages = _prelude_languages()
+    if args.name:
+        try:
+            chosen = languages[args.name]
+        except KeyError:
+            raise ArkError(
+                f"unknown language {args.name!r}; available: "
+                f"{', '.join(sorted(languages))}") from None
+        print(unparse_language(chosen))
+        return 0
+    print(f"{'language':>14s} {'parent':>12s} {'node types':>30s} "
+          f"{'rules':>6s} {'cstr':>5s}")
+    for name in sorted(languages):
+        language = languages[name]
+        parent = language.parent.name if language.parent else "-"
+        own_nodes = ",".join(sorted(language._node_types)) or "-"
+        print(f"{name:>14s} {parent:>12s} {own_nodes:>30s} "
+              f"{len(language.productions()):>6d} "
+              f"{len(language.constraints()):>5d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, needs_func=True):
+        p.add_argument("file", help="path to the .ark program")
+        p.add_argument("--no-prelude", dest="prelude",
+                       action="store_false",
+                       help="do not preload the paradigm DSLs")
+        if needs_func:
+            p.add_argument("--func", help="function to invoke "
+                           "(defaults to the only one)")
+            p.add_argument("--arg", action="append", metavar="k=v",
+                           help="function argument (repeatable)")
+            p.add_argument("--seed", type=int, default=None,
+                           help="mismatch seed (fabricated instance)")
+
+    p_info = sub.add_parser("info", help="pretty-print the program")
+    common(p_info, needs_func=False)
+    p_info.set_defaults(handler=cmd_info)
+
+    p_validate = sub.add_parser("validate",
+                                help="invoke and validate a function")
+    common(p_validate)
+    p_validate.add_argument("--backend", default="milp",
+                            choices=("milp", "flow"))
+    p_validate.set_defaults(handler=cmd_validate)
+
+    p_eq = sub.add_parser("equations",
+                          help="print the compiled ODE system")
+    common(p_eq)
+    p_eq.set_defaults(handler=cmd_equations)
+
+    p_sim = sub.add_parser("simulate",
+                           help="validate, compile, and simulate")
+    common(p_sim)
+    p_sim.add_argument("--t-end", type=float, required=True)
+    p_sim.add_argument("--points", type=int, default=200)
+    p_sim.add_argument("--method", default="RK45")
+    p_sim.add_argument("--backend", default="milp",
+                       choices=("milp", "flow"))
+    p_sim.add_argument("--node", action="append",
+                       help="node to output (repeatable; default: all "
+                       "dynamic nodes)")
+    p_sim.add_argument("--csv", help="write samples to a CSV file")
+    p_sim.add_argument("--print-rows", type=int, default=20,
+                       help="rows to print when not writing CSV")
+    p_sim.set_defaults(handler=cmd_simulate)
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
+    common(p_dot)
+    p_dot.add_argument("--attrs", action="store_true",
+                       help="include attribute values in labels")
+    p_dot.set_defaults(handler=cmd_dot)
+
+    p_langs = sub.add_parser(
+        "languages", help="list the preloaded paradigm DSLs")
+    p_langs.add_argument("name", nargs="?",
+                         help="print one language's full definition")
+    p_langs.set_defaults(handler=cmd_languages)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ArkError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

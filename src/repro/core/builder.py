@@ -1,0 +1,109 @@
+"""Fluent graph construction with datatype checking and mismatch sampling.
+
+:class:`GraphBuilder` is the programmatic equivalent of an Ark function
+body: it creates nodes and edges, writes attributes and initial values
+(sampling mismatch-annotated datatypes through a seeded
+:class:`~repro.core.mismatch.MismatchSampler`), and configures switches.
+The paradigm libraries (TLN, CNN, OBC) build their topologies with it; the
+statement-based :class:`~repro.core.function.ArkFunction` drives it when a
+textual Ark function is invoked.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.core.mismatch import MismatchSampler
+from repro.errors import GraphError
+
+
+class GraphBuilder:
+    """Builds a :class:`DynamicalGraph` in a given language.
+
+    :param language: the Ark language the graph is written in.
+    :param seed: mismatch seed; ``None`` produces the ideal (nominal)
+        instance, integers model fabricated instances (§4.3).
+    """
+
+    def __init__(self, language: Language, name: str = "dg",
+                 seed: int | None = None):
+        self.language = language
+        self.graph = DynamicalGraph(language, name)
+        self.sampler = MismatchSampler(seed)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def node(self, name: str, type_name: str) -> "GraphBuilder":
+        """``node v0 : v1`` — create a node."""
+        self.graph.add_node(name, type_name)
+        return self
+
+    def edge(self, src: str, dst: str, name: str, type_name: str,
+             ) -> "GraphBuilder":
+        """``edge<v0,v1> v2 : v3`` — create an edge."""
+        self.graph.add_edge(name, src, dst, type_name)
+        return self
+
+    def set_attr(self, owner: str, attr: str, value) -> "GraphBuilder":
+        """``set-attr v0.v1 = val`` — write an attribute.
+
+        The nominal value is datatype-checked; mismatch-annotated
+        attributes store a seeded sample instead of the nominal value.
+        """
+        element, kind = self._find_owner(owner)
+        decl = element.type.attrs.get(attr)
+        if decl is None:
+            raise GraphError(
+                f"{kind} {owner} of type {element.type.name} has no "
+                f"attribute {attr}")
+        nominal = decl.datatype.check(value, f"{owner}.{attr}")
+        resolved = self.sampler.resolve(owner, attr, decl.datatype, nominal)
+        element.nominal_attrs[attr] = nominal
+        element.attrs[attr] = resolved
+        return self
+
+    def set_init(self, node_name: str, value, index: int = 0,
+                 ) -> "GraphBuilder":
+        """``set-init v(i) = val`` — write an initial value."""
+        node = self.graph.node(node_name)
+        decl = node.type.inits.get(index)
+        if decl is None:
+            raise GraphError(
+                f"node {node_name} of order {node.type.order} has no "
+                f"init({index})")
+        nominal = decl.datatype.check(value,
+                                      f"init({index}) of {node_name}")
+        resolved = self.sampler.resolve(node_name, f"init{index}",
+                                        decl.datatype, nominal)
+        node.nominal_inits[index] = nominal
+        node.inits[index] = float(resolved)
+        return self
+
+    def set_switch(self, edge_name: str, on) -> "GraphBuilder":
+        """``set-switch v when b`` — configure a switchable edge."""
+        self.graph.set_switch(edge_name, bool(on))
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finish(self, check: bool = True) -> DynamicalGraph:
+        """Apply type-level defaults and return the completed graph."""
+        self.graph.apply_defaults()
+        if check:
+            self.graph.check_complete()
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+
+    def _find_owner(self, owner: str):
+        if self.graph.has_node(owner):
+            return self.graph.node(owner), "node"
+        if self.graph.has_edge(owner):
+            return self.graph.edge(owner), "edge"
+        raise GraphError(f"unknown node or edge {owner}")

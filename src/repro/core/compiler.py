@@ -1,0 +1,200 @@
+"""The Ark dynamical-system compiler (§5, Algorithm 1).
+
+Translates a dynamical graph plus a language definition into a system of
+first-order differential equations:
+
+* every node of order ``p >= 1`` contributes ``p`` state variables; the
+  first ``p-1`` equations are the chain ``d n_i/dt = n_{i+1}`` (`LowOrdEqs`)
+  and the last aggregates the production terms of the node's incident edges
+  with the node type's reduction operator (`FormEq`);
+* order-0 nodes are *algebraic*: their value is the reduction of their
+  production terms, computed on demand and inlined into the evaluation
+  order (topologically sorted; cycles among algebraic nodes are an error);
+* production rules are looked up most-specific-first with inheritance
+  fallback (`LookUpProdRule`) and their expressions are rewritten from role
+  names to concrete element names (`Rewrite`);
+* switched-off edges contribute only the language's ``off`` rules (§4.3).
+
+The result is an :class:`~repro.core.odesystem.OdeSystem` ready for
+simulation.
+"""
+
+from __future__ import annotations
+
+from repro.core import expr as E
+from repro.core.graph import DynamicalGraph, Edge, Node
+from repro.core.language import Language
+from repro.core.odesystem import (AlgebraicSpec, ChainRhs, OdeSystem,
+                                  StateVar, TermsRhs)
+from repro.core.production import ProductionRule
+from repro.errors import CompileError
+
+
+def _rewrite(rule: ProductionRule, edge: Edge) -> E.Expr:
+    """`Rewrite` from Algorithm 1: bind the rule's roles to the concrete
+    edge and endpoint names."""
+    mapping = {
+        rule.edge_role: E.Substitution(edge.name, "edge"),
+        rule.src_role: E.Substitution(edge.src, "node"),
+        rule.dst_role: E.Substitution(edge.dst, "node"),
+    }
+    return rule.expr.substitute(mapping)
+
+
+def _contributions(graph: DynamicalGraph, language: Language,
+                   ) -> dict[str, list[E.Expr]]:
+    """Production terms per node name, honoring switch state."""
+    table = language.rule_table()
+    node_types = {node.name: node.type for node in graph.nodes}
+    terms: dict[str, list[E.Expr]] = {node.name: [] for node in graph.nodes}
+
+    for edge in graph.edges:
+        src_type = node_types[edge.src]
+        dst_type = node_types[edge.dst]
+        off = not edge.on
+        connection = (f"edge {edge.name}:{edge.type.name} "
+                      f"({edge.src}:{src_type.name}->"
+                      f"{edge.dst}:{dst_type.name})")
+        rules = table.lookup(edge.type, src_type, dst_type,
+                             self_rule=edge.is_self, off=off,
+                             connection=connection)
+        if not rules and not off:
+            raise CompileError(
+                f"no production rule applies to {connection} in language "
+                f"{language.name}")
+        for rule in rules:
+            target = edge.src if rule.targets_source else edge.dst
+            terms[target].append(_rewrite(rule, edge))
+    return terms
+
+
+def _algebraic_order(graph: DynamicalGraph,
+                     terms: dict[str, list[E.Expr]]) -> list[str]:
+    """Topological order of order-0 nodes by var() dependencies."""
+    algebraic = {node.name for node in graph.nodes
+                 if node.type.is_algebraic}
+    depends: dict[str, set[str]] = {}
+    for name in algebraic:
+        references = set()
+        for term in terms[name]:
+            references |= E.referenced_vars(term)
+        depends[name] = references & algebraic
+
+    ordered: list[str] = []
+    visiting: set[str] = set()
+    done: set[str] = set()
+
+    def visit(name: str, chain: tuple[str, ...]):
+        if name in done:
+            return
+        if name in visiting:
+            cycle = " -> ".join(chain + (name,))
+            raise CompileError(
+                f"algebraic cycle among order-0 nodes: {cycle}")
+        visiting.add(name)
+        for dep in sorted(depends[name]):
+            visit(dep, chain + (name,))
+        visiting.discard(name)
+        done.add(name)
+        ordered.append(name)
+
+    for name in sorted(algebraic):
+        visit(name, ())
+    return ordered
+
+
+def _collect_attr_values(graph: DynamicalGraph,
+                         exprs: list[E.Expr]) -> dict[tuple, object]:
+    """Resolve every attribute reference in the compiled expressions."""
+    values: dict[tuple, object] = {}
+    for tree in exprs:
+        for node in tree.walk():
+            if not isinstance(node, E.AttrRef):
+                continue
+            kind = node.kind or "node"
+            key = (kind, node.owner, node.attr)
+            if key in values:
+                continue
+            if kind == "node":
+                element = graph.node(node.owner)
+            else:
+                element = graph.edge(node.owner)
+            if node.attr not in element.attrs:
+                raise CompileError(
+                    f"{kind} {node.owner} has no value for attribute "
+                    f"{node.attr}")
+            values[key] = element.attrs[node.attr]
+    return values
+
+
+def compile_graph(graph: DynamicalGraph,
+                  language: Language | None = None) -> OdeSystem:
+    """Compile ``graph`` into an :class:`OdeSystem` (Algorithm 1).
+
+    :param language: language whose rules drive compilation; defaults to
+        the graph's own language. Passing a derived language compiles the
+        same graph under the extended semantics — the inheritance rules
+        guarantee identical dynamics when the graph only uses parent types.
+    """
+    language = language or graph.language
+    graph.apply_defaults()
+    graph.check_complete()
+
+    terms = _contributions(graph, language)
+
+    # State allocation: p slots per order-p node, graph insertion order.
+    states: list[StateVar] = []
+    state_index: dict[tuple[str, int], int] = {}
+    for node in graph.nodes:
+        for deriv in range(node.type.order):
+            index = len(states)
+            states.append(StateVar(node.name, deriv, index))
+            state_index[(node.name, deriv)] = index
+
+    # Right-hand sides.
+    rhs: list[ChainRhs | TermsRhs] = []
+    for state in states:
+        node = graph.node(state.node)
+        if state.deriv < node.type.order - 1:
+            # LowOrdEqs: d n_i/dt = n_{i+1}
+            rhs.append(ChainRhs(state_index[(state.node,
+                                             state.deriv + 1)]))
+        else:
+            rhs.append(TermsRhs(tuple(terms[state.node]),
+                                node.type.reduction))
+
+    algebraic = [
+        AlgebraicSpec(name, tuple(terms[name]),
+                      graph.node(name).type.reduction)
+        for name in _algebraic_order(graph, terms)
+    ]
+
+    all_exprs = [expr for spec in rhs if isinstance(spec, TermsRhs)
+                 for expr in spec.terms]
+    all_exprs += [expr for spec in algebraic for expr in spec.terms]
+    attr_values = _collect_attr_values(graph, all_exprs)
+
+    functions = language.functions()
+    needed = set()
+    for tree in all_exprs:
+        needed |= E.referenced_functions(tree)
+    missing = needed - set(functions)
+    if missing:
+        raise CompileError(
+            f"compiled expressions call unknown function(s) "
+            f"{sorted(missing)}")
+
+    y0 = [graph.node(state.node).inits.get(state.deriv, 0.0)
+          for state in states]
+
+    return OdeSystem(
+        graph=graph,
+        language=language,
+        states=states,
+        state_index=state_index,
+        rhs_specs=rhs,
+        algebraic=algebraic,
+        attr_values=attr_values,
+        functions={name: functions[name] for name in needed},
+        y0=y0,
+    )

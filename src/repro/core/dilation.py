@@ -1,0 +1,116 @@
+"""Time dilation of compiled systems (the Jaunt transform).
+
+The paper's related work (§8) cites Jaunt [2]: analog hardware runs at
+fixed physical timescales, so mapping a computation onto a device means
+*rescaling time* — a Lotka-Volterra model evolving over seconds must be
+sped up ~1e6x to run on microsecond-scale integrators, and a
+nanosecond-scale TLN measurement may be slowed down for acquisition.
+
+:func:`dilate` wraps a compiled :class:`OdeSystem` so that its
+trajectory is the original's with time rescaled::
+
+    x_dilated(t) = x_original(speedup * t)
+
+which for ``dx/dt = f(t, x)`` is exactly the system
+``dx/dt = speedup * f(speedup * t, x)`` — valid for time-varying inputs
+(``fn(time)`` attributes are evaluated at the original timescale) and
+for derivative-chain states of higher-order nodes (chain slots continue
+to hold *original-time* derivatives: the wrapper rescales every
+equation uniformly, it does not re-normalize state units; see the
+property tests).
+
+The wrapper duck-types :class:`OdeSystem` for everything
+:func:`repro.simulate` and :class:`Trajectory` need, so dilated systems
+drop into the ordinary workflow::
+
+    system = repro.compile_graph(lotka_volterra())
+    fast = dilate(system, speedup=1e6)
+    trajectory = repro.simulate(fast, (0.0, 20e-6))   # 20 s of model time
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compiler import compile_graph
+from repro.core.graph import DynamicalGraph
+from repro.core.odesystem import OdeSystem
+from repro.errors import SimulationError
+
+
+class TimeDilatedSystem:
+    """An :class:`OdeSystem` view with time rescaled by ``speedup``."""
+
+    def __init__(self, base: OdeSystem, speedup: float):
+        if not np.isfinite(speedup) or speedup <= 0.0:
+            raise SimulationError(
+                f"speedup must be a positive finite number, got "
+                f"{speedup}")
+        self.base = base
+        self.speedup = float(speedup)
+
+    # -- the OdeSystem surface simulate()/Trajectory rely on ----------
+
+    @property
+    def graph(self):
+        return self.base.graph
+
+    @property
+    def language(self):
+        return self.base.language
+
+    @property
+    def y0(self) -> np.ndarray:
+        return self.base.y0
+
+    @property
+    def n_states(self) -> int:
+        return self.base.n_states
+
+    def state_labels(self) -> list[str]:
+        return self.base.state_labels()
+
+    def index_of(self, node: str, deriv: int = 0) -> int:
+        return self.base.index_of(node, deriv)
+
+    def rhs(self, backend: str = "codegen"):
+        inner = self.base.rhs(backend)
+        speedup = self.speedup
+
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            return speedup * inner(speedup * t, y)
+
+        return rhs
+
+    def algebraic_values(self, t: float, y: np.ndarray,
+                         ) -> dict[str, float]:
+        return self.base.algebraic_values(self.speedup * t, y)
+
+    def equations(self) -> list[str]:
+        return [f"[time dilated by {self.speedup:g}] {line}"
+                for line in self.base.equations()]
+
+    # -- composition ---------------------------------------------------
+
+    def dilated(self, speedup: float) -> "TimeDilatedSystem":
+        """Compose dilations (factors multiply, no wrapper nesting)."""
+        return TimeDilatedSystem(self.base, self.speedup * speedup)
+
+    def __repr__(self) -> str:
+        return (f"<TimeDilatedSystem x{self.speedup:g} of "
+                f"{self.base!r}>")
+
+
+def dilate(target: OdeSystem | TimeDilatedSystem | DynamicalGraph,
+           speedup: float) -> TimeDilatedSystem:
+    """Rescale a system's time axis: the result's trajectory at ``t``
+    equals the original's at ``speedup * t``.
+
+    ``speedup > 1`` makes the computation run faster in wall-clock
+    time; ``speedup < 1`` slows it down. Graphs are compiled first.
+    """
+    if isinstance(target, TimeDilatedSystem):
+        return target.dilated(speedup)
+    if isinstance(target, DynamicalGraph):
+        target = compile_graph(target)
+    return TimeDilatedSystem(target, speedup)

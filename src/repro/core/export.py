@@ -1,0 +1,84 @@
+"""Dynamical-graph export: networkx views and DOT rendering.
+
+Dynamical graphs render naturally as directed multigraphs (Fig. 2 of the
+paper is exactly such a drawing). :func:`to_networkx` produces an
+analyzable ``networkx.MultiDiGraph`` carrying types and attribute values;
+:func:`to_dot` emits Graphviz DOT text (no graphviz dependency — plain
+string generation) with the paper's visual conventions: one shape per
+root type family, dashed edges for switched-off branches.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.graph import DynamicalGraph
+
+#: DOT shapes per root node-type family (falls back to ellipse).
+_SHAPES = {"V": "box", "I": "circle", "InpV": "house", "InpI": "house",
+           "Osc": "doublecircle", "Out": "diamond", "Inp": "house"}
+
+
+def to_networkx(graph: DynamicalGraph) -> nx.MultiDiGraph:
+    """Export the graph as a ``networkx.MultiDiGraph``.
+
+    Node attributes: ``type`` (type name), ``order``, plus the resolved
+    attribute values. Edge attributes: ``key`` (edge name), ``type``,
+    ``on``, plus resolved attribute values.
+    """
+    exported = nx.MultiDiGraph(name=graph.name,
+                               language=graph.language.name)
+    for node in graph.nodes:
+        exported.add_node(node.name, type=node.type.name,
+                          order=node.type.order, **node.attrs)
+    for edge in graph.edges:
+        exported.add_edge(edge.src, edge.dst, key=edge.name,
+                          type=edge.type.name, on=edge.on,
+                          **edge.attrs)
+    return exported
+
+
+def _root_name(type_obj) -> str:
+    return type_obj.ancestry()[-1].name
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def to_dot(graph: DynamicalGraph, *, include_attrs: bool = False) -> str:
+    """Render the graph as Graphviz DOT text.
+
+    :param include_attrs: append resolved attribute values to labels.
+    """
+    lines = [f"digraph {_quote(graph.name)} {{",
+             "    rankdir=LR;",
+             f"    label={_quote(graph.language.name)};"]
+    for node in graph.nodes:
+        shape = _SHAPES.get(_root_name(node.type), "ellipse")
+        label = f"{node.name}\\n{node.type.name}"
+        if include_attrs and node.attrs:
+            rendered = ", ".join(
+                f"{key}={value:.3g}" if isinstance(value, float)
+                else f"{key}={value}"
+                for key, value in node.attrs.items()
+                if isinstance(value, (int, float)))
+            if rendered:
+                label += f"\\n{rendered}"
+        lines.append(f"    {_quote(node.name)} "
+                     f"[shape={shape}, label={_quote(label)}];")
+    for edge in graph.edges:
+        style = "solid" if edge.on else "dashed"
+        label = edge.type.name
+        if include_attrs and edge.attrs:
+            rendered = ", ".join(
+                f"{key}={value:.3g}" if isinstance(value, float)
+                else f"{key}={value}"
+                for key, value in edge.attrs.items()
+                if isinstance(value, (int, float)))
+            if rendered:
+                label += f"\\n{rendered}"
+        lines.append(f"    {_quote(edge.src)} -> {_quote(edge.dst)} "
+                     f"[style={style}, label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)

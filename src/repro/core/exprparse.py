@@ -1,0 +1,320 @@
+"""Parser for Ark math and boolean expressions.
+
+Accepts the paper's concrete syntax as it appears in the language listings:
+
+* ``-var(t)/s.c``
+* ``e.wt*(-s.g*var(t)+s.fn(time))/t.c``
+* ``-1.6e9*e.k*sin(var(s)-var(t))``
+* ``if b then e else e'`` conditionals
+* boolean operators ``and``/``or``/``not`` (also ``&&``/``||``/``!``)
+
+Both ``time`` and ``times`` (Fig. 14 uses the latter) resolve to the
+simulation time. The parser is shared by the production-rule API and the
+textual front-end in :mod:`repro.lang`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import expr as E
+from repro.errors import ParseError
+
+_TWO_CHAR_OPS = ("<=", ">=", "==", "!=", "&&", "||", "->")
+_SINGLE_CHAR = "+-*/^().,<>!:[]{};="
+_KEYWORDS = {"if", "then", "else", "and", "or", "not", "time", "times",
+             "true", "false", "inf"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "num" | "ident" | "op" | "eof"
+    text: str
+    pos: int
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens, tracking line/column for errors."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        column = i - line_start + 1
+        if ch.isdigit() or (ch == "." and i + 1 < n and
+                            source[i + 1].isdigit()):
+            j = i
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit() or c == ".":
+                    j += 1
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                        source[j + 1].isdigit()
+                        or (source[j + 1] in "+-" and j + 2 < n
+                            and source[j + 2].isdigit())):
+                    seen_exp = True
+                    j += 1
+                    if source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("num", source[i:j], i, line, column))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            # Identifiers never contain dashes at the lexer level: `a-b`
+            # must tokenize as a subtraction so expressions like
+            # `s.z-var(s)` (Fig. 10a) parse correctly. Dashed names from
+            # the paper (br-func, gmc-tln, node-type...) are re-joined by
+            # the program parser from *adjacent* tokens.
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("ident", source[i:j], i, line, column))
+            i = j
+            continue
+        matched = False
+        for op in _TWO_CHAR_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, i, line, column))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_CHAR:
+            tokens.append(Token("op", ch, i, line, column))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", n, line, n - line_start + 1))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def at_ident(self, text: str) -> bool:
+        return self.at("ident", text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            expected = text or kind
+            raise ParseError(
+                f"expected {expected!r}, found {token.text or token.kind!r}",
+                token.line, token.column)
+        return self.next()
+
+    def error(self, message: str):
+        token = self.peek()
+        raise ParseError(message, token.line, token.column)
+
+
+class ExpressionParser:
+    """Recursive-descent parser producing :mod:`repro.core.expr` trees."""
+
+    def __init__(self, stream: TokenStream):
+        self.stream = stream
+
+    # expr := if-expr | or-expr
+    def parse(self) -> E.Expr:
+        if self.stream.at_ident("if"):
+            return self._if_expr()
+        return self._or_expr()
+
+    def _if_expr(self) -> E.Expr:
+        self.stream.expect("ident", "if")
+        cond = self._or_expr()
+        self.stream.expect("ident", "then")
+        then = self.parse()
+        self.stream.expect("ident", "else")
+        orelse = self.parse()
+        return E.IfThenElse(cond, then, orelse)
+
+    def _or_expr(self) -> E.Expr:
+        left = self._and_expr()
+        while self.stream.at_ident("or") or self.stream.at("op", "||"):
+            self.stream.next()
+            left = E.BoolOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> E.Expr:
+        left = self._not_expr()
+        while self.stream.at_ident("and") or self.stream.at("op", "&&"):
+            self.stream.next()
+            left = E.BoolOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> E.Expr:
+        if self.stream.at_ident("not") or self.stream.at("op", "!"):
+            self.stream.next()
+            return E.Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> E.Expr:
+        left = self._additive()
+        for op in ("<=", ">=", "==", "!=", "<", ">"):
+            if self.stream.at("op", op):
+                self.stream.next()
+                return E.Compare(op, left, self._additive())
+        return left
+
+    def _additive(self) -> E.Expr:
+        left = self._multiplicative()
+        while self.stream.at("op", "+") or self.stream.at("op", "-"):
+            op = self.stream.next().text
+            left = E.BinOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> E.Expr:
+        left = self._unary()
+        while self.stream.at("op", "*") or self.stream.at("op", "/"):
+            op = self.stream.next().text
+            left = E.BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> E.Expr:
+        if self.stream.at("op", "-"):
+            self.stream.next()
+            return E.UnOp("-", self._unary())
+        if self.stream.at("op", "+"):
+            self.stream.next()
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> E.Expr:
+        base = self._postfix()
+        if self.stream.at("op", "^"):
+            self.stream.next()
+            return E.BinOp("^", base, self._unary())
+        return base
+
+    def _postfix(self) -> E.Expr:
+        node = self._atom()
+        while True:
+            if self.stream.at("op", "."):
+                self.stream.next()
+                attr = self.stream.expect("ident").text
+                if not isinstance(node, E.NameRef):
+                    self.stream.error(
+                        "attribute access requires a plain element name on "
+                        "the left of `.`")
+                node = E.AttrRef(node.name, attr)
+            elif self.stream.at("op", "("):
+                node = self._call(node)
+            else:
+                return node
+
+    def _call(self, callee: E.Expr) -> E.Expr:
+        self.stream.expect("op", "(")
+        args: list[E.Expr] = []
+        if not self.stream.at("op", ")"):
+            args.append(self.parse())
+            while self.stream.accept("op", ","):
+                args.append(self.parse())
+        self.stream.expect("op", ")")
+        if isinstance(callee, E.AttrRef):
+            return E.LambdaCall(callee, tuple(args))
+        if isinstance(callee, E.NameRef):
+            if callee.name == "var":
+                if len(args) != 1 or not isinstance(args[0], E.NameRef):
+                    self.stream.error(
+                        "var(.) takes exactly one node name")
+                return E.VarOf(args[0].name)
+            return E.Call(callee.name, tuple(args))
+        self.stream.error("only named functions and lambda attributes can "
+                          "be called")
+        raise AssertionError("unreachable")
+
+    def _atom(self) -> E.Expr:
+        token = self.stream.peek()
+        if token.kind == "num":
+            self.stream.next()
+            return E.Const(float(token.text))
+        if token.kind == "ident":
+            if token.text in ("time", "times"):
+                self.stream.next()
+                return E.Time()
+            if token.text == "true":
+                self.stream.next()
+                return E.BoolConst(True)
+            if token.text == "false":
+                self.stream.next()
+                return E.BoolConst(False)
+            if token.text == "inf":
+                self.stream.next()
+                return E.Const(math.inf)
+            self.stream.next()
+            return E.NameRef(token.text)
+        if token.kind == "op" and token.text == "(":
+            self.stream.next()
+            inner = self.parse()
+            self.stream.expect("op", ")")
+            return inner
+        self.stream.error(
+            f"expected an expression, found {token.text or token.kind!r}")
+        raise AssertionError("unreachable")
+
+
+def parse_expression(source) -> E.Expr:
+    """Parse ``source`` into an expression tree.
+
+    Accepts either a string or an already-built :class:`~repro.core.expr.Expr`
+    (which is returned unchanged), so every rule-construction API can take
+    both forms.
+    """
+    if isinstance(source, E.Expr):
+        return source
+    stream = TokenStream(tokenize(source))
+    parser = ExpressionParser(stream)
+    tree = parser.parse()
+    trailing = stream.peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.line, trailing.column)
+    return tree

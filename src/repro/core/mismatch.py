@@ -1,0 +1,63 @@
+"""Deterministic mismatch sampling (§4.3).
+
+Writing a nominal value ``x`` to a ``mm(s0,s1)``-annotated attribute stores
+a sample from ``N(x, s0 + |x|*s1)``. The paper requires reproducibility:
+"Each function invocation sets the random seed used to produce the same
+mismatched values. The seed can be varied across invocations to model
+multiple fabricated instances of a particular design."
+
+We derive an independent, order-independent random stream for every
+``(seed, element name, attribute name)`` triple by seeding a PCG64 generator
+with a stable hash of the triple. Two invocations with the same seed produce
+identical graphs regardless of construction order; different seeds model
+different fabricated chips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.datatypes import IntType, Mismatch, RealType
+
+
+def _stream(seed: int, element: str, attr: str) -> np.random.Generator:
+    digest = hashlib.sha256(
+        f"{seed}|{element}|{attr}".encode()).digest()
+    return np.random.Generator(
+        np.random.PCG64(int.from_bytes(digest[:8], "little")))
+
+
+class MismatchSampler:
+    """Samples mismatched attribute values for one fabricated instance."""
+
+    def __init__(self, seed: int | None):
+        #: None disables mismatch entirely (ideal instance).
+        self.seed = seed
+
+    def sample(self, element: str, attr: str, annotation: Mismatch,
+               nominal: float) -> float:
+        """Draw the mismatched value stored for ``element.attr``."""
+        if self.seed is None:
+            return nominal
+        sigma = annotation.sigma(nominal)
+        if sigma == 0.0:
+            return nominal
+        rng = _stream(self.seed, element, attr)
+        return float(rng.normal(nominal, sigma))
+
+    def resolve(self, element: str, attr: str, datatype, nominal):
+        """Apply mismatch if the datatype carries an annotation.
+
+        Returns the value to store as the *resolved* attribute; the nominal
+        value is kept separately by the graph.
+        """
+        annotation = getattr(datatype, "mismatch", None)
+        if annotation is None or not isinstance(datatype,
+                                                (RealType, IntType)):
+            return nominal
+        value = self.sample(element, attr, annotation, float(nominal))
+        if isinstance(datatype, IntType):
+            return int(round(value))
+        return value

@@ -1,0 +1,231 @@
+"""Production rules (§4.1, Fig. 6 lines 8-9) and their lookup semantics.
+
+A rule ``prod(e:ET, s:ST -> t:DT) v <= expr`` matches a connection whose
+edge type is ``ET`` and whose endpoint types are ``ST``/``DT``, and
+contributes ``expr`` to the dynamics of the node bound to ``v`` (which must
+be the source or destination role). When the source and destination role
+share a name the rule is a *self rule* matching self-referencing edges.
+
+Lookup (§5): for a concrete connection the most specific rule is applied;
+if none matches the actual types exactly, the compiler walks the inheritance
+chains to find the closest parent rule. Ambiguities (two incomparable rules
+at the same specificity) are an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import expr as E
+from repro.core.exprparse import parse_expression
+from repro.core.types import EdgeType, NodeType
+from repro.errors import CompileError, LanguageError
+
+
+@dataclass(frozen=True)
+class ProductionRule:
+    """One production rule.
+
+    :param edge_role: name bound to the edge (``e``).
+    :param edge_type: edge type name the rule matches.
+    :param src_role: name bound to the source node (``s``).
+    :param src_type: source node type name.
+    :param dst_role: name bound to the destination node (``t``). Equal to
+        ``src_role`` for self rules.
+    :param dst_type: destination node type name.
+    :param target: role receiving the contribution (source or dest role).
+    :param expr: contributed algebraic term.
+    :param off: True for rules modeling switched-off edges (§4.3).
+    """
+
+    edge_role: str
+    edge_type: str
+    src_role: str
+    src_type: str
+    dst_role: str
+    dst_type: str
+    target: str
+    expr: E.Expr
+    off: bool = False
+
+    def __post_init__(self):
+        if self.target not in (self.src_role, self.dst_role):
+            raise LanguageError(
+                f"production rule target `{self.target}` must be the source "
+                f"`{self.src_role}` or destination `{self.dst_role}` role")
+        if self.is_self_rule and self.src_type != self.dst_type:
+            raise LanguageError(
+                "self rules must bind one node: source and destination "
+                f"types differ ({self.src_type} vs {self.dst_type})")
+        roles = {self.edge_role, self.src_role, self.dst_role}
+        loose = E.referenced_roles(self.expr) - roles
+        if loose:
+            raise LanguageError(
+                f"production rule expression references undeclared "
+                f"role(s) {sorted(loose)}; only "
+                f"{sorted(roles)} are in scope")
+
+    @property
+    def is_self_rule(self) -> bool:
+        """True when the rule matches self-referencing edges."""
+        return self.src_role == self.dst_role
+
+    @property
+    def targets_source(self) -> bool:
+        """True when the contribution lands on the source node."""
+        return self.target == self.src_role
+
+    def signature(self) -> tuple:
+        """Key identifying which connections and target this rule covers."""
+        return (self.edge_type, self.src_type, self.dst_type,
+                self.is_self_rule, self.targets_source, self.off)
+
+    def describe(self) -> str:
+        arrow = (f"{self.src_role}:{self.src_type}->"
+                 f"{self.dst_role}:{self.dst_type}")
+        suffix = " off" if self.off else ""
+        return (f"prod({self.edge_role}:{self.edge_type},{arrow}) "
+                f"{self.target} <= {self.expr}{suffix}")
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def parse_production(text: str, off: bool | None = None) -> ProductionRule:
+    """Parse the paper's concrete rule syntax.
+
+    Accepts strings like ``prod(e:E,s:V->t:I) s<=-var(t)/s.c`` (the leading
+    ``prod`` is optional, a trailing ``off`` marks an off rule).
+    """
+    body = text.strip()
+    if body.startswith("prod"):
+        body = body[len("prod"):].lstrip()
+    if not body.startswith("("):
+        raise LanguageError(
+            f"production rule must start with a (e:ET,...) clause: {text!r}")
+    depth = 0
+    close = -1
+    for index, char in enumerate(body):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                close = index
+                break
+    if close < 0:
+        raise LanguageError(f"unbalanced parentheses in rule {text!r}")
+    head = body[1:close]
+    tail = body[close + 1:].strip()
+    if tail.endswith(";"):
+        tail = tail[:-1].rstrip()
+    rule_off = off
+    if tail.endswith(" off"):
+        tail = tail[:-4].rstrip()
+        if rule_off is None:
+            rule_off = True
+    if rule_off is None:
+        rule_off = False
+
+    # Head: e:ET , s:ST -> t:DT   (or s:ST->s:ST for self rules)
+    try:
+        edge_part, conn_part = head.split(",", 1)
+        edge_role, edge_type = (p.strip() for p in edge_part.split(":"))
+        src_part, dst_part = conn_part.split("->")
+        src_role, src_type = (p.strip() for p in src_part.split(":"))
+        dst_role, dst_type = (p.strip() for p in dst_part.split(":"))
+    except ValueError:
+        raise LanguageError(
+            f"malformed production clause {head!r}; expected "
+            "e:ET,s:ST->t:DT") from None
+
+    if "<=" not in tail:
+        raise LanguageError(
+            f"production rule is missing a `target <= expr` body: {text!r}")
+    target, expr_text = tail.split("<=", 1)
+    return ProductionRule(
+        edge_role=edge_role, edge_type=edge_type,
+        src_role=src_role, src_type=src_type,
+        dst_role=dst_role, dst_type=dst_type,
+        target=target.strip(), expr=parse_expression(expr_text),
+        off=rule_off)
+
+
+class RuleTable:
+    """All production rules of a language, with most-specific lookup."""
+
+    def __init__(self, rules: list[ProductionRule],
+                 node_types: dict[str, NodeType],
+                 edge_types: dict[str, EdgeType]):
+        self._rules = list(rules)
+        self._node_types = node_types
+        self._edge_types = edge_types
+
+    @property
+    def rules(self) -> list[ProductionRule]:
+        return list(self._rules)
+
+    def _candidates(self, edge_type: EdgeType, src_type: NodeType,
+                    dst_type: NodeType, self_rule: bool, off: bool,
+                    ) -> list[tuple[int, ProductionRule]]:
+        """Rules applicable to the connection, with specificity distance.
+
+        Distance is the total number of inheritance steps from the actual
+        types up to the rule's declared types; 0 means an exact match.
+        """
+        scored: list[tuple[int, ProductionRule]] = []
+        for rule in self._rules:
+            if rule.off != off or rule.is_self_rule != self_rule:
+                continue
+            rule_edge = self._edge_types.get(rule.edge_type)
+            rule_src = self._node_types.get(rule.src_type)
+            rule_dst = self._node_types.get(rule.dst_type)
+            if rule_edge is None or rule_src is None or rule_dst is None:
+                raise CompileError(
+                    f"rule {rule} references unknown types")
+            d_edge = edge_type.distance_to(rule_edge)
+            d_src = src_type.distance_to(rule_src)
+            d_dst = dst_type.distance_to(rule_dst)
+            if d_edge is None or d_src is None or d_dst is None:
+                continue
+            scored.append((d_edge + d_src + d_dst, rule))
+        return scored
+
+    def lookup(self, edge_type: EdgeType, src_type: NodeType,
+               dst_type: NodeType, *, self_rule: bool = False,
+               off: bool = False, connection: str = "connection",
+               ) -> list[ProductionRule]:
+        """Most-specific rules for a connection (one per target role).
+
+        Returns the winning rule for the source-target and the dest-target
+        independently — the TLN language, for instance, pairs
+        ``s <= -var(t)/s.c`` with ``t <= var(s)/t.l`` on the same V->I
+        match. Either may be absent. Raises :class:`CompileError` when two
+        incomparable rules tie for the same target.
+        """
+        scored = self._candidates(edge_type, src_type, dst_type,
+                                  self_rule, off)
+        winners: list[ProductionRule] = []
+        for targets_source in (True, False):
+            if self_rule and not targets_source:
+                continue
+            group = [(dist, rule) for dist, rule in scored
+                     if rule.targets_source == targets_source]
+            if not group:
+                continue
+            best = min(dist for dist, _ in group)
+            best_rules = [rule for dist, rule in group if dist == best]
+            if len(best_rules) > 1:
+                listing = "; ".join(r.describe() for r in best_rules)
+                raise CompileError(
+                    f"ambiguous production rules for {connection}: "
+                    f"{listing}")
+            winners.append(best_rules[0])
+        return winners
+
+    def has_rule_for(self, edge_type: EdgeType, src_type: NodeType,
+                     dst_type: NodeType, *, self_rule: bool = False,
+                     off: bool = False) -> bool:
+        """True when at least one rule applies to the connection."""
+        return bool(self._candidates(edge_type, src_type, dst_type,
+                                     self_rule, off))

@@ -1,0 +1,109 @@
+"""Progressive rewriting: substituting derived types into a graph (§2.4).
+
+"Ark's inheritance system ensures ... nodes derived from TLN language
+nodes can be substituted into the dynamical graph." This module provides
+that substitution as a graph-to-graph transformation: given a type
+mapping (e.g. ``{"V": "Vm", "I": "Im"}`` or ``{"E": "Em"}``), every
+matching node/edge is rebuilt with the derived type, its attribute
+*nominal* values are re-written (so mismatch annotations on the derived
+type re-sample under the provided seed), and newly introduced attributes
+are filled from the supplied defaults.
+
+The paper's Fig. 5 workflow — take the ideal linear t-line, swap in
+``Vm``/``Im`` or ``Em`` — becomes::
+
+    ideal = linear_tline()
+    cint = substitute_types(ideal, {"V": "Vm", "I": "Im"},
+                            language=gmc_tln_language(), seed=7)
+    gm = substitute_types(ideal, {"E": "Em"},
+                          language=gmc_tln_language(), seed=7,
+                          new_attrs={"ws": 1.0, "wt": 1.0})
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import GraphBuilder
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.errors import GraphError, InheritanceError
+
+
+def substitute_types(graph: DynamicalGraph, mapping: dict[str, str], *,
+                     language: Language | None = None,
+                     seed: int | None = None,
+                     new_attrs: dict[str, object] | None = None,
+                     only: set[str] | None = None) -> DynamicalGraph:
+    """Rebuild ``graph`` with derived types substituted in.
+
+    :param mapping: old type name -> new type name. New types must be
+        subtypes of the old ones (the §4.1.1 compatibility guarantee).
+    :param language: the (derived) language the result is written in;
+        defaults to the graph's language, which must already know the
+        new types.
+    :param seed: mismatch seed used when re-writing attribute values
+        onto mismatch-annotated declarations.
+    :param new_attrs: values for attributes that exist on the new types
+        but not on the old ones (e.g. ``Em``'s ``ws``/``wt``).
+    :param only: restrict substitution to these element names (partial,
+        truly *progressive* rewriting); None substitutes every match.
+    """
+    language = language or graph.language
+    new_attrs = dict(new_attrs or {})
+
+    resolved: dict[str, tuple] = {}
+    for old_name, new_name in mapping.items():
+        old_node = language.find_node_type(old_name)
+        old_edge = language.find_edge_type(old_name)
+        new_node = language.find_node_type(new_name)
+        new_edge = language.find_edge_type(new_name)
+        if old_node is not None and new_node is not None:
+            if not new_node.is_subtype_of(old_node):
+                raise InheritanceError(
+                    f"substitution {old_name} -> {new_name}: "
+                    f"{new_name} does not derive from {old_name}")
+            resolved[old_name] = ("node", new_node)
+        elif old_edge is not None and new_edge is not None:
+            if not new_edge.is_subtype_of(old_edge):
+                raise InheritanceError(
+                    f"substitution {old_name} -> {new_name}: "
+                    f"{new_name} does not derive from {old_name}")
+            resolved[old_name] = ("edge", new_edge)
+        else:
+            raise GraphError(
+                f"substitution {old_name} -> {new_name}: both names "
+                f"must resolve to node types or to edge types in "
+                f"language {language.name}")
+
+    builder = GraphBuilder(language, f"{graph.name}*", seed=seed)
+
+    for node in graph.nodes:
+        target = resolved.get(node.type.name)
+        substitute = (target is not None and target[0] == "node"
+                      and (only is None or node.name in only))
+        node_type = target[1] if substitute else node.type
+        builder.node(node.name, node_type)
+        for attr in node_type.attrs:
+            if attr in node.nominal_attrs:
+                builder.set_attr(node.name, attr,
+                                 node.nominal_attrs[attr])
+            elif attr in new_attrs:
+                builder.set_attr(node.name, attr, new_attrs[attr])
+        for index, value in node.nominal_inits.items():
+            builder.set_init(node.name, value, index=index)
+
+    for edge in graph.edges:
+        target = resolved.get(edge.type.name)
+        substitute = (target is not None and target[0] == "edge"
+                      and (only is None or edge.name in only))
+        edge_type = target[1] if substitute else edge.type
+        builder.edge(edge.src, edge.dst, edge.name, edge_type)
+        for attr in edge_type.attrs:
+            if attr in edge.nominal_attrs:
+                builder.set_attr(edge.name, attr,
+                                 edge.nominal_attrs[attr])
+            elif attr in new_attrs:
+                builder.set_attr(edge.name, attr, new_attrs[attr])
+        if not edge.on:
+            builder.set_switch(edge.name, False)
+
+    return builder.finish()

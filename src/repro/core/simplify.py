@@ -1,0 +1,199 @@
+"""Expression simplification for the codegen backend.
+
+The compiler resolves attribute values at compile time (§5), which turns
+many production terms into partially-constant expressions — e.g. every
+zero-weight CNN template edge contributes ``0.0 * var(Out_k_l)``. The
+codegen backend inlines numeric attributes as constants
+(:func:`inline_attributes`) and then applies constant folding plus the
+safe algebraic identities (:func:`simplify`):
+
+* ``c1 op c2``            -> folded constant
+* ``x + 0`` / ``0 + x``   -> ``x``
+* ``x - 0``               -> ``x``
+* ``x * 1`` / ``1 * x``   -> ``x``
+* ``x * 0`` / ``0 * x``   -> ``0``   (our domain is finite reals)
+* ``x / 1``               -> ``x``
+* ``x ^ 1``               -> ``x``
+* ``-(c)``                -> folded constant
+* ``if true/false ...``   -> taken branch
+* constant comparisons / boolean operators -> folded booleans
+
+The interpreter backend deliberately evaluates the *unsimplified* trees,
+so the codegen-vs-interpreter property tests double as a soundness check
+of this pass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core import expr as E
+
+#: Only these calls are folded when all arguments are constant — pure
+#: math builtins whose semantics cannot be overridden per language.
+_PURE_FUNCTIONS: dict[str, Callable] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "tanh": math.tanh,
+}
+
+_FOLD = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "^": lambda a, b: a ** b,
+}
+
+_CMP = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def inline_attributes(expr: E.Expr,
+                      lookup: Callable[[str, str, str], object],
+                      ) -> E.Expr:
+    """Replace numeric attribute references with constants.
+
+    ``lookup(kind, owner, attr)`` returns the resolved value; non-numeric
+    values (lambda attributes) are left as references.
+    """
+    if isinstance(expr, E.AttrRef):
+        value = lookup(expr.kind or "node", expr.owner, expr.attr)
+        if isinstance(value, (int, float)) and \
+                not isinstance(value, bool):
+            return E.Const(float(value))
+        return expr
+    if isinstance(expr, E.LambdaCall):
+        # The call target must stay an AttrRef; only recurse into args.
+        return E.LambdaCall(expr.target,
+                            tuple(inline_attributes(a, lookup)
+                                  for a in expr.args))
+    children = expr.children()
+    if not children:
+        return expr
+    rebuilt = _rebuild(expr, tuple(inline_attributes(child, lookup)
+                                   for child in children))
+    return rebuilt
+
+
+def _rebuild(expr: E.Expr, children: tuple[E.Expr, ...]) -> E.Expr:
+    """Recreate a node with new children (shape preserved)."""
+    if isinstance(expr, E.UnOp):
+        return E.UnOp(expr.op, children[0])
+    if isinstance(expr, E.BinOp):
+        return E.BinOp(expr.op, children[0], children[1])
+    if isinstance(expr, E.Call):
+        return E.Call(expr.func, children)
+    if isinstance(expr, E.IfThenElse):
+        return E.IfThenElse(children[0], children[1], children[2])
+    if isinstance(expr, E.Compare):
+        return E.Compare(expr.op, children[0], children[1])
+    if isinstance(expr, E.BoolOp):
+        return E.BoolOp(expr.op, children[0], children[1])
+    if isinstance(expr, E.Not):
+        return E.Not(children[0])
+    return expr
+
+
+def _const(expr: E.Expr) -> float | None:
+    if isinstance(expr, E.Const):
+        return expr.value
+    return None
+
+
+def simplify(expr: E.Expr) -> E.Expr:
+    """Bottom-up constant folding and algebraic identities."""
+    children = expr.children()
+    if children:
+        expr = _rebuild(expr, tuple(simplify(c) for c in children))
+
+    if isinstance(expr, E.UnOp):
+        value = _const(expr.operand)
+        if value is not None:
+            return E.Const(-value)
+        return expr
+
+    if isinstance(expr, E.BinOp):
+        left = _const(expr.left)
+        right = _const(expr.right)
+        if left is not None and right is not None:
+            try:
+                return E.Const(float(_FOLD[expr.op](left, right)))
+            except (ZeroDivisionError, OverflowError, ValueError):
+                return expr
+        if expr.op == "+":
+            if left == 0.0:
+                return expr.right
+            if right == 0.0:
+                return expr.left
+        elif expr.op == "-":
+            if right == 0.0:
+                return expr.left
+        elif expr.op == "*":
+            if left == 0.0 or right == 0.0:
+                return E.Const(0.0)
+            if left == 1.0:
+                return expr.right
+            if right == 1.0:
+                return expr.left
+        elif expr.op == "/":
+            if right == 1.0:
+                return expr.left
+        elif expr.op == "^":
+            if right == 1.0:
+                return expr.left
+        return expr
+
+    if isinstance(expr, E.Call):
+        fn = _PURE_FUNCTIONS.get(expr.func)
+        if fn is not None and all(_const(a) is not None
+                                  for a in expr.args):
+            try:
+                return E.Const(float(fn(*[_const(a)
+                                          for a in expr.args])))
+            except (ValueError, OverflowError):
+                return expr
+        return expr
+
+    if isinstance(expr, E.IfThenElse):
+        if isinstance(expr.cond, E.BoolConst):
+            return expr.then if expr.cond.value else expr.orelse
+        return expr
+
+    if isinstance(expr, E.Compare):
+        left = _const(expr.left)
+        right = _const(expr.right)
+        if left is not None and right is not None:
+            return E.BoolConst(bool(_CMP[expr.op](left, right)))
+        return expr
+
+    if isinstance(expr, E.BoolOp):
+        if isinstance(expr.left, E.BoolConst):
+            if expr.op == "and":
+                return expr.right if expr.left.value \
+                    else E.BoolConst(False)
+            return E.BoolConst(True) if expr.left.value else expr.right
+        if isinstance(expr.right, E.BoolConst):
+            if expr.op == "and":
+                return expr.left if expr.right.value \
+                    else E.BoolConst(False)
+            return E.BoolConst(True) if expr.right.value else expr.left
+        return expr
+
+    if isinstance(expr, E.Not):
+        if isinstance(expr.operand, E.BoolConst):
+            return E.BoolConst(not expr.operand.value)
+        return expr
+
+    return expr

@@ -1,0 +1,188 @@
+"""Node and edge types of the dynamical-graph model (§3, §4.1).
+
+A node type carries a variable order ``p`` (0 = pure function, p >= 1 =
+p-th order ODE), a reduction operator (sum or mul) used to aggregate the
+production terms of its incident edges, attribute declarations, and initial
+value declarations for derivatives ``0..p-1``. An edge type carries
+attributes and may be ``fixed`` (non-switchable, §4.3).
+
+Types support single inheritance with the compatibility rules of §4.1.1:
+derived types keep the parent's order and reduction, inherit all attributes
+and initial values, and may only narrow overridden declarations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.attributes import AttrDecl, InitDecl
+from repro.core.datatypes import RealType
+from repro.errors import InheritanceError, LanguageError
+
+
+class Reduction(enum.Enum):
+    """Reduction operator aggregating edge contributions (Eq. 4)."""
+
+    SUM = "sum"
+    MUL = "mul"
+
+    @property
+    def identity(self) -> float:
+        """Identity element of the reduction (0 for sum, 1 for mul)."""
+        return 0.0 if self is Reduction.SUM else 1.0
+
+    @classmethod
+    def parse(cls, text) -> "Reduction":
+        if isinstance(text, Reduction):
+            return text
+        try:
+            return cls(str(text).lower())
+        except ValueError:
+            raise LanguageError(
+                f"unknown reduction operator {text!r}; expected sum or mul"
+            ) from None
+
+
+_UNBOUNDED_REAL = RealType(float("-inf"), float("inf"))
+
+
+class _TypedElement:
+    """Shared machinery of node and edge types: names, attribute tables,
+    and the inheritance chain."""
+
+    def __init__(self, name: str, attrs: dict[str, AttrDecl],
+                 parent: "_TypedElement | None"):
+        if not name or not isinstance(name, str):
+            raise LanguageError(f"type name must be a non-empty string, "
+                                f"got {name!r}")
+        self.name = name
+        self.parent = parent
+        self._own_attrs = dict(attrs)
+        if parent is not None:
+            for attr_name, decl in self._own_attrs.items():
+                parent_decl = parent.attrs.get(attr_name)
+                if parent_decl is not None:
+                    decl.check_override(parent_decl)
+        merged: dict[str, AttrDecl] = {}
+        if parent is not None:
+            merged.update(parent.attrs)
+        merged.update(self._own_attrs)
+        #: Effective attribute table (inherited + overridden + new).
+        self.attrs: dict[str, AttrDecl] = merged
+
+    @property
+    def own_attrs(self) -> dict[str, AttrDecl]:
+        """Attributes declared (or overridden) by this type itself."""
+        return dict(self._own_attrs)
+
+    def is_subtype_of(self, other: "_TypedElement") -> bool:
+        """True when ``self`` equals ``other`` or derives from it."""
+        current: _TypedElement | None = self
+        while current is not None:
+            if current is other:
+                return True
+            current = current.parent
+        return False
+
+    def distance_to(self, ancestor: "_TypedElement") -> int | None:
+        """Number of inheritance steps up to ``ancestor`` (0 for self),
+        or None when ``ancestor`` is not on the chain."""
+        steps = 0
+        current: _TypedElement | None = self
+        while current is not None:
+            if current is ancestor:
+                return steps
+            current = current.parent
+            steps += 1
+        return None
+
+    def ancestry(self) -> list["_TypedElement"]:
+        """The inheritance chain from this type to the root, inclusive."""
+        chain: list[_TypedElement] = []
+        current: _TypedElement | None = self
+        while current is not None:
+            chain.append(current)
+            current = current.parent
+        return chain
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class NodeType(_TypedElement):
+    """A typed node kind: ``node-type(p, Reduc) v {Attr*}``."""
+
+    def __init__(self, name: str, order: int, reduction: Reduction,
+                 attrs: dict[str, AttrDecl] | None = None,
+                 inits: dict[int, InitDecl] | None = None,
+                 parent: "NodeType | None" = None):
+        if parent is not None and not isinstance(parent, NodeType):
+            raise InheritanceError(
+                f"node type {name} cannot inherit from edge type "
+                f"{parent.name}")
+        super().__init__(name, attrs or {}, parent)
+        reduction = Reduction.parse(reduction)
+        if order < 0:
+            raise LanguageError(
+                f"node type {name}: order must be >= 0, got {order}")
+        if parent is not None:
+            # Derived node types inherit the parent's order and reduction.
+            if order != parent.order:
+                raise InheritanceError(
+                    f"node type {name} declares order {order} but parent "
+                    f"{parent.name} has order {parent.order}")
+            if reduction is not parent.reduction:
+                raise InheritanceError(
+                    f"node type {name} declares reduction {reduction.value} "
+                    f"but parent {parent.name} uses "
+                    f"{parent.reduction.value}")
+        self.order = order
+        self.reduction = reduction
+
+        own_inits = dict(inits or {})
+        for index, decl in own_inits.items():
+            if decl.index != index:
+                raise LanguageError(
+                    f"node type {name}: init table key {index} does not "
+                    f"match declaration index {decl.index}")
+            if index >= order:
+                raise LanguageError(
+                    f"node type {name}: init({index}) declared but order is "
+                    f"{order} (valid indices are 0..{order - 1})")
+            if parent is not None and index in parent.inits:
+                decl.check_override(parent.inits[index])
+        merged: dict[int, InitDecl] = {}
+        if parent is not None:
+            merged.update(parent.inits)
+        merged.update(own_inits)
+        # §4.1 requires an init declaration for every derivative 0..p-1.
+        # The paper's listings elide them, so missing ones default to an
+        # unbounded real initialized to zero.
+        for index in range(order):
+            if index not in merged:
+                merged[index] = InitDecl(index, _UNBOUNDED_REAL,
+                                         default=0.0)
+        #: Effective init-value declarations for derivatives 0..p-1.
+        self.inits: dict[int, InitDecl] = merged
+
+    @property
+    def is_algebraic(self) -> bool:
+        """Order-0 node types implement pure functions (§3)."""
+        return self.order == 0
+
+
+class EdgeType(_TypedElement):
+    """A typed edge kind: ``edge-type v {Attr*}``, optionally ``fixed``."""
+
+    def __init__(self, name: str, attrs: dict[str, AttrDecl] | None = None,
+                 fixed: bool = False, parent: "EdgeType | None" = None):
+        if parent is not None and not isinstance(parent, EdgeType):
+            raise InheritanceError(
+                f"edge type {name} cannot inherit from node type "
+                f"{parent.name}")
+        super().__init__(name, attrs or {}, parent)
+        if parent is not None and parent.fixed and not fixed:
+            raise InheritanceError(
+                f"edge type {name} cannot relax `fixed` inherited from "
+                f"{parent.name}")
+        self.fixed = fixed

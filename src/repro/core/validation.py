@@ -1,0 +1,231 @@
+"""Local validity rules (§4.1, Fig. 6 lines 10-15).
+
+A ``cstr vn:NT { acc [match...] rej [match...] }`` rule constrains every
+node of type ``NT``. The node is valid when it is *described by* at least
+one accepted pattern and by no rejected pattern. A node is described by a
+pattern when its incident edges can be partitioned among the pattern's
+clauses such that every clause receives between ``lo`` and ``hi`` matching
+edges (§6; solved in :mod:`repro.core.validator`).
+
+Clause forms (Fig. 6 lines 11-13):
+
+* ``match(lo,hi,ET, vn->[NT*])`` — outgoing edges to nodes of the listed
+  types;
+* ``match(lo,hi,ET, [NT*]->vn)`` — incoming edges from the listed types;
+* ``match(lo,hi,ET)`` / ``match(lo,hi,ET,vn)`` — self-referencing edges.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.errors import LanguageError
+
+#: Direction of a match clause relative to the constrained node.
+OUT, IN, SELF = "out", "in", "self"
+
+
+@dataclass(frozen=True)
+class MatchClause:
+    """One ``match`` clause of a validity pattern."""
+
+    lo: float
+    hi: float
+    edge_type: str
+    kind: str  # OUT | IN | SELF
+    node_types: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in (OUT, IN, SELF):
+            raise LanguageError(f"unknown match direction {self.kind!r}")
+        if self.lo < 0 or self.hi < self.lo:
+            raise LanguageError(
+                f"match cardinality [{self.lo},{self.hi}] is invalid")
+        if self.kind != SELF and not self.node_types:
+            raise LanguageError(
+                "in/out match clauses need at least one peer node type")
+
+    def describe(self) -> str:
+        hi = "inf" if math.isinf(self.hi) else str(int(self.hi))
+        lo = str(int(self.lo))
+        types = ",".join(self.node_types)
+        if self.kind == SELF:
+            return f"match({lo},{hi},{self.edge_type})"
+        if self.kind == OUT:
+            return f"match({lo},{hi},{self.edge_type},vn->[{types}])"
+        return f"match({lo},{hi},{self.edge_type},[{types}]->vn)"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An accepted (``acc``) or rejected (``rej``) pattern."""
+
+    polarity: str  # "acc" | "rej"
+    clauses: tuple[MatchClause, ...]
+
+    def __post_init__(self):
+        if self.polarity not in ("acc", "rej"):
+            raise LanguageError(
+                f"pattern polarity must be acc or rej, got "
+                f"{self.polarity!r}")
+
+    def __str__(self) -> str:
+        body = ",".join(c.describe() for c in self.clauses)
+        return f"{self.polarity}[{body}]"
+
+
+@dataclass(frozen=True)
+class ConstraintRule:
+    """A ``cstr`` rule over one node type."""
+
+    node_type: str
+    patterns: tuple[Pattern, ...]
+
+    @property
+    def accepted(self) -> tuple[Pattern, ...]:
+        return tuple(p for p in self.patterns if p.polarity == "acc")
+
+    @property
+    def rejected(self) -> tuple[Pattern, ...]:
+        return tuple(p for p in self.patterns if p.polarity == "rej")
+
+    def describe(self) -> str:
+        body = " ".join(str(p) for p in self.patterns)
+        return f"cstr {self.node_type} {{ {body} }}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+_MATCH_RE = re.compile(r"match\s*\(", re.S)
+
+
+def _parse_atom(text: str) -> float:
+    text = text.strip()
+    if text == "inf":
+        return math.inf
+    try:
+        return int(text)
+    except ValueError:
+        raise LanguageError(f"match cardinality must be an integer or inf, "
+                            f"got {text!r}") from None
+
+
+def _split_args(body: str) -> list[str]:
+    """Split a match(...) argument list on top-level commas."""
+    parts: list[str] = []
+    depth = 0
+    current = []
+    for char in body:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current).strip())
+    return parts
+
+
+def parse_match(text: str) -> MatchClause:
+    """Parse one ``match(...)`` clause from the paper's syntax.
+
+    Handles all three forms::
+
+        match(0,inf,E,V->[I])      outgoing
+        match(0,inf,E,[I]->V)      incoming
+        match(1,1,E)  /  match(1,1,E,V)   self-edge
+    """
+    text = text.strip()
+    if not text.startswith("match"):
+        raise LanguageError(f"expected a match clause, got {text!r}")
+    inner = text[text.index("(") + 1:text.rindex(")")]
+    args = _split_args(inner)
+    if len(args) < 3:
+        raise LanguageError(f"match clause needs at least 3 arguments: "
+                            f"{text!r}")
+    lo = _parse_atom(args[0])
+    hi = _parse_atom(args[1])
+    edge_type = args[2]
+    if len(args) == 3:
+        return MatchClause(lo, hi, edge_type, SELF)
+    rest = ",".join(args[3:])
+    if "->" in rest:
+        left, right = rest.split("->", 1)
+        left, right = left.strip(), right.strip()
+        if left.startswith("["):
+            types = tuple(t.strip() for t in left.strip("[]").split(",")
+                          if t.strip())
+            return MatchClause(lo, hi, edge_type, IN, types)
+        types = tuple(t.strip() for t in right.strip("[]").split(",")
+                      if t.strip())
+        return MatchClause(lo, hi, edge_type, OUT, types)
+    # Fourth argument without an arrow: Fig. 13's self-edge form
+    # match(1,1,Cpl_l,Osc_G0).
+    return MatchClause(lo, hi, edge_type, SELF)
+
+
+def parse_constraint(text: str) -> ConstraintRule:
+    """Parse a full ``cstr`` rule from the paper's syntax, e.g.::
+
+        cstr V {acc[match(0,inf,E,V->[I]), match(1,1,E,V)]}
+    """
+    stripped = text.strip()
+    if stripped.startswith("cstr"):
+        stripped = stripped[len("cstr"):].strip()
+    brace = stripped.index("{")
+    node_type = stripped[:brace].strip()
+    if ":" in node_type:
+        # Grammar form `cstr vn:v1`; only the type name matters here.
+        node_type = node_type.split(":", 1)[1].strip()
+    body = stripped[brace + 1:stripped.rindex("}")]
+
+    patterns: list[Pattern] = []
+    index = 0
+    while index < len(body):
+        rest = body[index:].lstrip()
+        offset = len(body) - index - len(rest)
+        index += offset
+        if not rest:
+            break
+        if rest.startswith("acc") or rest.startswith("rej"):
+            polarity = rest[:3]
+            open_bracket = body.index("[", index)
+            depth = 0
+            close = -1
+            for scan in range(open_bracket, len(body)):
+                if body[scan] == "[":
+                    depth += 1
+                elif body[scan] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        close = scan
+                        break
+            if close < 0:
+                raise LanguageError(f"unbalanced brackets in cstr {text!r}")
+            group = body[open_bracket + 1:close]
+            # _MATCH_RE consumes the "match(" prefix, so re-prepend it to
+            # each split piece before parsing the clause.
+            pieces = _MATCH_RE.split(group)[1:]
+            clauses = tuple(parse_match("match(" + piece)
+                            for piece in pieces)
+            if len(clauses) != len(_MATCH_RE.findall(group)):
+                raise LanguageError(f"malformed match list in {text!r}")
+            patterns.append(Pattern(polarity, clauses))
+            index = close + 1
+            if index < len(body) and body[index] == ",":
+                index += 1
+        else:
+            raise LanguageError(
+                f"expected acc[...] or rej[...] in cstr body, got "
+                f"{rest[:30]!r}")
+    return ConstraintRule(node_type, tuple(patterns))

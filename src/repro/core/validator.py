@@ -1,0 +1,245 @@
+"""The Ark dynamical-graph validator (§6, Algorithm 2).
+
+Local validity: every node must be *described by* at least one accepted
+pattern of every applicable ``cstr`` rule and by none of the rejected
+patterns. A node is described by a pattern when its incident edges can be
+assigned to the pattern's clauses such that each edge goes to exactly one
+clause that matches it and every clause receives a number of edges within
+its declared cardinality range.
+
+The paper formulates the ``described`` relation as an Integer Linear
+Program; we implement that ILP with :func:`scipy.optimize.milp` and also
+provide an exact max-flow backend (the assignment problem is a bipartite
+transportation feasibility problem), which is typically faster and is used
+to cross-check the ILP in the test suite and the ablation benchmarks.
+
+Global validity: the language's ``extern-func`` checks run on the whole
+graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph import DynamicalGraph, Edge, Node
+from repro.core.language import Language
+from repro.core.validation import IN, OUT, SELF, MatchClause, Pattern
+from repro.errors import ValidationError
+
+#: Available `described` solvers.
+BACKENDS = ("milp", "flow")
+
+
+def clause_matches(graph: DynamicalGraph, language: Language, node: Node,
+                   edge: Edge, clause: MatchClause) -> bool:
+    """`Matched(n, e, cls)` from Algorithm 2.
+
+    True when ``edge`` (incident to ``node``) fits the clause: direction,
+    edge type (subtype-compatible), and peer node type (subtype-compatible
+    with one of the listed types).
+    """
+    clause_edge_type = language.find_edge_type(clause.edge_type)
+    if clause_edge_type is None or \
+            not edge.type.is_subtype_of(clause_edge_type):
+        return False
+    if clause.kind == SELF:
+        return edge.is_self
+    if edge.is_self:
+        return False
+    if clause.kind == OUT:
+        if edge.src != node.name:
+            return False
+        peer = graph.node(edge.dst)
+    else:  # IN
+        if edge.dst != node.name:
+            return False
+        peer = graph.node(edge.src)
+    for type_name in clause.node_types:
+        declared = language.find_node_type(type_name)
+        if declared is not None and peer.type.is_subtype_of(declared):
+            return True
+    return False
+
+
+def _match_matrix(graph: DynamicalGraph, language: Language, node: Node,
+                  edges: list[Edge], pattern: Pattern) -> np.ndarray:
+    matrix = np.zeros((len(edges), len(pattern.clauses)), dtype=bool)
+    for i, edge in enumerate(edges):
+        for j, clause in enumerate(pattern.clauses):
+            matrix[i, j] = clause_matches(graph, language, node, edge,
+                                          clause)
+    return matrix
+
+
+def _described_milp(matrix: np.ndarray, clauses) -> bool:
+    """Algorithm 2 verbatim: solve the assignment ILP with scipy."""
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    n_edges, n_clauses = matrix.shape
+    if n_edges == 0:
+        return all(clause.lo == 0 for clause in clauses)
+    if not matrix.any(axis=1).all():
+        # An edge matching no clause can never satisfy UnityRowSum.
+        return False
+    n_vars = n_edges * n_clauses
+
+    def var(i: int, j: int) -> int:
+        return i * n_clauses + j
+
+    constraints = []
+    # UnityRowSum: each edge is assigned to exactly one clause.
+    row = np.zeros((n_edges, n_vars))
+    for i in range(n_edges):
+        for j in range(n_clauses):
+            row[i, var(i, j)] = 1.0
+    constraints.append(LinearConstraint(row, 1.0, 1.0))
+    # RangedColSum: clause cardinalities.
+    col = np.zeros((n_clauses, n_vars))
+    for j in range(n_clauses):
+        for i in range(n_edges):
+            col[j, var(i, j)] = 1.0
+    lower = np.array([clause.lo for clause in clauses], dtype=float)
+    upper = np.array([clause.hi if not math.isinf(clause.hi) else np.inf
+                      for clause in clauses], dtype=float)
+    constraints.append(LinearConstraint(col, lower, upper))
+    # ZeroOrOne / Zero: unmatched pairs are pinned to zero.
+    ub = np.where(matrix.reshape(-1), 1.0, 0.0)
+    bounds = Bounds(np.zeros(n_vars), ub)
+
+    result = milp(c=np.zeros(n_vars), constraints=constraints,
+                  bounds=bounds, integrality=np.ones(n_vars))
+    return bool(result.success)
+
+
+def _described_flow(matrix: np.ndarray, clauses) -> bool:
+    """Exact max-flow formulation of the same feasibility problem.
+
+    Edges and clauses form a bipartite network with unit supply per edge
+    and ``[lo, hi]`` demand per clause; lower bounds are removed with the
+    standard circulation transformation and feasibility is checked with a
+    single max-flow run.
+    """
+    import networkx as nx
+
+    n_edges, n_clauses = matrix.shape
+    if n_edges == 0:
+        return all(clause.lo == 0 for clause in clauses)
+    if not matrix.any(axis=1).all():
+        return False
+    for j, clause in enumerate(clauses):
+        if clause.lo > 0 and not matrix[:, j].any():
+            # A clause demanding edges that nothing can satisfy.
+            return False
+
+    network = nx.DiGraph()
+    source, sink = "s", "t"
+    super_source, super_sink = "S*", "T*"
+    excess: dict[str, float] = {}
+
+    def add_arc(u: str, v: str, lo: float, hi: float):
+        capacity = hi - lo
+        if math.isinf(capacity):
+            network.add_edge(u, v)
+        else:
+            network.add_edge(u, v, capacity=capacity)
+        if lo > 0:
+            excess[v] = excess.get(v, 0.0) + lo
+            excess[u] = excess.get(u, 0.0) - lo
+
+    for i in range(n_edges):
+        add_arc(source, f"e{i}", 1.0, 1.0)
+    for i in range(n_edges):
+        for j in range(n_clauses):
+            if matrix[i, j]:
+                add_arc(f"e{i}", f"c{j}", 0.0, 1.0)
+    for j, clause in enumerate(clauses):
+        add_arc(f"c{j}", sink, float(clause.lo), float(clause.hi))
+    add_arc(sink, source, 0.0, math.inf)
+
+    required = 0.0
+    for name, amount in excess.items():
+        if amount > 0:
+            network.add_edge(super_source, name, capacity=amount)
+            required += amount
+        elif amount < 0:
+            network.add_edge(name, super_sink, capacity=-amount)
+    if required == 0.0:
+        return True
+    flow_value, _ = nx.maximum_flow(network, super_source, super_sink)
+    return bool(abs(flow_value - required) < 1e-9)
+
+
+def is_described(graph: DynamicalGraph, language: Language, node: Node,
+                 pattern: Pattern, backend: str = "milp") -> bool:
+    """The `IsDescribed` relation of Algorithm 2 for one node/pattern."""
+    if backend not in BACKENDS:
+        raise ValidationError(f"unknown validator backend {backend!r}; "
+                              f"expected one of {BACKENDS}")
+    edges = graph.edges_of(node.name, include_off=False)
+    matrix = _match_matrix(graph, language, node, edges, pattern)
+    if backend == "milp":
+        return _described_milp(matrix, pattern.clauses)
+    return _described_flow(matrix, pattern.clauses)
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a dynamical graph against a language."""
+
+    graph_name: str
+    language_name: str
+    valid: bool = True
+    violations: list[str] = field(default_factory=list)
+
+    def record(self, message: str):
+        self.valid = False
+        self.violations.append(message)
+
+    def raise_if_invalid(self):
+        if not self.valid:
+            raise ValidationError(
+                f"graph {self.graph_name} is invalid in language "
+                f"{self.language_name}: "
+                + "; ".join(self.violations), self.violations)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def validate(graph: DynamicalGraph, language: Language | None = None,
+             backend: str = "milp") -> ValidationReport:
+    """Validate ``graph`` against ``language`` (defaults to the graph's
+    own language). Checks local ``cstr`` rules node by node and then runs
+    the global ``extern-func`` checks."""
+    language = language or graph.language
+    report = ValidationReport(graph.name, language.name)
+
+    for node in graph.nodes:
+        rules = language.constraints_for(node.type)
+        for rule in rules:
+            accepted = rule.accepted
+            if accepted:
+                if not any(is_described(graph, language, node, pattern,
+                                        backend) for pattern in accepted):
+                    report.record(
+                        f"node {node.name} ({node.type.name}) matches no "
+                        f"accepted pattern of {rule.describe()}")
+            for pattern in rule.rejected:
+                if is_described(graph, language, node, pattern, backend):
+                    report.record(
+                        f"node {node.name} ({node.type.name}) matches "
+                        f"rejected pattern {pattern} of {rule.describe()}")
+
+    for name, check in language.extern_checks():
+        outcome = check(graph)
+        if isinstance(outcome, tuple):
+            passed, message = outcome
+        else:
+            passed, message = bool(outcome), ""
+        if not passed:
+            detail = f": {message}" if message else ""
+            report.record(f"global check {name} failed{detail}")
+    return report

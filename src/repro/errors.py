@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Ark reproduction.
+
+Every error raised by this package derives from :class:`ArkError` so callers
+can catch the whole family with a single ``except`` clause. The subclasses
+mirror the phases of the Ark pipeline: language declaration, graph
+construction, validation, compilation, parsing, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ArkError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LanguageError(ArkError):
+    """A language definition is malformed (duplicate types, bad rules...)."""
+
+
+class InheritanceError(LanguageError):
+    """A derived language or type violates the inheritance rules of §4.1.1."""
+
+
+class DatatypeError(ArkError):
+    """A value does not fit the declared bounded datatype."""
+
+
+class GraphError(ArkError):
+    """A dynamical graph is structurally malformed (unknown node, dangling
+    edge, duplicate name, unset attribute...)."""
+
+
+class FunctionError(ArkError):
+    """An Ark function definition or invocation is invalid."""
+
+
+class ValidationError(ArkError):
+    """A dynamical graph violates the local or global validity rules of its
+    language."""
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        super().__init__(message)
+        #: Human-readable description of each violated rule.
+        self.violations: list[str] = list(violations or [])
+
+
+class CompileError(ArkError):
+    """The dynamical-system compiler could not derive differential equations
+    (missing production rule, ambiguous rules, algebraic cycle...)."""
+
+
+class ParseError(ArkError):
+    """The textual Ark front-end rejected a program."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SimulationError(ArkError):
+    """Numerical integration failed or produced unusable output."""

@@ -1,0 +1,63 @@
+"""The Ark framework driver (§4.6).
+
+"Given an Ark program containing language and function definitions, an
+end user may invoke any of the defined functions with Ark. Ark executes
+the function with the provided arguments to build the associated dynamic
+graph and then validates that the dynamic graph satisfies the local and
+global validation rules in the associated language. If the dynamic graph
+validates, Ark generates differential equations that simulate the
+transient behavior of the graph."
+
+:func:`run` packages that pipeline — invoke (optionally), validate,
+compile, simulate — and returns everything a caller might want to
+inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import compile_graph
+from repro.core.function import ArkFunction
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.core.odesystem import OdeSystem
+from repro.core.simulator import Trajectory, simulate
+from repro.core.validator import ValidationReport, validate
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one framework run."""
+
+    graph: DynamicalGraph
+    report: ValidationReport
+    system: OdeSystem
+    trajectory: Trajectory
+
+
+def run(target: ArkFunction | DynamicalGraph, t_span: tuple[float, float],
+        arguments: dict | None = None, *, seed: int | None = None,
+        language: Language | None = None,
+        validator_backend: str = "milp",
+        **simulate_options) -> RunResult:
+    """Execute the full §4.6 pipeline.
+
+    :param target: an Ark function (invoked with ``arguments`` and
+        ``seed``) or an already-built dynamical graph.
+    :param t_span: simulation interval passed to the simulator.
+    :param language: compile/validate under this language instead of the
+        graph's own (progressive-rewriting workflows).
+    :raises ValidationError: when the graph violates its language.
+    """
+    if isinstance(target, ArkFunction):
+        graph = target.invoke(arguments or {}, seed=seed)
+    else:
+        graph = target
+    report = validate(graph, language=language,
+                      backend=validator_backend)
+    report.raise_if_invalid()
+    system = compile_graph(graph, language=language)
+    trajectory = simulate(system, t_span, **simulate_options)
+    return RunResult(graph=graph, report=report, system=system,
+                     trajectory=trajectory)

@@ -1,0 +1,30 @@
+"""The paper's three analog compute paradigms, codified as Ark DSLs,
+plus a fourth paradigm demonstrating the language's generality.
+
+* :mod:`repro.paradigms.tln` — transmission-line networks (§2, §4.4) and
+  the GmC-TLN mismatch extension (§4.5);
+* :mod:`repro.paradigms.cnn` — cellular nonlinear networks (§7.1) and the
+  hw-cnn nonideality extension;
+* :mod:`repro.paradigms.obc` — oscillator-based computing (§7.2) with the
+  ofs-obc (integrator offset) and intercon-obc (interconnect cost)
+  extensions;
+* :mod:`repro.paradigms.gpac` — a GPAC (general-purpose analog computer)
+  DSL built on the same machinery, demonstrating the paper's generality
+  claim beyond its own three case studies (and exercising the Π
+  reduction operator of §3);
+* :mod:`repro.paradigms.fhn` — FitzHugh-Nagumo excitable-neuron
+  computing (the "spiking neural networks" entry on the paper's §1
+  paradigm list), with spike-wave propagation and mismatch jitter.
+
+Each language is written in the paper's concrete Ark syntax and parsed by
+:mod:`repro.lang`, so the listings in the paper are (almost) literally the
+source code shipped here. Import the subpackages directly::
+
+    from repro.paradigms.tln import linear_tline
+    from repro.paradigms.cnn import edge_detector
+    from repro.paradigms.obc import solve_maxcut
+    from repro.paradigms.gpac import van_der_pol
+    from repro.paradigms.fhn import neuron_ring
+"""
+
+__all__ = ["cnn", "fhn", "gpac", "obc", "tln"]

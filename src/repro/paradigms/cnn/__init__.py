@@ -1,0 +1,96 @@
+"""Cellular nonlinear network (CNN) compute paradigm (§7.1).
+
+Public surface:
+
+* :func:`cnn_language` / :func:`hw_cnn_language` — the DSL instances
+  (Figs. 10a/10b);
+* :func:`cnn_grid`, :func:`edge_detector` and the classic templates —
+  topology builders;
+* :func:`run_cnn` and friends — the Fig. 11c measurements;
+* :mod:`repro.paradigms.cnn.images` — input images and pixel utilities;
+* :mod:`repro.paradigms.cnn.library` — verified template repertoire
+  (morphology, shadow, hole filling) with discrete references;
+* :mod:`repro.paradigms.cnn.pde` — linear diffusion / heat-equation
+  solving on the CNN array (the paper's PDE application).
+"""
+
+from repro.paradigms.cnn.activations import sat, sat_ni
+from repro.paradigms.cnn.analysis import (CnnRun, convergence_time,
+                                          run_cnn, state_grid)
+from repro.paradigms.cnn.hw import (HW_CNN_SOURCE, build_hw_cnn_language,
+                                    hw_cnn_language)
+from repro.paradigms.cnn.images import (BLACK, WHITE, binarize,
+                                        default_image, expected_edges,
+                                        pixel_errors, to_ascii)
+from repro.paradigms.cnn.language import (CNN_SOURCE, build_cnn_language,
+                                          cnn_language, grid_check)
+from repro.paradigms.cnn.library import (DILATION_TEMPLATE,
+                                         EROSION_TEMPLATE,
+                                         HOLE_FILL_TEMPLATE, LIBRARY,
+                                         SHADOW_TEMPLATE, apply_template,
+                                         expected_corners,
+                                         expected_dilation,
+                                         expected_erosion,
+                                         expected_hole_fill,
+                                         expected_opening,
+                                         expected_shadow,
+                                         run_library_template)
+from repro.paradigms.cnn.pde import (diffusion_step_response,
+                                     diffusion_template, heat_cnn,
+                                     laplacian_matrix,
+                                     reference_diffusion,
+                                     solve_diffusion)
+from repro.paradigms.cnn.templates import (CORNER_TEMPLATE,
+                                           DIFFUSION_TEMPLATE,
+                                           EDGE_TEMPLATE, VARIANTS,
+                                           CnnTemplate, cnn_grid,
+                                           edge_detector)
+
+__all__ = [
+    "BLACK",
+    "CNN_SOURCE",
+    "CORNER_TEMPLATE",
+    "CnnRun",
+    "CnnTemplate",
+    "DIFFUSION_TEMPLATE",
+    "DILATION_TEMPLATE",
+    "EDGE_TEMPLATE",
+    "EROSION_TEMPLATE",
+    "HOLE_FILL_TEMPLATE",
+    "HW_CNN_SOURCE",
+    "LIBRARY",
+    "SHADOW_TEMPLATE",
+    "VARIANTS",
+    "WHITE",
+    "apply_template",
+    "binarize",
+    "build_cnn_language",
+    "build_hw_cnn_language",
+    "cnn_grid",
+    "cnn_language",
+    "convergence_time",
+    "default_image",
+    "diffusion_step_response",
+    "diffusion_template",
+    "edge_detector",
+    "expected_corners",
+    "expected_dilation",
+    "expected_edges",
+    "expected_erosion",
+    "expected_hole_fill",
+    "expected_opening",
+    "expected_shadow",
+    "grid_check",
+    "heat_cnn",
+    "hw_cnn_language",
+    "laplacian_matrix",
+    "pixel_errors",
+    "reference_diffusion",
+    "run_cnn",
+    "run_library_template",
+    "sat",
+    "sat_ni",
+    "solve_diffusion",
+    "state_grid",
+    "to_ascii",
+]

@@ -1,0 +1,30 @@
+"""CNN activation functions (Fig. 11a).
+
+``sat`` is the classic Chua-Yang piecewise-linear saturation
+``f(x) = 0.5*(|x+1| - |x-1|)`` (blue curve). ``sat_ni`` models the
+non-ideal saturation of an analog realization: CNN chips implement the
+nonlinearity with a MOS differential pair whose large-signal transfer
+``x*sqrt(2-x^2)`` (clamped at ±1) is smooth near the saturation points
+(orange curve) — the §7.1 hw-cnn extension substitutes it via the
+``OutNL`` node type.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def sat(x: float) -> float:
+    """Ideal piecewise-linear saturation: -1 below -1, x in between,
+    +1 above +1."""
+    return 0.5 * (abs(x + 1.0) - abs(x - 1.0))
+
+
+def sat_ni(x: float) -> float:
+    """MOS differential-pair saturation: smooth (zero-slope) approach to
+    the ±1 rails, slightly steeper than ``sat`` around the origin."""
+    if x >= 1.0:
+        return 1.0
+    if x <= -1.0:
+        return -1.0
+    return x * math.sqrt(2.0 - x * x)

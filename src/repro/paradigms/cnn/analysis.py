@@ -1,0 +1,94 @@
+"""Readout and convergence analysis for CNN runs (Fig. 11c).
+
+The paper's Fig. 11c shows the evolution of the edge detector's cell
+states over normalized time for four hardware variants and reports which
+converge, how fast, and whether the output image is correct.
+:func:`run_cnn` packages exactly that: state snapshots at the figure's
+time fractions, the binarized output image, the convergence time, and the
+pixel error count against a reference image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph import DynamicalGraph
+from repro.core.simulator import Trajectory, simulate
+from repro.errors import SimulationError
+from repro.paradigms.cnn.images import binarize, pixel_errors
+
+
+def state_grid(trajectory: Trajectory, rows: int, cols: int,
+               time_index: int = -1) -> np.ndarray:
+    """Cell states x_ij at one sample index, as a (rows, cols) array."""
+    grid = np.empty((rows, cols))
+    for i in range(rows):
+        for j in range(cols):
+            grid[i, j] = trajectory[f"V_{i}_{j}"][time_index]
+    return grid
+
+
+def convergence_time(trajectory: Trajectory, rows: int, cols: int,
+                     threshold: float = 0.9) -> float | None:
+    """First time after which every cell stays on its final side of 0
+    with magnitude above ``threshold``; None when never reached."""
+    states = np.stack([trajectory[f"V_{i}_{j}"]
+                       for i in range(rows) for j in range(cols)])
+    final_signs = np.sign(states[:, -1])
+    settled = (np.sign(states) == final_signs[:, None]) & \
+        (np.abs(states) >= threshold)
+    all_settled = settled.all(axis=0)
+    # Find the earliest index from which all later samples are settled.
+    not_settled = np.where(~all_settled)[0]
+    if len(not_settled) == 0:
+        return float(trajectory.t[0])
+    last_bad = not_settled[-1]
+    if last_bad + 1 >= len(trajectory.t):
+        return None
+    return float(trajectory.t[last_bad + 1])
+
+
+@dataclass
+class CnnRun:
+    """Result of one CNN simulation."""
+
+    variant: str
+    trajectory: Trajectory
+    rows: int
+    cols: int
+    snapshots: dict[float, np.ndarray] = field(default_factory=dict)
+    output: np.ndarray | None = None
+    converged_at: float | None = None
+    errors: int | None = None
+
+    @property
+    def converged(self) -> bool:
+        return self.converged_at is not None
+
+    @property
+    def correct(self) -> bool:
+        return self.errors == 0
+
+
+def run_cnn(graph: DynamicalGraph, rows: int, cols: int, *,
+            variant: str = "ideal", t_end: float = 10.0,
+            snapshot_fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+            expected: np.ndarray | None = None,
+            n_points: int = 201, method: str = "RK45") -> CnnRun:
+    """Simulate a CNN grid and collect the Fig. 11c measurements."""
+    trajectory = simulate(graph, (0.0, t_end), n_points=n_points,
+                          method=method, rtol=1e-6, atol=1e-8)
+    run = CnnRun(variant=variant, trajectory=trajectory, rows=rows,
+                 cols=cols)
+    for fraction in snapshot_fractions:
+        index = min(int(round(fraction * (trajectory.n_points - 1))),
+                    trajectory.n_points - 1)
+        run.snapshots[fraction] = state_grid(trajectory, rows, cols,
+                                             index)
+    run.output = binarize(state_grid(trajectory, rows, cols, -1))
+    run.converged_at = convergence_time(trajectory, rows, cols)
+    if expected is not None:
+        run.errors = pixel_errors(run.output, expected)
+    return run

@@ -1,0 +1,52 @@
+"""The hw-cnn hardware extension (§7.1, Fig. 10b).
+
+Codifies the analog CNN design space and its nonidealities:
+
+* ``Vm`` inherits ``V`` and adds a 10%-mismatched gain factor ``mm`` that
+  scales the cell's entire integrator (the "integrator bias" mismatch of
+  Fig. 11c column B) — equilibria are unchanged, convergence rate is not;
+* ``fEm`` inherits ``fE`` with a 10%-mismatched template weight ``g``
+  (Fig. 11c column C) — this perturbs equilibria and can flip output
+  pixels;
+* ``OutNL`` inherits ``Out`` and applies the non-ideal MOS
+  differential-pair saturation ``sat_ni`` (Fig. 11c column D).
+
+``fEm`` declares no production rules of its own: the compiler's
+inheritance fallback applies the parent ``fE`` rules with the mismatched
+``g`` values — exactly the paper's progressive-substitution story.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_program
+from repro.paradigms.cnn.language import cnn_language
+
+HW_CNN_SOURCE = """
+lang hw-cnn inherits cnn {
+    ntyp(0,sum) OutNL inherit Out {};
+    ntyp(1,sum) Vm inherit V {attr z=real[-10,10],
+                              attr mm=real[1,1] mm(0,0.1)};
+    etyp fEm inherit fE {attr g=real[-10,10] mm(0,0.1)};
+
+    prod(e:fE, s:Inp->t:Vm)  t <= e.g*t.mm*s.u;
+    prod(e:iE, s:Vm->s:Vm)   s <= s.mm*(s.z-var(s));
+    prod(e:fE, s:Out->t:Vm)  t <= e.g*t.mm*var(s);
+    prod(e:iE, s:V->t:OutNL) t <= sat_ni(var(s));
+}
+"""
+
+
+def build_hw_cnn_language(parent: Language | None = None) -> Language:
+    """Construct a fresh hw-cnn instance on top of ``parent``."""
+    parent = parent or cnn_language()
+    program = parse_program(HW_CNN_SOURCE, languages={"cnn": parent})
+    return program.languages["hw-cnn"]
+
+
+@cache
+def hw_cnn_language() -> Language:
+    """The shared hw-cnn language instance (inherits the shared CNN)."""
+    return build_hw_cnn_language(cnn_language())

@@ -1,0 +1,77 @@
+"""Input images and image utilities for the CNN experiments (Fig. 11b).
+
+Images are numpy arrays with values in [-1, +1]: +1 is black, -1 is
+white (the CNN sign convention). The default test image places filled
+shapes inside a white margin, so the zero-padded boundary cells of the
+grid do not produce spurious edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLACK = 1.0
+WHITE = -1.0
+
+
+def default_image(size: int = 16) -> np.ndarray:
+    """The Fig. 11b-style binary input: a filled square and a triangle
+    inside a white margin."""
+    if size < 8:
+        raise ValueError("default image needs size >= 8")
+    image = np.full((size, size), WHITE)
+    # Filled square in the upper-left quadrant.
+    side = max(3, size // 3)
+    image[2:2 + side, 2:2 + side] = BLACK
+    # Filled right triangle in the lower-right quadrant.
+    base = max(3, size // 3 + 1)
+    r0 = size - 2 - base
+    c0 = size - 2 - base
+    for k in range(base):
+        image[r0 + k, c0 + base - 1 - k:c0 + base] = BLACK
+    return image
+
+
+def expected_edges(image: np.ndarray) -> np.ndarray:
+    """Reference edge detector: a pixel is an edge (black) when it is
+    black and at least one 8-neighbor is white. Matches the fixed point
+    of the EDGE template (see :mod:`repro.paradigms.cnn.templates`)."""
+    rows, cols = image.shape
+    result = np.full_like(image, WHITE)
+    for i in range(rows):
+        for j in range(cols):
+            if image[i, j] <= 0:
+                continue
+            neighborhood = image[max(0, i - 1):i + 2,
+                                 max(0, j - 1):j + 2]
+            # The centre pixel itself is black; look for a white
+            # neighbor anywhere in the 3x3 patch.
+            if (neighborhood <= 0).any():
+                result[i, j] = BLACK
+    return result
+
+
+def binarize(values: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Map analog cell outputs to {-1, +1} pixels."""
+    return np.where(np.asarray(values) > threshold, BLACK, WHITE)
+
+
+def pixel_errors(actual: np.ndarray, expected: np.ndarray) -> int:
+    """Number of pixels whose binarized value differs."""
+    return int((binarize(actual) != binarize(expected)).sum())
+
+
+def to_ascii(image: np.ndarray) -> str:
+    """Terminal rendering: '#' for black, '.' for white, '?' otherwise."""
+    rows = []
+    for row in np.asarray(image):
+        chars = []
+        for value in row:
+            if value > 0.5:
+                chars.append("#")
+            elif value < -0.5:
+                chars.append(".")
+            else:
+                chars.append("?")
+        rows.append("".join(chars))
+    return "\n".join(rows)

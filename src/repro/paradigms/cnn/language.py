@@ -1,0 +1,116 @@
+"""The CNN (cellular nonlinear network) Ark language (§7.1, Fig. 10a).
+
+The CNN dynamics (Eq. 5)::
+
+    dx_ij/dt = -x_ij + sum_{kl in N(i,j)} (A_ij,kl*f(x_kl) + B_ij,kl*u_kl) + z
+
+map onto the DG as follows: each cell is a ``V`` node (state x_ij) with an
+``iE`` self edge contributing the bias and leak ``z - x``; the cell's
+nonlinearity is an order-0 ``Out`` node fed by an ``iE`` edge
+(``sat(x)``); ``fE`` edges carry the A-template terms from neighboring
+``Out`` nodes and the B-template terms from ``Inp`` nodes, weighted by
+their ``g`` attribute.
+
+Reconstruction notes (DESIGN.md §5.5): the paper's ``Inp`` node has no
+attributes and its rule reads ``var(s)``, but an order-0 node with no
+incoming edges has no defining production — we give ``Inp`` a ``u``
+attribute and write the B-template rule as ``e.g * s.u``. The cstr for
+``V`` is also repaired to use the ``iE`` self edge its own production rule
+implies (Fig. 10a prints ``fE``) and to admit the B-template ``Inp``
+edges the topology requires.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_language
+from repro.paradigms.cnn.activations import sat, sat_ni
+
+CNN_SOURCE = """
+lang cnn {
+    ntyp(1,sum) V {attr z=real[-10,10]};
+    ntyp(0,sum) Out {};
+    ntyp(0,sum) Inp {attr u=real[-10,10]};
+    etyp iE {};
+    etyp fE {attr g=real[-10,10]};
+
+    prod(e:fE, s:Inp->t:V) t <= e.g*s.u;
+    prod(e:iE, s:V->t:Out) t <= sat(var(s));
+    prod(e:iE, s:V->s:V)   s <= s.z-var(s);
+    prod(e:fE, s:Out->t:V) t <= e.g*var(s);
+
+    cstr V {acc[match(1,1,iE,V->[Out]),
+                match(4,9,fE,[Out]->V),
+                match(4,9,fE,[Inp]->V),
+                match(1,1,iE,V)]};
+    cstr Out {acc[match(4,9,fE,Out->[V]),
+                  match(1,1,iE,[V]->Out)]};
+    cstr Inp {acc[match(4,9,fE,Inp->[V])]};
+}
+"""
+
+
+def grid_check(graph) -> tuple[bool, str]:
+    """Global validity check (``extern-func``): the V cells must form a
+    rectangular grid under the 3x3 neighborhood implied by their
+    A-template edges.
+
+    The paper motivates global checks with exactly this property ("Global
+    connectivity checks are required to ensure the DG implements certain
+    topologies, such as grid topologies", §4.1). Cell coordinates are
+    recovered from the ``V_<i>_<j>`` naming convention used by the grid
+    builders.
+    """
+    cells = {}
+    for node in graph.nodes:
+        if node.type.name.startswith("V") and node.name.startswith("V_"):
+            parts = node.name.split("_")
+            if len(parts) != 3:
+                return False, f"cell {node.name} is not named V_<i>_<j>"
+            try:
+                cells[(int(parts[1]), int(parts[2]))] = node.name
+            except ValueError:
+                return False, f"cell {node.name} is not named V_<i>_<j>"
+    if not cells:
+        return True, ""
+    rows = max(i for i, _ in cells) + 1
+    cols = max(j for _, j in cells) + 1
+    if len(cells) != rows * cols:
+        return False, (f"expected a full {rows}x{cols} grid, found "
+                       f"{len(cells)} cells")
+
+    # Every A-template edge must connect 3x3 neighbors.
+    for edge in graph.edges:
+        if not edge.type.name.startswith("fE"):
+            continue
+        src = graph.node(edge.src)
+        dst = graph.node(edge.dst)
+        if not (src.name.startswith("Out_")
+                and dst.name.startswith("V_")):
+            continue
+        si, sj = (int(p) for p in src.name.split("_")[1:])
+        di, dj = (int(p) for p in dst.name.split("_")[1:])
+        if abs(si - di) > 1 or abs(sj - dj) > 1:
+            return False, (f"feedback edge {edge.name} connects "
+                           f"non-neighbor cells ({si},{sj}) and "
+                           f"({di},{dj})")
+    return True, ""
+
+
+def build_cnn_language() -> Language:
+    """Construct a fresh CNN language instance (mainly for tests)."""
+    return parse_language(
+        CNN_SOURCE,
+        functions={"sat": sat, "sat_ni": sat_ni},
+        extern={},
+    )
+
+
+@cache
+def cnn_language() -> Language:
+    """The shared CNN language instance, with the grid global check."""
+    language = build_cnn_language()
+    language.extern_check(grid_check, name="grid_check")
+    return language

@@ -1,0 +1,218 @@
+"""A library of verified CNN programs beyond the paper's edge detector.
+
+§7.1 motivates CNNs with "image processing, pattern recognition, PDE
+solving" applications. This module supplies the image-processing
+repertoire: each entry is a :class:`CnnTemplate` together with a
+*discrete reference function* computing the template's intended fixed
+point, so every template's analog dynamics can be verified pixel-exact
+against an independent implementation (the tests do this on random
+images).
+
+Design notes. The binary templates are designed for a stability margin
+of at least 1 in the cell's net drive — marginal-equilibrium templates
+(common in the historical CNN library, which assumed specific virtual
+boundary cells) are numerically fragile under ODE integration and under
+the hw-cnn mismatch extension. All templates here expect the white
+virtual frame (``boundary=WHITE`` in :func:`cnn_grid`), which
+:func:`apply_template` passes by default.
+
+* ``DILATION`` / ``EROSION`` — 4-neighborhood morphology (uncoupled,
+  B-template only);
+* ``OPENING``  — erosion then dilation: single-pixel noise removal;
+* ``SHADOW``   — rightward-looking shadow: black iff any input pixel at
+  or to the right in the row is black (coupled, propagating);
+* ``HOLE_FILL``— fill white regions not 4-connected to the frame
+  (coupled, propagating, runs from an all-black initial state);
+* ``expected_corners`` — reference for the existing CORNER template.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.graph import DynamicalGraph
+from repro.paradigms.cnn.analysis import run_cnn, state_grid
+from repro.paradigms.cnn.images import BLACK, WHITE, binarize
+from repro.paradigms.cnn.templates import CnnTemplate, cnn_grid
+
+#: Grow black regions by one pixel in the 4-neighborhood. Uncoupled:
+#: the output is black iff 2*u_c + sum(4nb u) + 5 > 0, i.e. iff the
+#: pixel or any 4-neighbor input is black.
+DILATION_TEMPLATE = CnnTemplate(
+    a=((0, 0, 0), (0, 2, 0), (0, 0, 0)),
+    b=((0, 1, 0), (1, 2, 1), (0, 1, 0)),
+    z=5.0,
+    name="dilation",
+)
+
+#: Shrink black regions by one pixel in the 4-neighborhood: black iff
+#: the pixel and all four neighbors are black (2*u_c + sum - 5 > 0).
+EROSION_TEMPLATE = CnnTemplate(
+    a=((0, 0, 0), (0, 2, 0), (0, 0, 0)),
+    b=((0, 1, 0), (1, 2, 1), (0, 1, 0)),
+    z=-5.0,
+    name="erosion",
+)
+
+#: Rightward-looking shadow: a cell latches black when its input is
+#: black or its right neighbor's output is black, so blackness
+#: propagates leftward from every black pixel (margin >= 1 in all four
+#: (u, f_right) cases; see module docstring).
+SHADOW_TEMPLATE = CnnTemplate(
+    a=((0, 0, 0), (0, 2, 2), (0, 0, 0)),
+    b=((0, 0, 0), (0, 2, 0), (0, 0, 0)),
+    z=2.0,
+    name="shadow",
+)
+
+#: Hole filling: start all-black; whiteness flows in from the frame
+#: along white-input 4-paths. A black-input pixel is pinned black
+#: (4u dominates every neighbor sum); a white-input pixel stays black
+#: only while all four neighbors are black (drive z+4u+s = -1 > -2),
+#: and flips once any neighbor whitens (drive <= -3 < -2). z = -1
+#: centers both cases one unit away from the +/-2 stability threshold.
+HOLE_FILL_TEMPLATE = CnnTemplate(
+    a=((0, 1, 0), (1, 3, 1), (0, 1, 0)),
+    b=((0, 0, 0), (0, 4, 0), (0, 0, 0)),
+    z=-1.0,
+    name="hole-fill",
+)
+
+
+def _binary(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError("expected a 2-D image")
+    return image > 0
+
+
+def expected_dilation(image: np.ndarray) -> np.ndarray:
+    """Reference: black iff the pixel or a 4-neighbor input is black."""
+    black = _binary(image)
+    padded = np.pad(black, 1, constant_values=False)
+    grown = (padded[1:-1, 1:-1] | padded[:-2, 1:-1] | padded[2:, 1:-1]
+             | padded[1:-1, :-2] | padded[1:-1, 2:])
+    return np.where(grown, BLACK, WHITE)
+
+
+def expected_erosion(image: np.ndarray) -> np.ndarray:
+    """Reference: black iff the pixel and all 4-neighbors are black
+    (the virtual frame is white, so border pixels always erode)."""
+    black = _binary(image)
+    padded = np.pad(black, 1, constant_values=False)
+    kept = (padded[1:-1, 1:-1] & padded[:-2, 1:-1] & padded[2:, 1:-1]
+            & padded[1:-1, :-2] & padded[1:-1, 2:])
+    return np.where(kept, BLACK, WHITE)
+
+
+def expected_opening(image: np.ndarray) -> np.ndarray:
+    """Reference for erosion followed by dilation."""
+    return expected_dilation(expected_erosion(image))
+
+
+def expected_shadow(image: np.ndarray) -> np.ndarray:
+    """Reference: black iff any input pixel at or right of (i, j) in
+    row i is black."""
+    black = _binary(image)
+    shadow = np.logical_or.accumulate(black[:, ::-1], axis=1)[:, ::-1]
+    return np.where(shadow, BLACK, WHITE)
+
+
+def expected_hole_fill(image: np.ndarray) -> np.ndarray:
+    """Reference: white regions 4-connected to the frame stay white;
+    enclosed white regions (holes) fill black."""
+    black = _binary(image)
+    rows, cols = black.shape
+    reachable = np.zeros_like(black, dtype=bool)
+    queue: deque[tuple[int, int]] = deque()
+    for i in range(rows):
+        for j in (0, cols - 1):
+            if not black[i, j] and not reachable[i, j]:
+                reachable[i, j] = True
+                queue.append((i, j))
+    for j in range(cols):
+        for i in (0, rows - 1):
+            if not black[i, j] and not reachable[i, j]:
+                reachable[i, j] = True
+                queue.append((i, j))
+    while queue:
+        i, j = queue.popleft()
+        for k, l in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if 0 <= k < rows and 0 <= l < cols and not black[k, l] \
+                    and not reachable[k, l]:
+                reachable[k, l] = True
+                queue.append((k, l))
+    return np.where(reachable, WHITE, BLACK)
+
+
+def expected_corners(image: np.ndarray) -> np.ndarray:
+    """Reference for ``CORNER_TEMPLATE``: black iff the input pixel is
+    black and at least five of its 8-neighbors are white (the virtual
+    frame counts as white)."""
+    black = _binary(image)
+    rows, cols = black.shape
+    result = np.full(black.shape, WHITE)
+    for i in range(rows):
+        for j in range(cols):
+            if not black[i, j]:
+                continue
+            white_neighbors = 0
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    if di == 0 and dj == 0:
+                        continue
+                    k, l = i + di, j + dj
+                    if not (0 <= k < rows and 0 <= l < cols) \
+                            or not black[k, l]:
+                        white_neighbors += 1
+            if white_neighbors >= 5:
+                result[i, j] = BLACK
+    return result
+
+
+#: Template registry: name -> (template, reference, initial state).
+LIBRARY = {
+    "dilation": (DILATION_TEMPLATE, expected_dilation, 0.0),
+    "erosion": (EROSION_TEMPLATE, expected_erosion, 0.0),
+    "shadow": (SHADOW_TEMPLATE, expected_shadow, 0.0),
+    "hole-fill": (HOLE_FILL_TEMPLATE, expected_hole_fill, float(BLACK)),
+}
+
+
+def apply_template(image: np.ndarray, template: CnnTemplate, *,
+                   initial_state: float | np.ndarray = 0.0,
+                   t_end: float = 12.0, seed: int | None = None,
+                   boundary: float | None = WHITE,
+                   **grid_options) -> np.ndarray:
+    """Run ``template`` on ``image`` to steady state, return the
+    binarized output image.
+
+    This is the convenience entry point for chaining templates into
+    image pipelines (the CNN usage model: one analog array, a sequence
+    of template programs).
+    """
+    image = np.asarray(image, dtype=float)
+    graph = cnn_grid(image, template, initial_state=initial_state,
+                     boundary=boundary, seed=seed, **grid_options)
+    run = run_cnn(graph, *image.shape, t_end=t_end)
+    return run.output
+
+
+def run_library_template(image: np.ndarray, name: str, *,
+                         t_end: float = 12.0,
+                         **grid_options) -> tuple[np.ndarray, np.ndarray]:
+    """Run a registered template and its reference on ``image``.
+
+    :returns: ``(cnn_output, reference_output)`` — equal pixel-for-pixel
+        when the analog array computes its specification.
+    """
+    try:
+        template, reference, initial = LIBRARY[name]
+    except KeyError:
+        raise KeyError(f"unknown library template {name!r}; expected "
+                       f"one of {sorted(LIBRARY)}") from None
+    output = apply_template(image, template, initial_state=initial,
+                            t_end=t_end, **grid_options)
+    return output, reference(image)

@@ -1,0 +1,155 @@
+"""PDE solving on the CNN array: linear diffusion (the heat equation).
+
+§7.1 lists PDE solving among the CNN paradigm's applications, and the
+paper's hw-cnn reference [17] (Fernández-Berni & Carmona-Galán) is
+precisely about implementing linear diffusion on transconductance-based
+CNN hardware. The construction: with the feedback template
+
+    A = [[0,    r,      0],
+         [r,    1 - 4r, r],
+         [0,    r,      0]],   B = 0,  z = 0,
+
+the CNN dynamics ``dx/dt = -x + sum A f(x)`` reduce, while every cell
+stays inside the saturation's linear region (|x| <= 1 where f(x) = x),
+to the spatially discretized heat equation
+
+    dx_ij/dt = r * (x_{i-1,j} + x_{i+1,j} + x_{i,j-1} + x_{i,j+1}
+                    - 4 x_ij),
+
+with Dirichlet-zero boundary (missing neighbors contribute nothing —
+the grid builder's default boundary). :func:`reference_diffusion`
+computes the exact solution of that linear system by eigendecomposition,
+so the CNN trajectory can be checked against ground truth, and
+:func:`diffusion_step_response` packages the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import DynamicalGraph
+from repro.core.simulator import simulate
+from repro.errors import GraphError
+from repro.paradigms.cnn.analysis import state_grid
+from repro.paradigms.cnn.templates import CnnTemplate, cnn_grid
+
+
+def diffusion_template(rate: float) -> CnnTemplate:
+    """The linear-diffusion feedback template with diffusion rate ``r``.
+
+    ``rate`` must keep all template entries inside the fE ``g`` range
+    [-10, 10]; the interesting regime is 0 < r <= 2 (larger r only
+    rescales time).
+    """
+    if not 0.0 < rate <= 2.0:
+        raise GraphError(f"diffusion rate must be in (0, 2], got {rate}")
+    r = float(rate)
+    return CnnTemplate(
+        a=((0.0, r, 0.0), (r, 1.0 - 4.0 * r, r), (0.0, r, 0.0)),
+        b=((0.0,) * 3,) * 3,
+        z=0.0,
+        name=f"diffusion-r{rate:g}",
+    )
+
+
+def heat_cnn(initial: np.ndarray, rate: float = 0.5, *,
+             seed: int | None = None, **grid_options) -> DynamicalGraph:
+    """A CNN grid initialized with the heat distribution ``initial``.
+
+    ``initial`` values must lie in [-1, 1] so the saturation stays in
+    its linear region; diffusion with Dirichlet-zero boundary only
+    contracts the range, so linearity then holds for all time.
+    """
+    initial = np.asarray(initial, dtype=float)
+    if initial.ndim != 2:
+        raise GraphError("initial heat distribution must be 2-D")
+    if np.abs(initial).max() > 1.0:
+        raise GraphError(
+            "initial values must lie in [-1, 1] (the linear region of "
+            "the cell saturation)")
+    image = np.zeros_like(initial)
+    return cnn_grid(image, diffusion_template(rate),
+                    initial_state=initial, seed=seed, **grid_options)
+
+
+def laplacian_matrix(rows: int, cols: int) -> np.ndarray:
+    """The 5-point Laplacian on a rows x cols grid with Dirichlet-zero
+    boundary, acting on row-major flattened grids."""
+    size = rows * cols
+    matrix = np.zeros((size, size))
+    for i in range(rows):
+        for j in range(cols):
+            center = i * cols + j
+            matrix[center, center] = -4.0
+            for k, l in ((i - 1, j), (i + 1, j), (i, j - 1),
+                         (i, j + 1)):
+                if 0 <= k < rows and 0 <= l < cols:
+                    matrix[center, k * cols + l] = 1.0
+    return matrix
+
+
+def reference_diffusion(initial: np.ndarray, rate: float,
+                        times) -> np.ndarray:
+    """Exact solution of the discretized heat equation.
+
+    Solves ``dx/dt = rate * L x`` by eigendecomposition of the symmetric
+    Laplacian ``L`` — independent of the Ark compiler and simulator.
+
+    :returns: array of shape (len(times), rows, cols).
+    """
+    initial = np.asarray(initial, dtype=float)
+    rows, cols = initial.shape
+    eigenvalues, eigenvectors = np.linalg.eigh(
+        laplacian_matrix(rows, cols))
+    coefficients = eigenvectors.T @ initial.ravel()
+    frames = []
+    for t in np.atleast_1d(times):
+        decay = np.exp(rate * eigenvalues * float(t))
+        frames.append((eigenvectors @ (decay * coefficients))
+                      .reshape(rows, cols))
+    return np.stack(frames)
+
+
+def solve_diffusion(initial: np.ndarray, rate: float, times, *,
+                    method: str = "RK45", rtol: float = 1e-8,
+                    atol: float = 1e-10) -> np.ndarray:
+    """Simulate the diffusion CNN and sample the cell-state grid at
+    ``times``.
+
+    :returns: array of shape (len(times), rows, cols).
+    """
+    initial = np.asarray(initial, dtype=float)
+    times = np.atleast_1d(np.asarray(times, dtype=float))
+    if times.min() < 0:
+        raise GraphError("sample times must be non-negative")
+    graph = heat_cnn(initial, rate)
+    horizon = float(times.max()) if times.max() > 0 else 1.0
+    trajectory = simulate(graph, (0.0, horizon), method=method,
+                          rtol=rtol, atol=atol,
+                          n_points=max(201, 2 * len(times)))
+    rows, cols = initial.shape
+    frames = np.empty((len(times), rows, cols))
+    for i in range(rows):
+        for j in range(cols):
+            frames[:, i, j] = trajectory.sample(f"V_{i}_{j}", times)
+    return frames
+
+
+def diffusion_step_response(size: int = 8, rate: float = 0.5,
+                            times=(0.0, 0.5, 1.0, 2.0),
+                            ) -> dict[str, np.ndarray]:
+    """Diffuse a centered hot square and compare CNN vs exact solution.
+
+    :returns: dict with ``times``, ``cnn``, ``exact``, and per-frame
+        ``rmse`` arrays.
+    """
+    initial = np.zeros((size, size))
+    lo, hi = size // 2 - size // 4, size // 2 + (size + 3) // 4
+    initial[lo:hi, lo:hi] = 1.0
+    times = np.asarray(times, dtype=float)
+    cnn_frames = solve_diffusion(initial, rate, times)
+    exact_frames = reference_diffusion(initial, rate, times)
+    rmse = np.sqrt(((cnn_frames - exact_frames) ** 2)
+                   .mean(axis=(1, 2)))
+    return {"times": times, "cnn": cnn_frames, "exact": exact_frames,
+            "rmse": rmse}

@@ -1,0 +1,209 @@
+"""CNN cloning templates and grid builders (§7.1).
+
+A CNN program is a pair of 3x3 templates: the feedback template ``A``
+(applied to neighbor outputs f(x_kl)), the control template ``B`` (applied
+to neighbor inputs u_kl), and the bias ``z``. :func:`cnn_grid` lays out
+the corresponding dynamical graph — one ``V``/``Out``/``Inp`` triple per
+pixel, all 3x3 template edges present (the Fig. 10a validity rules demand
+between 4 and 9 of them per cell, i.e. the full neighborhood clipped at
+the image boundary).
+
+The EDGE template is the paper's §7.1 workload: a black pixel stays black
+iff at least one 8-neighbor is white. CORNER and DIFFUSION are classic
+companions used by the extra examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import GraphBuilder
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.errors import GraphError
+from repro.paradigms.cnn.hw import hw_cnn_language
+from repro.paradigms.cnn.language import cnn_language
+
+
+@dataclass(frozen=True)
+class CnnTemplate:
+    """A CNN program: feedback template A, control template B, bias z."""
+
+    a: tuple[tuple[float, ...], ...]
+    b: tuple[tuple[float, ...], ...]
+    z: float
+    name: str = "template"
+
+    def __post_init__(self):
+        for matrix, label in ((self.a, "A"), (self.b, "B")):
+            if len(matrix) != 3 or any(len(row) != 3 for row in matrix):
+                raise GraphError(
+                    f"{label} template of {self.name} must be 3x3")
+
+    @property
+    def a_array(self) -> np.ndarray:
+        return np.asarray(self.a, dtype=float)
+
+    @property
+    def b_array(self) -> np.ndarray:
+        return np.asarray(self.b, dtype=float)
+
+
+#: Edge detection (Chua & Yang): black output iff black input pixel with
+#: at least one white 8-neighbor.
+EDGE_TEMPLATE = CnnTemplate(
+    a=((0, 0, 0), (0, 1, 0), (0, 0, 0)),
+    b=((-1, -1, -1), (-1, 8, -1), (-1, -1, -1)),
+    z=-1.0,
+    name="edge",
+)
+
+#: Convex-corner detection: black output iff black pixel with exactly
+#: five or more white 8-neighbors.
+CORNER_TEMPLATE = CnnTemplate(
+    a=((0, 0, 0), (0, 1, 0), (0, 0, 0)),
+    b=((-1, -1, -1), (-1, 4, -1), (-1, -1, -1)),
+    z=-5.0,
+    name="corner",
+)
+
+#: Linear diffusion / smoothing: neighbors pull the cell toward their
+#: average (no control template).
+DIFFUSION_TEMPLATE = CnnTemplate(
+    a=((0.1, 0.15, 0.1), (0.15, 0.0, 0.15), (0.1, 0.15, 0.1)),
+    b=((0, 0, 0), (0, 0, 0), (0, 0, 0)),
+    z=0.0,
+    name="diffusion",
+)
+
+#: Fig. 11c variants: which hw-cnn types replace the ideal ones.
+VARIANTS = {
+    "ideal": {},
+    "bias_mismatch": {"cell_type": "Vm"},
+    "template_mismatch": {"feedback_edge_type": "fEm"},
+    "nonideal_sat": {"out_type": "OutNL"},
+}
+
+
+def _neighbors(i: int, j: int, rows: int, cols: int):
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            k, l = i + di, j + dj
+            if 0 <= k < rows and 0 <= l < cols:
+                yield k, l, di + 1, dj + 1
+
+
+def _boundary_bias(template: CnnTemplate, i: int, j: int, rows: int,
+                   cols: int, boundary: float) -> float:
+    """Constant virtual-frame contribution folded into the cell bias.
+
+    Classic CNN templates assume a frame of *virtual cells* with fixed
+    output and input values around the grid (Chua & Yang's boundary
+    conditions). A constant virtual cell contributes
+    ``A[off]*boundary + B[off]*boundary`` to its real neighbor — a
+    constant, so it folds exactly into that cell's ``z`` attribute and
+    needs no language extension.
+    """
+    a_matrix = template.a_array
+    b_matrix = template.b_array
+    missing = 0.0
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            k, l = i + di, j + dj
+            if not (0 <= k < rows and 0 <= l < cols):
+                missing += a_matrix[di + 1, dj + 1]
+                missing += b_matrix[di + 1, dj + 1]
+    return boundary * missing
+
+
+def cnn_grid(image: np.ndarray, template: CnnTemplate, *,
+             cell_type: str = "V", out_type: str = "Out",
+             feedback_edge_type: str = "fE",
+             language: Language | None = None,
+             seed: int | None = None,
+             initial_state: float | np.ndarray = 0.0,
+             boundary: float | None = None) -> DynamicalGraph:
+    """Build the CNN dynamical graph for ``image`` under ``template``.
+
+    Node names follow the ``V_<i>_<j>`` convention the grid global check
+    relies on. The hw-cnn substitutions of Fig. 11c are selected with
+    ``cell_type``/``out_type``/``feedback_edge_type`` (see ``VARIANTS``).
+
+    :param boundary: constant virtual-frame value for cells outside the
+        grid (e.g. ``WHITE`` for a white frame); ``None`` keeps the
+        zero-value boundary (missing neighbors contribute nothing).
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise GraphError("CNN input image must be 2-D")
+    rows, cols = image.shape
+    if language is None:
+        needs_hw = (cell_type, out_type,
+                    feedback_edge_type) != ("V", "Out", "fE")
+        language = hw_cnn_language() if needs_hw else cnn_language()
+    initial = np.broadcast_to(np.asarray(initial_state, dtype=float),
+                              image.shape)
+
+    builder = GraphBuilder(language, f"cnn-{template.name}", seed=seed)
+    a_matrix = template.a_array
+    b_matrix = template.b_array
+
+    for i in range(rows):
+        for j in range(cols):
+            cell = f"V_{i}_{j}"
+            builder.node(cell, cell_type)
+            bias = template.z
+            if boundary is not None:
+                bias += _boundary_bias(template, i, j, rows, cols,
+                                       boundary)
+            builder.set_attr(cell, "z", bias)
+            if cell_type == "Vm":
+                builder.set_attr(cell, "mm", 1.0)
+            builder.set_init(cell, float(initial[i, j]))
+            builder.edge(cell, cell, f"iEs_{i}_{j}", "iE")
+
+            out = f"Out_{i}_{j}"
+            builder.node(out, out_type)
+            builder.edge(cell, out, f"iEo_{i}_{j}", "iE")
+
+            inp = f"Inp_{i}_{j}"
+            builder.node(inp, "Inp")
+            builder.set_attr(inp, "u", float(image[i, j]))
+
+    for i in range(rows):
+        for j in range(cols):
+            cell = f"V_{i}_{j}"
+            for k, l, ti, tj in _neighbors(i, j, rows, cols):
+                # Feedback: A[ti][tj] weights Out_(k,l) -> V_(i,j), where
+                # (ti,tj) is the offset of (k,l) relative to (i,j).
+                edge = f"fa_{i}_{j}_{k}_{l}"
+                builder.edge(f"Out_{k}_{l}", cell, edge,
+                             feedback_edge_type)
+                builder.set_attr(edge, "g", float(a_matrix[ti, tj]))
+                # Control: B[ti][tj] weights Inp_(k,l) -> V_(i,j).
+                edge = f"fb_{i}_{j}_{k}_{l}"
+                builder.edge(f"Inp_{k}_{l}", cell, edge,
+                             feedback_edge_type)
+                builder.set_attr(edge, "g", float(b_matrix[ti, tj]))
+
+    return builder.finish()
+
+
+def edge_detector(image: np.ndarray, variant: str = "ideal", *,
+                  seed: int | None = None,
+                  language: Language | None = None) -> DynamicalGraph:
+    """The §7.1 edge-detection CNN in one of the Fig. 11c variants.
+
+    :param variant: ``ideal`` (column A), ``bias_mismatch`` (B),
+        ``template_mismatch`` (C), or ``nonideal_sat`` (D).
+    """
+    try:
+        substitutions = VARIANTS[variant]
+    except KeyError:
+        raise GraphError(
+            f"unknown CNN variant {variant!r}; expected one of "
+            f"{sorted(VARIANTS)}") from None
+    return cnn_grid(image, EDGE_TEMPLATE, seed=seed, language=language,
+                    **substitutions)

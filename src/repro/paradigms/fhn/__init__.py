@@ -1,0 +1,42 @@
+"""FitzHugh-Nagumo excitable-neuron compute paradigm.
+
+The fifth paradigm DSL of this repository: spiking neural networks are
+on the paper's list of unconventional analog compute paradigms (§1),
+and the FitzHugh-Nagumo model is the canonical continuous
+excitable-neuron dynamics analog neuromorphic arrays implement.
+
+Public surface:
+
+* :func:`fhn_language` / :func:`hw_fhn_language` — the DSL and its
+  mismatch extension (gap-junction strength, bias current);
+* :mod:`repro.paradigms.fhn.networks` — neuron/chain/ring builders, an
+  independent scipy reference, and spike-train readout.
+"""
+
+from repro.paradigms.fhn.hw import (HW_FHN_SOURCE, build_hw_fhn_language,
+                                    hw_fhn_language)
+from repro.paradigms.fhn.language import (FHN_SOURCE,
+                                          build_fhn_language,
+                                          fhn_language)
+from repro.paradigms.fhn.networks import (NeuronSpec, fhn_reference,
+                                          neuron_chain, neuron_ring,
+                                          resting_point, single_neuron,
+                                          spike_times,
+                                          wave_arrival_times)
+
+__all__ = [
+    "FHN_SOURCE",
+    "HW_FHN_SOURCE",
+    "NeuronSpec",
+    "build_fhn_language",
+    "build_hw_fhn_language",
+    "fhn_language",
+    "fhn_reference",
+    "hw_fhn_language",
+    "neuron_chain",
+    "neuron_ring",
+    "resting_point",
+    "single_neuron",
+    "spike_times",
+    "wave_arrival_times",
+]

@@ -1,0 +1,46 @@
+"""The hw-fhn extension: gap-junction and bias-current mismatch.
+
+Analog neuron arrays realize the diffusive coupling with
+transconductors and the bias current with current mirrors — both
+mismatch-prone. Following the paper's recipe:
+
+* ``Dm`` inherits ``D`` and re-declares the coupling strength ``g``
+  with 10% relative mismatch (no new production rules — inherited-rule
+  fallback, like GPAC's ``Wm``);
+* ``Um`` inherits ``U`` and re-declares the bias current ``i`` with a
+  small absolute mismatch (spike-threshold shift).
+
+The headline study: spike-wave *timing jitter*. In an ideal excitable
+ring every neuron fires at a deterministic delay after its neighbor;
+mismatch turns the arrival times into a per-chip signature — another
+candidate entropy source for PUF-style identification, and a fidelity
+bound for wave-based signal processing.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_program
+from repro.paradigms.fhn.language import fhn_language
+
+HW_FHN_SOURCE = """
+lang hw-fhn inherits fhn {
+    ntyp(1,sum) Um inherit U {attr i=real[-2,2] mm(0.02,0)};
+    etyp Dm inherit D {attr g=real[0,10] mm(0,0.1)};
+}
+"""
+
+
+def build_hw_fhn_language(parent: Language | None = None) -> Language:
+    """Construct a fresh hw-fhn instance on top of ``parent``."""
+    parent = parent or fhn_language()
+    program = parse_program(HW_FHN_SOURCE, languages={"fhn": parent})
+    return program.languages["hw-fhn"]
+
+
+@cache
+def hw_fhn_language() -> Language:
+    """The shared hw-fhn language instance."""
+    return build_hw_fhn_language(fhn_language())

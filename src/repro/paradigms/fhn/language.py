@@ -1,0 +1,72 @@
+"""The FHN (FitzHugh-Nagumo) excitable-neuron Ark language.
+
+The paper's introduction lists *spiking neural networks* among the
+unconventional analog compute paradigms ([20]). The FitzHugh-Nagumo
+model is the canonical continuous excitable-neuron dynamics — the
+two-variable reduction of Hodgkin-Huxley that analog neuromorphic
+circuits implement with a cubic conductance and one recovery
+integrator::
+
+    dv/dt = v - v^3/3 - w + I          (fast membrane potential)
+    dw/dt = eps * (v + a - b*w)        (slow recovery)
+
+Each neuron is a ``U`` (membrane) / ``W`` (recovery) node pair tied by
+``S`` edges; the membrane's cubic self-dynamics live on a required
+``S`` self edge. ``D`` edges add diffusive (gap-junction) coupling
+between membranes, turning a chain or ring of neurons into an
+excitable medium that propagates spike waves — the signal-processing
+substrate of the oscillatory/excitable network literature the paper
+cites ([14, 44]).
+
+Node pairing is enforced by the validity rules: every membrane needs
+exactly one recovery partner (in and out), its cubic self edge, and
+any number of diffusive neighbors; every recovery node needs exactly
+its membrane pair.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_language
+
+FHN_SOURCE = """
+lang fhn {
+    ntyp(1,sum) U {attr i=real[-2,2]};
+    ntyp(1,sum) W {attr eps=real[0.001,1], attr a=real[-2,2],
+                   attr b=real[0,2]};
+    etyp S {};
+    etyp D {attr g=real[0,10]};
+
+    // Membrane self-dynamics: v - v^3/3 + I (cubic nullcline).
+    prod(e:S, s:U->s:U) s <= var(s)-var(s)*var(s)*var(s)/3+s.i;
+    // Recovery feedback into the membrane: -w.
+    prod(e:S, s:W->t:U) t <= 0-var(s);
+    // Recovery dynamics: eps*(v + a - b*w), driven by the membrane.
+    prod(e:S, s:U->t:W) t <= t.eps*(var(s)+t.a-t.b*var(t));
+
+    // Diffusive (gap-junction) coupling, symmetric.
+    prod(e:D, s:U->t:U) t <= e.g*(var(s)-var(t));
+    prod(e:D, s:U->t:U) s <= e.g*(var(t)-var(s));
+
+    cstr U {acc[match(1,1,S,U),
+                match(1,1,S,[W]->U),
+                match(1,1,S,U->[W]),
+                match(0,inf,D,U->[U]),
+                match(0,inf,D,[U]->U)]};
+    cstr W {acc[match(1,1,S,[U]->W),
+                match(1,1,S,W->[U])]};
+}
+"""
+
+
+def build_fhn_language() -> Language:
+    """Construct a fresh FHN language instance (mainly for tests)."""
+    return parse_language(FHN_SOURCE)
+
+
+@cache
+def fhn_language() -> Language:
+    """The shared FHN language instance."""
+    return build_fhn_language()

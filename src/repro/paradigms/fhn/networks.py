@@ -1,0 +1,231 @@
+"""FHN neuron and network builders, plus spike analysis.
+
+* :func:`single_neuron` — one excitable U/W pair;
+* :func:`neuron_ring` / :func:`neuron_chain` — diffusively coupled
+  excitable media; stimulate one site and a spike wave propagates;
+* :func:`fhn_reference` — independent scipy integration of the full
+  network ODEs (membranes *and* recovery variables), the ground truth
+  for the pipeline tests;
+* :func:`spike_times` / :func:`wave_arrival_times` — threshold-crossing
+  readout for propagation and jitter studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.core.builder import GraphBuilder
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.core.simulator import Trajectory
+from repro.errors import GraphError
+from repro.paradigms.fhn.hw import hw_fhn_language
+from repro.paradigms.fhn.language import fhn_language
+
+
+@dataclass(frozen=True)
+class NeuronSpec:
+    """FitzHugh-Nagumo cell parameters (classic values by default)."""
+
+    a: float = 0.7
+    b: float = 0.8
+    eps: float = 0.08
+    bias: float = 0.0
+
+    def __post_init__(self):
+        if not 0.001 <= self.eps <= 1.0:
+            raise GraphError(f"eps must be in [0.001, 1], got "
+                             f"{self.eps}")
+        if not -2.0 <= self.bias <= 2.0:
+            raise GraphError(f"bias must be in [-2, 2], got "
+                             f"{self.bias}")
+
+
+def _pick_types(mismatched_bias: bool, mismatched_coupling: bool,
+                language: Language | None):
+    needs_hw = mismatched_bias or mismatched_coupling
+    if language is None:
+        language = hw_fhn_language() if needs_hw else fhn_language()
+    u_type = "Um" if mismatched_bias else "U"
+    d_type = "Dm" if mismatched_coupling else "D"
+    return language, u_type, d_type
+
+
+def _add_neuron(builder: GraphBuilder, index: int, spec: NeuronSpec,
+                u_type: str, v0: float, w0: float):
+    u_name, w_name = f"U_{index}", f"W_{index}"
+    builder.node(u_name, u_type)
+    builder.set_attr(u_name, "i", spec.bias)
+    builder.set_init(u_name, v0)
+    builder.node(w_name, "W")
+    builder.set_attr(w_name, "eps", spec.eps)
+    builder.set_attr(w_name, "a", spec.a)
+    builder.set_attr(w_name, "b", spec.b)
+    builder.set_init(w_name, w0)
+    builder.edge(u_name, u_name, f"Su_{index}", "S")
+    builder.edge(w_name, u_name, f"Swu_{index}", "S")
+    builder.edge(u_name, w_name, f"Suw_{index}", "S")
+    return u_name
+
+
+def single_neuron(spec: NeuronSpec = NeuronSpec(), *,
+                  v0: float = -1.1994, w0: float = -0.6243,
+                  mismatched_bias: bool = False,
+                  language: Language | None = None,
+                  seed: int | None = None) -> DynamicalGraph:
+    """One FHN neuron (defaults start near the I=0 resting point)."""
+    language, u_type, _ = _pick_types(mismatched_bias, False, language)
+    builder = GraphBuilder(language, "fhn-neuron", seed=seed)
+    _add_neuron(builder, 0, spec, u_type, v0, w0)
+    return builder.finish()
+
+
+def _coupled_network(name: str, n_neurons: int, spec: NeuronSpec,
+                     coupling: float, ring: bool, stimulate: int | None,
+                     stimulus: float, mismatched_bias: bool,
+                     mismatched_coupling: bool,
+                     language: Language | None,
+                     seed: int | None) -> DynamicalGraph:
+    if n_neurons < 2:
+        raise GraphError(f"a network needs >= 2 neurons, got "
+                         f"{n_neurons}")
+    if ring and n_neurons < 3:
+        # A 2-ring would duplicate the single chain edge (doubling the
+        # coupling through parallel D edges); reject the degenerate
+        # case rather than silently build a different network.
+        raise GraphError("a ring needs >= 3 neurons; use neuron_chain "
+                         "for a pair")
+    if coupling < 0:
+        raise GraphError(f"coupling must be >= 0, got {coupling}")
+    if stimulate is not None and not 0 <= stimulate < n_neurons:
+        raise GraphError(f"stimulated site {stimulate} outside "
+                         f"0..{n_neurons - 1}")
+    language, u_type, d_type = _pick_types(mismatched_bias,
+                                           mismatched_coupling,
+                                           language)
+    builder = GraphBuilder(language, name, seed=seed)
+    rest_v, rest_w = resting_point(spec)
+    for index in range(n_neurons):
+        v0 = stimulus if index == stimulate else rest_v
+        _add_neuron(builder, index, spec, u_type, v0, rest_w)
+    pairs = [(k, k + 1) for k in range(n_neurons - 1)]
+    if ring:
+        pairs.append((n_neurons - 1, 0))
+    for number, (i, j) in enumerate(pairs):
+        edge = f"D_{number}"
+        builder.edge(f"U_{i}", f"U_{j}", edge, d_type)
+        builder.set_attr(edge, "g", coupling)
+    return builder.finish()
+
+
+def neuron_chain(n_neurons: int = 8, spec: NeuronSpec = NeuronSpec(), *,
+                 coupling: float = 0.8, stimulate: int | None = 0,
+                 stimulus: float = 1.5,
+                 mismatched_bias: bool = False,
+                 mismatched_coupling: bool = False,
+                 language: Language | None = None,
+                 seed: int | None = None) -> DynamicalGraph:
+    """An open chain of diffusively coupled neurons."""
+    return _coupled_network("fhn-chain", n_neurons, spec, coupling,
+                            False, stimulate, stimulus,
+                            mismatched_bias, mismatched_coupling,
+                            language, seed)
+
+
+def neuron_ring(n_neurons: int = 8, spec: NeuronSpec = NeuronSpec(), *,
+                coupling: float = 0.8, stimulate: int | None = 0,
+                stimulus: float = 1.5,
+                mismatched_bias: bool = False,
+                mismatched_coupling: bool = False,
+                language: Language | None = None,
+                seed: int | None = None) -> DynamicalGraph:
+    """A closed ring of diffusively coupled neurons."""
+    return _coupled_network("fhn-ring", n_neurons, spec, coupling,
+                            True, stimulate, stimulus,
+                            mismatched_bias, mismatched_coupling,
+                            language, seed)
+
+
+# ---------------------------------------------------------------------
+# Independent reference and readout
+# ---------------------------------------------------------------------
+
+def resting_point(spec: NeuronSpec = NeuronSpec(),
+                  ) -> tuple[float, float]:
+    """The (v, w) fixed point: v - v^3/3 - w + I = 0 intersected with
+    w = (v + a)/b, found by Newton iteration."""
+    v = -1.0
+    for _ in range(100):
+        w = (v + spec.a) / spec.b
+        f = v - v ** 3 / 3.0 - w + spec.bias
+        df = 1.0 - v * v - 1.0 / spec.b
+        step = f / df
+        v -= step
+        if abs(step) < 1e-14:
+            break
+    return float(v), float((v + spec.a) / spec.b)
+
+
+def fhn_reference(n_neurons: int, spec: NeuronSpec, coupling: float,
+                  ring: bool, v0: np.ndarray, w0: np.ndarray,
+                  t_eval, rtol: float = 1e-9,
+                  atol: float = 1e-11) -> np.ndarray:
+    """Direct scipy integration of the coupled network.
+
+    :returns: membrane potentials, shape (n_neurons, len(t_eval)).
+    """
+    t_eval = np.atleast_1d(np.asarray(t_eval, dtype=float))
+    couplings = np.zeros((n_neurons, n_neurons))
+    for k in range(n_neurons - 1):
+        couplings[k, k + 1] = couplings[k + 1, k] = coupling
+    if ring and n_neurons > 2:
+        couplings[0, -1] = couplings[-1, 0] = coupling
+
+    def rhs(_t, state):
+        v = state[:n_neurons]
+        w = state[n_neurons:]
+        diffusion = couplings @ v - couplings.sum(axis=1) * v
+        dv = v - v ** 3 / 3.0 - w + spec.bias + diffusion
+        dw = spec.eps * (v + spec.a - spec.b * w)
+        return np.concatenate([dv, dw])
+
+    solution = solve_ivp(rhs, (0.0, float(t_eval.max())),
+                         np.concatenate([v0, w0]), t_eval=t_eval,
+                         rtol=rtol, atol=atol)
+    return solution.y[:n_neurons]
+
+
+def spike_times(t: np.ndarray, v: np.ndarray,
+                threshold: float = 0.5) -> np.ndarray:
+    """Upward threshold crossings of one membrane trace (interpolated)."""
+    t = np.asarray(t, dtype=float)
+    v = np.asarray(v, dtype=float)
+    below = v[:-1] < threshold
+    above = v[1:] >= threshold
+    crossings = np.where(below & above)[0]
+    times = []
+    for k in crossings:
+        frac = (threshold - v[k]) / (v[k + 1] - v[k])
+        times.append(t[k] + frac * (t[k + 1] - t[k]))
+    return np.asarray(times)
+
+
+def wave_arrival_times(trajectory: Trajectory, n_neurons: int,
+                       threshold: float = 0.5) -> list[float | None]:
+    """First spike time per neuron (None if it never fires).
+
+    A neuron already above threshold at t=0 — the stimulated site —
+    counts as arriving at 0.
+    """
+    arrivals: list[float | None] = []
+    for index in range(n_neurons):
+        trace = trajectory[f"U_{index}"]
+        if trace[0] >= threshold:
+            arrivals.append(0.0)
+            continue
+        times = spike_times(trajectory.t, trace, threshold)
+        arrivals.append(float(times[0]) if len(times) else None)
+    return arrivals

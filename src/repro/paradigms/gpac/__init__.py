@@ -1,0 +1,68 @@
+"""GPAC (general-purpose analog computer) compute paradigm.
+
+The fourth paradigm DSL of this repository (beyond the paper's TLN /
+CNN / OBC trio): the paper's introduction cites GPAC computing as the
+archetypal unconventional analog paradigm, and §8 positions Ark against
+GPAC-specific toolchains. Expressing GPAC *in* Ark demonstrates the
+language's claimed generality — and it is the one paradigm whose
+multiplier nodes exercise the Π (mul) reduction operator of §3.
+
+Public surface:
+
+* :func:`gpac_language` / :func:`hw_gpac_language` — the DSL and its
+  leak/mismatch hardware extension;
+* :mod:`repro.paradigms.gpac.circuits` — classic analog-computer
+  programs (decay, harmonic oscillator, Lotka-Volterra, Van der Pol,
+  Lorenz) with type-substitution support;
+* :mod:`repro.paradigms.gpac.references` — independent scipy
+  references and envelope/amplitude analysis.
+"""
+
+from repro.paradigms.gpac.circuits import (GpacTypes, driven_oscillator,
+                                           exponential_decay,
+                                           harmonic_oscillator, leaky,
+                                           lorenz, lotka_volterra,
+                                           resonance_amplitude,
+                                           van_der_pol)
+from repro.paradigms.gpac.hw import (HW_GPAC_SOURCE,
+                                     build_hw_gpac_language,
+                                     hw_gpac_language)
+from repro.paradigms.gpac.language import (GPAC_SOURCE,
+                                           acyclic_algebraic_check,
+                                           build_gpac_language,
+                                           gpac_language)
+from repro.paradigms.gpac.references import (amplitude_envelope,
+                                             decay_reference,
+                                             limit_cycle_amplitude,
+                                             lorenz_reference,
+                                             lotka_volterra_invariant,
+                                             lotka_volterra_reference,
+                                             oscillator_reference,
+                                             van_der_pol_reference)
+
+__all__ = [
+    "GPAC_SOURCE",
+    "GpacTypes",
+    "HW_GPAC_SOURCE",
+    "acyclic_algebraic_check",
+    "amplitude_envelope",
+    "build_gpac_language",
+    "build_hw_gpac_language",
+    "decay_reference",
+    "driven_oscillator",
+    "exponential_decay",
+    "gpac_language",
+    "harmonic_oscillator",
+    "hw_gpac_language",
+    "leaky",
+    "limit_cycle_amplitude",
+    "lorenz",
+    "lorenz_reference",
+    "lotka_volterra",
+    "lotka_volterra_invariant",
+    "lotka_volterra_reference",
+    "oscillator_reference",
+    "resonance_amplitude",
+    "van_der_pol",
+    "van_der_pol_reference",
+]

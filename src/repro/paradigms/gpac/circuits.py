@@ -1,0 +1,271 @@
+"""GPAC circuit builders: classic analog-computer programs.
+
+Each builder wires integrators, multipliers, and summers into a
+polynomial ODE system and returns the dynamical graph; the matching
+``*_reference`` functions in :mod:`repro.paradigms.gpac.references`
+integrate the same ODEs directly with scipy so the GPAC programs can be
+verified end-to-end.
+
+Builders accept ``int_type``/``edge_type`` overrides so the hw-gpac
+nonideal types (``IntL``, ``Wm``) can be substituted following the
+paper's progressive-rewriting workflow — :func:`leaky` wraps the common
+case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import GraphBuilder
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.errors import GraphError
+from repro.paradigms.gpac.hw import hw_gpac_language
+from repro.paradigms.gpac.language import gpac_language
+
+
+@dataclass(frozen=True)
+class GpacTypes:
+    """Type-substitution bundle for progressive rewriting."""
+
+    int_type: str = "Int"
+    edge_type: str = "W"
+    leak: float = 0.0
+    language: Language | None = None
+
+    def resolve(self) -> "GpacTypes":
+        if self.language is not None:
+            return self
+        needs_hw = self.int_type != "Int" or self.edge_type != "W"
+        language = hw_gpac_language() if needs_hw else gpac_language()
+        return GpacTypes(self.int_type, self.edge_type, self.leak,
+                         language)
+
+
+def leaky(leak: float, *, mismatched_weights: bool = False) -> GpacTypes:
+    """Substitute leaky integrators (and optionally mismatched weights)
+    into any builder below."""
+    if leak < 0:
+        raise GraphError(f"leak must be >= 0, got {leak}")
+    return GpacTypes(int_type="IntL",
+                     edge_type="Wm" if mismatched_weights else "W",
+                     leak=leak)
+
+
+class _Wiring:
+    """Shared plumbing: auto-named edges, leak attribute handling."""
+
+    def __init__(self, name: str, types: GpacTypes,
+                 seed: int | None):
+        self.types = types.resolve()
+        self.builder = GraphBuilder(self.types.language, name, seed=seed)
+        self._count = 0
+
+    def integrator(self, name: str, initial: float) -> str:
+        self.builder.node(name, self.types.int_type)
+        if self.types.int_type == "IntL":
+            self.builder.set_attr(name, "leak", self.types.leak)
+        self.builder.set_init(name, initial)
+        return name
+
+    def mul(self, name: str) -> str:
+        self.builder.node(name, "Mul")
+        return name
+
+    def wire(self, src: str, dst: str, w: float) -> str:
+        edge = f"W_{self._count}"
+        self._count += 1
+        self.builder.edge(src, dst, edge, self.types.edge_type)
+        self.builder.set_attr(edge, "w", w)
+        return edge
+
+    def self_feedback(self, node: str, w: float) -> str:
+        """A self edge; required on every IntL so the leak rule fires."""
+        return self.wire(node, node, w)
+
+    def finish(self) -> DynamicalGraph:
+        return self.builder.finish()
+
+
+def exponential_decay(rate: float = 1.0, initial: float = 1.0, *,
+                      types: GpacTypes = GpacTypes(),
+                      seed: int | None = None) -> DynamicalGraph:
+    """``dx/dt = -rate * x`` — one integrator with self feedback."""
+    if rate <= 0:
+        raise GraphError(f"decay rate must be positive, got {rate}")
+    wiring = _Wiring("gpac-decay", types, seed)
+    x = wiring.integrator("x", initial)
+    wiring.self_feedback(x, -rate)
+    return wiring.finish()
+
+
+def harmonic_oscillator(omega: float = 1.0, amplitude: float = 1.0, *,
+                        types: GpacTypes = GpacTypes(),
+                        seed: int | None = None) -> DynamicalGraph:
+    """``d2x/dt2 = -omega^2 x`` as two cross-coupled integrators.
+
+    ``x(0) = amplitude``, ``v(0) = 0`` — the textbook analog-computer
+    sine generator, and the canonical victim of integrator leak (the
+    amplitude decays as ``exp(-leak * t)`` instead of holding).
+    """
+    if omega <= 0:
+        raise GraphError(f"omega must be positive, got {omega}")
+    wiring = _Wiring("gpac-oscillator", types, seed)
+    x = wiring.integrator("x", amplitude)
+    v = wiring.integrator("v", 0.0)
+    wiring.wire(v, x, 1.0)
+    wiring.wire(x, v, -omega * omega)
+    if wiring.types.int_type == "IntL":
+        # Leak enters through the self-edge rule; wire zero-weight
+        # feedback so the IntL production applies.
+        wiring.self_feedback(x, 0.0)
+        wiring.self_feedback(v, 0.0)
+    return wiring.finish()
+
+
+def driven_oscillator(omega: float = 1.0, damping: float = 0.2,
+                      drive_amplitude: float = 1.0,
+                      drive_frequency: float = 1.0, *,
+                      types: GpacTypes = GpacTypes(),
+                      seed: int | None = None) -> DynamicalGraph:
+    """A sinusoidally forced, damped oscillator::
+
+        dx/dt = v
+        dv/dt = -omega^2 x - damping*v + drive_amplitude*sin(wd*t)
+
+    The force enters through a ``Src`` node (``fn(time)`` attribute) —
+    the canonical analog-computer input stage. Steady state has the
+    textbook resonance amplitude
+    ``A / sqrt((omega^2 - wd^2)^2 + (damping*wd)^2)``.
+    """
+    if omega <= 0:
+        raise GraphError(f"omega must be positive, got {omega}")
+    if damping < 0:
+        raise GraphError(f"damping must be >= 0, got {damping}")
+    if drive_frequency <= 0:
+        raise GraphError(
+            f"drive_frequency must be positive, got {drive_frequency}")
+    import math
+
+    wiring = _Wiring("gpac-driven", types, seed)
+    x = wiring.integrator("x", 0.0)
+    v = wiring.integrator("v", 0.0)
+    wiring.builder.node("drive", "Src")
+    wd = float(drive_frequency)
+    wiring.builder.set_attr("drive", "fn",
+                            lambda t, _wd=wd: math.sin(_wd * t))
+    wiring.wire(v, x, 1.0)
+    wiring.wire(x, v, -omega * omega)
+    wiring.self_feedback(v, -damping)
+    wiring.wire("drive", v, drive_amplitude)
+    if wiring.types.int_type == "IntL":
+        wiring.self_feedback(x, 0.0)
+    return wiring.finish()
+
+
+def resonance_amplitude(omega: float, damping: float,
+                        drive_amplitude: float,
+                        drive_frequency: float) -> float:
+    """The analytic steady-state amplitude of the driven oscillator."""
+    wd = drive_frequency
+    return drive_amplitude / (
+        ((omega * omega - wd * wd) ** 2
+         + (damping * wd) ** 2) ** 0.5)
+
+
+def lotka_volterra(alpha: float = 1.1, beta: float = 0.4,
+                   delta: float = 0.1, gamma: float = 0.4, *,
+                   prey0: float = 10.0, predator0: float = 10.0,
+                   scale: float = 0.1,
+                   types: GpacTypes = GpacTypes(),
+                   seed: int | None = None) -> DynamicalGraph:
+    """The Lotka-Volterra predator-prey system::
+
+        dx/dt = alpha*x - beta*x*y
+        dy/dt = delta*x*y - gamma*y
+
+    One multiplier computes ``x*y`` (scaled by ``scale`` per input to
+    stay inside analog ranges — the weights compensate), exercising the
+    Π reduction on a genuinely nonlinear workload.
+    """
+    for name, value in (("alpha", alpha), ("beta", beta),
+                        ("delta", delta), ("gamma", gamma)):
+        if value <= 0:
+            raise GraphError(f"{name} must be positive, got {value}")
+    wiring = _Wiring("gpac-lotka-volterra", types, seed)
+    x = wiring.integrator("x", prey0)
+    y = wiring.integrator("y", predator0)
+    xy = wiring.mul("xy")
+    wiring.wire(x, xy, scale)
+    wiring.wire(y, xy, scale)
+    compensation = 1.0 / (scale * scale)
+    wiring.self_feedback(x, alpha)
+    wiring.wire(xy, x, -beta * compensation)
+    wiring.self_feedback(y, -gamma)
+    wiring.wire(xy, y, delta * compensation)
+    return wiring.finish()
+
+
+def van_der_pol(mu: float = 1.0, *, x0: float = 0.5, v0: float = 0.0,
+                types: GpacTypes = GpacTypes(),
+                seed: int | None = None) -> DynamicalGraph:
+    """The Van der Pol oscillator::
+
+        dx/dt = v
+        dv/dt = mu*(1 - x^2)*v - x
+
+    The cubic term ``x^2 v`` is one three-input multiplier (two edges
+    from ``x``, one from ``v`` — parallel edges are distinct DG edges).
+    Its limit cycle makes it the natural robustness counterpoint to the
+    harmonic oscillator: feedback re-injects the energy integrator leak
+    removes.
+    """
+    if mu <= 0:
+        raise GraphError(f"mu must be positive, got {mu}")
+    wiring = _Wiring("gpac-van-der-pol", types, seed)
+    x = wiring.integrator("x", x0)
+    v = wiring.integrator("v", v0)
+    xxv = wiring.mul("xxv")
+    wiring.wire(x, xxv, 1.0)
+    wiring.wire(x, xxv, 1.0)
+    wiring.wire(v, xxv, 1.0)
+    wiring.wire(v, x, 1.0)
+    wiring.self_feedback(v, mu)
+    wiring.wire(xxv, v, -mu)
+    wiring.wire(x, v, -1.0)
+    if wiring.types.int_type == "IntL":
+        wiring.self_feedback(x, 0.0)
+    return wiring.finish()
+
+
+def lorenz(sigma: float = 10.0, rho: float = 28.0,
+           beta: float = 8.0 / 3.0, *,
+           x0: float = 1.0, y0: float = 1.0, z0: float = 1.0,
+           types: GpacTypes = GpacTypes(),
+           seed: int | None = None) -> DynamicalGraph:
+    """The Lorenz system — the classic analog-computer stress test::
+
+        dx/dt = sigma*(y - x)
+        dy/dt = x*(rho - z) - y
+        dz/dt = x*y - beta*z
+
+    Two multipliers (``x*z`` and ``x*y``).
+    """
+    wiring = _Wiring("gpac-lorenz", types, seed)
+    x = wiring.integrator("x", x0)
+    y = wiring.integrator("y", y0)
+    z = wiring.integrator("z", z0)
+    xz = wiring.mul("xz")
+    xy = wiring.mul("xy")
+    wiring.wire(x, xz, 1.0)
+    wiring.wire(z, xz, 1.0)
+    wiring.wire(x, xy, 1.0)
+    wiring.wire(y, xy, 1.0)
+    wiring.self_feedback(x, -sigma)
+    wiring.wire(y, x, sigma)
+    wiring.wire(x, y, rho)
+    wiring.wire(xz, y, -1.0)
+    wiring.self_feedback(y, -1.0)
+    wiring.wire(xy, z, 1.0)
+    wiring.self_feedback(z, -beta)
+    return wiring.finish()

@@ -1,0 +1,60 @@
+"""The hw-gpac hardware extension: integrator leak and gain mismatch.
+
+Real analog integrators have finite DC gain: the op-amp realization
+leaks charge, turning the ideal ``dx/dt = u`` into
+``dx/dt = u - leak * x`` (the dominant nonideality in the VLSI analog
+computers the paper cites; Cowan et al. report exactly this). Weight
+coefficients are realized with transconductors or resistor ratios and
+carry fabrication mismatch.
+
+Following the paper's progressive-rewriting recipe (§2.4):
+
+* ``IntL`` inherits ``Int`` and adds a mismatched ``leak`` attribute.
+  A *new self-edge production rule* shadows the inherited linear
+  feedback rule for ``IntL`` and subtracts the leak term — the same
+  shadowing pattern the GmC-TLN ``Em`` rules use.
+* ``Wm`` inherits ``W`` and re-declares ``w`` with 5% relative
+  mismatch. No new production rules are needed: the inherited ``W``
+  rules apply through the lookup fallback, and the mismatch enters
+  purely through attribute sampling — exercising the other half of the
+  §4.1.1 inheritance machinery.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_program
+from repro.paradigms.gpac.language import gpac_language
+from repro.paradigms.tln.waveforms import pulse
+
+HW_GPAC_SOURCE = """
+lang hw-gpac inherits gpac {
+    ntyp(1,sum) IntL inherit Int {attr leak=real[0,10] mm(0,0.1)};
+    etyp Wm inherit W {attr w=real[-100,100] mm(0,0.05)};
+
+    // The leaky integrator's self edge: inherited linear feedback
+    // minus the leak (most-specific rule, shadows the Int->Int rule).
+    prod(e:W, s:IntL->s:IntL) s <= e.w*var(s)-s.leak*var(s);
+}
+"""
+
+
+def build_hw_gpac_language(parent: Language | None = None) -> Language:
+    """Construct a fresh hw-gpac instance on top of ``parent``.
+
+    The global acyclicity check is inherited through the language
+    chain, so it is not re-installed here.
+    """
+    parent = parent or gpac_language()
+    program = parse_program(HW_GPAC_SOURCE, languages={"gpac": parent},
+                            functions={"pulse": pulse})
+    return program.languages["hw-gpac"]
+
+
+@cache
+def hw_gpac_language() -> Language:
+    """The shared hw-gpac language instance (inherits the shared GPAC
+    language, including its acyclicity check)."""
+    return build_hw_gpac_language(gpac_language())

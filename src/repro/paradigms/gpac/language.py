@@ -1,0 +1,138 @@
+"""The GPAC (general-purpose analog computer) Ark language.
+
+The paper's introduction names GPAC computing among the unconventional
+analog compute paradigms (implemented by the VLSI analog computers of
+refs. [11, 21, 24]), and §8 contrasts Ark with GPAC-specific
+specification languages (Arco, Jaunt, Legno). This DSL shows the same
+paradigm expressed *in* Ark: a Shannon-style general-purpose analog
+computer built from integrators, multipliers, gain-summers, and time
+sources.
+
+Node types:
+
+* ``Int`` — an integrator (order 1). Every incoming ``W`` edge adds
+  ``w * source`` to its derivative; an optional self edge adds
+  ``w * x``, giving linear ODE systems without extra fan-out hardware.
+* ``Mul`` — an ideal multiplier (order 0, **mul reduction**): its value
+  is the *product* of the ``w * source`` contributions of its incoming
+  edges. This is the one paradigm in the repository exercising the
+  paper's Π reduction operator (§3).
+* ``Sum`` — a weighted summer (order 0, sum reduction).
+* ``Src`` — an external time-domain source ``fn(time)``.
+
+Any polynomial ODE system — Lotka-Volterra, Van der Pol, Lorenz — maps
+onto these four primitives (Shannon 1941: GPAC-generable functions are
+exactly solutions of polynomial ODEs; see
+:mod:`repro.paradigms.gpac.circuits`).
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_language
+from repro.paradigms.tln.waveforms import pulse
+
+GPAC_SOURCE = """
+lang gpac {
+    ntyp(1,sum) Int {};
+    ntyp(0,mul) Mul {};
+    ntyp(0,sum) Sum {};
+    ntyp(0,sum) Src {attr fn=fn(a0)};
+    etyp W {attr w=real[-100,100]};
+
+    // Integrator inputs: dx/dt accumulates w-weighted sources; the
+    // optional self edge contributes w*x (linear feedback).
+    prod(e:W, s:Int->t:Int) t <= e.w*var(s);
+    prod(e:W, s:Mul->t:Int) t <= e.w*var(s);
+    prod(e:W, s:Sum->t:Int) t <= e.w*var(s);
+    prod(e:W, s:Src->t:Int) t <= e.w*s.fn(time);
+    prod(e:W, s:Int->s:Int) s <= e.w*var(s);
+
+    // Multiplier inputs: the mul reduction turns the contributions
+    // into a product.
+    prod(e:W, s:Int->t:Mul) t <= e.w*var(s);
+    prod(e:W, s:Mul->t:Mul) t <= e.w*var(s);
+    prod(e:W, s:Sum->t:Mul) t <= e.w*var(s);
+    prod(e:W, s:Src->t:Mul) t <= e.w*s.fn(time);
+
+    // Summer inputs.
+    prod(e:W, s:Int->t:Sum) t <= e.w*var(s);
+    prod(e:W, s:Mul->t:Sum) t <= e.w*var(s);
+    prod(e:W, s:Sum->t:Sum) t <= e.w*var(s);
+    prod(e:W, s:Src->t:Sum) t <= e.w*s.fn(time);
+
+    // An integrator may listen to anything, drive anything, and carry
+    // at most one linear-feedback self edge.
+    cstr Int {acc[match(0,inf,W,[Int,Mul,Sum,Src]->Int),
+                  match(0,inf,W,Int->[Int,Mul,Sum]),
+                  match(0,1,W,Int)]};
+    // A multiplier needs at least two factors (one input is a gain,
+    // which Sum already provides).
+    cstr Mul {acc[match(2,inf,W,[Int,Mul,Sum,Src]->Mul),
+                  match(0,inf,W,Mul->[Int,Mul,Sum])]};
+    cstr Sum {acc[match(1,inf,W,[Int,Mul,Sum,Src]->Sum),
+                  match(0,inf,W,Sum->[Int,Mul,Sum])]};
+    cstr Src {acc[match(1,inf,W,Src->[Int,Mul,Sum])]};
+}
+"""
+
+
+def acyclic_algebraic_check(graph) -> tuple[bool, str]:
+    """Global validity check: the order-0 (algebraic) nodes must not
+    form dependency cycles.
+
+    An algebraic loop (e.g. two multipliers feeding each other) has no
+    explicit-ODE interpretation, so the GPAC language rejects it at
+    validation time rather than letting the compiler fail later. This
+    is a whole-topology property — exactly the kind of rule §4.1's
+    ``extern-func`` exists for.
+    """
+    algebraic = {node.name for node in graph.nodes
+                 if node.type.order == 0}
+    adjacency = {name: set() for name in algebraic}
+    for edge in graph.edges:
+        if edge.src in algebraic and edge.dst in algebraic \
+                and edge.src != edge.dst:
+            adjacency[edge.src].add(edge.dst)
+    # Iterative DFS three-coloring.
+    WHITE_C, GRAY, BLACK_C = 0, 1, 2
+    color = {name: WHITE_C for name in algebraic}
+    for start in algebraic:
+        if color[start] != WHITE_C:
+            continue
+        stack = [(start, iter(sorted(adjacency[start])))]
+        color[start] = GRAY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == GRAY:
+                    return False, (f"algebraic dependency cycle "
+                                   f"through {child}")
+                if color[child] == WHITE_C:
+                    color[child] = GRAY
+                    stack.append((child,
+                                  iter(sorted(adjacency[child]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK_C
+                stack.pop()
+    return True, ""
+
+
+def build_gpac_language() -> Language:
+    """Construct a fresh GPAC language instance (mainly for tests)."""
+    return parse_language(GPAC_SOURCE, functions={"pulse": pulse})
+
+
+@cache
+def gpac_language() -> Language:
+    """The shared GPAC language instance with the global acyclicity
+    check installed."""
+    language = build_gpac_language()
+    language.extern_check(acyclic_algebraic_check,
+                          name="acyclic_algebraic")
+    return language

@@ -1,0 +1,111 @@
+"""Independent scipy references for the GPAC circuits.
+
+Each function integrates the textbook ODE system directly with
+``scipy.integrate.solve_ivp`` — no Ark machinery involved — so the GPAC
+programs (language -> graph -> compiler -> simulator) can be verified
+end-to-end, and analysis helpers quantify the leak nonideality study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+
+def _solve(rhs, y0, t_eval, rtol=1e-9, atol=1e-11) -> np.ndarray:
+    t_eval = np.atleast_1d(np.asarray(t_eval, dtype=float))
+    solution = solve_ivp(rhs, (0.0, float(t_eval.max())), y0,
+                         t_eval=t_eval, rtol=rtol, atol=atol,
+                         method="RK45")
+    return solution.y
+
+
+def decay_reference(rate: float, initial: float, t_eval) -> np.ndarray:
+    """Analytic ``x(t) = x0 exp(-rate t)``."""
+    t_eval = np.atleast_1d(np.asarray(t_eval, dtype=float))
+    return initial * np.exp(-rate * t_eval)
+
+
+def oscillator_reference(omega: float, amplitude: float, t_eval,
+                         leak: float = 0.0) -> np.ndarray:
+    """The (possibly leaky) harmonic oscillator's ``x(t)``.
+
+    With per-integrator leak ``g``: ``x'' + 2g x' + (w^2 + g^2) x = 0``
+    — a damped oscillation ``A exp(-g t) (cos(w t) + ...)``; for
+    ``leak=0`` the analytic ``A cos(w t)``.
+    """
+    t_eval = np.atleast_1d(np.asarray(t_eval, dtype=float))
+    if leak == 0.0:
+        return amplitude * np.cos(omega * t_eval)
+
+    def rhs(_t, state):
+        x, v = state
+        return [v - leak * x, -omega * omega * x - leak * v]
+
+    return _solve(rhs, [amplitude, 0.0], t_eval)[0]
+
+
+def lotka_volterra_reference(alpha: float, beta: float, delta: float,
+                             gamma: float, prey0: float,
+                             predator0: float, t_eval) -> np.ndarray:
+    """Direct integration; returns ``[x(t); y(t)]`` (2, n)."""
+
+    def rhs(_t, state):
+        x, y = state
+        return [alpha * x - beta * x * y, delta * x * y - gamma * y]
+
+    return _solve(rhs, [prey0, predator0], t_eval)
+
+
+def lotka_volterra_invariant(alpha: float, beta: float, delta: float,
+                             gamma: float, x: np.ndarray,
+                             y: np.ndarray) -> np.ndarray:
+    """The conserved quantity ``V = delta x - gamma ln x + beta y -
+    alpha ln y`` (constant along every trajectory)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    return delta * x - gamma * np.log(x) + beta * y - alpha * np.log(y)
+
+
+def van_der_pol_reference(mu: float, x0: float, v0: float,
+                          t_eval) -> np.ndarray:
+    """Direct integration; returns ``[x(t); v(t)]`` (2, n)."""
+
+    def rhs(_t, state):
+        x, v = state
+        return [v, mu * (1.0 - x * x) * v - x]
+
+    return _solve(rhs, [x0, v0], t_eval)
+
+
+def lorenz_reference(sigma: float, rho: float, beta: float, x0: float,
+                     y0: float, z0: float, t_eval) -> np.ndarray:
+    """Direct integration; returns ``[x; y; z]`` (3, n)."""
+
+    def rhs(_t, state):
+        x, y, z = state
+        return [sigma * (y - x), x * (rho - z) - y, x * y - beta * z]
+
+    return _solve(rhs, [x0, y0, z0], t_eval)
+
+
+def amplitude_envelope(t: np.ndarray, x: np.ndarray,
+                       n_segments: int = 8) -> np.ndarray:
+    """Peak |x| per time segment — a robust oscillation envelope."""
+    t = np.asarray(t, dtype=float)
+    x = np.asarray(x, dtype=float)
+    edges = np.linspace(t[0], t[-1], n_segments + 1)
+    peaks = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (t >= lo) & (t <= hi)
+        peaks.append(np.abs(x[mask]).max() if mask.any() else 0.0)
+    return np.asarray(peaks)
+
+
+def limit_cycle_amplitude(t: np.ndarray, x: np.ndarray,
+                          settle_fraction: float = 0.5) -> float:
+    """Peak |x| after discarding the transient."""
+    t = np.asarray(t, dtype=float)
+    x = np.asarray(x, dtype=float)
+    cutoff = t[0] + settle_fraction * (t[-1] - t[0])
+    return float(np.abs(x[t >= cutoff]).max())

@@ -1,0 +1,93 @@
+"""Oscillator-based computing (OBC) paradigm (§7.2).
+
+Public surface:
+
+* :func:`obc_language`, :func:`ofs_obc_language`,
+  :func:`intercon_obc_language` — the DSL instances (Figs. 12a/12b/13);
+* :func:`maxcut_network`, :func:`solve_maxcut`,
+  :func:`maxcut_experiment` — the Table 1 workload;
+* :func:`interconnect_cost` — the Fig. 13 routing-cost metric;
+* :mod:`repro.paradigms.obc.placement` — placement of workloads onto
+  the local/global fabric (the §7.2 tradeoff as a design loop);
+* :mod:`repro.paradigms.obc.graphs` — instance generation and the exact
+  brute-force baseline.
+"""
+
+from repro.paradigms.obc.coloring import (COLOR_OBC_SOURCE,
+                                          ColoringResult,
+                                          build_color_obc_language,
+                                          classify_color,
+                                          color_obc_language,
+                                          coloring_network,
+                                          solve_coloring)
+from repro.paradigms.obc.graphs import (brute_force_maxcut, cut_value,
+                                        random_graph, random_graphs,
+                                        random_weights)
+from repro.paradigms.obc.intercon import (INTERCON_OBC_SOURCE,
+                                          build_intercon_obc_language,
+                                          intercon_obc_language,
+                                          interconnect_cost)
+from repro.paradigms.obc.language import (C1, C2, OBC_SOURCE,
+                                          build_obc_language,
+                                          obc_language)
+from repro.paradigms.obc.maxcut import (DEFAULT_T_END, MAXCUT_COUPLING,
+                                        MaxcutResult, MaxcutSweep,
+                                        classify_phase,
+                                        extract_partition,
+                                        maxcut_experiment,
+                                        maxcut_network, solve_maxcut)
+from repro.paradigms.obc.ofs import (OFS_OBC_SOURCE,
+                                     build_ofs_obc_language,
+                                     ofs_obc_language)
+from repro.paradigms.obc.placement import (GLOBAL_COST, LOCAL_COST,
+                                           Placement,
+                                           evaluate_placement,
+                                           place_greedy,
+                                           place_kernighan_lin,
+                                           place_random, placed_network,
+                                           placement_study)
+
+__all__ = [
+    "C1",
+    "C2",
+    "COLOR_OBC_SOURCE",
+    "ColoringResult",
+    "DEFAULT_T_END",
+    "GLOBAL_COST",
+    "INTERCON_OBC_SOURCE",
+    "LOCAL_COST",
+    "MAXCUT_COUPLING",
+    "MaxcutResult",
+    "MaxcutSweep",
+    "Placement",
+    "OBC_SOURCE",
+    "OFS_OBC_SOURCE",
+    "brute_force_maxcut",
+    "build_color_obc_language",
+    "build_intercon_obc_language",
+    "build_obc_language",
+    "build_ofs_obc_language",
+    "classify_color",
+    "classify_phase",
+    "color_obc_language",
+    "coloring_network",
+    "cut_value",
+    "evaluate_placement",
+    "extract_partition",
+    "intercon_obc_language",
+    "interconnect_cost",
+    "maxcut_experiment",
+    "maxcut_network",
+    "obc_language",
+    "ofs_obc_language",
+    "place_greedy",
+    "place_kernighan_lin",
+    "place_random",
+    "placed_network",
+    "placement_study",
+    "random_graph",
+    "random_graphs",
+    "random_weights",
+    "solve_coloring",
+    "solve_maxcut",
+]

@@ -1,0 +1,63 @@
+"""Problem-graph generation and exact baselines for the max-cut study.
+
+The paper evaluates on "1000 unweighted 4-vertex graphs" (§7.2). We
+sample Erdős–Rényi graphs with p = 0.5, discarding empty ones (a max-cut
+instance needs at least one edge), and compute the exact maximum cut by
+enumeration — cheap at these sizes and the ground truth for the Table 1
+"solved" percentages.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+
+def random_graph(n_vertices: int, rng: np.random.Generator,
+                 edge_probability: float = 0.5) -> list[tuple[int, int]]:
+    """One unweighted simple graph as a sorted edge list (non-empty)."""
+    while True:
+        edges = [(i, j) for i, j in combinations(range(n_vertices), 2)
+                 if rng.random() < edge_probability]
+        if edges:
+            return edges
+
+
+def random_graphs(count: int, n_vertices: int = 4,
+                  seed: int = 0,
+                  edge_probability: float = 0.5,
+                  ) -> list[list[tuple[int, int]]]:
+    """The experiment's graph population (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    return [random_graph(n_vertices, rng, edge_probability)
+            for _ in range(count)]
+
+
+def cut_value(edges: list[tuple[int, int]], partition,
+              weights=None) -> float | int:
+    """Total weight of edges crossing the partition (a 0/1 vector by
+    vertex). Unweighted when ``weights`` is None."""
+    if weights is None:
+        return sum(1 for i, j in edges
+                   if partition[i] != partition[j])
+    return sum(w for (i, j), w in zip(edges, weights)
+               if partition[i] != partition[j])
+
+
+def brute_force_maxcut(edges: list[tuple[int, int]], n_vertices: int,
+                       weights=None) -> float | int:
+    """Exact maximum cut by enumerating all 2^(n-1) partitions."""
+    best = 0
+    for mask in range(1 << (n_vertices - 1)):
+        partition = [(mask >> v) & 1 for v in range(n_vertices - 1)] + [0]
+        best = max(best, cut_value(edges, partition, weights))
+    return best
+
+
+def random_weights(edges: list[tuple[int, int]],
+                   rng: np.random.Generator,
+                   lo: float = 0.5, hi: float = 4.0) -> list[float]:
+    """Random positive edge weights for weighted Ising instances
+    (the [7] workload)."""
+    return [float(rng.uniform(lo, hi)) for _ in edges]

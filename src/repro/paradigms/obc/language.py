@@ -1,0 +1,50 @@
+"""The OBC (oscillator-based computing) Ark language (§7.2, Fig. 12a).
+
+A network of coupled oscillators computes through its synchronization
+behavior. The phase dynamics follow the modified Kuramoto model (Eq. 6)::
+
+    dphi_i/dt = -C1 * sum_j K_ij * sin(phi_i - phi_j) - C2 * sin(2*phi_i)
+
+with C1 = 1.6e9 and C2 = 1e9 (the paper's constants, embedded in the
+production rules). The ``-C2*sin(2*phi)`` term is second-harmonic
+injection locking: it binarizes phases toward {0, pi}, carried by a
+``Cpl`` self edge on every oscillator (the validity rule demands exactly
+one).
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_language
+
+OBC_SOURCE = """
+lang obc {
+    ntyp(1,sum) Osc {};
+    etyp Cpl {attr k=real[-8,8]};
+
+    prod(e:Cpl, s:Osc->t:Osc) s <= -1.6e9*e.k*sin(var(s)-var(t));
+    prod(e:Cpl, s:Osc->t:Osc) t <= -1.6e9*e.k*sin(-var(s)+var(t));
+    prod(e:Cpl, s:Osc->s:Osc) s <= -1e9*sin(2*var(s));
+
+    cstr Osc {acc[match(1,1,Cpl,Osc),
+                  match(0,inf,Cpl,Osc->[Osc]),
+                  match(0,inf,Cpl,[Osc]->Osc)]};
+}
+"""
+
+#: The paper's scaling constants (rad/s).
+C1 = 1.6e9
+C2 = 1e9
+
+
+def build_obc_language() -> Language:
+    """Construct a fresh OBC language instance (mainly for tests)."""
+    return parse_language(OBC_SOURCE)
+
+
+@cache
+def obc_language() -> Language:
+    """The shared OBC language instance."""
+    return build_obc_language()

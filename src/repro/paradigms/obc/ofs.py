@@ -1,0 +1,47 @@
+"""The ofs-obc hardware extension (§7.2, Fig. 12b).
+
+Models the offset of an integrator-based OBC accelerator: the coupling
+current emulation picks up a per-connection bias, so the coupling term
+becomes ``k*(offset + sin(dphi))``. ``offset`` is declared
+``real[0,0] mm(0.02,0)`` — nominally zero, with an absolute mismatch
+standard deviation of 0.02 sampled per fabricated instance.
+
+The offset shifts every oscillator's locked phase slightly away from
+{0, pi}; with the tight d = 0.01*pi readout tolerance many oscillators
+fall outside the bins (Table 1's 54% column), while widening the
+tolerance to 0.1*pi absorbs the shift and restores ~94% accuracy — the
+paper's circuit-external mitigation.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_program
+from repro.paradigms.obc.language import obc_language
+
+OFS_OBC_SOURCE = """
+lang ofs-obc inherits obc {
+    etyp Cpl_ofs inherit Cpl {attr k=real[-8,8],
+                              attr offset=real[0,0] mm(0.02,0)};
+
+    prod(e:Cpl_ofs, s:Osc->t:Osc)
+        s <= -1.6e9*e.k*(e.offset+sin(var(s)-var(t)));
+    prod(e:Cpl_ofs, s:Osc->t:Osc)
+        t <= -1.6e9*e.k*(e.offset+sin(-var(s)+var(t)));
+}
+"""
+
+
+def build_ofs_obc_language(parent: Language | None = None) -> Language:
+    """Construct a fresh ofs-obc instance on top of ``parent``."""
+    parent = parent or obc_language()
+    program = parse_program(OFS_OBC_SOURCE, languages={"obc": parent})
+    return program.languages["ofs-obc"]
+
+
+@cache
+def ofs_obc_language() -> Language:
+    """The shared ofs-obc language instance."""
+    return build_ofs_obc_language(obc_language())

@@ -1,0 +1,202 @@
+"""Oscillator placement onto the intercon-obc fabric (§7.2).
+
+The intercon-obc language (Fig. 13) makes the local/global interconnect
+tradeoff *checkable*: local couplings (``Cpl_l``, cost 1) stay within an
+oscillator group, global couplings (``Cpl_g``, cost 10) cross groups.
+What the language does not do is *choose* the grouping — that is the
+placement problem every architect using the fabric faces: assign the
+workload graph's oscillators to the two groups so that expensive global
+edges are minimized.
+
+This module closes that loop:
+
+* :func:`evaluate_placement` — cost model for a grouping;
+* :func:`place_random` / :func:`place_greedy` /
+  :func:`place_kernighan_lin` — a baseline and two optimizers (greedy
+  vertex moves, and networkx's Kernighan-Lin bisection for the
+  balanced-groups variant);
+* :func:`placed_network` — materialize a placement as a *valid*
+  intercon-obc dynamical graph (the language's validity rules then
+  machine-check that every coupling respects its group);
+* the placed network computes exactly like the flat obc network —
+  ``Cpl_l``/``Cpl_g`` inherit ``Cpl``'s Kuramoto rules — so max-cut
+  accuracy is placement-invariant while cost is not (asserted in the
+  tests; this is the §7.2 programmability/efficiency tradeoff made
+  concrete).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.builder import GraphBuilder
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.errors import GraphError
+from repro.paradigms.obc.intercon import intercon_obc_language
+
+#: Fig. 13 edge costs.
+LOCAL_COST = 1
+GLOBAL_COST = 10
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An assignment of workload vertices to the two oscillator groups."""
+
+    groups: tuple[int, ...]
+    n_local: int
+    n_global: int
+    local_cost: int = LOCAL_COST
+    global_cost: int = GLOBAL_COST
+
+    @property
+    def coupling_cost(self) -> int:
+        """Routing cost of the workload couplings (excludes the
+        per-oscillator SHIL self edges, which every placement pays
+        equally)."""
+        return (self.n_local * self.local_cost
+                + self.n_global * self.global_cost)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.groups)
+
+    def describe(self) -> str:
+        sizes = (self.groups.count(0), self.groups.count(1))
+        return (f"placement(groups {sizes[0]}+{sizes[1]}, "
+                f"{self.n_local} local + {self.n_global} global edges, "
+                f"cost {self.coupling_cost})")
+
+
+def _check_instance(edges, n_vertices: int):
+    for i, j in edges:
+        if not (0 <= i < n_vertices and 0 <= j < n_vertices):
+            raise GraphError(
+                f"edge ({i}, {j}) outside vertex range 0..{n_vertices - 1}")
+        if i == j:
+            raise GraphError(f"self loop ({i}, {j}) is not a coupling")
+
+
+def evaluate_placement(edges, groups, *,
+                       local_cost: int = LOCAL_COST,
+                       global_cost: int = GLOBAL_COST) -> Placement:
+    """Score a grouping: local/global edge counts and routing cost."""
+    groups = tuple(int(g) for g in groups)
+    if set(groups) - {0, 1}:
+        raise GraphError("groups must be 0 or 1")
+    _check_instance(edges, len(groups))
+    n_global = sum(1 for i, j in edges if groups[i] != groups[j])
+    return Placement(groups=groups, n_local=len(edges) - n_global,
+                     n_global=n_global, local_cost=local_cost,
+                     global_cost=global_cost)
+
+
+def place_random(edges, n_vertices: int, *, seed: int = 0,
+                 **costs) -> Placement:
+    """Uniformly random grouping — the baseline optimizers must beat."""
+    rng = np.random.default_rng(seed)
+    groups = rng.integers(0, 2, n_vertices)
+    return evaluate_placement(edges, groups, **costs)
+
+
+def place_greedy(edges, n_vertices: int, *, seed: int = 0,
+                 max_passes: int = 10, **costs) -> Placement:
+    """Greedy local search: repeatedly move the vertex whose group flip
+    reduces the number of cross-group edges the most.
+
+    Unbalanced groups are allowed (the fabric does not require balance);
+    the all-in-one-group placement — zero global edges — is therefore a
+    legal optimum, and greedy often finds it. Use
+    :func:`place_kernighan_lin` when the groups must stay balanced
+    (e.g. each group is one physical oscillator bank of fixed size).
+    """
+    _check_instance(edges, n_vertices)
+    rng = np.random.default_rng(seed)
+    groups = list(rng.integers(0, 2, n_vertices))
+    adjacency = [[] for _ in range(n_vertices)]
+    for i, j in edges:
+        adjacency[i].append(j)
+        adjacency[j].append(i)
+    for _ in range(max_passes):
+        improved = False
+        for vertex in range(n_vertices):
+            cross = sum(1 for peer in adjacency[vertex]
+                        if groups[peer] != groups[vertex])
+            same = len(adjacency[vertex]) - cross
+            if cross > same:  # flipping turns cross into same
+                groups[vertex] ^= 1
+                improved = True
+        if not improved:
+            break
+    return evaluate_placement(edges, groups, **costs)
+
+
+def place_kernighan_lin(edges, n_vertices: int, *, seed: int = 0,
+                        **costs) -> Placement:
+    """Balanced bisection via networkx's Kernighan-Lin heuristic."""
+    _check_instance(edges, n_vertices)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_vertices))
+    graph.add_edges_from(edges)
+    part_a, _part_b = nx.algorithms.community.kernighan_lin_bisection(
+        graph, seed=seed)
+    groups = [0 if v in part_a else 1 for v in range(n_vertices)]
+    return evaluate_placement(edges, groups, **costs)
+
+
+def placed_network(edges, placement: Placement, *,
+                   coupling: float = -1.0,
+                   initial_phases=None,
+                   weights=None,
+                   language: Language | None = None,
+                   ) -> DynamicalGraph:
+    """Materialize a placed max-cut network in the intercon-obc
+    language.
+
+    Oscillators become ``Osc_G0``/``Osc_G1`` nodes per the placement;
+    same-group couplings become ``Cpl_l`` edges and cross-group
+    couplings ``Cpl_g``. The SHIL self edges are ``Cpl_l`` (the Fig. 13
+    validity rules demand a local self edge on every grouped
+    oscillator). Validation then proves no local edge crosses groups.
+    """
+    language = language or intercon_obc_language()
+    n_vertices = placement.n_vertices
+    _check_instance(edges, n_vertices)
+    phases = np.zeros(n_vertices) if initial_phases is None \
+        else np.asarray(initial_phases, dtype=float)
+    builder = GraphBuilder(language, "placed-maxcut")
+    for vertex in range(n_vertices):
+        name = f"Osc_{vertex}"
+        builder.node(name, f"Osc_G{placement.groups[vertex]}")
+        builder.set_init(name, float(phases[vertex]))
+        builder.edge(name, name, f"Shil_{vertex}", "Cpl_l")
+        builder.set_attr(f"Shil_{vertex}", "k", 0.0)
+        builder.set_attr(f"Shil_{vertex}", "cost",
+                         placement.local_cost)
+    for index, (i, j) in enumerate(edges):
+        local = placement.groups[i] == placement.groups[j]
+        edge_type = "Cpl_l" if local else "Cpl_g"
+        cost = placement.local_cost if local else placement.global_cost
+        name = f"Cpl_{index}"
+        builder.edge(f"Osc_{i}", f"Osc_{j}", name, edge_type)
+        weight = 1.0 if weights is None else float(weights[index])
+        builder.set_attr(name, "k", coupling * weight)
+        builder.set_attr(name, "cost", cost)
+    return builder.finish()
+
+
+def placement_study(edges, n_vertices: int, *, seed: int = 0,
+                    ) -> dict[str, Placement]:
+    """Run all three placers on one instance (the design-exploration
+    loop an architect would script)."""
+    return {
+        "random": place_random(edges, n_vertices, seed=seed),
+        "greedy": place_greedy(edges, n_vertices, seed=seed),
+        "kernighan-lin": place_kernighan_lin(edges, n_vertices,
+                                             seed=seed),
+    }

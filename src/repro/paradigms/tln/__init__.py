@@ -1,0 +1,51 @@
+"""Transmission-line network (TLN) compute paradigm (§2, §4.4-4.5).
+
+Public surface:
+
+* :func:`tln_language` / :func:`gmc_tln_language` — the shared DSL
+  instances (Figs. 7, 9, 14);
+* :func:`linear_tline`, :func:`branched_tline`,
+  :func:`mismatched_tline` — the topologies of Figs. 2 and 5;
+* :func:`branched_tline_function` — the switchable ``br-func`` of Fig. 8;
+* :func:`sw_tln_language` — off-state switch parasitics (§4.3 ``off``
+  rules);
+* :mod:`repro.paradigms.tln.waveforms` — input pulses.
+"""
+
+from repro.paradigms.tln.functions import (DEFAULT_SEGMENTS, TLineSpec,
+                                           branched_tline,
+                                           branched_tline_function,
+                                           linear_tline,
+                                           mismatched_tline)
+from repro.paradigms.tln.gmc import (GMC_TLN_SOURCE,
+                                     build_gmc_tln_language,
+                                     gmc_tln_language)
+from repro.paradigms.tln.language import (TLN_SOURCE, build_tln_language,
+                                          tln_language)
+from repro.paradigms.tln.switches import (SW_TLN_SOURCE,
+                                          build_sw_tln_language,
+                                          sw_tln_language)
+from repro.paradigms.tln.waveforms import pulse, sine_burst, step, \
+    trapezoid
+
+__all__ = [
+    "DEFAULT_SEGMENTS",
+    "GMC_TLN_SOURCE",
+    "SW_TLN_SOURCE",
+    "TLN_SOURCE",
+    "TLineSpec",
+    "branched_tline",
+    "branched_tline_function",
+    "build_gmc_tln_language",
+    "build_sw_tln_language",
+    "build_tln_language",
+    "gmc_tln_language",
+    "linear_tline",
+    "mismatched_tline",
+    "pulse",
+    "sine_burst",
+    "step",
+    "sw_tln_language",
+    "tln_language",
+    "trapezoid",
+]

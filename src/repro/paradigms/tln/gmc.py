@@ -1,0 +1,63 @@
+"""The GmC-TLN language (§2.3-2.4, §4.5, Figs. 9 and 14).
+
+Codifies the design space of mismatch-sensitive GmC circuit
+implementations of TLN computing:
+
+* ``Vm``/``Im`` inherit ``V``/``I`` and subject the ``c``/``l`` attributes
+  (the ``Cint`` device parameter of the GmC integrator) to 10% relative
+  mismatch;
+* ``Em`` inherits ``E`` and adds 10%-mismatched ``ws``/``wt`` attributes
+  (the ``Gm1``/``Gm2`` device parameters), implementing the *modified*
+  Telegrapher's equations (Eq. 3)::
+
+      dVi/dt = (wt_i*Ii - ws_{i+1}*Ii+1 - G*Vi) / Ci
+      dIi/dt = (wt_{i-1}*Vi-1 - ws_i*Vi - R*Ii) / Li
+
+With ``ws = wt = 1`` the GmC circuit implements ideal TLN computing, so a
+t-line written in the TLN language simulates identically under GmC-TLN —
+the inheritance guarantee the paper's design flow relies on.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_program
+from repro.paradigms.tln.language import tln_language
+
+GMC_TLN_SOURCE = """
+lang gmc-tln inherits tln {
+    ntyp(1,sum) Vm inherit V {attr c=real[1e-10,1e-08] mm(0,0.1),
+                              attr g=real[0,inf]};
+    ntyp(1,sum) Im inherit I {attr l=real[1e-10,1e-08] mm(0,0.1),
+                              attr r=real[0,inf]};
+    etyp Em inherit E {attr ws=real[0.5,2] mm(0,0.1),
+                       attr wt=real[0.5,2] mm(0,0.1)};
+
+    // Modified Telegrapher couplings (Fig. 9 / Fig. 14).
+    prod(e:Em, s:V->t:I) s <= -e.ws*var(t)/s.c;
+    prod(e:Em, s:V->t:I) t <= e.wt*var(s)/t.l;
+    prod(e:Em, s:I->t:V) s <= -e.ws*var(t)/s.l;
+    prod(e:Em, s:I->t:V) t <= e.wt*var(s)/t.c;
+
+    // Mismatched source couplings (Fig. 14).
+    prod(e:Em, s:InpV->t:V) t <= e.wt*(-var(t)+s.fn(time))/(s.r*t.c);
+    prod(e:Em, s:InpV->t:I) t <= e.wt*(-s.r*var(t)+s.fn(time))/t.l;
+    prod(e:Em, s:InpI->t:V) t <= e.wt*(-s.g*var(t)+s.fn(time))/t.c;
+    prod(e:Em, s:InpI->t:I) t <= e.wt*(-var(t)+s.fn(time))/(s.g*t.l);
+}
+"""
+
+
+def build_gmc_tln_language(parent: Language | None = None) -> Language:
+    """Construct a fresh GmC-TLN instance on top of ``parent``."""
+    parent = parent or tln_language()
+    program = parse_program(GMC_TLN_SOURCE, languages={"tln": parent})
+    return program.languages["gmc-tln"]
+
+
+@cache
+def gmc_tln_language() -> Language:
+    """The shared GmC-TLN language instance (inherits the shared TLN)."""
+    return build_gmc_tln_language(tln_language())

@@ -1,0 +1,80 @@
+"""The TLN (transmission-line network) Ark language (§2.1, §4.4, Fig. 7).
+
+A t-line is discretized into alternating voltage (``V``) and current
+(``I``) segments following the Telegrapher's equations (Eq. 1)::
+
+    dVi/dt = (Ii - Ii+1 - G*Vi) / Ci
+    dIi/dt = (Vi-1 - Vi - R*Ii) / Li
+
+``InpV``/``InpI`` nodes inject external voltage/current waveforms through
+their source resistance/conductance. The validity rules enforce the
+alternating V/I structure — the malformed V-V line of Fig. 2(iii) is
+rejected because its V-V edge matches no clause.
+
+Fig. 7 elides the input and self-edge production rules; they are
+reconstructed from Eq. 1 and the full mm-tln listing of Fig. 14 (see
+DESIGN.md §5.2-5.3).
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_language
+from repro.paradigms.tln.waveforms import pulse
+
+TLN_SOURCE = """
+lang tln {
+    ntyp(1,sum) V {attr c=real[1e-10,1e-08], attr g=real[0,inf]};
+    ntyp(1,sum) I {attr l=real[1e-10,1e-08], attr r=real[0,inf]};
+    ntyp(0,sum) InpV {attr fn=fn(a0), attr r=real[0,inf]};
+    ntyp(0,sum) InpI {attr fn=fn(a0), attr g=real[0,inf]};
+    etyp E {};
+
+    // Telegrapher core: V->I and I->V couplings (Eq. 1).
+    prod(e:E, s:V->t:I) s <= -var(t)/s.c;
+    prod(e:E, s:V->t:I) t <= var(s)/t.l;
+    prod(e:E, s:I->t:V) s <= -var(t)/s.l;
+    prod(e:E, s:I->t:V) t <= var(s)/t.c;
+
+    // Damping self edges: -G*V/C and -R*I/L.
+    prod(e:E, s:V->s:V) s <= -s.g/s.c*var(s);
+    prod(e:E, s:I->s:I) s <= -s.r/s.l*var(s);
+
+    // External sources through their source impedance (cf. Fig. 14).
+    prod(e:E, s:InpV->t:V) t <= (-var(t)+s.fn(time))/(s.r*t.c);
+    prod(e:E, s:InpV->t:I) t <= (-s.r*var(t)+s.fn(time))/t.l;
+    prod(e:E, s:InpI->t:V) t <= (-s.g*var(t)+s.fn(time))/t.c;
+    prod(e:E, s:InpI->t:I) t <= (-var(t)+s.fn(time))/(s.g*t.l);
+
+    // Alternating-line validity (Fig. 7): V talks only to I (plus
+    // sources), I talks only to V (plus sources), each segment carries
+    // exactly one damping self edge.
+    cstr V {acc[match(0,inf,E,V->[I]),
+                match(0,inf,E,[I]->V),
+                match(0,inf,E,[InpV]->V),
+                match(0,inf,E,[InpI]->V),
+                match(1,1,E,V)]};
+    cstr I {acc[match(0,1,E,I->[V]),
+                match(0,1,E,[V,InpV,InpI]->I),
+                match(1,1,E,I)]};
+    cstr InpV {acc[match(1,inf,E,InpV->[V,I])]};
+    cstr InpI {acc[match(1,inf,E,InpI->[V,I])]};
+}
+"""
+
+
+def build_tln_language() -> Language:
+    """Construct a fresh TLN language instance (mainly for tests)."""
+    return parse_language(TLN_SOURCE, functions={"pulse": pulse})
+
+
+@cache
+def tln_language() -> Language:
+    """The shared TLN language instance.
+
+    Cached so every graph in a process shares one set of type objects —
+    subtype checks compare object identity along the inheritance chain.
+    """
+    return build_tln_language()

@@ -1,0 +1,59 @@
+"""The sw-tln language: off-state switch parasitics (§4.3 off rules).
+
+Ark's hardware extensions include production rules "that model
+nonidealities associated with edges that are switched off" (§4.3). No
+real switch isolates perfectly: a MOS transmission gate in its off
+state still couples a fraction of the signal through its junction
+capacitances. For the reconfigurable PUF of §2 this matters directly —
+a challenge bit that disables a branch only *attenuates* it, so
+off-state feedthrough erodes the challenge's effect on the response.
+
+``sw-tln`` inherits GmC-TLN and adds a switchable junction edge type:
+
+* ``Esw`` inherits ``Em`` and adds an ``alpha`` attribute — the
+  off-state coupling fraction (0 = ideal switch, 1 = no isolation);
+* its **on** behavior needs no new rules: production lookup falls back
+  to the inherited ``Em`` rules (§4.1.1);
+* its **off** behavior is the pair of ``off`` rules below — the ``Em``
+  couplings scaled by ``alpha``.
+
+At ``alpha = 0`` an off branch contributes nothing (ideal isolation);
+at ``alpha = 1`` the off rules equal the on rules, so the switch — and
+with it the challenge bit — has no effect at all. The tests pin both
+limits and the monotone loss of challenge sensitivity in between.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_program
+from repro.paradigms.tln.gmc import gmc_tln_language
+
+SW_TLN_SOURCE = """
+lang sw-tln inherits gmc-tln {
+    etyp Esw inherit Em {attr alpha=real[0,1]};
+
+    // Off-state feedthrough: the junction couplings, scaled by the
+    // isolation fraction alpha (V-node side and I-node side).
+    prod(e:Esw, s:V->t:I) s <= -e.alpha*e.ws*var(t)/s.c off;
+    prod(e:Esw, s:V->t:I) t <= e.alpha*e.wt*var(s)/t.l off;
+    prod(e:Esw, s:I->t:V) s <= -e.alpha*e.ws*var(t)/s.l off;
+    prod(e:Esw, s:I->t:V) t <= e.alpha*e.wt*var(s)/t.c off;
+}
+"""
+
+
+def build_sw_tln_language(parent: Language | None = None) -> Language:
+    """Construct a fresh sw-tln instance on top of ``parent``."""
+    parent = parent or gmc_tln_language()
+    program = parse_program(SW_TLN_SOURCE,
+                            languages={"gmc-tln": parent})
+    return program.languages["sw-tln"]
+
+
+@cache
+def sw_tln_language() -> Language:
+    """The shared sw-tln language instance."""
+    return build_sw_tln_language(gmc_tln_language())

@@ -1,0 +1,43 @@
+"""TLN physical-unclonable-function toolkit (§2 case study).
+
+The paper's motivating design problem: a transmission-line PUF whose
+challenge bits reconfigure switchable branch stubs and whose response is
+encoded from the ``OUT_V`` trajectory inside an observation window.
+Fabrication mismatch (via the GmC-TLN language) makes each fabricated
+instance respond differently — the security property.
+
+* :mod:`repro.puf.challenge` — the reconfigurable multi-branch topology;
+* :mod:`repro.puf.response` — trajectory-to-bitvector encoding;
+* :mod:`repro.puf.metrics` — uniqueness / reliability / uniformity, the
+  standard PUF quality metrics;
+* :mod:`repro.puf.attack` — ML modeling attacks quantifying the §2
+  "hard to predict" requirement (accuracy vs CRP budget).
+"""
+
+from repro.puf.attack import (AttackResult, LogisticModel,
+                              challenge_features, collect_crps,
+                              cross_validate, learning_curve,
+                              run_attack, split_attack)
+from repro.puf.challenge import PufDesign
+from repro.puf.metrics import (bit_aliasing, hamming_fraction,
+                               reliability, uniformity, uniqueness)
+from repro.puf.response import evaluate_puf, random_challenges
+
+__all__ = [
+    "AttackResult",
+    "LogisticModel",
+    "PufDesign",
+    "bit_aliasing",
+    "challenge_features",
+    "collect_crps",
+    "cross_validate",
+    "evaluate_puf",
+    "hamming_fraction",
+    "learning_curve",
+    "random_challenges",
+    "reliability",
+    "run_attack",
+    "split_attack",
+    "uniformity",
+    "uniqueness",
+]

@@ -1,0 +1,352 @@
+"""Machine-learning modeling attacks on the TLN PUF.
+
+§2 frames the PUF design goal as a mapping that is "stable but maximally
+complex and hard to imitate or predict for cryptographic adversaries
+without physically possessing and interrogating the PUF". The standard
+way to quantify "hard to predict" is a *modeling attack*: train a
+machine-learning model on a set of observed challenge-response pairs
+(CRPs) and measure how well it predicts responses to unseen challenges
+(Rührmair et al., CCS 2010). A PUF whose responses a small model predicts
+from few CRPs provides weak authentication no matter how good its
+uniqueness and reliability metrics look.
+
+This module implements that analysis for the switchable-branch TLN PUF:
+
+* :func:`challenge_features` — expand a challenge bitvector into a
+  polynomial feature vector (degree 1 = independent stub effects,
+  degree 2 adds stub-pair interaction products, etc.);
+* :class:`LogisticModel` — multi-output logistic regression trained with
+  full-batch gradient descent (pure numpy, no external ML stack);
+* :func:`collect_crps` / :func:`run_attack` / :func:`learning_curve` /
+  :func:`cross_validate` — CRP harvesting, train/test evaluation,
+  accuracy-vs-#CRPs curves, and k-fold evaluation over the full
+  challenge space.
+
+The headline use, mirroring the paper's Fig. 4c/4d methodology, is to
+compare *design variants*: a variant whose responses are easier to model
+(higher attack accuracy at equal CRP budget) is the weaker PUF even if
+both separate chips equally well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.puf.challenge import PufDesign
+from repro.puf.response import DEFAULT_WINDOW, evaluate_puf
+
+
+def _as_bit_matrix(challenges, n_bits: int) -> np.ndarray:
+    """Normalize challenges (ints or bit sequences) to an (n, k) 0/1
+    matrix, least-significant bit first to match ``PufDesign``."""
+    rows = []
+    for challenge in challenges:
+        if isinstance(challenge, (int, np.integer)):
+            if not 0 <= int(challenge) < (1 << n_bits):
+                raise GraphError(
+                    f"challenge {challenge} outside [0, "
+                    f"{(1 << n_bits) - 1}]")
+            rows.append([(int(challenge) >> k) & 1
+                         for k in range(n_bits)])
+        else:
+            bits = [int(bool(b)) for b in challenge]
+            if len(bits) != n_bits:
+                raise GraphError(
+                    f"challenge needs {n_bits} bits, got {len(bits)}")
+            rows.append(bits)
+    return np.asarray(rows, dtype=float)
+
+
+def challenge_features(challenges, n_bits: int,
+                       degree: int = 2) -> np.ndarray:
+    """Polynomial feature expansion of challenge bitvectors.
+
+    Bits are mapped to +/-1 (so products are parity features, the
+    canonical PUF-attack encoding), then all products of up to ``degree``
+    distinct bits are emitted, plus a constant term::
+
+        degree 1 -> [1, s_0, ..., s_{k-1}]
+        degree 2 -> [..., s_0*s_1, s_0*s_2, ...]
+
+    :returns: (n_challenges, n_features) float matrix.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    bits = _as_bit_matrix(challenges, n_bits)
+    signs = 2.0 * bits - 1.0
+    columns = [np.ones(len(signs))]
+    for size in range(1, min(degree, n_bits) + 1):
+        for combo in combinations(range(n_bits), size):
+            columns.append(np.prod(signs[:, combo], axis=1))
+    return np.stack(columns, axis=1)
+
+
+def n_features(n_bits: int, degree: int = 2) -> int:
+    """Feature count produced by :func:`challenge_features`."""
+    total = 1
+    term = 1
+    for size in range(1, min(degree, n_bits) + 1):
+        term = term * (n_bits - size + 1) // size
+        total += term
+    return total
+
+
+class LogisticModel:
+    """Multi-output logistic regression, one independent binary classifier
+    per response bit, trained by full-batch gradient descent.
+
+    Pure numpy on purpose: the attack must run in this repository's
+    no-network environment, and the model class (linear in the feature
+    map) is the quantity of interest — a PUF that falls to a *linear*
+    model is broken regardless of fancier attacks.
+    """
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 500,
+                 l2: float = 1e-3):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 0.5 * (1.0 + np.tanh(0.5 * z))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            ) -> "LogisticModel":
+        """Train on (n, f) features and (n, b) 0/1 labels."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if labels.ndim == 1:
+            labels = labels[:, None]
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"feature/label row mismatch: {features.shape[0]} vs "
+                f"{labels.shape[0]}")
+        n_rows, n_cols = features.shape
+        weights = np.zeros((n_cols, labels.shape[1]))
+        for _ in range(self.epochs):
+            predictions = self._sigmoid(features @ weights)
+            gradient = features.T @ (predictions - labels) / n_rows
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.weights = weights
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("model is not fitted")
+        return self._sigmoid(np.asarray(features, dtype=float)
+                             @ self.weights)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """0/1 predictions, shape (n, b)."""
+        return (self.predict_proba(features) >= 0.5).astype(np.uint8)
+
+    def accuracy(self, features: np.ndarray,
+                 labels: np.ndarray) -> np.ndarray:
+        """Per-output-bit accuracy on a labeled set."""
+        labels = np.asarray(labels)
+        if labels.ndim == 1:
+            labels = labels[:, None]
+        return (self.predict(features) == labels).mean(axis=0)
+
+
+def collect_crps(design: PufDesign, challenges, seed: int, *,
+                 n_bits: int = 32,
+                 window: tuple[float, float] = DEFAULT_WINDOW,
+                 n_points: int = 600,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Interrogate one fabricated chip over ``challenges``.
+
+    :returns: ``(challenge_bits, responses)`` — (n, k) 0/1 challenge
+        matrix and (n, n_bits) 0/1 response matrix.
+    """
+    challenge_bits = _as_bit_matrix(challenges, design.n_bits)
+    responses = [evaluate_puf(design, challenge, seed, n_bits=n_bits,
+                              window=window, n_points=n_points)
+                 for challenge in challenges]
+    return challenge_bits, np.stack(responses).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one modeling attack on one chip."""
+
+    n_train: int
+    n_test: int
+    degree: int
+    per_bit_accuracy: np.ndarray
+    #: Majority-class rate per bit on the test set: the accuracy a
+    #: constant predictor achieves. Attack *advantage* is accuracy above
+    #: this, not above 0.5 — response bits need not be balanced.
+    per_bit_baseline: np.ndarray
+
+    @property
+    def accuracy(self) -> float:
+        """Mean prediction accuracy across response bits."""
+        return float(np.mean(self.per_bit_accuracy))
+
+    @property
+    def baseline(self) -> float:
+        return float(np.mean(self.per_bit_baseline))
+
+    @property
+    def advantage(self) -> float:
+        """Mean accuracy above the constant-predictor baseline."""
+        return self.accuracy - self.baseline
+
+    def describe(self) -> str:
+        return (f"attack(train={self.n_train}, test={self.n_test}, "
+                f"degree={self.degree}): accuracy {self.accuracy:.3f} "
+                f"(baseline {self.baseline:.3f}, advantage "
+                f"{self.advantage:+.3f})")
+
+
+def _majority_baseline(labels: np.ndarray) -> np.ndarray:
+    means = np.asarray(labels, dtype=float).mean(axis=0)
+    return np.maximum(means, 1.0 - means)
+
+
+def split_attack(train_bits: np.ndarray, train_labels: np.ndarray,
+                 test_bits: np.ndarray, test_labels: np.ndarray, *,
+                 n_bits: int, degree: int = 2,
+                 model: LogisticModel | None = None) -> AttackResult:
+    """Train on one CRP set and score on another (already-split data)."""
+    model = model or LogisticModel()
+    train_features = challenge_features(train_bits, n_bits, degree)
+    test_features = challenge_features(test_bits, n_bits, degree)
+    model.fit(train_features, train_labels)
+    return AttackResult(
+        n_train=len(train_bits),
+        n_test=len(test_bits),
+        degree=degree,
+        per_bit_accuracy=model.accuracy(test_features, test_labels),
+        per_bit_baseline=_majority_baseline(test_labels),
+    )
+
+
+def run_attack(design: PufDesign, seed: int, *, n_train: int,
+               n_test: int | None = None, degree: int = 2,
+               rng: np.random.Generator | int | None = None,
+               n_bits: int = 32,
+               window: tuple[float, float] = DEFAULT_WINDOW,
+               n_points: int = 600,
+               model: LogisticModel | None = None) -> AttackResult:
+    """Model one chip from ``n_train`` random CRPs, test on the rest.
+
+    The challenge space is enumerated (TLN PUFs have one bit per branch,
+    so it is small), shuffled with ``rng``, and split; ``n_test=None``
+    tests on every remaining challenge.
+    """
+    space = 1 << design.n_bits
+    if n_train < 1:
+        raise ValueError("n_train must be >= 1")
+    if n_train >= space:
+        raise ValueError(
+            f"n_train={n_train} leaves no test challenges out of "
+            f"{space}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    order = rng.permutation(space)
+    train_challenges = [int(c) for c in order[:n_train]]
+    rest = order[n_train:]
+    if n_test is not None:
+        rest = rest[:n_test]
+    test_challenges = [int(c) for c in rest]
+
+    train_bits, train_labels = collect_crps(
+        design, train_challenges, seed, n_bits=n_bits, window=window,
+        n_points=n_points)
+    test_bits, test_labels = collect_crps(
+        design, test_challenges, seed, n_bits=n_bits, window=window,
+        n_points=n_points)
+    return split_attack(train_bits, train_labels, test_bits, test_labels,
+                        n_bits=design.n_bits, degree=degree, model=model)
+
+
+def cross_validate(design: PufDesign, seed: int, *, k: int = 4,
+                   degree: int = 1,
+                   rng: np.random.Generator | int | None = None,
+                   n_bits: int = 32,
+                   window: tuple[float, float] = DEFAULT_WINDOW,
+                   n_points: int = 600,
+                   model_factory=LogisticModel) -> AttackResult:
+    """K-fold cross-validated attack over the full challenge space.
+
+    TLN PUF challenge spaces are small (one bit per branch), so a single
+    train/test split leaves too few test challenges for a stable accuracy
+    estimate. This enumerates the space once (each challenge simulated
+    once), folds it, and pools the held-out predictions of all folds into
+    one :class:`AttackResult`.
+    """
+    space = 1 << design.n_bits
+    if not 2 <= k <= space:
+        raise ValueError(f"k must be in [2, {space}], got {k}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    order = [int(c) for c in rng.permutation(space)]
+    bits, labels = collect_crps(design, order, seed, n_bits=n_bits,
+                                window=window, n_points=n_points)
+    features = challenge_features(bits, design.n_bits, degree)
+
+    correct = np.zeros(labels.shape[1])
+    majority = np.zeros(labels.shape[1])
+    fold_edges = np.linspace(0, space, k + 1, dtype=int)
+    for fold in range(k):
+        test = np.arange(fold_edges[fold], fold_edges[fold + 1])
+        train = np.setdiff1d(np.arange(space), test)
+        fitted = model_factory().fit(features[train], labels[train])
+        predictions = fitted.predict(features[test])
+        correct += (predictions == labels[test]).sum(axis=0)
+        # Majority class is estimated from the training fold, as a real
+        # constant-output adversary would.
+        constant = (labels[train].mean(axis=0) >= 0.5).astype(np.uint8)
+        majority += (labels[test] == constant).sum(axis=0)
+    return AttackResult(
+        n_train=space - (space // k), n_test=space, degree=degree,
+        per_bit_accuracy=correct / space,
+        per_bit_baseline=majority / space)
+
+
+def learning_curve(design: PufDesign, seed: int, train_sizes, *,
+                   degree: int = 2,
+                   rng: np.random.Generator | int | None = None,
+                   n_bits: int = 32,
+                   window: tuple[float, float] = DEFAULT_WINDOW,
+                   n_points: int = 600) -> list[AttackResult]:
+    """Attack accuracy as a function of the CRP training budget.
+
+    All points share one CRP harvest (each challenge is simulated once)
+    and one shuffle, so the curve isolates the effect of training-set
+    size.
+    """
+    train_sizes = sorted(set(int(s) for s in train_sizes))
+    space = 1 << design.n_bits
+    if not train_sizes or train_sizes[0] < 1:
+        raise ValueError("train_sizes must contain positive sizes")
+    if train_sizes[-1] >= space:
+        raise ValueError(
+            f"largest train size {train_sizes[-1]} leaves no test "
+            f"challenges out of {space}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    order = [int(c) for c in rng.permutation(space)]
+    bits, labels = collect_crps(design, order, seed, n_bits=n_bits,
+                                window=window, n_points=n_points)
+    results = []
+    for size in train_sizes:
+        results.append(split_attack(
+            bits[:size], labels[:size], bits[size:], labels[size:],
+            n_bits=design.n_bits, degree=degree))
+    return results

@@ -1,0 +1,133 @@
+"""Reconfigurable multi-branch t-line PUF topology.
+
+Generalizes the paper's ``br-func`` (Fig. 8): a main transmission line
+carries several switchable open-ended branch stubs of different lengths.
+Each challenge bit switches one stub's junction edge; enabled stubs add
+reflections (echoes) at stub-specific delays, so every challenge shapes a
+different ``OUT_V`` trajectory. Fabrication variation enters through the
+GmC-TLN mismatch types — following the paper's Fig. 4d conclusion, the
+default design uses Gm (edge) mismatch, the stronger entropy source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import DynamicalGraph
+from repro.core.language import Language
+from repro.errors import GraphError
+from repro.paradigms.tln.functions import TLineSpec, _LineBuilder, \
+    _pick_language, _variant_types
+
+
+@dataclass(frozen=True)
+class PufDesign:
+    """A switchable-branch TLN PUF design.
+
+    :param spec: electrical parameters of the main line.
+    :param branch_positions: indices of main-line V nodes (0-based,
+        interior) that carry a stub; one challenge bit each.
+    :param branch_lengths: stub lengths in LC segments (same order).
+    :param variant: mismatch source — ``"gm"`` (default, per the paper's
+        recommendation), ``"cint"``, or ``"ideal"`` (no mismatch; useful
+        as a negative control: all chips identical).
+    :param switch_alpha: off-state feedthrough fraction of the branch
+        switches (§4.3 ``off`` rules via the sw-tln language); 0 models
+        ideal isolation, 1 a switch with no isolation at all.
+    """
+
+    spec: TLineSpec = TLineSpec()
+    branch_positions: tuple[int, ...] = (5, 12, 19)
+    branch_lengths: tuple[int, ...] = (6, 10, 14)
+    variant: str = "gm"
+    switch_alpha: float = 0.0
+
+    def __post_init__(self):
+        if len(self.branch_positions) != len(self.branch_lengths):
+            raise GraphError(
+                "branch_positions and branch_lengths must align")
+        if not 0.0 <= self.switch_alpha <= 1.0:
+            raise GraphError(
+                f"switch_alpha must be in [0, 1], got "
+                f"{self.switch_alpha}")
+        for position in self.branch_positions:
+            if not 0 <= position < self.spec.n_segments - 1:
+                raise GraphError(
+                    f"branch position {position} outside the main line's "
+                    f"interior V nodes (0..{self.spec.n_segments - 2})")
+
+    @property
+    def n_bits(self) -> int:
+        """Challenge width: one bit per switchable branch."""
+        return len(self.branch_positions)
+
+    def build(self, challenge: int | str | list[int],
+              seed: int | None = None,
+              language: Language | None = None) -> DynamicalGraph:
+        """Instantiate the PUF for one challenge and one fabricated chip.
+
+        :param challenge: challenge bits (int, "101"-style string, or bit
+            list); bit k enables branch k.
+        :param seed: mismatch seed — the chip identity (§4.3).
+        """
+        bits = self._challenge_bits(challenge)
+        node_variant = "cint" if self.variant == "cint" else "ideal"
+        edge_variant = "gm" if self.variant == "gm" else "ideal"
+        v_type, i_type, e_type = _variant_types(node_variant,
+                                                edge_variant)
+        parasitic = self.switch_alpha > 0.0
+        if language is None and parasitic:
+            from repro.paradigms.tln.switches import sw_tln_language
+            language = sw_tln_language()
+        language = _pick_language(language, node_variant, edge_variant)
+        junction_type = "Esw" if parasitic else None
+        line = _LineBuilder(language, "tln-puf", self.spec, v_type,
+                            i_type, e_type, seed)
+        line.add_v("IN_V", g=0.0)
+        line.add_v("OUT_V", g=self.spec.termination)
+        line.add_source("IN_V")
+        line.chain("IN_V", "OUT_V", self.spec.n_segments)
+        for index, (position, length) in enumerate(
+                zip(self.branch_positions, self.branch_lengths)):
+            root = f"V_{position}"
+            end = f"Vstub{index}_end"
+            line.add_v(end, g=0.0)
+            prefix = f"s{index}"
+            line.chain(root, end, length, prefix=prefix,
+                       first_edge_type=junction_type)
+            # chain() created the junction as the edge root -> s{index}I_0;
+            # switching it on/off realizes the challenge bit.
+            junction_edge = self._find_junction(line, root,
+                                                f"{prefix}I_0")
+            if parasitic:
+                line.builder.set_attr(junction_edge, "alpha",
+                                      self.switch_alpha)
+            line.builder.set_switch(junction_edge, bool(bits[index]))
+        return line.finish()
+
+    def _find_junction(self, line: _LineBuilder, src: str, dst: str,
+                       ) -> str:
+        for edge in line.builder.graph.edges:
+            if edge.src == src and edge.dst == dst:
+                return edge.name
+        raise GraphError(f"junction edge {src}->{dst} not found")
+
+    def _challenge_bits(self, challenge) -> list[int]:
+        if isinstance(challenge, int):
+            if not 0 <= challenge < (1 << self.n_bits):
+                raise GraphError(
+                    f"challenge {challenge} outside "
+                    f"[0, {(1 << self.n_bits) - 1}]")
+            return [(challenge >> k) & 1 for k in range(self.n_bits)]
+        if isinstance(challenge, str):
+            if len(challenge) != self.n_bits or \
+                    set(challenge) - {"0", "1"}:
+                raise GraphError(
+                    f"challenge string must be {self.n_bits} binary "
+                    f"digits, got {challenge!r}")
+            return [int(c) for c in challenge]
+        bits = [int(bool(b)) for b in challenge]
+        if len(bits) != self.n_bits:
+            raise GraphError(
+                f"challenge needs {self.n_bits} bits, got {len(bits)}")
+        return bits

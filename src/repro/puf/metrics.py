@@ -1,0 +1,64 @@
+"""Standard PUF quality metrics.
+
+* **Uniqueness** — mean pairwise fractional Hamming distance between the
+  responses of *different* chips to the same challenge (ideal 0.5);
+* **Reliability** — 1 minus the mean intra-chip fractional Hamming
+  distance over repeated noisy evaluations (ideal 1.0);
+* **Uniformity** — mean fraction of 1-bits per response (ideal 0.5);
+* **Bit aliasing** — per-bit mean across chips (ideal 0.5 each); a bit
+  stuck at 0 or 1 across the population carries no entropy.
+
+These are the quantities a security expert checks when using Ark to
+explore the PUF design space (§2.4's "detailed analysis for the PUF
+design problem").
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+
+def hamming_fraction(a: np.ndarray, b: np.ndarray) -> float:
+    """Fractional Hamming distance between two equal-length bitvectors."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"bitvector shapes differ: {a.shape} vs "
+                         f"{b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float((a != b).mean())
+
+
+def uniqueness(responses: list[np.ndarray]) -> float:
+    """Mean pairwise fractional Hamming distance across chips."""
+    if len(responses) < 2:
+        return 0.0
+    distances = [hamming_fraction(a, b)
+                 for a, b in combinations(responses, 2)]
+    return float(np.mean(distances))
+
+
+def reliability(reference: np.ndarray,
+                repeats: list[np.ndarray]) -> float:
+    """1 - mean fractional Hamming distance to the noiseless reference."""
+    if not repeats:
+        return 1.0
+    distances = [hamming_fraction(reference, r) for r in repeats]
+    return float(1.0 - np.mean(distances))
+
+
+def uniformity(response: np.ndarray) -> float:
+    """Fraction of 1-bits in one response."""
+    response = np.asarray(response, dtype=np.uint8)
+    if response.size == 0:
+        return 0.0
+    return float(response.mean())
+
+
+def bit_aliasing(responses: list[np.ndarray]) -> np.ndarray:
+    """Per-bit mean across a chip population."""
+    return np.stack([np.asarray(r, dtype=float)
+                     for r in responses]).mean(axis=0)

@@ -1,0 +1,68 @@
+"""Response encoding: OUT_V trajectory -> bitvector (§2).
+
+"In an analog circuit PUF, the response is often naturally computed from
+voltage and current trajectories observed on a wire within a certain
+observation time window." We sample ``OUT_V`` at evenly spaced times
+inside the window and encode one bit per *pair* of samples
+(``v[2k] > v[2k+1]``): the differential comparison is insensitive to
+global gain and keeps the bits reasonably balanced without forcing
+them to be, so uniformity stays a meaningful metric.
+
+Measurement noise (for reliability studies) is modeled as additive
+Gaussian noise on the sampled voltages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulator import simulate
+from repro.puf.challenge import PufDesign
+
+#: Default observation window: wide enough for every stub's echo (the
+#: branched-line lesson of §2.2).
+DEFAULT_WINDOW = (1e-8, 8e-8)
+
+
+def encode_response(samples: np.ndarray,
+                    rng: np.random.Generator | None = None,
+                    noise_sigma: float = 0.0) -> np.ndarray:
+    """Differential encoding: bit k compares samples 2k and 2k+1."""
+    samples = np.asarray(samples, dtype=float)
+    if noise_sigma > 0.0:
+        rng = rng or np.random.default_rng()
+        samples = samples + rng.normal(0.0, noise_sigma, samples.shape)
+    pairs = samples[: 2 * (len(samples) // 2)].reshape(-1, 2)
+    return (pairs[:, 0] > pairs[:, 1]).astype(np.uint8)
+
+
+def evaluate_puf(design: PufDesign, challenge, seed: int, *,
+                 n_bits: int = 32,
+                 window: tuple[float, float] = DEFAULT_WINDOW,
+                 t_end: float | None = None,
+                 noise_sigma: float = 0.0,
+                 rng: np.random.Generator | None = None,
+                 n_points: int = 600) -> np.ndarray:
+    """Challenge one fabricated chip and return its response bits.
+
+    :param seed: the chip identity (mismatch seed).
+    :param noise_sigma: per-sample measurement noise for reliability
+        studies (0 = noiseless).
+    """
+    graph = design.build(challenge, seed=seed)
+    horizon = t_end if t_end is not None else window[1] * 1.05
+    trajectory = simulate(graph, (0.0, horizon), n_points=n_points)
+    times = np.linspace(window[0], window[1], 2 * n_bits)
+    samples = trajectory.sample("OUT_V", times)
+    return encode_response(samples, rng=rng, noise_sigma=noise_sigma)
+
+
+def random_challenges(design: PufDesign, count: int, seed: int = 0,
+                      ) -> list[int]:
+    """Distinct random challenges (all of them when the space is small)."""
+    space = 1 << design.n_bits
+    rng = np.random.default_rng(seed)
+    if count >= space:
+        return list(range(space))
+    picks = rng.choice(space, size=count, replace=False)
+    return [int(p) for p in picks]

@@ -1,0 +1,162 @@
+"""Tests for the analysis toolkit (windows, spread, steady state,
+phase)."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import (energy_capture, ensemble_matrix,
+                            ensemble_spread, fold_phase, is_settled,
+                            observation_window, phase_distance,
+                            settling_time, window_covers, window_spread)
+from repro.core.odesystem import OdeSystem
+from repro.core.simulator import Trajectory
+from repro.paradigms.tln import TLineSpec, branched_tline, linear_tline
+
+
+def _fake_trajectory(t, values, node="OUT_V"):
+    """Minimal Trajectory stub over one named node."""
+
+    class _Sys:
+        def index_of(self, name, deriv=0):
+            assert name == node
+            return 0
+
+    return Trajectory(t=np.asarray(t, dtype=float),
+                      y=np.asarray(values, dtype=float)[None, :],
+                      system=_Sys())
+
+
+class TestObservationWindow:
+    def test_window_brackets_activity(self):
+        t = np.linspace(0, 10, 101)
+        v = np.where((t > 2) & (t < 4), 1.0, 0.0)
+        trajectory = _fake_trajectory(t, v)
+        window = observation_window(trajectory, "OUT_V")
+        assert 1.8 <= window[0] <= 2.2
+        assert 3.8 <= window[1] <= 4.2
+
+    def test_zero_signal_raises(self):
+        trajectory = _fake_trajectory([0, 1, 2], [0, 0, 0])
+        with pytest.raises(repro.SimulationError):
+            observation_window(trajectory, "OUT_V")
+
+    def test_branched_window_wider_than_linear(self):
+        spec = TLineSpec(n_segments=10)
+        lin = repro.simulate(linear_tline(spec), (0.0, 8e-8),
+                             n_points=500)
+        brn = repro.simulate(branched_tline(spec, branch_segments=6),
+                             (0.0, 8e-8), n_points=500)
+        w_lin = observation_window(lin, "OUT_V", threshold=0.1)
+        w_brn = observation_window(brn, "OUT_V", threshold=0.1)
+        # §2.2: the branched line needs a wider window for its echo.
+        assert (w_brn[1] - w_brn[0]) > (w_lin[1] - w_lin[0])
+
+    def test_energy_capture(self):
+        t = np.linspace(0, 10, 101)
+        v = np.where((t > 2) & (t < 4), 1.0, 0.0)
+        trajectory = _fake_trajectory(t, v)
+        assert energy_capture(trajectory, "OUT_V", (0, 10)) == \
+            pytest.approx(1.0)
+        assert energy_capture(trajectory, "OUT_V", (5, 10)) == \
+            pytest.approx(0.0, abs=0.05)
+
+    def test_window_covers(self):
+        assert window_covers((0, 10), (2, 4))
+        assert not window_covers((3, 10), (2, 4))
+
+
+class TestSpread:
+    def _ensemble(self):
+        t = np.linspace(0, 1, 11)
+        return [
+            _fake_trajectory(t, np.full(11, level))
+            for level in (0.0, 1.0, 2.0)
+        ], t
+
+    def test_matrix_shape(self):
+        trajectories, t = self._ensemble()
+        matrix = ensemble_matrix(trajectories, "OUT_V", t)
+        assert matrix.shape == (3, 11)
+
+    def test_spread_statistics(self):
+        trajectories, t = self._ensemble()
+        stats = ensemble_spread(trajectories, "OUT_V", t)
+        assert np.allclose(stats["mean"], 1.0)
+        assert np.allclose(stats["min"], 0.0)
+        assert np.allclose(stats["max"], 2.0)
+        assert np.allclose(stats["std"], np.std([0.0, 1.0, 2.0]))
+
+    def test_window_spread_scalar(self):
+        trajectories, _ = self._ensemble()
+        score = window_spread(trajectories, "OUT_V", (0.2, 0.8))
+        assert score == pytest.approx(np.std([0.0, 1.0, 2.0]))
+
+    def test_identical_ensemble_zero_spread(self):
+        t = np.linspace(0, 1, 11)
+        trajectories = [_fake_trajectory(t, np.sin(t))
+                        for _ in range(4)]
+        assert window_spread(trajectories, "OUT_V", (0, 1)) == 0.0
+
+    def test_percentile_band_ordering(self):
+        from repro.analysis import percentile_band
+        t = np.linspace(0, 1, 11)
+        trajectories = [_fake_trajectory(t, np.full(11, float(level)))
+                        for level in range(10)]
+        band = percentile_band(trajectories, "OUT_V", t)
+        assert (band["lower"] <= band["median"]).all()
+        assert (band["median"] <= band["upper"]).all()
+        assert band["median"][0] == pytest.approx(4.5)
+
+    def test_percentile_band_validates_bounds(self):
+        from repro.analysis import percentile_band
+        t = np.linspace(0, 1, 5)
+        trajectories = [_fake_trajectory(t, t)]
+        with pytest.raises(ValueError):
+            percentile_band(trajectories, "OUT_V", t, lower=90,
+                            upper=10)
+
+
+class TestSteadyState:
+    def test_settled_tail(self):
+        t = np.linspace(0, 10, 101)
+        v = np.exp(-t)
+        trajectory = _fake_trajectory(t, v)
+        assert is_settled(trajectory, "OUT_V", tolerance=1e-2)
+
+    def test_not_settled(self):
+        t = np.linspace(0, 10, 101)
+        trajectory = _fake_trajectory(t, np.sin(t))
+        assert not is_settled(trajectory, "OUT_V", tolerance=1e-2)
+
+    def test_settling_time(self):
+        t = np.linspace(0, 10, 1001)
+        trajectory = _fake_trajectory(t, np.exp(-t))
+        settle = settling_time(trajectory, "OUT_V", tolerance=1e-2)
+        assert settle == pytest.approx(-math.log(1e-2), abs=0.3)
+
+    def test_never_settles(self):
+        t = np.linspace(0, 10, 101)
+        trajectory = _fake_trajectory(t, t)  # still moving at the end
+        assert settling_time(trajectory, "OUT_V",
+                             tolerance=1e-6) is None
+
+
+class TestPhase:
+    def test_fold_phase_range(self):
+        for phase in (-7.0, -0.1, 0.0, 3.0, 10 * math.pi):
+            folded = fold_phase(phase)
+            assert 0.0 <= folded < 2 * math.pi
+
+    def test_fold_preserves_angle(self):
+        assert fold_phase(2 * math.pi + 0.5) == pytest.approx(0.5)
+        assert fold_phase(-0.5) == pytest.approx(2 * math.pi - 0.5)
+
+    def test_phase_distance_symmetry(self):
+        assert phase_distance(0.1, 2 * math.pi - 0.1) == \
+            pytest.approx(0.2)
+
+    def test_phase_distance_max_is_pi(self):
+        assert phase_distance(0.0, math.pi) == pytest.approx(math.pi)

@@ -1,0 +1,168 @@
+"""Tests for the GmC circuit substrate: netlist model, nodal analysis,
+synthesis, and the §4.5 DG-vs-circuit comparison."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits import (Capacitor, Conductance, CurrentSource,
+                            Netlist, Transconductor, assemble,
+                            compare_dg_netlist, relative_rmse,
+                            simulate_netlist, synthesize_gmc)
+from repro.errors import GraphError
+from repro.paradigms.tln import (TLineSpec, branched_tline,
+                                 linear_tline, mismatched_tline)
+
+
+class TestNetlistModel:
+    def test_nets_enumerated_in_order(self):
+        netlist = Netlist()
+        netlist.capacitors.append(Capacitor("a", 1e-9))
+        netlist.capacitors.append(Capacitor("b", 1e-9))
+        netlist.transconductors.append(Transconductor("b", "a", 1.0))
+        assert netlist.nets() == ["a", "b"]
+
+    def test_check_requires_capacitor_everywhere(self):
+        netlist = Netlist()
+        netlist.capacitors.append(Capacitor("a", 1e-9))
+        netlist.conductances.append(Conductance("b", 1.0))
+        with pytest.raises(GraphError):
+            netlist.check()
+
+    def test_check_rejects_double_capacitor(self):
+        netlist = Netlist()
+        netlist.capacitors.append(Capacitor("a", 1e-9))
+        netlist.capacitors.append(Capacitor("a", 1e-9))
+        with pytest.raises(GraphError):
+            netlist.check()
+
+    def test_element_validation(self):
+        with pytest.raises(GraphError):
+            Capacitor("a", -1e-9)
+        with pytest.raises(GraphError):
+            Conductance("a", -1.0)
+
+
+class TestNodalAnalysis:
+    def test_rc_decay(self):
+        netlist = Netlist()
+        netlist.capacitors.append(Capacitor("v", 1.0))
+        netlist.conductances.append(Conductance("v", 1.0))
+        netlist.initial_voltages["v"] = 1.0
+        trajectory = simulate_netlist(netlist, (0.0, 2.0),
+                                      n_points=100)
+        assert trajectory["v"][-1] == pytest.approx(np.exp(-2.0),
+                                                    rel=1e-4)
+
+    def test_vccs_integrator(self):
+        # C dv/dt = gm * u with u held at 1 V by a stiff source.
+        netlist = Netlist()
+        netlist.capacitors.append(Capacitor("u", 1.0))
+        netlist.conductances.append(Conductance("u", 1e6))
+        netlist.sources.append(CurrentSource("u", lambda t: 1e6))
+        netlist.capacitors.append(Capacitor("v", 1.0))
+        netlist.transconductors.append(Transconductor("v", "u", 2.0))
+        trajectory = simulate_netlist(netlist, (0.0, 1.0),
+                                      n_points=100, method="LSODA")
+        assert trajectory["v"][-1] == pytest.approx(2.0, rel=1e-2)
+
+    def test_assemble_shapes(self):
+        netlist = Netlist()
+        netlist.capacitors.append(Capacitor("a", 1e-9))
+        netlist.capacitors.append(Capacitor("b", 2e-9))
+        netlist.transconductors.append(Transconductor("b", "a", 0.5))
+        system = assemble(netlist)
+        assert system.n_nets == 2
+        assert system.capacitance[system.index["b"]] == 2e-9
+        assert system.conductance[system.index["b"],
+                                  system.index["a"]] == -0.5
+
+
+class TestSynthesis:
+    def test_line_synthesizes(self, small_spec):
+        netlist = synthesize_gmc(linear_tline(small_spec))
+        counts = netlist.element_count()
+        # One capacitor per V/I node; two transconductors per line edge.
+        graph = linear_tline(small_spec)
+        n_line_nodes = sum(1 for n in graph.nodes
+                           if n.type.name in ("V", "I"))
+        assert counts["capacitors"] == n_line_nodes
+        assert counts["sources"] == 1
+
+    def test_off_edges_skipped(self, small_spec):
+        from repro.paradigms.tln import branched_tline_function
+        fn = branched_tline_function(TLineSpec(n_segments=4),
+                                     branch_segments=2)
+        on = synthesize_gmc(fn(br=1))
+        off = synthesize_gmc(fn(br=0))
+        assert off.element_count()["transconductors"] == \
+            on.element_count()["transconductors"] - 2
+
+    def test_mismatch_propagates(self, small_spec):
+        nominal = synthesize_gmc(mismatched_tline("gm", small_spec,
+                                                  seed=None))
+        mismatched = synthesize_gmc(mismatched_tline("gm", small_spec,
+                                                     seed=1))
+        gm_nominal = sorted(t.gm for t in nominal.transconductors)
+        gm_mm = sorted(t.gm for t in mismatched.transconductors)
+        assert gm_nominal != gm_mm
+
+    def test_rejects_foreign_graphs(self):
+        lang = repro.Language("foreign")
+        lang.node_type("Q", order=1)
+        graph = repro.DynamicalGraph(lang)
+        graph.add_node("q", "Q")
+        with pytest.raises(GraphError):
+            synthesize_gmc(graph)
+
+    def test_scale_must_be_positive(self, small_spec):
+        with pytest.raises(GraphError):
+            synthesize_gmc(linear_tline(small_spec), scale=0.0)
+
+
+class TestRelativeRmse:
+    def test_identical_signals(self):
+        signal = np.sin(np.linspace(0, 5, 100))
+        assert relative_rmse(signal, signal) == 0.0
+
+    def test_scaled_error(self):
+        signal = np.ones(100)
+        assert relative_rmse(signal, signal * 1.01) == \
+            pytest.approx(0.01)
+
+    def test_zero_reference_floored(self):
+        assert relative_rmse(np.zeros(10), np.zeros(10)) == 0.0
+
+
+class TestSection45:
+    """The paper's empirical validation: DG dynamics match the
+    synthesized circuit within 1% RMSE."""
+
+    def test_linear_line(self, small_spec):
+        report = compare_dg_netlist(linear_tline(small_spec),
+                                    (0.0, 4e-8))
+        assert report.within(0.01), report.per_node
+
+    def test_branched_line(self, small_spec):
+        graph = branched_tline(small_spec, branch_segments=3)
+        report = compare_dg_netlist(graph, (0.0, 4e-8))
+        assert report.within(0.01)
+
+    @pytest.mark.parametrize("kind", ["cint", "gm"])
+    def test_mismatched_lines(self, kind, small_spec):
+        graph = mismatched_tline(kind, small_spec, seed=7)
+        report = compare_dg_netlist(graph, (0.0, 4e-8))
+        assert report.within(0.01)
+
+    def test_cint_scale_invariance(self, small_spec):
+        graph = mismatched_tline("gm", small_spec, seed=2)
+        a = compare_dg_netlist(graph, (0.0, 4e-8), scale=1.0)
+        b = compare_dg_netlist(graph, (0.0, 4e-8), scale=1e-3)
+        assert a.within(0.01) and b.within(0.01)
+
+    def test_report_statistics(self, small_spec):
+        report = compare_dg_netlist(linear_tline(small_spec),
+                                    (0.0, 4e-8))
+        assert 0.0 <= report.mean <= report.worst
+        assert len(report.per_node) == \
+            linear_tline(small_spec).stats()["states"]

@@ -1,0 +1,67 @@
+"""Tests for SPICE-deck emission from GmC netlists."""
+
+import pytest
+
+from repro.circuits import synthesize_gmc
+from repro.circuits.netlist import (Capacitor, Conductance,
+                                    CurrentSource, Netlist,
+                                    Transconductor)
+from repro.errors import GraphError
+from repro.paradigms.tln import TLineSpec, linear_tline
+
+
+@pytest.fixture()
+def small_netlist():
+    netlist = Netlist(name="unit")
+    netlist.capacitors.append(Capacitor("a", 1e-9))
+    netlist.capacitors.append(Capacitor("b", 2e-9))
+    netlist.conductances.append(Conductance("a", 0.5))
+    netlist.transconductors.append(Transconductor("b", "a", 1.5))
+    netlist.sources.append(CurrentSource("a", lambda t: 1.0))
+    netlist.initial_voltages["b"] = 0.25
+    return netlist
+
+
+class TestSpiceDeck:
+    def test_cards_present(self, small_netlist):
+        deck = small_netlist.to_spice(t_stop=1e-9, t_step=1e-10)
+        assert deck.startswith("* unit")
+        assert "C0 1 0 1.000000e-09" in deck
+        assert "C1 2 0 2.000000e-09" in deck
+        assert "R0 1 0 2.000000e+00" in deck  # 1/0.5 S
+        assert "G0 0 2 1 0 1.500000e+00" in deck
+        assert "I0 0 1 PWL(" in deck
+        assert ".ic V(2)=2.500000e-01" in deck
+        assert deck.rstrip().endswith(".end")
+
+    def test_tran_card(self, small_netlist):
+        deck = small_netlist.to_spice(t_stop=5e-8, t_step=1e-10)
+        assert ".tran 1.000e-10 5.000e-08 uic" in deck
+
+    def test_zero_conductances_omitted(self):
+        netlist = Netlist()
+        netlist.capacitors.append(Capacitor("a", 1e-9))
+        netlist.conductances.append(Conductance("a", 0.0))
+        deck = netlist.to_spice()
+        assert "R0" not in deck
+
+    def test_incomplete_netlist_rejected(self):
+        netlist = Netlist()
+        netlist.conductances.append(Conductance("a", 1.0))
+        with pytest.raises(GraphError):
+            netlist.to_spice()
+
+    def test_full_line_deck(self):
+        netlist = synthesize_gmc(linear_tline(TLineSpec(n_segments=4)))
+        deck = netlist.to_spice(t_stop=2e-8, t_step=1e-9)
+        # One C card per line node, VCCS pairs per coupling edge.
+        assert deck.count("\nC") == \
+            netlist.element_count()["capacitors"]
+        assert deck.count("\nG") == \
+            netlist.element_count()["transconductors"]
+        assert deck.count("PWL(") == 1
+
+    def test_pwl_tracks_waveform(self, small_netlist):
+        deck = small_netlist.to_spice(t_stop=1e-9, t_step=5e-10)
+        pwl = deck[deck.index("PWL("):]
+        assert "0.0000e+00 1.000000e+00" in pwl  # fn(0) == 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for attribute and init-value declarations and their
+override rules."""
+
+import pytest
+
+from repro.core.attributes import AttrDecl, InitDecl
+from repro.core.datatypes import integer, lambd, real
+from repro.errors import DatatypeError, InheritanceError
+
+
+class TestAttrDecl:
+    def test_default_checked_against_datatype(self):
+        with pytest.raises(DatatypeError):
+            AttrDecl("a", real(0, 1), default=2.0)
+
+    def test_valid_default(self):
+        decl = AttrDecl("a", real(0, 1), default=0.5)
+        assert decl.default == 0.5
+
+    def test_override_narrowing_ok(self):
+        parent = AttrDecl("a", real(0, 10))
+        child = AttrDecl("a", real(2, 8))
+        child.check_override(parent)
+
+    def test_override_widening_rejected(self):
+        parent = AttrDecl("a", real(0, 10))
+        child = AttrDecl("a", real(-1, 10))
+        with pytest.raises(InheritanceError):
+            child.check_override(parent)
+
+    def test_override_kind_change_rejected(self):
+        parent = AttrDecl("a", real(0, 10))
+        child = AttrDecl("a", integer(0, 10))
+        with pytest.raises(InheritanceError):
+            child.check_override(parent)
+
+    def test_override_rename_rejected(self):
+        parent = AttrDecl("a", real(0, 10))
+        child = AttrDecl("b", real(0, 10))
+        with pytest.raises(InheritanceError):
+            child.check_override(parent)
+
+    def test_override_cannot_drop_const(self):
+        parent = AttrDecl("a", real(0, 10), const=True)
+        child = AttrDecl("a", real(0, 10), const=False)
+        with pytest.raises(InheritanceError):
+            child.check_override(parent)
+
+    def test_override_can_add_const(self):
+        parent = AttrDecl("a", real(0, 10))
+        child = AttrDecl("a", real(0, 10), const=True)
+        child.check_override(parent)
+
+    def test_override_can_add_mismatch(self):
+        # GmC-TLN overrides plain `c` with a mm-annotated `c` (Fig. 9).
+        parent = AttrDecl("c", real(1e-10, 1e-8))
+        child = AttrDecl("c", real(1e-10, 1e-8, mm=(0, 0.1)))
+        child.check_override(parent)
+
+    def test_lambda_override_same_arity(self):
+        parent = AttrDecl("fn", lambd(1))
+        child = AttrDecl("fn", lambd(1))
+        child.check_override(parent)
+        with pytest.raises(InheritanceError):
+            AttrDecl("fn", lambd(2)).check_override(parent)
+
+
+class TestInitDecl:
+    def test_negative_index_rejected(self):
+        with pytest.raises(DatatypeError):
+            InitDecl(-1, real(0, 1))
+
+    def test_default_checked(self):
+        with pytest.raises(DatatypeError):
+            InitDecl(0, real(0, 1), default=9.0)
+
+    def test_override_index_must_match(self):
+        parent = InitDecl(0, real(-10, 10))
+        with pytest.raises(InheritanceError):
+            InitDecl(1, real(-10, 10)).check_override(parent)
+
+    def test_override_narrowing(self):
+        parent = InitDecl(0, real(-10, 10))
+        InitDecl(0, real(-1, 1)).check_override(parent)
+        with pytest.raises(InheritanceError):
+            InitDecl(0, real(-20, 20)).check_override(parent)
+
+    def test_override_const_rules(self):
+        parent = InitDecl(0, real(-1, 1), const=True)
+        with pytest.raises(InheritanceError):
+            InitDecl(0, real(-1, 1), const=False).check_override(parent)

@@ -1,0 +1,125 @@
+"""Unit tests for GraphBuilder: datatype checking, mismatch-at-write,
+and switch statements."""
+
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.errors import DatatypeError, GraphError
+from tests.conftest import build_leaky_language
+
+
+@pytest.fixture()
+def lang():
+    return build_leaky_language()
+
+
+@pytest.fixture()
+def mm_lang():
+    language = repro.Language("mm")
+    language.node_type("N", order=1, attrs=[
+        ("a", repro.real(0.0, 10.0, mm=(0.0, 0.1))),
+        ("b", repro.real(0.0, 10.0)),
+    ])
+    language.edge_type("S")
+    language.prod("prod(e:S,s:N->s:N) s<=-var(s)")
+    return language
+
+
+class TestSetAttr:
+    def test_range_checked(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X")
+        with pytest.raises(DatatypeError):
+            builder.set_attr("x", "tau", 99.0)
+
+    def test_unknown_attr_rejected(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X")
+        with pytest.raises(GraphError):
+            builder.set_attr("x", "volume", 1.0)
+
+    def test_unknown_owner_rejected(self, lang):
+        builder = GraphBuilder(lang)
+        with pytest.raises(GraphError):
+            builder.set_attr("ghost", "tau", 1.0)
+
+    def test_nominal_and_resolved_stored(self, mm_lang):
+        builder = GraphBuilder(mm_lang, seed=42)
+        builder.node("n", "N")
+        builder.set_attr("n", "a", 5.0)
+        node = builder.graph.node("n")
+        assert node.nominal_attrs["a"] == 5.0
+        assert node.attrs["a"] != 5.0  # mismatch applied
+        assert abs(node.attrs["a"] - 5.0) < 5.0  # within a few sigma
+
+    def test_no_seed_means_nominal(self, mm_lang):
+        builder = GraphBuilder(mm_lang)
+        builder.node("n", "N")
+        builder.set_attr("n", "a", 5.0)
+        assert builder.graph.node("n").attrs["a"] == 5.0
+
+    def test_unannotated_attr_never_mismatched(self, mm_lang):
+        builder = GraphBuilder(mm_lang, seed=42)
+        builder.node("n", "N")
+        builder.set_attr("n", "b", 5.0)
+        assert builder.graph.node("n").attrs["b"] == 5.0
+
+    def test_range_applies_to_nominal_not_sample(self):
+        # real[1,1] mm(0,0.1) (Fig. 10b) accepts nominal 1.0 even though
+        # samples leave the range.
+        language = repro.Language("edge-case")
+        language.node_type("N", order=1, attrs=[
+            ("mm", repro.real(1.0, 1.0, mm=(0.0, 0.1)))])
+        builder = GraphBuilder(language, seed=7)
+        builder.node("n", "N")
+        builder.set_attr("n", "mm", 1.0)
+        assert builder.graph.node("n").nominal_attrs["mm"] == 1.0
+        assert builder.graph.node("n").attrs["mm"] != 1.0
+
+
+class TestSetInit:
+    def test_init_written(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_init("x", 0.5)
+        assert builder.graph.node("x").inits[0] == 0.5
+
+    def test_bad_index_rejected(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X")
+        with pytest.raises(GraphError):
+            builder.set_init("x", 0.5, index=3)
+
+
+class TestSwitch:
+    def test_switch_statement(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        builder.node("y", "X").set_attr("y", "tau", 1.0)
+        builder.edge("x", "y", "e", "W").set_attr("e", "w", 1.0)
+        builder.set_switch("e", False)
+        assert not builder.graph.edge("e").on
+
+
+class TestFinish:
+    def test_finish_checks_completeness(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X")
+        with pytest.raises(GraphError):
+            builder.finish()
+
+    def test_finish_no_check(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X")
+        graph = builder.finish(check=False)
+        assert graph.has_node("x")
+
+    def test_fluent_chaining(self, lang):
+        graph = (GraphBuilder(lang)
+                 .node("x", "X")
+                 .set_attr("x", "tau", 1.0)
+                 .edge("x", "x", "e", "W")
+                 .set_attr("e", "w", 0.0)
+                 .set_init("x", 1.0)
+                 .finish())
+        assert graph.stats()["nodes"] == 1

@@ -1,0 +1,107 @@
+"""Tests for time dilation (`repro.core.dilation`): the dilated
+trajectory must be the original with time rescaled, including
+time-varying inputs and higher-order chain states."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.dilation import TimeDilatedSystem, dilate
+from repro.paradigms.gpac import harmonic_oscillator, lotka_volterra
+from repro.paradigms.tln import TLineSpec, linear_tline
+
+TIGHT = dict(rtol=1e-10, atol=1e-12)
+
+
+def second_order_system():
+    """A single order-2 node: d2x/dt2 = -x (chain-state coverage)."""
+    lang = repro.Language("second")
+    lang.node_type("X", order=2)
+    lang.edge_type("S")
+    lang.prod("prod(e:S, s:X->s:X) s <= -var(s)")
+    builder = repro.GraphBuilder(lang, "resonator")
+    builder.node("x", "X")
+    builder.edge("x", "x", "e", "S")
+    builder.set_init("x", 1.0, index=0)
+    builder.set_init("x", 0.0, index=1)
+    return builder.finish()
+
+
+class TestDilate:
+    def test_speedup_compresses_time(self):
+        base = repro.simulate(harmonic_oscillator(omega=1.0),
+                              (0.0, 10.0), n_points=101, **TIGHT)
+        fast = repro.simulate(dilate(harmonic_oscillator(omega=1.0),
+                                     speedup=10.0),
+                              (0.0, 1.0), n_points=101, **TIGHT)
+        np.testing.assert_allclose(fast["x"], base["x"], atol=1e-7)
+
+    def test_slowdown_stretches_time(self):
+        base = repro.simulate(lotka_volterra(), (0.0, 10.0),
+                              n_points=101, **TIGHT)
+        slow = repro.simulate(dilate(lotka_volterra(), speedup=0.1),
+                              (0.0, 100.0), n_points=101, **TIGHT)
+        np.testing.assert_allclose(slow["x"], base["x"], rtol=1e-6)
+
+    def test_time_varying_input_rescaled(self):
+        # The TLN pulse is a fn(time) attribute: dilation must evaluate
+        # it at original time, so the slowed line sees the same pulse.
+        spec = TLineSpec(n_segments=8)
+        base = repro.simulate(linear_tline(spec), (0.0, 4e-8),
+                              n_points=161, rtol=1e-9, atol=1e-12)
+        # Slow the nanosecond line down to a second-scale acquisition.
+        slowed = dilate(linear_tline(spec), speedup=4e-8)
+        slow = repro.simulate(slowed, (0.0, 1.0), n_points=161,
+                              rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(slow["OUT_V"], base["OUT_V"],
+                                   atol=1e-6)
+
+    def test_chain_states_keep_original_units(self):
+        # x'(t) slots hold original-time derivatives: the dilated chain
+        # state at t equals the base chain state at speedup * t, with
+        # no extra factor.
+        graph = second_order_system()
+        base = repro.simulate(graph, (0.0, 6.0), n_points=61, **TIGHT)
+        fast = repro.simulate(dilate(graph, 3.0), (0.0, 2.0),
+                              n_points=61, **TIGHT)
+        np.testing.assert_allclose(fast.state("x", 1),
+                                   base.state("x", 1), atol=1e-8)
+
+    def test_algebraic_values_follow_dilation(self):
+        system = dilate(lotka_volterra(), speedup=2.0)
+        values = system.algebraic_values(0.0, system.y0)
+        base = repro.compile_graph(lotka_volterra())
+        assert values == base.algebraic_values(0.0, base.y0)
+
+
+class TestComposition:
+    def test_dilating_a_dilated_system_multiplies(self):
+        base = repro.compile_graph(harmonic_oscillator())
+        twice = dilate(dilate(base, 4.0), 2.5)
+        assert isinstance(twice, TimeDilatedSystem)
+        assert twice.speedup == pytest.approx(10.0)
+        assert twice.base is base  # no nested wrappers
+
+    def test_identity_dilation(self):
+        base = repro.simulate(harmonic_oscillator(), (0.0, 5.0),
+                              n_points=51, **TIGHT)
+        same = repro.simulate(dilate(harmonic_oscillator(), 1.0),
+                              (0.0, 5.0), n_points=51, **TIGHT)
+        np.testing.assert_allclose(same["x"], base["x"], atol=1e-12)
+
+
+class TestValidation:
+    def test_bad_speedup_rejected(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(repro.SimulationError):
+                dilate(harmonic_oscillator(), bad)
+
+    def test_wrapper_surface(self):
+        system = dilate(harmonic_oscillator(), 2.0)
+        assert system.n_states == 2
+        assert set(system.state_labels()) == {"x", "v"}
+        assert system.index_of("x") == \
+            system.base.index_of("x")
+        assert any("time dilated" in line
+                   for line in system.equations())
+        assert "x2" in repr(system)

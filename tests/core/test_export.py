@@ -1,0 +1,68 @@
+"""Tests for graph export (networkx views and DOT rendering)."""
+
+import networkx as nx
+
+from repro.core.export import to_dot, to_networkx
+from repro.paradigms.tln import TLineSpec, branched_tline_function, \
+    linear_tline
+
+
+class TestNetworkx:
+    def test_counts_match(self, small_spec):
+        graph = linear_tline(small_spec)
+        exported = to_networkx(graph)
+        assert exported.number_of_nodes() == graph.stats()["nodes"]
+        assert exported.number_of_edges() == graph.stats()["edges"]
+
+    def test_node_payload(self, small_spec):
+        exported = to_networkx(linear_tline(small_spec))
+        payload = exported.nodes["IN_V"]
+        assert payload["type"] == "V"
+        assert payload["order"] == 1
+        assert payload["c"] == 1e-9
+
+    def test_edge_payload_keys_are_edge_names(self, small_spec):
+        graph = linear_tline(small_spec)
+        exported = to_networkx(graph)
+        data = exported.get_edge_data("InpI_0", "IN_V")
+        assert "E_0" in data
+        assert data["E_0"]["type"] == "E"
+        assert data["E_0"]["on"] is True
+
+    def test_line_is_weakly_connected(self, small_spec):
+        exported = to_networkx(linear_tline(small_spec))
+        assert nx.is_weakly_connected(exported)
+
+    def test_graph_metadata(self, small_spec):
+        exported = to_networkx(linear_tline(small_spec))
+        assert exported.graph["language"] == "tln"
+
+
+class TestDot:
+    def test_contains_all_elements(self, small_spec):
+        graph = linear_tline(small_spec)
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        for node in graph.nodes:
+            assert f'"{node.name}"' in dot
+        assert dot.count("->") == \
+            sum(1 for _ in graph.edges)
+
+    def test_off_edges_dashed(self):
+        fn = branched_tline_function(TLineSpec(n_segments=4),
+                                     branch_segments=2)
+        dot = to_dot(fn(br=0))
+        assert "style=dashed" in dot
+        dot_on = to_dot(fn(br=1))
+        assert "style=dashed" not in dot_on
+
+    def test_attrs_rendered_on_request(self, small_spec):
+        graph = linear_tline(small_spec)
+        assert "c=1e-09" in to_dot(graph, include_attrs=True)
+        assert "c=1e-09" not in to_dot(graph)
+
+    def test_shapes_by_family(self, small_spec):
+        dot = to_dot(linear_tline(small_spec))
+        assert "shape=box" in dot      # V nodes
+        assert "shape=circle" in dot   # I nodes
+        assert "shape=house" in dot    # input source

@@ -1,0 +1,223 @@
+"""Unit tests for the expression AST: evaluation, substitution, analyses,
+and code generation."""
+
+import math
+
+import pytest
+
+from repro.core import expr as E
+from repro.core.exprparse import parse_expression
+from repro.errors import CompileError
+
+
+class Env(E.EvalContext):
+    """Simple evaluation context for tests."""
+
+    def __init__(self, t=0.0, states=None, attrs=None, names=None):
+        self._t = t
+        self._states = states or {}
+        self._attrs = attrs or {}
+        self._names = names or {}
+
+    def time(self):
+        return self._t
+
+    def var(self, node):
+        return self._states[node]
+
+    def attr(self, kind, owner, attr):
+        return self._attrs[(owner, attr)]
+
+    def name(self, name):
+        return self._names[name]
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert E.Const(2.5).evaluate(Env()) == 2.5
+
+    def test_time(self):
+        assert E.Time().evaluate(Env(t=1.5)) == 1.5
+
+    def test_var(self):
+        assert E.VarOf("x").evaluate(Env(states={"x": 7.0})) == 7.0
+
+    def test_attr(self):
+        env = Env(attrs={("n", "c"): 3.0})
+        assert E.AttrRef("n", "c", "node").evaluate(env) == 3.0
+
+    def test_arithmetic(self):
+        expr = parse_expression("1 + 2*3 - 4/2")
+        assert expr.evaluate(Env()) == pytest.approx(5.0)
+
+    def test_power(self):
+        assert parse_expression("2^3").evaluate(Env()) == 8.0
+
+    def test_unary_minus(self):
+        assert parse_expression("-3 + 1").evaluate(Env()) == -2.0
+
+    def test_call_builtin(self):
+        expr = parse_expression("sin(0) + cos(0)")
+        assert expr.evaluate(Env()) == pytest.approx(1.0)
+
+    def test_lambda_call(self):
+        env = Env(t=2.0, attrs={("src", "fn"): lambda t: 10 * t})
+        expr = E.LambdaCall(E.AttrRef("src", "fn", "node"), (E.Time(),))
+        assert expr.evaluate(env) == 20.0
+
+    def test_lambda_call_on_non_callable(self):
+        env = Env(attrs={("src", "fn"): 5.0})
+        expr = E.LambdaCall(E.AttrRef("src", "fn", "node"), (E.Time(),))
+        with pytest.raises(CompileError):
+            expr.evaluate(env)
+
+    def test_if_then_else(self):
+        expr = parse_expression("if 1 < 2 then 10 else 20")
+        assert expr.evaluate(Env()) == 10
+        expr = parse_expression("if 1 > 2 then 10 else 20")
+        assert expr.evaluate(Env()) == 20
+
+    def test_boolean_ops(self):
+        assert parse_expression("1 < 2 and 3 > 2").evaluate(Env()) is True
+        assert parse_expression("1 > 2 or 2 > 1").evaluate(Env()) is True
+        assert parse_expression("not 1 > 2").evaluate(Env()) is True
+
+    def test_comparisons(self):
+        env = Env()
+        assert parse_expression("2 <= 2").evaluate(env) is True
+        assert parse_expression("2 >= 3").evaluate(env) is False
+        assert parse_expression("2 == 2").evaluate(env) is True
+        assert parse_expression("2 != 2").evaluate(env) is False
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(CompileError):
+            parse_expression("mystery(1)").evaluate(Env())
+
+    def test_default_context_raises_everywhere(self):
+        ctx = E.EvalContext()
+        with pytest.raises(CompileError):
+            E.Time().evaluate(ctx)
+        with pytest.raises(CompileError):
+            E.VarOf("x").evaluate(ctx)
+        with pytest.raises(CompileError):
+            E.AttrRef("x", "a", "node").evaluate(ctx)
+        with pytest.raises(CompileError):
+            E.NameRef("q").evaluate(ctx)
+
+
+class TestSubstitution:
+    def test_var_substitution(self):
+        expr = parse_expression("-var(t)/s.c")
+        mapping = {"t": E.Substitution("I_0", "node"),
+                   "s": E.Substitution("V_0", "node")}
+        rewritten = expr.substitute(mapping)
+        assert E.referenced_vars(rewritten) == {"I_0"}
+        refs = {(n.owner, n.attr, n.kind) for n in rewritten.walk()
+                if isinstance(n, E.AttrRef)}
+        assert refs == {("V_0", "c", "node")}
+
+    def test_edge_attr_substitution(self):
+        expr = parse_expression("e.w*var(s)")
+        mapping = {"e": E.Substitution("E_3", "edge"),
+                   "s": E.Substitution("x", "node"),
+                   "t": E.Substitution("y", "node")}
+        rewritten = expr.substitute(mapping)
+        attr = next(n for n in rewritten.walk()
+                    if isinstance(n, E.AttrRef))
+        assert attr.owner == "E_3" and attr.kind == "edge"
+
+    def test_var_of_edge_rejected(self):
+        expr = E.VarOf("e")
+        with pytest.raises(CompileError):
+            expr.substitute({"e": E.Substitution("E_1", "edge")})
+
+    def test_unmapped_roles_survive(self):
+        expr = parse_expression("var(s) + var(t)")
+        rewritten = expr.substitute({"s": E.Substitution("a", "node")})
+        assert E.referenced_vars(rewritten) == {"a", "t"}
+
+    def test_lambda_call_substitution(self):
+        expr = parse_expression("s.fn(time)")
+        rewritten = expr.substitute({"s": E.Substitution("Inp", "node")})
+        call = next(n for n in rewritten.walk()
+                    if isinstance(n, E.LambdaCall))
+        assert call.target.owner == "Inp"
+
+    def test_substitution_is_pure(self):
+        expr = parse_expression("var(s)")
+        expr.substitute({"s": E.Substitution("a", "node")})
+        assert E.referenced_vars(expr) == {"s"}
+
+
+class TestAnalyses:
+    def test_referenced_roles(self):
+        expr = parse_expression("-1.6e9*e.k*sin(var(s)-var(t))")
+        assert E.referenced_roles(expr) == {"e", "s", "t"}
+
+    def test_referenced_functions(self):
+        expr = parse_expression("sin(cos(var(s)))")
+        assert E.referenced_functions(expr) == {"sin", "cos"}
+
+    def test_referenced_names(self):
+        expr = parse_expression("amp * sin(w)")
+        assert E.referenced_names(expr) == {"amp", "w"}
+
+    def test_uses_time(self):
+        assert E.uses_time(parse_expression("s.fn(time)"))
+        assert not E.uses_time(parse_expression("var(s)"))
+
+
+class Codegen(E.CodegenContext):
+    def __init__(self):
+        self.namespace = {"_sin": math.sin}
+
+    def var_source(self, node):
+        return {"x": "y[0]", "z": "y[1]"}[node]
+
+    def attr_source(self, kind, owner, attr):
+        return "2.0"
+
+    def function_source(self, name):
+        return "_sin"
+
+    def name_source(self, name):
+        return "arg0"
+
+
+class TestCodegen:
+    def _compile(self, source: str):
+        expr = parse_expression(source)
+        code = E.to_python(expr, Codegen())
+        namespace = {"_sin": math.sin}
+        return eval(compile(code, "<test>", "eval"),
+                    namespace, {"y": [0.5, 2.0], "t": 3.0, "arg0": 7.0})
+
+    def test_arithmetic(self):
+        assert self._compile("1+2*3") == 7.0
+
+    def test_power_maps_to_python(self):
+        assert self._compile("2^3") == 8.0
+
+    def test_var_and_attr(self):
+        assert self._compile("var(x)*n.c") == 1.0
+
+    def test_time(self):
+        assert self._compile("time + 1") == 4.0
+
+    def test_function_call(self):
+        assert self._compile("sin(0)") == 0.0
+
+    def test_if_then_else(self):
+        assert self._compile("if var(x) > 0 then 1 else 2") == 1.0
+
+    def test_names(self):
+        assert self._compile("q + 1") == 8.0
+
+    def test_matches_interpreter(self):
+        source = "-var(x)/n.c + sin(var(z))*2"
+        expr = parse_expression(source)
+        env = Env(states={"x": 0.5, "z": 2.0},
+                  attrs={("n", "c"): 2.0})
+        interpreted = expr.evaluate(env)
+        compiled = self._compile(source)
+        assert compiled == pytest.approx(interpreted)

@@ -1,0 +1,158 @@
+"""Unit tests for the expression tokenizer and parser, including every
+expression shape that appears in the paper's listings."""
+
+import math
+
+import pytest
+
+from repro.core import expr as E
+from repro.core.exprparse import parse_expression, tokenize
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.text) for t in tokenize("1 2.5 1e-08 1.6e9")]
+        assert kinds[:-1] == [("num", "1"), ("num", "2.5"),
+                              ("num", "1e-08"), ("num", "1.6e9")]
+
+    def test_identifiers_have_no_dashes(self):
+        tokens = tokenize("a-b")
+        assert [t.text for t in tokens[:-1]] == ["a", "-", "b"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("<= >= == != -> && ||")
+        assert [t.text for t in tokens[:-1]] == \
+            ["<=", ">=", "==", "!=", "->", "&&", "||"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 // comment\n+ 2 # another\n+3")
+        assert [t.text for t in tokens[:-1]] == ["1", "+", "2", "+", "3"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParser:
+    def test_precedence(self):
+        expr = parse_expression("1+2*3^2")
+        assert expr.evaluate(E.EvalContext()) == 19.0
+
+    def test_parentheses(self):
+        expr = parse_expression("(1+2)*3")
+        assert expr.evaluate(E.EvalContext()) == 9.0
+
+    def test_var_call(self):
+        expr = parse_expression("var(s)")
+        assert isinstance(expr, E.VarOf) and expr.node == "s"
+
+    def test_var_requires_name(self):
+        with pytest.raises(ParseError):
+            parse_expression("var(1+2)")
+
+    def test_attr_access(self):
+        expr = parse_expression("s.c")
+        assert isinstance(expr, E.AttrRef)
+        assert (expr.owner, expr.attr) == ("s", "c")
+
+    def test_attr_on_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1+2).c")
+
+    def test_lambda_attr_call(self):
+        expr = parse_expression("s.fn(time)")
+        assert isinstance(expr, E.LambdaCall)
+        assert isinstance(expr.args[0], E.Time)
+
+    def test_times_alias(self):
+        expr = parse_expression("s.fn(times)")
+        assert isinstance(expr.args[0], E.Time)
+
+    def test_inf_literal(self):
+        expr = parse_expression("inf")
+        assert math.isinf(expr.evaluate(E.EvalContext()))
+
+    def test_true_false(self):
+        assert parse_expression("true").evaluate(E.EvalContext()) is True
+        assert parse_expression("false").evaluate(
+            E.EvalContext()) is False
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra(")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 +")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1 + 2")
+
+    def test_expr_passthrough(self):
+        expr = E.Const(1.0)
+        assert parse_expression(expr) is expr
+
+    def test_symbolic_bool_operators(self):
+        ctx = E.EvalContext()
+        assert parse_expression("1<2 && 2<3").evaluate(ctx) is True
+        assert parse_expression("1>2 || 2<3").evaluate(ctx) is True
+        assert parse_expression("!(1>2)").evaluate(ctx) is True
+
+
+class TestPaperExpressions:
+    """Every distinct expression shape from Figs. 7, 9, 10, 12, 14."""
+
+    CASES = [
+        "-var(t)/s.c",
+        "var(s)/t.l",
+        "-s.g/s.c*var(s)",
+        "-e.ws*var(t)/s.c",
+        "e.wt*var(s)/t.l",
+        "e.wt*(-var(t)+s.fn(times))/(s.r*t.c)",
+        "e.wt*(-s.r*var(t)+s.fn(times))/t.l",
+        "e.wt*(-s.g*var(t)+s.fn(times))/t.c",
+        "e.wt*(-var(t)+s.fn(times))/(s.g*t.l)",
+        "e.g*var(s)",
+        "sat(var(s))",
+        "s.z-var(s)",
+        "e.g*t.mm*var(s)",
+        "s.mm*(s.z-var(s))",
+        "sat_ni(var(s))",
+        "-1.6e9*e.k*sin(var(s)-var(t))",
+        "-1.6e9*e.k*sin(-var(s)+var(t))",
+        "-1e9*sin(2*var(s))",
+        "-1.6e9*e.k*(e.offset+sin(var(s)-var(t)))",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parses(self, source):
+        expr = parse_expression(source)
+        assert isinstance(expr, E.Expr)
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_roles_within_rule_scope(self, source):
+        expr = parse_expression(source)
+        assert E.referenced_roles(expr) <= {"e", "s", "t"}
+
+    def test_kuramoto_evaluates(self):
+        expr = parse_expression("-1.6e9*e.k*sin(var(s)-var(t))")
+
+        class Ctx(E.EvalContext):
+            def var(self, node):
+                return {"s": math.pi / 2, "t": 0.0}[node]
+
+            def attr(self, kind, owner, attr):
+                return -1.0
+
+        assert expr.evaluate(Ctx()) == pytest.approx(1.6e9)

@@ -1,0 +1,86 @@
+"""Tests for the §4.6 framework driver (invoke -> validate -> compile ->
+simulate)."""
+
+import math
+
+import pytest
+
+import repro
+from repro.core import function as F
+from repro.core.builder import GraphBuilder
+from repro.core.exprparse import parse_expression
+from tests.conftest import build_leaky_language, build_two_pole
+
+
+class TestRunWithGraph:
+    def test_full_pipeline(self):
+        lang = build_leaky_language()
+        graph = build_two_pole(lang)
+        result = repro.run(graph, (0.0, 2.0), n_points=100)
+        assert result.report.valid
+        assert result.system.n_states == 2
+        assert result.trajectory.final("x0") == pytest.approx(
+            math.exp(-2.0), rel=1e-3)
+
+    def test_invalid_graph_raises_before_simulation(self):
+        lang = build_leaky_language()
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        with pytest.raises(repro.ValidationError):
+            repro.run(builder.finish(), (0.0, 1.0))
+
+    def test_run_under_derived_language(self):
+        base = build_leaky_language()
+        derived = repro.Language("leaky-hw", parent=base)
+        derived.edge_type("Wm", inherits="W")
+        graph = build_two_pole(base)
+        result = repro.run(graph, (0.0, 1.0), language=derived)
+        assert result.report.language_name == "leaky-hw"
+
+    def test_validator_backend_forwarded(self):
+        lang = build_leaky_language()
+        graph = build_two_pole(lang)
+        result = repro.run(graph, (0.0, 1.0),
+                           validator_backend="flow")
+        assert result.report.valid
+
+
+class TestRunWithFunction:
+    def _fn(self):
+        lang = build_leaky_language()
+        return F.ArkFunction(
+            "pair", lang,
+            args=[F.FuncArg("w", repro.real(-5, 5))],
+            statements=[
+                F.NodeStmt("x0", "X"), F.NodeStmt("x1", "X"),
+                F.EdgeStmt("x0", "x0", "l0", "W"),
+                F.EdgeStmt("x1", "x1", "l1", "W"),
+                F.EdgeStmt("x0", "x1", "c", "W"),
+                F.SetAttrStmt("x0", "tau", F.Literal(1.0)),
+                F.SetAttrStmt("x1", "tau", F.Literal(1.0)),
+                F.SetAttrStmt("l0", "w", F.Literal(0.0)),
+                F.SetAttrStmt("l1", "w", F.Literal(0.0)),
+                F.SetAttrStmt("c", "w", F.ArgRef("w")),
+                F.SetInitStmt("x0", 0, F.Literal(1.0)),
+            ])
+
+    def test_function_invoked_then_run(self):
+        result = repro.run(self._fn(), (0.0, 1.0),
+                           arguments={"w": 1.0})
+        assert result.graph.edge("c").attrs["w"] == 1.0
+        assert result.trajectory.final("x1") > 0.0
+
+    def test_seed_forwarded(self):
+        lang = repro.Language("mm")
+        lang.node_type("N", order=1,
+                       attrs=[("a", repro.real(0, 10, mm=(0, 0.1)))])
+        lang.edge_type("S")
+        lang.prod("prod(e:S,s:N->s:N) s<=-s.a*var(s)")
+        fn = F.ArkFunction("decay", lang, statements=[
+            F.NodeStmt("n", "N"),
+            F.SetAttrStmt("n", "a", F.Literal(1.0)),
+            F.SetInitStmt("n", 0, F.Literal(1.0)),
+            F.EdgeStmt("n", "n", "s", "S")])
+        a = repro.run(fn, (0.0, 1.0), seed=1)
+        b = repro.run(fn, (0.0, 1.0), seed=2)
+        assert a.trajectory.final("n") != b.trajectory.final("n")

@@ -1,0 +1,219 @@
+"""Unit tests for statement-based Ark functions (§4.2-4.3)."""
+
+import pytest
+
+import repro
+from repro.core import function as F
+from repro.core.exprparse import parse_expression
+from repro.errors import DatatypeError, FunctionError
+from tests.conftest import build_leaky_language
+
+
+def _two_pole_function(lang):
+    return F.ArkFunction(
+        "two-pole", lang,
+        args=[F.FuncArg("w", repro.real(-5, 5)),
+              F.FuncArg("coupled", repro.integer(0, 1))],
+        statements=[
+            F.NodeStmt("x0", "X"), F.NodeStmt("x1", "X"),
+            F.EdgeStmt("x0", "x0", "leak0", "W"),
+            F.EdgeStmt("x1", "x1", "leak1", "W"),
+            F.EdgeStmt("x0", "x1", "couple", "W"),
+            F.SetAttrStmt("x0", "tau", F.Literal(1.0)),
+            F.SetAttrStmt("x1", "tau", F.Literal(0.5)),
+            F.SetAttrStmt("leak0", "w", F.Literal(0.0)),
+            F.SetAttrStmt("leak1", "w", F.Literal(0.0)),
+            F.SetAttrStmt("couple", "w", F.ArgRef("w")),
+            F.SetInitStmt("x0", 0, F.Literal(1.0)),
+            F.SetInitStmt("x1", 0, F.Literal(0.0)),
+            F.SetSwitchStmt("couple", parse_expression("coupled == 1")),
+        ])
+
+
+class TestInvocation:
+    def test_builds_graph(self):
+        fn = _two_pole_function(build_leaky_language())
+        graph = fn(w=2.0, coupled=1)
+        assert graph.stats()["nodes"] == 2
+        assert graph.edge("couple").attrs["w"] == 2.0
+        assert graph.edge("couple").on
+
+    def test_switch_condition_evaluated(self):
+        fn = _two_pole_function(build_leaky_language())
+        graph = fn(w=2.0, coupled=0)
+        assert not graph.edge("couple").on
+
+    def test_argument_datatype_checked(self):
+        fn = _two_pole_function(build_leaky_language())
+        with pytest.raises(DatatypeError):
+            fn(w=99.0, coupled=1)
+        with pytest.raises(DatatypeError):
+            fn(w=1.0, coupled=2)
+
+    def test_missing_argument(self):
+        fn = _two_pole_function(build_leaky_language())
+        with pytest.raises(FunctionError):
+            fn(w=1.0)
+
+    def test_unexpected_argument(self):
+        fn = _two_pole_function(build_leaky_language())
+        with pytest.raises(FunctionError):
+            fn(w=1.0, coupled=1, extra=3)
+
+    def test_same_args_same_graph(self):
+        fn = _two_pole_function(build_leaky_language())
+        a = fn(w=2.0, coupled=1)
+        b = fn(w=2.0, coupled=1)
+        assert a.stats() == b.stats()
+        assert a.edge("couple").attrs == b.edge("couple").attrs
+
+
+class TestStaticChecks:
+    def test_unknown_node_type(self):
+        lang = build_leaky_language()
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang,
+                          statements=[F.NodeStmt("x", "Nope")])
+
+    def test_edge_before_nodes(self):
+        lang = build_leaky_language()
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang, statements=[
+                F.EdgeStmt("a", "b", "e", "W")])
+
+    def test_duplicate_element(self):
+        lang = build_leaky_language()
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang, statements=[
+                F.NodeStmt("x", "X"), F.NodeStmt("x", "X")])
+
+    def test_set_attr_unknown_attribute(self):
+        lang = build_leaky_language()
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang, statements=[
+                F.NodeStmt("x", "X"),
+                F.SetAttrStmt("x", "volume", F.Literal(1.0))])
+
+    def test_arg_ref_must_exist(self):
+        lang = build_leaky_language()
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang, statements=[
+                F.NodeStmt("x", "X"),
+                F.SetAttrStmt("x", "tau", F.ArgRef("ghost"))])
+
+    def test_const_attr_not_assignable_from_arg(self):
+        lang = repro.Language("const-lang")
+        lang.node_type("N", order=1, attrs=[
+            ("fixed", repro.real(0, 1), {"const": True})])
+        with pytest.raises(FunctionError):
+            F.ArkFunction(
+                "f", lang,
+                args=[F.FuncArg("v", repro.real(0, 1))],
+                statements=[F.NodeStmt("n", "N"),
+                            F.SetAttrStmt("n", "fixed", F.ArgRef("v"))])
+
+    def test_const_attr_literal_ok(self):
+        lang = repro.Language("const-lang")
+        lang.node_type("N", order=1, attrs=[
+            ("fixed", repro.real(0, 1), {"const": True})])
+        lang.edge_type("S")
+        lang.prod("prod(e:S,s:N->s:N) s<=-var(s)")
+        fn = F.ArkFunction("f", lang, statements=[
+            F.NodeStmt("n", "N"),
+            F.SetAttrStmt("n", "fixed", F.Literal(0.5))])
+        assert fn()
+
+    def test_switch_on_fixed_edge_rejected(self):
+        lang = build_leaky_language()
+        lang.edge_type("F", fixed=True)
+        lang.prod("prod(e:F,s:X->t:X) t<=var(s)")
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang, statements=[
+                F.NodeStmt("x", "X"), F.NodeStmt("y", "X"),
+                F.EdgeStmt("x", "y", "f", "F"),
+                F.SetSwitchStmt("f", parse_expression("true"))])
+
+    def test_switch_condition_scope_checked(self):
+        lang = build_leaky_language()
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang, statements=[
+                F.NodeStmt("x", "X"), F.NodeStmt("y", "X"),
+                F.EdgeStmt("x", "y", "e", "W"),
+                F.SetSwitchStmt("e", parse_expression("ghost == 1"))])
+
+    def test_duplicate_argument_names(self):
+        lang = build_leaky_language()
+        with pytest.raises(FunctionError):
+            F.ArkFunction("f", lang, args=[
+                F.FuncArg("a", repro.real(0, 1)),
+                F.FuncArg("a", repro.real(0, 1))])
+
+
+class TestLambdaValues:
+    def test_lambda_literal_compiles(self):
+        lang = repro.Language("wave")
+        lang.node_type("Src", order=0, attrs=[("fn", repro.lambd(1))])
+        fn = F.ArkFunction("f", lang, statements=[
+            F.NodeStmt("s", "Src"),
+            F.SetAttrStmt("s", "fn", F.LambdaVal(
+                ("t",), parse_expression("sin(t) + 1")))])
+        graph = fn()
+        wave = graph.node("s").attrs["fn"]
+        assert wave(0.0) == pytest.approx(1.0)
+
+    def test_lambda_scope_checked(self):
+        lang = repro.Language("wave")
+        lang.node_type("Src", order=0, attrs=[("fn", repro.lambd(1))])
+        fn = F.ArkFunction("f", lang, statements=[
+            F.NodeStmt("s", "Src"),
+            F.SetAttrStmt("s", "fn", F.LambdaVal(
+                ("t",), parse_expression("t + ghost")))])
+        with pytest.raises(FunctionError):
+            fn()
+
+    def test_lambda_arity_enforced_at_call(self):
+        lang = repro.Language("wave")
+        lang.node_type("Src", order=0, attrs=[("fn", repro.lambd(2))])
+        fn = F.ArkFunction("f", lang, statements=[
+            F.NodeStmt("s", "Src"),
+            F.SetAttrStmt("s", "fn", F.LambdaVal(
+                ("a", "b"), parse_expression("a + b")))])
+        wave = fn().node("s").attrs["fn"]
+        assert wave(1.0, 2.0) == 3.0
+        with pytest.raises(FunctionError):
+            wave(1.0)
+
+
+class TestMismatchSeeding:
+    def _mm_function(self):
+        lang = repro.Language("mm")
+        lang.node_type("N", order=1, attrs=[
+            ("a", repro.real(0, 10, mm=(0, 0.1)))])
+        lang.edge_type("S")
+        lang.prod("prod(e:S,s:N->s:N) s<=-var(s)")
+        return F.ArkFunction("f", lang, statements=[
+            F.NodeStmt("n", "N"),
+            F.SetAttrStmt("n", "a", F.Literal(5.0)),
+            F.EdgeStmt("n", "n", "s", "S")])
+
+    def test_seed_controls_instance(self):
+        fn = self._mm_function()
+        a = fn.invoke(seed=1).node("n").attrs["a"]
+        b = fn.invoke(seed=1).node("n").attrs["a"]
+        c = fn.invoke(seed=2).node("n").attrs["a"]
+        assert a == b
+        assert a != c
+
+    def test_dotted_args_apply_to_attr(self):
+        lang = repro.Language("dotted")
+        lang.node_type("N", order=1, attrs=[("a", repro.real(0, 10))])
+        lang.edge_type("S")
+        lang.prod("prod(e:S,s:N->s:N) s<=-var(s)")
+        fn = F.ArkFunction(
+            "f", lang,
+            args=[F.FuncArg("n.a", repro.real(0, 10),
+                            applies_to=("n", "a"))],
+            statements=[F.NodeStmt("n", "N"),
+                        F.EdgeStmt("n", "n", "s", "S")])
+        graph = fn.invoke({"n.a": 7.0})
+        assert graph.node("n").attrs["a"] == 7.0

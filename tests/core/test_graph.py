@@ -1,0 +1,156 @@
+"""Unit tests for the DynamicalGraph structure."""
+
+import pytest
+
+from repro.core.builder import GraphBuilder
+from repro.core.graph import DynamicalGraph
+from repro.errors import GraphError
+from tests.conftest import build_leaky_language
+
+
+@pytest.fixture()
+def lang():
+    return build_leaky_language()
+
+
+class TestConstruction:
+    def test_add_node(self, lang):
+        graph = DynamicalGraph(lang)
+        node = graph.add_node("x", "X")
+        assert node.type.name == "X"
+        assert graph.has_node("x")
+
+    def test_duplicate_node_rejected(self, lang):
+        graph = DynamicalGraph(lang)
+        graph.add_node("x", "X")
+        with pytest.raises(GraphError):
+            graph.add_node("x", "X")
+
+    def test_unknown_node_type_rejected(self, lang):
+        graph = DynamicalGraph(lang)
+        with pytest.raises(GraphError):
+            graph.add_node("x", "Nope")
+
+    def test_edge_requires_endpoints(self, lang):
+        graph = DynamicalGraph(lang)
+        graph.add_node("x", "X")
+        with pytest.raises(GraphError):
+            graph.add_edge("e", "x", "ghost", "W")
+        with pytest.raises(GraphError):
+            graph.add_edge("e", "ghost", "x", "W")
+
+    def test_duplicate_edge_rejected(self, lang):
+        graph = DynamicalGraph(lang)
+        graph.add_node("x", "X")
+        graph.add_edge("e", "x", "x", "W")
+        with pytest.raises(GraphError):
+            graph.add_edge("e", "x", "x", "W")
+
+    def test_unknown_edge_type_rejected(self, lang):
+        graph = DynamicalGraph(lang)
+        graph.add_node("x", "X")
+        with pytest.raises(GraphError):
+            graph.add_edge("e", "x", "x", "Nope")
+
+
+class TestTopologyQueries:
+    def _diamond(self, lang):
+        graph = DynamicalGraph(lang)
+        for name in ("a", "b", "c"):
+            graph.add_node(name, "X")
+        graph.add_edge("ab", "a", "b", "W")
+        graph.add_edge("bc", "b", "c", "W")
+        graph.add_edge("bb", "b", "b", "W")
+        return graph
+
+    def test_edges_of(self, lang):
+        graph = self._diamond(lang)
+        names = {e.name for e in graph.edges_of("b")}
+        assert names == {"ab", "bc", "bb"}
+
+    def test_in_out_self_partition(self, lang):
+        graph = self._diamond(lang)
+        assert [e.name for e in graph.in_edges("b")] == ["ab"]
+        assert [e.name for e in graph.out_edges("b")] == ["bc"]
+        assert [e.name for e in graph.self_edges("b")] == ["bb"]
+
+    def test_switch_excludes_from_realized_topology(self, lang):
+        graph = self._diamond(lang)
+        graph.set_switch("ab", False)
+        assert [e.name for e in graph.in_edges("b")] == []
+        assert [e.name
+                for e in graph.in_edges("b", include_off=True)] == ["ab"]
+        assert graph.off_edges()[0].name == "ab"
+
+    def test_unknown_node_query_rejected(self, lang):
+        graph = self._diamond(lang)
+        with pytest.raises(GraphError):
+            graph.edges_of("ghost")
+
+    def test_stats(self, lang):
+        graph = self._diamond(lang)
+        stats = graph.stats()
+        assert stats == {"nodes": 3, "edges": 3, "off_edges": 0,
+                         "states": 3}
+
+
+class TestSwitches:
+    def test_fixed_edges_cannot_switch_off(self):
+        import repro
+        lang = build_leaky_language()
+        lang.edge_type("F", fixed=True)
+        lang.prod("prod(e:F,s:X->t:X) t<=var(s)")
+        graph = DynamicalGraph(lang)
+        graph.add_node("x", "X")
+        graph.add_node("y", "X")
+        graph.add_edge("f", "x", "y", "F")
+        with pytest.raises(GraphError):
+            graph.set_switch("f", False)
+        graph.set_switch("f", True)  # turning on is a no-op
+
+
+class TestCompleteness:
+    def test_unset_attribute_detected(self, lang):
+        graph = DynamicalGraph(lang)
+        graph.add_node("x", "X")
+        with pytest.raises(GraphError):
+            graph.check_complete()
+
+    def test_unset_init_detected(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        # init has a type-level default of 0 -> finish() applies it
+        graph = builder.finish()
+        assert graph.node("x").inits[0] == 0.0
+
+    def test_defaults_applied(self):
+        import repro
+        lang = build_leaky_language()
+        lang.node_type("D", order=1, attrs=[
+            ("bias", repro.real(0, 1), {"default": 0.25})])
+        graph = DynamicalGraph(lang)
+        graph.add_node("d", "D")
+        graph.apply_defaults()
+        assert graph.node("d").attrs["bias"] == 0.25
+
+    def test_edge_attr_completeness(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        builder.edge("x", "x", "e", "W")
+        with pytest.raises(GraphError):
+            builder.finish()
+
+
+class TestCopy:
+    def test_copy_is_deep_enough(self, lang):
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        builder.edge("x", "x", "e", "W").set_attr("e", "w", 0.5)
+        builder.set_init("x", 1.0)
+        graph = builder.finish()
+        clone = graph.copy()
+        clone.node("x").attrs["tau"] = 9.0
+        clone.set_switch("e", False)
+        assert graph.node("x").attrs["tau"] == 1.0
+        assert graph.edge("e").on
+        assert clone.edge("e").type is graph.edge("e").type

@@ -1,0 +1,79 @@
+"""Tests for progressive type substitution (§2.4, Fig. 5 workflow)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.rewrite import substitute_types
+from repro.paradigms.tln import (TLineSpec, linear_tline,
+                                 mismatched_tline)
+
+
+class TestSubstitution:
+    def test_cint_substitution_matches_builder_variant(self, gmc,
+                                                       small_spec):
+        ideal = linear_tline(small_spec)
+        rewritten = substitute_types(ideal, {"V": "Vm", "I": "Im"},
+                                     language=gmc, seed=7)
+        builder_made = mismatched_tline("cint", small_spec, seed=7)
+        t_a = repro.simulate(rewritten, (0.0, 2e-8), n_points=80)
+        t_b = repro.simulate(builder_made, (0.0, 2e-8), n_points=80)
+        assert np.allclose(t_a["OUT_V"], t_b["OUT_V"])
+
+    def test_gm_substitution_matches_builder_variant(self, gmc,
+                                                     small_spec):
+        ideal = linear_tline(small_spec)
+        rewritten = substitute_types(
+            ideal, {"E": "Em"}, language=gmc, seed=7,
+            new_attrs={"ws": 1.0, "wt": 1.0},
+            only={e.name for e in ideal.edges if not e.is_self})
+        builder_made = mismatched_tline("gm", small_spec, seed=7)
+        t_a = repro.simulate(rewritten, (0.0, 2e-8), n_points=80)
+        t_b = repro.simulate(builder_made, (0.0, 2e-8), n_points=80)
+        assert np.allclose(t_a["OUT_V"], t_b["OUT_V"])
+
+    def test_partial_substitution(self, gmc, small_spec):
+        ideal = linear_tline(small_spec)
+        rewritten = substitute_types(ideal, {"V": "Vm"}, language=gmc,
+                                     seed=1, only={"IN_V"})
+        assert rewritten.node("IN_V").type.name == "Vm"
+        assert rewritten.node("OUT_V").type.name == "V"
+        assert repro.validate(rewritten, backend="flow").valid
+
+    def test_substituted_graph_validates(self, gmc, small_spec):
+        ideal = linear_tline(small_spec)
+        rewritten = substitute_types(ideal, {"V": "Vm", "I": "Im"},
+                                     language=gmc, seed=2)
+        assert repro.validate(rewritten, backend="flow").valid
+
+    def test_seed_none_preserves_dynamics(self, gmc, small_spec):
+        ideal = linear_tline(small_spec)
+        rewritten = substitute_types(ideal, {"V": "Vm", "I": "Im"},
+                                     language=gmc, seed=None)
+        t_a = repro.simulate(ideal, (0.0, 2e-8), n_points=80)
+        t_b = repro.simulate(rewritten, (0.0, 2e-8), n_points=80)
+        assert np.allclose(t_a["OUT_V"], t_b["OUT_V"])
+
+    def test_switch_state_preserved(self, gmc):
+        from repro.paradigms.tln import branched_tline_function
+        fn = branched_tline_function(TLineSpec(n_segments=4),
+                                     branch_segments=2)
+        off_graph = fn(br=0)
+        rewritten = substitute_types(off_graph, {"V": "Vm"},
+                                     language=gmc, seed=1)
+        assert len(rewritten.off_edges()) == 1
+
+    def test_non_subtype_rejected(self, gmc, small_spec):
+        ideal = linear_tline(small_spec)
+        with pytest.raises(repro.InheritanceError):
+            substitute_types(ideal, {"Vm": "V"}, language=gmc)
+
+    def test_unknown_type_rejected(self, gmc, small_spec):
+        ideal = linear_tline(small_spec)
+        with pytest.raises(repro.GraphError):
+            substitute_types(ideal, {"V": "Q"}, language=gmc)
+
+    def test_node_edge_mixture_rejected(self, gmc, small_spec):
+        ideal = linear_tline(small_spec)
+        with pytest.raises(repro.GraphError):
+            substitute_types(ideal, {"V": "Em"}, language=gmc)

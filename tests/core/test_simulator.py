@@ -1,0 +1,115 @@
+"""Unit tests for the simulator wrapper and Trajectory container."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.simulator import simulate, simulate_ensemble
+from repro.errors import SimulationError
+from tests.conftest import build_leaky_language, build_two_pole
+
+
+@pytest.fixture()
+def graph():
+    return build_two_pole(build_leaky_language())
+
+
+class TestSimulate:
+    def test_accepts_graph_or_system(self, graph):
+        t1 = simulate(graph, (0.0, 1.0))
+        system = repro.compile_graph(graph)
+        t2 = simulate(system, (0.0, 1.0))
+        assert np.allclose(t1.y, t2.y)
+
+    def test_analytic_decay(self, graph):
+        trajectory = simulate(graph, (0.0, 2.0), n_points=100)
+        expected = np.exp(-trajectory.t)
+        assert np.allclose(trajectory["x0"], expected, atol=1e-5)
+
+    def test_empty_span_rejected(self, graph):
+        with pytest.raises(SimulationError):
+            simulate(graph, (1.0, 1.0))
+
+    def test_t_eval_override(self, graph):
+        times = [0.0, 0.5, 1.0]
+        trajectory = simulate(graph, (0.0, 1.0), t_eval=times)
+        assert list(trajectory.t) == times
+
+    def test_methods(self, graph):
+        for method in ("RK45", "LSODA", "Radau"):
+            trajectory = simulate(graph, (0.0, 1.0), method=method)
+            assert trajectory.final("x0") == pytest.approx(
+                math.exp(-1.0), rel=1e-3)
+
+    def test_interpreter_backend(self, graph):
+        a = simulate(graph, (0.0, 1.0), backend="interpreter")
+        b = simulate(graph, (0.0, 1.0), backend="codegen")
+        assert np.allclose(a.y, b.y)
+
+
+class TestTrajectory:
+    def test_indexing(self, graph):
+        trajectory = simulate(graph, (0.0, 1.0))
+        assert trajectory["x0"][0] == pytest.approx(1.0)
+        assert trajectory.initial("x0") == pytest.approx(1.0)
+        assert trajectory.final("x0") == pytest.approx(math.exp(-1.0),
+                                                       rel=1e-4)
+
+    def test_sampling_interpolates(self, graph):
+        trajectory = simulate(graph, (0.0, 1.0), n_points=400)
+        samples = trajectory.sample("x0", [0.25, 0.5])
+        assert samples[0] == pytest.approx(math.exp(-0.25), rel=1e-3)
+        assert samples[1] == pytest.approx(math.exp(-0.5), rel=1e-3)
+
+    def test_window(self, graph):
+        trajectory = simulate(graph, (0.0, 1.0), n_points=101)
+        t, v = trajectory.window("x0", 0.2, 0.4)
+        assert t[0] >= 0.2 and t[-1] <= 0.4
+        assert len(t) == len(v) > 0
+
+    def test_final_state(self, graph):
+        trajectory = simulate(graph, (0.0, 1.0))
+        state = trajectory.final_state()
+        assert state.shape == (2,)
+
+    def test_algebraic_readout(self):
+        lang = repro.Language("alg")
+        lang.node_type("X", order=1)
+        lang.node_type("F", order=0)
+        lang.edge_type("E")
+        lang.prod("prod(e:E,s:X->s:X) s<=-var(s)")
+        lang.prod("prod(e:E,s:X->t:F) t<=2*var(s)")
+        builder = repro.GraphBuilder(lang)
+        builder.node("x", "X").set_init("x", 1.0)
+        builder.edge("x", "x", "leak", "E")
+        builder.node("f", "F")
+        builder.edge("x", "f", "e", "E")
+        trajectory = simulate(builder.finish(), (0.0, 1.0),
+                              n_points=50)
+        values = trajectory.algebraic("f")
+        assert np.allclose(values, 2.0 * trajectory["x"], atol=1e-9)
+
+
+class TestEnsemble:
+    def test_ensemble_over_seeds(self):
+        lang = repro.Language("mm")
+        lang.node_type("X", order=1,
+                       attrs=[("tau", repro.real(0.5, 2.0,
+                                                 mm=(0.0, 0.1)))])
+        lang.edge_type("S")
+        lang.prod("prod(e:S,s:X->s:X) s<=-var(s)/s.tau")
+
+        def factory(seed):
+            builder = repro.GraphBuilder(lang, seed=seed)
+            builder.node("x", "X").set_attr("x", "tau", 1.0)
+            builder.edge("x", "x", "e", "S")
+            builder.set_init("x", 1.0)
+            return builder.finish()
+
+        trajectories = simulate_ensemble(factory, seeds=range(5),
+                                         t_span=(0.0, 1.0))
+        finals = {t.final("x") for t in trajectories}
+        assert len(trajectories) == 5
+        assert len(finals) == 5  # each seed decays differently

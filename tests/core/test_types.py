@@ -1,0 +1,188 @@
+"""Unit tests for node/edge types and the §4.1.1 inheritance rules."""
+
+import pytest
+
+from repro.core.attributes import AttrDecl, InitDecl
+from repro.core.datatypes import integer, lambd, real
+from repro.core.types import EdgeType, NodeType, Reduction
+from repro.errors import InheritanceError, LanguageError
+
+
+class TestReduction:
+    def test_parse(self):
+        assert Reduction.parse("sum") is Reduction.SUM
+        assert Reduction.parse("mul") is Reduction.MUL
+        assert Reduction.parse(Reduction.SUM) is Reduction.SUM
+
+    def test_parse_unknown(self):
+        with pytest.raises(LanguageError):
+            Reduction.parse("max")
+
+    def test_identities(self):
+        assert Reduction.SUM.identity == 0.0
+        assert Reduction.MUL.identity == 1.0
+
+
+class TestNodeType:
+    def test_basic(self):
+        node_type = NodeType("V", order=1, reduction=Reduction.SUM,
+                             attrs={"c": AttrDecl("c", real(0, 1))})
+        assert node_type.order == 1
+        assert not node_type.is_algebraic
+        assert "c" in node_type.attrs
+
+    def test_order_zero_is_algebraic(self):
+        node_type = NodeType("Out", order=0, reduction=Reduction.SUM)
+        assert node_type.is_algebraic
+        assert node_type.inits == {}
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(LanguageError):
+            NodeType("X", order=-1, reduction=Reduction.SUM)
+
+    def test_auto_init_declarations(self):
+        node_type = NodeType("X", order=2, reduction=Reduction.SUM)
+        assert set(node_type.inits) == {0, 1}
+        assert node_type.inits[0].default == 0.0
+
+    def test_init_index_beyond_order_rejected(self):
+        with pytest.raises(LanguageError):
+            NodeType("X", order=1, reduction=Reduction.SUM,
+                     inits={1: InitDecl(1, real(-1, 1))})
+
+    def test_init_table_key_mismatch_rejected(self):
+        with pytest.raises(LanguageError):
+            NodeType("X", order=2, reduction=Reduction.SUM,
+                     inits={0: InitDecl(1, real(-1, 1))})
+
+
+class TestNodeInheritance:
+    def _parent(self):
+        return NodeType("V", order=1, reduction=Reduction.SUM,
+                        attrs={"c": AttrDecl("c", real(0.0, 10.0)),
+                               "g": AttrDecl("g", real(0.0, 1.0))})
+
+    def test_child_inherits_attrs(self):
+        child = NodeType("Vm", order=1, reduction=Reduction.SUM,
+                         parent=self._parent())
+        assert set(child.attrs) == {"c", "g"}
+
+    def test_child_must_match_order(self):
+        with pytest.raises(InheritanceError):
+            NodeType("Vm", order=2, reduction=Reduction.SUM,
+                     parent=self._parent())
+
+    def test_child_must_match_reduction(self):
+        with pytest.raises(InheritanceError):
+            NodeType("Vm", order=1, reduction=Reduction.MUL,
+                     parent=self._parent())
+
+    def test_override_narrows_range(self):
+        child = NodeType(
+            "Vm", order=1, reduction=Reduction.SUM,
+            attrs={"c": AttrDecl("c", real(1.0, 5.0, mm=(0, 0.1)))},
+            parent=self._parent())
+        assert child.attrs["c"].datatype.mismatch is not None
+
+    def test_override_same_range_allowed(self):
+        # GmC-TLN keeps the parent's exact range (Fig. 9).
+        NodeType("Vm", order=1, reduction=Reduction.SUM,
+                 attrs={"c": AttrDecl("c", real(0.0, 10.0))},
+                 parent=self._parent())
+
+    def test_override_wider_range_rejected(self):
+        with pytest.raises(InheritanceError):
+            NodeType("Vm", order=1, reduction=Reduction.SUM,
+                     attrs={"c": AttrDecl("c", real(-1.0, 10.0))},
+                     parent=self._parent())
+
+    def test_override_kind_change_rejected(self):
+        with pytest.raises(InheritanceError):
+            NodeType("Vm", order=1, reduction=Reduction.SUM,
+                     attrs={"c": AttrDecl("c", integer(0, 5))},
+                     parent=self._parent())
+
+    def test_new_attrs_allowed(self):
+        child = NodeType("Vm", order=1, reduction=Reduction.SUM,
+                         attrs={"mm": AttrDecl("mm", real(1, 1))},
+                         parent=self._parent())
+        assert set(child.attrs) == {"c", "g", "mm"}
+
+    def test_cannot_inherit_from_edge_type(self):
+        with pytest.raises(InheritanceError):
+            NodeType("X", order=1, reduction=Reduction.SUM,
+                     parent=EdgeType("E"))
+
+    def test_subtype_relation(self):
+        parent = self._parent()
+        child = NodeType("Vm", order=1, reduction=Reduction.SUM,
+                         parent=parent)
+        grandchild = NodeType("Vmm", order=1, reduction=Reduction.SUM,
+                              parent=child)
+        assert child.is_subtype_of(parent)
+        assert grandchild.is_subtype_of(parent)
+        assert not parent.is_subtype_of(child)
+
+    def test_distance(self):
+        parent = self._parent()
+        child = NodeType("Vm", order=1, reduction=Reduction.SUM,
+                         parent=parent)
+        assert child.distance_to(child) == 0
+        assert child.distance_to(parent) == 1
+        assert parent.distance_to(child) is None
+
+    def test_ancestry(self):
+        parent = self._parent()
+        child = NodeType("Vm", order=1, reduction=Reduction.SUM,
+                         parent=parent)
+        assert [t.name for t in child.ancestry()] == ["Vm", "V"]
+
+    def test_lambda_attr_inheritance(self):
+        parent = NodeType("Inp", order=0, reduction=Reduction.SUM,
+                          attrs={"fn": AttrDecl("fn", lambd(1))})
+        child = NodeType("InpM", order=0, reduction=Reduction.SUM,
+                         attrs={"fn": AttrDecl("fn", lambd(1))},
+                         parent=parent)
+        assert child.attrs["fn"].datatype.arity == 1
+
+    def test_lambda_arity_change_rejected(self):
+        parent = NodeType("Inp", order=0, reduction=Reduction.SUM,
+                          attrs={"fn": AttrDecl("fn", lambd(1))})
+        with pytest.raises(InheritanceError):
+            NodeType("InpM", order=0, reduction=Reduction.SUM,
+                     attrs={"fn": AttrDecl("fn", lambd(2))},
+                     parent=parent)
+
+
+class TestEdgeType:
+    def test_basic(self):
+        edge_type = EdgeType("E", attrs={"k": AttrDecl("k",
+                                                       real(-8, 8))})
+        assert not edge_type.fixed
+        assert "k" in edge_type.attrs
+
+    def test_fixed_flag(self):
+        assert EdgeType("F", fixed=True).fixed
+
+    def test_fixed_inherited(self):
+        parent = EdgeType("F", fixed=True)
+        with pytest.raises(InheritanceError):
+            EdgeType("F2", fixed=False, parent=parent)
+
+    def test_can_fix_unfixed_parent(self):
+        parent = EdgeType("E")
+        child = EdgeType("Ef", fixed=True, parent=parent)
+        assert child.fixed
+
+    def test_cannot_inherit_from_node_type(self):
+        with pytest.raises(InheritanceError):
+            EdgeType("E", parent=NodeType("V", order=1,
+                                          reduction=Reduction.SUM))
+
+    def test_const_override_cannot_unconst(self):
+        parent = EdgeType("E", attrs={"k": AttrDecl("k", real(0, 1),
+                                                    const=True)})
+        with pytest.raises(InheritanceError):
+            EdgeType("E2", attrs={"k": AttrDecl("k", real(0, 1),
+                                                const=False)},
+                     parent=parent)

@@ -1,0 +1,170 @@
+"""Unit tests for the §6 validator: the described relation (both
+backends), cstr evaluation, rejected patterns, and global checks."""
+
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.core.validation import parse_constraint
+from repro.core.validator import BACKENDS, is_described, validate
+from repro.errors import ValidationError
+from tests.conftest import build_leaky_language, build_two_pole
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestDescribed:
+    def test_two_pole_valid(self, backend):
+        lang = build_leaky_language()
+        graph = build_two_pole(lang)
+        report = validate(graph, backend=backend)
+        assert report.valid, report.violations
+
+    def test_missing_self_edge_detected(self, backend):
+        lang = build_leaky_language()
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        graph = builder.finish()
+        report = validate(graph, backend=backend)
+        assert not report.valid
+        assert "x" in report.violations[0]
+
+    def test_double_self_edge_detected(self, backend):
+        lang = build_leaky_language()
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        builder.edge("x", "x", "s1", "W").set_attr("s1", "w", 0.0)
+        builder.edge("x", "x", "s2", "W").set_attr("s2", "w", 0.0)
+        report = validate(builder.finish(), backend=backend)
+        assert not report.valid
+
+    def test_cardinality_upper_bound(self, backend):
+        lang = repro.Language("bounded")
+        lang.node_type("N", order=1)
+        lang.edge_type("E")
+        lang.prod("prod(e:E,s:N->t:N) t<=var(s)")
+        lang.prod("prod(e:E,s:N->s:N) s<=-var(s)")
+        lang.cstr("cstr N {acc[match(0,1,E,[N]->N),"
+                  " match(0,inf,E,N->[N]), match(0,1,E,N)]}")
+        builder = GraphBuilder(lang)
+        for name in ("a", "b", "c"):
+            builder.node(name, "N")
+        builder.edge("a", "c", "e1", "E")
+        builder.edge("b", "c", "e2", "E")  # two incoming: over bound
+        report = validate(builder.finish(), backend=backend)
+        assert not report.valid
+        assert any("c" in v for v in report.violations)
+
+    def test_switched_off_edges_ignored(self, backend):
+        lang = build_leaky_language()
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        builder.edge("x", "x", "s1", "W").set_attr("s1", "w", 0.0)
+        builder.edge("x", "x", "s2", "W").set_attr("s2", "w", 0.0)
+        builder.set_switch("s2", False)
+        report = validate(builder.finish(), backend=backend)
+        assert report.valid, report.violations
+
+    def test_is_described_direct(self, backend):
+        lang = build_leaky_language()
+        graph = build_two_pole(lang)
+        rule = lang.constraints()[0]
+        node = graph.node("x0")
+        assert is_described(graph, lang, node, rule.accepted[0],
+                            backend=backend)
+
+    def test_unknown_backend_rejected(self):
+        lang = build_leaky_language()
+        graph = build_two_pole(lang)
+        rule = lang.constraints()[0]
+        with pytest.raises(ValidationError):
+            is_described(graph, lang, graph.node("x0"),
+                         rule.accepted[0], backend="quantum")
+
+
+class TestRejectedPatterns:
+    def _lang(self):
+        lang = repro.Language("rejy")
+        lang.node_type("N", order=1)
+        lang.edge_type("E")
+        lang.prod("prod(e:E,s:N->t:N) t<=var(s)")
+        lang.prod("prod(e:E,s:N->s:N) s<=-var(s)")
+        # Accept anything, but reject nodes with 2+ outgoing edges.
+        lang.cstr("cstr N {acc[match(0,inf,E,N->[N]),"
+                  " match(0,inf,E,[N]->N), match(0,inf,E,N)]"
+                  " rej[match(2,inf,E,N->[N]), match(0,inf,E,[N]->N),"
+                  " match(0,inf,E,N)]}")
+        return lang
+
+    def test_rejected_pattern_fails_node(self, backend):
+        lang = self._lang()
+        builder = GraphBuilder(lang)
+        for name in ("a", "b", "c"):
+            builder.node(name, "N")
+        builder.edge("a", "b", "e1", "E")
+        builder.edge("a", "c", "e2", "E")
+        report = validate(builder.finish(), backend=backend)
+        assert not report.valid
+        assert "rejected" in report.violations[0]
+
+    def test_below_rejection_threshold_passes(self, backend):
+        lang = self._lang()
+        builder = GraphBuilder(lang)
+        builder.node("a", "N")
+        builder.node("b", "N")
+        builder.edge("a", "b", "e1", "E")
+        report = validate(builder.finish(), backend=backend)
+        assert report.valid, report.violations
+
+
+class TestGlobalChecks:
+    def test_extern_check_runs(self):
+        lang = build_leaky_language()
+        failures = []
+
+        def check(graph):
+            failures.append(graph.name)
+            return False, "nope"
+
+        lang.extern_check(check, name="always-fails")
+        graph = build_two_pole(lang)
+        report = validate(graph)
+        assert not report.valid
+        assert failures  # the check actually ran
+        assert "always-fails" in report.violations[0]
+
+    def test_extern_check_bool_result(self):
+        lang = build_leaky_language()
+        lang.extern_check(lambda g: True, name="ok")
+        report = validate(build_two_pole(lang))
+        assert report.valid
+
+
+class TestReport:
+    def test_raise_if_invalid(self):
+        lang = build_leaky_language()
+        builder = GraphBuilder(lang)
+        builder.node("x", "X").set_attr("x", "tau", 1.0)
+        report = validate(builder.finish())
+        with pytest.raises(ValidationError) as info:
+            report.raise_if_invalid()
+        assert info.value.violations
+
+    def test_bool_protocol(self):
+        lang = build_leaky_language()
+        assert validate(build_two_pole(lang))
+
+    def test_subtype_matches_parent_clause(self, backend):
+        # A node of a derived type must satisfy clauses written against
+        # the parent type (inheritance casting, §4.1.1).
+        base = build_leaky_language()
+        derived = repro.Language("leaky2", parent=base)
+        derived.node_type("Xm", inherits="X")
+        builder = GraphBuilder(derived)
+        builder.node("x", "Xm").set_attr("x", "tau", 1.0)
+        builder.edge("x", "x", "leak", "W").set_attr("leak", "w", 0.0)
+        report = validate(builder.finish(), backend=backend)
+        assert report.valid, report.violations

@@ -1,0 +1,133 @@
+"""Integration tests: shipped .ark programs work through the CLI, and
+the example scripts run end to end at reduced sizes."""
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+ARK_DIR = REPO_ROOT / "examples" / "ark"
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+class TestShippedArkPrograms:
+    @pytest.mark.parametrize("name,args", [
+        ("two_pole.ark", ["--arg", "w=2", "--arg", "on=1"]),
+        ("br_func.ark", ["--arg", "br=0"]),
+        ("br_func.ark", ["--arg", "br=1"]),
+        ("maxcut.ark", ["--arg", "cycle=1"]),
+        ("van_der_pol.ark", ["--arg", "mu=1"]),
+    ])
+    def test_validate(self, name, args, capsys):
+        code = main(["validate", str(ARK_DIR / name)] + args)
+        assert code == 0, capsys.readouterr().out
+
+    def test_br_func_simulates(self, tmp_path):
+        csv = tmp_path / "out.csv"
+        code = main(["simulate", str(ARK_DIR / "br_func.ark"),
+                     "--arg", "br=1", "--t-end", "2e-8",
+                     "--node", "OUT_V", "--csv", str(csv)])
+        assert code == 0
+        data = np.genfromtxt(csv, delimiter=",", names=True)
+        assert np.isfinite(data["OUT_V"]).all()
+
+    def test_maxcut_cycle_alternates(self, tmp_path):
+        csv = tmp_path / "phases.csv"
+        code = main(["simulate", str(ARK_DIR / "maxcut.ark"),
+                     "--arg", "cycle=1", "--t-end", "1e-7",
+                     "--csv", str(csv)])
+        assert code == 0
+        data = np.genfromtxt(csv, delimiter=",", names=True)
+        # 4-cycle max-cut: adjacent oscillators end in anti-phase.
+        import math
+        phases = [data[f"Osc_{k}"][-1] % (2 * math.pi)
+                  for k in range(4)]
+        bits = [0 if min(p, 2 * math.pi - p) < 0.3 else 1
+                for p in phases]
+        assert bits[0] != bits[1] and bits[1] != bits[2] and \
+            bits[2] != bits[3] and bits[3] != bits[0]
+
+    def test_info_renders_all_files(self, capsys):
+        for path in sorted(ARK_DIR.glob("*.ark")):
+            assert main(["info", str(path)]) == 0
+
+
+class TestExampleScripts:
+    """Import each example module and run its entry points with small
+    parameters (keeps CI fast while exercising the real code paths)."""
+
+    @pytest.fixture(autouse=True)
+    def _importable_examples(self, monkeypatch):
+        monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+
+    def test_quickstart(self, capsys):
+        import quickstart
+        quickstart.programmatic()
+        quickstart.textual()
+        out = capsys.readouterr().out
+        assert "valid: True" in out
+
+    def test_intercon_design(self, capsys):
+        import intercon_design
+        intercon_design.main()
+        out = capsys.readouterr().out
+        assert "routing cost" in out
+        assert "cut 6 / optimal 6" in out
+
+    def test_cnn_edge_detection(self, capsys):
+        import cnn_edge_detection
+        cnn_edge_detection.main(size=10, seed=3, show_frames=False)
+        out = capsys.readouterr().out
+        assert "takeaways" in out
+
+    def test_puf_exploration(self, capsys):
+        import puf_exploration
+        puf_exploration.explore_mismatch(chips=4)
+        puf_exploration.evaluate_design(chips=3)
+        puf_exploration.attack_design()
+        out = capsys.readouterr().out
+        assert "uniqueness" in out
+        assert "degree-1 attack" in out
+
+    def test_obc_maxcut(self, capsys):
+        import obc_maxcut
+        obc_maxcut.main(trials=10)
+        out = capsys.readouterr().out
+        assert "takeaways" in out
+
+    def test_cnn_image_pipeline(self, capsys):
+        import cnn_image_pipeline
+        cnn_image_pipeline.main(size=10, noise=0.03, seed=1)
+        out = capsys.readouterr().out
+        assert out.count("pixel errors vs reference: 0") == 3
+        assert "PDE mode" in out
+
+    def test_gpac_analog_computer(self, capsys):
+        import gpac_analog_computer
+        gpac_analog_computer.main(leak=0.2)
+        out = capsys.readouterr().out
+        assert "GPAC programs" in out
+        assert "leak study" in out
+
+    def test_fhn_spiking_wave(self, capsys):
+        import fhn_spiking_wave
+        fhn_spiking_wave.excitability()
+        fhn_spiking_wave.raster(6)
+        out = capsys.readouterr().out
+        assert "suprathreshold kick    -> 1 spike(s)" in out
+        assert "traveling spike wave" in out
+
+    def test_van_der_pol_ark_oscillates(self, tmp_path):
+        csv = tmp_path / "vdp.csv"
+        code = main(["simulate", str(ARK_DIR / "van_der_pol.ark"),
+                     "--arg", "mu=1", "--t-end", "25",
+                     "--node", "x", "--csv", str(csv)])
+        assert code == 0
+        data = np.genfromtxt(csv, delimiter=",", names=True)
+        # Settled limit cycle: peak |x| ~ 2 in the second half.
+        half = len(data["x"]) // 2
+        assert 1.8 < np.abs(data["x"][half:]).max() < 2.2

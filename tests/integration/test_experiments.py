@@ -1,0 +1,229 @@
+"""Integration tests: reduced-size versions of every paper experiment.
+
+Each test reproduces the *shape* of a published result (who wins, what
+fails, where the orderings fall) on sizes small enough for CI; the
+benchmarks regenerate the full-size numbers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import observation_window, window_spread
+from repro.circuits import compare_dg_netlist
+from repro.core.builder import GraphBuilder
+from repro.paradigms.cnn import (default_image, edge_detector,
+                                 expected_edges, run_cnn)
+from repro.paradigms.obc import (maxcut_experiment, random_graphs)
+from repro.paradigms.tln import (TLineSpec, branched_tline,
+                                 linear_tline, mismatched_tline)
+
+
+class TestFig2Validation:
+    """Fig. 2: the branched and linear lines validate; the malformed
+    V-V line is rejected."""
+
+    def test_linear_and_branched_validate(self, small_spec):
+        for graph in (linear_tline(small_spec),
+                      branched_tline(small_spec, branch_segments=3)):
+            report = repro.validate(graph, backend="flow")
+            assert report.valid, report.violations
+
+    def test_malformed_vv_line_rejected(self, tln, small_spec):
+        graph = linear_tline(small_spec)
+        # Short-circuit two V nodes: the hallmark of Fig. 2(iii).
+        graph.add_edge("bad", "IN_V", "V_0", "E")
+        report = repro.validate(graph, backend="flow")
+        assert not report.valid
+        assert any("V" in v for v in report.violations)
+
+
+class TestFig4Trajectories:
+    """Fig. 4: pulse amplitudes, echo, and mismatch spread orderings."""
+
+    SPEC = TLineSpec(n_segments=12, pulse_width=8e-9)
+
+    @pytest.fixture(scope="class")
+    def linear_traj(self):
+        return repro.simulate(linear_tline(self.SPEC), (0.0, 6e-8),
+                              n_points=400)
+
+    @pytest.fixture(scope="class")
+    def branched_traj(self):
+        return repro.simulate(
+            branched_tline(self.SPEC, branch_segments=6), (0.0, 6e-8),
+            n_points=400)
+
+    def test_linear_pulse_half_amplitude(self, linear_traj):
+        assert linear_traj["OUT_V"].max() == pytest.approx(0.5,
+                                                           abs=0.12)
+
+    def test_branched_pulse_weaker(self, linear_traj, branched_traj):
+        assert branched_traj["OUT_V"].max() < \
+            linear_traj["OUT_V"].max()
+
+    def test_branched_echo_present(self, branched_traj):
+        # After the main pulse passes (~12 ns) + width, the echo
+        # arrives ~12 ns later.
+        t = branched_traj.t
+        late = np.abs(branched_traj["OUT_V"][t > 3.2e-8])
+        assert late.max() > 0.05
+
+    def test_branched_window_wider(self, linear_traj, branched_traj):
+        w_lin = observation_window(linear_traj, "OUT_V",
+                                   threshold=0.1)
+        w_brn = observation_window(branched_traj, "OUT_V",
+                                   threshold=0.1)
+        assert (w_brn[1] - w_brn[0]) > 1.2 * (w_lin[1] - w_lin[0])
+
+    def test_gm_spread_exceeds_cint_spread(self):
+        spec = TLineSpec(n_segments=10)
+        window = (0.8e-8, 3e-8)
+        spreads = {}
+        for kind in ("cint", "gm"):
+            trajectories = repro.simulate_ensemble(
+                lambda seed, kind=kind: mismatched_tline(kind, spec,
+                                                         seed=seed),
+                seeds=range(15), t_span=(0.0, 4e-8), n_points=250)
+            spreads[kind] = window_spread(trajectories, "OUT_V",
+                                          window)
+        # Fig. 4d vs 4c: Gm mismatch dominates.
+        assert spreads["gm"] > 1.3 * spreads["cint"]
+
+
+class TestFig11Cnn:
+    """Fig. 11c: the four hardware variants of the edge detector."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        image = default_image(10)
+        return image, expected_edges(image)
+
+    @pytest.fixture(scope="class")
+    def runs(self, setup):
+        image, expected = setup
+        results = {}
+        for variant in ("ideal", "bias_mismatch", "template_mismatch",
+                        "nonideal_sat"):
+            graph = edge_detector(image, variant, seed=3)
+            results[variant] = run_cnn(graph, 10, 10, variant=variant,
+                                       expected=expected)
+        return results
+
+    def test_ideal_correct(self, runs):
+        assert runs["ideal"].errors == 0
+        assert runs["ideal"].converged
+
+    def test_bias_mismatch_slower_but_correct(self, runs):
+        assert runs["bias_mismatch"].errors == 0
+        assert runs["bias_mismatch"].converged_at > \
+            runs["ideal"].converged_at
+
+    def test_template_mismatch_corrupts(self, runs):
+        assert (runs["template_mismatch"].errors > 0
+                or not runs["template_mismatch"].converged)
+
+    def test_nonideal_sat_faster_and_correct(self, runs):
+        assert runs["nonideal_sat"].errors == 0
+        assert runs["nonideal_sat"].converged_at < \
+            runs["ideal"].converged_at
+
+
+class TestTable1Maxcut:
+    """Table 1 orderings at reduced trial counts."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        graphs = random_graphs(30, 4, seed=5)
+        tolerances = (0.01 * math.pi, 0.1 * math.pi)
+        return (
+            maxcut_experiment(graphs, 4, tolerances=tolerances,
+                              edge_type="Cpl"),
+            maxcut_experiment(graphs, 4, tolerances=tolerances,
+                              edge_type="Cpl_ofs",
+                              mismatch_seeds=True),
+            tolerances,
+        )
+
+    def test_ideal_high_success(self, table):
+        ideal, _, (tight, loose) = table
+        assert ideal[tight].solved_probability >= 0.8
+        assert ideal[loose].solved_probability >= 0.8
+
+    def test_offset_degrades_tight_readout(self, table):
+        ideal, offset, (tight, _) = table
+        assert offset[tight].solved_probability < \
+            ideal[tight].solved_probability
+
+    def test_mitigation_recovers(self, table):
+        _, offset, (tight, loose) = table
+        assert offset[loose].solved_probability >= \
+            offset[tight].solved_probability + 0.1
+
+    def test_sync_implies_solved_rates_close(self, table):
+        # In Table 1 sync% and solved% track each other closely.
+        ideal, _, (tight, _) = table
+        assert abs(ideal[tight].sync_probability
+                   - ideal[tight].solved_probability) < 0.15
+
+
+class TestSection45Netlists:
+    """§4.5: random valid GmC-TLN DGs map to netlists whose dynamics
+    match within 1% RMSE."""
+
+    def test_random_population(self):
+        rng = np.random.default_rng(0)
+        worst = 0.0
+        for trial in range(10):
+            spec = TLineSpec(n_segments=int(rng.integers(3, 9)))
+            kind = ("gm", "cint")[trial % 2]
+            graph = mismatched_tline(kind, spec, seed=trial)
+            assert repro.validate(graph, backend="flow").valid
+            report = compare_dg_netlist(graph, (0.0, 3e-8),
+                                        n_points=150)
+            worst = max(worst, report.worst)
+        assert worst < 0.01
+
+
+class TestInheritanceGuarantees:
+    """§4.1.1/§2.4: parent-language programs run unchanged in derived
+    languages; derived types substitute where parents were used."""
+
+    def test_tln_graph_same_dynamics_under_gmc(self, tln, gmc,
+                                               small_spec):
+        graph = linear_tline(small_spec)
+        base = repro.simulate(repro.compile_graph(graph, tln),
+                              (0.0, 2e-8), n_points=120)
+        derived = repro.simulate(repro.compile_graph(graph, gmc),
+                                 (0.0, 2e-8), n_points=120)
+        assert np.allclose(base.y, derived.y)
+
+    def test_partial_substitution_validates(self, gmc, small_spec):
+        """Swap a single interior V node for Vm (progressive
+        rewriting): the graph stays valid and simulable."""
+        builder = GraphBuilder(gmc, "partial", seed=4)
+        builder.node("InpI_0", "InpI")
+        builder.set_attr("InpI_0", "fn", lambda t: 1.0)
+        builder.set_attr("InpI_0", "g", 1.0)
+        names = ["IN_V", "I_0", "Vm_0", "I_1", "OUT_V"]
+        types = ["V", "I", "Vm", "I", "V"]
+        for name, type_name in zip(names, types):
+            builder.node(name, type_name)
+            if type_name.startswith("V"):
+                builder.set_attr(name, "c", 1e-9)
+                builder.set_attr(name, "g",
+                                 1.0 if name == "OUT_V" else 0.0)
+            else:
+                builder.set_attr(name, "l", 1e-9)
+                builder.set_attr(name, "r", 0.0)
+            builder.set_init(name, 0.0)
+            builder.edge(name, name, f"Es_{name}", "E")
+        builder.edge("InpI_0", "IN_V", "E_in", "E")
+        for src, dst in zip(names[:-1], names[1:]):
+            builder.edge(src, dst, f"E_{src}_{dst}", "E")
+        graph = builder.finish()
+        assert repro.validate(graph, backend="flow").valid
+        trajectory = repro.simulate(graph, (0.0, 2e-8), n_points=60)
+        assert np.isfinite(trajectory.y).all()

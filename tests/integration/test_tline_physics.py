@@ -1,0 +1,122 @@
+"""Physics validation: the compiled TLN dynamics obey transmission-line
+theory. These tests pin quantitative electromagnetics, not just the
+paper's qualitative claims — if the production rules mis-implement the
+Telegrapher's equations, these fail."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.tln import TLineSpec, linear_tline
+
+
+def _arrival_time(trajectory, node="OUT_V", level=0.2):
+    values = trajectory[node]
+    threshold = level * values.max()
+    index = np.argmax(values > threshold)
+    return trajectory.t[index]
+
+
+class TestPropagationDelay:
+    def test_delay_scales_with_sqrt_lc(self):
+        """Per-segment delay is sqrt(L*C): quartering C halves it."""
+        fast = TLineSpec(n_segments=16, capacitance=0.25e-9,
+                         pulse_width=4e-9)
+        slow = TLineSpec(n_segments=16, capacitance=1e-9,
+                         pulse_width=4e-9)
+        t_fast = _arrival_time(
+            repro.simulate(linear_tline(fast), (0.0, 4e-8),
+                           n_points=800))
+        t_slow = _arrival_time(
+            repro.simulate(linear_tline(slow), (0.0, 4e-8),
+                           n_points=800))
+        assert t_slow / t_fast == pytest.approx(2.0, rel=0.25)
+
+    def test_delay_scales_with_length(self):
+        short = TLineSpec(n_segments=8, pulse_width=4e-9)
+        long = TLineSpec(n_segments=16, pulse_width=4e-9)
+        t_short = _arrival_time(
+            repro.simulate(linear_tline(short), (0.0, 4e-8),
+                           n_points=800))
+        t_long = _arrival_time(
+            repro.simulate(linear_tline(long), (0.0, 4e-8),
+                           n_points=800))
+        assert t_long / t_short == pytest.approx(2.0, rel=0.3)
+
+
+class TestTerminations:
+    SPEC = TLineSpec(n_segments=12, pulse_width=4e-9)
+
+    def _peak(self, termination):
+        spec = TLineSpec(n_segments=12, pulse_width=4e-9,
+                         termination=termination)
+        trajectory = repro.simulate(linear_tline(spec), (0.0, 2.2e-8),
+                                    n_points=600)
+        return trajectory["OUT_V"].max()
+
+    def test_matched_line_half_amplitude(self):
+        # Z0 = sqrt(L/C) = 1; source conductance 1 -> V = 0.5.
+        assert self._peak(termination=1.0) == pytest.approx(0.5,
+                                                            abs=0.1)
+
+    def test_open_end_doubles(self):
+        # Reflection coefficient +1 at an open end: ~1.0 at OUT_V.
+        assert self._peak(termination=0.0) == pytest.approx(1.0,
+                                                            abs=0.2)
+
+    def test_heavy_load_shrinks(self):
+        # G >> 1/Z0 approaches a short: reflection ~ -1, small voltage.
+        assert self._peak(termination=10.0) < 0.2
+
+    def test_termination_ordering(self):
+        open_end = self._peak(0.0)
+        matched = self._peak(1.0)
+        loaded = self._peak(3.0)
+        assert open_end > matched > loaded
+
+
+class TestCharacteristicImpedance:
+    def test_amplitude_follows_source_divider(self):
+        """Launch amplitude = I * (Z0 || Rs). With Rs = 1/g = 1 and
+        Z0 = 2 (L = 4e-9): V = 2/3."""
+        spec = TLineSpec(n_segments=12, inductance=4e-9,
+                         pulse_width=8e-9, termination=0.5)
+        trajectory = repro.simulate(linear_tline(spec), (0.0, 6e-8),
+                                    n_points=800)
+        # Matched far end (G = 1/Z0 = 0.5) -> transmitted peak ≈ launch.
+        assert trajectory["OUT_V"].max() == pytest.approx(2.0 / 3.0,
+                                                          abs=0.15)
+
+
+class TestLosses:
+    def test_series_resistance_attenuates(self):
+        lossless = TLineSpec(n_segments=12, pulse_width=4e-9)
+        lossy = TLineSpec(n_segments=12, pulse_width=4e-9,
+                          resistance=0.05)
+        peak_ll = repro.simulate(linear_tline(lossless),
+                                 (0.0, 2.2e-8), n_points=500)[
+                                     "OUT_V"].max()
+        peak_lo = repro.simulate(linear_tline(lossy), (0.0, 2.2e-8),
+                                 n_points=500)["OUT_V"].max()
+        assert peak_lo < peak_ll
+
+    def test_shunt_conductance_attenuates(self):
+        lossless = TLineSpec(n_segments=12, pulse_width=4e-9)
+        leaky = TLineSpec(n_segments=12, pulse_width=4e-9,
+                          conductance=0.05)
+        peak_ll = repro.simulate(linear_tline(lossless),
+                                 (0.0, 2.2e-8), n_points=500)[
+                                     "OUT_V"].max()
+        peak_lk = repro.simulate(linear_tline(leaky), (0.0, 2.2e-8),
+                                 n_points=500)["OUT_V"].max()
+        assert peak_lk < peak_ll
+
+    def test_energy_conservation_lossless(self):
+        """A lossless matched line delivers the launched energy to the
+        terminations: after the pulse passes, almost nothing remains on
+        the line."""
+        spec = TLineSpec(n_segments=10, pulse_width=4e-9)
+        trajectory = repro.simulate(linear_tline(spec), (0.0, 2e-7),
+                                    n_points=400)
+        residual = np.abs(trajectory.final_state()).max()
+        assert residual < 1e-3

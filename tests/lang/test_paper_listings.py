@@ -1,0 +1,183 @@
+"""Parse the paper's listings (Figs. 7-10, 12-14) through the textual
+front-end — the shipped paradigm DSLs are written in this syntax, so
+these tests pin the concrete syntax compatibility."""
+
+import pytest
+
+import repro
+from repro.lang import parse_program
+from repro.paradigms.cnn import CNN_SOURCE, HW_CNN_SOURCE, sat, sat_ni
+from repro.paradigms.obc import (INTERCON_OBC_SOURCE, OBC_SOURCE,
+                                 OFS_OBC_SOURCE)
+from repro.paradigms.tln import GMC_TLN_SOURCE, TLN_SOURCE, pulse
+
+
+class TestShippedSources:
+    def test_tln_parses(self):
+        program = parse_program(TLN_SOURCE,
+                                functions={"pulse": pulse})
+        lang = program.languages["tln"]
+        assert set(lang.node_types()) == {"V", "I", "InpV", "InpI"}
+        assert len(lang.productions()) == 10
+        assert len(lang.constraints()) == 4
+
+    def test_gmc_tln_parses_on_top(self):
+        base = parse_program(TLN_SOURCE, functions={"pulse": pulse})
+        program = parse_program(GMC_TLN_SOURCE,
+                                languages=base.languages)
+        gmc = program.languages["gmc-tln"]
+        assert gmc.find_node_type("Vm").parent.name == "V"
+        assert gmc.find_edge_type("Em").parent.name == "E"
+        # Inherited + own production rules.
+        assert len(gmc.productions()) == 18
+
+    def test_cnn_parses(self):
+        program = parse_program(CNN_SOURCE,
+                                functions={"sat": sat,
+                                           "sat_ni": sat_ni})
+        lang = program.languages["cnn"]
+        assert set(lang.node_types()) == {"V", "Out", "Inp"}
+        assert set(lang.edge_types()) == {"iE", "fE"}
+
+    def test_hw_cnn_parses_on_top(self):
+        base = parse_program(CNN_SOURCE,
+                             functions={"sat": sat, "sat_ni": sat_ni})
+        program = parse_program(HW_CNN_SOURCE,
+                                languages=base.languages)
+        hw = program.languages["hw-cnn"]
+        assert hw.find_node_type("Vm").attrs["mm"].datatype.mismatch \
+            is not None
+        assert hw.find_node_type("OutNL").parent.name == "Out"
+
+    def test_obc_family_parses(self):
+        base = parse_program(OBC_SOURCE)
+        ofs = parse_program(OFS_OBC_SOURCE, languages=base.languages)
+        intercon = parse_program(INTERCON_OBC_SOURCE,
+                                 languages=base.languages)
+        assert ofs.languages["ofs-obc"].find_edge_type(
+            "Cpl_ofs").attrs["offset"].datatype.mismatch.s0 == 0.02
+        cpl_g = intercon.languages["intercon-obc"].find_edge_type(
+            "Cpl_g")
+        assert cpl_g.attrs["cost"].datatype.lo == 10
+
+
+class TestFig8Function:
+    """The br-func listing of Fig. 8 (lightly completed: the paper's
+    `...` elisions filled in on a 2-segment line)."""
+
+    SOURCE = """
+    func br-func (br:int[0,1]) uses tln {
+        node IN_V:V; node OUT_V:V; node InpI_0:InpI;
+        node I_0:I; node I_1:I; node V_0:V;
+        node bI_0:I; node bV_end:V;
+
+        edge <InpI_0,IN_V> E_in:E;
+        edge <IN_V,I_0> E_0:E;   edge <I_0,V_0> E_1:E;
+        edge <V_0,I_1> E_2:E;    edge <I_1,OUT_V> E_3:E;
+        edge <IN_V,bI_0> E_6:E;  edge <bI_0,bV_end> E_7:E;
+
+        edge <IN_V,IN_V> Es_0:E;   edge <OUT_V,OUT_V> Es_1:E;
+        edge <V_0,V_0> Es_2:E;     edge <bV_end,bV_end> Es_3:E;
+        edge <I_0,I_0> Es_4:E;     edge <I_1,I_1> Es_5:E;
+        edge <bI_0,bI_0> Es_6:E;
+
+        set-switch E_6 when br;
+
+        set-attr InpI_0.fn = lambd(t): pulse(t, 0, 2e-8);
+        set-attr InpI_0.g = 1.0;
+        set-attr IN_V.c=1e-09;  set-attr IN_V.g=0.0;
+        set-attr OUT_V.c=1e-09; set-attr OUT_V.g=1.0;
+        set-attr V_0.c=1e-09;   set-attr V_0.g=0.0;
+        set-attr bV_end.c=1e-09; set-attr bV_end.g=0.0;
+        set-attr I_0.l=1e-09;   set-attr I_0.r=0.0;
+        set-attr I_1.l=1e-09;   set-attr I_1.r=0.0;
+        set-attr bI_0.l=1e-09;  set-attr bI_0.r=0.0;
+        set-init IN_V(0)=0.0;   set-init OUT_V(0)=0.0;
+        set-init V_0(0)=0.0;    set-init bV_end(0)=0.0;
+        set-init I_0(0)=0.0;    set-init I_1(0)=0.0;
+        set-init bI_0(0)=0.0;
+    }
+    """
+
+    @pytest.fixture()
+    def br_func(self):
+        from repro.paradigms.tln import tln_language
+        program = parse_program(self.SOURCE,
+                                languages={"tln": tln_language()})
+        return program.functions["br-func"]
+
+    def test_br_zero_is_linear(self, br_func):
+        graph = br_func(br=0)
+        assert not graph.edge("E_6").on
+        assert repro.validate(graph, backend="flow").valid
+
+    def test_br_one_is_branched(self, br_func):
+        graph = br_func(br=1)
+        assert graph.edge("E_6").on
+        assert repro.validate(graph, backend="flow").valid
+
+    def test_both_simulate(self, br_func):
+        for br in (0, 1):
+            trajectory = repro.simulate(br_func(br=br), (0.0, 2e-8),
+                                        n_points=50)
+            assert abs(trajectory.final("OUT_V")) < 10.0
+
+
+class TestGpacSources:
+    def test_gpac_parses(self):
+        from repro.paradigms.gpac import GPAC_SOURCE
+        from repro.paradigms.tln import pulse
+        program = parse_program(GPAC_SOURCE,
+                                functions={"pulse": pulse})
+        lang = program.languages["gpac"]
+        assert set(lang.node_types()) == {"Int", "Mul", "Sum", "Src"}
+        assert lang.find_node_type("Mul").reduction.value == "mul"
+        assert len(lang.productions()) == 13
+
+    def test_hw_gpac_parses_on_top(self):
+        from repro.paradigms.gpac import GPAC_SOURCE, HW_GPAC_SOURCE
+        from repro.paradigms.tln import pulse
+        base = parse_program(GPAC_SOURCE, functions={"pulse": pulse})
+        program = parse_program(HW_GPAC_SOURCE,
+                                languages=base.languages)
+        hw = program.languages["hw-gpac"]
+        assert hw.find_node_type("IntL").parent.name == "Int"
+        assert hw.find_node_type("IntL").attrs["leak"].datatype \
+            .mismatch.s1 == 0.1
+        assert hw.find_edge_type("Wm").attrs["w"].datatype \
+            .mismatch.s1 == 0.05
+
+    def test_gpac_unparse_roundtrip(self):
+        from repro.lang.unparse import unparse_language
+        from repro.paradigms.gpac import build_gpac_language
+        from repro.paradigms.tln import pulse
+        source = unparse_language(build_gpac_language())
+        reparsed = parse_program(source, functions={"pulse": pulse})
+        lang = reparsed.languages["gpac"]
+        assert set(lang.node_types()) == {"Int", "Mul", "Sum", "Src"}
+        assert len(lang.productions()) == 13
+        assert len(lang.constraints()) == 4
+
+
+class TestFhnSources:
+    def test_fhn_parses(self):
+        from repro.paradigms.fhn import FHN_SOURCE
+        program = parse_program(FHN_SOURCE)
+        lang = program.languages["fhn"]
+        assert set(lang.node_types()) == {"U", "W"}
+        assert set(lang.edge_types()) == {"S", "D"}
+        assert len(lang.productions()) == 5
+
+    def test_hw_fhn_parses_on_top(self):
+        from repro.paradigms.fhn import FHN_SOURCE, HW_FHN_SOURCE
+        base = parse_program(FHN_SOURCE)
+        program = parse_program(HW_FHN_SOURCE,
+                                languages=base.languages)
+        hw = program.languages["hw-fhn"]
+        assert hw.find_node_type("Um").attrs["i"].datatype \
+            .mismatch.s0 == 0.02
+        assert hw.find_edge_type("Dm").attrs["g"].datatype \
+            .mismatch.s1 == 0.1
+        # No new production rules: pure fallback inheritance.
+        assert len(hw.productions()) == len(base.languages["fhn"]
+                                            .productions())

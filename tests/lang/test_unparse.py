@@ -1,0 +1,159 @@
+"""Tests for the pretty-printer: unparse -> reparse round trips."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import function as F
+from repro.core.exprparse import parse_expression
+from repro.errors import ParseError
+from repro.lang import parse_program
+from repro.lang.unparse import (unparse_chain, unparse_datatype,
+                                unparse_function, unparse_language)
+from tests.conftest import build_leaky_language
+
+
+class TestDatatypes:
+    def test_real(self):
+        assert unparse_datatype(repro.real(0, 1)) == "real[0,1]"
+
+    def test_real_mm(self):
+        text = unparse_datatype(repro.real(0.5, 2.0, mm=(0, 0.1)))
+        assert text == "real[0.5,2] mm(0,0.1)"
+
+    def test_int(self):
+        assert unparse_datatype(repro.integer(1, 1)) == "int[1,1]"
+
+    def test_inf_bounds(self):
+        assert unparse_datatype(repro.real(0, repro.INF)) == \
+            "real[0,inf]"
+
+    def test_lambda(self):
+        assert unparse_datatype(repro.lambd(2)) == "lambd(a0,a1)"
+
+
+class TestLanguageRoundTrip:
+    def test_leaky_round_trip(self):
+        original = build_leaky_language()
+        source = unparse_language(original)
+        reparsed = parse_program(source).languages["leaky"]
+        assert set(reparsed.node_types()) == set(original.node_types())
+        assert len(reparsed.productions()) == \
+            len(original.productions())
+        assert len(reparsed.constraints()) == \
+            len(original.constraints())
+
+    def test_round_trip_preserves_dynamics(self):
+        from tests.conftest import build_two_pole
+        original = build_leaky_language()
+        reparsed = parse_program(
+            unparse_language(original)).languages["leaky"]
+        t_orig = repro.simulate(build_two_pole(original), (0.0, 2.0),
+                                n_points=50)
+        t_new = repro.simulate(build_two_pole(reparsed), (0.0, 2.0),
+                               n_points=50)
+        assert np.allclose(t_orig.y, t_new.y)
+
+    def test_chain_renders_ancestors_first(self, gmc):
+        source = unparse_chain(gmc)
+        assert source.index("lang tln") < source.index("lang gmc-tln")
+
+    def test_tln_chain_round_trip_dynamics(self, gmc):
+        from repro.paradigms.tln import (TLineSpec, linear_tline,
+                                         pulse)
+        source = unparse_chain(gmc)
+        program = parse_program(source, functions={"pulse": pulse})
+        reparsed = program.languages["gmc-tln"]
+        spec = TLineSpec(n_segments=5)
+        t_orig = repro.simulate(
+            linear_tline(spec, edge_variant="gm", seed=3),
+            (0.0, 2e-8), n_points=80)
+        t_new = repro.simulate(
+            linear_tline(spec, edge_variant="gm", seed=3,
+                         language=reparsed),
+            (0.0, 2e-8), n_points=80)
+        assert np.allclose(t_orig["OUT_V"], t_new["OUT_V"])
+
+    def test_cnn_chain_round_trip(self):
+        from repro.paradigms.cnn import (hw_cnn_language, sat, sat_ni)
+        source = unparse_chain(hw_cnn_language())
+        program = parse_program(source,
+                                functions={"sat": sat,
+                                           "sat_ni": sat_ni},
+                                extern={"grid_check": lambda g: True})
+        reparsed = program.languages["hw-cnn"]
+        assert set(reparsed.node_types()) == \
+            {"V", "Out", "Inp", "Vm", "OutNL"}
+
+    def test_const_marker_preserved(self):
+        lang = repro.Language("c")
+        lang.node_type("N", order=1, attrs=[
+            ("fixed", repro.real(0, 1), {"const": True})])
+        reparsed = parse_program(
+            unparse_language(lang)).languages["c"]
+        assert reparsed.find_node_type("N").attrs["fixed"].const
+
+    def test_fixed_edge_preserved(self):
+        lang = repro.Language("f")
+        lang.node_type("N", order=1)
+        lang.edge_type("F", fixed=True)
+        reparsed = parse_program(
+            unparse_language(lang)).languages["f"]
+        assert reparsed.find_edge_type("F").fixed
+
+
+class TestFunctionRoundTrip:
+    def _function(self, lang):
+        return F.ArkFunction(
+            "pair", lang,
+            args=[F.FuncArg("w", repro.real(-5, 5)),
+                  F.FuncArg("on", repro.integer(0, 1))],
+            statements=[
+                F.NodeStmt("x0", "X"), F.NodeStmt("x1", "X"),
+                F.EdgeStmt("x0", "x0", "l0", "W"),
+                F.EdgeStmt("x1", "x1", "l1", "W"),
+                F.EdgeStmt("x0", "x1", "c", "W"),
+                F.SetAttrStmt("x0", "tau", F.Literal(1.0)),
+                F.SetAttrStmt("x1", "tau", F.Literal(0.5)),
+                F.SetAttrStmt("l0", "w", F.Literal(0.0)),
+                F.SetAttrStmt("l1", "w", F.Literal(0.0)),
+                F.SetAttrStmt("c", "w", F.ArgRef("w")),
+                F.SetInitStmt("x0", 0, F.Literal(1.0)),
+                F.SetSwitchStmt("c", parse_expression("on == 1")),
+            ])
+
+    def test_round_trip_same_graph(self):
+        lang = build_leaky_language()
+        original = self._function(lang)
+        source = unparse_function(original)
+        program = parse_program(source, languages={"leaky": lang})
+        reparsed = program.functions["pair"]
+        g1 = original(w=2.0, on=1)
+        g2 = reparsed(w=2.0, on=1)
+        assert g1.stats() == g2.stats()
+        assert g1.edge("c").attrs == g2.edge("c").attrs
+        t1 = repro.simulate(g1, (0.0, 1.0), n_points=30)
+        t2 = repro.simulate(g2, (0.0, 1.0), n_points=30)
+        assert np.allclose(t1.y, t2.y)
+
+    def test_lambda_value_round_trip(self):
+        lang = repro.Language("wave")
+        lang.node_type("S", order=0, attrs=[("fn", repro.lambd(1))])
+        fn = F.ArkFunction("f", lang, statements=[
+            F.NodeStmt("s", "S"),
+            F.SetAttrStmt("s", "fn", F.LambdaVal(
+                ("t",), parse_expression("sin(t)+1")))])
+        source = unparse_function(fn)
+        reparsed = parse_program(source,
+                                 languages={"wave": lang}).functions["f"]
+        assert reparsed().node("s").attrs["fn"](0.0) == \
+            pytest.approx(1.0)
+
+    def test_opaque_callable_rejected(self):
+        lang = repro.Language("opaque")
+        lang.node_type("S", order=0, attrs=[("fn", repro.lambd(1))])
+        fn = F.ArkFunction("f", lang, statements=[
+            F.NodeStmt("s", "S"),
+            F.SetAttrStmt("s", "fn", F.Literal(lambda t: t))])
+        with pytest.raises(ParseError):
+            unparse_function(fn)

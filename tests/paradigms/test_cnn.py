@@ -1,0 +1,216 @@
+"""Tests for the CNN language, templates, and the Fig. 11 experiment."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.paradigms.cnn import (BLACK, WHITE, CORNER_TEMPLATE,
+                                 EDGE_TEMPLATE, CnnTemplate, binarize,
+                                 cnn_grid, cnn_language, default_image,
+                                 edge_detector, expected_edges,
+                                 hw_cnn_language, pixel_errors, run_cnn,
+                                 sat, sat_ni, state_grid, to_ascii)
+
+
+class TestActivations:
+    def test_sat_linear_region(self):
+        assert sat(0.5) == 0.5
+        assert sat(-0.5) == -0.5
+
+    def test_sat_saturates(self):
+        assert sat(3.0) == 1.0
+        assert sat(-3.0) == -1.0
+
+    def test_sat_corners(self):
+        assert sat(1.0) == 1.0
+        assert sat(-1.0) == -1.0
+
+    def test_sat_ni_saturates_smoothly(self):
+        assert sat_ni(1.0) == 1.0
+        assert sat_ni(-1.0) == -1.0
+        assert sat_ni(5.0) == 1.0
+        # Smooth approach: value just below 1 stays below 1.
+        assert sat_ni(0.99) < 1.0
+
+    def test_sat_ni_steeper_at_origin(self):
+        x = 0.05
+        assert sat_ni(x) > sat(x)
+
+    def test_both_odd_functions(self):
+        for x in (0.2, 0.7, 1.5):
+            assert sat(-x) == -sat(x)
+            assert sat_ni(-x) == pytest.approx(-sat_ni(x))
+
+
+class TestImages:
+    def test_default_image_binary_with_margin(self):
+        image = default_image(16)
+        assert set(np.unique(image)) <= {BLACK, WHITE}
+        assert (image[0:2, :] == WHITE).all()
+        assert (image[:, -2:] == WHITE).all()
+        assert (image == BLACK).any()
+
+    def test_expected_edges_hollow_out_interior(self):
+        image = np.full((7, 7), WHITE)
+        image[1:6, 1:6] = BLACK
+        edges = expected_edges(image)
+        assert edges[3, 3] == WHITE   # interior
+        assert edges[1, 1] == BLACK   # corner of the square
+        assert edges[1, 3] == BLACK   # edge of the square
+        assert edges[0, 0] == WHITE   # background
+
+    def test_binarize_and_errors(self):
+        actual = np.array([[0.8, -0.2], [0.1, -0.9]])
+        expected = np.array([[1.0, -1.0], [-1.0, -1.0]])
+        assert pixel_errors(actual, expected) == 1
+
+    def test_ascii_roundtrip_symbols(self):
+        art = to_ascii(np.array([[1.0, -1.0, 0.0]]))
+        assert art == "#.?"
+
+
+class TestGridBuilder:
+    def test_counts(self):
+        image = default_image(8)
+        graph = cnn_grid(image, EDGE_TEMPLATE)
+        stats = graph.stats()
+        assert stats["nodes"] == 3 * 64          # V + Out + Inp
+        assert stats["states"] == 64             # one per cell
+
+    def test_validates(self):
+        image = default_image(8)
+        graph = cnn_grid(image, EDGE_TEMPLATE)
+        report = repro.validate(graph, backend="flow")
+        assert report.valid, report.violations[:3]
+
+    def test_bad_template_shape_rejected(self):
+        with pytest.raises(repro.GraphError):
+            CnnTemplate(a=((0, 0), (0, 0)), b=EDGE_TEMPLATE.b, z=0.0)
+
+    def test_non_2d_image_rejected(self):
+        with pytest.raises(repro.GraphError):
+            cnn_grid(np.zeros(5), EDGE_TEMPLATE)
+
+    def test_grid_check_rejects_non_neighbor_edge(self):
+        language = cnn_language()
+        image = default_image(8)
+        graph = cnn_grid(image, EDGE_TEMPLATE, language=language)
+        # Smuggle in a long-range feedback edge.
+        graph.add_edge("cheat", "Out_0_0", "V_5_5", "fE")
+        graph.edge("cheat").attrs["g"] = 1.0
+        report = repro.validate(graph, backend="flow")
+        assert not report.valid
+        assert any("non-neighbor" in v for v in report.violations)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(repro.GraphError):
+            edge_detector(default_image(8), "cosmic_rays")
+
+
+class TestEdgeDetection:
+    @pytest.fixture(scope="class")
+    def image(self):
+        return default_image(10)
+
+    @pytest.fixture(scope="class")
+    def expected(self, image):
+        return expected_edges(image)
+
+    def test_ideal_detects_edges(self, image, expected):
+        run = run_cnn(edge_detector(image), 10, 10, expected=expected)
+        assert run.errors == 0
+        assert run.converged
+
+    def test_bias_mismatch_slower_but_correct(self, image, expected):
+        ideal = run_cnn(edge_detector(image), 10, 10,
+                        expected=expected)
+        bias = run_cnn(edge_detector(image, "bias_mismatch", seed=3),
+                       10, 10, expected=expected)
+        assert bias.errors == 0
+        assert bias.converged_at > ideal.converged_at
+
+    def test_nonideal_sat_faster_and_correct(self, image, expected):
+        ideal = run_cnn(edge_detector(image), 10, 10,
+                        expected=expected)
+        nonideal = run_cnn(edge_detector(image, "nonideal_sat"),
+                           10, 10, expected=expected)
+        assert nonideal.errors == 0
+        assert nonideal.converged_at < ideal.converged_at
+
+    def test_template_mismatch_perturbs(self, image, expected):
+        # Over a few seeds, g-mismatch must corrupt at least one run
+        # (the paper's column C shows an incorrect output image).
+        total_errors = 0
+        for seed in range(4):
+            run = run_cnn(
+                edge_detector(image, "template_mismatch", seed=seed),
+                10, 10, expected=expected)
+            total_errors += run.errors
+        assert total_errors > 0
+
+    def test_snapshots_track_time(self, image, expected):
+        run = run_cnn(edge_detector(image), 10, 10, expected=expected)
+        assert set(run.snapshots) == {0.0, 0.25, 0.5, 0.75, 1.0}
+        start = run.snapshots[0.0]
+        assert np.allclose(start, 0.0)  # initial state
+
+    def test_state_grid_reads_trajectory(self, image):
+        run = run_cnn(edge_detector(image), 10, 10)
+        grid = state_grid(run.trajectory, 10, 10, -1)
+        assert grid.shape == (10, 10)
+        assert np.abs(grid).max() > 0.9  # settled to saturations
+
+
+class TestCornerTemplate:
+    def test_detects_only_corners(self):
+        image = np.full((9, 9), WHITE)
+        image[2:7, 2:7] = BLACK
+        graph = cnn_grid(image, CORNER_TEMPLATE)
+        run = run_cnn(graph, 9, 9)
+        output = run.output
+        corners = {(2, 2), (2, 6), (6, 2), (6, 6)}
+        for i in range(9):
+            for j in range(9):
+                expected = BLACK if (i, j) in corners else WHITE
+                assert output[i, j] == expected, (i, j)
+
+
+class TestDiffusionTemplate:
+    def test_smoothing_reduces_spatial_variance(self):
+        from repro.paradigms.cnn import DIFFUSION_TEMPLATE
+        rng = np.random.default_rng(0)
+        noise = rng.uniform(-0.5, 0.5, (8, 8))
+        graph = cnn_grid(noise, DIFFUSION_TEMPLATE,
+                         initial_state=noise)
+        run = run_cnn(graph, 8, 8, t_end=2.0)
+        initial_var = float(np.var(noise))
+        final_var = float(np.var(run.snapshots[1.0]))
+        assert final_var < 0.5 * initial_var
+
+    def test_mean_roughly_preserved(self):
+        from repro.paradigms.cnn import DIFFUSION_TEMPLATE
+        rng = np.random.default_rng(1)
+        noise = rng.uniform(-0.4, 0.4, (8, 8))
+        graph = cnn_grid(noise, DIFFUSION_TEMPLATE,
+                         initial_state=noise)
+        run = run_cnn(graph, 8, 8, t_end=1.0)
+        assert abs(float(run.snapshots[1.0].mean())) < \
+            abs(float(noise.mean())) + 0.1
+
+
+class TestHwCnnLanguage:
+    def test_fEm_inherits_fE_rules_with_mismatched_weights(self):
+        hw = hw_cnn_language()
+        fem = hw.find_edge_type("fEm")
+        assert fem.parent.name == "fE"
+        assert fem.attrs["g"].datatype.mismatch is not None
+
+    def test_vm_keeps_equilibria(self):
+        """The Vm `mm` factor scales the whole RHS -> equilibria are
+        unchanged; the final image must match the ideal one exactly."""
+        image = default_image(8)
+        expected = expected_edges(image)
+        run = run_cnn(edge_detector(image, "bias_mismatch", seed=11),
+                      8, 8, expected=expected, t_end=20.0)
+        assert run.errors == 0

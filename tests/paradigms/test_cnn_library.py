@@ -1,0 +1,177 @@
+"""Tests for the extended CNN template library
+(`repro.paradigms.cnn.library`): every template's analog fixed point
+must match its independent discrete reference, pixel-exact."""
+
+import numpy as np
+import pytest
+
+from repro.paradigms.cnn import (CORNER_TEMPLATE, DILATION_TEMPLATE,
+                                 EROSION_TEMPLATE, HOLE_FILL_TEMPLATE,
+                                 LIBRARY, SHADOW_TEMPLATE, WHITE,
+                                 CnnTemplate, apply_template, cnn_grid,
+                                 expected_corners, expected_dilation,
+                                 expected_erosion, expected_hole_fill,
+                                 expected_opening, expected_shadow,
+                                 run_library_template)
+from repro.paradigms.cnn.templates import _boundary_bias
+
+
+def random_image(seed: int, size: int = 8,
+                 black_fraction: float = 0.4) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.where(rng.random((size, size)) < black_fraction, 1.0, -1.0)
+
+
+def ring_image(size: int = 8) -> np.ndarray:
+    """A black ring enclosing a white hole."""
+    image = np.full((size, size), -1.0)
+    image[2:size - 2, 2:size - 2] = 1.0
+    image[3:size - 3, 3:size - 3] = -1.0
+    return image
+
+
+class TestBoundaryFolding:
+    def test_interior_cell_unchanged(self):
+        bias = _boundary_bias(DILATION_TEMPLATE, 2, 2, 8, 8, WHITE)
+        assert bias == 0.0
+
+    def test_corner_cell_folds_missing_entries(self):
+        # Dilation's B has the 4-neighbor cross; a corner misses two of
+        # those (plus no A ring), each worth boundary * 1.
+        bias = _boundary_bias(DILATION_TEMPLATE, 0, 0, 8, 8, WHITE)
+        assert bias == WHITE * 2.0
+
+    def test_boundary_folds_into_bias_attribute(self):
+        image = np.full((4, 4), 1.0)
+        zero_bc = cnn_grid(image, EROSION_TEMPLATE)
+        white_bc = cnn_grid(image, EROSION_TEMPLATE, boundary=WHITE)
+        # Interior cells keep the template bias either way ...
+        assert zero_bc.node("V_1_1").attrs["z"] == \
+            white_bc.node("V_1_1").attrs["z"] == EROSION_TEMPLATE.z
+        # ... but the white frame shifts border biases by the folded
+        # missing B entries (corner misses two cross neighbors).
+        assert white_bc.node("V_0_0").attrs["z"] == \
+            EROSION_TEMPLATE.z + WHITE * 2.0
+        assert zero_bc.node("V_0_0").attrs["z"] == EROSION_TEMPLATE.z
+
+    def test_white_frame_erodes_border(self):
+        image = np.full((4, 4), 1.0)  # all black
+        white_bc = apply_template(image, EROSION_TEMPLATE,
+                                  boundary=WHITE)
+        assert (white_bc[0] == WHITE).all()
+        assert (white_bc[1:3, 1:3] == 1.0).all()
+
+    def test_fold_exceeding_bias_range_rejected(self):
+        # The fold lands in the cell bias (z in [-10, 10]); a template
+        # whose folded border bias leaves that range is not
+        # implementable on the fabric, and the datatype check says so.
+        import repro
+        extreme = CnnTemplate(
+            a=((0, 0, 0), (0, 2, 0), (0, 0, 0)),
+            b=((-2, -2, -2), (-2, 0, -2), (-2, -2, -2)),
+            z=4.0, name="overflow")
+        image = np.full((5, 5), -1.0)
+        with pytest.raises(repro.DatatypeError):
+            cnn_grid(image, extreme, boundary=WHITE)
+        # Without the white frame the same template is fine.
+        cnn_grid(image, extreme)
+
+
+class TestMorphology:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dilation_matches_reference(self, seed):
+        output, reference = run_library_template(random_image(seed),
+                                                 "dilation")
+        assert np.array_equal(output, reference)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_erosion_matches_reference(self, seed):
+        output, reference = run_library_template(random_image(seed),
+                                                 "erosion")
+        assert np.array_equal(output, reference)
+
+    def test_opening_removes_salt_noise(self):
+        image = np.full((8, 8), -1.0)
+        image[2:6, 2:6] = 1.0     # a solid square ...
+        image[0, 7] = 1.0          # ... plus an isolated noise pixel
+        eroded = apply_template(image, EROSION_TEMPLATE)
+        opened = apply_template(eroded, DILATION_TEMPLATE)
+        assert np.array_equal(opened, expected_opening(image))
+        assert opened[0, 7] == WHITE          # noise gone
+        assert (opened[3:5, 3:5] == 1.0).all()  # object interior kept
+
+    def test_erosion_dilation_duality_on_empty(self):
+        image = np.full((6, 6), -1.0)
+        assert (apply_template(image, DILATION_TEMPLATE)
+                == WHITE).all()
+        assert (apply_template(image, EROSION_TEMPLATE) == WHITE).all()
+
+
+class TestShadow:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_matches_reference_on_random_images(self, seed):
+        output, reference = run_library_template(
+            random_image(seed, black_fraction=0.25), "shadow")
+        assert np.array_equal(output, reference)
+
+    def test_single_pixel_casts_left(self):
+        image = np.full((5, 5), -1.0)
+        image[2, 3] = 1.0
+        output, reference = run_library_template(image, "shadow")
+        assert np.array_equal(output, reference)
+        assert (output[2, :4] == 1.0).all()
+        assert output[2, 4] == WHITE
+        assert (output[[0, 1, 3, 4], :] == WHITE).all()
+
+
+class TestHoleFill:
+    def test_fills_enclosed_hole(self):
+        output, reference = run_library_template(ring_image(), "hole-fill")
+        assert np.array_equal(output, reference)
+        assert (output[3:5, 3:5] == 1.0).all()
+
+    def test_open_region_not_filled(self):
+        image = ring_image()
+        image[2, 3] = -1.0  # breach the ring: hole connects to frame
+        output, reference = run_library_template(image, "hole-fill")
+        assert np.array_equal(output, reference)
+        assert output[4, 4] == WHITE
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_matches_reference_on_random_images(self, seed):
+        output, reference = run_library_template(
+            random_image(seed, black_fraction=0.45), "hole-fill")
+        assert np.array_equal(output, reference)
+
+
+class TestCornerReference:
+    def test_corner_template_matches_reference(self):
+        image = np.full((8, 8), -1.0)
+        image[2:6, 2:6] = 1.0
+        output = apply_template(image, CORNER_TEMPLATE, boundary=WHITE)
+        assert np.array_equal(output, expected_corners(image))
+        # Exactly the four corners of the square are detected.
+        assert (output == 1.0).sum() == 4
+        assert output[2, 2] == output[2, 5] == 1.0
+        assert output[5, 2] == output[5, 5] == 1.0
+
+
+class TestRegistry:
+    def test_all_registered_templates_run(self):
+        image = random_image(9, size=6)
+        for name in LIBRARY:
+            output, reference = run_library_template(image, name,
+                                                     t_end=12.0)
+            assert output.shape == image.shape, name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_library_template(np.full((4, 4), -1.0), "sharpen")
+
+    def test_library_under_mismatch_variants(self):
+        # The hw-cnn Vm substitution must keep robust-margin templates
+        # correct at 10% bias mismatch (margins are >= 1).
+        image = random_image(10, size=6)
+        output = apply_template(image, DILATION_TEMPLATE,
+                                cell_type="Vm", seed=4)
+        assert np.array_equal(output, expected_dilation(image))

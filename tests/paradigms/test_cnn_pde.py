@@ -1,0 +1,115 @@
+"""Tests for CNN-based PDE solving (`repro.paradigms.cnn.pde`): the
+diffusion CNN must track the exact solution of the discretized heat
+equation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.cnn import (diffusion_step_response,
+                                 diffusion_template, heat_cnn,
+                                 laplacian_matrix, reference_diffusion,
+                                 solve_diffusion)
+
+
+def hot_square(size: int = 6) -> np.ndarray:
+    initial = np.zeros((size, size))
+    initial[2:4, 2:4] = 1.0
+    return initial
+
+
+class TestTemplate:
+    def test_entries(self):
+        template = diffusion_template(0.5)
+        a = template.a_array
+        assert a[1, 1] == pytest.approx(1.0 - 4 * 0.5)
+        assert a[0, 1] == a[1, 0] == a[1, 2] == a[2, 1] == 0.5
+        assert a[0, 0] == a[0, 2] == a[2, 0] == a[2, 2] == 0.0
+        assert (template.b_array == 0).all()
+        assert template.z == 0.0
+
+    def test_rate_bounds(self):
+        with pytest.raises(repro.GraphError):
+            diffusion_template(0.0)
+        with pytest.raises(repro.GraphError):
+            diffusion_template(2.5)
+        with pytest.raises(repro.GraphError):
+            diffusion_template(-1.0)
+
+
+class TestLaplacian:
+    def test_interior_row(self):
+        matrix = laplacian_matrix(3, 3)
+        center = 4  # (1, 1)
+        assert matrix[center, center] == -4.0
+        assert matrix[center].sum() == 0.0  # 4 neighbors of +1
+
+    def test_corner_row_is_dirichlet(self):
+        matrix = laplacian_matrix(3, 3)
+        corner = 0
+        assert matrix[corner, corner] == -4.0
+        assert matrix[corner].sum() == -2.0  # only 2 real neighbors
+
+    def test_symmetric_negative_semidefinite(self):
+        matrix = laplacian_matrix(4, 5)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.linalg.eigvalsh(matrix).max() < 0.0  # Dirichlet: < 0
+
+
+class TestHeatCnn:
+    def test_graph_validates(self):
+        graph = heat_cnn(hot_square(), rate=0.5)
+        assert repro.validate(graph, backend="flow").valid
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(repro.GraphError):
+            heat_cnn(np.full((4, 4), 1.5))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(repro.GraphError):
+            heat_cnn(np.zeros(5))
+
+
+class TestAgainstExactSolution:
+    def test_step_response_tracks_reference(self):
+        result = diffusion_step_response(size=6, rate=0.5,
+                                         times=(0.0, 0.5, 1.5))
+        # Dominated by the trajectory's linear interpolation between
+        # stored samples, not by solver error.
+        assert result["rmse"].max() < 1e-5
+
+    def test_pointwise_solution(self):
+        initial = hot_square()
+        times = np.array([0.0, 0.4, 1.2])
+        cnn_frames = solve_diffusion(initial, 0.5, times)
+        exact_frames = reference_diffusion(initial, 0.5, times)
+        assert np.allclose(cnn_frames, exact_frames, atol=1e-6)
+
+    def test_heat_decays_with_dirichlet_boundary(self):
+        initial = hot_square()
+        frames = solve_diffusion(initial, 0.5, [0.0, 1.0, 3.0])
+        totals = frames.sum(axis=(1, 2))
+        assert totals[0] > totals[1] > totals[2] > 0.0
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(repro.GraphError):
+            solve_diffusion(hot_square(), 0.5, [-1.0, 0.0])
+
+    def test_rate_scales_time(self):
+        # Doubling the rate is a pure time rescaling of the linear
+        # system: x(t; 2r) == x(2t; r).
+        initial = hot_square()
+        fast = solve_diffusion(initial, 1.0, [0.5])
+        slow = solve_diffusion(initial, 0.5, [1.0])
+        assert np.allclose(fast, slow, atol=1e-6)
+
+    def test_symmetry_preserved(self):
+        # A symmetric initial condition must stay symmetric.
+        size = 6
+        initial = np.zeros((size, size))
+        initial[2:4, 2:4] = 1.0  # centered for even size
+        frames = solve_diffusion(initial, 0.5, [0.8])
+        frame = frames[0]
+        assert np.allclose(frame, frame[::-1, :], atol=1e-7)
+        assert np.allclose(frame, frame[:, ::-1], atol=1e-7)
+        assert np.allclose(frame, frame.T, atol=1e-7)

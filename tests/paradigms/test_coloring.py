@@ -1,0 +1,84 @@
+"""Tests for the color-obc extension (oscillator graph coloring)."""
+
+import math
+
+import pytest
+
+import repro
+from repro.paradigms.obc import (classify_color, color_obc_language,
+                                 coloring_network, obc_language,
+                                 solve_coloring)
+
+
+class TestLanguage:
+    def test_inherits_obc(self):
+        lang = color_obc_language()
+        assert lang.parent is obc_language()
+        osck = lang.find_node_type("OscK")
+        assert osck.parent.name == "Osc"
+        assert "k" in osck.attrs
+
+    def test_new_self_rule_most_specific(self):
+        lang = color_obc_language()
+        table = lang.rule_table()
+        osck = lang.find_node_type("OscK")
+        cpl = lang.find_edge_type("Cpl")
+        winners = table.lookup(cpl, osck, osck, self_rule=True)
+        assert len(winners) == 1
+        # The OscK-specific rule (with s.k harmonic) wins over Osc's.
+        assert winners[0].src_type == "OscK"
+
+    def test_base_osc_keeps_second_harmonic(self):
+        lang = color_obc_language()
+        table = lang.rule_table()
+        osc = lang.find_node_type("Osc")
+        cpl = lang.find_edge_type("Cpl")
+        winners = table.lookup(cpl, osc, osc, self_rule=True)
+        assert winners[0].src_type == "Osc"
+
+
+class TestClassifyColor:
+    def test_roots_of_unity(self):
+        third = 2 * math.pi / 3
+        assert classify_color(0.0, 3, d=0.1) == 0
+        assert classify_color(third, 3, d=0.1) == 1
+        assert classify_color(2 * third, 3, d=0.1) == 2
+
+    def test_wraparound(self):
+        assert classify_color(2 * math.pi - 0.01, 3, d=0.1) == 0
+
+    def test_unknown_between_bins(self):
+        assert classify_color(math.pi / 3, 3, d=0.1) is None
+
+    def test_two_colors_match_maxcut_bins(self):
+        assert classify_color(0.02, 2, d=0.1) == 0
+        assert classify_color(math.pi, 2, d=0.1) == 1
+
+
+class TestSolver:
+    def test_network_validates(self):
+        graph = coloring_network([(0, 1)], 2, 3)
+        assert repro.validate(graph, backend="flow").valid
+
+    def test_square_two_coloring(self):
+        square = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        result = solve_coloring(square, 4, 2, seed=1)
+        assert result.proper, result.colors
+
+    def test_triangle_three_coloring(self):
+        result = solve_coloring([(0, 1), (1, 2), (0, 2)], 3, 3,
+                                seed=0)
+        assert result.proper, result.colors
+        assert sorted(result.colors) == [0, 1, 2]
+
+    def test_triangle_not_two_colorable(self):
+        # With 2 colors the triangle has no proper coloring: whatever
+        # the dynamics settle on has a conflict (or doesn't settle).
+        result = solve_coloring([(0, 1), (1, 2), (0, 2)], 3, 2,
+                                seed=3)
+        assert not result.proper
+
+    def test_conflicts_none_when_unsynced(self):
+        result = solve_coloring([(0, 1)], 2, 3, seed=1, t_end=1e-12)
+        assert not result.synchronized
+        assert result.conflicts is None

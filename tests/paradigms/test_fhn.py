@@ -1,0 +1,186 @@
+"""Tests for the FHN excitable-neuron paradigm
+(`repro.paradigms.fhn`): language rules, excitability, wave
+propagation vs the scipy reference, and the hw-fhn mismatch study."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.paradigms.fhn import (NeuronSpec, fhn_language,
+                                 fhn_reference, hw_fhn_language,
+                                 neuron_chain, neuron_ring,
+                                 resting_point, single_neuron,
+                                 spike_times, wave_arrival_times)
+
+TIGHT = dict(rtol=1e-9, atol=1e-11)
+
+
+class TestLanguageRules:
+    def test_paradigm_graphs_validate(self):
+        for graph in (single_neuron(), neuron_chain(4),
+                      neuron_ring(4)):
+            report = repro.validate(graph)
+            assert report.valid, report
+
+    def test_membrane_without_recovery_rejected(self):
+        builder = GraphBuilder(fhn_language(), "lonely-u")
+        builder.node("U_0", "U")
+        builder.set_attr("U_0", "i", 0.0)
+        builder.set_init("U_0", 0.0)
+        builder.edge("U_0", "U_0", "Su", "S")
+        assert not repro.validate(builder.finish()).valid
+
+    def test_membrane_without_cubic_self_edge_rejected(self):
+        builder = GraphBuilder(fhn_language(), "no-cubic")
+        builder.node("U_0", "U")
+        builder.set_attr("U_0", "i", 0.0)
+        builder.set_init("U_0", 0.0)
+        builder.node("W_0", "W")
+        for attr, value in (("eps", 0.08), ("a", 0.7), ("b", 0.8)):
+            builder.set_attr("W_0", attr, value)
+        builder.set_init("W_0", 0.0)
+        builder.edge("W_0", "U_0", "Swu", "S")
+        builder.edge("U_0", "W_0", "Suw", "S")
+        assert not repro.validate(builder.finish()).valid
+
+    def test_recovery_to_recovery_rejected(self):
+        graph = neuron_chain(2)
+        graph.add_edge("bad", "W_0", "W_1", "S")
+        assert not repro.validate(graph).valid
+
+    def test_spec_validation(self):
+        with pytest.raises(repro.GraphError):
+            NeuronSpec(eps=0.0)
+        with pytest.raises(repro.GraphError):
+            NeuronSpec(bias=3.0)
+        with pytest.raises(repro.GraphError):
+            neuron_chain(1)
+        with pytest.raises(repro.GraphError):
+            neuron_ring(2)  # would double the coupling: degenerate
+        with pytest.raises(repro.GraphError):
+            neuron_chain(4, coupling=-1.0)
+        with pytest.raises(repro.GraphError):
+            neuron_chain(4, stimulate=7)
+
+
+class TestExcitability:
+    def test_resting_point_is_a_fixed_point(self):
+        spec = NeuronSpec()
+        v, w = resting_point(spec)
+        assert v - v ** 3 / 3.0 - w + spec.bias == \
+            pytest.approx(0.0, abs=1e-12)
+        assert v + spec.a - spec.b * w == pytest.approx(0.0, abs=1e-12)
+
+    def test_quiescent_at_rest(self):
+        v, w = resting_point()
+        run = repro.simulate(single_neuron(v0=v, w0=w), (0.0, 100.0),
+                             n_points=201, **TIGHT)
+        assert np.abs(run["U_0"] - v).max() < 1e-9
+
+    def test_subthreshold_perturbation_decays(self):
+        v, w = resting_point()
+        run = repro.simulate(single_neuron(v0=v + 0.05, w0=w),
+                             (0.0, 100.0), n_points=501, **TIGHT)
+        assert len(spike_times(run.t, run["U_0"])) == 0
+        assert abs(run.final("U_0") - v) < 1e-3
+
+    def test_suprathreshold_kick_fires_once(self):
+        v, w = resting_point()
+        run = repro.simulate(single_neuron(v0=1.5, w0=w), (0.0, 100.0),
+                             n_points=1001, **TIGHT)
+        # One excursion, then return to rest: excitability.
+        assert run["U_0"].max() > 1.5
+        assert abs(run.final("U_0") - v) < 1e-2
+
+    def test_strong_bias_gives_tonic_spiking(self):
+        spec = NeuronSpec(bias=0.5)
+        v, w = resting_point(NeuronSpec())
+        run = repro.simulate(single_neuron(spec, v0=v, w0=w),
+                             (0.0, 200.0), n_points=2001, **TIGHT)
+        times = spike_times(run.t, run["U_0"])
+        assert len(times) >= 4
+        periods = np.diff(times)
+        assert periods.std() < 0.02 * periods.mean()  # regular train
+
+
+class TestWavePropagation:
+    def test_chain_matches_scipy_reference(self):
+        n = 6
+        graph = neuron_chain(n, coupling=0.8, stimulate=0,
+                             stimulus=1.5)
+        run = repro.simulate(graph, (0.0, 80.0), n_points=801, **TIGHT)
+        rest_v, rest_w = resting_point()
+        v0 = np.full(n, rest_v)
+        v0[0] = 1.5
+        w0 = np.full(n, rest_w)
+        reference = fhn_reference(n, NeuronSpec(), 0.8, False, v0, w0,
+                                  run.t)
+        worst = max(np.abs(run[f"U_{k}"] - reference[k]).max()
+                    for k in range(n))
+        assert worst < 1e-7
+
+    def test_wave_travels_in_order(self):
+        n = 6
+        run = repro.simulate(neuron_chain(n, coupling=0.8),
+                             (0.0, 80.0), n_points=801, **TIGHT)
+        arrivals = wave_arrival_times(run, n)
+        assert all(a is not None for a in arrivals)
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0  # the stimulated site
+
+    def test_uncoupled_chain_does_not_propagate(self):
+        n = 4
+        run = repro.simulate(
+            neuron_chain(n, coupling=0.0), (0.0, 80.0), n_points=401,
+            **TIGHT)
+        arrivals = wave_arrival_times(run, n)
+        assert arrivals[0] == 0.0
+        assert all(a is None for a in arrivals[1:])
+
+    def test_ring_wave_reaches_everywhere(self):
+        n = 8
+        run = repro.simulate(neuron_ring(n, coupling=0.8), (0.0, 80.0),
+                             n_points=801, **TIGHT)
+        arrivals = wave_arrival_times(run, n)
+        assert all(a is not None for a in arrivals)
+        # On a ring the wave splits both ways: the antipode is last.
+        latest = max(range(n), key=lambda k: arrivals[k])
+        assert latest == n // 2
+
+
+class TestHwExtension:
+    def test_hw_graphs_validate(self):
+        graph = neuron_chain(4, mismatched_bias=True,
+                             mismatched_coupling=True, seed=1)
+        assert repro.validate(graph).valid
+
+    def test_mismatch_jitters_arrival_times(self):
+        n = 5
+        ideal = repro.simulate(neuron_chain(n, coupling=0.8),
+                               (0.0, 80.0), n_points=801, **TIGHT)
+        ideal_arrivals = wave_arrival_times(ideal, n)
+        jittered = []
+        for seed in (1, 2):
+            run = repro.simulate(
+                neuron_chain(n, coupling=0.8,
+                             mismatched_coupling=True, seed=seed),
+                (0.0, 80.0), n_points=801, **TIGHT)
+            jittered.append(wave_arrival_times(run, n))
+        assert jittered[0] != jittered[1]  # chip signature
+        assert jittered[0] != ideal_arrivals
+
+    def test_mismatch_deterministic_per_seed(self):
+        make = lambda: neuron_chain(4, mismatched_coupling=True,
+                                    seed=9)
+        a = repro.simulate(make(), (0.0, 40.0), n_points=201)
+        b = repro.simulate(make(), (0.0, 40.0), n_points=201)
+        assert np.array_equal(a["U_2"], b["U_2"])
+
+    def test_ideal_types_simulate_identically_in_hw_language(self):
+        base = repro.simulate(neuron_chain(4), (0.0, 40.0),
+                              n_points=201, **TIGHT)
+        cast = repro.simulate(
+            neuron_chain(4, language=hw_fhn_language()), (0.0, 40.0),
+            n_points=201, **TIGHT)
+        assert np.allclose(base["U_3"], cast["U_3"], atol=1e-12)

@@ -1,0 +1,263 @@
+"""Tests for the GPAC paradigm (`repro.paradigms.gpac`): language rules,
+circuit builders vs scipy references, and the hw-gpac extension."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.paradigms.gpac import (GpacTypes, acyclic_algebraic_check,
+                                  amplitude_envelope, decay_reference,
+                                  driven_oscillator, exponential_decay,
+                                  gpac_language, harmonic_oscillator,
+                                  hw_gpac_language, leaky,
+                                  limit_cycle_amplitude, lorenz,
+                                  lorenz_reference, lotka_volterra,
+                                  lotka_volterra_invariant,
+                                  lotka_volterra_reference,
+                                  oscillator_reference,
+                                  resonance_amplitude, van_der_pol,
+                                  van_der_pol_reference)
+
+TIGHT = dict(rtol=1e-9, atol=1e-11)
+
+
+class TestLanguageRules:
+    def test_paradigm_graphs_validate(self):
+        for graph in (exponential_decay(), harmonic_oscillator(),
+                      lotka_volterra(), van_der_pol(), lorenz()):
+            report = repro.validate(graph)
+            assert report.valid, report
+
+    def test_single_input_multiplier_rejected(self):
+        builder = GraphBuilder(gpac_language(), "bad-mul")
+        builder.node("x", "Int").set_init("x", 1.0)
+        builder.node("m", "Mul")
+        builder.edge("x", "x", "l", "W").set_attr("l", "w", -1.0)
+        builder.edge("x", "m", "e", "W").set_attr("e", "w", 1.0)
+        builder.node("y", "Int").set_init("y", 0.0)
+        builder.edge("m", "y", "o", "W").set_attr("o", "w", 1.0)
+        graph = builder.finish()
+        assert not repro.validate(graph).valid
+
+    def test_dangling_source_rejected(self):
+        builder = GraphBuilder(gpac_language(), "dangling-src")
+        builder.node("s", "Src")
+        builder.set_attr("s", "fn", lambda t: 1.0)
+        graph = builder.finish()
+        assert not repro.validate(graph).valid
+
+    def test_algebraic_cycle_rejected_globally(self):
+        # Two multipliers feeding each other satisfy every local rule
+        # but form an algebraic loop; the extern check must reject it.
+        builder = GraphBuilder(gpac_language(), "mul-cycle")
+        builder.node("x", "Int").set_init("x", 1.0)
+        builder.edge("x", "x", "l", "W").set_attr("l", "w", -1.0)
+        builder.node("m1", "Mul")
+        builder.node("m2", "Mul")
+        for name, (src, dst) in (("a", ("x", "m1")), ("b", ("m2", "m1")),
+                                 ("c", ("x", "m2")), ("d", ("m1", "m2"))):
+            builder.edge(src, dst, name, "W")
+            builder.set_attr(name, "w", 1.0)
+        builder.node("y", "Int").set_init("y", 0.0)
+        builder.edge("m1", "y", "o", "W").set_attr("o", "w", 1.0)
+        graph = builder.finish()
+        report = repro.validate(graph)
+        assert not report.valid
+        assert "cycle" in str(report).lower()
+
+    def test_acyclic_check_accepts_mul_chain(self):
+        # A *chain* of multipliers is fine — only cycles are rejected.
+        graph = van_der_pol()
+        ok, message = acyclic_algebraic_check(graph)
+        assert ok, message
+
+    def test_mul_reduction_declared(self):
+        assert gpac_language().find_node_type("Mul").reduction.value \
+            == "mul"
+
+
+class TestCircuitsAgainstReferences:
+    def test_exponential_decay(self):
+        trajectory = repro.simulate(exponential_decay(rate=0.7,
+                                                      initial=2.0),
+                                    (0.0, 5.0), n_points=101, **TIGHT)
+        expected = decay_reference(0.7, 2.0, trajectory.t)
+        assert np.allclose(trajectory["x"], expected, atol=1e-8)
+
+    def test_harmonic_oscillator(self):
+        trajectory = repro.simulate(harmonic_oscillator(omega=2.0),
+                                    (0.0, 8.0), n_points=201, **TIGHT)
+        expected = oscillator_reference(2.0, 1.0, trajectory.t)
+        assert np.allclose(trajectory["x"], expected, atol=1e-7)
+
+    def test_lotka_volterra(self):
+        trajectory = repro.simulate(lotka_volterra(), (0.0, 20.0),
+                                    n_points=201, **TIGHT)
+        expected = lotka_volterra_reference(1.1, 0.4, 0.1, 0.4, 10.0,
+                                            10.0, trajectory.t)
+        assert np.allclose(trajectory["x"], expected[0], atol=1e-6)
+        assert np.allclose(trajectory["y"], expected[1], atol=1e-6)
+
+    def test_lotka_volterra_conserves_invariant(self):
+        trajectory = repro.simulate(lotka_volterra(), (0.0, 30.0),
+                                    n_points=301, **TIGHT)
+        invariant = lotka_volterra_invariant(1.1, 0.4, 0.1, 0.4,
+                                             trajectory["x"],
+                                             trajectory["y"])
+        assert invariant.std() < 1e-6 * abs(invariant.mean())
+
+    def test_van_der_pol(self):
+        trajectory = repro.simulate(van_der_pol(mu=1.0), (0.0, 20.0),
+                                    n_points=401, **TIGHT)
+        expected = van_der_pol_reference(1.0, 0.5, 0.0, trajectory.t)
+        assert np.allclose(trajectory["x"], expected[0], atol=1e-6)
+
+    def test_van_der_pol_limit_cycle_amplitude(self):
+        # The classic result: amplitude -> ~2 regardless of start.
+        trajectory = repro.simulate(van_der_pol(mu=1.0, x0=0.1),
+                                    (0.0, 40.0), n_points=801, **TIGHT)
+        amplitude = limit_cycle_amplitude(trajectory.t, trajectory["x"])
+        assert amplitude == pytest.approx(2.0, abs=0.05)
+
+    def test_lorenz_short_horizon(self):
+        # Chaos limits the comparison horizon; before divergence the
+        # GPAC program must track the reference tightly.
+        trajectory = repro.simulate(lorenz(), (0.0, 2.0), n_points=201,
+                                    rtol=1e-10, atol=1e-12)
+        expected = lorenz_reference(10.0, 28.0, 8.0 / 3.0, 1.0, 1.0,
+                                    1.0, trajectory.t)
+        assert np.allclose(trajectory["x"], expected[0], atol=1e-5)
+        assert np.allclose(trajectory["z"], expected[2], atol=1e-5)
+
+    def test_driven_oscillator_resonance_curve(self):
+        # Steady-state amplitude vs the textbook formula at, below,
+        # and above resonance — exercises the Src node's fn(time)
+        # production rule end to end.
+        omega, damping, amplitude = 2.0, 0.3, 1.0
+        for wd in (1.0, 2.0, 3.0):
+            graph = driven_oscillator(omega, damping, amplitude, wd)
+            assert repro.validate(graph).valid
+            run = repro.simulate(graph, (0.0, 80.0), n_points=2001,
+                                 rtol=1e-9, atol=1e-11)
+            measured = float(np.abs(run["x"][run.t > 60.0]).max())
+            analytic = resonance_amplitude(omega, damping, amplitude,
+                                           wd)
+            assert measured == pytest.approx(analytic, rel=2e-3), wd
+
+    def test_driven_oscillator_peaks_at_resonance(self):
+        omega, damping = 2.0, 0.3
+        amplitudes = []
+        for wd in (1.0, 2.0, 3.0):
+            run = repro.simulate(
+                driven_oscillator(omega, damping, 1.0, wd),
+                (0.0, 80.0), n_points=1001)
+            amplitudes.append(float(np.abs(run["x"][run.t > 60]).max()))
+        assert amplitudes[1] > amplitudes[0]
+        assert amplitudes[1] > amplitudes[2]
+
+    def test_parameter_validation(self):
+        with pytest.raises(repro.GraphError):
+            exponential_decay(rate=0.0)
+        with pytest.raises(repro.GraphError):
+            harmonic_oscillator(omega=-1.0)
+        with pytest.raises(repro.GraphError):
+            lotka_volterra(beta=0.0)
+        with pytest.raises(repro.GraphError):
+            van_der_pol(mu=-2.0)
+        with pytest.raises(repro.GraphError):
+            leaky(-0.1)
+        with pytest.raises(repro.GraphError):
+            driven_oscillator(damping=-0.1)
+        with pytest.raises(repro.GraphError):
+            driven_oscillator(drive_frequency=0.0)
+
+
+class TestHwExtension:
+    def test_leaky_graphs_validate(self):
+        for graph in (harmonic_oscillator(types=leaky(0.1)),
+                      van_der_pol(types=leaky(0.1)),
+                      lotka_volterra(types=leaky(0.05))):
+            report = repro.validate(graph)
+            assert report.valid, report
+
+    def test_leaky_oscillator_matches_damped_reference(self):
+        trajectory = repro.simulate(
+            harmonic_oscillator(omega=2.0, types=leaky(0.1)),
+            (0.0, 8.0), n_points=201, **TIGHT)
+        expected = oscillator_reference(2.0, 1.0, trajectory.t,
+                                        leak=0.1)
+        assert np.allclose(trajectory["x"], expected, atol=1e-7)
+
+    def test_zero_leak_matches_ideal(self):
+        ideal = repro.simulate(harmonic_oscillator(), (0.0, 6.0),
+                               n_points=121, **TIGHT)
+        zero_leak = repro.simulate(harmonic_oscillator(types=leaky(0.0)),
+                                   (0.0, 6.0), n_points=121, **TIGHT)
+        assert np.allclose(ideal["x"], zero_leak["x"], atol=1e-9)
+
+    def test_leak_decays_oscillator_envelope(self):
+        trajectory = repro.simulate(
+            harmonic_oscillator(types=leaky(0.2)), (0.0, 20.0),
+            n_points=401)
+        envelope = amplitude_envelope(trajectory.t, trajectory["x"],
+                                      n_segments=4)
+        assert envelope[0] > envelope[1] > envelope[2] > envelope[3]
+
+    def test_van_der_pol_limit_cycle_survives_leak(self):
+        # The robustness finding: at a leak that collapses the harmonic
+        # oscillator to noise (amplitude ~ exp(-0.2*40) of 1), the Van
+        # der Pol limit cycle persists at O(1) amplitude — its
+        # nonlinear feedback re-injects the energy the leak removes,
+        # shrinking the cycle (here to ~1.5 from 2.0) but not killing
+        # it. Computations with self-restoring dynamics tolerate this
+        # nonideality; pure integration does not.
+        span, leak = (0.0, 40.0), 0.2
+        vdp = repro.simulate(van_der_pol(types=leaky(leak)), span,
+                             n_points=801)
+        osc = repro.simulate(harmonic_oscillator(types=leaky(leak)),
+                             span, n_points=801)
+        vdp_amp = limit_cycle_amplitude(vdp.t, vdp["x"])
+        osc_amp = limit_cycle_amplitude(osc.t, osc["x"])
+        assert vdp_amp > 1.2
+        assert osc_amp < 0.05
+
+    def test_weight_mismatch_varies_across_seeds(self):
+        runs = [repro.simulate(
+            harmonic_oscillator(
+                types=leaky(0.0, mismatched_weights=True), seed=seed),
+            (0.0, 6.0), n_points=121) for seed in (1, 2)]
+        assert not np.allclose(runs[0]["x"], runs[1]["x"], atol=1e-3)
+
+    def test_weight_mismatch_deterministic_per_seed(self):
+        make = lambda: harmonic_oscillator(
+            types=leaky(0.0, mismatched_weights=True), seed=9)
+        first = repro.simulate(make(), (0.0, 6.0), n_points=121)
+        second = repro.simulate(make(), (0.0, 6.0), n_points=121)
+        assert np.array_equal(first["x"], second["x"])
+
+    def test_ideal_graph_validates_in_hw_language(self):
+        # §4.1.1 casting: a base-language graph is a valid hw-gpac
+        # program with identical dynamics.
+        base = harmonic_oscillator()
+        hw_graph = harmonic_oscillator(
+            types=GpacTypes(language=hw_gpac_language()))
+        assert repro.validate(hw_graph).valid
+        a = repro.simulate(base, (0.0, 5.0), n_points=101, **TIGHT)
+        b = repro.simulate(hw_graph, (0.0, 5.0), n_points=101, **TIGHT)
+        assert np.allclose(a["x"], b["x"], atol=1e-12)
+
+
+class TestGpacTypes:
+    def test_default_resolves_to_base_language(self):
+        types = GpacTypes().resolve()
+        assert types.language is gpac_language()
+
+    def test_substitution_resolves_to_hw_language(self):
+        types = leaky(0.1).resolve()
+        assert types.language is hw_gpac_language()
+        assert types.int_type == "IntL"
+
+    def test_mismatched_weights_flag(self):
+        assert leaky(0.0, mismatched_weights=True).edge_type == "Wm"
+        assert leaky(0.0).edge_type == "W"

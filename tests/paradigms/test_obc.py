@@ -1,0 +1,225 @@
+"""Tests for the OBC family: Kuramoto dynamics, max-cut solving, the
+offset extension, and the interconnect extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.analysis import phase_distance
+from repro.paradigms.obc import (brute_force_maxcut, classify_phase,
+                                 cut_value, extract_partition,
+                                 intercon_obc_language,
+                                 interconnect_cost, maxcut_experiment,
+                                 maxcut_network, obc_language,
+                                 ofs_obc_language, random_graphs,
+                                 solve_maxcut)
+
+
+class TestGraphsModule:
+    def test_random_graphs_deterministic(self):
+        a = random_graphs(5, 4, seed=1)
+        b = random_graphs(5, 4, seed=1)
+        assert a == b
+
+    def test_random_graphs_nonempty(self):
+        for edges in random_graphs(30, 4, seed=2):
+            assert len(edges) >= 1
+
+    def test_cut_value(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        assert cut_value(edges, [0, 1, 0]) == 2
+        assert cut_value(edges, [0, 0, 0]) == 0
+
+    def test_brute_force_triangle(self):
+        assert brute_force_maxcut([(0, 1), (1, 2), (0, 2)], 3) == 2
+
+    def test_brute_force_bipartite(self):
+        square = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        assert brute_force_maxcut(square, 4) == 4
+
+
+class TestPhaseClassification:
+    def test_near_zero(self):
+        assert classify_phase(0.01, d=0.1) == 0
+        assert classify_phase(2 * math.pi - 0.01, d=0.1) == 0
+        assert classify_phase(-0.01, d=0.1) == 0
+
+    def test_near_pi(self):
+        assert classify_phase(math.pi + 0.05, d=0.1) == 1
+
+    def test_unknown(self):
+        assert classify_phase(math.pi / 2, d=0.1) is None
+
+    def test_tolerance_boundary(self):
+        assert classify_phase(0.1, d=0.1) == 0
+        assert classify_phase(0.11, d=0.1) is None
+
+    def test_many_wraps(self):
+        assert classify_phase(10 * math.pi + 0.02, d=0.1) == 1 or \
+            classify_phase(10 * math.pi + 0.02, d=0.1) == 0
+        # 10*pi folds to 0 (mod 2*pi).
+        assert classify_phase(10 * math.pi + 0.02, d=0.1) == 0
+
+
+class TestNetworkDynamics:
+    def test_two_oscillators_antiphase(self):
+        """k=-1 coupling drives a connected pair to opposite phases."""
+        graph = maxcut_network([(0, 1)], 2,
+                               initial_phases=[0.3, 0.4])
+        trajectory = repro.simulate(graph, (0.0, 100e-9), n_points=50,
+                                    rtol=1e-8, atol=1e-10)
+        p0 = trajectory.final("Osc_0")
+        p1 = trajectory.final("Osc_1")
+        assert phase_distance(p0 - p1, math.pi) < 0.05
+
+    def test_shil_binarizes_isolated_oscillator(self):
+        builder = GraphBuilder(obc_language(), "single")
+        builder.node("Osc_0", "Osc")
+        builder.set_init("Osc_0", 1.0)  # between 0 and pi
+        builder.edge("Osc_0", "Osc_0", "Shil_0", "Cpl")
+        builder.set_attr("Shil_0", "k", 0.0)
+        trajectory = repro.simulate(builder.finish(), (0.0, 50e-9),
+                                    n_points=50)
+        final = trajectory.final("Osc_0")
+        near0 = phase_distance(final, 0.0) < 0.05
+        near_pi = phase_distance(final, math.pi) < 0.05
+        assert near0 or near_pi
+
+    def test_network_validates(self):
+        graph = maxcut_network([(0, 1), (1, 2)], 3)
+        assert repro.validate(graph, backend="flow").valid
+
+
+class TestSolveMaxcut:
+    def test_triangle_solves(self):
+        result = solve_maxcut([(0, 1), (1, 2), (0, 2)], 3,
+                              d=0.1 * math.pi, seed=4)
+        assert result.synchronized
+        assert result.solved
+        assert result.cut == 2
+
+    def test_multi_tolerance_readout(self):
+        results = solve_maxcut([(0, 1)], 2,
+                               d=(0.01 * math.pi, 0.1 * math.pi),
+                               seed=1)
+        assert len(results) == 2
+        assert results[0].d < results[1].d
+        # Same trajectory: the looser readout can only be more lenient.
+        assert results[1].synchronized or not results[0].synchronized
+
+    def test_unsynchronized_has_no_cut(self):
+        result = solve_maxcut([(0, 1)], 2, d=1e-9, seed=1,
+                              t_end=1e-12)  # no time to lock
+        assert not result.synchronized
+        assert result.cut is None
+        assert not result.solved
+
+
+class TestTable1Shape:
+    """Reduced-size Table 1: the orderings the paper reports must hold."""
+
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        graphs = random_graphs(40, 4, seed=11)
+        tolerances = (0.01 * math.pi, 0.1 * math.pi)
+        ideal = maxcut_experiment(graphs, 4, tolerances=tolerances,
+                                  edge_type="Cpl")
+        offset = maxcut_experiment(graphs, 4, tolerances=tolerances,
+                                   edge_type="Cpl_ofs",
+                                   mismatch_seeds=True)
+        return ideal, offset, tolerances
+
+    def test_ideal_solves_most(self, sweeps):
+        ideal, _, (tight, loose) = sweeps
+        assert ideal[tight].solved_probability > 0.8
+        assert ideal[loose].solved_probability > 0.8
+
+    def test_offset_hurts_tight_readout(self, sweeps):
+        ideal, offset, (tight, _) = sweeps
+        assert offset[tight].solved_probability < \
+            ideal[tight].solved_probability - 0.1
+
+    def test_wide_tolerance_recovers(self, sweeps):
+        _, offset, (tight, loose) = sweeps
+        assert offset[loose].solved_probability > \
+            offset[tight].solved_probability + 0.1
+        assert offset[loose].solved_probability > 0.8
+
+
+class TestOfsLanguage:
+    def test_offset_attr(self):
+        ofs = ofs_obc_language()
+        offset = ofs.find_edge_type("Cpl_ofs").attrs["offset"]
+        assert offset.datatype.lo == 0.0 == offset.datatype.hi
+        assert offset.datatype.mismatch.s0 == 0.02
+
+    def test_offset_sampled_per_seed(self):
+        a = maxcut_network([(0, 1)], 2, edge_type="Cpl_ofs", seed=1)
+        b = maxcut_network([(0, 1)], 2, edge_type="Cpl_ofs", seed=2)
+        assert a.edge("Cpl_0").attrs["offset"] != \
+            b.edge("Cpl_0").attrs["offset"]
+
+    def test_no_seed_is_ideal(self):
+        graph = maxcut_network([(0, 1)], 2, edge_type="Cpl_ofs",
+                               seed=None)
+        assert graph.edge("Cpl_0").attrs["offset"] == 0.0
+
+
+class TestInterconObc:
+    def _network(self, cross_type):
+        language = intercon_obc_language()
+        builder = GraphBuilder(language, "grouped")
+        for vertex, group in enumerate([0, 0, 1, 1]):
+            name = f"Osc_{vertex}"
+            builder.node(name, f"Osc_G{group}")
+            builder.set_init(name, 0.5 * vertex)
+            builder.edge(name, name, f"Shil_{vertex}", "Cpl_l")
+            builder.set_attr(f"Shil_{vertex}", "k", 0.0)
+            builder.set_attr(f"Shil_{vertex}", "cost", 1)
+        spec = [("e0", 0, 1, "Cpl_l", 1), ("e1", 2, 3, "Cpl_l", 1),
+                ("e2", 1, 2, cross_type,
+                 10 if cross_type == "Cpl_g" else 1)]
+        for name, i, j, edge_type, cost in spec:
+            builder.edge(f"Osc_{i}", f"Osc_{j}", name, edge_type)
+            builder.set_attr(name, "k", -1.0)
+            builder.set_attr(name, "cost", cost)
+        return builder.finish()
+
+    def test_legal_topology_validates(self):
+        graph = self._network("Cpl_g")
+        report = repro.validate(graph, backend="flow")
+        assert report.valid, report.violations
+
+    def test_local_cross_edge_rejected(self):
+        graph = self._network("Cpl_l")
+        report = repro.validate(graph, backend="flow")
+        assert not report.valid
+
+    def test_cost_accounting(self):
+        graph = self._network("Cpl_g")
+        # 4 SHIL (1) + 2 local (1) + 1 global (10) = 16
+        assert interconnect_cost(graph) == 16
+
+    def test_cost_ranges_fixed_by_type(self):
+        language = intercon_obc_language()
+        builder = GraphBuilder(language, "bad-cost")
+        builder.node("a", "Osc_G0")
+        builder.node("b", "Osc_G0")
+        builder.edge("a", "b", "e", "Cpl_l")
+        builder.set_attr("e", "k", 1.0)
+        with pytest.raises(repro.DatatypeError):
+            builder.set_attr("e", "cost", 10)  # Cpl_l cost is int[1,1]
+
+    def test_grouped_network_still_solves(self):
+        graph = self._network("Cpl_g")
+        trajectory = repro.simulate(graph, (0.0, 100e-9), n_points=50,
+                                    rtol=1e-8, atol=1e-10)
+        partition = extract_partition(trajectory, 4, d=0.1 * math.pi)
+        assert all(p is not None for p in partition)
+        # Path 0-1-2-3 with k=-1: optimal cut alternates.
+        edges = [(0, 1), (2, 3), (1, 2)]
+        assert cut_value(edges, partition) == \
+            brute_force_maxcut(edges, 4)

@@ -1,0 +1,180 @@
+"""Tests for oscillator placement onto the intercon-obc fabric
+(`repro.paradigms.obc.placement`)."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.core.simulator import simulate
+from repro.paradigms.obc import (GLOBAL_COST, LOCAL_COST, Placement,
+                                 evaluate_placement, extract_partition,
+                                 intercon_obc_language,
+                                 interconnect_cost, maxcut_network,
+                                 place_greedy, place_kernighan_lin,
+                                 place_random, placed_network,
+                                 placement_study)
+
+RING_PLUS_CHORD = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+TWO_CLUSTERS = [(0, 1), (1, 2), (0, 2),        # triangle A
+                (3, 4), (4, 5), (3, 5),        # triangle B
+                (2, 3)]                        # one bridge
+
+
+class TestEvaluatePlacement:
+    def test_counts_local_and_global(self):
+        placement = evaluate_placement(TWO_CLUSTERS,
+                                       [0, 0, 0, 1, 1, 1])
+        assert placement.n_local == 6
+        assert placement.n_global == 1
+        assert placement.coupling_cost == 6 * LOCAL_COST + GLOBAL_COST
+
+    def test_single_group_has_no_global_edges(self):
+        placement = evaluate_placement(RING_PLUS_CHORD, [0, 0, 0, 0])
+        assert placement.n_global == 0
+        assert placement.coupling_cost == 5 * LOCAL_COST
+
+    def test_rejects_bad_group_labels(self):
+        with pytest.raises(repro.GraphError):
+            evaluate_placement(RING_PLUS_CHORD, [0, 1, 2, 0])
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(repro.GraphError):
+            evaluate_placement([(0, 7)], [0, 1])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(repro.GraphError):
+            evaluate_placement([(1, 1)], [0, 1])
+
+    def test_describe_mentions_cost(self):
+        placement = evaluate_placement(RING_PLUS_CHORD, [0, 1, 0, 1])
+        assert str(placement.coupling_cost) in placement.describe()
+
+
+class TestPlacers:
+    def test_greedy_beats_or_ties_random(self):
+        for seed in range(5):
+            random_cost = place_random(TWO_CLUSTERS, 6,
+                                       seed=seed).coupling_cost
+            greedy_cost = place_greedy(TWO_CLUSTERS, 6,
+                                       seed=seed).coupling_cost
+            assert greedy_cost <= random_cost
+
+    def test_greedy_finds_zero_global_on_clusters(self):
+        placement = place_greedy(TWO_CLUSTERS, 6, seed=1)
+        assert placement.n_global <= 1  # at most the bridge
+
+    def test_kernighan_lin_balanced(self):
+        placement = place_kernighan_lin(TWO_CLUSTERS, 6, seed=0)
+        assert placement.groups.count(0) == 3
+        assert placement.groups.count(1) == 3
+
+    def test_kernighan_lin_cuts_only_the_bridge(self):
+        placement = place_kernighan_lin(TWO_CLUSTERS, 6, seed=0)
+        assert placement.n_global == 1
+
+    def test_study_runs_all_placers(self):
+        study = placement_study(RING_PLUS_CHORD, 4, seed=2)
+        assert set(study) == {"random", "greedy", "kernighan-lin"}
+        assert study["greedy"].coupling_cost <= \
+            study["random"].coupling_cost
+
+
+class TestPlacedNetwork:
+    def test_network_validates(self):
+        placement = place_kernighan_lin(TWO_CLUSTERS, 6, seed=0)
+        graph = placed_network(TWO_CLUSTERS, placement)
+        assert repro.validate(graph).valid
+
+    def test_interconnect_cost_matches_model(self):
+        placement = place_kernighan_lin(TWO_CLUSTERS, 6, seed=0)
+        graph = placed_network(TWO_CLUSTERS, placement)
+        # graph cost = coupling cost + one local SHIL edge per vertex.
+        assert interconnect_cost(graph) == \
+            placement.coupling_cost + 6 * LOCAL_COST
+
+    def test_node_types_follow_groups(self):
+        placement = evaluate_placement(RING_PLUS_CHORD, [0, 1, 1, 0])
+        graph = placed_network(RING_PLUS_CHORD, placement)
+        for vertex, group in enumerate(placement.groups):
+            assert graph.node(f"Osc_{vertex}").type.name == \
+                f"Osc_G{group}"
+
+    def test_cross_group_local_edge_rejected_by_language(self):
+        builder = GraphBuilder(intercon_obc_language(), "bad-local")
+        for vertex, group in ((0, 0), (1, 1)):
+            name = f"Osc_{vertex}"
+            builder.node(name, f"Osc_G{group}")
+            builder.set_init(name, 0.0)
+            builder.edge(name, name, f"S{vertex}", "Cpl_l")
+            builder.set_attr(f"S{vertex}", "k", 0.0)
+            builder.set_attr(f"S{vertex}", "cost", 1)
+        builder.edge("Osc_0", "Osc_1", "bad", "Cpl_l")
+        builder.set_attr("bad", "k", -1.0)
+        builder.set_attr("bad", "cost", 1)
+        assert not repro.validate(builder.finish()).valid
+
+    def test_global_edge_within_group_allowed(self):
+        # Paying for a global wire inside a group is wasteful but legal
+        # (Fig. 13 restricts local edges only).
+        placement = evaluate_placement([(0, 1)], [0, 0])
+        graph = placed_network([(0, 1)], placement)
+        builder = GraphBuilder(intercon_obc_language(), "waste")
+        for vertex in (0, 1):
+            name = f"Osc_{vertex}"
+            builder.node(name, "Osc_G0")
+            builder.set_init(name, 0.0)
+            builder.edge(name, name, f"S{vertex}", "Cpl_l")
+            builder.set_attr(f"S{vertex}", "k", 0.0)
+            builder.set_attr(f"S{vertex}", "cost", 1)
+        builder.edge("Osc_0", "Osc_1", "g", "Cpl_g")
+        builder.set_attr("g", "k", -1.0)
+        builder.set_attr("g", "cost", 10)
+        assert repro.validate(builder.finish()).valid
+        assert interconnect_cost(builder.graph) > \
+            interconnect_cost(graph)
+
+
+class TestDynamicsInvariance:
+    def test_placement_does_not_change_the_computation(self):
+        # Cpl_l/Cpl_g inherit Cpl's Kuramoto rules, so a placed network
+        # must produce the *identical* trajectory as the flat obc
+        # network — cost varies, accuracy does not (the §7.2 tradeoff
+        # is purely programmability/area).
+        rng = np.random.default_rng(3)
+        phases = rng.uniform(0.0, 2.0 * math.pi, 4)
+        flat = maxcut_network(RING_PLUS_CHORD, 4,
+                              initial_phases=phases)
+        placement = place_kernighan_lin(RING_PLUS_CHORD, 4, seed=0)
+        placed = placed_network(RING_PLUS_CHORD, placement,
+                                initial_phases=phases)
+        span = (0.0, 100e-9)
+        options = dict(n_points=60, rtol=1e-8, atol=1e-10)
+        flat_run = simulate(flat, span, **options)
+        placed_run = simulate(placed, span, **options)
+        for vertex in range(4):
+            assert np.array_equal(flat_run[f"Osc_{vertex}"],
+                                  placed_run[f"Osc_{vertex}"])
+        d = 0.1 * math.pi
+        assert extract_partition(flat_run, 4, d) == \
+            extract_partition(placed_run, 4, d)
+
+    def test_different_placements_same_partition(self):
+        rng = np.random.default_rng(4)
+        phases = rng.uniform(0.0, 2.0 * math.pi, 6)
+        partitions = []
+        costs = []
+        for placer in (place_random, place_greedy,
+                       place_kernighan_lin):
+            placement = placer(TWO_CLUSTERS, 6, seed=1)
+            graph = placed_network(TWO_CLUSTERS, placement,
+                                   initial_phases=phases)
+            run = simulate(graph, (0.0, 100e-9), n_points=60,
+                           rtol=1e-8, atol=1e-10)
+            partitions.append(extract_partition(run, 6,
+                                                0.1 * math.pi))
+            costs.append(placement.coupling_cost)
+        assert partitions[0] == partitions[1] == partitions[2]
+        assert len(set(costs)) > 1  # placements genuinely differ

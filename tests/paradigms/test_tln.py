@@ -1,0 +1,155 @@
+"""Tests for the TLN language and t-line builders (§2, §4.4, Figs. 2/8)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.builder import GraphBuilder
+from repro.paradigms.tln import (TLineSpec, branched_tline,
+                                 branched_tline_function, linear_tline,
+                                 pulse, tln_language, trapezoid)
+
+
+class TestWaveforms:
+    def test_pulse_shape(self):
+        width = 2e-8
+        assert pulse(-1e-9, 0.0, width) == 0.0
+        assert pulse(width / 2, 0.0, width) == 1.0
+        assert pulse(width, 0.0, width) == 0.0
+        assert 0.0 < pulse(width * 0.05, 0.0, width) < 1.0
+
+    def test_trapezoid_ramps(self):
+        assert trapezoid(0.5, 0.0, 10.0, rise=1.0) == pytest.approx(0.5)
+        assert trapezoid(9.5, 0.0, 10.0, rise=1.0) == pytest.approx(0.5)
+        assert trapezoid(5.0, 0.0, 10.0, rise=1.0) == 1.0
+
+    def test_zero_rise_is_square(self):
+        assert trapezoid(0.0, 0.0, 1.0, rise=0.0) == 1.0
+        assert trapezoid(0.999, 0.0, 1.0, rise=0.0) == 1.0
+        assert trapezoid(1.0, 0.0, 1.0, rise=0.0) == 0.0
+
+
+class TestLanguage:
+    def test_type_inventory(self, tln):
+        assert set(tln.node_types()) == {"V", "I", "InpV", "InpI"}
+        assert set(tln.edge_types()) == {"E"}
+
+    def test_vv_connection_invalid(self, tln):
+        """The malformed t-line of Fig. 2(iii)."""
+        builder = GraphBuilder(tln, "malformed")
+        for name in ("V_a", "V_b"):
+            builder.node(name, "V")
+            builder.set_attr(name, "c", 1e-9)
+            builder.set_attr(name, "g", 0.0)
+            builder.edge(name, name, f"Es_{name}", "E")
+        builder.edge("V_a", "V_b", "bad", "E")
+        report = repro.validate(builder.finish(), backend="flow")
+        assert not report.valid
+
+    def test_ii_connection_invalid(self, tln):
+        builder = GraphBuilder(tln, "malformed-ii")
+        for name in ("I_a", "I_b"):
+            builder.node(name, "I")
+            builder.set_attr(name, "l", 1e-9)
+            builder.set_attr(name, "r", 0.0)
+            builder.edge(name, name, f"Es_{name}", "E")
+        builder.edge("I_a", "I_b", "bad", "E")
+        report = repro.validate(builder.finish(), backend="flow")
+        assert not report.valid
+
+    def test_missing_self_edge_invalid(self, tln, small_spec):
+        graph = linear_tline(small_spec)
+        # Remove one damping self edge by switching: self edges are
+        # switchable E edges in this encoding.
+        graph.set_switch("Es_IN_V", False)
+        report = repro.validate(graph, backend="flow")
+        assert not report.valid
+
+
+class TestLinearTline:
+    def test_default_node_count_matches_paper(self):
+        graph = linear_tline()
+        # 53-node line (+1 for the input source node).
+        assert graph.stats()["nodes"] == 54
+        assert graph.stats()["states"] == 53
+
+    def test_valid(self, small_spec):
+        report = repro.validate(linear_tline(small_spec),
+                                backend="flow")
+        assert report.valid, report.violations
+
+    def test_pulse_arrives_with_delay(self, small_spec):
+        trajectory = repro.simulate(linear_tline(small_spec),
+                                    (0.0, 4e-8), n_points=400)
+        out = trajectory["OUT_V"]
+        # Matched line: ~0.5 plateau after ~n_segments ns.
+        assert out.max() == pytest.approx(0.5, abs=0.12)
+        arrival = trajectory.t[np.argmax(out > 0.25)]
+        expected = small_spec.n_segments * 1e-9
+        assert arrival == pytest.approx(expected, rel=0.5)
+
+    def test_signal_settles_to_zero(self, small_spec):
+        trajectory = repro.simulate(linear_tline(small_spec),
+                                    (0.0, 2e-7), n_points=300)
+        assert abs(trajectory.final("OUT_V")) < 0.02
+
+    def test_custom_waveform(self, small_spec):
+        flat = linear_tline(small_spec, waveform=lambda t: 0.0)
+        trajectory = repro.simulate(flat, (0.0, 2e-8), n_points=50)
+        assert np.allclose(trajectory["OUT_V"], 0.0, atol=1e-12)
+
+
+class TestBranchedTline:
+    def test_valid(self, small_spec):
+        graph = branched_tline(small_spec, branch_segments=3)
+        assert repro.validate(graph, backend="flow").valid
+
+    def test_junction_weakens_pulse(self):
+        # The pulse must be short relative to the line so the branch
+        # echo does not overlap the main pulse at OUT_V.
+        spec = TLineSpec(n_segments=12, pulse_width=4e-9)
+        lin = repro.simulate(linear_tline(spec), (0.0, 2e-8),
+                             n_points=300)
+        brn = repro.simulate(
+            branched_tline(spec, branch_segments=6), (0.0, 2e-8),
+            n_points=300)
+        # Fig. 4: 0.5 -> ~0.3 at the junction split.
+        ratio = brn["OUT_V"].max() / lin["OUT_V"].max()
+        assert 0.4 < ratio < 0.85
+
+    def test_echo_appears(self):
+        spec = TLineSpec(n_segments=10)
+        branch = 6
+        trajectory = repro.simulate(
+            branched_tline(spec, branch_segments=branch), (0.0, 8e-8),
+            n_points=600)
+        out = trajectory["OUT_V"]
+        # Main pulse ends by ~(n_segments + width) ns; the echo arrives
+        # ~2*branch ns after the main pulse.
+        main_end = (spec.n_segments + 25) * 1e-9
+        echo_window = trajectory.t > main_end
+        assert np.abs(out[echo_window]).max() > 0.03
+
+
+class TestBrFunc:
+    def test_switch_selects_topology(self):
+        spec = TLineSpec(n_segments=4)
+        br_func = branched_tline_function(spec, branch_segments=2)
+        linear = br_func(br=0)
+        branched = br_func(br=1)
+        assert len(linear.off_edges()) == 1
+        assert len(branched.off_edges()) == 0
+        assert repro.validate(linear, backend="flow").valid
+        assert repro.validate(branched, backend="flow").valid
+
+    def test_br_zero_matches_plain_linear(self):
+        spec = TLineSpec(n_segments=4)
+        br_func = branched_tline_function(spec, branch_segments=2)
+        switched = repro.simulate(br_func(br=0), (0.0, 2e-8),
+                                  n_points=100)
+        # The dangling (off) branch must not affect the line: compare
+        # against the line with the branch physically absent.
+        plain = repro.simulate(linear_tline(spec), (0.0, 2e-8),
+                               n_points=100)
+        assert np.allclose(switched["OUT_V"], plain["OUT_V"],
+                           atol=1e-9)

@@ -1,0 +1,64 @@
+"""Property tests for the PUF attack feature map: the parity expansion
+must be a well-formed (and, at full degree, orthogonal) basis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.puf.attack import (LogisticModel, challenge_features,
+                              n_features)
+
+
+@given(st.integers(1, 6), st.integers(1, 6))
+@settings(max_examples=60)
+def test_feature_width_matches_formula(n_bits, degree):
+    challenges = [0, (1 << n_bits) - 1]
+    features = challenge_features(challenges, n_bits, degree)
+    assert features.shape == (2, n_features(n_bits, degree))
+
+
+@given(st.integers(1, 5), st.integers(1, 5), st.data())
+@settings(max_examples=60)
+def test_features_are_signs(n_bits, degree, data):
+    challenge = data.draw(st.integers(0, (1 << n_bits) - 1))
+    features = challenge_features([challenge], n_bits, degree)
+    assert set(np.unique(features)) <= {-1.0, 1.0}
+
+
+@given(st.integers(1, 4))
+@settings(max_examples=20)
+def test_full_degree_basis_is_orthogonal(n_bits):
+    """Over the complete challenge space, the degree-n parity basis is
+    orthogonal: X^T X = 2^n I. This is what makes the features a
+    lossless re-encoding of the challenge."""
+    space = 1 << n_bits
+    features = challenge_features(list(range(space)), n_bits,
+                                  degree=n_bits)
+    gram = features.T @ features
+    assert np.array_equal(gram, space * np.eye(features.shape[1]))
+
+
+@given(st.integers(2, 4), st.data())
+@settings(max_examples=20, deadline=None)
+def test_any_boolean_function_learnable_at_full_degree(n_bits, data):
+    """With the complete orthogonal basis and the full truth table, the
+    logistic model represents *any* boolean function of the challenge —
+    the reason attack degree is the security-relevant knob."""
+    space = 1 << n_bits
+    labels = np.array([[data.draw(st.integers(0, 1))]
+                       for _ in range(space)], dtype=float)
+    features = challenge_features(list(range(space)), n_bits,
+                                  degree=n_bits)
+    model = LogisticModel(learning_rate=2.0, epochs=3000, l2=0.0)
+    model.fit(features, labels)
+    assert model.accuracy(features, labels)[0] == 1.0
+
+
+@given(st.integers(1, 5), st.integers(1, 5))
+@settings(max_examples=40)
+def test_degree_monotone_in_features(n_bits, degree):
+    narrower = n_features(n_bits, degree)
+    wider = n_features(n_bits, degree + 1)
+    assert wider >= narrower
+    if degree < n_bits:
+        assert wider > narrower

@@ -1,0 +1,57 @@
+"""Property test: random *uncoupled* CNN templates (B-template only,
+self-feedback A-center 2) settle to the sign of their net drive — the
+fixed-point theorem behind every thresholding template, checked through
+the full language -> graph -> compiler -> simulator pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paradigms.cnn import (WHITE, CnnTemplate, binarize, cnn_grid,
+                                 run_cnn)
+
+SIZE = 5
+
+
+@st.composite
+def uncoupled_case(draw):
+    """A random B template + bias and a random binary image, built so
+    that every constraint holds by construction (no filtering):
+
+    * kernel entries in {-1, 0, 1} and |z| <= 1.5 keep the folded
+      border bias inside the language's z range [-10, 10] (the fold
+      adds at most the 8 off-center entries);
+    * a half-integer z makes every net drive a half-integer, so the
+      drive never sits on the decision boundary (margin >= 0.5).
+    """
+    entries = st.integers(-1, 1)
+    b = tuple(tuple(draw(entries) for _ in range(3)) for _ in range(3))
+    z = draw(st.integers(-2, 1)) + 0.5
+    bits = draw(st.lists(st.booleans(), min_size=SIZE * SIZE,
+                         max_size=SIZE * SIZE))
+    image = np.where(np.array(bits).reshape(SIZE, SIZE), 1.0, -1.0)
+
+    # Net drive per cell: w_ij = sum B * u_neighborhood + z, with the
+    # white virtual frame folded in at the borders.
+    padded = np.pad(image, 1, constant_values=WHITE)
+    drives = np.empty((SIZE, SIZE))
+    kernel = np.asarray(b, dtype=float)
+    for i in range(SIZE):
+        for j in range(SIZE):
+            patch = padded[i:i + 3, j:j + 3]
+            drives[i, j] = float((kernel * patch).sum()) + z
+    assert np.abs(drives).min() >= 0.5
+    return b, z, image, drives
+
+
+@given(uncoupled_case())
+@settings(max_examples=12, deadline=None)
+def test_uncoupled_template_settles_to_drive_sign(case):
+    b, z, image, drives = case
+    template = CnnTemplate(
+        a=((0, 0, 0), (0, 2, 0), (0, 0, 0)),
+        b=b, z=z, name="prop-uncoupled")
+    graph = cnn_grid(image, template, boundary=WHITE)
+    run = run_cnn(graph, SIZE, SIZE, t_end=16.0)
+    expected = binarize(drives)
+    assert np.array_equal(run.output, expected)

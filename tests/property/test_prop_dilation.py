@@ -1,0 +1,25 @@
+"""Property test: time dilation commutes with simulation for random
+speedups and horizons — x_dilated(t) == x_base(speedup * t)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.dilation import dilate
+from repro.paradigms.gpac import harmonic_oscillator
+
+TIGHT = dict(rtol=1e-10, atol=1e-12)
+
+
+@given(st.floats(0.05, 50.0, allow_nan=False),
+       st.floats(1.0, 8.0, allow_nan=False))
+@settings(max_examples=15, deadline=None)
+def test_dilation_rescales_time(speedup, horizon):
+    graph = harmonic_oscillator(omega=1.3)
+    base = repro.simulate(graph, (0.0, horizon), n_points=41, **TIGHT)
+    fast = repro.simulate(dilate(graph, speedup),
+                          (0.0, horizon / speedup), n_points=41,
+                          **TIGHT)
+    np.testing.assert_allclose(fast["x"], base["x"], atol=1e-6)
+    np.testing.assert_allclose(fast["v"], base["v"], atol=1e-6)

@@ -1,0 +1,84 @@
+"""Property tests on the expression parser: printing an expression tree
+and reparsing it must be semantics-preserving."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import expr as E
+from repro.core.exprparse import parse_expression
+
+_ROLES = ("s", "t", "e")
+_ATTRS = ("c", "g", "k", "w")
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        choices = ["const", "var", "attr", "time"]
+    else:
+        choices = ["const", "var", "attr", "time", "binop", "unop",
+                   "call", "ite"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "const":
+        return E.Const(draw(st.floats(min_value=-100, max_value=100,
+                                      allow_nan=False)))
+    if kind == "var":
+        return E.VarOf(draw(st.sampled_from(_ROLES[:2])))
+    if kind == "attr":
+        return E.AttrRef(draw(st.sampled_from(_ROLES)),
+                         draw(st.sampled_from(_ATTRS)))
+    if kind == "time":
+        return E.Time()
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return E.BinOp(op, draw(expressions(depth=depth + 1)),
+                       draw(expressions(depth=depth + 1)))
+    if kind == "unop":
+        return E.UnOp("-", draw(expressions(depth=depth + 1)))
+    if kind == "call":
+        fn = draw(st.sampled_from(["sin", "cos", "tanh"]))
+        return E.Call(fn, (draw(expressions(depth=depth + 1)),))
+    cond = E.Compare(draw(st.sampled_from(["<", "<=", ">", ">="])),
+                     draw(expressions(depth=depth + 1)),
+                     draw(expressions(depth=depth + 1)))
+    return E.IfThenElse(cond, draw(expressions(depth=depth + 1)),
+                        draw(expressions(depth=depth + 1)))
+
+
+class Env(E.EvalContext):
+    def time(self):
+        return 1.25
+
+    def var(self, node):
+        return {"s": 0.75, "t": -0.5}[node]
+
+    def attr(self, kind, owner, attr):
+        return {"c": 2.0, "g": 0.5, "k": -1.0, "w": 3.0}[attr]
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_print_parse_roundtrip(expr):
+    printed = str(expr)
+    reparsed = parse_expression(printed)
+    env = Env()
+    original = expr.evaluate(env)
+    again = reparsed.evaluate(env)
+    if isinstance(original, float) and math.isnan(original):
+        assert isinstance(again, float) and math.isnan(again)
+    else:
+        assert again == original
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_substitute_then_print_parses(expr):
+    mapping = {"s": E.Substitution("V_0", "node"),
+               "t": E.Substitution("I_0", "node"),
+               "e": E.Substitution("E_0", "edge")}
+    rewritten = expr.substitute(mapping)
+    reparsed = parse_expression(str(rewritten))
+    assert isinstance(reparsed, E.Expr)
+    assert E.referenced_roles(reparsed) <= {"V_0", "I_0", "E_0"}

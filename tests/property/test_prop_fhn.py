@@ -1,0 +1,47 @@
+"""Property test: random FHN chains compiled through the full Ark
+pipeline must match the independent scipy integration of the same
+network."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.paradigms.fhn import (NeuronSpec, fhn_reference,
+                                 neuron_chain, neuron_ring,
+                                 resting_point)
+
+
+@st.composite
+def chain_case(draw):
+    n = draw(st.integers(2, 5))
+    coupling = draw(st.floats(0.0, 2.0, allow_nan=False))
+    stimulate = draw(st.integers(0, n - 1))
+    # Rings need >= 3 neurons (a 2-ring is rejected by the builder).
+    ring = draw(st.booleans()) if n >= 3 else False
+    spec = NeuronSpec(
+        a=draw(st.floats(0.5, 0.9, allow_nan=False)),
+        b=draw(st.floats(0.6, 1.0, allow_nan=False)),
+        eps=draw(st.floats(0.05, 0.2, allow_nan=False)),
+        bias=draw(st.floats(-0.2, 0.6, allow_nan=False)))
+    return n, coupling, stimulate, ring, spec
+
+
+@given(chain_case())
+@settings(max_examples=10, deadline=None)
+def test_network_matches_scipy(case):
+    n, coupling, stimulate, ring, spec = case
+    build = neuron_ring if ring else neuron_chain
+    graph = build(n, spec, coupling=coupling, stimulate=stimulate,
+                  stimulus=1.5)
+    assert repro.validate(graph).valid
+    run = repro.simulate(graph, (0.0, 40.0), n_points=201, rtol=1e-9,
+                         atol=1e-11)
+    rest_v, rest_w = resting_point(spec)
+    v0 = np.full(n, rest_v)
+    v0[stimulate] = 1.5
+    reference = fhn_reference(n, spec, coupling, ring, v0,
+                              np.full(n, rest_w), run.t)
+    worst = max(np.abs(run[f"U_{k}"] - reference[k]).max()
+                for k in range(n))
+    assert worst < 1e-6

@@ -1,0 +1,79 @@
+"""Property tests: the ILP and max-flow `described` backends must agree
+on arbitrary assignment problems, and both must match a brute-force
+enumerator on small instances."""
+
+from itertools import product
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import MatchClause, SELF
+from repro.core.validator import _described_flow, _described_milp
+
+
+def _clauses(bounds):
+    return [MatchClause(lo, hi, "E", SELF) for lo, hi in bounds]
+
+
+def _brute_force(matrix: np.ndarray, clauses) -> bool:
+    """Enumerate every edge->clause assignment (tiny instances only)."""
+    n_edges, n_clauses = matrix.shape
+    if n_edges == 0:
+        return all(c.lo == 0 for c in clauses)
+    for assignment in product(range(n_clauses), repeat=n_edges):
+        if any(not matrix[i, j] for i, j in enumerate(assignment)):
+            continue
+        counts = [0] * n_clauses
+        for j in assignment:
+            counts[j] += 1
+        if all(c.lo <= counts[j] <= c.hi
+               for j, c in enumerate(clauses)):
+            return True
+    return False
+
+
+@st.composite
+def assignment_problem(draw):
+    n_edges = draw(st.integers(0, 5))
+    n_clauses = draw(st.integers(1, 4))
+    matrix = np.array(
+        [[draw(st.booleans()) for _ in range(n_clauses)]
+         for _ in range(n_edges)], dtype=bool).reshape(n_edges,
+                                                       n_clauses)
+    bounds = []
+    for _ in range(n_clauses):
+        lo = draw(st.integers(0, 3))
+        extra = draw(st.integers(0, 3))
+        hi = lo + extra if draw(st.booleans()) else float("inf")
+        bounds.append((lo, hi))
+    return matrix, _clauses(bounds)
+
+
+@given(assignment_problem())
+@settings(max_examples=120, deadline=None)
+def test_backends_agree(problem):
+    matrix, clauses = problem
+    assert _described_milp(matrix, clauses) == \
+        _described_flow(matrix, clauses)
+
+
+@given(assignment_problem())
+@settings(max_examples=80, deadline=None)
+def test_backends_match_brute_force(problem):
+    matrix, clauses = problem
+    expected = _brute_force(matrix, clauses)
+    assert _described_flow(matrix, clauses) == expected
+    assert _described_milp(matrix, clauses) == expected
+
+
+@given(st.integers(0, 6), st.integers(0, 6))
+@settings(max_examples=40, deadline=None)
+def test_exact_cardinality_on_full_matrix(n_edges, required):
+    """With every edge matching a single clause [k,k], feasibility is
+    exactly n_edges == k."""
+    matrix = np.ones((n_edges, 1), dtype=bool)
+    clauses = _clauses([(required, required)])
+    expected = n_edges == required
+    assert _described_flow(matrix, clauses) == expected
+    assert _described_milp(matrix, clauses) == expected

@@ -1,0 +1,140 @@
+"""Tests for the PUF toolkit: challenge topologies, response encoding,
+and quality metrics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.tln import TLineSpec
+from repro.puf import (PufDesign, bit_aliasing, evaluate_puf,
+                       hamming_fraction, random_challenges, reliability,
+                       uniformity, uniqueness)
+from repro.puf.response import encode_response
+
+
+@pytest.fixture(scope="module")
+def design():
+    return PufDesign(spec=TLineSpec(n_segments=10),
+                     branch_positions=(3, 6), branch_lengths=(4, 6))
+
+
+class TestChallengeTopology:
+    def test_challenge_forms_agree(self, design):
+        for form in (2, "01", [0, 1]):
+            graph = design.build(form, seed=1)
+            # bit 0 (branch at 3) off, bit 1 (branch at 6) on
+            assert len(graph.off_edges()) == 1
+
+    def test_challenge_bit_order(self, design):
+        graph = design.build(1, seed=1)  # bit 0 set
+        off = graph.off_edges()[0]
+        assert off.dst == "s1I_0"  # second stub is off
+
+    def test_all_challenges_validate(self, design):
+        for challenge in range(4):
+            graph = design.build(challenge, seed=0)
+            assert repro.validate(graph, backend="flow").valid
+
+    def test_bad_challenges_rejected(self, design):
+        with pytest.raises(repro.GraphError):
+            design.build(4)
+        with pytest.raises(repro.GraphError):
+            design.build("0")
+        with pytest.raises(repro.GraphError):
+            design.build([1, 0, 1])
+
+    def test_misaligned_design_rejected(self):
+        with pytest.raises(repro.GraphError):
+            PufDesign(branch_positions=(1, 2), branch_lengths=(3,))
+
+    def test_branch_position_bounds(self):
+        with pytest.raises(repro.GraphError):
+            PufDesign(spec=TLineSpec(n_segments=5),
+                      branch_positions=(9,), branch_lengths=(3,))
+
+    def test_challenge_changes_dynamics(self, design):
+        a = repro.simulate(design.build(0, seed=1), (0.0, 8e-8),
+                           n_points=200)
+        b = repro.simulate(design.build(3, seed=1), (0.0, 8e-8),
+                           n_points=200)
+        assert not np.allclose(a["OUT_V"], b["OUT_V"], atol=1e-3)
+
+
+class TestResponseEncoding:
+    def test_differential_bits(self):
+        samples = np.array([1.0, 0.0, 0.0, 1.0, 0.5, 0.2])
+        bits = encode_response(samples)
+        assert list(bits) == [1, 0, 1]
+
+    def test_noise_flips_bits_near_threshold(self):
+        rng = np.random.default_rng(0)
+        samples = np.zeros(40)
+        noisy = encode_response(samples, rng=rng, noise_sigma=1.0)
+        assert 0 < noisy.sum() < len(noisy)
+
+    def test_deterministic_without_noise(self, design):
+        a = evaluate_puf(design, 1, seed=3, n_bits=16)
+        b = evaluate_puf(design, 1, seed=3, n_bits=16)
+        assert np.array_equal(a, b)
+
+    def test_bit_count(self, design):
+        assert len(evaluate_puf(design, 1, seed=3, n_bits=16)) == 16
+
+
+class TestMetrics:
+    def test_hamming(self):
+        assert hamming_fraction([0, 1, 1], [0, 1, 1]) == 0.0
+        assert hamming_fraction([0, 0], [1, 1]) == 1.0
+        assert hamming_fraction([0, 1], [0, 0]) == 0.5
+
+    def test_hamming_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_fraction([0, 1], [0, 1, 1])
+
+    def test_uniqueness_bounds(self):
+        responses = [np.array([0, 0, 0, 0]), np.array([1, 1, 1, 1]),
+                     np.array([0, 0, 1, 1])]
+        value = uniqueness(responses)
+        assert 0.0 < value <= 1.0
+
+    def test_uniqueness_single_chip(self):
+        assert uniqueness([np.array([0, 1])]) == 0.0
+
+    def test_reliability_perfect(self):
+        ref = np.array([0, 1, 0, 1])
+        assert reliability(ref, [ref.copy(), ref.copy()]) == 1.0
+
+    def test_uniformity(self):
+        assert uniformity(np.array([0, 1, 0, 1])) == 0.5
+        assert uniformity(np.array([1, 1, 1, 1])) == 1.0
+
+    def test_bit_aliasing(self):
+        responses = [np.array([0, 1]), np.array([1, 1])]
+        assert list(bit_aliasing(responses)) == [0.5, 1.0]
+
+
+class TestEndToEnd:
+    def test_chips_differ_ideal_does_not(self, design):
+        mismatched = [evaluate_puf(design, 2, seed=s, n_bits=16)
+                      for s in range(4)]
+        assert uniqueness(mismatched) > 0.0
+
+        control = PufDesign(spec=design.spec,
+                            branch_positions=design.branch_positions,
+                            branch_lengths=design.branch_lengths,
+                            variant="ideal")
+        clones = [evaluate_puf(control, 2, seed=s, n_bits=16)
+                  for s in range(3)]
+        assert uniqueness(clones) == 0.0
+
+    def test_random_challenges_cover_small_space(self, design):
+        picks = random_challenges(design, 10)
+        assert sorted(picks) == [0, 1, 2, 3]
+
+    def test_random_challenges_subset(self):
+        big = PufDesign(spec=TLineSpec(n_segments=20),
+                        branch_positions=(3, 7, 11, 15),
+                        branch_lengths=(4, 5, 6, 7))
+        picks = random_challenges(big, 5, seed=1)
+        assert len(picks) == len(set(picks)) == 5
+        assert all(0 <= p < 16 for p in picks)

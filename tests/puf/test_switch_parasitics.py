@@ -1,0 +1,96 @@
+"""Tests for off-state switch parasitics (`sw-tln`, §4.3 off rules):
+the PUF's challenge sensitivity must degrade monotonically with the
+switch feedthrough fraction alpha, with exact behavior at both limits."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.paradigms.tln import TLineSpec, sw_tln_language
+from repro.puf import PufDesign, evaluate_puf
+from repro.puf.metrics import hamming_fraction
+
+SPEC = TLineSpec(n_segments=10, pulse_width=4e-9)
+EVAL = dict(n_bits=16, window=(8e-9, 4.5e-8), n_points=240)
+
+
+def design(alpha: float = 0.0) -> PufDesign:
+    return PufDesign(spec=SPEC, branch_positions=(2, 6),
+                     branch_lengths=(3, 5), switch_alpha=alpha)
+
+
+def bit_flip_sensitivity(puf: PufDesign, seed: int = 4) -> float:
+    """Mean response distance across single-bit-flip challenge pairs."""
+    responses = {c: evaluate_puf(puf, c, seed=seed, **EVAL)
+                 for c in range(4)}
+    pairs = [(0, 1), (0, 2), (3, 1), (3, 2)]
+    return float(np.mean([hamming_fraction(responses[a], responses[b])
+                          for a, b in pairs]))
+
+
+class TestLanguage:
+    def test_esw_inherits_em(self):
+        language = sw_tln_language()
+        esw = language.find_edge_type("Esw")
+        assert esw.parent.name == "Em"
+        assert "alpha" in esw.attrs
+        assert "ws" in esw.attrs  # inherited mismatch attributes
+
+    def test_off_rules_registered(self):
+        language = sw_tln_language()
+        off_rules = [rule for rule in language.productions() if rule.off]
+        assert len(off_rules) == 4
+        assert all(rule.edge_type == "Esw" for rule in off_rules)
+
+    def test_parasitic_graph_validates_with_off_edges(self):
+        graph = design(0.5).build(0, seed=1)  # both switches off
+        assert len(graph.off_edges()) == 2
+        assert repro.validate(graph, backend="flow").valid
+
+
+class TestLimits:
+    def test_on_state_falls_back_to_em(self):
+        # With every switch on, the Esw edges use the inherited Em
+        # rules: trajectories match the plain design exactly.
+        plain = design(0.0).build(3, seed=4)      # plain Em junctions
+        parasitic = design(0.9).build(3, seed=4)  # Esw junctions, all on
+        span = (0.0, 5e-8)
+        a = repro.simulate(plain, span, n_points=200)
+        b = repro.simulate(parasitic, span, n_points=200)
+        np.testing.assert_allclose(a["OUT_V"], b["OUT_V"], atol=1e-12)
+
+    def test_tiny_alpha_approaches_ideal_isolation(self):
+        plain = design(0.0).build(1, seed=4)      # one switch off
+        nearly = design(1e-9).build(1, seed=4)
+        span = (0.0, 5e-8)
+        a = repro.simulate(plain, span, n_points=200)
+        b = repro.simulate(nearly, span, n_points=200)
+        np.testing.assert_allclose(a["OUT_V"], b["OUT_V"], atol=1e-7)
+
+    def test_alpha_one_erases_the_challenge(self):
+        # A switch with no isolation makes every challenge equivalent:
+        # off rules equal the on rules at alpha = 1.
+        puf = design(1.0)
+        reference = evaluate_puf(puf, 0, seed=4, **EVAL)
+        for challenge in range(1, 4):
+            response = evaluate_puf(puf, challenge, seed=4, **EVAL)
+            assert np.array_equal(response, reference), challenge
+        assert bit_flip_sensitivity(puf) == 0.0
+
+
+class TestDegradation:
+    def test_sensitivity_monotone_in_alpha(self):
+        sensitivities = [bit_flip_sensitivity(design(alpha))
+                         for alpha in (0.0, 0.3, 0.7)]
+        assert sensitivities[0] > sensitivities[1] > sensitivities[2]
+
+    def test_ideal_switch_keeps_sensitivity(self):
+        assert bit_flip_sensitivity(design(0.0)) > 0.2
+
+
+class TestValidation:
+    def test_alpha_range_checked(self):
+        with pytest.raises(repro.GraphError):
+            design(-0.1)
+        with pytest.raises(repro.GraphError):
+            design(1.5)
