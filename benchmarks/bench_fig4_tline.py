@@ -58,6 +58,25 @@ def test_mismatched_instance_build(benchmark):
     benchmark(mismatched_tline, "gm", seed=1)
 
 
+ENSEMBLE_BENCH = 16  # seeds for the engine comparison benchmarks
+
+
+@pytest.mark.benchmark(group="fig4-ensemble")
+def test_ensemble_serial(benchmark):
+    benchmark(repro.simulate_ensemble,
+              lambda seed: mismatched_tline("gm", seed=seed),
+              seeds=range(ENSEMBLE_BENCH), t_span=(0.0, T_END),
+              n_points=300, engine="serial")
+
+
+@pytest.mark.benchmark(group="fig4-ensemble")
+def test_ensemble_batched(benchmark):
+    benchmark(repro.simulate_ensemble,
+              lambda seed: mismatched_tline("gm", seed=seed),
+              seeds=range(ENSEMBLE_BENCH), t_span=(0.0, T_END),
+              n_points=300, engine="batch")
+
+
 def test_report_fig4(trajectories, ensembles):
     linear, branched = trajectories
     lin_peak = linear["OUT_V"].max()

@@ -1,7 +1,10 @@
 """Table 1 — max-cut sync/solved probabilities for the ideal and
-offset-afflicted OBC solvers at two readout tolerances."""
+offset-afflicted OBC solvers at two readout tolerances, plus the
+serial-vs-batched engine comparison on the mismatch ensemble the sweep
+is built from."""
 
 import math
+import time
 
 import pytest
 
@@ -9,10 +12,12 @@ from repro.paradigms.obc import (maxcut_experiment, maxcut_network,
                                  random_graphs, solve_maxcut)
 import repro
 
-from conftest import report
+from conftest import mismatch_maxcut_factory, report
 
 TRIALS = 120  # paper: 1000; run_experiments.py uses the full count
 TOLERANCES = (0.01 * math.pi, 0.1 * math.pi)
+ENSEMBLE_BENCH = 32  # fabricated instances for the engine benchmarks
+ENSEMBLE_T_END = 100e-9
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +48,42 @@ def test_network_build(benchmark, graphs):
 def test_network_compile(benchmark, graphs):
     graph = maxcut_network(graphs[0], 4)
     benchmark(repro.compile_graph, graph)
+
+
+@pytest.mark.benchmark(group="table1-ensemble")
+def test_mismatch_ensemble_serial(benchmark):
+    benchmark(repro.simulate_ensemble, mismatch_maxcut_factory(),
+              seeds=range(ENSEMBLE_BENCH),
+              t_span=(0.0, ENSEMBLE_T_END), n_points=60,
+              engine="serial")
+
+
+@pytest.mark.benchmark(group="table1-ensemble")
+def test_mismatch_ensemble_batched(benchmark):
+    benchmark(repro.simulate_ensemble, mismatch_maxcut_factory(),
+              seeds=range(ENSEMBLE_BENCH),
+              t_span=(0.0, ENSEMBLE_T_END), n_points=60,
+              engine="batch")
+
+
+def test_report_ensemble_speedup():
+    factory = mismatch_maxcut_factory()
+    timings = {}
+    for engine in ("serial", "batch"):
+        start = time.perf_counter()
+        repro.simulate_ensemble(factory, seeds=range(ENSEMBLE_BENCH),
+                                t_span=(0.0, ENSEMBLE_T_END),
+                                n_points=60, engine=engine)
+        timings[engine] = time.perf_counter() - start
+    speedup = timings["serial"] / timings["batch"]
+    report("table1_ensemble_engine", [
+        f"{ENSEMBLE_BENCH}-instance Cpl_ofs mismatch ensemble, "
+        f"t_end={ENSEMBLE_T_END:.0e}s",
+        f"serial engine  {timings['serial']:.2f}s",
+        f"batched engine {timings['batch']:.2f}s",
+        f"speedup        {speedup:.1f}x",
+    ])
+    assert speedup > 1.0
 
 
 def test_report_table1(table):

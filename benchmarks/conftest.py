@@ -24,6 +24,25 @@ def report(name: str, lines: list[str]):
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def mismatch_maxcut_factory():
+    """The shared ensemble-engine benchmark workload: one fabricated
+    ``Cpl_ofs`` instance of the Table 1 4-cycle per seed, with fixed
+    starting phases so every instance shares structure and the batched
+    engine applies. Used by both the pytest benchmarks
+    (``bench_table1_maxcut.py``) and the JSON trend runner
+    (``run_bench_ensemble.py``) so they measure the same thing."""
+    import math
+
+    import numpy as np
+
+    from repro.paradigms.obc import maxcut_network
+
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    phases = np.random.default_rng(7).uniform(0.0, 2.0 * math.pi, 4)
+    return lambda seed: maxcut_network(edges, 4, initial_phases=phases,
+                                       edge_type="Cpl_ofs", seed=seed)
+
+
 def pytest_collection_modifyitems(items):
     """Keep benchmark ordering stable: reports run after their
     benchmarks within each module (pytest preserves file order, this is

@@ -1,0 +1,105 @@
+"""Ensemble-engine benchmark runner: serial vs. batched wall time.
+
+Writes ``BENCH_ensemble.json`` at the repository root so future PRs
+have a perf trajectory to regress against::
+
+    PYTHONPATH=src python benchmarks/run_bench_ensemble.py
+
+Workloads (both are the paper's mismatch studies):
+
+* ``maxcut_64`` — 64 fabricated instances of the offset-afflicted
+  4-cycle OBC max-cut solver (Table 1);
+* ``tline_64``  — 64 Gm-mismatched instances of the Fig. 4 linear
+  transmission line.
+
+Each workload runs once through the legacy serial path (one scipy
+solve per seed) and once through the batched engine (one vectorized
+RHS for the whole ensemble), and records the row-wise deviation between
+the two so the speedup is never bought with silent inaccuracy.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                       / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import repro  # noqa: E402
+from conftest import mismatch_maxcut_factory  # noqa: E402
+from repro.paradigms.tln import mismatched_tline  # noqa: E402
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "BENCH_ensemble.json"
+N_INSTANCES = 64
+
+
+WORKLOADS = {
+    "maxcut_64": {
+        "factory": mismatch_maxcut_factory(),
+        "t_span": (0.0, 100e-9),
+        "n_points": 60,
+        "probe_node": "Osc_0",
+    },
+    "tline_64": {
+        "factory": lambda seed: mismatched_tline("gm", seed=seed),
+        "t_span": (0.0, 8e-8),
+        "n_points": 300,
+        "probe_node": "OUT_V",
+    },
+}
+
+
+def run_workload(name: str, spec: dict) -> dict:
+    seeds = range(N_INSTANCES)
+    runs = {}
+    timings = {}
+    for engine in ("serial", "batch"):
+        start = time.perf_counter()
+        runs[engine] = repro.simulate_ensemble(
+            spec["factory"], seeds=seeds, t_span=spec["t_span"],
+            n_points=spec["n_points"], engine=engine)
+        timings[engine] = time.perf_counter() - start
+    node = spec["probe_node"]
+    deviation = max(
+        float(np.max(np.abs(a[node] - b[node])))
+        for a, b in zip(runs["serial"], runs["batch"]))
+    result = {
+        "n_instances": N_INSTANCES,
+        "t_span": list(spec["t_span"]),
+        "n_points": spec["n_points"],
+        "serial_seconds": round(timings["serial"], 4),
+        "batched_seconds": round(timings["batch"], 4),
+        "speedup": round(timings["serial"] / timings["batch"], 2),
+        "probe_node": node,
+        "max_abs_deviation": deviation,
+    }
+    print(f"[{name}] serial {result['serial_seconds']:.2f}s  "
+          f"batched {result['batched_seconds']:.2f}s  "
+          f"speedup {result['speedup']:.1f}x  "
+          f"max|dev| {deviation:.2e}")
+    return result
+
+
+def main() -> int:
+    payload = {
+        "benchmark": "ensemble-engine serial vs batched",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {name: run_workload(name, spec)
+                      for name, spec in WORKLOADS.items()},
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,9 @@ domain-specific languages. This package provides:
 * a circuit-level GmC substrate for the §4.5 empirical validation
   (:mod:`repro.circuits`);
 * analysis utilities and a PUF toolkit (:mod:`repro.analysis`,
-  :mod:`repro.puf`).
+  :mod:`repro.puf`);
+* a batched ensemble simulation engine for Monte-Carlo mismatch
+  studies (:mod:`repro.sim`).
 
 Quickstart::
 
@@ -80,6 +82,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.framework import RunResult, run
+from repro.sim import BatchTrajectory, EnsembleResult, run_ensemble
 
 __version__ = "1.0.0"
 
@@ -128,5 +131,8 @@ __all__ = [
     "ValidationError",
     "RunResult",
     "run",
+    "BatchTrajectory",
+    "EnsembleResult",
+    "run_ensemble",
     "__version__",
 ]

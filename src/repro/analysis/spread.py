@@ -5,6 +5,11 @@ mismatch source and observes that the Gm-sensitive line "experiences a
 much greater degree of variation across trials" than the Cint-sensitive
 line inside the observation window — the finding that steers the PUF
 design toward Gm mismatch. These helpers quantify that spread.
+
+Every helper accepts either a list of serial
+:class:`~repro.core.simulator.Trajectory` objects or a stacked
+:class:`~repro.sim.batch_solver.BatchTrajectory` from the batched
+ensemble engine — the latter samples all instances in one pass.
 """
 
 from __future__ import annotations
@@ -12,16 +17,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.simulator import Trajectory
+from repro.sim.batch_solver import BatchTrajectory
 
 
-def ensemble_matrix(trajectories: list[Trajectory], node: str,
-                    times: np.ndarray) -> np.ndarray:
+def ensemble_matrix(trajectories: list[Trajectory] | BatchTrajectory,
+                    node: str, times: np.ndarray) -> np.ndarray:
     """Sample every trajectory at common times: shape (n_traj, n_t)."""
     times = np.asarray(times, dtype=float)
+    if isinstance(trajectories, BatchTrajectory):
+        return trajectories.sample(node, times)
     return np.stack([traj.sample(node, times) for traj in trajectories])
 
 
-def ensemble_spread(trajectories: list[Trajectory], node: str,
+def ensemble_spread(trajectories: list[Trajectory] | BatchTrajectory,
+                    node: str,
                     times: np.ndarray) -> dict[str, np.ndarray]:
     """Pointwise ensemble statistics at the given times."""
     matrix = ensemble_matrix(trajectories, node, times)
@@ -33,7 +42,8 @@ def ensemble_spread(trajectories: list[Trajectory], node: str,
     }
 
 
-def window_spread(trajectories: list[Trajectory], node: str,
+def window_spread(trajectories: list[Trajectory] | BatchTrajectory,
+                  node: str,
                   window: tuple[float, float], n_samples: int = 100,
                   ) -> float:
     """Scalar spread score: the mean pointwise ensemble standard
@@ -47,7 +57,8 @@ def window_spread(trajectories: list[Trajectory], node: str,
     return float(ensemble_spread(trajectories, node, times)["std"].mean())
 
 
-def percentile_band(trajectories: list[Trajectory], node: str,
+def percentile_band(trajectories: list[Trajectory] | BatchTrajectory,
+                    node: str,
                     times: np.ndarray, lower: float = 5.0,
                     upper: float = 95.0,
                     ) -> dict[str, np.ndarray]:

@@ -7,6 +7,8 @@ Implements the §4.6 user workflow without writing Python::
     python -m repro equations program.ark --func br-func --arg br=0
     python -m repro simulate program.ark --func br-func --arg br=1 \
         --t-end 8e-8 --node OUT_V --csv out.csv
+    python -m repro ensemble program.ark --func br-func --arg br=1 \
+        --t-end 8e-8 --seeds 64 --node OUT_V --csv spread.csv
     python -m repro dot program.ark --func br-func --arg br=1
 
 Paradigm languages ship with the package, so an ``.ark`` file may use
@@ -165,6 +167,81 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_ensemble(args) -> int:
+    """Monte-Carlo mismatch sweep: invoke the function once per seed and
+    integrate the whole ensemble through the batched engine."""
+    import time
+
+    from repro.sim import BATCH_METHODS, run_ensemble
+
+    if args.seeds < 1:
+        raise ArkError(f"--seeds must be >= 1, got {args.seeds}")
+    scipy_methods = ("RK23", "RK45", "DOP853", "Radau", "BDF", "LSODA")
+    if args.method not in BATCH_METHODS + scipy_methods:
+        raise ArkError(
+            f"unknown method {args.method!r}; expected one of "
+            f"{', '.join(BATCH_METHODS + scipy_methods)}")
+    _, functions = _load(args)
+    function = _pick_function(functions, args.func)
+    arguments = {}
+    for pair in args.arg or []:
+        if "=" not in pair:
+            raise ArkError(f"--arg expects name=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        arguments[key] = _parse_value(value)
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+
+    first = function.invoke(arguments, seed=args.seed_base)
+    validate(first, backend=args.backend).raise_if_invalid()
+
+    def factory(seed):
+        # The validated first instance is reused, not rebuilt.
+        return first if seed == args.seed_base else \
+            function.invoke(arguments, seed=seed)
+
+    start = time.perf_counter()
+    result = run_ensemble(factory, seeds, (0.0, args.t_end),
+                          n_points=args.points, method=args.method,
+                          engine=args.engine)
+    elapsed = time.perf_counter() - start
+
+    from repro.analysis import ensemble_matrix
+
+    nodes = args.node or [
+        node.name for node in first.nodes if node.type.order >= 1]
+    grid = result.trajectories[0].t
+    # The fully batched common case already holds stacked storage;
+    # mixed serial/batched ensembles are sampled onto the shared grid.
+    fully_batched = len(result.batches) == 1 and \
+        not result.serial_indices
+    header = ["t"]
+    columns = [grid]
+    for node in nodes:
+        matrix = result.batches[0].state(node) if fully_batched else \
+            ensemble_matrix(result.trajectories, node, grid)
+        header += [f"{node}_mean", f"{node}_std", f"{node}_p05",
+                   f"{node}_p95"]
+        columns += [matrix.mean(axis=0), matrix.std(axis=0),
+                    np.percentile(matrix, 5.0, axis=0),
+                    np.percentile(matrix, 95.0, axis=0)]
+    matrix = np.column_stack(columns)
+    print(f"{len(result)} instances in {elapsed:.2f}s "
+          f"({result.batched_fraction * 100:.0f}% batched: "
+          f"{len(result.batches)} batch(es), "
+          f"{len(result.serial_indices)} serial)")
+    if args.csv:
+        np.savetxt(args.csv, matrix, delimiter=",",
+                   header=",".join(header), comments="")
+        print(f"wrote {matrix.shape[0]} samples x "
+              f"{matrix.shape[1]} columns to {args.csv}")
+    else:
+        print(",".join(header))
+        step = max(1, len(grid) // args.print_rows)
+        for row in matrix[::step]:
+            print(",".join(f"{value:.6g}" for value in row))
+    return 0
+
+
 def cmd_dot(args) -> int:
     graph = _invoke(args)
     print(to_dot(graph, include_attrs=args.attrs))
@@ -245,6 +322,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--print-rows", type=int, default=20,
                        help="rows to print when not writing CSV")
     p_sim.set_defaults(handler=cmd_simulate)
+
+    p_ens = sub.add_parser(
+        "ensemble",
+        help="Monte-Carlo mismatch sweep (batched ensemble engine)")
+    common(p_ens)
+    p_ens.add_argument("--t-end", type=float, required=True)
+    p_ens.add_argument("--seeds", type=int, default=16,
+                       help="number of fabricated instances")
+    p_ens.add_argument("--seed-base", type=int, default=0,
+                       help="first mismatch seed (default 0)")
+    p_ens.add_argument("--points", type=int, default=200)
+    p_ens.add_argument("--method", default="auto",
+                       help="auto (default), rkf45, rk4, or a scipy "
+                       "method name (forces the serial path)")
+    p_ens.add_argument("--engine", default="batch",
+                       choices=("batch", "serial"))
+    p_ens.add_argument("--backend", default="milp",
+                       choices=("milp", "flow"))
+    p_ens.add_argument("--node", action="append",
+                       help="node to aggregate (repeatable; default: "
+                       "all dynamic nodes)")
+    p_ens.add_argument("--csv", help="write ensemble statistics "
+                       "(mean/std/p05/p95 per node) to a CSV file")
+    p_ens.add_argument("--print-rows", type=int, default=20,
+                       help="rows to print when not writing CSV")
+    p_ens.set_defaults(handler=cmd_ensemble)
 
     p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
     common(p_dot)

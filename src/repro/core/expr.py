@@ -507,6 +507,22 @@ class CodegenContext:
     def function_source(self, name: str) -> str:
         raise CompileError(f"codegen: unresolved function `{name}`")
 
+    # The control-flow constructs below default to plain Python syntax,
+    # which is correct for scalar evaluation. Vectorized backends (the
+    # batched ensemble codegen in :mod:`repro.sim`) override them with
+    # elementwise formulations (``numpy.where``/``logical_and``/...),
+    # because Python's ``if``/``and``/``or``/``not`` are ambiguous on
+    # arrays.
+
+    def ifexp_source(self, cond: str, then: str, orelse: str) -> str:
+        return f"({then} if {cond} else {orelse})"
+
+    def boolop_source(self, op: str, left: str, right: str) -> str:
+        return f"({left} {_PY_BOOL[op]} {right})"
+
+    def not_source(self, operand: str) -> str:
+        return f"(not {operand})"
+
 
 def to_python(expr: Expr, ctx: CodegenContext) -> str:
     """Lower an expression tree to a Python source fragment."""
@@ -537,17 +553,16 @@ def to_python(expr: Expr, ctx: CodegenContext) -> str:
         args = ", ".join(to_python(a, ctx) for a in expr.args)
         return f"{target}({args})"
     if isinstance(expr, IfThenElse):
-        return (f"({to_python(expr.then, ctx)} if "
-                f"{to_python(expr.cond, ctx)} else "
-                f"{to_python(expr.orelse, ctx)})")
+        return ctx.ifexp_source(to_python(expr.cond, ctx),
+                                to_python(expr.then, ctx),
+                                to_python(expr.orelse, ctx))
     if isinstance(expr, Compare):
         op = _PY_CMP[expr.op]
         return (f"({to_python(expr.left, ctx)} {op} "
                 f"{to_python(expr.right, ctx)})")
     if isinstance(expr, BoolOp):
-        op = _PY_BOOL[expr.op]
-        return (f"({to_python(expr.left, ctx)} {op} "
-                f"{to_python(expr.right, ctx)})")
+        return ctx.boolop_source(expr.op, to_python(expr.left, ctx),
+                                 to_python(expr.right, ctx))
     if isinstance(expr, Not):
-        return f"(not {to_python(expr.operand, ctx)})"
+        return ctx.not_source(to_python(expr.operand, ctx))
     raise CompileError(f"codegen: unsupported expression node {expr!r}")

@@ -96,6 +96,11 @@ def _compile_lambda(value: LambdaVal, functions: dict[str, object]):
         return body.evaluate(env)
 
     call.__name__ = f"lambd_{'_'.join(params) or 'const'}"
+    # Lambda bodies may only reference their parameters, literals, and
+    # registered functions, so two compilations of the same source are
+    # interchangeable; the key lets the batched ensemble codegen share
+    # one callable across fabricated instances.
+    call._ark_vector_key = ("lambd", params, str(body))
     return call
 
 

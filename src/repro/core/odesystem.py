@@ -110,6 +110,28 @@ class _RhsContext(E.EvalContext):
         self._alg[name] = value
 
 
+def optimize_terms(terms: tuple[E.Expr, ...], reduction: Reduction,
+                   lookup) -> list[E.Expr]:
+    """Inline the attribute values ``lookup`` resolves, simplify, and
+    drop terms the reduction's identity absorbs (0s in sums, 1s in
+    products; a 0 factor collapses a product entirely).
+
+    ``lookup(kind, owner, attr)`` may return ``None`` to keep an
+    attribute symbolic — the batched ensemble codegen uses this to
+    inline only the values shared across every instance of a batch.
+    """
+    optimized = [simplify(inline_attributes(term, lookup))
+                 for term in terms]
+    if reduction is Reduction.SUM:
+        return [term for term in optimized
+                if not (isinstance(term, E.Const) and term.value == 0.0)]
+    if any(isinstance(term, E.Const) and term.value == 0.0
+           for term in optimized):
+        return [E.Const(0.0)]
+    return [term for term in optimized
+            if not (isinstance(term, E.Const) and term.value == 1.0)]
+
+
 class _Codegen(E.CodegenContext):
     """Codegen context: states to ``y[i]``, algebraic nodes to locals,
     numeric attributes inlined, callables routed through the namespace."""
@@ -196,6 +218,37 @@ class OdeSystem:
             raise CompileError(
                 f"no state for node {node} derivative {deriv}") from None
 
+    def structural_signature(self) -> tuple:
+        """A hashable fingerprint of everything about the system *except*
+        attribute values and initial conditions.
+
+        Two systems with equal signatures share state layout, production
+        terms (with attributes still symbolic), algebraic definitions,
+        attribute keys, and function *identities* (object identity, or
+        the ``_ark_vector_key`` equivalence tag, so per-seed registered
+        closures never silently share one batch) — exactly the
+        condition under
+        which the batched ensemble engine (:mod:`repro.sim`) can evaluate
+        them through one compiled RHS with per-instance attribute arrays.
+        Mismatch seeds of the same Ark function invocation always agree;
+        different topologies or switch states never do (switched-off
+        edges change the compiled production terms).
+        """
+        spec_keys = tuple(
+            ("chain", spec.next_index) if isinstance(spec, ChainRhs)
+            else ("terms", spec.reduction.value,
+                  tuple(str(term) for term in spec.terms))
+            for spec in self.rhs_specs)
+        algebraic_keys = tuple(
+            (spec.name, spec.reduction.value,
+             tuple(str(term) for term in spec.terms))
+            for spec in self.algebraic)
+        function_keys = tuple(
+            (name, getattr(fn, "_ark_vector_key", None) or id(fn))
+            for name, fn in sorted(self.functions.items()))
+        return (tuple(self.state_labels()), spec_keys, algebraic_keys,
+                tuple(sorted(self.attr_values)), function_keys)
+
     def equations(self) -> list[str]:
         """Human-readable rendering of the compiled system, e.g. for
         documentation, debugging, and the quickstart example."""
@@ -263,26 +316,12 @@ class OdeSystem:
     def _optimized_terms(self, terms: tuple[E.Expr, ...],
                          reduction: Reduction) -> list[E.Expr]:
         """Inline numeric attributes, simplify, and drop terms that the
-        reduction's identity absorbs (0s in sums, 1s in products; a 0
-        factor collapses a product entirely)."""
+        reduction's identity absorbs (see :func:`optimize_terms`)."""
 
         def lookup(kind, owner, attr):
             return self.attr_values.get((kind, owner, attr))
 
-        optimized = [simplify(inline_attributes(term, lookup))
-                     for term in terms]
-        if reduction is Reduction.SUM:
-            kept = [term for term in optimized
-                    if not (isinstance(term, E.Const)
-                            and term.value == 0.0)]
-        else:
-            if any(isinstance(term, E.Const) and term.value == 0.0
-                   for term in optimized):
-                return [E.Const(0.0)]
-            kept = [term for term in optimized
-                    if not (isinstance(term, E.Const)
-                            and term.value == 1.0)]
-        return kept
+        return optimize_terms(terms, reduction, lookup)
 
     def generate_source(self, namespace: dict[str, object] | None = None,
                         ) -> str:

@@ -4,7 +4,9 @@ Wraps :func:`scipy.integrate.solve_ivp` around an
 :class:`~repro.core.odesystem.OdeSystem` and packages the result as a
 :class:`Trajectory` addressable by node name. :func:`simulate_ensemble`
 runs seeded Monte-Carlo sweeps over fabricated instances — the workflow
-behind the paper's mismatch studies (Figs. 4c/4d, 11c, Table 1).
+behind the paper's mismatch studies (Figs. 4c/4d, 11c, Table 1) — and
+delegates to the batched ensemble engine in :mod:`repro.sim`, which
+integrates structurally identical instances through one vectorized RHS.
 """
 
 from __future__ import annotations
@@ -56,7 +58,31 @@ class Trajectory:
         return self.t[mask], self.state(node)[mask]
 
     def algebraic(self, node: str) -> np.ndarray:
-        """Trajectory of an order-0 node (recomputed from the states)."""
+        """Trajectory of an order-0 node (recomputed from the states).
+
+        Evaluated over the whole ``(n_states, n_t)`` matrix in one
+        vectorized pass: the batched ensemble codegen
+        (:mod:`repro.sim.batch_codegen`) is reused with *time* as the
+        batch axis. Systems whose algebraic expressions defeat
+        vectorization fall back to the per-sample interpreter loop.
+        """
+        batch = getattr(self.system, "_algebraic_batch", None)
+        if batch is None:
+            from repro.sim.batch_codegen import compile_batch
+            try:
+                batch = compile_batch([self.system])
+            except Exception:
+                batch = False
+            self.system._algebraic_batch = batch
+        if batch is not False:
+            try:
+                values = batch.algebraic_values(self.t, self.y.T)
+            except Exception:
+                self.system._algebraic_batch = False
+            else:
+                # Outside the except: an unknown node name is a caller
+                # error and must not poison the vectorized-path cache.
+                return values[node]
         values = np.empty(len(self.t))
         for k, (tk, yk) in enumerate(zip(self.t, self.y.T)):
             values[k] = self.system.algebraic_values(tk, yk)[node]
@@ -107,17 +133,38 @@ def simulate(target: OdeSystem | DynamicalGraph, t_span: tuple[float, float],
     return Trajectory(t=solution.t, y=solution.y, system=system)
 
 
-def simulate_ensemble(factory, seeds, t_span, **simulate_options,
-                      ) -> list[Trajectory]:
+def simulate_ensemble(factory, seeds, t_span, engine: str = "batch",
+                      processes: int | None = None,
+                      **simulate_options) -> list[Trajectory]:
     """Simulate one fabricated instance per seed.
+
+    Built on the batched ensemble engine (:mod:`repro.sim`):
+    structurally identical instances — the common case for mismatch
+    seeds of one Ark function — are integrated through a single
+    vectorized RHS, while incompatible instances fall back to serial
+    scipy solves. The return value keeps the legacy shape (one
+    :class:`Trajectory` per seed, input order); use
+    :func:`repro.sim.run_ensemble` directly for the stacked
+    :class:`~repro.sim.batch_solver.BatchTrajectory` storage and
+    ensemble statistics.
 
     :param factory: ``factory(seed) -> DynamicalGraph | OdeSystem``; the
         paper's workflow re-invokes an Ark function with varying seeds to
         model multiple fabricated chips (§4.3).
     :param seeds: iterable of mismatch seeds.
+    :param engine: ``batch`` (default) or ``serial`` (one scipy solve
+        per seed, the historical behavior).
+    :param processes: optional multiprocessing fan-out for instances
+        that cannot be batched.
+    :param simulate_options: forwarded to the engine/serial solver —
+        ``n_points``, ``method``, ``rtol``, ``atol``, ``backend``,
+        ``t_eval``, ``max_step``. Passing a scipy method name (e.g.
+        ``LSODA``) forces the serial path for every instance.
     """
-    trajectories: list[Trajectory] = []
-    for seed in seeds:
-        target = factory(seed)
-        trajectories.append(simulate(target, t_span, **simulate_options))
-    return trajectories
+    from repro.sim.ensemble import run_ensemble
+
+    options = dict(simulate_options)
+    options.setdefault("method", "auto")
+    result = run_ensemble(factory, seeds, t_span, engine=engine,
+                          processes=processes, **options)
+    return result.trajectories

@@ -59,7 +59,12 @@ class TLineSpec:
     def input_waveform(self):
         """The paper's trapezoidal pulse, closed over this spec."""
         t0, width = self.pulse_start, self.pulse_width
-        return lambda t: pulse(t, t0, width)
+        waveform = lambda t: pulse(t, t0, width)  # noqa: E731
+        # Equal-parameter waveforms are interchangeable: the tag lets
+        # the batched ensemble codegen share one callable across
+        # instances instead of dispatching per instance.
+        waveform._ark_vector_key = ("tln-pulse", t0, width)
+        return waveform
 
 
 def _variant_types(node_variant: str, edge_variant: str,

@@ -1,0 +1,49 @@
+"""Batched ensemble simulation engine.
+
+The paper's headline experiments (Figs. 4c/4d, 11c, Table 1) are
+Monte-Carlo sweeps over fabricated-instance mismatch; the reference Ark
+implementation runs them as vectorized batches (``--vectorize --bz
+1024``). This subsystem provides the same capability:
+
+* :mod:`repro.sim.batch_codegen` — one compiled RHS evaluating an
+  ``(n_instances, n_states)`` state matrix, per-instance attributes
+  stacked as constant arrays;
+* :mod:`repro.sim.batch_solver` — vectorized RK4 / adaptive RKF45 with
+  per-instance error control on a shared output grid, returning a
+  :class:`~repro.sim.batch_solver.BatchTrajectory`;
+* :mod:`repro.sim.ensemble` — a seed-sweep driver that groups instances
+  by structural signature, batches compatible groups, and falls back to
+  the serial scipy path (optionally multiprocessed) for the rest.
+
+Quickstart::
+
+    from repro.sim import run_ensemble
+
+    result = run_ensemble(
+        lambda seed: mismatched_tline("gm", seed=seed),
+        seeds=range(100), t_span=(0.0, 8e-8), n_points=300)
+    batch = result.batches[0]           # (100, n_states, 300) storage
+    band = batch.band("OUT_V")          # Fig. 4c/4d percentile envelope
+
+:func:`repro.simulate_ensemble` is built on this engine and keeps the
+legacy list-of-trajectories API.
+"""
+
+from repro.sim.batch_codegen import (BatchRhs, compile_batch,
+                                     generate_batch_source,
+                                     group_by_signature)
+from repro.sim.batch_solver import BatchTrajectory, solve_batch
+from repro.sim.ensemble import (BATCH_METHODS, EnsembleResult,
+                                run_ensemble)
+
+__all__ = [
+    "BATCH_METHODS",
+    "BatchRhs",
+    "BatchTrajectory",
+    "EnsembleResult",
+    "compile_batch",
+    "generate_batch_source",
+    "group_by_signature",
+    "run_ensemble",
+    "solve_batch",
+]

@@ -1,0 +1,325 @@
+"""Batched RHS code generation for Monte-Carlo ensembles.
+
+The serial codegen backend (:meth:`repro.core.odesystem.OdeSystem.
+rhs_codegen`) inlines every attribute value as a constant, so N mismatch
+seeds need N compiled functions and N solver runs. This module extends
+that scheme to a whole *batch* of structurally identical systems: one
+flat function evaluates an ``(n_instances, n_states)`` state matrix in a
+single NumPy pass, with per-instance attribute values stacked as
+``(n_instances,)`` constant arrays.
+
+Lowering rules (vs. the serial codegen):
+
+* ``var(x)``        -> ``y[:, i]`` (a column of the batch state matrix);
+* attributes whose value is *shared* by every instance are inlined as
+  constants and participate in simplification (zero-weight terms still
+  fold away); per-instance numeric attributes become ``(n_instances,)``
+  arrays in the namespace;
+* builtin math functions are swapped for their NumPy ufuncs; unknown
+  functions are probed and wrapped elementwise only if they reject
+  arrays;
+* ``if/and/or/not`` lower to ``numpy.where``/``logical_*`` because the
+  Python forms are ambiguous on arrays.
+
+Broadcasting keeps scalars (e.g. an all-constant source term) valid
+wherever an ``(n_instances,)`` array is expected, so a batch of size one
+compiles to the same code — :class:`~repro.core.simulator.Trajectory`
+reuses it with *time* as the batch axis to vectorize algebraic-node
+readout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import expr as E
+from repro.core.odesystem import ChainRhs, OdeSystem, optimize_terms
+from repro.core.types import Reduction
+from repro.errors import CompileError, SimulationError
+
+#: NumPy counterparts of the scalar builtins in
+#: :data:`repro.core.expr.BUILTIN_FUNCTIONS`. Only used when the
+#: registered function *is* the builtin — a language that shadows a name
+#: keeps its own (auto-wrapped) implementation.
+VECTOR_FUNCTIONS: dict[str, object] = {
+    "sin": np.sin, "cos": np.cos, "tan": np.tan, "exp": np.exp,
+    "ln": np.log, "log": np.log, "sqrt": np.sqrt, "abs": np.abs,
+    "tanh": np.tanh, "sgn": np.sign, "min": np.minimum,
+    "max": np.maximum, "pow": np.power,
+}
+
+
+class _AutoVector:
+    """Wrap a scalar function so it also accepts arrays.
+
+    The wrapped function is first called directly — many pure-math
+    helpers (e.g. the CNN ``sat``) already broadcast. Functions that
+    reject arrays (piecewise definitions raising the ambiguous-truth
+    ``ValueError``, ``math``-module calls raising ``TypeError``) are
+    transparently rerouted through :func:`numpy.vectorize`.
+    """
+
+    def __init__(self, fn):
+        self._fn = fn
+        self._vectorized = None
+
+    def __call__(self, *args):
+        if self._vectorized is None:
+            if not any(isinstance(a, np.ndarray) and a.ndim for a in args):
+                return self._fn(*args)
+            try:
+                return self._fn(*args)
+            except (TypeError, ValueError):
+                self._vectorized = np.vectorize(self._fn, otypes=[float])
+        return self._vectorized(*args)
+
+
+class _PerInstanceFn:
+    """A callable attribute whose value differs across the batch: invoke
+    each instance's callable with that instance's row of any array
+    argument (scalars, e.g. the shared time, pass through)."""
+
+    def __init__(self, fns):
+        self._fns = tuple(fns)
+
+    def __call__(self, *args):
+        out = np.empty(len(self._fns))
+        for index, fn in enumerate(self._fns):
+            row = [arg[index] if isinstance(arg, np.ndarray) and arg.ndim
+                   else arg for arg in args]
+            out[index] = fn(*row)
+        return out
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float, np.floating, np.integer)) \
+        and not isinstance(value, bool)
+
+
+def _shared_lookup(systems: list[OdeSystem]):
+    """Attribute lookup resolving only values numerically identical in
+    every instance — those are safe to inline and simplify against."""
+
+    def lookup(kind, owner, attr):
+        key = (kind, owner, attr)
+        first = systems[0].attr_values.get(key)
+        if not _is_number(first):
+            return None
+        for system in systems[1:]:
+            value = system.attr_values.get(key)
+            if not _is_number(value) or float(value) != float(first):
+                return None
+        return first
+
+    return lookup
+
+
+class _BatchCodegen(E.CodegenContext):
+    """Codegen context for the batched backend: states to ``y[:, i]``,
+    shared attributes inlined, per-instance attributes to namespace
+    arrays, control flow to elementwise NumPy."""
+
+    def __init__(self, systems: list[OdeSystem],
+                 namespace: dict[str, object]):
+        self._systems = systems
+        self._namespace = namespace
+        self._alg_names: dict[str, str] = {}
+        self._attr_slots: dict[tuple, str] = {}
+
+    def register_algebraic(self, node: str) -> str:
+        local = f"_alg_{len(self._alg_names)}"
+        self._alg_names[node] = local
+        return local
+
+    def var_source(self, node: str) -> str:
+        index = self._systems[0].state_index.get((node, 0))
+        if index is not None:
+            return f"y[:, {index}]"
+        if node in self._alg_names:
+            return self._alg_names[node]
+        raise CompileError(f"batch codegen: var({node}) is neither a "
+                           "state nor an algebraic node")
+
+    def attr_source(self, kind: str, owner: str, attr: str) -> str:
+        key = (kind, owner, attr)
+        if key in self._attr_slots:
+            return self._attr_slots[key]
+        try:
+            values = [system.attr_values[key]
+                      for system in self._systems]
+        except KeyError:
+            raise CompileError(
+                f"batch codegen: unresolved attribute {owner}.{attr}"
+            ) from None
+        first = values[0]
+        if all(_is_number(v) for v in values):
+            if all(float(v) == float(first) for v in values):
+                return repr(float(first))
+            name = f"_attr_{len(self._attr_slots)}"
+            self._namespace[name] = np.array([float(v) for v in values])
+        elif all(callable(v) for v in values):
+            name = f"_attr_{len(self._attr_slots)}"
+            vector_key = getattr(first, "_ark_vector_key", None)
+            if all(v is first for v in values) or (
+                    vector_key is not None
+                    and all(getattr(v, "_ark_vector_key", None)
+                            == vector_key for v in values)):
+                # Identical objects, or callables tagged as
+                # interchangeable (equal `_ark_vector_key`): one shared
+                # callable serves the whole batch.
+                self._namespace[name] = _AutoVector(first)
+            else:
+                self._namespace[name] = _PerInstanceFn(values)
+        else:
+            raise CompileError(
+                f"batch codegen: attribute {owner}.{attr} mixes value "
+                "kinds across the batch")
+        self._attr_slots[key] = name
+        return name
+
+    def function_source(self, name: str) -> str:
+        alias = f"_fn_{name}"
+        if alias not in self._namespace:
+            try:
+                fn = self._systems[0].functions[name]
+            except KeyError:
+                raise CompileError(
+                    f"batch codegen: unknown function {name}") from None
+            vector = VECTOR_FUNCTIONS.get(name)
+            if vector is not None and fn is E.BUILTIN_FUNCTIONS.get(name):
+                self._namespace[alias] = vector
+            else:
+                self._namespace[alias] = _AutoVector(fn)
+        return alias
+
+    def ifexp_source(self, cond: str, then: str, orelse: str) -> str:
+        return f"_np.where({cond}, {then}, {orelse})"
+
+    def boolop_source(self, op: str, left: str, right: str) -> str:
+        fn = "logical_and" if op == "and" else "logical_or"
+        return f"_np.{fn}({left}, {right})"
+
+    def not_source(self, operand: str) -> str:
+        return f"_np.logical_not({operand})"
+
+
+def generate_batch_source(systems: list[OdeSystem],
+                          namespace: dict[str, object]) -> str:
+    """Emit the source of the batched RHS (``_rhs``) and the batched
+    algebraic-readout function (``_alg``) for a structurally compatible
+    batch. Both take ``y`` of shape ``(n_instances, n_states)``."""
+    lead = systems[0]
+    codegen = _BatchCodegen(systems, namespace)
+    lookup = _shared_lookup(systems)
+
+    algebraic_lines: list[str] = []
+    for spec in lead.algebraic:
+        local = codegen.register_algebraic(spec.name)
+        joiner = " + " if spec.reduction is Reduction.SUM else " * "
+        terms = optimize_terms(spec.terms, spec.reduction, lookup)
+        body = joiner.join(E.to_python(term, codegen)
+                           for term in terms) or \
+            repr(spec.reduction.identity)
+        algebraic_lines.append(f"    {local} = {body}")
+
+    lines = ["def _rhs(t, y, dy):"] + list(algebraic_lines)
+    for index, spec in enumerate(lead.rhs_specs):
+        if isinstance(spec, ChainRhs):
+            lines.append(f"    dy[:, {index}] = y[:, {spec.next_index}]")
+        else:
+            joiner = " + " if spec.reduction is Reduction.SUM else " * "
+            terms = optimize_terms(spec.terms, spec.reduction, lookup)
+            body = joiner.join(E.to_python(term, codegen)
+                               for term in terms) or \
+                repr(spec.reduction.identity)
+            lines.append(f"    dy[:, {index}] = {body}")
+    lines.append("    return dy")
+
+    lines.append("")
+    lines.append("def _alg(t, y):")
+    lines.extend(algebraic_lines)
+    mapping = ", ".join(
+        f"{spec.name!r}: {codegen._alg_names[spec.name]}"
+        for spec in lead.algebraic)
+    lines.append("    return {%s}" % mapping)
+    return "\n".join(lines)
+
+
+class BatchRhs:
+    """A compiled batched right-hand side: one function, N instances.
+
+    Use :func:`compile_batch` to construct one; it raises
+    :class:`~repro.errors.SimulationError` when the systems are not
+    structurally compatible (see
+    :meth:`~repro.core.odesystem.OdeSystem.structural_signature`).
+    """
+
+    def __init__(self, systems: list[OdeSystem]):
+        if not systems:
+            raise SimulationError("cannot batch an empty system list")
+        signature = systems[0].structural_signature()
+        for system in systems[1:]:
+            if system.structural_signature() != signature:
+                raise SimulationError(
+                    f"systems {systems[0].graph.name} and "
+                    f"{system.graph.name} are not structurally "
+                    "compatible; use the serial path or group by "
+                    "structural_signature()")
+        self.systems = list(systems)
+        namespace: dict[str, object] = {"_np": np}
+        self.source = generate_batch_source(self.systems, namespace)
+        exec(compile(self.source,
+                     f"<ark-batch:{systems[0].graph.name}>", "exec"),
+             namespace)
+        self._rhs_inner = namespace["_rhs"]
+        self._alg_inner = namespace["_alg"]
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.systems)
+
+    @property
+    def n_states(self) -> int:
+        return self.systems[0].n_states
+
+    @property
+    def y0(self) -> np.ndarray:
+        """Stacked initial states, shape (n_instances, n_states)."""
+        return np.stack([system.y0 for system in self.systems])
+
+    def __call__(self, t: float, y: np.ndarray,
+                 out: np.ndarray | None = None) -> np.ndarray:
+        """Evaluate the batched RHS; ``y`` and the result have shape
+        ``(n_instances, n_states)``."""
+        if out is None:
+            out = np.empty_like(y)
+        return self._rhs_inner(t, y, out)
+
+    def algebraic_values(self, t, y: np.ndarray) -> dict[str, np.ndarray]:
+        """Order-0 node values for the whole batch, each broadcast to
+        ``(n_instances,)`` (or to ``len(y)`` when another axis — e.g.
+        time — plays the batch role)."""
+        values = self._alg_inner(t, y)
+        n = y.shape[0]
+        return {name: np.broadcast_to(np.asarray(value, dtype=float),
+                                      (n,)).copy()
+                for name, value in values.items()}
+
+    def __repr__(self) -> str:
+        return (f"<BatchRhs {self.systems[0].graph.name} "
+                f"instances={self.n_instances} states={self.n_states}>")
+
+
+def compile_batch(systems: list[OdeSystem]) -> BatchRhs:
+    """Compile a structurally compatible batch of systems into one
+    vectorized RHS."""
+    return BatchRhs(list(systems))
+
+
+def group_by_signature(systems: list[OdeSystem]) -> list[list[int]]:
+    """Partition system indices into structurally compatible groups,
+    preserving first-seen order."""
+    groups: dict[tuple, list[int]] = {}
+    for index, system in enumerate(systems):
+        groups.setdefault(system.structural_signature(), []).append(index)
+    return list(groups.values())

@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro ensemble`` subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+lang leaky-mm {
+    ntyp(1,sum) X {attr tau=real[0.1,10] mm(0,0.1)};
+    etyp W {attr w=real[-5,5]};
+    prod(e:W, s:X->s:X) s <= -var(s)/s.tau;
+    prod(e:W, s:X->t:X) t <= e.w*var(s)/t.tau;
+    cstr X {acc[match(1,1,W,X), match(0,inf,W,X->[X]),
+                match(0,inf,W,[X]->X)]};
+}
+
+func pair (w:real[-5,5]) uses leaky-mm {
+    node x0:X; node x1:X;
+    edge <x0,x0> l0:W; edge <x1,x1> l1:W; edge <x0,x1> c:W;
+    set-attr x0.tau=1.0; set-attr x1.tau=0.5;
+    set-attr l0.w=0.0;   set-attr l1.w=0.0;  set-attr c.w=w;
+    set-init x0(0)=1.0;
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.ark"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestEnsembleCommand:
+    def test_writes_stats_csv(self, program_file, tmp_path, capsys):
+        csv_path = tmp_path / "stats.csv"
+        code = main(["ensemble", program_file, "--arg", "w=1.0",
+                     "--t-end", "2.0", "--seeds", "6",
+                     "--node", "x0", "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 instances" in out
+        assert "100% batched" in out
+        data = np.genfromtxt(csv_path, delimiter=",", names=True)
+        assert set(data.dtype.names) == {"t", "x0_mean", "x0_std",
+                                         "x0_p05", "x0_p95"}
+        # Mismatched tau spreads the decay across instances.
+        assert data["x0_std"][-1] > 0.0
+        assert np.all(data["x0_p05"] <= data["x0_p95"] + 1e-12)
+        # The mean still tracks the nominal exp(-t) decay loosely.
+        assert data["x0_mean"][-1] == pytest.approx(np.exp(-2.0),
+                                                    rel=0.5)
+
+    def test_serial_engine_agrees(self, program_file, tmp_path, capsys):
+        paths = {}
+        for engine in ("batch", "serial"):
+            path = tmp_path / f"{engine}.csv"
+            assert main(["ensemble", program_file, "--arg", "w=1.0",
+                         "--t-end", "1.0", "--seeds", "4",
+                         "--engine", engine, "--node", "x1",
+                         "--csv", str(path)]) == 0
+            paths[engine] = np.genfromtxt(path, delimiter=",",
+                                          names=True)
+        np.testing.assert_allclose(paths["batch"]["x1_mean"],
+                                   paths["serial"]["x1_mean"],
+                                   rtol=1e-4, atol=1e-7)
+
+    def test_prints_rows_without_csv(self, program_file, capsys):
+        code = main(["ensemble", program_file, "--arg", "w=0.5",
+                     "--t-end", "1.0", "--seeds", "3",
+                     "--node", "x0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t,x0_mean,x0_std,x0_p05,x0_p95" in out

@@ -1,0 +1,194 @@
+"""Tests for the ensemble driver: grouping, fallback, API compat."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.compiler import compile_graph
+from repro.core.simulator import Trajectory, simulate, simulate_ensemble
+from repro.sim import run_ensemble
+
+_LANG = repro.Language("mm-ens")
+_LANG.node_type("X", order=1,
+                attrs=[("tau", repro.real(0.2, 5.0, mm=(0.0, 0.1)))])
+_LANG.edge_type("W", attrs=[("w", repro.real(-5.0, 5.0))])
+_LANG.prod("prod(e:W,s:X->s:X) s <= -var(s)/s.tau")
+_LANG.prod("prod(e:W,s:X->t:X) t <= e.w*var(s)")
+
+
+def _pair_factory(seed, coupled=True):
+    builder = repro.GraphBuilder(_LANG, "pair", seed=seed)
+    builder.node("a", "X").set_attr("a", "tau", 1.0)
+    builder.node("b", "X").set_attr("b", "tau", 0.5)
+    builder.edge("a", "a", "la", "W").set_attr("la", "w", 0.0)
+    builder.edge("b", "b", "lb", "W").set_attr("lb", "w", 0.0)
+    if coupled:
+        builder.edge("a", "b", "c", "W").set_attr("c", "w", 1.5)
+    builder.set_init("a", 1.0)
+    builder.set_init("b", 0.0)
+    return builder.finish()
+
+
+# Module-level so it pickles into a multiprocessing pool.
+def _picklable_factory(seed):
+    return _pair_factory(seed)
+
+
+class TestRunEnsemble:
+    def test_uniform_structure_lands_in_one_batch(self):
+        result = run_ensemble(_pair_factory, range(6), (0.0, 2.0),
+                              n_points=60)
+        assert len(result) == 6
+        assert len(result.batches) == 1
+        assert result.groups == [[0, 1, 2, 3, 4, 5]]
+        assert result.serial_indices == []
+        assert result.batched_fraction == 1.0
+        finals = {traj.final("a") for traj in result}
+        assert len(finals) == 6  # every seed decays differently
+
+    def test_mixed_structures_split_into_batches(self):
+        result = run_ensemble(
+            lambda seed: _pair_factory(seed, coupled=seed % 2 == 0),
+            range(8), (0.0, 1.0), n_points=40)
+        assert len(result.batches) == 2
+        assert sorted(i for g in result.groups for i in g) == \
+            list(range(8))
+        assert result.serial_indices == []
+
+    def test_singleton_group_falls_back_to_serial(self):
+        result = run_ensemble(
+            lambda seed: _pair_factory(seed, coupled=seed == 0),
+            range(5), (0.0, 1.0), n_points=40)
+        assert result.serial_indices == [0]
+        assert len(result.batches) == 1
+        assert result.batched_fraction == pytest.approx(0.8)
+
+    def test_batch_failure_demotes_group_to_serial(self, monkeypatch):
+        # The auto method must not let a batched-solve failure kill the
+        # whole ensemble; the group falls back to the serial scipy path.
+        from repro.errors import SimulationError
+        from repro.sim import ensemble as ens
+
+        def explode(*args, **kwargs):
+            raise SimulationError("rkf45 step size underflow (forced)")
+
+        monkeypatch.setattr(ens, "solve_batch", explode)
+        result = ens.run_ensemble(_pair_factory, range(3), (0.0, 1.0),
+                                  n_points=40)
+        assert result.batches == []
+        assert result.serial_indices == [0, 1, 2]
+        assert all(t is not None for t in result.trajectories)
+
+    def test_batch_failure_with_explicit_method_raises(self,
+                                                       monkeypatch):
+        from repro.errors import SimulationError
+        from repro.sim import ensemble as ens
+
+        def explode(*args, **kwargs):
+            raise SimulationError("forced failure")
+
+        monkeypatch.setattr(ens, "solve_batch", explode)
+        with pytest.raises(SimulationError, match="forced"):
+            ens.run_ensemble(_pair_factory, range(3), (0.0, 1.0),
+                             n_points=40, method="rkf45")
+
+    def test_scipy_method_forces_serial(self):
+        result = run_ensemble(_pair_factory, range(3), (0.0, 1.0),
+                              n_points=40, method="LSODA")
+        assert result.batches == []
+        assert result.serial_indices == [0, 1, 2]
+
+    def test_serial_engine_matches_batch(self):
+        batch = run_ensemble(_pair_factory, range(4), (0.0, 2.0),
+                             n_points=80)
+        serial = run_ensemble(_pair_factory, range(4), (0.0, 2.0),
+                              n_points=80, engine="serial")
+        for left, right in zip(batch, serial):
+            np.testing.assert_allclose(left["b"], right["b"],
+                                       rtol=1e-4, atol=1e-7)
+
+    def test_per_seed_registered_functions_do_not_share_a_batch(self):
+        # Regression: per-seed closures registered under one function
+        # name must split the ensemble (signature includes function
+        # identity), not silently evaluate every instance with seed
+        # 0's closure.
+        def factory(seed):
+            lang = repro.Language("perseed")
+            lang.node_type("X", order=1)
+            lang.edge_type("S")
+            lang.register_function("rate",
+                                   lambda x, k=float(seed + 1): k * x)
+            lang.prod("prod(e:S,s:X->s:X) s <= -rate(var(s))")
+            builder = repro.GraphBuilder(lang, "perseed")
+            builder.node("x", "X")
+            builder.edge("x", "x", "e", "S")
+            builder.set_init("x", 1.0)
+            return builder.finish()
+
+        result = run_ensemble(factory, range(3), (0.0, 1.0),
+                              n_points=40)
+        finals = [traj.final("x") for traj in result]
+        expected = [np.exp(-(seed + 1.0)) for seed in range(3)]
+        np.testing.assert_allclose(finals, expected, rtol=1e-4)
+
+    def test_t_eval_starting_mid_span_integrates_from_t0(self):
+        # Regression: a t_eval window that starts after t_span[0] must
+        # still integrate from t0 (scipy semantics), not pin y0 at
+        # t_eval[0].
+        grid = np.linspace(0.5, 1.0, 20)
+        result = run_ensemble(_pair_factory, range(3), (0.0, 1.0),
+                              t_eval=grid)
+        serial = run_ensemble(_pair_factory, range(3), (0.0, 1.0),
+                              t_eval=grid, engine="serial")
+        assert len(result.batches) == 1
+        np.testing.assert_allclose(result.batches[0].t, grid)
+        for left, right in zip(result, serial):
+            np.testing.assert_allclose(left["a"], right["a"],
+                                       rtol=1e-4, atol=1e-7)
+
+    def test_accepts_precompiled_systems(self):
+        result = run_ensemble(
+            lambda seed: compile_graph(_pair_factory(seed)),
+            range(3), (0.0, 1.0), n_points=30)
+        assert len(result.batches) == 1
+
+    def test_rejects_bad_factory_output(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="factory"):
+            run_ensemble(lambda seed: 42, range(2), (0.0, 1.0))
+
+    def test_multiprocessing_pool_path(self):
+        result = run_ensemble(_picklable_factory, range(3), (0.0, 1.0),
+                              n_points=30, engine="serial", processes=2)
+        reference = run_ensemble(_picklable_factory, range(3),
+                                 (0.0, 1.0), n_points=30,
+                                 engine="serial")
+        for left, right in zip(result, reference):
+            np.testing.assert_allclose(left["a"], right["a"],
+                                       rtol=1e-9)
+
+    def test_unpicklable_factory_degrades_gracefully(self):
+        result = run_ensemble(lambda seed: _pair_factory(seed),
+                              range(3), (0.0, 1.0), n_points=30,
+                              engine="serial", processes=2)
+        assert len(result) == 3
+        assert all(isinstance(t, Trajectory) for t in result)
+
+
+class TestSimulateEnsembleCompat:
+    def test_returns_ordered_trajectory_list(self):
+        trajectories = simulate_ensemble(_pair_factory, range(4),
+                                         (0.0, 1.0), n_points=50)
+        assert len(trajectories) == 4
+        assert all(isinstance(t, Trajectory) for t in trajectories)
+        for seed, trajectory in enumerate(trajectories):
+            reference = simulate(_pair_factory(seed), (0.0, 1.0),
+                                 n_points=50)
+            np.testing.assert_allclose(trajectory["b"], reference["b"],
+                                       rtol=1e-4, atol=1e-7)
+
+    def test_serial_engine_keeps_legacy_path(self):
+        trajectories = simulate_ensemble(_pair_factory, range(3),
+                                         (0.0, 1.0), n_points=50,
+                                         engine="serial")
+        assert len(trajectories) == 3
