@@ -1,0 +1,154 @@
+"""Transient-noise engine benchmark: serial vs. batched SDE wall time.
+
+Writes ``BENCH_noise.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/run_bench_noise.py
+
+Workload: the PUF intra-chip reliability sweep — every (fabricated
+chip, noise trial) pair of a transiently noisy PUF design is one SDE
+integration. The serial path runs one batch-of-one solve per pair
+(drift compiled once per chip); the batched path runs the whole
+(chips x trials) outer product through :func:`repro.sim.
+run_noisy_ensemble` — one vectorized RHS + diffusion per structural
+group. Both consume identical per-(chip, trial) Wiener streams, so the
+responses — and therefore the reliability numbers — agree bit for bit,
+and the speedup is never bought with a different noise realization.
+
+A second section records the OBC max-cut solution-quality-vs-noise
+sweep, the workload-level artifact of the noisy engine.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                       / "src"))
+
+from repro.core.compiler import compile_graph  # noqa: E402
+from repro.paradigms.obc import maxcut_noise_sweep  # noqa: E402
+from repro.paradigms.tln import TLineSpec  # noqa: E402
+from repro.puf import PufDesign, reliability  # noqa: E402
+from repro.puf.response import (DEFAULT_WINDOW,  # noqa: E402
+                                _window_times, encode_response,
+                                evaluate_puf_noisy)
+from repro.sim import compile_batch, solve_sde  # noqa: E402
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "BENCH_noise.json"
+
+N_CHIPS = 8
+N_TRIALS = 8
+N_BITS = 32
+N_POINTS = 400
+CHALLENGE = 2
+DESIGN = PufDesign(spec=TLineSpec(n_segments=10),
+                   branch_positions=(3, 6), branch_lengths=(4, 6),
+                   noise=1e-8)
+T_END = DEFAULT_WINDOW[1] * 1.05
+
+
+def serial_reliability() -> tuple[dict, float]:
+    """One batch-of-one SDE solve per (chip, trial): the legacy shape
+    a per-chip loop would take."""
+    times = _window_times(DEFAULT_WINDOW, N_BITS)
+    start = time.perf_counter()
+    per_chip = []
+    bits = np.empty((N_CHIPS, N_TRIALS, N_BITS), dtype=np.uint8)
+    for chip in range(N_CHIPS):
+        system = compile_graph(DESIGN.build(CHALLENGE, seed=chip))
+        single = compile_batch([system])
+        from repro.sim import solve_batch
+
+        reference_run = solve_batch(single, (0.0, T_END),
+                                    n_points=N_POINTS, method="rk4")
+        reference = encode_response(
+            reference_run.instance(0).sample("OUT_V", times))
+        for trial in range(N_TRIALS):
+            run = solve_sde(single, (0.0, T_END),
+                            noise_seeds=[f"{chip}:{trial}"],
+                            n_points=N_POINTS)
+            bits[chip, trial] = encode_response(
+                run.instance(0).sample("OUT_V", times))
+        per_chip.append(reliability(reference, list(bits[chip])))
+    elapsed = time.perf_counter() - start
+    return {"per_chip": per_chip, "bits": bits}, elapsed
+
+
+def batched_reliability() -> tuple[dict, float]:
+    start = time.perf_counter()
+    references, trial_bits = evaluate_puf_noisy(
+        DESIGN, CHALLENGE, seeds=range(N_CHIPS), trials=N_TRIALS,
+        n_bits=N_BITS, n_points=N_POINTS)
+    per_chip = [reliability(references[chip], list(trial_bits[chip]))
+                for chip in range(N_CHIPS)]
+    elapsed = time.perf_counter() - start
+    return {"per_chip": per_chip, "bits": trial_bits}, elapsed
+
+
+def bench_puf() -> dict:
+    serial, serial_seconds = serial_reliability()
+    batched, batched_seconds = batched_reliability()
+    identical = bool(np.array_equal(serial["bits"], batched["bits"]))
+    result = {
+        "n_chips": N_CHIPS,
+        "n_trials": N_TRIALS,
+        "n_bits": N_BITS,
+        "n_points": N_POINTS,
+        "noise_amplitude": DESIGN.noise,
+        "serial_seconds": round(serial_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup": round(serial_seconds / batched_seconds, 2),
+        "responses_identical": identical,
+        "mean_reliability": round(float(np.mean(batched["per_chip"])),
+                                  4),
+        "worst_reliability": round(float(np.min(batched["per_chip"])),
+                                   4),
+    }
+    print(f"[puf_reliability] serial {serial_seconds:.2f}s  batched "
+          f"{batched_seconds:.2f}s  speedup {result['speedup']:.1f}x  "
+          f"identical={identical}  mean rel "
+          f"{result['mean_reliability']:.3f}")
+    return result
+
+
+def bench_obc() -> dict:
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    sigmas = [0.0, 5e3, 2e4, 6e4]
+    start = time.perf_counter()
+    points = maxcut_noise_sweep(edges, 4, sigmas, trials=16, seed=1)
+    elapsed = time.perf_counter() - start
+    rows = [{
+        "noise_sigma": point.noise_sigma,
+        "sync_probability": round(point.sync_probability, 3),
+        "solved_probability": round(point.solved_probability, 3),
+        "mean_cut_ratio": round(point.mean_cut_ratio, 3),
+    } for point in points]
+    print(f"[obc_noise_sweep] {len(sigmas)} amplitudes x 16 trials in "
+          f"{elapsed:.2f}s  sync " +
+          " ".join(f"{row['sync_probability']:.2f}" for row in rows))
+    return {"edges": "4-cycle", "trials": 16,
+            "seconds": round(elapsed, 4), "points": rows}
+
+
+def main() -> int:
+    payload = {
+        "benchmark": "transient-noise (SDE) engine: serial vs batched",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "puf_reliability": bench_puf(),
+        "obc_noise_sweep": bench_obc(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,18 +66,31 @@ def evaluate_design(chips: int) -> None:
                        branch_positions=(4, 8, 12),
                        branch_lengths=(5, 8, 11))
     challenge = "101"
-    responses = [evaluate_puf(design, challenge, seed=chip, n_bits=32)
-                 for chip in range(chips)]
+    from repro.puf import evaluate_puf_population, puf_reliability
+
+    # One batched solve for the whole population (not one per chip).
+    responses = list(evaluate_puf_population(
+        design, challenge, seeds=range(chips), n_bits=32))
     print(f"uniqueness  = {uniqueness(responses):.3f}  (ideal 0.5)")
     print(f"uniformity  = "
           f"{np.mean([uniformity(r) for r in responses]):.3f}"
           "  (ideal 0.5)")
 
-    rng = np.random.default_rng(99)
-    noisy = [evaluate_puf(design, challenge, seed=0, n_bits=32,
-                          noise_sigma=2e-3, rng=rng) for _ in range(5)]
-    print(f"reliability = {reliability(responses[0], noisy):.3f}"
-          "  (ideal 1.0, with 2e-3 V measurement noise)")
+    # Reliability from transient noise: the chip's *dynamics* are
+    # perturbed (batched SDE trials), not just the sampled voltages.
+    noisy_design = PufDesign(spec=design.spec,
+                             branch_positions=design.branch_positions,
+                             branch_lengths=design.branch_lengths,
+                             noise=1e-8)
+    report = puf_reliability(noisy_design, challenge, seeds=[0],
+                             trials=5, n_bits=32)
+    print(f"reliability = {report.mean:.3f}"
+          "  (ideal 1.0, transient thermal noise, 5 trials)")
+
+    legacy = puf_reliability(design, challenge, seeds=[0], trials=5,
+                             n_bits=32, mode="readout",
+                             readout_sigma=2e-3)
+    print(f"  (legacy readout-noise model: {legacy.mean:.3f})")
 
     control = PufDesign(spec=design.spec,
                         branch_positions=design.branch_positions,

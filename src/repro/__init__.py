@@ -50,6 +50,7 @@ from repro.core import (
     LambdaType,
     MatchClause,
     Mismatch,
+    Noise,
     Node,
     NodeType,
     OdeSystem,
@@ -82,7 +83,10 @@ from repro.errors import (
     ValidationError,
 )
 from repro.framework import RunResult, run
-from repro.sim import BatchTrajectory, EnsembleResult, run_ensemble
+from repro.sim import (BatchTrajectory, EnsembleResult,
+                       NoisyEnsembleResult, run_ensemble,
+                       run_noisy_ensemble, simulate_sde,
+                       solve_sde)
 
 __version__ = "1.0.0"
 
@@ -101,6 +105,7 @@ __all__ = [
     "LambdaType",
     "MatchClause",
     "Mismatch",
+    "Noise",
     "Node",
     "NodeType",
     "OdeSystem",
@@ -134,5 +139,9 @@ __all__ = [
     "BatchTrajectory",
     "EnsembleResult",
     "run_ensemble",
+    "run_noisy_ensemble",
+    "simulate_sde",
+    "solve_sde",
+    "NoisyEnsembleResult",
     "__version__",
 ]

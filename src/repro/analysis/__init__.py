@@ -11,9 +11,13 @@
   readout;
 * :mod:`repro.analysis.sensitivity` — parameter sweeps and tornado
   rankings (the quantitative "where to spend fidelity effort" loop of
-  the paper's design flow).
+  the paper's design flow);
+* :mod:`repro.analysis.noise` — intra-chip transient-noise metrics
+  (trial spread, SNR, bit-error rate) over noisy ensembles.
 """
 
+from repro.analysis.noise import (bit_error_rate, noise_snr,
+                                  trial_matrix, trial_spread)
 from repro.analysis.phase import fold_phase, phase_distance
 from repro.analysis.sensitivity import (Sensitivity, SweepPoint,
                                         SweepResult, format_tornado,
@@ -28,10 +32,14 @@ __all__ = [
     "Sensitivity",
     "SweepPoint",
     "SweepResult",
+    "bit_error_rate",
     "energy_capture",
     "ensemble_matrix",
     "ensemble_spread",
     "fold_phase",
+    "noise_snr",
+    "trial_matrix",
+    "trial_spread",
     "format_tornado",
     "is_settled",
     "observation_window",

@@ -9,12 +9,15 @@ Implements the §4.6 user workflow without writing Python::
         --t-end 8e-8 --node OUT_V --csv out.csv
     python -m repro ensemble program.ark --func br-func --arg br=1 \
         --t-end 8e-8 --seeds 64 --node OUT_V --csv spread.csv
+    python -m repro noise program.ark --func noisy-cell \
+        --t-end 5.0 --seeds 4 --trials 16 --node x --csv noise.csv
     python -m repro dot program.ark --func br-func --arg br=1
 
 Paradigm languages ship with the package, so an ``.ark`` file may use
-``tln``/``gmc-tln``/``sw-tln``/``cnn``/``hw-cnn``/``obc``/``ofs-obc``/
-``intercon-obc``/``color-obc``/``gpac``/``hw-gpac``/``fhn``/``hw-fhn``
-without redefining them (pass ``--no-prelude`` to disable).
+``tln``/``gmc-tln``/``sw-tln``/``ns-tln``/``cnn``/``hw-cnn``/``obc``/
+``ofs-obc``/``intercon-obc``/``color-obc``/``ns-obc``/``gpac``/
+``hw-gpac``/``fhn``/``hw-fhn`` without redefining them (pass
+``--no-prelude`` to disable).
 """
 
 from __future__ import annotations
@@ -43,8 +46,9 @@ def _prelude_languages():
     from repro.paradigms.obc import (color_obc_language,
                                      intercon_obc_language,
                                      obc_language, ofs_obc_language)
-    from repro.paradigms.tln import (gmc_tln_language, sw_tln_language,
-                                     tln_language)
+    from repro.paradigms.obc.noisy import ns_obc_language
+    from repro.paradigms.tln import (gmc_tln_language, ns_tln_language,
+                                     sw_tln_language, tln_language)
     return {
         "tln": tln_language(),
         "gmc-tln": gmc_tln_language(),
@@ -57,6 +61,8 @@ def _prelude_languages():
         "gpac": gpac_language(),
         "hw-gpac": hw_gpac_language(),
         "sw-tln": sw_tln_language(),
+        "ns-tln": ns_tln_language(),
+        "ns-obc": ns_obc_language(),
         "fhn": fhn_language(),
         "hw-fhn": hw_fhn_language(),
     }
@@ -242,6 +248,93 @@ def cmd_ensemble(args) -> int:
     return 0
 
 
+def cmd_noise(args) -> int:
+    """Transient-noise sweep: every (mismatch seed, noise trial) pair
+    integrated through the batched SDE engine."""
+    import time
+
+    from repro.sim import SDE_METHODS, run_noisy_ensemble
+
+    if args.seeds < 1:
+        raise ArkError(f"--seeds must be >= 1, got {args.seeds}")
+    if args.trials < 1:
+        raise ArkError(f"--trials must be >= 1, got {args.trials}")
+    if args.method not in SDE_METHODS:
+        raise ArkError(f"unknown SDE method {args.method!r}; expected "
+                       f"one of {', '.join(SDE_METHODS)}")
+    _, functions = _load(args)
+    function = _pick_function(functions, args.func)
+    arguments = {}
+    for pair in args.arg or []:
+        if "=" not in pair:
+            raise ArkError(f"--arg expects name=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        arguments[key] = _parse_value(value)
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+
+    first = function.invoke(arguments, seed=args.seed_base)
+    validate(first, backend=args.backend).raise_if_invalid()
+
+    from repro.core.compiler import compile_graph
+    from repro.sim import compile_batch
+
+    # Judge on the *folded* batch: a noise() term whose amplitude is 0
+    # for this invocation compiles away entirely. The compiled system
+    # is reused by the ensemble (the factory hands it back), so chip 0
+    # is compiled exactly once.
+    first_system = compile_graph(first)
+    if not compile_batch([first_system]).has_noise:
+        raise ArkError(
+            f"function {function.name} compiles to a deterministic "
+            "system (no live noise() terms or ns annotations); use "
+            "`repro ensemble` instead")
+
+    def factory(seed):
+        return first_system if seed == args.seed_base else \
+            function.invoke(arguments, seed=seed)
+
+    start = time.perf_counter()
+    result = run_noisy_ensemble(factory, seeds, (0.0, args.t_end),
+                                trials=args.trials,
+                                n_points=args.points,
+                                method=args.method,
+                                max_step=args.max_step)
+    elapsed = time.perf_counter() - start
+
+    nodes = args.node or [
+        node.name for node in first.nodes if node.type.order >= 1]
+    grid = result.batches[0].t
+    header = ["t"]
+    columns = [grid]
+    stacked = {node: np.concatenate([batch.state(node)
+                                     for batch in result.batches])
+               for node in nodes}
+    for node in nodes:
+        matrix = stacked[node]
+        header += [f"{node}_mean", f"{node}_std", f"{node}_p05",
+                   f"{node}_p95"]
+        columns += [matrix.mean(axis=0), matrix.std(axis=0),
+                    np.percentile(matrix, 5.0, axis=0),
+                    np.percentile(matrix, 95.0, axis=0)]
+    matrix = np.column_stack(columns)
+    total = args.seeds * args.trials
+    print(f"{args.seeds} chip(s) x {args.trials} trial(s) = {total} "
+          f"noisy runs in {elapsed:.2f}s "
+          f"({len(result.batches)} SDE batch(es), method "
+          f"{args.method})")
+    if args.csv:
+        np.savetxt(args.csv, matrix, delimiter=",",
+                   header=",".join(header), comments="")
+        print(f"wrote {matrix.shape[0]} samples x "
+              f"{matrix.shape[1]} columns to {args.csv}")
+    else:
+        print(",".join(header))
+        step = max(1, len(grid) // args.print_rows)
+        for row in matrix[::step]:
+            print(",".join(f"{value:.6g}" for value in row))
+    return 0
+
+
 def cmd_dot(args) -> int:
     graph = _invoke(args)
     print(to_dot(graph, include_attrs=args.attrs))
@@ -348,6 +441,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_ens.add_argument("--print-rows", type=int, default=20,
                        help="rows to print when not writing CSV")
     p_ens.set_defaults(handler=cmd_ensemble)
+
+    p_noise = sub.add_parser(
+        "noise",
+        help="transient-noise sweep (batched SDE engine): chips x "
+        "trials")
+    common(p_noise)
+    p_noise.add_argument("--t-end", type=float, required=True)
+    p_noise.add_argument("--seeds", type=int, default=4,
+                         help="number of fabricated instances (chips)")
+    p_noise.add_argument("--seed-base", type=int, default=0,
+                         help="first mismatch seed (default 0)")
+    p_noise.add_argument("--trials", type=int, default=8,
+                         help="noise realizations per chip")
+    p_noise.add_argument("--points", type=int, default=200)
+    p_noise.add_argument("--method", default="heun",
+                         help="SDE method: heun (default) or em")
+    p_noise.add_argument("--max-step", type=float, default=None,
+                         help="fixed-step cap (default span/64)")
+    p_noise.add_argument("--backend", default="milp",
+                         choices=("milp", "flow"))
+    p_noise.add_argument("--node", action="append",
+                         help="node to aggregate (repeatable; default: "
+                         "all dynamic nodes)")
+    p_noise.add_argument("--csv", help="write noise statistics "
+                         "(mean/std/p05/p95 per node) to a CSV file")
+    p_noise.add_argument("--print-rows", type=int, default=20,
+                         help="rows to print when not writing CSV")
+    p_noise.set_defaults(handler=cmd_noise)
 
     p_dot = sub.add_parser("dot", help="emit Graphviz DOT")
     common(p_dot)

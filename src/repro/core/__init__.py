@@ -10,6 +10,7 @@ from repro.core.datatypes import (
     IntType,
     LambdaType,
     Mismatch,
+    Noise,
     RealType,
     integer,
     lambd,
@@ -25,7 +26,7 @@ from repro.core.builder import GraphBuilder
 from repro.core.function import ArkFunction
 from repro.core.validator import ValidationReport, validate
 from repro.core.compiler import compile_graph
-from repro.core.odesystem import OdeSystem
+from repro.core.odesystem import DiffusionTerm, OdeSystem
 from repro.core.dilation import TimeDilatedSystem, dilate
 from repro.core.simulator import Trajectory, simulate, simulate_ensemble
 
@@ -34,6 +35,7 @@ __all__ = [
     "IntType",
     "LambdaType",
     "Mismatch",
+    "Noise",
     "RealType",
     "integer",
     "lambd",
@@ -56,6 +58,7 @@ __all__ = [
     "ValidationReport",
     "validate",
     "compile_graph",
+    "DiffusionTerm",
     "OdeSystem",
     "TimeDilatedSystem",
     "dilate",

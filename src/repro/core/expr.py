@@ -33,6 +33,18 @@ def _sgn(x: float) -> float:
     return 0.0
 
 
+def _noise_mean(amplitude):
+    """Deterministic reading of a ``noise(amplitude)`` term.
+
+    ``noise(a)`` denotes zero-mean white noise of amplitude ``a``; the
+    compiler moves such terms into the diffusion part of the SDE, so a
+    deterministic evaluation context only ever sees the drift — whose
+    contribution is the mean, 0. Multiplying keeps array shapes intact
+    when the batched backends evaluate a stray noise call elementwise.
+    """
+    return 0.0 * amplitude
+
+
 #: Functions available in every Ark expression. Languages may register more
 #: (e.g. the CNN language registers ``sat`` and ``sat_ni``).
 BUILTIN_FUNCTIONS: dict[str, object] = {
@@ -49,6 +61,7 @@ BUILTIN_FUNCTIONS: dict[str, object] = {
     "min": min,
     "max": max,
     "pow": math.pow,
+    "noise": _noise_mean,
 }
 
 _NUMERIC_BINOPS = {

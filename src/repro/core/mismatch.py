@@ -15,18 +15,10 @@ different fabricated chips.
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
 from repro.core.datatypes import IntType, Mismatch, RealType
-
-
-def _stream(seed: int, element: str, attr: str) -> np.random.Generator:
-    digest = hashlib.sha256(
-        f"{seed}|{element}|{attr}".encode()).digest()
-    return np.random.Generator(
-        np.random.PCG64(int.from_bytes(digest[:8], "little")))
+from repro.core.noise import stream as _stream
 
 
 class MismatchSampler:

@@ -1,0 +1,35 @@
+"""Deterministic transient-noise streams.
+
+The transient-noise story mirrors the §4.3 mismatch story: sampling must
+be *reproducible*. Where :mod:`repro.core.mismatch` derives one random
+stream per ``(seed, element, attribute)`` triple, the SDE engine derives
+one Wiener-increment stream per ``(seed, element, path)`` triple using
+the same stable-hash scheme — a SHA-256 digest of the triple seeds a
+PCG64 generator. Two runs with the same noise seed see identical noise
+realizations regardless of construction order or which other elements
+exist; varying the seed models independent noise trials, exactly as
+varying the mismatch seed models independent fabricated chips.
+
+``seed`` may be an int (a plain trial) or any printable token — the
+noisy-ensemble driver uses ``"<chip_seed>:<trial>"`` so every
+(fabricated chip, noise trial) pair owns an independent realization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def stream_seed(seed, element: str, path: str) -> int:
+    """Stable 64-bit PRNG seed for a ``(seed, element, path)`` triple."""
+    digest = hashlib.sha256(
+        f"{seed}|{element}|{path}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def stream(seed, element: str, path: str) -> np.random.Generator:
+    """The independent random stream owned by the triple."""
+    return np.random.Generator(
+        np.random.PCG64(stream_seed(seed, element, path)))

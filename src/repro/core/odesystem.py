@@ -65,6 +65,35 @@ class AlgebraicSpec:
     reduction: Reduction
 
 
+@dataclass(frozen=True)
+class DiffusionTerm:
+    """One diffusion term of a stochastic system.
+
+    The compiled dynamics read ``d y_i = f_i(t, y) dt + sum_k b_k(t, y)
+    dW_k`` — every :class:`DiffusionTerm` is one ``b_k`` contribution:
+
+    :param state_index: the state the Wiener increment perturbs.
+    :param amplitude: the ``b_k(t, y)`` expression (attributes still
+        symbolic, so batches across mismatch seeds share structure).
+    :param element: graph element that physically owns the noise source
+        (the edge whose production rule wrote ``noise(...)``, or the
+        node/edge carrying a noise-annotated attribute).
+    :param path: stable label distinguishing multiple sources on one
+        element. Terms sharing ``(element, path)`` are driven by the
+        *same* Wiener process — a fluctuating parameter referenced by
+        several production terms perturbs them coherently.
+    """
+
+    state_index: int
+    amplitude: E.Expr
+    element: str
+    path: str
+
+    def stream_key(self) -> tuple[str, str]:
+        """The Wiener-process identity of this term."""
+        return (self.element, self.path)
+
+
 class _RhsContext(E.EvalContext):
     """Interpreter evaluation context bound to (t, y) plus the computed
     algebraic node values."""
@@ -188,7 +217,8 @@ class OdeSystem:
                  algebraic: list[AlgebraicSpec],
                  attr_values: dict[tuple, object],
                  functions: dict[str, object],
-                 y0: list[float]):
+                 y0: list[float],
+                 diffusion: tuple[DiffusionTerm, ...] = ()):
         self.graph = graph
         self.language = language
         self.states = states
@@ -198,6 +228,7 @@ class OdeSystem:
         self.attr_values = attr_values
         self.functions = functions
         self.y0 = np.asarray(y0, dtype=float)
+        self.diffusion = tuple(diffusion)
         self._compiled_rhs = None
 
     # ------------------------------------------------------------------
@@ -217,6 +248,21 @@ class OdeSystem:
         except KeyError:
             raise CompileError(
                 f"no state for node {node} derivative {deriv}") from None
+
+    @property
+    def has_noise(self) -> bool:
+        """True when the compiled system carries diffusion terms — i.e.
+        it is a stochastic system and :func:`repro.sim.solve_sde` (not a
+        deterministic solver) realizes its noise."""
+        return bool(self.diffusion)
+
+    def wiener_paths(self) -> list[tuple[str, str]]:
+        """Distinct ``(element, path)`` Wiener-process identities, in
+        first-appearance order. Several diffusion terms may share one."""
+        seen: dict[tuple[str, str], None] = {}
+        for term in self.diffusion:
+            seen.setdefault(term.stream_key())
+        return list(seen)
 
     def structural_signature(self) -> tuple:
         """A hashable fingerprint of everything about the system *except*
@@ -246,8 +292,13 @@ class OdeSystem:
         function_keys = tuple(
             (name, getattr(fn, "_ark_vector_key", None) or id(fn))
             for name, fn in sorted(self.functions.items()))
+        diffusion_keys = tuple(
+            (term.state_index, str(term.amplitude), term.element,
+             term.path)
+            for term in self.diffusion)
         return (tuple(self.state_labels()), spec_keys, algebraic_keys,
-                tuple(sorted(self.attr_values)), function_keys)
+                tuple(sorted(self.attr_values)), function_keys,
+                diffusion_keys)
 
     def equations(self) -> list[str]:
         """Human-readable rendering of the compiled system, e.g. for
@@ -268,6 +319,10 @@ class OdeSystem:
                 body = joiner.join(str(t) for t in spec.terms) or \
                     repr(spec.reduction.identity)
                 lines.append(f"d {state.label}/dt = {body}")
+        for term in self.diffusion:
+            label = self.states[term.state_index].label
+            lines.append(f"d {label} += {term.amplitude} "
+                         f"dW[{term.element}/{term.path}]")
         return lines
 
     # ------------------------------------------------------------------
@@ -385,6 +440,24 @@ class OdeSystem:
         if backend == "interpreter":
             return self.rhs_interpreted()
         raise CompileError(f"unknown RHS backend {backend!r}")
+
+    def diffusion_values(self, t: float, y: np.ndarray) -> np.ndarray:
+        """Interpret every diffusion amplitude at one state — the
+        reference (unvectorized) evaluation the batched SDE codegen is
+        cross-checked against. Returns one value per diffusion term."""
+        context = _RhsContext(self)
+        context.bind(t, np.asarray(y, dtype=float))
+        for spec in self.algebraic:
+            value = spec.reduction.identity
+            if spec.reduction is Reduction.SUM:
+                for term in spec.terms:
+                    value += term.evaluate(context)
+            else:
+                for term in spec.terms:
+                    value *= term.evaluate(context)
+            context.set_algebraic(spec.name, value)
+        return np.array([term.amplitude.evaluate(context)
+                         for term in self.diffusion], dtype=float)
 
     def algebraic_values(self, t: float, y: np.ndarray) -> dict[str, float]:
         """Evaluate the order-0 node values at a given state — used to

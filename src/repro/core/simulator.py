@@ -110,6 +110,11 @@ def simulate(target: OdeSystem | DynamicalGraph, t_span: tuple[float, float],
         brief input events (e.g. a short pulse into a quiescent line,
         where ``f(t0, y0) = 0`` makes scipy pick a huge first step)
         cannot be stepped over. Pass ``numpy.inf`` to lift the cap.
+
+    Stochastic systems (``system.has_noise``) integrate *drift-only*
+    here — the deterministic noise-free reference; use
+    :func:`repro.sim.solve_sde` / :func:`repro.simulate_sde` to
+    realize their transient noise.
     """
     system = (compile_graph(target)
               if isinstance(target, DynamicalGraph) else target)

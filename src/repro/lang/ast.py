@@ -15,8 +15,9 @@ from repro.core import expr as E
 
 @dataclass(frozen=True)
 class SigTAst:
-    """A datatype annotation ``real[a,b] mm(s0,s1)`` / ``int[a,b]`` /
-    ``lambd(a0,...)`` with an optional ``const`` marker."""
+    """A datatype annotation ``real[a,b] mm(s0,s1) ns(sigma,kind)`` /
+    ``int[a,b]`` / ``lambd(a0,...)`` with an optional ``const``
+    marker."""
 
     kind: str  # "real" | "int" | "lambda"
     lo: float | None = None
@@ -24,6 +25,7 @@ class SigTAst:
     mm: tuple[float, float] | None = None
     arity: int = 0
     const: bool = False
+    ns: tuple[float, str] | None = None
 
 
 @dataclass(frozen=True)

@@ -25,9 +25,9 @@ from repro.lang.parser import parse
 
 def _lower_sig(sig: ast.SigTAst):
     if sig.kind == "real":
-        return real(sig.lo, sig.hi, mm=sig.mm)
+        return real(sig.lo, sig.hi, mm=sig.mm, ns=sig.ns)
     if sig.kind == "int":
-        return integer(int(sig.lo), int(sig.hi), mm=sig.mm)
+        return integer(int(sig.lo), int(sig.hi), mm=sig.mm, ns=sig.ns)
     if sig.kind == "lambda":
         return lambd(sig.arity)
     raise ParseError(f"unknown datatype kind {sig.kind!r}")

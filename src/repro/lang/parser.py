@@ -192,9 +192,21 @@ class ProgramParser:
                 s1 = self._number()
                 self.stream.expect("op", ")")
                 mm = (s0, s1)
+            ns = None
+            if self.stream.at("ident", "ns"):
+                # Transient-noise annotation ns(sigma[,kind]); the kind
+                # defaults to absolute amplitude.
+                self.stream.next()
+                self.stream.expect("op", "(")
+                sigma = self._number()
+                ns_kind = "abs"
+                if self.stream.accept("op", ","):
+                    ns_kind = self.stream.expect("ident").text
+                self.stream.expect("op", ")")
+                ns = (sigma, ns_kind)
             const = bool(self.stream.accept("ident", "const"))
             return ast.SigTAst("real" if kind == "real" else "int",
-                               lo=lo, hi=hi, mm=mm, const=const)
+                               lo=lo, hi=hi, mm=mm, const=const, ns=ns)
         if kind in ("lambd", "fn", "lambda"):
             self.stream.expect("op", "(")
             arity = 0

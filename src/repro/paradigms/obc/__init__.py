@@ -32,10 +32,15 @@ from repro.paradigms.obc.language import (C1, C2, OBC_SOURCE,
                                           obc_language)
 from repro.paradigms.obc.maxcut import (DEFAULT_T_END, MAXCUT_COUPLING,
                                         MaxcutResult, MaxcutSweep,
-                                        classify_phase,
+                                        NoisePoint, classify_phase,
                                         extract_partition,
                                         maxcut_experiment,
-                                        maxcut_network, solve_maxcut)
+                                        maxcut_network,
+                                        maxcut_noise_sweep,
+                                        solve_maxcut)
+from repro.paradigms.obc.noisy import (NS_OBC_SOURCE,
+                                       build_ns_obc_language,
+                                       ns_obc_language)
 from repro.paradigms.obc.ofs import (OFS_OBC_SOURCE,
                                      build_ofs_obc_language,
                                      ofs_obc_language)
@@ -59,12 +64,15 @@ __all__ = [
     "MAXCUT_COUPLING",
     "MaxcutResult",
     "MaxcutSweep",
+    "NS_OBC_SOURCE",
+    "NoisePoint",
     "Placement",
     "OBC_SOURCE",
     "OFS_OBC_SOURCE",
     "brute_force_maxcut",
     "build_color_obc_language",
     "build_intercon_obc_language",
+    "build_ns_obc_language",
     "build_obc_language",
     "build_ofs_obc_language",
     "classify_color",
@@ -78,6 +86,8 @@ __all__ = [
     "interconnect_cost",
     "maxcut_experiment",
     "maxcut_network",
+    "maxcut_noise_sweep",
+    "ns_obc_language",
     "obc_language",
     "ofs_obc_language",
     "place_greedy",

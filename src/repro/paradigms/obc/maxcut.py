@@ -44,7 +44,8 @@ def maxcut_network(edges: list[tuple[int, int]], n_vertices: int, *,
                    edge_type: str = "Cpl",
                    coupling: float = MAXCUT_COUPLING,
                    weights: list[float] | None = None,
-                   seed: int | None = None) -> DynamicalGraph:
+                   seed: int | None = None,
+                   noise_sigma: float = 0.0) -> DynamicalGraph:
     """Build the coupled-oscillator network for a max-cut instance.
 
     :param initial_phases: per-oscillator starting phases (defaults to
@@ -53,19 +54,31 @@ def maxcut_network(edges: list[tuple[int, int]], n_vertices: int, *,
         offset-afflicted one (requires the ofs-obc language and a seed).
     :param weights: optional positive edge weights (weighted Ising
         instances); coupling strength becomes ``coupling * weight``.
+    :param noise_sigma: per-oscillator phase-noise amplitude (rad·√s);
+        > 0 swaps the SHIL self edges for the ns-obc ``Cpln`` type and
+        makes the network a stochastic system (integrate with
+        :func:`repro.sim.solve_sde`).
     """
+    noisy = noise_sigma > 0.0
     if language is None:
-        language = (ofs_obc_language() if edge_type == "Cpl_ofs"
-                    else obc_language())
+        if noisy:
+            from repro.paradigms.obc.noisy import ns_obc_language
+            language = ns_obc_language()
+        else:
+            language = (ofs_obc_language() if edge_type == "Cpl_ofs"
+                        else obc_language())
     builder = GraphBuilder(language, "maxcut", seed=seed)
     phases = np.zeros(n_vertices) if initial_phases is None \
         else np.asarray(initial_phases, dtype=float)
+    self_type = "Cpln" if noisy else "Cpl"
     for vertex in range(n_vertices):
         name = f"Osc_{vertex}"
         builder.node(name, "Osc")
         builder.set_init(name, float(phases[vertex]))
-        builder.edge(name, name, f"Shil_{vertex}", "Cpl")
+        builder.edge(name, name, f"Shil_{vertex}", self_type)
         builder.set_attr(f"Shil_{vertex}", "k", 0.0)
+        if noisy:
+            builder.set_attr(f"Shil_{vertex}", "nsig", noise_sigma)
     for index, (i, j) in enumerate(edges):
         edge_name = f"Cpl_{index}"
         builder.edge(f"Osc_{i}", f"Osc_{j}", edge_name, edge_type)
@@ -221,3 +234,90 @@ def maxcut_experiment(graphs: list[list[tuple[int, int]]],
         for result in results:
             sweeps[result.d].record(result)
     return sweeps
+
+
+#: Fixed-step cap for the explicit SDE solvers on Kuramoto dynamics:
+#: the Jacobian reaches ~5e9 rad/s (C1*k*cos + 2*C2*cos), so explicit
+#: steps must stay below ~2/5e9.
+NOISE_MAX_STEP = 2.5e-10
+
+
+@dataclass
+class NoisePoint:
+    """Solution quality of the noisy solver at one noise amplitude."""
+
+    noise_sigma: float
+    trials: int = 0
+    synchronized: int = 0
+    solved: int = 0
+    cut_ratios: list[float] = field(default_factory=list)
+
+    @property
+    def sync_probability(self) -> float:
+        return self.synchronized / self.trials if self.trials else 0.0
+
+    @property
+    def solved_probability(self) -> float:
+        return self.solved / self.trials if self.trials else 0.0
+
+    @property
+    def mean_cut_ratio(self) -> float:
+        """Mean achieved-cut / optimal-cut over synchronized trials."""
+        if not self.cut_ratios:
+            return 0.0
+        return float(np.mean(self.cut_ratios))
+
+
+def maxcut_noise_sweep(edges: list[tuple[int, int]], n_vertices: int,
+                       noise_sigmas, *, trials: int = 16,
+                       d: float = 0.1 * math.pi,
+                       t_end: float = DEFAULT_T_END,
+                       n_points: int = 60,
+                       max_step: float = NOISE_MAX_STEP,
+                       method: str = "heun",
+                       seed: int = 0) -> list[NoisePoint]:
+    """Solution quality vs. phase-noise amplitude (batched SDE sweep).
+
+    For each amplitude, ``trials`` independent runs — each with its own
+    random initial phases (shared across amplitudes, so the comparison
+    isolates the noise) and its own Wiener realization — are integrated
+    in one vectorized SDE batch. The readout follows Table 1: a trial
+    synchronizes when every phase bins within ``d`` of {0, pi} and is
+    solved when its cut is maximal.
+    """
+    from repro.sim import compile_batch, solve_sde
+    from repro.core.compiler import compile_graph
+
+    rng = np.random.default_rng(seed)
+    initials = rng.uniform(0.0, 2.0 * math.pi, (trials, n_vertices))
+    optimal = brute_force_maxcut(edges, n_vertices)
+    points: list[NoisePoint] = []
+    for sigma in noise_sigmas:
+        systems = [
+            compile_graph(maxcut_network(
+                edges, n_vertices, initial_phases=initials[trial],
+                noise_sigma=sigma))
+            for trial in range(trials)]
+        if sigma > 0.0:
+            batch = solve_sde(
+                compile_batch(systems), (0.0, t_end),
+                noise_seeds=[f"{seed}:{k}" for k in range(trials)],
+                n_points=n_points, method=method, max_step=max_step)
+        else:
+            from repro.sim import solve_batch
+            batch = solve_batch(compile_batch(systems), (0.0, t_end),
+                                n_points=n_points, method="rk4",
+                                max_step=max_step)
+        point = NoisePoint(noise_sigma=float(sigma))
+        for trial in range(trials):
+            result = MaxcutResult(edges=edges, n_vertices=n_vertices,
+                                  d=d, optimal_cut=optimal)
+            result.partition = extract_partition(
+                batch.instance(trial), n_vertices, d)
+            point.trials += 1
+            point.synchronized += int(result.synchronized)
+            point.solved += int(result.solved)
+            if result.synchronized and optimal > 0:
+                point.cut_ratios.append(result.cut / optimal)
+        points.append(point)
+    return points

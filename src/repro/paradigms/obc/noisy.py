@@ -1,0 +1,45 @@
+"""The ns-obc language: phase noise in oscillator-based computing.
+
+Coupled-oscillator Ising machines compute through synchronization, and
+synchronization is exactly what thermal phase noise attacks — the
+solution-quality-vs-noise-amplitude tradeoff is the OBC counterpart of
+PUF reliability. ``Cpln`` inherits the coupling edge type and adds a
+``nsig`` phase-noise amplitude (rad·√s); its self rule restates the
+second-harmonic injection-locking term and injects white phase noise
+into the oscillator, one independent Wiener path per oscillator.
+
+``ns-obc`` inherits ofs-obc, so noise composes with the §7.2 offset
+nonideality in one language chain (a noisy, offset-afflicted
+accelerator is ``Cpl_ofs`` couplings + ``Cpln`` self edges).
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.core.language import Language
+from repro.lang import parse_program
+from repro.paradigms.obc.ofs import ofs_obc_language
+
+NS_OBC_SOURCE = """
+lang ns-obc inherits ofs-obc {
+    etyp Cpln inherit Cpl {attr nsig=real[0,inf] const};
+
+    // Noisy SHIL self edge: binarization term plus white phase noise.
+    prod(e:Cpln, s:Osc->s:Osc) s <= -1e9*sin(2*var(s)) + noise(e.nsig);
+}
+"""
+
+
+def build_ns_obc_language(parent: Language | None = None) -> Language:
+    """Construct a fresh ns-obc instance on top of ``parent``."""
+    parent = parent or ofs_obc_language()
+    program = parse_program(NS_OBC_SOURCE,
+                            languages={"ofs-obc": parent})
+    return program.languages["ns-obc"]
+
+
+@cache
+def ns_obc_language() -> Language:
+    """The shared ns-obc language instance."""
+    return build_ns_obc_language(ofs_obc_language())

@@ -22,6 +22,9 @@ from repro.paradigms.tln.gmc import (GMC_TLN_SOURCE,
                                      gmc_tln_language)
 from repro.paradigms.tln.language import (TLN_SOURCE, build_tln_language,
                                           tln_language)
+from repro.paradigms.tln.noisy import (NS_TLN_SOURCE,
+                                       build_ns_tln_language,
+                                       ns_tln_language)
 from repro.paradigms.tln.switches import (SW_TLN_SOURCE,
                                           build_sw_tln_language,
                                           sw_tln_language)
@@ -31,15 +34,18 @@ from repro.paradigms.tln.waveforms import pulse, sine_burst, step, \
 __all__ = [
     "DEFAULT_SEGMENTS",
     "GMC_TLN_SOURCE",
+    "NS_TLN_SOURCE",
     "SW_TLN_SOURCE",
     "TLN_SOURCE",
     "TLineSpec",
     "branched_tline",
     "branched_tline_function",
     "build_gmc_tln_language",
+    "build_ns_tln_language",
     "build_sw_tln_language",
     "build_tln_language",
     "gmc_tln_language",
+    "ns_tln_language",
     "linear_tline",
     "mismatched_tline",
     "pulse",

@@ -96,22 +96,37 @@ def _pick_language(language: Language | None, node_variant: str,
 
 
 class _LineBuilder:
-    """Shared plumbing for the t-line topologies."""
+    """Shared plumbing for the t-line topologies.
+
+    ``self_edge_type``/``self_edge_attrs`` configure the damping self
+    edges every segment carries — the transient-noise stack swaps the
+    plain ``E`` for the noisy ``En`` (ns-tln) and writes its per-segment
+    ``nsig`` amplitude there.
+    """
 
     def __init__(self, language: Language, name: str, spec: TLineSpec,
                  v_type: str, i_type: str, e_type: str,
-                 seed: int | None):
+                 seed: int | None, self_edge_type: str = "E",
+                 self_edge_attrs: dict | None = None):
         self.builder = GraphBuilder(language, name, seed=seed)
         self.spec = spec
         self.v_type = v_type
         self.i_type = i_type
         self.e_type = e_type
+        self.self_edge_type = self_edge_type
+        self.self_edge_attrs = dict(self_edge_attrs or {})
         self._edge_count = 0
 
     def _next_edge(self) -> str:
         name = f"E_{self._edge_count}"
         self._edge_count += 1
         return name
+
+    def _add_self_edge(self, name: str):
+        edge_name = f"Es_{name}"
+        self.builder.edge(name, name, edge_name, self.self_edge_type)
+        for attr, value in self.self_edge_attrs.items():
+            self.builder.set_attr(edge_name, attr, value)
 
     def add_v(self, name: str, g: float | None = None):
         spec = self.spec
@@ -120,7 +135,7 @@ class _LineBuilder:
         self.builder.set_attr(name, "g",
                               spec.conductance if g is None else g)
         self.builder.set_init(name, 0.0)
-        self.builder.edge(name, name, f"Es_{name}", "E")
+        self._add_self_edge(name)
 
     def add_i(self, name: str):
         spec = self.spec
@@ -128,7 +143,7 @@ class _LineBuilder:
         self.builder.set_attr(name, "l", spec.inductance)
         self.builder.set_attr(name, "r", spec.resistance)
         self.builder.set_init(name, 0.0)
-        self.builder.edge(name, name, f"Es_{name}", "E")
+        self._add_self_edge(name)
 
     def connect(self, src: str, dst: str,
                 edge_type: str | None = None) -> str:
@@ -178,16 +193,29 @@ def linear_tline(spec: TLineSpec = TLineSpec(), *,
                  edge_variant: str = "ideal",
                  seed: int | None = None,
                  language: Language | None = None,
-                 waveform=None) -> DynamicalGraph:
+                 waveform=None,
+                 noise: float = 0.0) -> DynamicalGraph:
     """The linear t-line of Fig. 2(ii) (53 nodes at default size).
 
     Topology: ``InpI_0 -> IN_V -> I_0 -> V_0 -> ... -> I_{n-1} -> OUT_V``
     with matched termination at both ends.
+
+    :param noise: per-segment thermal-noise amplitude; > 0 swaps the
+        damping self edges for the ns-tln ``En`` type, turning the
+        compiled system into an SDE (integrate it with
+        :func:`repro.sim.solve_sde`).
     """
     v_type, i_type, e_type = _variant_types(node_variant, edge_variant)
+    self_edge_type, self_edge_attrs = "E", None
+    if noise > 0.0:
+        if language is None:
+            from repro.paradigms.tln.noisy import ns_tln_language
+            language = ns_tln_language()
+        self_edge_type, self_edge_attrs = "En", {"nsig": noise}
     language = _pick_language(language, node_variant, edge_variant)
     line = _LineBuilder(language, "linear-tline", spec, v_type, i_type,
-                        e_type, seed)
+                        e_type, seed, self_edge_type=self_edge_type,
+                        self_edge_attrs=self_edge_attrs)
     line.add_v("IN_V", g=0.0)
     line.add_v("OUT_V", g=spec.termination)
     line.add_source("IN_V", waveform)

@@ -19,21 +19,28 @@ from repro.puf.attack import (AttackResult, LogisticModel,
                               cross_validate, learning_curve,
                               run_attack, split_attack)
 from repro.puf.challenge import PufDesign
-from repro.puf.metrics import (bit_aliasing, hamming_fraction,
-                               reliability, uniformity, uniqueness)
-from repro.puf.response import evaluate_puf, random_challenges
+from repro.puf.metrics import (ReliabilityReport, bit_aliasing,
+                               hamming_fraction, reliability,
+                               uniformity, uniqueness)
+from repro.puf.response import (evaluate_puf, evaluate_puf_noisy,
+                                evaluate_puf_population,
+                                puf_reliability, random_challenges)
 
 __all__ = [
     "AttackResult",
     "LogisticModel",
     "PufDesign",
+    "ReliabilityReport",
     "bit_aliasing",
     "challenge_features",
     "collect_crps",
     "cross_validate",
     "evaluate_puf",
+    "evaluate_puf_noisy",
+    "evaluate_puf_population",
     "hamming_fraction",
     "learning_curve",
+    "puf_reliability",
     "random_challenges",
     "reliability",
     "run_attack",

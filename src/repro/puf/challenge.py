@@ -34,6 +34,11 @@ class PufDesign:
     :param switch_alpha: off-state feedthrough fraction of the branch
         switches (§4.3 ``off`` rules via the sw-tln language); 0 models
         ideal isolation, 1 a switch with no isolation at all.
+    :param noise: per-segment transient thermal-noise amplitude (the
+        ns-tln ``En.nsig``); > 0 makes every built chip a stochastic
+        system, so repeated noisy evaluations of *one* chip probe
+        intra-chip reliability with actual perturbed dynamics instead
+        of readout-stage noise.
     """
 
     spec: TLineSpec = TLineSpec()
@@ -41,6 +46,7 @@ class PufDesign:
     branch_lengths: tuple[int, ...] = (6, 10, 14)
     variant: str = "gm"
     switch_alpha: float = 0.0
+    noise: float = 0.0
 
     def __post_init__(self):
         if len(self.branch_positions) != len(self.branch_lengths):
@@ -50,6 +56,9 @@ class PufDesign:
             raise GraphError(
                 f"switch_alpha must be in [0, 1], got "
                 f"{self.switch_alpha}")
+        if self.noise < 0.0:
+            raise GraphError(
+                f"noise amplitude must be >= 0, got {self.noise}")
         for position in self.branch_positions:
             if not 0 <= position < self.spec.n_segments - 1:
                 raise GraphError(
@@ -76,13 +85,23 @@ class PufDesign:
         v_type, i_type, e_type = _variant_types(node_variant,
                                                 edge_variant)
         parasitic = self.switch_alpha > 0.0
-        if language is None and parasitic:
+        noisy = self.noise > 0.0
+        if language is None and noisy:
+            # ns-tln sits on top of sw-tln, so one chain covers the
+            # noise, parasitic, and mismatch stacks simultaneously.
+            from repro.paradigms.tln.noisy import ns_tln_language
+            language = ns_tln_language()
+        elif language is None and parasitic:
             from repro.paradigms.tln.switches import sw_tln_language
             language = sw_tln_language()
         language = _pick_language(language, node_variant, edge_variant)
         junction_type = "Esw" if parasitic else None
+        self_edge_type = "En" if noisy else "E"
+        self_edge_attrs = {"nsig": self.noise} if noisy else None
         line = _LineBuilder(language, "tln-puf", self.spec, v_type,
-                            i_type, e_type, seed)
+                            i_type, e_type, seed,
+                            self_edge_type=self_edge_type,
+                            self_edge_attrs=self_edge_attrs)
         line.add_v("IN_V", g=0.0)
         line.add_v("OUT_V", g=self.spec.termination)
         line.add_source("IN_V")

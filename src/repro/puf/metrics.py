@@ -15,6 +15,7 @@ design problem").
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from itertools import combinations
 
 import numpy as np
@@ -62,3 +63,44 @@ def bit_aliasing(responses: list[np.ndarray]) -> np.ndarray:
     """Per-bit mean across a chip population."""
     return np.stack([np.asarray(r, dtype=float)
                      for r in responses]).mean(axis=0)
+
+
+@dataclass
+class ReliabilityReport:
+    """Intra-chip reliability of a population, one number per chip.
+
+    Produced by :func:`repro.puf.puf_reliability`; ``mode`` records
+    whether the trials perturbed the dynamics (``"transient"``, the
+    physical model) or only the sampled voltages (``"readout"``, the
+    legacy model).
+    """
+
+    mode: str
+    seeds: list = field(default_factory=list)
+    trials: int = 0
+    #: Per-chip reliability (ideal 1.0), ordered like ``seeds``.
+    per_chip: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: Noise-free reference bits, (n_chips, n_bits).
+    references: np.ndarray | None = None
+    #: Noisy response bits, (n_chips, trials, n_bits).
+    trial_bits: np.ndarray | None = None
+
+    @property
+    def mean(self) -> float:
+        """Population mean reliability."""
+        return float(self.per_chip.mean()) if self.per_chip.size \
+            else 1.0
+
+    @property
+    def worst(self) -> float:
+        """Worst chip's reliability — the spec-sheet number."""
+        return float(self.per_chip.min()) if self.per_chip.size \
+            else 1.0
+
+    def bit_error_rate(self) -> float:
+        """Fraction of trial bits disagreeing with the reference."""
+        if self.references is None or self.trial_bits is None or \
+                not self.trial_bits.size:
+            return 0.0
+        flips = self.trial_bits != self.references[:, None, :]
+        return float(flips.mean())

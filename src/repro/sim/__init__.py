@@ -13,7 +13,13 @@ implementation runs them as vectorized batches (``--vectorize --bz
   :class:`~repro.sim.batch_solver.BatchTrajectory`;
 * :mod:`repro.sim.ensemble` — a seed-sweep driver that groups instances
   by structural signature, batches compatible groups, and falls back to
-  the serial scipy path (optionally multiprocessed) for the rest.
+  the serial scipy path (optionally multiprocessed) for the rest;
+* :mod:`repro.sim.sde_solver` — batched transient-noise (SDE)
+  integration: deterministic per-``(seed, element, path)`` Wiener
+  streams plus vectorized Euler–Maruyama / stochastic Heun solvers over
+  the same ``(n_instances, n_states)`` storage;
+* :mod:`repro.sim.noisy` — the (chip seed × noise trial) sweep driver
+  behind PUF transient-noise reliability and the OBC noise study.
 
 Quickstart::
 
@@ -35,15 +41,24 @@ from repro.sim.batch_codegen import (BatchRhs, compile_batch,
 from repro.sim.batch_solver import BatchTrajectory, solve_batch
 from repro.sim.ensemble import (BATCH_METHODS, EnsembleResult,
                                 run_ensemble)
+from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
+                                  simulate_sde, solve_sde)
+from repro.sim.noisy import NoisyEnsembleResult, run_noisy_ensemble
 
 __all__ = [
     "BATCH_METHODS",
     "BatchRhs",
     "BatchTrajectory",
     "EnsembleResult",
+    "NoisyEnsembleResult",
+    "SDE_METHODS",
+    "WienerSource",
     "compile_batch",
     "generate_batch_source",
     "group_by_signature",
     "run_ensemble",
+    "run_noisy_ensemble",
+    "simulate_sde",
     "solve_batch",
+    "solve_sde",
 ]

@@ -203,11 +203,37 @@ class _BatchCodegen(E.CodegenContext):
         return f"_np.logical_not({operand})"
 
 
+def surviving_diffusion(systems: list[OdeSystem]):
+    """The lead system's diffusion terms that survive shared-value
+    simplification, paired with their optimized amplitude expressions.
+
+    An amplitude that folds to the constant 0 for every instance (e.g.
+    a noise annotation with the shared sigma attribute set to 0) drops
+    out of the emitted diffusion function entirely — zero-noise batches
+    compile to plain deterministic systems."""
+    lookup = _shared_lookup(systems)
+    survivors = []
+    for term in systems[0].diffusion:
+        optimized = optimize_terms((term.amplitude,), Reduction.SUM,
+                                   lookup)
+        if optimized:
+            survivors.append((term, optimized[0]))
+    return survivors
+
+
 def generate_batch_source(systems: list[OdeSystem],
-                          namespace: dict[str, object]) -> str:
-    """Emit the source of the batched RHS (``_rhs``) and the batched
-    algebraic-readout function (``_alg``) for a structurally compatible
-    batch. Both take ``y`` of shape ``(n_instances, n_states)``."""
+                          namespace: dict[str, object],
+                          survivors=None) -> str:
+    """Emit the source of the batched RHS (``_rhs``), the batched
+    algebraic-readout function (``_alg``), and — for stochastic systems
+    — the batched diffusion-amplitude function (``_dif``) for a
+    structurally compatible batch. All take ``y`` of shape
+    ``(n_instances, n_states)``; ``_dif`` fills ``out`` of shape
+    ``(n_instances, n_diffusion_terms)``.
+
+    ``survivors`` is a precomputed :func:`surviving_diffusion` result;
+    pass it when the caller also needs the diffusion layout (as
+    :class:`BatchRhs` does) so the shared-value pass runs once."""
     lead = systems[0]
     codegen = _BatchCodegen(systems, namespace)
     lookup = _shared_lookup(systems)
@@ -242,6 +268,17 @@ def generate_batch_source(systems: list[OdeSystem],
         f"{spec.name!r}: {codegen._alg_names[spec.name]}"
         for spec in lead.algebraic)
     lines.append("    return {%s}" % mapping)
+
+    if survivors is None:
+        survivors = surviving_diffusion(systems)
+    if survivors:
+        lines.append("")
+        lines.append("def _dif(t, y, out):")
+        lines.extend(algebraic_lines)
+        for column, (_term, amplitude) in enumerate(survivors):
+            body = E.to_python(amplitude, codegen)
+            lines.append(f"    out[:, {column}] = {body}")
+        lines.append("    return out")
     return "\n".join(lines)
 
 
@@ -267,12 +304,33 @@ class BatchRhs:
                     "structural_signature()")
         self.systems = list(systems)
         namespace: dict[str, object] = {"_np": np}
-        self.source = generate_batch_source(self.systems, namespace)
+        survivors = surviving_diffusion(self.systems)
+        self.source = generate_batch_source(self.systems, namespace,
+                                            survivors=survivors)
         exec(compile(self.source,
                      f"<ark-batch:{systems[0].graph.name}>", "exec"),
              namespace)
         self._rhs_inner = namespace["_rhs"]
         self._alg_inner = namespace["_alg"]
+        self._dif_inner = namespace.get("_dif")
+        #: Diffusion terms that survived shared-value folding (see
+        #: :func:`surviving_diffusion`); column order of ``diffusion``.
+        self.diffusion_terms = [term for term, _amp in survivors]
+        #: Distinct Wiener-process identities, first-appearance order.
+        self.wiener_paths: list[tuple[str, str]] = []
+        path_index: dict[tuple[str, str], int] = {}
+        for term in self.diffusion_terms:
+            key = term.stream_key()
+            if key not in path_index:
+                path_index[key] = len(self.wiener_paths)
+                self.wiener_paths.append(key)
+        #: Per diffusion column: index of its Wiener path / target state.
+        self.term_path_index = np.array(
+            [path_index[term.stream_key()]
+             for term in self.diffusion_terms], dtype=int)
+        self.term_state_index = np.array(
+            [term.state_index for term in self.diffusion_terms],
+            dtype=int)
 
     @property
     def n_instances(self) -> int:
@@ -281,6 +339,23 @@ class BatchRhs:
     @property
     def n_states(self) -> int:
         return self.systems[0].n_states
+
+    @property
+    def has_noise(self) -> bool:
+        """True when the compiled batch carries live diffusion terms."""
+        return self._dif_inner is not None
+
+    def diffusion(self, t: float, y: np.ndarray,
+                  out: np.ndarray | None = None) -> np.ndarray:
+        """Evaluate every diffusion amplitude for the whole batch:
+        result shape ``(n_instances, len(diffusion_terms))``."""
+        if self._dif_inner is None:
+            raise SimulationError(
+                f"batch {self.systems[0].graph.name} has no diffusion "
+                "terms; integrate it with a deterministic solver")
+        if out is None:
+            out = np.empty((y.shape[0], len(self.diffusion_terms)))
+        return self._dif_inner(t, y, out)
 
     @property
     def y0(self) -> np.ndarray:

@@ -1,0 +1,144 @@
+"""Transient-noise ensemble driver: (chip seed × noise trial) sweeps.
+
+The paper's nonideality story has two independent axes — fabrication
+mismatch (one sample per *chip*, §4.3) and transient noise (one
+realization per *trial*). Reliability-style questions need both: how
+stable is one fabricated chip's behavior across repeated noisy runs?
+
+:func:`run_noisy_ensemble` runs the full outer product in as few batched
+SDE solves as possible: every chip is compiled once, structurally
+compatible chips share one :class:`~repro.sim.batch_codegen.BatchRhs`,
+and each chip's system is *replicated* ``trials`` times inside the batch
+(replication is free — the per-instance attribute arrays just repeat
+rows), so a 16-chip × 8-trial sweep is one 128-instance vectorized
+integration instead of 128 scipy solves. Noise seeds are
+``"<chip_seed>:<trial>"`` tokens, so every pair owns an independent —
+and reproducible — Wiener realization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler import compile_graph
+from repro.core.graph import DynamicalGraph
+from repro.core.odesystem import OdeSystem
+from repro.core.simulator import Trajectory
+from repro.errors import SimulationError
+
+from repro.sim.batch_codegen import compile_batch, group_by_signature
+from repro.sim.batch_solver import BatchTrajectory, solve_batch
+from repro.sim.sde_solver import solve_sde
+
+
+@dataclass
+class NoisyEnsembleResult:
+    """Outcome of a (chips × trials) transient-noise sweep.
+
+    ``batches`` hold the stacked noisy runs, chip-major and trial-minor
+    within each batch; ``references`` (optional) hold one deterministic
+    noise-free run per chip on the same output grid — the reference
+    trace reliability metrics compare against.
+    """
+
+    seeds: list = field(default_factory=list)
+    trials: int = 0
+    batches: list[BatchTrajectory] = field(default_factory=list)
+    #: Chip indices (into ``seeds``) of each batch, chip-major order.
+    groups: list[list[int]] = field(default_factory=list)
+    references: list[Trajectory] | None = None
+    #: chip index -> (batch number, first row of its trial block).
+    _rows: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.seeds)
+
+    def trajectory(self, chip_index: int, trial: int) -> Trajectory:
+        """One (chip, trial) run as a serial :class:`Trajectory`."""
+        if not 0 <= trial < self.trials:
+            raise IndexError(f"trial {trial} outside 0..{self.trials - 1}")
+        batch_number, row = self._rows[chip_index]
+        return self.batches[batch_number].instance(row + trial)
+
+    def trials_of(self, chip_index: int) -> list[Trajectory]:
+        """All noise trials of one chip."""
+        return [self.trajectory(chip_index, trial)
+                for trial in range(self.trials)]
+
+    def trial_rows(self, chip_index: int):
+        """The (batch, row slice) holding one chip's trials — for
+        vectorized readout without unpacking to serial trajectories."""
+        batch_number, row = self._rows[chip_index]
+        return self.batches[batch_number], slice(row, row + self.trials)
+
+    def reference(self, chip_index: int) -> Trajectory:
+        """The chip's deterministic (noise-free) run."""
+        if self.references is None:
+            raise SimulationError(
+                "run_noisy_ensemble(..., reference=False) kept no "
+                "deterministic references")
+        return self.references[chip_index]
+
+
+def _compile_target(target) -> OdeSystem:
+    if isinstance(target, DynamicalGraph):
+        return compile_graph(target)
+    if isinstance(target, OdeSystem):
+        return target
+    raise SimulationError(
+        f"noisy-ensemble factory must return a DynamicalGraph or "
+        f"OdeSystem, got {type(target).__name__}")
+
+
+def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
+                       n_points: int = 500, method: str = "heun",
+                       t_eval=None, max_step: float | None = None,
+                       reference: bool = True, trial_base: int = 0,
+                       block: int = 256) -> NoisyEnsembleResult:
+    """Simulate every (fabricated chip, noise trial) pair, batched.
+
+    :param factory: ``factory(seed) -> DynamicalGraph | OdeSystem`` —
+        the §4.3 chip factory; its graphs carry the noise sources
+        (``noise(...)`` terms or ``ns`` annotations).
+    :param seeds: mismatch seeds, one fabricated chip each.
+    :param trials: independent noise realizations per chip.
+    :param method: SDE method, ``heun`` (default) or ``em``.
+    :param reference: also integrate each chip once deterministically
+        (batched RK4 on the same grid) for reliability references.
+    :param trial_base: first trial number — shift to draw a fresh,
+        non-overlapping set of realizations for the same chips.
+    """
+    seeds = list(seeds)
+    if trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+    systems = [_compile_target(factory(seed)) for seed in seeds]
+    result = NoisyEnsembleResult(seeds=seeds, trials=trials)
+
+    for indices in group_by_signature(systems):
+        replicated: list[OdeSystem] = []
+        noise_seeds: list[str] = []
+        for row_base, index in enumerate(indices):
+            result._rows[index] = (len(result.batches),
+                                   row_base * trials)
+            replicated.extend([systems[index]] * trials)
+            noise_seeds.extend(
+                f"{seeds[index]}:{trial_base + trial}"
+                for trial in range(trials))
+        batch = solve_sde(compile_batch(replicated), t_span,
+                          noise_seeds=noise_seeds, n_points=n_points,
+                          method=method, t_eval=t_eval,
+                          max_step=max_step, block=block)
+        result.batches.append(batch)
+        result.groups.append(list(indices))
+
+    if reference:
+        result.references = [None] * len(seeds)
+        for indices in group_by_signature(systems):
+            reference_batch = solve_batch(
+                compile_batch([systems[i] for i in indices]), t_span,
+                n_points=n_points, method="rk4", t_eval=t_eval,
+                max_step=max_step)
+            for row, index in enumerate(indices):
+                result.references[index] = reference_batch.instance(row)
+    return result

@@ -1,0 +1,240 @@
+"""Vectorized batch integration of stochastic (SDE) ensembles.
+
+The drift side reuses the batched codegen of :mod:`repro.sim.
+batch_codegen`; this module adds the diffusion side: deterministic
+Wiener-increment streams (one per ``(noise seed, element, path)`` triple,
+hashed exactly like §4.3 mismatch streams — see :mod:`repro.core.noise`)
+and two fixed-step solvers operating on the whole ``(n_instances,
+n_states)`` state matrix at once:
+
+* ``em``   — Euler–Maruyama: strong order 0.5, cheapest per step;
+* ``heun`` — stochastic Heun (drift-and-diffusion predictor/corrector):
+  deterministic order 2, so its zero-noise limit tracks the RK solvers
+  closely; converges to the Stratonovich solution for state-dependent
+  noise. This is the default — the shipped paradigm dynamics
+  (transmission lines, Kuramoto networks) have oscillatory Jacobians
+  that marginally destabilize plain Euler–Maruyama.
+
+Both substep each output-grid interval to respect ``max_step`` and land
+exactly on the grid, and both return the same
+:class:`~repro.sim.batch_solver.BatchTrajectory` the deterministic batch
+solvers produce — ensemble statistics, percentile bands, and the spread
+helpers all work unchanged on noisy ensembles.
+
+Reproducibility contract: a Wiener stream is fully determined by
+``(noise_seed, element, path)`` and the step sequence; with an unchanged
+output grid and ``max_step``, rerunning a trial replays the identical
+noise realization. Varying the noise seed — *not* the mismatch seed —
+models independent thermal-noise trials of one fabricated chip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compiler import compile_graph
+from repro.core.graph import DynamicalGraph
+from repro.core.noise import stream as _wiener_stream
+from repro.core.odesystem import OdeSystem
+from repro.core.simulator import Trajectory
+from repro.errors import SimulationError
+
+from repro.sim.batch_codegen import BatchRhs, compile_batch
+from repro.sim.batch_solver import BatchTrajectory, _output_grid
+
+#: Methods handled by :func:`solve_sde`.
+SDE_METHODS = ("heun", "em")
+
+
+class WienerSource:
+    """Deterministic batched Wiener increments.
+
+    One PCG64 stream per ``(noise_seed, element, path)`` triple (the
+    :mod:`repro.core.noise` hashing scheme); increments are drawn in
+    blocks of ``block`` solver steps so memory stays bounded at
+    ``n_instances * n_paths * block`` doubles regardless of how long the
+    transient runs.
+
+    :param noise_seeds: one seed token per batch instance (ints or
+        strings; the noisy-ensemble driver passes ``"chip:trial"``).
+    :param paths: the batch's Wiener identities, ``(element, path)``.
+    """
+
+    def __init__(self, noise_seeds, paths, block: int = 256):
+        if block < 1:
+            raise SimulationError(f"block must be >= 1, got {block}")
+        self.noise_seeds = list(noise_seeds)
+        self.paths = list(paths)
+        self.block = int(block)
+        self._generators: list[list[np.random.Generator]] | None = None
+        self._buffer: np.ndarray | None = None
+        #: First step index held by the buffer / first step not yet
+        #: drawn from the generators. Each stream yields sample k at
+        #: position k, so the realization is block-size independent.
+        self._buffer_start = 0
+        self._drawn = 0
+
+    def _ensure_generators(self):
+        if self._generators is None:
+            self._generators = [
+                [_wiener_stream(seed, element, path)
+                 for element, path in self.paths]
+                for seed in self.noise_seeds]
+
+    def normals(self, step: int) -> np.ndarray:
+        """Standard-normal draws for solver step ``step``: shape
+        ``(n_instances, n_paths)``. Steps must be visited in
+        non-decreasing order (the fixed-step solvers do; rewinding past
+        the current block would desynchronize the streams)."""
+        if not self.paths:
+            return np.zeros((len(self.noise_seeds), 0))
+        if step >= self._drawn:
+            self._advance_to(step)
+        if step < self._buffer_start:
+            raise SimulationError(
+                "WienerSource steps must be consumed in order (asked "
+                f"for {step}, buffer starts at {self._buffer_start})")
+        # Copy: the buffer is reused across blocks, so a returned view
+        # would silently mutate when the next block is drawn.
+        return self._buffer[:, :, step - self._buffer_start].copy()
+
+    def _advance_to(self, step: int):
+        self._ensure_generators()
+        if self._buffer is None:
+            self._buffer = np.empty(
+                (len(self.noise_seeds), len(self.paths), self.block))
+        while self._drawn <= step:
+            for row, generators in enumerate(self._generators):
+                for col, generator in enumerate(generators):
+                    self._buffer[row, col, :] = \
+                        generator.standard_normal(self.block)
+            self._buffer_start = self._drawn
+            self._drawn += self.block
+
+
+def _substep_plan(grid: np.ndarray, max_step: float):
+    """Per-interval (h, n_sub) so steps respect ``max_step`` and land on
+    the grid; also the running global step offset for Wiener indexing."""
+    plan = []
+    offset = 0
+    for k in range(len(grid) - 1):
+        dt = grid[k + 1] - grid[k]
+        n_sub = max(1, int(np.ceil(dt / max_step)))
+        plan.append((grid[k], dt / n_sub, n_sub, offset))
+        offset += n_sub
+    return plan, offset
+
+
+def _scatter(contrib: np.ndarray, state_index: np.ndarray,
+             n_states: int) -> np.ndarray:
+    """Accumulate per-term contributions ``(n_instances, n_terms)`` onto
+    their target states: returns ``(n_instances, n_states)``. Multiple
+    terms may share a state (np.add.at handles the duplicates)."""
+    acc = np.zeros((n_states, contrib.shape[0]))
+    np.add.at(acc, state_index, contrib.T)
+    return acc.T
+
+
+def solve_sde(batch: BatchRhs | list[OdeSystem],
+              t_span: tuple[float, float], *, noise_seeds=None,
+              n_points: int = 500, method: str = "heun",
+              t_eval=None, max_step: float | None = None,
+              block: int = 256) -> BatchTrajectory:
+    """Integrate a structurally compatible stochastic ensemble.
+
+    :param batch: a compiled :class:`BatchRhs` or a list of systems.
+    :param noise_seeds: one noise-seed token per instance (defaults to
+        ``0..n-1``). Instances with equal tokens see identical noise.
+    :param method: ``heun`` (default) or ``em``.
+    :param max_step: substep cap; defaults to 1/64 of the span like the
+        deterministic solvers. SDE accuracy is step-limited (no
+        adaptivity), so dense output grids double as accuracy control.
+    :param block: Wiener pre-draw block length (memory/speed knob; the
+        realization is block-size independent).
+    """
+    if not isinstance(batch, BatchRhs):
+        batch = compile_batch(batch)
+    if method not in SDE_METHODS:
+        raise SimulationError(
+            f"unknown SDE method {method!r}; expected one of "
+            f"{', '.join(SDE_METHODS)}")
+    if noise_seeds is None:
+        noise_seeds = range(batch.n_instances)
+    noise_seeds = list(noise_seeds)
+    if len(noise_seeds) != batch.n_instances:
+        raise SimulationError(
+            f"{len(noise_seeds)} noise seeds for "
+            f"{batch.n_instances} instances")
+    grid = _output_grid(t_span, n_points, t_eval)
+    t0 = float(t_span[0])
+    if grid[0] < t0:
+        raise SimulationError(
+            f"t_eval starts at {grid[0]} before the span start {t0}")
+    preroll = grid[0] > t0
+    work_grid = np.concatenate(([t0], grid)) if preroll else grid
+    if max_step is None:
+        max_step = (work_grid[-1] - work_grid[0]) / 64.0
+    if not np.isfinite(max_step):
+        max_step = work_grid[-1] - work_grid[0]
+
+    noisy = batch.has_noise
+    wiener = WienerSource(noise_seeds, batch.wiener_paths if noisy
+                          else [], block=block)
+    plan, _total = _substep_plan(work_grid, max_step)
+    heun = method == "heun"
+    n_states = batch.n_states
+    state_index = batch.term_state_index
+    path_index = batch.term_path_index
+
+    y = batch.y0.astype(float)
+    out = np.empty((y.shape[0], n_states, len(work_grid)))
+    out[:, :, 0] = y
+    for k, (t_start, h, n_sub, offset) in enumerate(plan):
+        t = t_start
+        sqrt_h = np.sqrt(h)
+        for sub in range(n_sub):
+            if noisy:
+                xi = wiener.normals(offset + sub)
+                dw = sqrt_h * xi[:, path_index]
+                g0 = _scatter(batch.diffusion(t, y) * dw, state_index,
+                              n_states)
+            else:
+                g0 = 0.0
+            f0 = batch(t, y)
+            if heun:
+                y_pred = y + h * f0 + g0
+                f1 = batch(t + h, y_pred)
+                if noisy:
+                    g1 = _scatter(batch.diffusion(t + h, y_pred) * dw,
+                                  state_index, n_states)
+                else:
+                    g1 = 0.0
+                y = y + 0.5 * h * (f0 + f1) + 0.5 * (g0 + g1)
+            else:
+                y = y + h * f0 + g0
+            t += h
+        out[:, :, k + 1] = y
+    if preroll:
+        out = out[:, :, 1:]
+    if not np.all(np.isfinite(out)):
+        raise SimulationError(
+            f"sde {method} produced non-finite states for "
+            f"{batch.systems[0].graph.name}; reduce max_step (explicit "
+            "fixed-step stability) or the noise amplitude")
+    return BatchTrajectory(t=grid, y=out, systems=batch.systems)
+
+
+def simulate_sde(target: OdeSystem | DynamicalGraph,
+                 t_span: tuple[float, float], *, noise_seed=0,
+                 n_points: int = 500, method: str = "heun",
+                 t_eval=None, max_step: float | None = None,
+                 ) -> Trajectory:
+    """One noisy transient of a single system — the serial counterpart
+    of :func:`solve_sde` (and the baseline the batched path is
+    benchmarked against). ``noise_seed`` selects the realization."""
+    system = (compile_graph(target)
+              if isinstance(target, DynamicalGraph) else target)
+    batch = solve_sde(compile_batch([system]), t_span,
+                      noise_seeds=[noise_seed], n_points=n_points,
+                      method=method, t_eval=t_eval, max_step=max_step)
+    return batch.instance(0)

