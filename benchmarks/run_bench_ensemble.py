@@ -1,9 +1,15 @@
-"""Ensemble-engine benchmark runner: serial vs. batched wall time.
+"""Ensemble-engine benchmark runner: serial vs. batched wall time plus
+trajectory-cache cold/warm reruns.
 
 Writes ``BENCH_ensemble.json`` at the repository root so future PRs
 have a perf trajectory to regress against::
 
     PYTHONPATH=src python benchmarks/run_bench_ensemble.py
+
+``--smoke`` shrinks the instance counts/grids for a fast CI check and
+defaults its JSON to ``BENCH_ensemble_smoke.json`` so it never
+overwrites the recorded full-size numbers; ``--out`` redirects the
+JSON anywhere.
 
 Workloads (both are the paper's mismatch studies):
 
@@ -13,13 +19,16 @@ Workloads (both are the paper's mismatch studies):
   transmission line.
 
 Each workload runs once through the legacy serial path (one scipy
-solve per seed) and once through the batched engine (one vectorized
-RHS for the whole ensemble), and records the row-wise deviation between
-the two so the speedup is never bought with silent inaccuracy.
+solve per seed) and once through the batched engine (fused RHS +
+dense-output rkf45), records the row-wise deviation between the two so
+the speedup is never bought with silent inaccuracy, and then measures
+the trajectory cache: a cold cached run (integrate + store) against a
+warm rerun (key + load), asserting the rerun is bit-identical.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import platform
@@ -34,31 +43,33 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 import repro  # noqa: E402
 from conftest import mismatch_maxcut_factory  # noqa: E402
+from repro.core.compiler import compile_graph  # noqa: E402
 from repro.paradigms.tln import mismatched_tline  # noqa: E402
+from repro.sim import TrajectoryCache, run_ensemble  # noqa: E402
 
-RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+DEFAULT_RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
     "BENCH_ensemble.json"
-N_INSTANCES = 64
 
 
-WORKLOADS = {
-    "maxcut_64": {
-        "factory": mismatch_maxcut_factory(),
-        "t_span": (0.0, 100e-9),
-        "n_points": 60,
-        "probe_node": "Osc_0",
-    },
-    "tline_64": {
-        "factory": lambda seed: mismatched_tline("gm", seed=seed),
-        "t_span": (0.0, 8e-8),
-        "n_points": 300,
-        "probe_node": "OUT_V",
-    },
-}
+def workloads(n_instances: int, smoke: bool) -> dict:
+    return {
+        f"maxcut_{n_instances}": {
+            "factory": mismatch_maxcut_factory(),
+            "t_span": (0.0, 100e-9),
+            "n_points": 30 if smoke else 60,
+            "probe_node": "Osc_0",
+        },
+        f"tline_{n_instances}": {
+            "factory": lambda seed: mismatched_tline("gm", seed=seed),
+            "t_span": (0.0, 8e-8),
+            "n_points": 100 if smoke else 300,
+            "probe_node": "OUT_V",
+        },
+    }
 
 
-def run_workload(name: str, spec: dict) -> dict:
-    seeds = range(N_INSTANCES)
+def run_workload(name: str, spec: dict, n_instances: int) -> dict:
+    seeds = range(n_instances)
     runs = {}
     timings = {}
     for engine in ("serial", "batch"):
@@ -72,7 +83,7 @@ def run_workload(name: str, spec: dict) -> dict:
         float(np.max(np.abs(a[node] - b[node])))
         for a, b in zip(runs["serial"], runs["batch"]))
     result = {
-        "n_instances": N_INSTANCES,
+        "n_instances": n_instances,
         "t_span": list(spec["t_span"]),
         "n_points": spec["n_points"],
         "serial_seconds": round(timings["serial"], 4),
@@ -81,23 +92,91 @@ def run_workload(name: str, spec: dict) -> dict:
         "probe_node": node,
         "max_abs_deviation": deviation,
     }
+    result["cache"] = run_cache_scenario(spec, n_instances)
     print(f"[{name}] serial {result['serial_seconds']:.2f}s  "
           f"batched {result['batched_seconds']:.2f}s  "
           f"speedup {result['speedup']:.1f}x  "
-          f"max|dev| {deviation:.2e}")
+          f"max|dev| {deviation:.2e}  "
+          f"cache warm {result['cache']['warm_speedup']:.1f}x "
+          f"(bit-identical: {result['cache']['bit_identical']})")
     return result
 
 
-def main() -> int:
+def run_cache_scenario(spec: dict, n_instances: int) -> dict:
+    """The repeated-sweep pattern the cache targets: the ensemble is
+    fabricated and compiled once (e.g. at the top of a
+    readout-tolerance sweep), then re-integrated per sweep point. The
+    cold run pays the integration and stores it; the warm rerun must be
+    a pure key + load, bit-identical to the cold trajectories."""
+    systems = {seed: compile_graph(spec["factory"](seed))
+               for seed in range(n_instances)}
+    factory = systems.__getitem__
+    cache = TrajectoryCache()
+    start = time.perf_counter()
+    cold = run_ensemble(factory, range(n_instances), spec["t_span"],
+                        n_points=spec["n_points"], cache=cache)
+    cold_seconds = time.perf_counter() - start
+    # Best-of-3: the warm rerun is a ~10ms key+load, well inside the
+    # scheduler-jitter band of CI containers.
+    warm_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        warm = run_ensemble(factory, range(n_instances),
+                            spec["t_span"],
+                            n_points=spec["n_points"], cache=cache)
+        warm_seconds = min(warm_seconds,
+                           time.perf_counter() - start)
+    identical = (
+        len(cold.batches) == len(warm.batches)
+        and all(np.array_equal(a.y, b.y) and np.array_equal(a.t, b.t)
+                for a, b in zip(cold.batches, warm.batches)))
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / warm_seconds, 2),
+        "hits": cache.stats.hits,
+        "misses": cache.stats.misses,
+        "bit_identical": bool(identical),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny instance counts/grids for CI")
+    parser.add_argument("--out", default=None,
+                        help="result path (default: repo-root "
+                        "BENCH_ensemble.json)")
+    args = parser.parse_args(argv)
+    n_instances = 8 if args.smoke else 64
     payload = {
-        "benchmark": "ensemble-engine serial vs batched",
+        "benchmark": "ensemble-engine serial vs batched "
+                     "(fused RHS + dense output) + trajectory cache",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "workloads": {name: run_workload(name, spec)
-                      for name, spec in WORKLOADS.items()},
+        "smoke": args.smoke,
+        "workloads": {
+            name: run_workload(name, spec, n_instances)
+            for name, spec in workloads(n_instances,
+                                        args.smoke).items()},
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH}")
+    failures = [name for name, record in payload["workloads"].items()
+                if not record["cache"]["bit_identical"]]
+    if args.out:
+        result_path = pathlib.Path(args.out)
+    elif args.smoke:
+        # Never let a local smoke run overwrite the recorded
+        # full-size perf trajectory.
+        result_path = DEFAULT_RESULT_PATH.with_name(
+            "BENCH_ensemble_smoke.json")
+    else:
+        result_path = DEFAULT_RESULT_PATH
+    result_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {result_path}")
+    if failures:
+        print(f"cache rerun NOT bit-identical for: {failures}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

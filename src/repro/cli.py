@@ -205,10 +205,13 @@ def cmd_ensemble(args) -> int:
         return first if seed == args.seed_base else \
             function.invoke(arguments, seed=seed)
 
+    cache = args.cache_dir if args.cache_dir else None
     start = time.perf_counter()
     result = run_ensemble(factory, seeds, (0.0, args.t_end),
                           n_points=args.points, method=args.method,
-                          engine=args.engine)
+                          engine=args.engine, dense=args.dense,
+                          processes=args.processes, cache=cache,
+                          shard_min=args.shard_min)
     elapsed = time.perf_counter() - start
 
     from repro.analysis import ensemble_matrix
@@ -293,12 +296,14 @@ def cmd_noise(args) -> int:
         return first_system if seed == args.seed_base else \
             function.invoke(arguments, seed=seed)
 
+    cache = args.cache_dir if args.cache_dir else None
     start = time.perf_counter()
     result = run_noisy_ensemble(factory, seeds, (0.0, args.t_end),
                                 trials=args.trials,
                                 n_points=args.points,
                                 method=args.method,
-                                max_step=args.max_step)
+                                max_step=args.max_step,
+                                cache=cache)
     elapsed = time.perf_counter() - start
 
     nodes = args.node or [
@@ -433,6 +438,24 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("batch", "serial"))
     p_ens.add_argument("--backend", default="milp",
                        choices=("milp", "flow"))
+    p_ens.add_argument("--processes", type=int, default=None,
+                       help="process-pool width: shards batched groups "
+                       "of >= --shard-min instances into per-core "
+                       "sub-batches and fans out serial fallbacks")
+    from repro.sim.ensemble import DEFAULT_SHARD_MIN
+    p_ens.add_argument("--shard-min", type=int,
+                       default=DEFAULT_SHARD_MIN,
+                       help="smallest batched group worth sharding "
+                       f"across the pool (default {DEFAULT_SHARD_MIN})")
+    p_ens.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk trajectory "
+                       "cache; reruns with identical structure, "
+                       "attributes, grid, and options reuse stored "
+                       "integrations bit-for-bit")
+    p_ens.add_argument("--no-dense", dest="dense",
+                       action="store_false",
+                       help="disable rkf45 dense output (clip every "
+                       "step to the output grid, the legacy behavior)")
     p_ens.add_argument("--node", action="append",
                        help="node to aggregate (repeatable; default: "
                        "all dynamic nodes)")
@@ -461,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fixed-step cap (default span/64)")
     p_noise.add_argument("--backend", default="milp",
                          choices=("milp", "flow"))
+    p_noise.add_argument("--cache-dir", default=None,
+                         help="directory for the on-disk trajectory "
+                         "cache (keyed incl. noise seeds: identical "
+                         "sweeps replay stored realizations "
+                         "bit-for-bit)")
     p_noise.add_argument("--node", action="append",
                          help="node to aggregate (repeatable; default: "
                          "all dynamic nodes)")

@@ -230,6 +230,7 @@ class OdeSystem:
         self.y0 = np.asarray(y0, dtype=float)
         self.diffusion = tuple(diffusion)
         self._compiled_rhs = None
+        self._signature = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -279,7 +280,13 @@ class OdeSystem:
         Mismatch seeds of the same Ark function invocation always agree;
         different topologies or switch states never do (switched-off
         edges change the compiled production terms).
+
+        The signature is computed once and memoized: everything it
+        reads is fixed at compile time, and ensemble grouping plus
+        trajectory-cache keying call this per instance per run.
         """
+        if self._signature is not None:
+            return self._signature
         spec_keys = tuple(
             ("chain", spec.next_index) if isinstance(spec, ChainRhs)
             else ("terms", spec.reduction.value,
@@ -296,9 +303,11 @@ class OdeSystem:
             (term.state_index, str(term.amplitude), term.element,
              term.path)
             for term in self.diffusion)
-        return (tuple(self.state_labels()), spec_keys, algebraic_keys,
-                tuple(sorted(self.attr_values)), function_keys,
-                diffusion_keys)
+        self._signature = (tuple(self.state_labels()), spec_keys,
+                           algebraic_keys,
+                           tuple(sorted(self.attr_values)),
+                           function_keys, diffusion_keys)
+        return self._signature
 
     def equations(self) -> list[str]:
         """Human-readable rendering of the compiled system, e.g. for

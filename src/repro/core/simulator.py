@@ -22,6 +22,23 @@ from repro.core.odesystem import OdeSystem
 from repro.errors import SimulationError
 
 
+def check_sample_times(times: np.ndarray, t: np.ndarray):
+    """Reject interpolation requests outside ``[t[0], t[-1]]`` (allowing
+    a relative fuzz for floating-point grid endpoints). ``np.interp``
+    clamps out-of-range times to the endpoint values, so sampling past
+    the integrated span would silently extrapolate a constant."""
+    if times.size == 0:
+        return
+    tolerance = 1e-9 * max(abs(t[0]), abs(t[-1]), t[-1] - t[0])
+    low, high = np.min(times), np.max(times)
+    if low < t[0] - tolerance or high > t[-1] + tolerance:
+        raise SimulationError(
+            f"requested sample times span [{low:.6g}, {high:.6g}] but "
+            f"the trajectory covers [{t[0]:.6g}, {t[-1]:.6g}]; "
+            "interpolation outside the integrated range would silently "
+            "extrapolate a constant")
+
+
 @dataclass
 class Trajectory:
     """A simulated transient: times plus the full state matrix."""
@@ -47,8 +64,11 @@ class Trajectory:
         return self.y[:, -1].copy()
 
     def sample(self, node: str, times, deriv: int = 0) -> np.ndarray:
-        """Linear interpolation of a node's trajectory at given times."""
+        """Linear interpolation of a node's trajectory at given times.
+        Times outside ``[t[0], t[-1]]`` raise instead of silently
+        clamping to the endpoint values."""
         times = np.asarray(times, dtype=float)
+        check_sample_times(times, self.t)
         return np.interp(times, self.t, self.state(node, deriv))
 
     def window(self, node: str, t_start: float, t_end: float,
@@ -122,6 +142,11 @@ def simulate(target: OdeSystem | DynamicalGraph, t_span: tuple[float, float],
     if not t1 > t0:
         raise SimulationError(f"empty time span [{t0}, {t1}]")
     if t_eval is None:
+        if int(n_points) < 2:
+            raise SimulationError(
+                f"n_points must be >= 2 to span [{t0}, {t1}], got "
+                f"{n_points} (a degenerate grid would skip integration "
+                "and return only y0)")
         t_eval = np.linspace(t0, t1, int(n_points))
     options: dict = {}
     if max_step is None:

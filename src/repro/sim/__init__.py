@@ -39,6 +39,7 @@ from repro.sim.batch_codegen import (BatchRhs, compile_batch,
                                      generate_batch_source,
                                      group_by_signature)
 from repro.sim.batch_solver import BatchTrajectory, solve_batch
+from repro.sim.cache import CacheStats, TrajectoryCache, default_cache
 from repro.sim.ensemble import (BATCH_METHODS, EnsembleResult,
                                 run_ensemble)
 from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
@@ -49,11 +50,14 @@ __all__ = [
     "BATCH_METHODS",
     "BatchRhs",
     "BatchTrajectory",
+    "CacheStats",
     "EnsembleResult",
     "NoisyEnsembleResult",
     "SDE_METHODS",
+    "TrajectoryCache",
     "WienerSource",
     "compile_batch",
+    "default_cache",
     "generate_batch_source",
     "group_by_signature",
     "run_ensemble",

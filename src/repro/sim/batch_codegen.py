@@ -203,6 +203,146 @@ class _BatchCodegen(E.CodegenContext):
         return f"_np.logical_not({operand})"
 
 
+class _NotConst(Exception):
+    """Raised when an expression is not a compile-time per-instance
+    constant (it reads states, time, names, or non-numeric attributes)."""
+
+
+class _AttrEval(E.EvalContext):
+    """Evaluate a state/time-independent expression against one
+    instance's numeric attribute values; anything else aborts the
+    attempt (the term stays on the per-line emission path)."""
+
+    def __init__(self, system: OdeSystem):
+        self._system = system
+
+    def attr(self, kind, owner, attr):
+        value = self._system.attr_values.get((kind, owner, attr))
+        if not _is_number(value):
+            raise _NotConst()
+        return float(value)
+
+    def time(self):
+        raise _NotConst()
+
+    def var(self, node):
+        raise _NotConst()
+
+    def name(self, name):
+        raise _NotConst()
+
+    def function(self, name):
+        raise _NotConst()
+
+
+def _const_values(expr: E.Expr, systems: list[OdeSystem]):
+    """Evaluate a per-instance compile-time constant: a scalar when the
+    value is shared, else an ``(n_instances,)`` array. Raises
+    :class:`_NotConst` when the expression is not constant (or its
+    evaluation fails — such terms keep their runtime semantics)."""
+    out = np.empty(len(systems))
+    for row, system in enumerate(systems):
+        try:
+            out[row] = expr.evaluate(_AttrEval(system))
+        except _NotConst:
+            raise
+        except Exception:
+            raise _NotConst() from None
+    if not np.all(np.isfinite(out)):
+        raise _NotConst()
+    if np.all(out == out[0]):
+        return float(out[0])
+    return out
+
+
+#: Affine-decomposition piece tags (see :func:`_term_pieces`).
+_LIN, _CONST, _RES = 0, 1, 2
+
+
+def _scale_pieces(pieces: list, factor):
+    """Multiply every decomposition piece by a constant factor (a float
+    or an ``(n_instances,)`` array)."""
+    scaled = []
+    for piece in pieces:
+        if piece[0] == _LIN:
+            scaled.append((_LIN, piece[1], piece[2] * factor))
+        elif piece[0] == _CONST:
+            scaled.append((_CONST, piece[1] * factor))
+        else:
+            scale = factor if piece[2] is None else piece[2] * factor
+            scaled.append((_RES, piece[1], scale))
+    return scaled
+
+
+def _term_pieces(expr: E.Expr, systems: list[OdeSystem],
+                 state_index: dict) -> list:
+    """Decompose one SUM-reduction term into affine pieces.
+
+    Returns a list of:
+
+    * ``(_LIN, state, coeff)`` — ``coeff * y[:, state]`` with a
+      compile-time per-instance coefficient;
+    * ``(_CONST, value)`` — a state/time-independent constant
+      contribution;
+    * ``(_RES, expr, scale)`` — a residual subexpression that must stay
+      on the per-line emission path, optionally pre-multiplied by a
+      constant ``scale`` hoisted from an enclosing product.
+
+    Sums are recursed into and products/quotients distribute constant
+    factors over the decomposition, so e.g. ``(g/C) * (in(t) - var(x))``
+    yields one fused linear piece and one residual source term.
+    """
+    if isinstance(expr, E.VarOf):
+        index = state_index.get((expr.node, 0))
+        if index is not None:
+            return [(_LIN, index, 1.0)]
+        return [(_RES, expr, None)]
+    if isinstance(expr, E.UnOp):
+        return _scale_pieces(
+            _term_pieces(expr.operand, systems, state_index), -1.0)
+    if isinstance(expr, E.BinOp):
+        if expr.op == "+":
+            return (_term_pieces(expr.left, systems, state_index)
+                    + _term_pieces(expr.right, systems, state_index))
+        if expr.op == "-":
+            return (_term_pieces(expr.left, systems, state_index)
+                    + _scale_pieces(
+                        _term_pieces(expr.right, systems, state_index),
+                        -1.0))
+        if expr.op == "*":
+            for const_side, other in ((expr.left, expr.right),
+                                      (expr.right, expr.left)):
+                try:
+                    factor = _const_values(const_side, systems)
+                except _NotConst:
+                    continue
+                return _scale_pieces(
+                    _term_pieces(other, systems, state_index), factor)
+        if expr.op == "/":
+            try:
+                factor = _const_values(expr.right, systems)
+                reciprocal = 1.0 / factor
+                if not np.all(np.isfinite(np.atleast_1d(reciprocal))):
+                    raise _NotConst()
+            except (_NotConst, ZeroDivisionError):
+                pass
+            else:
+                return _scale_pieces(
+                    _term_pieces(expr.left, systems, state_index),
+                    reciprocal)
+    try:
+        return [(_CONST, _const_values(expr, systems))]
+    except _NotConst:
+        return [(_RES, expr, None)]
+
+
+#: Largest dense ``(n_instances, n_states, n_states)`` coefficient
+#: tensor the fused emitter will allocate (in doubles). Bigger systems
+#: (e.g. 64x64 CNN grids) keep the per-line emission, whose cost scales
+#: with the term count instead of n_states**2.
+FUSE_DENSE_LIMIT = 1 << 22
+
+
 def surviving_diffusion(systems: list[OdeSystem]):
     """The lead system's diffusion terms that survive shared-value
     simplification, paired with their optimized amplitude expressions.
@@ -221,15 +361,99 @@ def surviving_diffusion(systems: list[OdeSystem]):
     return survivors
 
 
+def _fused_rhs_lines(systems: list[OdeSystem], namespace: dict,
+                     codegen: "_BatchCodegen", lookup) -> list[str] | None:
+    """Body of the fused ``_rhs``: every affine contribution of every
+    SUM-reduction (and chain) line stacked into one per-instance
+    coefficient tensor driven by a single batched matmul, with only the
+    non-fusible residue emitted per line.
+
+    Returns ``None`` when fusion is not worthwhile — fewer than two
+    per-line statements would be eliminated, or the dense tensor would
+    exceed :data:`FUSE_DENSE_LIMIT` — in which case the caller keeps the
+    classic per-line emission.
+    """
+    lead = systems[0]
+    n, s = len(systems), len(lead.rhs_specs)
+    if n * s * s > FUSE_DENSE_LIMIT:
+        return None
+    matrix = np.zeros((n, s, s))
+    constant = np.zeros((n, s))
+    use_constant = False
+    residual_rows: list[tuple[int, list]] = []
+    product_rows: list[tuple[int, list]] = []
+    eliminated = 0
+    for index, spec in enumerate(lead.rhs_specs):
+        if isinstance(spec, ChainRhs):
+            matrix[:, index, spec.next_index] = 1.0
+            eliminated += 1
+            continue
+        terms = optimize_terms(spec.terms, spec.reduction, lookup)
+        if spec.reduction is not Reduction.SUM:
+            product_rows.append((index, terms))
+            continue
+        residuals: list = []
+        for term in terms:
+            for piece in _term_pieces(term, systems, lead.state_index):
+                if piece[0] == _LIN:
+                    matrix[:, index, piece[1]] += piece[2]
+                elif piece[0] == _CONST:
+                    constant[:, index] += piece[1]
+                    use_constant = True
+                else:
+                    residuals.append(piece)
+        if residuals:
+            residual_rows.append((index, residuals))
+        else:
+            eliminated += 1
+    if eliminated < 2:
+        return None
+    namespace["_lin_A"] = matrix
+    fused = "(_lin_A @ y[:, :, None])[:, :, 0]"
+    if use_constant:
+        namespace["_lin_c"] = constant
+        fused += " + _lin_c"
+    lines = [f"    dy[:, :] = {fused}"]
+    scale_slots = 0
+    for index, residuals in residual_rows:
+        fragments = []
+        for _tag, expr, scale in residuals:
+            source = E.to_python(expr, codegen)
+            if isinstance(scale, np.ndarray):
+                name = f"_res_scale_{scale_slots}"
+                scale_slots += 1
+                namespace[name] = scale
+                source = f"{name} * {source}"
+            elif scale is not None:
+                source = f"{repr(float(scale))} * {source}"
+            fragments.append(source)
+        lines.append(f"    dy[:, {index}] += " + " + ".join(fragments))
+    for index, terms in product_rows:
+        body = " * ".join(E.to_python(term, codegen)
+                          for term in terms) or \
+            repr(Reduction.MUL.identity)
+        lines.append(f"    dy[:, {index}] = {body}")
+    return lines
+
+
 def generate_batch_source(systems: list[OdeSystem],
                           namespace: dict[str, object],
-                          survivors=None) -> str:
+                          survivors=None, fuse: bool = True) -> str:
     """Emit the source of the batched RHS (``_rhs``), the batched
     algebraic-readout function (``_alg``), and — for stochastic systems
     — the batched diffusion-amplitude function (``_dif``) for a
     structurally compatible batch. All take ``y`` of shape
     ``(n_instances, n_states)``; ``_dif`` fills ``out`` of shape
     ``(n_instances, n_diffusion_terms)``.
+
+    With ``fuse`` (the default) the SUM-reduction and chain lines whose
+    terms are affine in the states — with compile-time per-instance
+    coefficients — collapse into one batched matmul against a stacked
+    ``(n_instances, n_states, n_states)`` coefficient tensor, cutting
+    the per-step NumPy dispatch from one-per-term to one-per-residual;
+    non-fusible terms (nonlinear, time-dependent, callable-attribute)
+    keep the per-line emission. ``fuse=False`` restores the pure
+    per-line emitter.
 
     ``survivors`` is a precomputed :func:`surviving_diffusion` result;
     pass it when the caller also needs the diffusion layout (as
@@ -248,17 +472,25 @@ def generate_batch_source(systems: list[OdeSystem],
             repr(spec.reduction.identity)
         algebraic_lines.append(f"    {local} = {body}")
 
+    fused_lines = _fused_rhs_lines(systems, namespace, codegen, lookup) \
+        if fuse else None
     lines = ["def _rhs(t, y, dy):"] + list(algebraic_lines)
-    for index, spec in enumerate(lead.rhs_specs):
-        if isinstance(spec, ChainRhs):
-            lines.append(f"    dy[:, {index}] = y[:, {spec.next_index}]")
-        else:
-            joiner = " + " if spec.reduction is Reduction.SUM else " * "
-            terms = optimize_terms(spec.terms, spec.reduction, lookup)
-            body = joiner.join(E.to_python(term, codegen)
-                               for term in terms) or \
-                repr(spec.reduction.identity)
-            lines.append(f"    dy[:, {index}] = {body}")
+    if fused_lines is not None:
+        lines.extend(fused_lines)
+    else:
+        for index, spec in enumerate(lead.rhs_specs):
+            if isinstance(spec, ChainRhs):
+                lines.append(
+                    f"    dy[:, {index}] = y[:, {spec.next_index}]")
+            else:
+                joiner = " + " if spec.reduction is Reduction.SUM \
+                    else " * "
+                terms = optimize_terms(spec.terms, spec.reduction,
+                                       lookup)
+                body = joiner.join(E.to_python(term, codegen)
+                                   for term in terms) or \
+                    repr(spec.reduction.identity)
+                lines.append(f"    dy[:, {index}] = {body}")
     lines.append("    return dy")
 
     lines.append("")
@@ -291,7 +523,7 @@ class BatchRhs:
     :meth:`~repro.core.odesystem.OdeSystem.structural_signature`).
     """
 
-    def __init__(self, systems: list[OdeSystem]):
+    def __init__(self, systems: list[OdeSystem], fuse: bool = True):
         if not systems:
             raise SimulationError("cannot batch an empty system list")
         signature = systems[0].structural_signature()
@@ -306,7 +538,10 @@ class BatchRhs:
         namespace: dict[str, object] = {"_np": np}
         survivors = surviving_diffusion(self.systems)
         self.source = generate_batch_source(self.systems, namespace,
-                                            survivors=survivors)
+                                            survivors=survivors,
+                                            fuse=fuse)
+        #: True when the emitted RHS drives a fused coefficient matmul.
+        self.fused = "_lin_A" in namespace
         exec(compile(self.source,
                      f"<ark-batch:{systems[0].graph.name}>", "exec"),
              namespace)
@@ -385,10 +620,12 @@ class BatchRhs:
                 f"instances={self.n_instances} states={self.n_states}>")
 
 
-def compile_batch(systems: list[OdeSystem]) -> BatchRhs:
+def compile_batch(systems: list[OdeSystem],
+                  fuse: bool = True) -> BatchRhs:
     """Compile a structurally compatible batch of systems into one
-    vectorized RHS."""
-    return BatchRhs(list(systems))
+    vectorized RHS. ``fuse`` enables the fused affine emitter (see
+    :func:`generate_batch_source`)."""
+    return BatchRhs(list(systems), fuse=fuse)
 
 
 def group_by_signature(systems: list[OdeSystem]) -> list[list[int]]:

@@ -11,11 +11,15 @@ state matrix at once:
   and the shared step obeys the worst one, so a single stiff outlier
   cannot silently degrade its siblings' accuracy.
 
-Both land exactly on a shared output grid (steps are clipped to the next
-grid point — no dense-output interpolation error), and both return a
-:class:`BatchTrajectory` with ``(n_instances, n_states, n_t)`` storage
-plus the ensemble accessors (mean/std/percentile bands) the paper's
-Fig. 4c/4d-style mismatch studies read.
+Both land exactly on a shared output grid. ``rk4`` substeps each grid
+interval; ``rkf45`` defaults to *dense output* — steps are sized by the
+error estimate alone and grid samples are filled by a bootstrapped
+quartic interpolant (order-consistent with the propagated solution), so
+fine output grids no longer force extra RHS evaluations
+(``dense=False`` restores the legacy clip-to-grid stepping). Both
+return a :class:`BatchTrajectory` with ``(n_instances, n_states, n_t)``
+storage plus the ensemble accessors (mean/std/percentile bands) the
+paper's Fig. 4c/4d-style mismatch studies read.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.odesystem import OdeSystem
-from repro.core.simulator import Trajectory
+from repro.core.simulator import Trajectory, check_sample_times
 from repro.errors import SimulationError
 
 from repro.sim.batch_codegen import BatchRhs, compile_batch
@@ -84,8 +88,12 @@ class BatchTrajectory:
 
     def sample(self, node: str, times, deriv: int = 0) -> np.ndarray:
         """Linear interpolation of every instance at given times:
-        (n_instances, len(times))."""
+        (n_instances, len(times)). Times outside the trajectory's range
+        raise — ``np.interp`` would silently clamp them to the endpoint
+        values, turning an out-of-window readout into a confidently
+        wrong constant."""
         times = np.asarray(times, dtype=float)
+        check_sample_times(times, self.t)
         rows = self.state(node, deriv)
         return np.stack([np.interp(times, self.t, row) for row in rows])
 
@@ -143,12 +151,35 @@ def _output_grid(t_span, n_points, t_eval) -> np.ndarray:
     if not t1 > t0:
         raise SimulationError(f"empty time span [{t0}, {t1}]")
     if t_eval is None:
+        if int(n_points) < 2:
+            raise SimulationError(
+                f"n_points must be >= 2 to span [{t0}, {t1}], got "
+                f"{n_points} (a degenerate grid would skip integration "
+                "and return only y0)")
         return np.linspace(t0, t1, int(n_points))
     grid = np.asarray(t_eval, dtype=float)
     if grid.ndim != 1 or len(grid) < 2 or np.any(np.diff(grid) <= 0):
         raise SimulationError("t_eval must be strictly increasing with "
                               "at least two points")
     return grid
+
+
+def _resolve_max_step(max_step, span: float) -> float:
+    """Normalize the solver ``max_step`` option: ``None`` defaults to
+    span/64 (matching the serial :func:`~repro.core.simulator.
+    simulate` so brief input events cannot be stepped over), ``+inf``
+    lifts the cap to the whole span, and anything else must be a
+    positive finite number — zero used to die in a substep division
+    and negatives were silently swallowed by ``max(1, ...)``."""
+    if max_step is None:
+        return span / 64.0
+    max_step = float(max_step)
+    if np.isinf(max_step) and max_step > 0:
+        return span
+    if np.isnan(max_step) or max_step <= 0.0:
+        raise SimulationError(
+            f"max_step must be > 0, got {max_step}")
+    return max_step
 
 
 def _rk4_batch(rhs: BatchRhs, grid: np.ndarray, max_step: float,
@@ -180,8 +211,47 @@ def _error_norms(error: np.ndarray, y_old: np.ndarray,
     return np.sqrt(np.mean((error / scale) ** 2, axis=1))
 
 
+def _rkf45_stages(rhs: BatchRhs, t: float, y: np.ndarray, h: float,
+                  k1: np.ndarray):
+    """One embedded RKF45 step from an already-evaluated ``k1``:
+    returns (y5, y4)."""
+    k2 = rhs(t + _RKF_C[0] * h, y + h * (_RKF_A[0][0] * k1))
+    k3 = rhs(t + _RKF_C[1] * h,
+             y + h * (_RKF_A[1][0] * k1 + _RKF_A[1][1] * k2))
+    k4 = rhs(t + _RKF_C[2] * h,
+             y + h * (_RKF_A[2][0] * k1 + _RKF_A[2][1] * k2
+                      + _RKF_A[2][2] * k3))
+    k5 = rhs(t + _RKF_C[3] * h,
+             y + h * (_RKF_A[3][0] * k1 + _RKF_A[3][1] * k2
+                      + _RKF_A[3][2] * k3 + _RKF_A[3][3] * k4))
+    k6 = rhs(t + _RKF_C[4] * h,
+             y + h * (_RKF_A[4][0] * k1 + _RKF_A[4][1] * k2
+                      + _RKF_A[4][2] * k3 + _RKF_A[4][3] * k4
+                      + _RKF_A[4][4] * k5))
+    stages = (k1, k2, k3, k4, k5, k6)
+    y5 = y + h * sum(b * s for b, s in zip(_RKF_B5, stages))
+    y4 = y + h * sum(b * s for b, s in zip(_RKF_B4, stages))
+    return y5, y4
+
+
+def _underflow(t: float, h: float) -> SimulationError:
+    return SimulationError(
+        f"rkf45 step size underflow at t={t:.3e} "
+        f"(h={h:.3e}); the batch may contain a stiff "
+        "instance — use the serial path with an implicit "
+        "method")
+
+
+def _step_factor(worst: float) -> float:
+    return 5.0 if worst == 0.0 else \
+        min(5.0, max(0.2, 0.9 * worst ** -0.2))
+
+
 def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
                  atol: float, max_step: float) -> np.ndarray:
+    """Grid-clipped RKF45: every step lands exactly on the next output
+    point, so a fine grid forces extra (small) steps. Kept as the
+    ``dense=False`` reference path."""
     span = grid[-1] - grid[0]
     min_step = 1e-14 * span
     y = rhs.y0.astype(float)
@@ -194,28 +264,9 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
         while t < t_next:
             h = min(h, max_step, t_next - t)
             if h < min_step:
-                raise SimulationError(
-                    f"rkf45 step size underflow at t={t:.3e} "
-                    f"(h={h:.3e}); the batch may contain a stiff "
-                    "instance — use the serial path with an implicit "
-                    "method")
+                raise _underflow(t, h)
             k1 = rhs(t, y)
-            k2 = rhs(t + _RKF_C[0] * h, y + h * (_RKF_A[0][0] * k1))
-            k3 = rhs(t + _RKF_C[1] * h,
-                     y + h * (_RKF_A[1][0] * k1 + _RKF_A[1][1] * k2))
-            k4 = rhs(t + _RKF_C[2] * h,
-                     y + h * (_RKF_A[2][0] * k1 + _RKF_A[2][1] * k2
-                              + _RKF_A[2][2] * k3))
-            k5 = rhs(t + _RKF_C[3] * h,
-                     y + h * (_RKF_A[3][0] * k1 + _RKF_A[3][1] * k2
-                              + _RKF_A[3][2] * k3 + _RKF_A[3][3] * k4))
-            k6 = rhs(t + _RKF_C[4] * h,
-                     y + h * (_RKF_A[4][0] * k1 + _RKF_A[4][1] * k2
-                              + _RKF_A[4][2] * k3 + _RKF_A[4][3] * k4
-                              + _RKF_A[4][4] * k5))
-            stages = (k1, k2, k3, k4, k5, k6)
-            y5 = y + h * sum(b * s for b, s in zip(_RKF_B5, stages))
-            y4 = y + h * sum(b * s for b, s in zip(_RKF_B4, stages))
+            y5, y4 = _rkf45_stages(rhs, t, y, h, k1)
             norms = _error_norms(y5 - y4, y, y5, rtol, atol)
             worst = float(norms.max()) if norms.size else 0.0
             if not np.isfinite(worst):
@@ -224,12 +275,124 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             if worst <= 1.0:
                 t += h
                 y = y5
-                factor = 5.0 if worst == 0.0 else \
-                    min(5.0, max(0.2, 0.9 * worst ** -0.2))
-                h *= factor
+                h *= _step_factor(worst)
             else:
                 h *= max(0.2, 0.9 * worst ** -0.2)
         out[:, :, k] = y
+    return out
+
+
+#: Collocation node of the bootstrapped quartic interpolant. theta=1/2
+#: makes the Hermite-Birkhoff system singular; 1/3 is well conditioned
+#: (determinant 4/27).
+_DENSE_NODE = 1.0 / 3.0
+
+
+def _hermite_point(theta: float, y_old: np.ndarray, y_new: np.ndarray,
+                   f_old: np.ndarray, f_new: np.ndarray,
+                   h: float) -> np.ndarray:
+    """Cubic Hermite predictor at one normalized position (the
+    bootstrap's collocation point; O(h^4) accurate)."""
+    t2 = theta * theta
+    t3 = t2 * theta
+    return ((2.0 * t3 - 3.0 * t2 + 1.0) * y_old
+            + (t3 - 2.0 * t2 + theta) * (h * f_old)
+            + (-2.0 * t3 + 3.0 * t2) * y_new
+            + (t3 - t2) * (h * f_new))
+
+
+def _quartic_coefficients(y_old: np.ndarray, y_new: np.ndarray,
+                          f_old: np.ndarray, f_mid: np.ndarray,
+                          f_new: np.ndarray, h: float):
+    """Coefficients (a, b, c, d) of the bootstrapped quartic
+    ``y(theta) = y_old + a th + b th^2 + c th^3 + d th^4`` matching
+    value+derivative at both endpoints and the derivative ``f_mid``
+    collocated at ``theta = _DENSE_NODE = 1/3``:
+
+        a           = h f_old
+        b + c + d   = (y_new - y_old) - a
+        2b + 3c + 4d = h f_new - a
+        (2/3)b + (1/3)c + (4/27)d = h f_mid - a
+
+    Because ``f_mid`` is evaluated on the O(h^4) cubic predictor, the
+    quartic's local error is O(h^5) — the same order as the propagated
+    RKF45 solution, so dense output no longer dilutes the tolerance.
+    """
+    a = h * f_old
+    p = (y_new - y_old) - a
+    q = h * f_new - a
+    r = h * f_mid - a
+    b = (27.0 * r - 24.0 * p + 5.0 * q) / 4.0
+    c = 4.0 * p - q - 2.0 * b
+    d = p - b - c
+    return a, b, c, d
+
+
+def _quartic_eval(theta: np.ndarray, y_old: np.ndarray,
+                  coefficients) -> np.ndarray:
+    """Evaluate the quartic at positions ``theta`` (shape (m,));
+    result (m, n_instances, n_states)."""
+    a, b, c, d = coefficients
+    theta = theta[:, None, None]
+    return y_old + theta * (a + theta * (b + theta * (c + theta * d)))
+
+
+def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
+                       atol: float, max_step: float) -> np.ndarray:
+    """Dense-output RKF45: step control is decoupled from the output
+    grid. Steps are sized by the error estimate alone (never clipped to
+    grid points); every output sample inside an accepted step is filled
+    by a bootstrapped quartic interpolant (endpoint values/derivatives
+    plus one collocated derivative on the cubic predictor — local error
+    O(h^5), the same order as the propagated solution). The endpoint
+    derivative doubles as the next step's ``k1`` (first-same-as-last),
+    so dense output costs at most one extra RHS evaluation per
+    *output-producing* step — fine grids stop forcing small steps."""
+    t_end = grid[-1]
+    span = t_end - grid[0]
+    min_step = 1e-14 * span
+    y = rhs.y0.astype(float)
+    out = np.empty((y.shape[0], y.shape[1], len(grid)))
+    out[:, :, 0] = y
+    t = grid[0]
+    h = min(max_step, span / 100.0)
+    k1 = rhs(t, y)
+    next_index = 1
+    while next_index < len(grid):
+        h = min(h, max_step)
+        if h < min_step:
+            raise _underflow(t, h)
+        if t + h >= t_end:
+            h = t_end - t
+            t_new = t_end
+        else:
+            t_new = t + h
+        y5, y4 = _rkf45_stages(rhs, t, y, h, k1)
+        norms = _error_norms(y5 - y4, y, y5, rtol, atol)
+        worst = float(norms.max()) if norms.size else 0.0
+        if not np.isfinite(worst):
+            h *= 0.2
+            continue
+        if worst > 1.0:
+            h *= max(0.2, 0.9 * worst ** -0.2)
+            continue
+        f_new = rhs(t_new, y5)
+        stop = next_index
+        while stop < len(grid) and grid[stop] <= t_new:
+            stop += 1
+        if stop > next_index:
+            y_node = _hermite_point(_DENSE_NODE, y, y5, k1, f_new, h)
+            f_node = rhs(t + _DENSE_NODE * h, y_node)
+            coefficients = _quartic_coefficients(y, y5, k1, f_node,
+                                                 f_new, h)
+            theta = (grid[next_index:stop] - t) / h
+            values = _quartic_eval(theta, y, coefficients)
+            out[:, :, next_index:stop] = np.moveaxis(values, 0, 2)
+            next_index = stop
+        t = t_new
+        y = y5
+        k1 = f_new
+        h *= _step_factor(worst)
     return out
 
 
@@ -237,7 +400,8 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
                 t_span: tuple[float, float], n_points: int = 500,
                 method: str = "rkf45", rtol: float = 1e-7,
                 atol: float = 1e-9, t_eval=None,
-                max_step: float | None = None) -> BatchTrajectory:
+                max_step: float | None = None,
+                dense: bool = True) -> BatchTrajectory:
     """Integrate a structurally compatible ensemble in one pass.
 
     :param batch: a compiled :class:`BatchRhs` or a list of systems to
@@ -247,6 +411,14 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
     :param max_step: step cap; defaults to 1/64 of the span, matching
         the serial :func:`~repro.core.simulator.simulate` so brief input
         events cannot be stepped over.
+    :param dense: (rkf45 only) fill the output grid by quartic dense
+        output so step control is decoupled from the grid — the
+        default, matching scipy's ``t_eval`` semantics (accuracy is
+        governed by rtol/atol of the free-running solver).
+        ``dense=False`` restores the legacy behavior of clipping every
+        step to the next grid point, which on fine grids effectively
+        integrates tighter than the requested tolerance at
+        proportionally higher cost.
     """
     if not isinstance(batch, BatchRhs):
         batch = compile_batch(batch)
@@ -260,15 +432,14 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
     # pre-roll column is dropped afterwards.
     preroll = grid[0] > t0
     work_grid = np.concatenate(([t0], grid)) if preroll else grid
-    if max_step is None:
-        max_step = (work_grid[-1] - work_grid[0]) / 64.0
-    if not np.isfinite(max_step):
-        max_step = work_grid[-1] - work_grid[0]
+    max_step = _resolve_max_step(max_step,
+                                 work_grid[-1] - work_grid[0])
     name = method.lower()
     if name == "rk4":
         y_out = _rk4_batch(batch, work_grid, max_step)
     elif name in ("rkf45", "rk45"):
-        y_out = _rkf45_batch(batch, work_grid, rtol, atol, max_step)
+        solver = _rkf45_dense_batch if dense else _rkf45_batch
+        y_out = solver(batch, work_grid, rtol, atol, max_step)
     else:
         raise SimulationError(
             f"unknown batch method {method!r}; expected 'rkf45' or "

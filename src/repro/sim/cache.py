@@ -1,0 +1,293 @@
+"""Trajectory cache for the batched ensemble engines.
+
+The paper's §4.3 design loop reruns the *same* transient ensembles many
+times: a readout-tolerance sweep re-reads one mismatch ensemble at many
+thresholds, a PUF attack re-simulates the same chips per challenge
+batch, a parameter study revisits grid points. Every rerun used to pay
+the full integration again. :class:`TrajectoryCache` memoizes batched
+solves keyed by *everything that determines the result bit-for-bit*:
+
+* the batch's structural signature (state layout, production terms,
+  algebraic definitions, diffusion terms);
+* every per-instance attribute value (numeric values hashed exactly;
+  callable values through their stable ``_ark_vector_key`` /
+  builtin / importable-module identity);
+* the stacked initial states;
+* the output grid (``t_span``/``n_points`` or an explicit ``t_eval``)
+  and every solver option that steers the integrator (method, rtol,
+  atol, max_step, dense flag, SDE noise seeds).
+
+A batch whose identity cannot be established *stably* — e.g. a
+registered closure with no ``_ark_vector_key`` — is reported as
+uncachable (``key_for`` returns ``None``) rather than risking a
+wrong-answer collision; callers fall through to a plain solve.
+
+Backends: an in-memory LRU (default) plus an optional on-disk store
+(``directory=...``) holding one ``.npz`` per entry, so long sweeps
+survive process restarts. Hits return copies — a caller mutating a
+returned trajectory cannot poison the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import sys
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import expr as E
+from repro.core.odesystem import OdeSystem
+
+
+#: Folded into every key: bump whenever solver numerics change in a
+#: way no keyed option captures (integrator coefficients, emitter
+#: layout), so persisted disk entries from older code are invalidated
+#: instead of silently replayed as current results.
+CACHE_SCHEMA = 1
+
+
+def _function_token(name: str, fn) -> tuple | None:
+    """A process-independent identity for a registered function, or
+    ``None`` when there is none (anonymous closures — uncachable,
+    because ``id()`` can be recycled within a process and is
+    meaningless across processes)."""
+    vector_key = getattr(fn, "_ark_vector_key", None)
+    if vector_key is not None:
+        return ("vk", repr(vector_key))
+    if E.BUILTIN_FUNCTIONS.get(name) is fn:
+        return ("builtin", name)
+    module_name = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if module_name and qualname and "<locals>" not in qualname:
+        target = sys.modules.get(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part, None)
+            if target is None:
+                break
+        if target is fn:
+            return ("module", module_name, qualname)
+    return None
+
+
+def _value_token(value) -> tuple | None:
+    """Hashable identity of one attribute value (or None: uncachable)."""
+    if isinstance(value, (bool,)):
+        return ("bool", value)
+    if isinstance(value, (int, float, np.floating, np.integer)):
+        return ("num", float(value))
+    if callable(value):
+        token = _function_token("", value)
+        return None if token is None else ("call",) + token
+    if isinstance(value, str):
+        return ("str", value)
+    return None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (the benchmark runner reports these)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    uncachable: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class TrajectoryCache:
+    """LRU (+ optional disk) store of batched trajectories.
+
+    :param maxsize: in-memory entries kept (least-recently-used
+        eviction); 0 disables the memory tier (disk only).
+    :param directory: optional path for the persistent tier; created on
+        first store. Each entry is one uncompressed ``.npz``.
+    """
+
+    maxsize: int = 64
+    directory: str | pathlib.Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+
+    def key_for(self, systems: list[OdeSystem], kind: str,
+                options: dict) -> str | None:
+        """Cache key of a batched solve, or ``None`` when any part of
+        the batch's identity is unstable (then the caller must solve).
+
+        :param systems: the structurally compatible batch, in row order.
+        :param kind: solver family tag (``"batch"`` or ``"sde"``) so a
+            deterministic and a stochastic run never share a key.
+        :param options: every solver option that steers the result —
+            grid spec, method, tolerances, noise seeds... Values may be
+            scalars, strings, ``None``, tuples, or numpy arrays.
+        """
+        lead = systems[0]
+        hasher = hashlib.sha256()
+        hasher.update(f"schema={CACHE_SCHEMA};".encode())
+        hasher.update(kind.encode())
+        signature = lead.structural_signature()
+        # The signature's function-identity element (position 4, see
+        # OdeSystem.structural_signature) uses id() for untagged
+        # callables — stable within a process but meaningless on disk
+        # and recyclable by the allocator, so it is replaced by stable
+        # tokens (or the whole batch is declared uncachable).
+        function_tokens = []
+        for name, fn in sorted(lead.functions.items()):
+            token = _function_token(name, fn)
+            if token is None:
+                self.stats.uncachable += 1
+                return None
+            function_tokens.append((name, token))
+        stable = (signature[0], signature[1], signature[2],
+                  signature[3], tuple(function_tokens), signature[5])
+        hasher.update(repr(stable).encode())
+        for key in sorted(lead.attr_values):
+            values = [system.attr_values.get(key) for system in systems]
+            if all(isinstance(v, (int, float, np.floating, np.integer))
+                   and not isinstance(v, bool) for v in values):
+                hasher.update(repr(key).encode())
+                hasher.update(np.asarray(values, dtype=float).tobytes())
+                continue
+            tokens = [_value_token(v) for v in values]
+            if any(token is None for token in tokens):
+                self.stats.uncachable += 1
+                return None
+            hasher.update(repr((key, tokens)).encode())
+        hasher.update(np.stack([system.y0 for system in systems])
+                      .tobytes())
+        for name in sorted(options):
+            value = options[name]
+            hasher.update(name.encode())
+            if isinstance(value, np.ndarray):
+                hasher.update(value.astype(float).tobytes())
+            else:
+                hasher.update(repr(value).encode())
+        return hasher.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> pathlib.Path | None:
+        if self.directory is None:
+            return None
+        return pathlib.Path(self.directory) / f"{key}.npz"
+
+    def get(self, key: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """The stored ``(t, y)`` pair (copies), or ``None`` on miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0].copy(), entry[1].copy()
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            with np.load(path) as payload:
+                t, y = payload["t"], payload["y"]
+            self._remember(key, t, y)
+            self.stats.hits += 1
+            return t.copy(), y.copy()
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, t: np.ndarray, y: np.ndarray):
+        """Store one batched result (arrays are copied in)."""
+        t = np.asarray(t, dtype=float).copy()
+        y = np.asarray(y, dtype=float).copy()
+        self._remember(key, t, y)
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so neither a crashed run nor two
+            # processes storing the same key concurrently (sweeps
+            # sharing one --cache-dir) can publish a torn entry; the
+            # temp name must be per-writer for the rename to be atomic.
+            temporary = path.with_suffix(
+                f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp.npz")
+            try:
+                with open(temporary, "wb") as handle:
+                    np.savez(handle, t=t, y=y)
+                temporary.replace(path)
+            finally:
+                temporary.unlink(missing_ok=True)
+        self.stats.stores += 1
+
+    def _remember(self, key: str, t: np.ndarray, y: np.ndarray):
+        if self.maxsize < 1:
+            return
+        self._entries[key] = (t, y)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self):
+        """Drop the in-memory tier (disk entries are kept)."""
+        self._entries.clear()
+
+
+def cached_batch_solve(store: TrajectoryCache | None, systems, kind,
+                       options: dict, solve):
+    """Run one batched solve through an optional cache: key, get,
+    rebuild-on-hit, else solve and store — the shared sequence of the
+    ensemble and noisy drivers.
+
+    ``solve()`` must return ``(BatchTrajectory, storable)``;
+    ``storable=False`` vetoes storing a result an uncached rerun could
+    not reproduce bit-for-bit (e.g. a shard-split adaptive solve,
+    whose step control differs from the whole-group integration).
+    Solver exceptions propagate to the caller unchanged.
+    """
+    from repro.sim.batch_solver import BatchTrajectory
+
+    key = None
+    if store is not None:
+        key = store.key_for(systems, kind, options)
+        if key is not None:
+            hit = store.get(key)
+            if hit is not None:
+                return BatchTrajectory(t=hit[0], y=hit[1],
+                                       systems=list(systems))
+    trajectory, storable = solve()
+    if store is not None and key is not None and storable:
+        store.put(key, trajectory.t, trajectory.y)
+    return trajectory
+
+
+_DEFAULT_CACHE: TrajectoryCache | None = None
+
+
+def default_cache() -> TrajectoryCache:
+    """The process-wide cache used by ``cache=True`` drivers."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = TrajectoryCache()
+    return _DEFAULT_CACHE
+
+
+def resolve_cache(cache) -> TrajectoryCache | None:
+    """Normalize a driver's ``cache`` argument: ``None``/``False`` (no
+    caching), ``True`` (process-wide default), a directory path (disk
+    backed), or a :class:`TrajectoryCache` instance."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return default_cache()
+    if isinstance(cache, (str, pathlib.Path)):
+        return TrajectoryCache(directory=cache)
+    if isinstance(cache, TrajectoryCache):
+        return cache
+    raise TypeError(
+        f"cache must be None, bool, a path, or a TrajectoryCache, got "
+        f"{type(cache).__name__}")

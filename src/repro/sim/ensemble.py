@@ -26,11 +26,16 @@ from repro.core.odesystem import OdeSystem
 from repro.core.simulator import Trajectory, simulate
 from repro.errors import SimulationError
 
+from repro.sim import batch_codegen
 from repro.sim.batch_codegen import compile_batch, group_by_signature
 from repro.sim.batch_solver import BatchTrajectory, solve_batch
+from repro.sim.cache import cached_batch_solve, resolve_cache
 
 #: Methods handled natively by the batched solver.
 BATCH_METHODS = ("auto", "rkf45", "rk45", "rk4")
+
+#: Smallest batched group the driver will split across a process pool.
+DEFAULT_SHARD_MIN = 64
 
 
 @dataclass
@@ -79,11 +84,31 @@ def _compile_target(target) -> OdeSystem:
 
 def _serial_job(payload):
     """Module-level worker so a multiprocessing pool can pickle it. The
-    factory itself must also pickle — the driver falls back to in-process
-    execution when it does not (e.g. lambdas)."""
+    factory itself must also pickle — the driver falls back to
+    in-process execution when the parent-side pre-flight check fails
+    (e.g. lambdas). Failures only visible in the child (a ``spawn``
+    worker that cannot re-import the factory's module) propagate like
+    any other worker error rather than silently degrading."""
     factory, seed, t_span, options = payload
     trajectory = simulate(factory(seed), t_span, **options)
     return trajectory.t, trajectory.y
+
+
+def _payload_pickles(payload) -> bool:
+    """Pre-flight picklability check. Callers pass one representative
+    pool payload plus the full seed list (payloads differ only in
+    their seeds, so this answers for all of them at a fraction of
+    serializing every duplicated factory/options copy). Checking up
+    front (instead of catching the pool's errors) keeps genuine worker
+    exceptions — including worker ``TypeError``s — propagating to the
+    caller instead of being silently retried in-process."""
+    import pickle
+
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
 
 
 def _run_serial(factory, seeds, indices, systems, t_span, options,
@@ -93,20 +118,14 @@ def _run_serial(factory, seeds, indices, systems, t_span, options,
     results: dict[int, Trajectory] = {}
     pending = list(indices)
     if processes and processes > 1 and len(pending) > 1:
-        import multiprocessing
-        import pickle
-
         payloads = [(factory, seeds[i], t_span, options)
                     for i in pending]
-        try:
+        if _payload_pickles((payloads[0],
+                             [seeds[i] for i in pending])):
+            import multiprocessing
+
             with multiprocessing.Pool(processes) as pool:
                 rows = pool.map(_serial_job, payloads)
-        except (pickle.PicklingError, AttributeError, TypeError):
-            # Unpicklable factory (lambda/closure): quietly degrade to
-            # in-process execution. Genuine worker failures (e.g. a
-            # SimulationError from one seed) propagate unchanged.
-            rows = None
-        if rows is not None:
             for index, (t, y) in zip(pending, rows):
                 results[index] = Trajectory(t=t, y=y,
                                             system=systems[index])
@@ -116,12 +135,77 @@ def _run_serial(factory, seeds, indices, systems, t_span, options,
     return results
 
 
+def _batch_shard_job(payload):
+    """Pool worker integrating one shard of a batched group: rebuild the
+    shard's instances from (factory, seeds) — systems themselves rarely
+    pickle — and run the same batched solve the parent would. ``fuse``
+    is the parent's *whole-group* fuse decision: the emitter's dense
+    memory guard depends on batch size, so a shard deciding for itself
+    could compile a fused RHS where the unsharded group would not,
+    breaking shard-vs-whole bit-identity for fixed-step methods."""
+    factory, shard_seeds, t_span, options, fuse = payload
+    systems = [_compile_target(factory(seed)) for seed in shard_seeds]
+    trajectory = solve_batch(compile_batch(systems, fuse=fuse), t_span,
+                             **options)
+    return trajectory.y
+
+
+def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
+                         options, processes) -> BatchTrajectory | None:
+    """Integrate one structural group as per-core sub-batches across a
+    process pool. Returns ``None`` when the pool cannot be used (the
+    caller then runs the single-process batched solve).
+
+    Each shard is an independent batched solve over a contiguous slice
+    of the group, so stacking the shard results reproduces the
+    single-process row order exactly; with fixed-step methods the
+    result is bit-identical (every instance's arithmetic is row-local),
+    while rkf45's shared step sequence may differ at tolerance level
+    because error control no longer sees the whole group.
+    """
+    n_shards = min(int(processes), len(indices))
+    if n_shards < 2:
+        return None
+    lead = systems[indices[0]]
+    fuse = (len(indices) * lead.n_states * lead.n_states
+            <= batch_codegen.FUSE_DENSE_LIMIT)
+    shards = [list(part)
+              for part in np.array_split(np.asarray(indices), n_shards)]
+    payloads = [(factory, [seeds[i] for i in shard], t_span, options,
+                 fuse)
+                for shard in shards if shard]
+    if not _payload_pickles((payloads[0],
+                             [seeds[i] for i in indices])):
+        return None
+    import multiprocessing
+
+    with multiprocessing.Pool(len(payloads)) as pool:
+        stacked = pool.map(_batch_shard_job, payloads)
+    y = np.concatenate(stacked, axis=0)
+    from repro.sim.batch_solver import _output_grid
+
+    grid = _output_grid(t_span, options.get("n_points", 500),
+                        options.get("t_eval"))
+    return BatchTrajectory(t=grid, y=y,
+                           systems=[systems[i] for i in indices])
+
+
+def _record_group(result: EnsembleResult, trajectory: BatchTrajectory,
+                  indices) -> None:
+    result.batches.append(trajectory)
+    result.groups.append(list(indices))
+    for row, index in enumerate(indices):
+        result.trajectories[index] = trajectory.instance(row)
+
+
 def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
                  method: str = "auto", rtol: float = 1e-7,
                  atol: float = 1e-9, backend: str = "codegen",
                  t_eval=None, max_step: float | None = None,
                  engine: str = "batch", min_batch: int = 2,
-                 processes: int | None = None) -> EnsembleResult:
+                 processes: int | None = None, dense: bool = True,
+                 cache=None,
+                 shard_min: int = DEFAULT_SHARD_MIN) -> EnsembleResult:
     """Simulate one fabricated instance per seed, batching wherever the
     instances share structure.
 
@@ -134,13 +218,25 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         one scipy solve per seed).
     :param min_batch: smallest structural group worth a batched compile;
         smaller groups run serially.
-    :param processes: fan the *serial* instances out over a
-        multiprocessing pool of this size (requires a picklable
-        factory; silently degrades to in-process execution otherwise).
+    :param processes: process-pool width. Batched groups of at least
+        ``shard_min`` instances are split into per-core sub-batches,
+        and serial-fallback instances fan out one-per-worker (both
+        require a picklable factory; in-process execution otherwise).
+    :param dense: use dense-output interpolation in the batched rkf45
+        (see :func:`~repro.sim.batch_solver.solve_batch`).
+    :param cache: trajectory cache — ``True`` (process-wide default
+        cache), a directory path (disk backed), or a
+        :class:`~repro.sim.cache.TrajectoryCache`. Repeated sweeps
+        with identical structure, attributes, grid, and solver options
+        reuse the stored integration bit-for-bit.
+    :param shard_min: smallest batched group worth splitting across the
+        pool (pool spawn + per-shard compile amortize only on large
+        groups).
     """
     seeds = list(seeds)
     systems = [_compile_target(factory(seed)) for seed in seeds]
     result = EnsembleResult(trajectories=[None] * len(seeds))
+    store = resolve_cache(cache)
 
     batchable = engine == "batch" and method in BATCH_METHODS
     serial_method = "RK45" if method in BATCH_METHODS else method
@@ -151,18 +247,38 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
     serial_indices: list[int] = []
     if batchable:
         batch_method = "rkf45" if method == "auto" else method
+        solver_options = dict(n_points=n_points, method=batch_method,
+                              rtol=rtol, atol=atol, t_eval=t_eval,
+                              max_step=max_step, dense=dense)
         for indices in group_by_signature(systems):
             if len(indices) < min_batch:
                 serial_indices.extend(indices)
                 continue
+            group_systems = [systems[i] for i in indices]
+
+            def solve(indices=indices, group_systems=group_systems):
+                if processes and processes > 1 and \
+                        len(indices) >= max(shard_min, 2 * min_batch):
+                    sharded = _solve_batch_sharded(
+                        factory, seeds, indices, systems, t_span,
+                        solver_options, processes)
+                    if sharded is not None:
+                        # Shard-split rkf45 runs per-shard step
+                        # control, so an uncached whole-group rerun
+                        # would not reproduce it bit-for-bit — keep it
+                        # out of the cache. Fixed-step rk4 shards are
+                        # bit-identical and safe to store.
+                        return sharded, batch_method == "rk4"
+                batch = compile_batch(group_systems)
+                return solve_batch(batch, t_span,
+                                   **solver_options), True
+
             try:
-                batch = compile_batch([systems[i] for i in indices])
-                trajectory = solve_batch(batch, t_span,
-                                         n_points=n_points,
-                                         method=batch_method,
-                                         rtol=rtol, atol=atol,
-                                         t_eval=t_eval,
-                                         max_step=max_step)
+                trajectory = cached_batch_solve(
+                    store, group_systems, "batch",
+                    {**solver_options,
+                     "t_span": (float(t_span[0]), float(t_span[1]))},
+                    solve)
             except SimulationError:
                 # A group the batch path cannot integrate (e.g. a stiff
                 # outlier underflowing the rkf45 step floor) is demoted
@@ -173,10 +289,7 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
                     raise
                 serial_indices.extend(indices)
                 continue
-            result.batches.append(trajectory)
-            result.groups.append(list(indices))
-            for row, index in enumerate(indices):
-                result.trajectories[index] = trajectory.instance(row)
+            _record_group(result, trajectory, indices)
     else:
         serial_indices = list(range(len(seeds)))
 

@@ -28,6 +28,7 @@ from repro.errors import SimulationError
 
 from repro.sim.batch_codegen import compile_batch, group_by_signature
 from repro.sim.batch_solver import BatchTrajectory, solve_batch
+from repro.sim.cache import cached_batch_solve, resolve_cache
 from repro.sim.sde_solver import solve_sde
 
 
@@ -95,7 +96,8 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        n_points: int = 500, method: str = "heun",
                        t_eval=None, max_step: float | None = None,
                        reference: bool = True, trial_base: int = 0,
-                       block: int = 256) -> NoisyEnsembleResult:
+                       block: int = 256,
+                       cache=None) -> NoisyEnsembleResult:
     """Simulate every (fabricated chip, noise trial) pair, batched.
 
     :param factory: ``factory(seed) -> DynamicalGraph | OdeSystem`` —
@@ -108,12 +110,18 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
         (batched RK4 on the same grid) for reliability references.
     :param trial_base: first trial number — shift to draw a fresh,
         non-overlapping set of realizations for the same chips.
+    :param cache: trajectory cache (``True``, a directory path, or a
+        :class:`~repro.sim.cache.TrajectoryCache`); the key includes
+        the noise-seed tokens, so a rerun of the same (chips × trials)
+        sweep replays the stored realizations bit-for-bit while a
+        shifted ``trial_base`` misses and integrates fresh ones.
     """
     seeds = list(seeds)
     if trials < 1:
         raise SimulationError(f"trials must be >= 1, got {trials}")
     systems = [_compile_target(factory(seed)) for seed in seeds]
     result = NoisyEnsembleResult(seeds=seeds, trials=trials)
+    store = resolve_cache(cache)
 
     for indices in group_by_signature(systems):
         replicated: list[OdeSystem] = []
@@ -125,20 +133,37 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
             noise_seeds.extend(
                 f"{seeds[index]}:{trial_base + trial}"
                 for trial in range(trials))
-        batch = solve_sde(compile_batch(replicated), t_span,
+        # `block` is excluded from the key on purpose: the Wiener
+        # realization is block-size independent, so it cannot change
+        # the result.
+        batch = cached_batch_solve(
+            store, replicated, "sde",
+            {"noise_seeds": tuple(noise_seeds), "method": method,
+             "n_points": n_points, "t_eval": t_eval,
+             "max_step": max_step,
+             "t_span": (float(t_span[0]), float(t_span[1]))},
+            lambda replicated=replicated, noise_seeds=noise_seeds: (
+                solve_sde(compile_batch(replicated), t_span,
                           noise_seeds=noise_seeds, n_points=n_points,
                           method=method, t_eval=t_eval,
-                          max_step=max_step, block=block)
+                          max_step=max_step, block=block), True))
         result.batches.append(batch)
         result.groups.append(list(indices))
 
     if reference:
         result.references = [None] * len(seeds)
         for indices in group_by_signature(systems):
-            reference_batch = solve_batch(
-                compile_batch([systems[i] for i in indices]), t_span,
-                n_points=n_points, method="rk4", t_eval=t_eval,
-                max_step=max_step)
+            group_systems = [systems[i] for i in indices]
+            reference_batch = cached_batch_solve(
+                store, group_systems, "batch",
+                {"n_points": n_points, "method": "rk4",
+                 "t_eval": t_eval, "max_step": max_step,
+                 "t_span": (float(t_span[0]), float(t_span[1]))},
+                lambda group_systems=group_systems: (
+                    solve_batch(compile_batch(group_systems), t_span,
+                                n_points=n_points, method="rk4",
+                                t_eval=t_eval, max_step=max_step),
+                    True))
             for row, index in enumerate(indices):
                 result.references[index] = reference_batch.instance(row)
     return result

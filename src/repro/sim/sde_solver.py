@@ -40,7 +40,8 @@ from repro.core.simulator import Trajectory
 from repro.errors import SimulationError
 
 from repro.sim.batch_codegen import BatchRhs, compile_batch
-from repro.sim.batch_solver import BatchTrajectory, _output_grid
+from repro.sim.batch_solver import (BatchTrajectory, _output_grid,
+                                    _resolve_max_step)
 
 #: Methods handled by :func:`solve_sde`.
 SDE_METHODS = ("heun", "em")
@@ -172,10 +173,8 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
             f"t_eval starts at {grid[0]} before the span start {t0}")
     preroll = grid[0] > t0
     work_grid = np.concatenate(([t0], grid)) if preroll else grid
-    if max_step is None:
-        max_step = (work_grid[-1] - work_grid[0]) / 64.0
-    if not np.isfinite(max_step):
-        max_step = work_grid[-1] - work_grid[0]
+    max_step = _resolve_max_step(max_step,
+                                 work_grid[-1] - work_grid[0])
 
     noisy = batch.has_noise
     wiener = WienerSource(noise_seeds, batch.wiener_paths if noisy

@@ -32,6 +32,19 @@ class TestSimulate:
         with pytest.raises(SimulationError):
             simulate(graph, (1.0, 1.0))
 
+    @pytest.mark.parametrize("n_points", [1, 0])
+    def test_degenerate_n_points_rejected(self, graph, n_points):
+        # Regression: a 1-point grid skipped integration and returned
+        # only y0 (silently — and the ensemble driver's auto method
+        # used to demote batched groups here, resurfacing the bug).
+        with pytest.raises(SimulationError, match="n_points"):
+            simulate(graph, (0.0, 1.0), n_points=n_points)
+
+    def test_sample_outside_range_rejected(self, graph):
+        trajectory = simulate(graph, (0.0, 1.0))
+        with pytest.raises(SimulationError, match="outside"):
+            trajectory.sample("x0", [1.5])
+
     def test_t_eval_override(self, graph):
         times = [0.0, 0.5, 1.0]
         trajectory = simulate(graph, (0.0, 1.0), t_eval=times)

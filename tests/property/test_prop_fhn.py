@@ -3,7 +3,7 @@ pipeline must match the independent scipy integration of the same
 network."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 import repro
@@ -28,6 +28,12 @@ def chain_case(draw):
 
 
 @given(chain_case())
+# Near-threshold neurons (this bias/b corner sits next to the spiking
+# bifurcation) amplify integration error to O(1e-2) at rtol=1e-9, so
+# the comparison runs tighter; keep the discovered corner pinned.
+@example(case=(2, 0.0, 0, False,
+               NeuronSpec(a=0.5, b=0.8492995777448051, eps=0.125,
+                          bias=0.5703125)))
 @settings(max_examples=10, deadline=None)
 def test_network_matches_scipy(case):
     n, coupling, stimulate, ring, spec = case
@@ -35,8 +41,8 @@ def test_network_matches_scipy(case):
     graph = build(n, spec, coupling=coupling, stimulate=stimulate,
                   stimulus=1.5)
     assert repro.validate(graph).valid
-    run = repro.simulate(graph, (0.0, 40.0), n_points=201, rtol=1e-9,
-                         atol=1e-11)
+    run = repro.simulate(graph, (0.0, 40.0), n_points=201, rtol=1e-11,
+                         atol=1e-13)
     rest_v, rest_w = resting_point(spec)
     v0 = np.full(n, rest_v)
     v0[stimulate] = 1.5

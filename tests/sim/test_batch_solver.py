@@ -115,3 +115,72 @@ class TestBatchTrajectory:
     def test_spread_scalar(self, trajectory):
         spread = trajectory.spread("x", (0.5, 1.5), n_samples=20)
         assert spread > 0.0
+
+
+class TestDegenerateGrid:
+    """Regression: n_points < 2 used to silently return a 1-point grid
+    (so the solvers skipped integration and handed back y0 only) or
+    crash with a bare IndexError at n_points=0."""
+
+    @pytest.mark.parametrize("n_points", [1, 0, -3])
+    def test_solve_batch_rejects_degenerate_n_points(self, n_points):
+        batch = _decay_batch(TAUS)
+        with pytest.raises(SimulationError, match="n_points"):
+            solve_batch(batch, (0.0, 1.0), n_points=n_points)
+
+    def test_two_point_grid_still_integrates(self):
+        batch = _decay_batch(TAUS)
+        trajectory = solve_batch(batch, (0.0, 1.0), n_points=2)
+        assert trajectory.n_points == 2
+        expected = np.exp(-1.0 / np.array(TAUS))
+        np.testing.assert_allclose(trajectory.final("x"), expected,
+                                   rtol=1e-5)
+
+
+class TestMaxStepValidation:
+    """Regression: max_step=0 died in a substep division and negative
+    values were silently swallowed by max(1, ceil(dt/max_step))."""
+
+    @pytest.mark.parametrize("max_step", [0.0, -1.0, float("nan")])
+    @pytest.mark.parametrize("method", ["rk4", "rkf45"])
+    def test_solve_batch_rejects(self, max_step, method):
+        batch = _decay_batch(TAUS)
+        with pytest.raises(SimulationError, match="max_step"):
+            solve_batch(batch, (0.0, 1.0), method=method,
+                        max_step=max_step)
+
+    def test_positive_infinity_lifts_the_cap(self):
+        batch = _decay_batch(TAUS)
+        trajectory = solve_batch(batch, (0.0, 1.0), n_points=20,
+                                 max_step=np.inf)
+        assert np.all(np.isfinite(trajectory.y))
+
+
+class TestSampleRange:
+    """Regression: np.interp clamps out-of-range times, so sampling or
+    spreading past t_span returned a confidently wrong constant."""
+
+    @pytest.fixture(scope="class")
+    def trajectory(self):
+        return solve_batch(_decay_batch(TAUS), (0.0, 2.0), n_points=40)
+
+    def test_sample_outside_range_raises(self, trajectory):
+        with pytest.raises(SimulationError, match="outside"):
+            trajectory.sample("x", [1.0, 2.5])
+        with pytest.raises(SimulationError, match="outside"):
+            trajectory.sample("x", [-0.5])
+
+    def test_spread_window_past_span_raises(self, trajectory):
+        with pytest.raises(SimulationError, match="outside"):
+            trajectory.spread("x", (1.5, 2.5))
+
+    def test_endpoints_are_inclusive(self, trajectory):
+        samples = trajectory.sample("x", [0.0, 2.0])
+        assert samples.shape == (4, 2)
+        np.testing.assert_allclose(samples[:, 0], 1.0)
+
+    def test_serial_trajectory_sample_shares_the_fix(self, trajectory):
+        serial = trajectory.instance(0)
+        with pytest.raises(SimulationError, match="outside"):
+            serial.sample("x", [2.5])
+        np.testing.assert_allclose(serial.sample("x", [0.0]), [1.0])

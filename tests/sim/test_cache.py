@@ -1,0 +1,202 @@
+"""Tests for the trajectory cache: keying, bit-identity, backends."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.compiler import compile_graph
+from repro.sim import (TrajectoryCache, run_ensemble,
+                       run_noisy_ensemble)
+from repro.sim.cache import resolve_cache
+
+
+_LANG = repro.Language("cache-lang")
+_LANG.node_type("X", order=1,
+                attrs=[("tau", repro.real(0.2, 5.0, mm=(0.0, 0.1)))])
+_LANG.edge_type("S")
+_LANG.prod("prod(e:S,s:X->s:X) s <= -var(s)/s.tau")
+
+
+def _factory(seed):
+    builder = repro.GraphBuilder(_LANG, "cached", seed=seed)
+    builder.node("x", "X").set_attr("x", "tau", 1.0)
+    builder.edge("x", "x", "e", "S")
+    builder.set_init("x", 1.0)
+    return builder.finish()
+
+
+def _systems(seeds):
+    return [compile_graph(_factory(seed)) for seed in seeds]
+
+
+_OPTIONS = {"t_span": (0.0, 1.0), "n_points": 40, "method": "rkf45",
+            "rtol": 1e-7, "atol": 1e-9, "max_step": None,
+            "t_eval": None, "dense": True}
+
+
+class TestKeying:
+    def test_key_is_deterministic(self):
+        cache = TrajectoryCache()
+        systems = _systems(range(3))
+        assert cache.key_for(systems, "batch", _OPTIONS) == \
+            cache.key_for(systems, "batch", _OPTIONS)
+
+    def test_key_is_stable_across_recompiles(self):
+        cache = TrajectoryCache()
+        assert cache.key_for(_systems(range(3)), "batch", _OPTIONS) == \
+            cache.key_for(_systems(range(3)), "batch", _OPTIONS)
+
+    def test_key_tracks_attributes_grid_options_and_kind(self):
+        cache = TrajectoryCache()
+        base = cache.key_for(_systems(range(3)), "batch", _OPTIONS)
+        assert cache.key_for(_systems(range(1, 4)), "batch",
+                             _OPTIONS) != base
+        assert cache.key_for(_systems(range(3)), "sde",
+                             _OPTIONS) != base
+        for name, value in (("n_points", 41), ("rtol", 1e-6),
+                            ("t_span", (0.0, 2.0)), ("dense", False)):
+            changed = dict(_OPTIONS, **{name: value})
+            assert cache.key_for(_systems(range(3)), "batch",
+                                 changed) != base
+
+    def test_ndarray_option_values_hash(self):
+        cache = TrajectoryCache()
+        a = dict(_OPTIONS, t_eval=np.linspace(0.0, 1.0, 7))
+        b = dict(_OPTIONS, t_eval=np.linspace(0.0, 1.0, 8))
+        systems = _systems(range(2))
+        assert cache.key_for(systems, "batch", a) != \
+            cache.key_for(systems, "batch", b)
+
+    def test_closure_functions_are_uncachable(self):
+        # id()-keyed function identities can be recycled within a
+        # process; refusing a key beats a wrong-answer collision.
+        lang = repro.Language("cache-closure")
+        lang.node_type("X", order=1)
+        lang.edge_type("S")
+        lang.register_function("rate", lambda x: 2.0 * x)
+        lang.prod("prod(e:S,s:X->s:X) s <= -rate(var(s))")
+        builder = repro.GraphBuilder(lang, "closure")
+        builder.node("x", "X")
+        builder.edge("x", "x", "e", "S")
+        builder.set_init("x", 1.0)
+        cache = TrajectoryCache()
+        key = cache.key_for([compile_graph(builder.finish())], "batch",
+                            _OPTIONS)
+        assert key is None
+        assert cache.stats.uncachable == 1
+
+
+class TestStore:
+    def test_lru_eviction(self):
+        cache = TrajectoryCache(maxsize=2)
+        t = np.linspace(0.0, 1.0, 3)
+        for tag in ("a", "b", "c"):
+            cache.put(tag, t, np.full((1, 1, 3), ord(tag), dtype=float))
+        assert len(cache) == 2
+        assert cache.get("a") is None  # evicted
+        assert cache.get("c") is not None
+
+    def test_get_returns_copies(self):
+        cache = TrajectoryCache()
+        t = np.linspace(0.0, 1.0, 3)
+        cache.put("k", t, np.ones((1, 1, 3)))
+        first_t, first_y = cache.get("k")
+        first_y[:] = -1.0
+        _, second_y = cache.get("k")
+        assert np.all(second_y == 1.0)
+
+    def test_disk_roundtrip(self, tmp_path):
+        writer = TrajectoryCache(directory=tmp_path)
+        t = np.linspace(0.0, 1.0, 5)
+        y = np.arange(10.0).reshape(1, 2, 5)
+        writer.put("deadbeef", t, y)
+        reader = TrajectoryCache(directory=tmp_path)  # fresh memory
+        hit = reader.get("deadbeef")
+        assert hit is not None
+        np.testing.assert_array_equal(hit[0], t)
+        np.testing.assert_array_equal(hit[1], y)
+
+    def test_resolve_cache_forms(self, tmp_path):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache(True) is resolve_cache(True)
+        disk = resolve_cache(str(tmp_path))
+        assert isinstance(disk, TrajectoryCache)
+        assert disk.directory == str(tmp_path)
+        cache = TrajectoryCache()
+        assert resolve_cache(cache) is cache
+        with pytest.raises(TypeError):
+            resolve_cache(42)
+
+
+class TestEnsembleIntegration:
+    def test_rerun_hits_and_is_bit_identical(self):
+        cache = TrajectoryCache()
+        first = run_ensemble(_factory, range(4), (0.0, 1.0),
+                             n_points=40, cache=cache)
+        second = run_ensemble(_factory, range(4), (0.0, 1.0),
+                              n_points=40, cache=cache)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        for a, b in zip(first.batches, second.batches):
+            np.testing.assert_array_equal(a.y, b.y)
+            np.testing.assert_array_equal(a.t, b.t)
+
+    def test_grid_change_misses(self):
+        cache = TrajectoryCache()
+        run_ensemble(_factory, range(4), (0.0, 1.0), n_points=40,
+                     cache=cache)
+        run_ensemble(_factory, range(4), (0.0, 1.0), n_points=50,
+                     cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_disk_cache_survives_new_store(self, tmp_path):
+        first = run_ensemble(_factory, range(4), (0.0, 1.0),
+                             n_points=40, cache=str(tmp_path))
+        fresh = TrajectoryCache(directory=tmp_path)
+        second = run_ensemble(_factory, range(4), (0.0, 1.0),
+                              n_points=40, cache=fresh)
+        assert fresh.stats.hits == 1
+        for a, b in zip(first.batches, second.batches):
+            np.testing.assert_array_equal(a.y, b.y)
+
+
+_NS_LANG = repro.Language("cache-ns")
+_NS_LANG.node_type("X", order=1,
+                   attrs=[("tau", repro.real(0.2, 5.0, mm=(0.0, 0.1)))])
+_NS_LANG.edge_type("S")
+_NS_LANG.prod("prod(e:S,s:X->s:X) s <= -var(s)/s.tau + noise(0.05)")
+
+
+def _noisy_factory(seed):
+    builder = repro.GraphBuilder(_NS_LANG, "noisy-cached", seed=seed)
+    builder.node("x", "X").set_attr("x", "tau", 1.0)
+    builder.edge("x", "x", "e", "S")
+    builder.set_init("x", 1.0)
+    return builder.finish()
+
+
+class TestNoisyEnsembleIntegration:
+    def test_noisy_rerun_is_bit_identical(self):
+        cache = TrajectoryCache()
+        first = run_noisy_ensemble(_noisy_factory, range(2), (0.0, 1.0),
+                                   trials=3, n_points=30, cache=cache)
+        second = run_noisy_ensemble(_noisy_factory, range(2),
+                                    (0.0, 1.0), trials=3, n_points=30,
+                                    cache=cache)
+        assert cache.stats.hits >= 1
+        for a, b in zip(first.batches, second.batches):
+            np.testing.assert_array_equal(a.y, b.y)
+
+    def test_trial_base_shift_misses(self):
+        cache = TrajectoryCache()
+        run_noisy_ensemble(_noisy_factory, range(2), (0.0, 1.0),
+                           trials=3, n_points=30, cache=cache)
+        hits_before = cache.stats.hits
+        shifted = run_noisy_ensemble(_noisy_factory, range(2),
+                                     (0.0, 1.0), trials=3, n_points=30,
+                                     trial_base=7, cache=cache)
+        # The SDE batch must re-integrate (fresh realizations); only
+        # the deterministic reference may hit.
+        assert shifted.batches
+        assert cache.stats.hits == hits_before + 1

@@ -73,3 +73,33 @@ class TestEnsembleCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "t,x0_mean,x0_std,x0_p05,x0_p95" in out
+
+    def test_cache_dir_reruns_bit_identically(self, program_file,
+                                              tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        stats = {}
+        for run in ("cold", "warm"):
+            path = tmp_path / f"{run}.csv"
+            assert main(["ensemble", program_file, "--arg", "w=1.0",
+                         "--t-end", "1.0", "--seeds", "4",
+                         "--node", "x0", "--csv", str(path),
+                         "--cache-dir", str(cache_dir)]) == 0
+            stats[run] = np.genfromtxt(path, delimiter=",", names=True)
+        assert list(cache_dir.glob("*.npz"))
+        for name in stats["cold"].dtype.names:
+            np.testing.assert_array_equal(stats["cold"][name],
+                                          stats["warm"][name])
+
+    def test_no_dense_flag_agrees(self, program_file, tmp_path):
+        paths = {}
+        for flag, extra in (("dense", []), ("clipped", ["--no-dense"])):
+            path = tmp_path / f"{flag}.csv"
+            assert main(["ensemble", program_file, "--arg", "w=1.0",
+                         "--t-end", "1.0", "--seeds", "4",
+                         "--node", "x0", "--csv", str(path)]
+                        + extra) == 0
+            paths[flag] = np.genfromtxt(path, delimiter=",",
+                                        names=True)
+        np.testing.assert_allclose(paths["dense"]["x0_mean"],
+                                   paths["clipped"]["x0_mean"],
+                                   rtol=1e-5, atol=1e-8)

@@ -1,5 +1,7 @@
 """Tests for the ensemble driver: grouping, fallback, API compat."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -31,6 +33,14 @@ def _pair_factory(seed, coupled=True):
 
 # Module-level so it pickles into a multiprocessing pool.
 def _picklable_factory(seed):
+    return _pair_factory(seed)
+
+
+def _boom_in_worker_factory(seed):
+    """Picklable factory that works in the parent (whose pid is in
+    ARK_ENSEMBLE_TEST_PID) but raises TypeError inside pool workers."""
+    if os.getpid() != int(os.environ.get("ARK_ENSEMBLE_TEST_PID", "-1")):
+        raise TypeError("worker-side failure must propagate")
     return _pair_factory(seed)
 
 
@@ -173,6 +183,107 @@ class TestRunEnsemble:
                               engine="serial", processes=2)
         assert len(result) == 3
         assert all(isinstance(t, Trajectory) for t in result)
+
+    def test_worker_type_error_propagates(self):
+        # Regression: the pool wrapper used to catch TypeError (as a
+        # proxy for "unpicklable factory") around pool.map, so a
+        # *genuine* worker TypeError was swallowed and every seed was
+        # silently rerun in-process — masking the failure entirely.
+        os.environ["ARK_ENSEMBLE_TEST_PID"] = str(os.getpid())
+        try:
+            with pytest.raises(TypeError, match="worker-side"):
+                run_ensemble(_boom_in_worker_factory, range(3),
+                             (0.0, 1.0), n_points=30, engine="serial",
+                             processes=2)
+        finally:
+            del os.environ["ARK_ENSEMBLE_TEST_PID"]
+
+
+class TestBatchedSharding:
+    def test_sharded_rk4_is_bit_identical_to_single_process(self):
+        sharded = run_ensemble(_picklable_factory, range(8),
+                               (0.0, 1.0), n_points=40, method="rk4",
+                               processes=2, shard_min=4)
+        single = run_ensemble(_picklable_factory, range(8), (0.0, 1.0),
+                              n_points=40, method="rk4")
+        assert len(sharded.batches) == len(single.batches) == 1
+        np.testing.assert_array_equal(sharded.batches[0].y,
+                                      single.batches[0].y)
+        np.testing.assert_array_equal(sharded.batches[0].t,
+                                      single.batches[0].t)
+        assert sharded.groups == single.groups
+        assert sharded.serial_indices == []
+
+    def test_sharded_rkf45_matches_at_tolerance(self):
+        # rkf45's shared step control sees each shard separately, so
+        # sharded results agree at tolerance level (not bitwise).
+        sharded = run_ensemble(_picklable_factory, range(8),
+                               (0.0, 1.0), n_points=40, processes=2,
+                               shard_min=4)
+        single = run_ensemble(_picklable_factory, range(8), (0.0, 1.0),
+                              n_points=40)
+        np.testing.assert_allclose(sharded.batches[0].y,
+                                   single.batches[0].y,
+                                   rtol=1e-5, atol=1e-8)
+
+    def test_small_groups_are_not_sharded(self):
+        result = run_ensemble(_picklable_factory, range(4), (0.0, 1.0),
+                              n_points=30, processes=2, shard_min=64)
+        assert len(result.batches) == 1  # one in-process batch
+
+    def test_unpicklable_factory_still_batches_in_process(self):
+        result = run_ensemble(lambda seed: _pair_factory(seed),
+                              range(8), (0.0, 1.0), n_points=30,
+                              processes=2, shard_min=4)
+        assert len(result.batches) == 1
+        assert result.serial_indices == []
+
+    def test_sharded_rkf45_results_stay_out_of_the_cache(self):
+        # Shard-split rkf45 runs per-shard step control, so its result
+        # is not bit-reproducible by an unsharded rerun — storing it
+        # would poison the cache's bit-for-bit replay contract.
+        from repro.sim import TrajectoryCache
+        cache = TrajectoryCache()
+        run_ensemble(_picklable_factory, range(8), (0.0, 1.0),
+                     n_points=40, processes=2, shard_min=4,
+                     cache=cache)
+        assert cache.stats.stores == 0
+        unsharded = run_ensemble(_picklable_factory, range(8),
+                                 (0.0, 1.0), n_points=40, cache=cache)
+        rerun = run_ensemble(_picklable_factory, range(8), (0.0, 1.0),
+                             n_points=40, cache=cache)
+        assert cache.stats.stores == 1
+        np.testing.assert_array_equal(unsharded.batches[0].y,
+                                      rerun.batches[0].y)
+
+    def test_shards_follow_the_whole_group_fuse_decision(self,
+                                                         monkeypatch):
+        # The fused emitter's dense memory guard depends on batch
+        # size, so a shard deciding for itself could fuse where the
+        # whole group would not — the parent's decision must win or
+        # rk4 shard bit-identity (and cache storability) breaks.
+        from repro.sim import batch_codegen
+        monkeypatch.setattr(batch_codegen, "FUSE_DENSE_LIMIT", 1)
+        sharded = run_ensemble(_picklable_factory, range(8),
+                               (0.0, 1.0), n_points=40, method="rk4",
+                               processes=2, shard_min=4)
+        single = run_ensemble(_picklable_factory, range(8), (0.0, 1.0),
+                              n_points=40, method="rk4")
+        np.testing.assert_array_equal(sharded.batches[0].y,
+                                      single.batches[0].y)
+
+    def test_sharded_rk4_results_are_cached(self):
+        from repro.sim import TrajectoryCache
+        cache = TrajectoryCache()
+        sharded = run_ensemble(_picklable_factory, range(8),
+                               (0.0, 1.0), n_points=40, method="rk4",
+                               processes=2, shard_min=4, cache=cache)
+        assert cache.stats.stores == 1
+        rerun = run_ensemble(_picklable_factory, range(8), (0.0, 1.0),
+                             n_points=40, method="rk4", cache=cache)
+        assert cache.stats.hits == 1
+        np.testing.assert_array_equal(sharded.batches[0].y,
+                                      rerun.batches[0].y)
 
 
 class TestSimulateEnsembleCompat:

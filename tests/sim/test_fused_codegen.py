@@ -1,0 +1,132 @@
+"""Tests for the fused-RHS emitter (affine terms -> one batched matmul).
+
+The fused path must be a pure performance transform: for every system it
+applies to, the emitted RHS has to agree with the per-line emitter to
+floating-point noise, and systems it cannot fuse (nonlinear reductions,
+too-large dense tensors) must transparently keep the per-line source.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.compiler import compile_graph
+from repro.paradigms.tln import mismatched_tline
+from repro.sim import compile_batch, solve_batch
+from repro.sim import batch_codegen
+
+
+def _chain_language():
+    lang = repro.Language("fuse-chain")
+    lang.node_type("X", order=1,
+                   attrs=[("tau", repro.real(0.2, 5.0, mm=(0.0, 0.1))),
+                          ("bias", repro.real(-2.0, 2.0))])
+    lang.edge_type("W", attrs=[("w", repro.real(-5.0, 5.0,
+                                                mm=(0.0, 0.05)))])
+    lang.prod("prod(e:W,s:X->s:X) s <= -var(s)/s.tau + s.bias")
+    lang.prod("prod(e:W,s:X->t:X) t <= e.w*var(s)")
+    return lang
+
+
+def _chain_systems(n_instances=5, n_nodes=4):
+    lang = _chain_language()
+    systems = []
+    for seed in range(n_instances):
+        builder = repro.GraphBuilder(lang, "chain", seed=seed)
+        for i in range(n_nodes):
+            builder.node(f"x{i}", "X")
+            builder.set_attr(f"x{i}", "tau", 1.0 + 0.3 * i)
+            builder.set_attr(f"x{i}", "bias", 0.1 * i)
+            builder.edge(f"x{i}", f"x{i}", f"l{i}", "W")
+            builder.set_attr(f"l{i}", "w", 0.0)
+            builder.set_init(f"x{i}", 1.0 - 0.1 * i)
+        for i in range(n_nodes - 1):
+            builder.edge(f"x{i}", f"x{i+1}", f"c{i}", "W")
+            builder.set_attr(f"c{i}", "w", 0.8)
+        systems.append(compile_graph(builder.finish()))
+    return systems
+
+
+class TestFusedEmitter:
+    def test_linear_system_fuses(self):
+        batch = compile_batch(_chain_systems())
+        assert batch.fused
+        assert "_lin_A" in batch.source
+
+    def test_fuse_false_keeps_per_line_source(self):
+        batch = compile_batch(_chain_systems(), fuse=False)
+        assert not batch.fused
+        assert "_lin_A" not in batch.source
+
+    def test_fused_rhs_matches_per_line(self):
+        systems = _chain_systems()
+        fused = compile_batch(systems)
+        per_line = compile_batch(systems, fuse=False)
+        rng = np.random.default_rng(3)
+        for t in (0.0, 0.7):
+            y = rng.normal(size=(len(systems), fused.n_states))
+            np.testing.assert_allclose(fused(t, y.copy()),
+                                       per_line(t, y.copy()),
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_tline_fuses_with_input_residual(self):
+        # The Fig. 4 t-line is affine plus one time-dependent pulse
+        # input: everything except the input term must land in the
+        # matmul, the pulse survives as a per-line residual.
+        systems = [compile_graph(mismatched_tline("gm", seed=s))
+                   for s in range(3)]
+        fused = compile_batch(systems)
+        assert fused.fused
+        rhs_lines = [line for line in fused.source.splitlines()
+                     if "dy[" in line]
+        assert len(rhs_lines) == 2  # the matmul + the pulse residual
+        per_line = compile_batch(systems, fuse=False)
+        rng = np.random.default_rng(5)
+        y = rng.normal(size=(3, fused.n_states))
+        for t in (0.0, 2e-9, 5e-8):
+            a, b = fused(t, y.copy()), per_line(t, y.copy())
+            np.testing.assert_allclose(a, b, rtol=1e-10,
+                                       atol=1e-10 * np.abs(b).max())
+
+    def test_nonlinear_system_falls_back(self):
+        # Kuramoto-style sin() coupling cannot fuse; the emitter must
+        # keep the per-line source (and say so via `fused`).
+        lang = repro.Language("fuse-nl")
+        lang.node_type("P", order=1)
+        lang.edge_type("K")
+        lang.prod("prod(e:K,s:P->t:P) t <= sin(var(s)-var(t))")
+        systems = []
+        for seed in range(3):
+            builder = repro.GraphBuilder(lang, "nl", seed=seed)
+            builder.node("a", "P")
+            builder.node("b", "P")
+            builder.edge("a", "b", "e1", "K")
+            builder.edge("b", "a", "e2", "K")
+            builder.set_init("a", 0.3)
+            builder.set_init("b", 1.1)
+            systems.append(compile_graph(builder.finish()))
+        batch = compile_batch(systems)
+        assert not batch.fused
+
+    def test_dense_limit_guards_memory(self, monkeypatch):
+        monkeypatch.setattr(batch_codegen, "FUSE_DENSE_LIMIT", 4)
+        batch = compile_batch(_chain_systems())
+        assert not batch.fused
+
+    def test_solve_batch_agrees_across_emitters(self):
+        systems = _chain_systems()
+        fused = solve_batch(compile_batch(systems), (0.0, 2.0),
+                            n_points=60)
+        per_line = solve_batch(compile_batch(systems, fuse=False),
+                               (0.0, 2.0), n_points=60)
+        np.testing.assert_allclose(fused.y, per_line.y, rtol=1e-6,
+                                   atol=1e-9)
+
+    def test_fused_matches_serial_scipy(self):
+        systems = _chain_systems(n_instances=3)
+        batch = solve_batch(compile_batch(systems), (0.0, 2.0),
+                            n_points=60)
+        for row, system in enumerate(systems):
+            serial = repro.simulate(system, (0.0, 2.0), n_points=60)
+            np.testing.assert_allclose(batch.y[row], serial.y,
+                                       rtol=1e-4, atol=1e-7)

@@ -185,6 +185,23 @@ class TestSolverValidation:
         with pytest.raises(SimulationError):
             batch.diffusion(0.0, batch.y0)
 
+    @pytest.mark.parametrize("max_step", [0.0, -0.5, float("nan")])
+    def test_invalid_max_step_rejected(self, max_step):
+        # Regression: max_step=0 died in int(np.ceil(dt/0)) and
+        # negative values were silently ignored by max(1, ...) in the
+        # substep plan.
+        with pytest.raises(SimulationError, match="max_step"):
+            solve_sde(compile_batch([_ou_system()]), (0.0, 1.0),
+                      max_step=max_step)
+
+    @pytest.mark.parametrize("n_points", [1, 0])
+    def test_degenerate_n_points_rejected(self, n_points):
+        # Regression: a 1-point grid skipped integration and returned
+        # only y0; a 0-point grid crashed with a bare IndexError.
+        with pytest.raises(SimulationError, match="n_points"):
+            solve_sde(compile_batch([_ou_system()]), (0.0, 1.0),
+                      n_points=n_points)
+
 
 class TestNoisyEnsembleDriver:
     def _factory(self, seed):
