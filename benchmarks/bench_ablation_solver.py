@@ -1,7 +1,6 @@
 """Ablation — ODE method choice on the t-line workload (RK45 vs LSODA
 vs Radau): accuracy is tied by tolerance, cost differs."""
 
-import numpy as np
 import pytest
 
 import repro

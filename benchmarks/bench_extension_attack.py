@@ -3,7 +3,6 @@ predict" requirement quantified): cross-validated prediction accuracy
 for the Gm-mismatch design at two feature degrees, plus the cost of the
 attack's two kernels (CRP harvesting and model fitting)."""
 
-import numpy as np
 import pytest
 
 from repro.paradigms.tln import TLineSpec

@@ -8,9 +8,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.paradigms.obc import (brute_force_maxcut, random_graphs,
-                                 random_weights, solve_coloring,
-                                 solve_maxcut)
+from repro.paradigms.obc import (random_graphs, random_weights,
+                                 solve_coloring, solve_maxcut)
 
 from conftest import report
 

@@ -2,7 +2,6 @@
 quality of the three placers over a population of random graphs, and the
 cost of one placement + network materialization."""
 
-import numpy as np
 import pytest
 
 import repro

@@ -1,26 +1,48 @@
-"""Transient-noise engine benchmark: serial vs. batched SDE wall time.
+"""Transient-noise engine benchmark: serial vs. batched vs. sharded SDE
+wall time, plus per-instance step-mask savings.
 
 Writes ``BENCH_noise.json`` at the repository root::
 
     PYTHONPATH=src python benchmarks/run_bench_noise.py
 
-Workload: the PUF intra-chip reliability sweep — every (fabricated
-chip, noise trial) pair of a transiently noisy PUF design is one SDE
-integration. The serial path runs one batch-of-one solve per pair
-(drift compiled once per chip); the batched path runs the whole
-(chips x trials) outer product through :func:`repro.sim.
-run_noisy_ensemble` — one vectorized RHS + diffusion per structural
-group. Both consume identical per-(chip, trial) Wiener streams, so the
-responses — and therefore the reliability numbers — agree bit for bit,
-and the speedup is never bought with a different noise realization.
+``--smoke`` shrinks the sweep sizes for a fast CI check and defaults
+its JSON to ``BENCH_noise_smoke.json`` so it never overwrites the
+recorded full-size numbers; ``--out`` redirects the JSON anywhere.
 
-A second section records the OBC max-cut solution-quality-vs-noise
-sweep, the workload-level artifact of the noisy engine.
+Sections:
+
+* ``puf_reliability`` — the PUF intra-chip reliability sweep: every
+  (fabricated chip, noise trial) pair of a transiently noisy PUF design
+  is one SDE integration. The serial path runs one batch-of-one solve
+  per pair (drift compiled once per chip); the batched path runs the
+  whole (chips x trials) outer product through the unified plan driver
+  — one vectorized RHS + diffusion per structural group. Both consume
+  identical per-(chip, trial) Wiener streams, so the responses — and
+  therefore the reliability numbers — agree bit for bit, and the
+  speedup is never bought with a different noise realization.
+* ``sharded_sde`` — the same (chips x trials) sweep through the
+  ``shard`` backend: per-core sub-batches, bit-identical to both the
+  batched and the serial single-process baselines (Wiener streams are
+  keyed per (seed, element, path), never by batch layout). The
+  recorded ``cpu_count`` qualifies the wall-clock numbers: on a
+  single-core runner the pool only adds spawn overhead, and the
+  speedup to read is sharded-vs-*serial* (the PR 2 single-process
+  baseline).
+* ``step_mask`` — per-instance freeze masks on the stiff OBC max-cut
+  ensemble (SHIL binarization puts the Jacobian at ~5e9 rad/s): once
+  an oscillator network locks, its instance freezes out of rkf45 error
+  control, so settled instances stop forcing worst-case steps and the
+  run finishes early. Reports wall time and RHS-evaluation savings
+  plus the masked-vs-unmasked deviation.
+* ``obc_noise_sweep`` — the OBC max-cut solution-quality-vs-noise
+  sweep, the workload-level artifact of the noisy engine.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -33,20 +55,21 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
 
 from repro.core.compiler import compile_graph  # noqa: E402
 from repro.paradigms.obc import maxcut_noise_sweep  # noqa: E402
+from repro.paradigms.obc.noisy import MaxcutTrialFactory  # noqa: E402
 from repro.paradigms.tln import TLineSpec  # noqa: E402
-from repro.puf import PufDesign, reliability  # noqa: E402
+from repro.puf import ChipFactory, PufDesign, reliability  # noqa: E402
 from repro.puf.response import (DEFAULT_WINDOW,  # noqa: E402
                                 _window_times, encode_response,
                                 evaluate_puf_noisy)
-from repro.sim import compile_batch, solve_sde  # noqa: E402
+from repro.sim import (compile_batch, run_ensemble,  # noqa: E402
+                       solve_batch, solve_sde)
 
-RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+DEFAULT_RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
     "BENCH_noise.json"
+SMOKE_RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "BENCH_noise_smoke.json"
 
-N_CHIPS = 8
-N_TRIALS = 8
 N_BITS = 32
-N_POINTS = 400
 CHALLENGE = 2
 DESIGN = PufDesign(spec=TLineSpec(n_segments=10),
                    branch_positions=(3, 6), branch_lengths=(4, 6),
@@ -54,26 +77,24 @@ DESIGN = PufDesign(spec=TLineSpec(n_segments=10),
 T_END = DEFAULT_WINDOW[1] * 1.05
 
 
-def serial_reliability() -> tuple[dict, float]:
+def serial_reliability(n_chips, n_trials, n_points):
     """One batch-of-one SDE solve per (chip, trial): the legacy shape
-    a per-chip loop would take."""
+    a per-chip loop would take — the PR 2 single-process baseline."""
     times = _window_times(DEFAULT_WINDOW, N_BITS)
     start = time.perf_counter()
     per_chip = []
-    bits = np.empty((N_CHIPS, N_TRIALS, N_BITS), dtype=np.uint8)
-    for chip in range(N_CHIPS):
+    bits = np.empty((n_chips, n_trials, N_BITS), dtype=np.uint8)
+    for chip in range(n_chips):
         system = compile_graph(DESIGN.build(CHALLENGE, seed=chip))
         single = compile_batch([system])
-        from repro.sim import solve_batch
-
         reference_run = solve_batch(single, (0.0, T_END),
-                                    n_points=N_POINTS, method="rk4")
+                                    n_points=n_points, method="rk4")
         reference = encode_response(
             reference_run.instance(0).sample("OUT_V", times))
-        for trial in range(N_TRIALS):
+        for trial in range(n_trials):
             run = solve_sde(single, (0.0, T_END),
                             noise_seeds=[f"{chip}:{trial}"],
-                            n_points=N_POINTS)
+                            n_points=n_points)
             bits[chip, trial] = encode_response(
                 run.instance(0).sample("OUT_V", times))
         per_chip.append(reliability(reference, list(bits[chip])))
@@ -81,26 +102,28 @@ def serial_reliability() -> tuple[dict, float]:
     return {"per_chip": per_chip, "bits": bits}, elapsed
 
 
-def batched_reliability() -> tuple[dict, float]:
+def batched_reliability(n_chips, n_trials, n_points):
     start = time.perf_counter()
     references, trial_bits = evaluate_puf_noisy(
-        DESIGN, CHALLENGE, seeds=range(N_CHIPS), trials=N_TRIALS,
-        n_bits=N_BITS, n_points=N_POINTS)
+        DESIGN, CHALLENGE, seeds=range(n_chips), trials=n_trials,
+        n_bits=N_BITS, n_points=n_points)
     per_chip = [reliability(references[chip], list(trial_bits[chip]))
-                for chip in range(N_CHIPS)]
+                for chip in range(n_chips)]
     elapsed = time.perf_counter() - start
     return {"per_chip": per_chip, "bits": trial_bits}, elapsed
 
 
-def bench_puf() -> dict:
-    serial, serial_seconds = serial_reliability()
-    batched, batched_seconds = batched_reliability()
+def bench_puf(n_chips, n_trials, n_points) -> dict:
+    serial, serial_seconds = serial_reliability(n_chips, n_trials,
+                                                n_points)
+    batched, batched_seconds = batched_reliability(n_chips, n_trials,
+                                                   n_points)
     identical = bool(np.array_equal(serial["bits"], batched["bits"]))
     result = {
-        "n_chips": N_CHIPS,
-        "n_trials": N_TRIALS,
+        "n_chips": n_chips,
+        "n_trials": n_trials,
         "n_bits": N_BITS,
-        "n_points": N_POINTS,
+        "n_points": n_points,
         "noise_amplitude": DESIGN.noise,
         "serial_seconds": round(serial_seconds, 4),
         "batched_seconds": round(batched_seconds, 4),
@@ -118,11 +141,95 @@ def bench_puf() -> dict:
     return result
 
 
-def bench_obc() -> dict:
-    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
-    sigmas = [0.0, 5e3, 2e4, 6e4]
+def bench_sharded_sde(n_chips, n_trials, n_points,
+                      serial_seconds) -> dict:
+    """The (chips x trials) sweep through the shard backend — per-core
+    sub-batches, bit-identical to the unsharded solve. ``processes``
+    is capped by the host; ``cpu_count`` is recorded because on a
+    single-core runner the pool can only add overhead and the number
+    to read is the speedup over the serial per-pair baseline."""
+    factory = ChipFactory(DESIGN, CHALLENGE)
+    span = (0.0, T_END)
+    kwargs = dict(trials=n_trials, n_points=n_points, reference=False)
     start = time.perf_counter()
-    points = maxcut_noise_sweep(edges, 4, sigmas, trials=16, seed=1)
+    unsharded = run_ensemble(factory, range(n_chips), span, **kwargs)
+    unsharded_seconds = time.perf_counter() - start
+    processes = min(4, max(2, os.cpu_count() or 1))
+    start = time.perf_counter()
+    sharded = run_ensemble(factory, range(n_chips), span,
+                           processes=processes,
+                           shard_min=n_chips * n_trials, **kwargs)
+    sharded_seconds = time.perf_counter() - start
+    identical = bool(np.array_equal(unsharded.batches[0].y,
+                                    sharded.batches[0].y))
+    result = {
+        "n_chips": n_chips,
+        "n_trials": n_trials,
+        "n_points": n_points,
+        "processes": processes,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 4),
+        "batched_seconds": round(unsharded_seconds, 4),
+        "sharded_seconds": round(sharded_seconds, 4),
+        "sharded_speedup_vs_serial": round(
+            serial_seconds / sharded_seconds, 2),
+        "sharded_speedup_vs_batched": round(
+            unsharded_seconds / sharded_seconds, 2),
+        "bit_identical": identical,
+    }
+    print(f"[sharded_sde] batched {unsharded_seconds:.2f}s  sharded "
+          f"(p={processes}) {sharded_seconds:.2f}s  vs-serial "
+          f"{result['sharded_speedup_vs_serial']:.1f}x  "
+          f"identical={identical}  (cpus: {os.cpu_count()})")
+    return result
+
+
+def bench_step_mask(n_instances, n_points) -> dict:
+    """Per-instance freeze masks on the stiff deterministic OBC
+    ensemble: rkf45 with masked error control vs. the full solve."""
+    edges = ((0, 1), (1, 2), (2, 3), (3, 0))
+    rng = np.random.default_rng(1)
+    initials = tuple(tuple(row) for row in
+                     rng.uniform(0.0, 2.0 * np.pi, (n_instances, 4)))
+    factory = MaxcutTrialFactory(edges, 4, initials, 0.0)
+    systems = [compile_graph(factory(k)) for k in range(n_instances)]
+    batch = compile_batch(systems)
+    span = (0.0, 200e-9)
+    start = time.perf_counter()
+    full = solve_batch(batch, span, n_points=n_points)
+    full_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    masked = solve_batch(batch, span, n_points=n_points,
+                         freeze_tol=1e2)
+    masked_seconds = time.perf_counter() - start
+    deviation = float(np.abs(full.y - masked.y).max())
+    result = {
+        "workload": "obc_maxcut_4cycle (SHIL Jacobian ~5e9 rad/s)",
+        "n_instances": n_instances,
+        "n_points": n_points,
+        "freeze_tol": 1e2,
+        "full_seconds": round(full_seconds, 4),
+        "masked_seconds": round(masked_seconds, 4),
+        "speedup": round(full_seconds / masked_seconds, 2),
+        "full_nfev": full.nfev,
+        "masked_nfev": masked.nfev,
+        "nfev_savings": round(1.0 - masked.nfev / full.nfev, 3),
+        "frozen_instances": int(masked.frozen.sum()),
+        "max_abs_deviation": deviation,
+    }
+    print(f"[step_mask] full {full_seconds:.2f}s/{full.nfev} evals  "
+          f"masked {masked_seconds:.2f}s/{masked.nfev} evals  "
+          f"({result['nfev_savings'] * 100:.0f}% fewer evals, "
+          f"{result['frozen_instances']}/{n_instances} frozen, "
+          f"max|dev| {deviation:.1e})")
+    return result
+
+
+def bench_obc(trials, sigmas) -> dict:
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    start = time.perf_counter()
+    points = maxcut_noise_sweep(edges, 4, sigmas, trials=trials,
+                                seed=1)
     elapsed = time.perf_counter() - start
     rows = [{
         "noise_sigma": point.noise_sigma,
@@ -130,23 +237,56 @@ def bench_obc() -> dict:
         "solved_probability": round(point.solved_probability, 3),
         "mean_cut_ratio": round(point.mean_cut_ratio, 3),
     } for point in points]
-    print(f"[obc_noise_sweep] {len(sigmas)} amplitudes x 16 trials in "
-          f"{elapsed:.2f}s  sync " +
+    print(f"[obc_noise_sweep] {len(sigmas)} amplitudes x {trials} "
+          f"trials in {elapsed:.2f}s  sync " +
           " ".join(f"{row['sync_probability']:.2f}" for row in rows))
-    return {"edges": "4-cycle", "trials": 16,
+    return {"edges": "4-cycle", "trials": trials,
             "seconds": round(elapsed, 4), "points": rows}
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sweep sizes for a fast CI check")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="result JSON path (defaults to "
+                        "BENCH_noise.json, or BENCH_noise_smoke.json "
+                        "with --smoke)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        n_chips, n_trials, n_points = 2, 2, 120
+        mask_instances, mask_points = 4, 30
+        obc_trials, sigmas = 4, [0.0, 2e4]
+    else:
+        n_chips, n_trials, n_points = 8, 8, 400
+        mask_instances, mask_points = 16, 60
+        obc_trials, sigmas = 16, [0.0, 5e3, 2e4, 6e4]
+    out = args.out or (SMOKE_RESULT_PATH if args.smoke
+                       else DEFAULT_RESULT_PATH)
+
+    puf = bench_puf(n_chips, n_trials, n_points)
     payload = {
-        "benchmark": "transient-noise (SDE) engine: serial vs batched",
+        "benchmark": "transient-noise (SDE) engine: serial vs batched "
+                     "vs sharded, plus step masks",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "puf_reliability": bench_puf(),
-        "obc_noise_sweep": bench_obc(),
+        "smoke": args.smoke,
+        "puf_reliability": puf,
+        "sharded_sde": bench_sharded_sde(n_chips, n_trials, n_points,
+                                         puf["serial_seconds"]),
+        "step_mask": bench_step_mask(mask_instances, mask_points),
+        "obc_noise_sweep": bench_obc(obc_trials, sigmas),
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH}")
+    if not payload["sharded_sde"]["bit_identical"]:
+        print("ERROR: sharded SDE result is not bit-identical",
+              file=sys.stderr)
+        return 1
+    if not payload["puf_reliability"]["responses_identical"]:
+        print("ERROR: serial and batched responses differ",
+              file=sys.stderr)
+        return 1
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
     return 0
 
 

@@ -9,9 +9,12 @@ Implements the §4.6 user workflow without writing Python::
         --t-end 8e-8 --node OUT_V --csv out.csv
     python -m repro ensemble program.ark --func br-func --arg br=1 \
         --t-end 8e-8 --seeds 64 --node OUT_V --csv spread.csv
-    python -m repro noise program.ark --func noisy-cell \
+    python -m repro ensemble program.ark --func noisy-cell \
         --t-end 5.0 --seeds 4 --trials 16 --node x --csv noise.csv
     python -m repro dot program.ark --func br-func --arg br=1
+
+(``repro noise`` remains as a deprecated alias of ``repro ensemble
+--trials`` and forwards through the same unified driver.)
 
 Paradigm languages ship with the package, so an ``.ark`` file may use
 ``tln``/``gmc-tln``/``sw-tln``/``ns-tln``/``cnn``/``hw-cnn``/``obc``/
@@ -173,15 +176,45 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _stats_columns(nodes, grid, matrix_for):
+    """The per-node ensemble statistics block both sweep flavors emit:
+    mean/std/p05/p95 columns over ``matrix_for(node)`` (an
+    ``(n_runs, n_t)`` matrix), prefixed by the time column. Returns
+    ``(header, matrix)`` ready for CSV/stdout."""
+    header = ["t"]
+    columns = [grid]
+    for node in nodes:
+        matrix = matrix_for(node)
+        header += [f"{node}_mean", f"{node}_std", f"{node}_p05",
+                   f"{node}_p95"]
+        columns += [matrix.mean(axis=0), matrix.std(axis=0),
+                    np.percentile(matrix, 5.0, axis=0),
+                    np.percentile(matrix, 95.0, axis=0)]
+    return header, np.column_stack(columns)
+
+
 def cmd_ensemble(args) -> int:
-    """Monte-Carlo mismatch sweep: invoke the function once per seed and
-    integrate the whole ensemble through the batched engine."""
+    """Monte-Carlo sweep through the unified execution-plan driver:
+    deterministic mismatch ensembles by default, (chips x trials)
+    transient-noise sweeps with ``--trials``."""
     import time
 
-    from repro.sim import BATCH_METHODS, run_ensemble
+    from repro.sim import BATCH_METHODS, SDE_METHODS, run_ensemble
 
     if args.seeds < 1:
         raise ArkError(f"--seeds must be >= 1, got {args.seeds}")
+    noisy = args.trials is not None
+    if noisy:
+        if args.trials < 1:
+            raise ArkError(f"--trials must be >= 1, got {args.trials}")
+        if args.sde_method not in SDE_METHODS:
+            raise ArkError(
+                f"unknown SDE method {args.sde_method!r}; expected "
+                f"one of {', '.join(SDE_METHODS)}")
+    elif args.noise_seed is not None:
+        raise ArkError(
+            "--noise-seed was given without --trials; pass --trials N "
+            "to request a transient-noise sweep")
     scipy_methods = ("RK23", "RK45", "DOP853", "Radau", "BDF", "LSODA")
     if args.method not in BATCH_METHODS + scipy_methods:
         raise ArkError(
@@ -199,10 +232,27 @@ def cmd_ensemble(args) -> int:
 
     first = function.invoke(arguments, seed=args.seed_base)
     validate(first, backend=args.backend).raise_if_invalid()
+    first_target = first
+
+    if noisy:
+        from repro.core.compiler import compile_graph
+        from repro.sim import compile_batch
+
+        # Judge on the *folded* batch: a noise() term whose amplitude
+        # is 0 for this invocation compiles away entirely. The compiled
+        # system is reused by the ensemble (the factory hands it back),
+        # so chip 0 is compiled exactly once.
+        first_system = compile_graph(first)
+        if not compile_batch([first_system]).has_noise:
+            raise ArkError(
+                f"function {function.name} compiles to a deterministic "
+                "system (no live noise() terms or ns annotations); "
+                "drop --trials to run the mismatch sweep")
+        first_target = first_system
 
     def factory(seed):
         # The validated first instance is reused, not rebuilt.
-        return first if seed == args.seed_base else \
+        return first_target if seed == args.seed_base else \
             function.invoke(arguments, seed=seed)
 
     cache = args.cache_dir if args.cache_dir else None
@@ -211,33 +261,45 @@ def cmd_ensemble(args) -> int:
                           n_points=args.points, method=args.method,
                           engine=args.engine, dense=args.dense,
                           processes=args.processes, cache=cache,
-                          shard_min=args.shard_min)
+                          shard_min=args.shard_min,
+                          max_step=args.max_step,
+                          freeze_tol=args.freeze_tol,
+                          trials=args.trials,
+                          noise_seed=(args.noise_seed or 0) if noisy
+                          else None,
+                          sde_method=args.sde_method)
     elapsed = time.perf_counter() - start
-
-    from repro.analysis import ensemble_matrix
 
     nodes = args.node or [
         node.name for node in first.nodes if node.type.order >= 1]
-    grid = result.trajectories[0].t
-    # The fully batched common case already holds stacked storage;
-    # mixed serial/batched ensembles are sampled onto the shared grid.
-    fully_batched = len(result.batches) == 1 and \
-        not result.serial_indices
-    header = ["t"]
-    columns = [grid]
-    for node in nodes:
-        matrix = result.batches[0].state(node) if fully_batched else \
-            ensemble_matrix(result.trajectories, node, grid)
-        header += [f"{node}_mean", f"{node}_std", f"{node}_p05",
-                   f"{node}_p95"]
-        columns += [matrix.mean(axis=0), matrix.std(axis=0),
-                    np.percentile(matrix, 5.0, axis=0),
-                    np.percentile(matrix, 95.0, axis=0)]
-    matrix = np.column_stack(columns)
-    print(f"{len(result)} instances in {elapsed:.2f}s "
-          f"({result.batched_fraction * 100:.0f}% batched: "
-          f"{len(result.batches)} batch(es), "
-          f"{len(result.serial_indices)} serial)")
+    if noisy:
+        grid = result.batches[0].t
+        stacked = {node: np.concatenate([batch.state(node)
+                                         for batch in result.batches])
+                   for node in nodes}
+        header, matrix = _stats_columns(nodes, grid, stacked.__getitem__)
+        total = args.seeds * args.trials
+        print(f"{args.seeds} chip(s) x {args.trials} trial(s) = "
+              f"{total} noisy runs in {elapsed:.2f}s "
+              f"({len(result.batches)} SDE batch(es), method "
+              f"{args.sde_method})")
+    else:
+        from repro.analysis import ensemble_matrix
+
+        grid = result.trajectories[0].t
+        # The fully batched common case already holds stacked storage;
+        # mixed serial/batched ensembles are sampled onto the shared
+        # grid.
+        fully_batched = len(result.batches) == 1 and \
+            not result.serial_indices
+        header, matrix = _stats_columns(
+            nodes, grid,
+            lambda node: result.batches[0].state(node) if fully_batched
+            else ensemble_matrix(result.trajectories, node, grid))
+        print(f"{len(result)} instances in {elapsed:.2f}s "
+              f"({result.batched_fraction * 100:.0f}% batched: "
+              f"{len(result.batches)} batch(es), "
+              f"{len(result.serial_indices)} serial)")
     if args.csv:
         np.savetxt(args.csv, matrix, delimiter=",",
                    header=",".join(header), comments="")
@@ -252,92 +314,25 @@ def cmd_ensemble(args) -> int:
 
 
 def cmd_noise(args) -> int:
-    """Transient-noise sweep: every (mismatch seed, noise trial) pair
-    integrated through the batched SDE engine."""
-    import time
+    """Deprecated alias: ``repro noise`` forwards to ``repro ensemble
+    --trials/--noise-seed/--sde-method`` through the unified
+    execution-plan driver (outputs are bit-identical)."""
+    print("warning: `repro noise` is deprecated; use `repro ensemble "
+          "--trials N [--noise-seed B] [--sde-method heun|em]` "
+          "(forwarding)", file=sys.stderr)
+    args.sde_method = args.method
+    args.method = "auto"
+    # Options the trimmed-down alias parser does not expose.
+    args.engine = getattr(args, "engine", "batch")
+    args.dense = getattr(args, "dense", True)
+    args.noise_seed = getattr(args, "noise_seed", 0)
+    args.processes = getattr(args, "processes", None)
+    args.freeze_tol = getattr(args, "freeze_tol", None)
+    if not hasattr(args, "shard_min"):
+        from repro.sim import ensemble as _ensemble
 
-    from repro.sim import SDE_METHODS, run_noisy_ensemble
-
-    if args.seeds < 1:
-        raise ArkError(f"--seeds must be >= 1, got {args.seeds}")
-    if args.trials < 1:
-        raise ArkError(f"--trials must be >= 1, got {args.trials}")
-    if args.method not in SDE_METHODS:
-        raise ArkError(f"unknown SDE method {args.method!r}; expected "
-                       f"one of {', '.join(SDE_METHODS)}")
-    _, functions = _load(args)
-    function = _pick_function(functions, args.func)
-    arguments = {}
-    for pair in args.arg or []:
-        if "=" not in pair:
-            raise ArkError(f"--arg expects name=value, got {pair!r}")
-        key, value = pair.split("=", 1)
-        arguments[key] = _parse_value(value)
-    seeds = range(args.seed_base, args.seed_base + args.seeds)
-
-    first = function.invoke(arguments, seed=args.seed_base)
-    validate(first, backend=args.backend).raise_if_invalid()
-
-    from repro.core.compiler import compile_graph
-    from repro.sim import compile_batch
-
-    # Judge on the *folded* batch: a noise() term whose amplitude is 0
-    # for this invocation compiles away entirely. The compiled system
-    # is reused by the ensemble (the factory hands it back), so chip 0
-    # is compiled exactly once.
-    first_system = compile_graph(first)
-    if not compile_batch([first_system]).has_noise:
-        raise ArkError(
-            f"function {function.name} compiles to a deterministic "
-            "system (no live noise() terms or ns annotations); use "
-            "`repro ensemble` instead")
-
-    def factory(seed):
-        return first_system if seed == args.seed_base else \
-            function.invoke(arguments, seed=seed)
-
-    cache = args.cache_dir if args.cache_dir else None
-    start = time.perf_counter()
-    result = run_noisy_ensemble(factory, seeds, (0.0, args.t_end),
-                                trials=args.trials,
-                                n_points=args.points,
-                                method=args.method,
-                                max_step=args.max_step,
-                                cache=cache)
-    elapsed = time.perf_counter() - start
-
-    nodes = args.node or [
-        node.name for node in first.nodes if node.type.order >= 1]
-    grid = result.batches[0].t
-    header = ["t"]
-    columns = [grid]
-    stacked = {node: np.concatenate([batch.state(node)
-                                     for batch in result.batches])
-               for node in nodes}
-    for node in nodes:
-        matrix = stacked[node]
-        header += [f"{node}_mean", f"{node}_std", f"{node}_p05",
-                   f"{node}_p95"]
-        columns += [matrix.mean(axis=0), matrix.std(axis=0),
-                    np.percentile(matrix, 5.0, axis=0),
-                    np.percentile(matrix, 95.0, axis=0)]
-    matrix = np.column_stack(columns)
-    total = args.seeds * args.trials
-    print(f"{args.seeds} chip(s) x {args.trials} trial(s) = {total} "
-          f"noisy runs in {elapsed:.2f}s "
-          f"({len(result.batches)} SDE batch(es), method "
-          f"{args.method})")
-    if args.csv:
-        np.savetxt(args.csv, matrix, delimiter=",",
-                   header=",".join(header), comments="")
-        print(f"wrote {matrix.shape[0]} samples x "
-              f"{matrix.shape[1]} columns to {args.csv}")
-    else:
-        print(",".join(header))
-        step = max(1, len(grid) // args.print_rows)
-        for row in matrix[::step]:
-            print(",".join(f"{value:.6g}" for value in row))
-    return 0
+        args.shard_min = _ensemble.DEFAULT_SHARD_MIN
+    return cmd_ensemble(args)
 
 
 def cmd_dot(args) -> int:
@@ -423,7 +418,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ens = sub.add_parser(
         "ensemble",
-        help="Monte-Carlo mismatch sweep (batched ensemble engine)")
+        help="Monte-Carlo sweep (unified plan driver): mismatch "
+        "ensembles, or chips x trials transient noise with --trials")
     common(p_ens)
     p_ens.add_argument("--t-end", type=float, required=True)
     p_ens.add_argument("--seeds", type=int, default=16,
@@ -434,8 +430,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_ens.add_argument("--method", default="auto",
                        help="auto (default), rkf45, rk4, or a scipy "
                        "method name (forces the serial path)")
+    p_ens.add_argument("--trials", type=int, default=None,
+                       help="noise realizations per chip: switches to "
+                       "the transient-noise (SDE) sweep")
+    p_ens.add_argument("--noise-seed", type=int, default=None,
+                       help="first trial index of the noisy sweep "
+                       "(shift for fresh realizations; default 0; "
+                       "requires --trials)")
+    p_ens.add_argument("--sde-method", default="heun",
+                       help="SDE method with --trials: heun (default) "
+                       "or em")
+    p_ens.add_argument("--max-step", type=float, default=None,
+                       help="solver step cap (default span/64)")
+    p_ens.add_argument("--freeze-tol", type=float, default=None,
+                       help="per-instance step masks: converged "
+                       "instances freeze instead of forcing the "
+                       "worst-case step on the whole batch")
     p_ens.add_argument("--engine", default="batch",
-                       choices=("batch", "serial"))
+                       choices=("batch", "serial", "shard", "auto"))
     p_ens.add_argument("--backend", default="milp",
                        choices=("milp", "flow"))
     p_ens.add_argument("--processes", type=int, default=None,
@@ -467,8 +479,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_noise = sub.add_parser(
         "noise",
-        help="transient-noise sweep (batched SDE engine): chips x "
-        "trials")
+        help="deprecated alias for `ensemble --trials` (transient-"
+        "noise sweep: chips x trials)")
     common(p_noise)
     p_noise.add_argument("--t-end", type=float, required=True)
     p_noise.add_argument("--seeds", type=int, default=4,
@@ -477,6 +489,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="first mismatch seed (default 0)")
     p_noise.add_argument("--trials", type=int, default=8,
                          help="noise realizations per chip")
+    p_noise.add_argument("--noise-seed", type=int, default=0,
+                         help="first trial index (shift for fresh "
+                         "realizations; default 0)")
     p_noise.add_argument("--points", type=int, default=200)
     p_noise.add_argument("--method", default="heun",
                          help="SDE method: heun (default) or em")

@@ -17,7 +17,7 @@ time, or lowered to Python source by the code generator.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CompileError
 

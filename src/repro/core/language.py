@@ -18,7 +18,7 @@ property the paper's "progressive rewriting" workflow relies on.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.core import expr as E
 from repro.core.attributes import AttrDecl, InitDecl
@@ -26,8 +26,7 @@ from repro.core.datatypes import Datatype
 from repro.core.production import (ProductionRule, RuleTable,
                                    parse_production)
 from repro.core.types import EdgeType, NodeType, Reduction
-from repro.core.validation import (ConstraintRule, MatchClause,
-                                   parse_constraint)
+from repro.core.validation import ConstraintRule, parse_constraint
 from repro.errors import InheritanceError, LanguageError
 
 

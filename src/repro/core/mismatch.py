@@ -15,7 +15,6 @@ different fabricated chips.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.datatypes import IntType, Mismatch, RealType
 from repro.core.noise import stream as _stream

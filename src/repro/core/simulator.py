@@ -182,8 +182,11 @@ def simulate_ensemble(factory, seeds, t_span, engine: str = "batch",
         paper's workflow re-invokes an Ark function with varying seeds to
         model multiple fabricated chips (§4.3).
     :param seeds: iterable of mismatch seeds.
-    :param engine: ``batch`` (default) or ``serial`` (one scipy solve
-        per seed, the historical behavior).
+    :param engine: execution backend — ``batch`` (default), ``serial``
+        (one scipy solve per seed, the historical behavior), ``shard``,
+        or ``auto`` (see :mod:`repro.sim.plan`). Unknown names raise
+        :class:`ValueError` instead of silently falling back to the
+        serial path.
     :param processes: optional multiprocessing fan-out for instances
         that cannot be batched.
     :param simulate_options: forwarded to the engine/serial solver —

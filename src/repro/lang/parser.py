@@ -20,7 +20,6 @@ import math
 
 from repro.core.exprparse import ExpressionParser, Token, TokenStream, \
     tokenize
-from repro.errors import ParseError
 from repro.lang import ast
 
 

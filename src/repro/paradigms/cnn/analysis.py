@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.core.graph import DynamicalGraph
 from repro.core.simulator import Trajectory, simulate
-from repro.errors import SimulationError
 from repro.paradigms.cnn.images import binarize, pixel_errors
 
 

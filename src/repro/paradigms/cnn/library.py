@@ -32,9 +32,8 @@ from collections import deque
 
 import numpy as np
 
-from repro.core.graph import DynamicalGraph
-from repro.paradigms.cnn.analysis import run_cnn, state_grid
-from repro.paradigms.cnn.images import BLACK, WHITE, binarize
+from repro.paradigms.cnn.analysis import run_cnn
+from repro.paradigms.cnn.images import BLACK, WHITE
 from repro.paradigms.cnn.templates import CnnTemplate, cnn_grid
 
 #: Grow black regions by one pixel in the 4-neighborhood. Uncoupled:
@@ -139,11 +138,11 @@ def expected_hole_fill(image: np.ndarray) -> np.ndarray:
                 queue.append((i, j))
     while queue:
         i, j = queue.popleft()
-        for k, l in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
-            if 0 <= k < rows and 0 <= l < cols and not black[k, l] \
-                    and not reachable[k, l]:
-                reachable[k, l] = True
-                queue.append((k, l))
+        for k, m in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if 0 <= k < rows and 0 <= m < cols and not black[k, m] \
+                    and not reachable[k, m]:
+                reachable[k, m] = True
+                queue.append((k, m))
     return np.where(reachable, WHITE, BLACK)
 
 
@@ -163,9 +162,9 @@ def expected_corners(image: np.ndarray) -> np.ndarray:
                 for dj in (-1, 0, 1):
                     if di == 0 and dj == 0:
                         continue
-                    k, l = i + di, j + dj
-                    if not (0 <= k < rows and 0 <= l < cols) \
-                            or not black[k, l]:
+                    k, m = i + di, j + dj
+                    if not (0 <= k < rows and 0 <= m < cols) \
+                            or not black[k, m]:
                         white_neighbors += 1
             if white_neighbors >= 5:
                 result[i, j] = BLACK

@@ -30,7 +30,6 @@ import numpy as np
 from repro.core.graph import DynamicalGraph
 from repro.core.simulator import simulate
 from repro.errors import GraphError
-from repro.paradigms.cnn.analysis import state_grid
 from repro.paradigms.cnn.templates import CnnTemplate, cnn_grid
 
 
@@ -81,10 +80,10 @@ def laplacian_matrix(rows: int, cols: int) -> np.ndarray:
         for j in range(cols):
             center = i * cols + j
             matrix[center, center] = -4.0
-            for k, l in ((i - 1, j), (i + 1, j), (i, j - 1),
+            for k, m in ((i - 1, j), (i + 1, j), (i, j - 1),
                          (i, j + 1)):
-                if 0 <= k < rows and 0 <= l < cols:
-                    matrix[center, k * cols + l] = 1.0
+                if 0 <= k < rows and 0 <= m < cols:
+                    matrix[center, k * cols + m] = 1.0
     return matrix
 
 

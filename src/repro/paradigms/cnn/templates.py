@@ -90,9 +90,9 @@ VARIANTS = {
 def _neighbors(i: int, j: int, rows: int, cols: int):
     for di in (-1, 0, 1):
         for dj in (-1, 0, 1):
-            k, l = i + di, j + dj
-            if 0 <= k < rows and 0 <= l < cols:
-                yield k, l, di + 1, dj + 1
+            k, m = i + di, j + dj
+            if 0 <= k < rows and 0 <= m < cols:
+                yield k, m, di + 1, dj + 1
 
 
 def _boundary_bias(template: CnnTemplate, i: int, j: int, rows: int,
@@ -111,8 +111,8 @@ def _boundary_bias(template: CnnTemplate, i: int, j: int, rows: int,
     missing = 0.0
     for di in (-1, 0, 1):
         for dj in (-1, 0, 1):
-            k, l = i + di, j + dj
-            if not (0 <= k < rows and 0 <= l < cols):
+            k, m = i + di, j + dj
+            if not (0 <= k < rows and 0 <= m < cols):
                 missing += a_matrix[di + 1, dj + 1]
                 missing += b_matrix[di + 1, dj + 1]
     return boundary * missing
@@ -175,16 +175,16 @@ def cnn_grid(image: np.ndarray, template: CnnTemplate, *,
     for i in range(rows):
         for j in range(cols):
             cell = f"V_{i}_{j}"
-            for k, l, ti, tj in _neighbors(i, j, rows, cols):
-                # Feedback: A[ti][tj] weights Out_(k,l) -> V_(i,j), where
-                # (ti,tj) is the offset of (k,l) relative to (i,j).
-                edge = f"fa_{i}_{j}_{k}_{l}"
-                builder.edge(f"Out_{k}_{l}", cell, edge,
+            for k, m, ti, tj in _neighbors(i, j, rows, cols):
+                # Feedback: A[ti][tj] weights Out_(k,m) -> V_(i,j), where
+                # (ti,tj) is the offset of (k,m) relative to (i,j).
+                edge = f"fa_{i}_{j}_{k}_{m}"
+                builder.edge(f"Out_{k}_{m}", cell, edge,
                              feedback_edge_type)
                 builder.set_attr(edge, "g", float(a_matrix[ti, tj]))
-                # Control: B[ti][tj] weights Inp_(k,l) -> V_(i,j).
-                edge = f"fb_{i}_{j}_{k}_{l}"
-                builder.edge(f"Inp_{k}_{l}", cell, edge,
+                # Control: B[ti][tj] weights Inp_(k,m) -> V_(i,j).
+                edge = f"fb_{i}_{j}_{k}_{m}"
+                builder.edge(f"Inp_{k}_{m}", cell, edge,
                              feedback_edge_type)
                 builder.set_attr(edge, "g", float(b_matrix[ti, tj]))
 

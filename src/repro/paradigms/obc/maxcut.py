@@ -275,7 +275,10 @@ def maxcut_noise_sweep(edges: list[tuple[int, int]], n_vertices: int,
                        n_points: int = 60,
                        max_step: float = NOISE_MAX_STEP,
                        method: str = "heun",
-                       seed: int = 0) -> list[NoisePoint]:
+                       seed: int = 0,
+                       processes: int | None = None,
+                       freeze_tol: float | None = None,
+                       ) -> list[NoisePoint]:
     """Solution quality vs. phase-noise amplitude (batched SDE sweep).
 
     For each amplitude, ``trials`` independent runs — each with its own
@@ -284,30 +287,51 @@ def maxcut_noise_sweep(edges: list[tuple[int, int]], n_vertices: int,
     in one vectorized SDE batch. The readout follows Table 1: a trial
     synchronizes when every phase bins within ``d`` of {0, pi} and is
     solved when its cut is maximal.
+
+    :param processes: shard each amplitude's SDE batch into per-core
+        sub-batches (bit-identical to the unsharded solve: Wiener
+        streams are keyed per trial token, never by batch layout).
+    :param freeze_tol: per-instance step masks — settled trials freeze
+        instead of stepping to the horizon (see
+        :func:`repro.sim.solve_sde`); an approximation knob, off by
+        default.
     """
     from repro.sim import compile_batch, solve_sde
+    from repro.sim.plan import sharded_solve_sde
     from repro.core.compiler import compile_graph
+    from repro.paradigms.obc.noisy import MaxcutTrialFactory
 
     rng = np.random.default_rng(seed)
     initials = rng.uniform(0.0, 2.0 * math.pi, (trials, n_vertices))
     optimal = brute_force_maxcut(edges, n_vertices)
     points: list[NoisePoint] = []
     for sigma in noise_sigmas:
-        systems = [
-            compile_graph(maxcut_network(
-                edges, n_vertices, initial_phases=initials[trial],
-                noise_sigma=sigma))
-            for trial in range(trials)]
+        factory = MaxcutTrialFactory(
+            edges=tuple(tuple(edge) for edge in edges),
+            n_vertices=n_vertices,
+            initials=tuple(tuple(row) for row in initials),
+            noise_sigma=float(sigma))
+        systems = [compile_graph(factory(trial))
+                   for trial in range(trials)]
         if sigma > 0.0:
-            batch = solve_sde(
-                compile_batch(systems), (0.0, t_end),
-                noise_seeds=[f"{seed}:{k}" for k in range(trials)],
-                n_points=n_points, method=method, max_step=max_step)
+            tokens = [f"{seed}:{k}" for k in range(trials)]
+            options = dict(n_points=n_points, method=method,
+                           max_step=max_step, freeze_tol=freeze_tol)
+            batch = None
+            if processes and processes > 1:
+                # Every trial is its own "chip" (chip_keys = row ids).
+                batch = sharded_solve_sde(
+                    factory, list(range(trials)), list(range(trials)),
+                    tokens, systems, (0.0, t_end), options, processes)
+            if batch is None:
+                batch = solve_sde(compile_batch(systems), (0.0, t_end),
+                                  noise_seeds=tokens, **options)
         else:
             from repro.sim import solve_batch
             batch = solve_batch(compile_batch(systems), (0.0, t_end),
                                 n_points=n_points, method="rk4",
-                                max_step=max_step)
+                                max_step=max_step,
+                                freeze_tol=freeze_tol)
         point = NoisePoint(noise_sigma=float(sigma))
         for trial in range(trials):
             result = MaxcutResult(edges=edges, n_vertices=n_vertices,

@@ -15,7 +15,10 @@ accelerator is ``Cpl_ofs`` couplings + ``Cpln`` self edges).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import cache
+
+import numpy as np
 
 from repro.core.language import Language
 from repro.lang import parse_program
@@ -43,3 +46,30 @@ def build_ns_obc_language(parent: Language | None = None) -> Language:
 def ns_obc_language() -> Language:
     """The shared ns-obc language instance."""
     return build_ns_obc_language(ofs_obc_language())
+
+
+@dataclass(frozen=True)
+class MaxcutTrialFactory:
+    """A picklable per-trial builder for noisy max-cut sweeps.
+
+    Each "seed" is one trial number selecting a row of the shared
+    initial-phase matrix; the built network carries ``noise_sigma``
+    phase noise on every oscillator. Because the class (unlike the
+    closures it replaces) pickles, :func:`repro.paradigms.obc.
+    maxcut_noise_sweep` can shard its batched SDE trials across a
+    process pool bit-identically.
+    """
+
+    edges: tuple
+    n_vertices: int
+    #: (n_trials, n_vertices) initial phases, one row per trial.
+    initials: tuple
+    noise_sigma: float = 0.0
+
+    def __call__(self, trial):
+        from repro.paradigms.obc.maxcut import maxcut_network
+
+        return maxcut_network(
+            list(self.edges), self.n_vertices,
+            initial_phases=np.asarray(self.initials[trial]),
+            noise_sigma=self.noise_sigma)

@@ -27,7 +27,6 @@ This module closes that loop:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import networkx as nx

@@ -22,10 +22,10 @@ Ark function with a ``br`` bit that switches the branch on or off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.builder import GraphBuilder
-from repro.core.datatypes import integer, lambd
+from repro.core.datatypes import integer
 from repro.core.function import (ArkFunction, EdgeStmt, FuncArg, Literal,
                                  NodeStmt, SetAttrStmt, SetInitStmt,
                                  SetSwitchStmt)

@@ -25,10 +25,12 @@ language chain.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from functools import cache
 
 from repro.core.language import Language
 from repro.lang import parse_program
+from repro.paradigms.tln.functions import TLineSpec
 from repro.paradigms.tln.switches import sw_tln_language
 
 NS_TLN_SOURCE = """
@@ -55,3 +57,34 @@ def build_ns_tln_language(parent: Language | None = None) -> Language:
 def ns_tln_language() -> Language:
     """The shared ns-tln language instance."""
     return build_ns_tln_language(sw_tln_language())
+
+
+@dataclass(frozen=True)
+class NoisyTlineFactory:
+    """A picklable ``factory(seed)`` producing noisy fabricated
+    t-lines for the unified ensemble driver.
+
+    Process-pool sharding ships the factory to worker processes, so a
+    ``lambda``/closure silently degrades to in-process execution; this
+    module-level class pickles, letting (chip × trial) SDE sweeps over
+    mismatched noisy t-lines shard across cores::
+
+        from repro.sim import run_ensemble
+
+        result = run_ensemble(
+            NoisyTlineFactory(TLineSpec(n_segments=10), noise=1e-8),
+            seeds=range(16), t_span=(0.0, 8e-8),
+            trials=8, processes=4, shard_min=16)
+    """
+
+    spec: TLineSpec = field(default_factory=TLineSpec)
+    noise: float = 1e-8
+    node_variant: str = "ideal"
+    edge_variant: str = "ideal"
+
+    def __call__(self, seed):
+        from repro.paradigms.tln.functions import linear_tline
+
+        return linear_tline(self.spec, seed=seed, noise=self.noise,
+                            node_variant=self.node_variant,
+                            edge_variant=self.edge_variant)

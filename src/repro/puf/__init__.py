@@ -22,12 +22,14 @@ from repro.puf.challenge import PufDesign
 from repro.puf.metrics import (ReliabilityReport, bit_aliasing,
                                hamming_fraction, reliability,
                                uniformity, uniqueness)
-from repro.puf.response import (evaluate_puf, evaluate_puf_noisy,
+from repro.puf.response import (ChipFactory, evaluate_puf,
+                                evaluate_puf_noisy,
                                 evaluate_puf_population,
                                 puf_reliability, random_challenges)
 
 __all__ = [
     "AttackResult",
+    "ChipFactory",
     "LogisticModel",
     "PufDesign",
     "ReliabilityReport",

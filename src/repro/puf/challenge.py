@@ -11,7 +11,7 @@ default design uses Gm (edge) mismatch, the stronger entropy source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.graph import DynamicalGraph
 from repro.core.language import Language

@@ -21,6 +21,8 @@ run-to-run.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.noise import stream_seed
@@ -70,6 +72,23 @@ def _window_times(window: tuple[float, float], n_bits: int) -> np.ndarray:
     return np.linspace(window[0], window[1], 2 * n_bits)
 
 
+@dataclass(frozen=True)
+class ChipFactory:
+    """A picklable ``factory(seed)`` building one challenged chip.
+
+    The ensemble drivers accept any callable, but process-pool sharding
+    must ship the factory to worker processes — a ``lambda`` silently
+    degrades to in-process execution. This module-level class pickles,
+    so population sweeps and (chip × trial) SDE batches can shard.
+    """
+
+    design: PufDesign
+    challenge: object
+
+    def __call__(self, seed):
+        return self.design.build(self.challenge, seed=seed)
+
+
 def evaluate_puf(design: PufDesign, challenge, seed: int, *,
                  n_bits: int = 32,
                  window: tuple[float, float] = DEFAULT_WINDOW,
@@ -98,22 +117,23 @@ def evaluate_puf_population(design: PufDesign, challenge, seeds, *,
                             window: tuple[float, float] = DEFAULT_WINDOW,
                             t_end: float | None = None,
                             noise_sigma: float = 0.0,
-                            n_points: int = 600) -> np.ndarray:
+                            n_points: int = 600,
+                            processes: int | None = None) -> np.ndarray:
     """Challenge a whole chip population in one batched solve.
 
     All mismatch seeds of one design share structure, so the ensemble
     engine integrates them through a single vectorized RHS instead of
-    one scipy run per chip. Returns a ``(n_chips, n_bits)`` bit matrix
-    whose rows equal :func:`evaluate_puf` of the corresponding seed.
+    one scipy run per chip (``processes`` shards large populations
+    across a pool). Returns a ``(n_chips, n_bits)`` bit matrix whose
+    rows equal :func:`evaluate_puf` of the corresponding seed.
     """
-    from repro.analysis import ensemble_matrix
     from repro.sim import run_ensemble
 
     seeds = list(seeds)
     horizon = t_end if t_end is not None else window[1] * 1.05
     result = run_ensemble(
-        lambda seed: design.build(challenge, seed=seed), seeds,
-        (0.0, horizon), n_points=n_points)
+        ChipFactory(design, challenge), seeds,
+        (0.0, horizon), n_points=n_points, processes=processes)
     times = _window_times(window, n_bits)
     if len(result.batches) == 1 and not result.serial_indices:
         samples = result.batches[0].sample("OUT_V", times)
@@ -137,17 +157,20 @@ def evaluate_puf_noisy(design: PufDesign, challenge, seeds, *,
                        n_points: int = 600,
                        method: str = "heun",
                        trial_base: int = 0,
+                       processes: int | None = None,
                        ) -> tuple[np.ndarray, np.ndarray]:
     """Repeated transient-noise evaluations of every chip, batched.
 
     The design must carry transient noise (``PufDesign(noise=...)``);
     every (chip, trial) pair runs with an independent deterministic
     Wiener realization, all in one vectorized SDE batch per structural
-    group. Returns ``(references, trial_bits)``: the noise-free
-    ``(n_chips, n_bits)`` reference responses and the
-    ``(n_chips, trials, n_bits)`` noisy responses.
+    group — through the unified plan driver, so ``processes`` shards
+    the (chip × trial) batch across a pool bit-identically. Returns
+    ``(references, trial_bits)``: the noise-free ``(n_chips, n_bits)``
+    reference responses and the ``(n_chips, trials, n_bits)`` noisy
+    responses.
     """
-    from repro.sim import run_noisy_ensemble
+    from repro.sim import run_ensemble
 
     if design.noise <= 0.0:
         raise ValueError(
@@ -156,10 +179,11 @@ def evaluate_puf_noisy(design: PufDesign, challenge, seeds, *,
             "readout-stage noise use puf_reliability(mode='readout')")
     seeds = list(seeds)
     horizon = t_end if t_end is not None else window[1] * 1.05
-    result = run_noisy_ensemble(
-        lambda seed: design.build(challenge, seed=seed), seeds,
+    result = run_ensemble(
+        ChipFactory(design, challenge), seeds,
         (0.0, horizon), trials=trials, n_points=n_points,
-        method=method, trial_base=trial_base, reference=True)
+        sde_method=method, noise_seed=trial_base, reference=True,
+        processes=processes)
     times = _window_times(window, n_bits)
     references = np.stack([
         encode_response(result.reference(chip).sample("OUT_V", times))
@@ -181,7 +205,8 @@ def puf_reliability(design: PufDesign, challenge, seeds, *,
                     window: tuple[float, float] = DEFAULT_WINDOW,
                     t_end: float | None = None,
                     n_points: int = 600,
-                    method: str = "heun") -> ReliabilityReport:
+                    method: str = "heun",
+                    processes: int | None = None) -> ReliabilityReport:
     """Intra-chip reliability of a chip population (ideal 1.0).
 
     :param mode: ``"transient"`` (default) — repeated noisy SDE runs of
@@ -189,20 +214,23 @@ def puf_reliability(design: PufDesign, challenge, seeds, *,
         carry ``PufDesign(noise=...)``. ``"readout"`` — the legacy
         model: one deterministic run per chip, ``trials`` seeded
         Gaussian perturbations of the sampled voltages.
+    :param processes: optional pool width for sharding the batched
+        solves (picklable by construction: the chip factory is a
+        :class:`ChipFactory`).
     """
     seeds = list(seeds)
     if mode == "transient":
         references, trial_bits = evaluate_puf_noisy(
             design, challenge, seeds, trials=trials, n_bits=n_bits,
             window=window, t_end=t_end, n_points=n_points,
-            method=method)
+            method=method, processes=processes)
     elif mode == "readout":
         horizon = t_end if t_end is not None else window[1] * 1.05
         from repro.sim import run_ensemble
 
         result = run_ensemble(
-            lambda seed: design.build(challenge, seed=seed), seeds,
-            (0.0, horizon), n_points=n_points)
+            ChipFactory(design, challenge), seeds,
+            (0.0, horizon), n_points=n_points, processes=processes)
         times = _window_times(window, n_bits)
         trial_bits = np.empty((len(seeds), trials, n_bits),
                               dtype=np.uint8)

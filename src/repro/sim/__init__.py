@@ -11,15 +11,21 @@ implementation runs them as vectorized batches (``--vectorize --bz
 * :mod:`repro.sim.batch_solver` — vectorized RK4 / adaptive RKF45 with
   per-instance error control on a shared output grid, returning a
   :class:`~repro.sim.batch_solver.BatchTrajectory`;
-* :mod:`repro.sim.ensemble` — a seed-sweep driver that groups instances
-  by structural signature, batches compatible groups, and falls back to
-  the serial scipy path (optionally multiprocessed) for the rest;
+* :mod:`repro.sim.plan` — the unified execution-plan layer: an
+  :class:`~repro.sim.plan.ExecutionPlan` plus a pluggable backend
+  registry (``serial``/``batch``/``shard``/``auto``) that every driver
+  compiles into, so sharding, caching, and per-instance step masks
+  cover the deterministic and the SDE path identically;
+* :mod:`repro.sim.ensemble` — :func:`~repro.sim.ensemble.run_ensemble`,
+  the one driver for mismatch sweeps *and* (with ``trials=K``)
+  transient-noise sweeps;
 * :mod:`repro.sim.sde_solver` — batched transient-noise (SDE)
   integration: deterministic per-``(seed, element, path)`` Wiener
   streams plus vectorized Euler–Maruyama / stochastic Heun solvers over
   the same ``(n_instances, n_states)`` storage;
-* :mod:`repro.sim.noisy` — the (chip seed × noise trial) sweep driver
-  behind PUF transient-noise reliability and the OBC noise study.
+* :mod:`repro.sim.noisy` — :func:`~repro.sim.noisy.run_noisy_ensemble`,
+  the established (chip seed × noise trial) name, now a delegating shim
+  over the unified driver.
 
 Quickstart::
 
@@ -40,26 +46,38 @@ from repro.sim.batch_codegen import (BatchRhs, compile_batch,
                                      group_by_signature)
 from repro.sim.batch_solver import BatchTrajectory, solve_batch
 from repro.sim.cache import CacheStats, TrajectoryCache, default_cache
-from repro.sim.ensemble import (BATCH_METHODS, EnsembleResult,
-                                run_ensemble)
+from repro.sim.plan import (BACKENDS, ExecutionBackend, ExecutionPlan,
+                            NoiseSpec, backend_names, execute_plan,
+                            register_backend)
+from repro.sim.ensemble import (BATCH_METHODS, ENGINES, EnsembleResult,
+                                resolve_engine, run_ensemble)
 from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
                                   simulate_sde, solve_sde)
 from repro.sim.noisy import NoisyEnsembleResult, run_noisy_ensemble
 
 __all__ = [
+    "BACKENDS",
     "BATCH_METHODS",
     "BatchRhs",
     "BatchTrajectory",
     "CacheStats",
+    "ENGINES",
     "EnsembleResult",
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "NoiseSpec",
     "NoisyEnsembleResult",
     "SDE_METHODS",
     "TrajectoryCache",
     "WienerSource",
+    "backend_names",
     "compile_batch",
     "default_cache",
+    "execute_plan",
     "generate_batch_source",
     "group_by_signature",
+    "register_backend",
+    "resolve_engine",
     "run_ensemble",
     "run_noisy_ensemble",
     "simulate_sde",

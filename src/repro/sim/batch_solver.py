@@ -63,6 +63,14 @@ class BatchTrajectory:
     t: np.ndarray
     y: np.ndarray
     systems: list[OdeSystem]
+    #: Per-instance step-mask state at the end of the run (``None``
+    #: when the solver ran without ``freeze_tol`` or the trajectory was
+    #: rebuilt from a cache hit): True marks instances that froze —
+    #: converged (or, on the SDE path, diverged) and held constant.
+    frozen: np.ndarray | None = None
+    #: Number of batched RHS evaluations the solve spent (``None`` on
+    #: cache rebuilds) — the step-mask savings metric.
+    nfev: int | None = None
 
     @property
     def n_instances(self) -> int:
@@ -182,25 +190,60 @@ def _resolve_max_step(max_step, span: float) -> float:
     return max_step
 
 
+def freeze_converged(y: np.ndarray, f: np.ndarray, remaining: float,
+                     rtol: float, atol: float,
+                     freeze_tol: float) -> np.ndarray:
+    """Per-instance convergence test of the step-mask machinery: an
+    instance may freeze when extrapolating its current drift over the
+    *entire remaining span* moves every state by less than
+    ``freeze_tol`` times the solver's tolerance scale — i.e. the
+    instance has settled and, left alone, would stay put to within the
+    requested accuracy. Returns the boolean ``(n_instances,)`` mask."""
+    scale = atol + rtol * np.abs(y)
+    drift = np.abs(f) * remaining
+    return np.sqrt(np.mean((drift / scale) ** 2, axis=1)) <= freeze_tol
+
+
 def _rk4_batch(rhs: BatchRhs, grid: np.ndarray, max_step: float,
-               ) -> np.ndarray:
+               rtol: float, atol: float,
+               freeze_tol: float | None):
     y = rhs.y0.astype(float)
     out = np.empty((y.shape[0], y.shape[1], len(grid)))
     out[:, :, 0] = y
+    frozen = np.zeros(y.shape[0], dtype=bool)
+    nfev = 0
+    t_end = grid[-1]
     for k in range(len(grid) - 1):
+        if frozen.all():
+            # Every instance holds constant: fill the rest of the grid
+            # without evaluating the RHS again.
+            out[:, :, k + 1:] = y[:, :, None]
+            break
         dt = grid[k + 1] - grid[k]
         substeps = max(1, int(np.ceil(dt / max_step)))
         h = dt / substeps
         t = grid[k]
+        hold = y[frozen] if frozen.any() else None
         for _ in range(substeps):
             k1 = rhs(t, y)
             k2 = rhs(t + 0.5 * h, y + 0.5 * h * k1)
             k3 = rhs(t + 0.5 * h, y + 0.5 * h * k2)
             k4 = rhs(t + h, y + h * k3)
+            nfev += 4
             y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+            if hold is not None:
+                # Pinned rows: frozen instances hold their value (the
+                # batch RHS is row-local, so their columns cannot
+                # influence active siblings).
+                y[frozen] = hold
             t += h
         out[:, :, k + 1] = y
-    return out
+        if freeze_tol is not None and grid[k + 1] < t_end:
+            f = rhs(grid[k + 1], y)
+            nfev += 1
+            frozen |= freeze_converged(y, f, t_end - grid[k + 1],
+                                       rtol, atol, freeze_tol)
+    return out, frozen, nfev
 
 
 def _error_norms(error: np.ndarray, y_old: np.ndarray,
@@ -247,8 +290,27 @@ def _step_factor(worst: float) -> float:
         min(5.0, max(0.2, 0.9 * worst ** -0.2))
 
 
+def _freeze_offenders(frozen: np.ndarray, norms,
+                      freeze_tol: float | None) -> bool:
+    """Step-size underflow handling with masks enabled: the instances
+    whose error refuses to drop below tolerance at the step floor (the
+    out-of-tolerance outliers forcing the worst-case step on the whole
+    batch) freeze at their last accepted state so their siblings can
+    proceed. Mutates ``frozen``; returns True when at least one new
+    instance was frozen, False when no offender is identifiable (the
+    caller must then raise the classic underflow error)."""
+    if freeze_tol is None or norms is None:
+        return False
+    offenders = ~frozen & ~(np.asarray(norms) <= 1.0)
+    if not offenders.any():
+        return False
+    frozen |= offenders
+    return True
+
+
 def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
-                 atol: float, max_step: float) -> np.ndarray:
+                 atol: float, max_step: float,
+                 freeze_tol: float | None):
     """Grid-clipped RKF45: every step lands exactly on the next output
     point, so a fine grid forces extra (small) steps. Kept as the
     ``dense=False`` reference path."""
@@ -257,17 +319,35 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
     y = rhs.y0.astype(float)
     out = np.empty((y.shape[0], y.shape[1], len(grid)))
     out[:, :, 0] = y
+    frozen = np.zeros(y.shape[0], dtype=bool)
+    nfev = 0
     h = min(max_step, span / 100.0)
     t = grid[0]
+    t_end = grid[-1]
     for k in range(1, len(grid)):
+        if frozen.all():
+            out[:, :, k:] = y[:, :, None]
+            break
         t_next = grid[k]
+        last_norms = None
         while t < t_next:
             h = min(h, max_step, t_next - t)
             if h < min_step:
+                if _freeze_offenders(frozen, last_norms, freeze_tol):
+                    h = min(max_step, span / 100.0)
+                    continue
                 raise _underflow(t, h)
             k1 = rhs(t, y)
             y5, y4 = _rkf45_stages(rhs, t, y, h, k1)
+            nfev += 6
+            if frozen.any():
+                # Pinned rows are excluded from error control (their
+                # y5 - y4 is forced to 0) and held at their frozen
+                # state.
+                y5[frozen] = y[frozen]
+                y4[frozen] = y[frozen]
             norms = _error_norms(y5 - y4, y, y5, rtol, atol)
+            last_norms = norms
             worst = float(norms.max()) if norms.size else 0.0
             if not np.isfinite(worst):
                 h *= 0.2
@@ -279,7 +359,12 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             else:
                 h *= max(0.2, 0.9 * worst ** -0.2)
         out[:, :, k] = y
-    return out
+        if freeze_tol is not None and t_next < t_end:
+            f = rhs(t_next, y)
+            nfev += 1
+            frozen |= freeze_converged(y, f, t_end - t_next, rtol,
+                                       atol, freeze_tol)
+    return out, frozen, nfev
 
 
 #: Collocation node of the bootstrapped quartic interpolant. theta=1/2
@@ -338,7 +423,8 @@ def _quartic_eval(theta: np.ndarray, y_old: np.ndarray,
 
 
 def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
-                       atol: float, max_step: float) -> np.ndarray:
+                       atol: float, max_step: float,
+                       freeze_tol: float | None):
     """Dense-output RKF45: step control is decoupled from the output
     grid. Steps are sized by the error estimate alone (never clipped to
     grid points); every output sample inside an accepted step is filled
@@ -354,13 +440,22 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
     y = rhs.y0.astype(float)
     out = np.empty((y.shape[0], y.shape[1], len(grid)))
     out[:, :, 0] = y
+    frozen = np.zeros(y.shape[0], dtype=bool)
+    nfev = 1
     t = grid[0]
     h = min(max_step, span / 100.0)
     k1 = rhs(t, y)
+    last_norms = None
     next_index = 1
     while next_index < len(grid):
+        if frozen.all():
+            out[:, :, next_index:] = y[:, :, None]
+            break
         h = min(h, max_step)
         if h < min_step:
+            if _freeze_offenders(frozen, last_norms, freeze_tol):
+                h = min(max_step, span / 100.0)
+                continue
             raise _underflow(t, h)
         if t + h >= t_end:
             h = t_end - t
@@ -368,7 +463,15 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
         else:
             t_new = t + h
         y5, y4 = _rkf45_stages(rhs, t, y, h, k1)
+        nfev += 5
+        if frozen.any():
+            # Pinned rows: held constant and excluded from error
+            # control, so a converged stiff instance stops dictating
+            # the shared step size.
+            y5[frozen] = y[frozen]
+            y4[frozen] = y[frozen]
         norms = _error_norms(y5 - y4, y, y5, rtol, atol)
+        last_norms = norms
         worst = float(norms.max()) if norms.size else 0.0
         if not np.isfinite(worst):
             h *= 0.2
@@ -377,23 +480,32 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             h *= max(0.2, 0.9 * worst ** -0.2)
             continue
         f_new = rhs(t_new, y5)
+        nfev += 1
         stop = next_index
         while stop < len(grid) and grid[stop] <= t_new:
             stop += 1
         if stop > next_index:
             y_node = _hermite_point(_DENSE_NODE, y, y5, k1, f_new, h)
             f_node = rhs(t + _DENSE_NODE * h, y_node)
+            nfev += 1
             coefficients = _quartic_coefficients(y, y5, k1, f_node,
                                                  f_new, h)
             theta = (grid[next_index:stop] - t) / h
             values = _quartic_eval(theta, y, coefficients)
+            if frozen.any():
+                # The interpolant would wiggle frozen rows by their
+                # (tolerance-bounded) residual drift; pin them exactly.
+                values[:, frozen, :] = y[frozen]
             out[:, :, next_index:stop] = np.moveaxis(values, 0, 2)
             next_index = stop
+        if freeze_tol is not None and t_new < t_end:
+            frozen |= freeze_converged(y5, f_new, t_end - t_new, rtol,
+                                       atol, freeze_tol)
         t = t_new
         y = y5
         k1 = f_new
         h *= _step_factor(worst)
-    return out
+    return out, frozen, nfev
 
 
 def solve_batch(batch: BatchRhs | list[OdeSystem],
@@ -401,7 +513,8 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
                 method: str = "rkf45", rtol: float = 1e-7,
                 atol: float = 1e-9, t_eval=None,
                 max_step: float | None = None,
-                dense: bool = True) -> BatchTrajectory:
+                dense: bool = True,
+                freeze_tol: float | None = None) -> BatchTrajectory:
     """Integrate a structurally compatible ensemble in one pass.
 
     :param batch: a compiled :class:`BatchRhs` or a list of systems to
@@ -419,6 +532,18 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
         step to the next grid point, which on fine grids effectively
         integrates tighter than the requested tolerance at
         proportionally higher cost.
+    :param freeze_tol: per-instance step masks. When set, an instance
+        whose extrapolated drift over the whole remaining span stays
+        below ``freeze_tol`` times the tolerance scale *freezes* — its
+        row is pinned and excluded from error control, so one
+        converged-but-stiff instance no longer forces the worst-case
+        step on its siblings; and an instance whose error refuses to
+        drop below tolerance at the rkf45 step floor freezes at its
+        last accepted state instead of killing the whole batch. When
+        every instance is frozen the remaining grid is filled without
+        further RHS evaluations. ``None`` (default) disables masking —
+        the exact legacy behavior. The returned trajectory carries the
+        final ``frozen`` mask and the ``nfev`` evaluation count.
     """
     if not isinstance(batch, BatchRhs):
         batch = compile_batch(batch)
@@ -434,12 +559,17 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
     work_grid = np.concatenate(([t0], grid)) if preroll else grid
     max_step = _resolve_max_step(max_step,
                                  work_grid[-1] - work_grid[0])
+    if freeze_tol is not None and freeze_tol <= 0.0:
+        raise SimulationError(
+            f"freeze_tol must be > 0 (or None), got {freeze_tol}")
     name = method.lower()
     if name == "rk4":
-        y_out = _rk4_batch(batch, work_grid, max_step)
+        y_out, frozen, nfev = _rk4_batch(batch, work_grid, max_step,
+                                         rtol, atol, freeze_tol)
     elif name in ("rkf45", "rk45"):
         solver = _rkf45_dense_batch if dense else _rkf45_batch
-        y_out = solver(batch, work_grid, rtol, atol, max_step)
+        y_out, frozen, nfev = solver(batch, work_grid, rtol, atol,
+                                     max_step, freeze_tol)
     else:
         raise SimulationError(
             f"unknown batch method {method!r}; expected 'rkf45' or "
@@ -450,4 +580,6 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
         raise SimulationError(
             f"batched {name} produced non-finite states for "
             f"{batch.systems[0].graph.name}")
-    return BatchTrajectory(t=grid, y=y_out, systems=batch.systems)
+    return BatchTrajectory(t=grid, y=y_out, systems=batch.systems,
+                           frozen=frozen if freeze_tol is not None
+                           else None, nfev=nfev)

@@ -48,7 +48,10 @@ from repro.core.odesystem import OdeSystem
 #: way no keyed option captures (integrator coefficients, emitter
 #: layout), so persisted disk entries from older code are invalidated
 #: instead of silently replayed as current results.
-CACHE_SCHEMA = 1
+#: 2: the unified execution-plan layer keys ``freeze_tol`` (and the
+#: noisy path keys the full solver-option set), so pre-plan disk
+#: entries no longer match.
+CACHE_SCHEMA = 2
 
 
 def _function_token(name: str, fn) -> tuple | None:

@@ -1,12 +1,14 @@
 """Monte-Carlo ensemble driver (the paper's §4.3 mismatch workflow).
 
 Given a ``factory(seed)`` producing one fabricated instance per seed,
-the driver compiles every instance, groups them by structural signature,
-and integrates each compatible group through one batched RHS
-(:mod:`repro.sim.batch_codegen` + :mod:`repro.sim.batch_solver`).
-Instances whose graphs differ structurally (different topology, switch
-state, or paradigm) fall back to the serial scipy path — optionally
-fanned out across a ``multiprocessing`` pool.
+:func:`run_ensemble` compiles every instance, groups by structural
+signature, and integrates each compatible group through one batched RHS
+(:mod:`repro.sim.batch_codegen` + :mod:`repro.sim.batch_solver`). Since
+the unified execution-plan layer (:mod:`repro.sim.plan`) it is also the
+single driver for transient-noise sweeps: ``run_ensemble(...,
+trials=K)`` realizes K independent Wiener trials per fabricated chip
+through the batched SDE engine — :func:`repro.sim.run_noisy_ensemble`
+is a thin shim over this same path.
 
 The common case — N mismatch seeds of one Ark function invocation —
 lands in a single batch and runs orders of magnitude faster than N
@@ -18,24 +20,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
+from repro.core.simulator import Trajectory
 
-from repro.core.compiler import compile_graph
-from repro.core.graph import DynamicalGraph
-from repro.core.odesystem import OdeSystem
-from repro.core.simulator import Trajectory, simulate
-from repro.errors import SimulationError
+from repro.sim.batch_solver import BatchTrajectory
+from repro.sim.plan import (BATCH_METHODS, DEFAULT_SHARD_MIN,
+                            ExecutionPlan, NoiseSpec)
 
-from repro.sim import batch_codegen
-from repro.sim.batch_codegen import compile_batch, group_by_signature
-from repro.sim.batch_solver import BatchTrajectory, solve_batch
-from repro.sim.cache import cached_batch_solve, resolve_cache
+__all__ = [
+    "BATCH_METHODS",
+    "DEFAULT_SHARD_MIN",
+    "ENGINES",
+    "EnsembleResult",
+    "resolve_engine",
+    "run_ensemble",
+]
 
-#: Methods handled natively by the batched solver.
-BATCH_METHODS = ("auto", "rkf45", "rk45", "rk4")
-
-#: Smallest batched group the driver will split across a process pool.
-DEFAULT_SHARD_MIN = 64
+#: Execution-backend names accepted by ``run_ensemble(engine=...)``.
+#: ``batch`` maps to the plan layer's per-group ``auto`` policy (shard
+#: large groups when a pool is requested) — the historical behavior.
+ENGINES = ("batch", "serial", "shard", "auto")
 
 
 @dataclass
@@ -72,130 +75,15 @@ class EnsembleResult:
             else 0.0
 
 
-def _compile_target(target) -> OdeSystem:
-    if isinstance(target, DynamicalGraph):
-        return compile_graph(target)
-    if isinstance(target, OdeSystem):
-        return target
-    raise SimulationError(
-        f"ensemble factory must return a DynamicalGraph or OdeSystem, "
-        f"got {type(target).__name__}")
-
-
-def _serial_job(payload):
-    """Module-level worker so a multiprocessing pool can pickle it. The
-    factory itself must also pickle — the driver falls back to
-    in-process execution when the parent-side pre-flight check fails
-    (e.g. lambdas). Failures only visible in the child (a ``spawn``
-    worker that cannot re-import the factory's module) propagate like
-    any other worker error rather than silently degrading."""
-    factory, seed, t_span, options = payload
-    trajectory = simulate(factory(seed), t_span, **options)
-    return trajectory.t, trajectory.y
-
-
-def _payload_pickles(payload) -> bool:
-    """Pre-flight picklability check. Callers pass one representative
-    pool payload plus the full seed list (payloads differ only in
-    their seeds, so this answers for all of them at a fraction of
-    serializing every duplicated factory/options copy). Checking up
-    front (instead of catching the pool's errors) keeps genuine worker
-    exceptions — including worker ``TypeError``s — propagating to the
-    caller instead of being silently retried in-process."""
-    import pickle
-
-    try:
-        pickle.dumps(payload)
-    except Exception:
-        return False
-    return True
-
-
-def _run_serial(factory, seeds, indices, systems, t_span, options,
-                processes):
-    """Serial scipy path for structurally unique instances, optionally
-    across a process pool. Returns {index: Trajectory}."""
-    results: dict[int, Trajectory] = {}
-    pending = list(indices)
-    if processes and processes > 1 and len(pending) > 1:
-        payloads = [(factory, seeds[i], t_span, options)
-                    for i in pending]
-        if _payload_pickles((payloads[0],
-                             [seeds[i] for i in pending])):
-            import multiprocessing
-
-            with multiprocessing.Pool(processes) as pool:
-                rows = pool.map(_serial_job, payloads)
-            for index, (t, y) in zip(pending, rows):
-                results[index] = Trajectory(t=t, y=y,
-                                            system=systems[index])
-            return results
-    for index in pending:
-        results[index] = simulate(systems[index], t_span, **options)
-    return results
-
-
-def _batch_shard_job(payload):
-    """Pool worker integrating one shard of a batched group: rebuild the
-    shard's instances from (factory, seeds) — systems themselves rarely
-    pickle — and run the same batched solve the parent would. ``fuse``
-    is the parent's *whole-group* fuse decision: the emitter's dense
-    memory guard depends on batch size, so a shard deciding for itself
-    could compile a fused RHS where the unsharded group would not,
-    breaking shard-vs-whole bit-identity for fixed-step methods."""
-    factory, shard_seeds, t_span, options, fuse = payload
-    systems = [_compile_target(factory(seed)) for seed in shard_seeds]
-    trajectory = solve_batch(compile_batch(systems, fuse=fuse), t_span,
-                             **options)
-    return trajectory.y
-
-
-def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
-                         options, processes) -> BatchTrajectory | None:
-    """Integrate one structural group as per-core sub-batches across a
-    process pool. Returns ``None`` when the pool cannot be used (the
-    caller then runs the single-process batched solve).
-
-    Each shard is an independent batched solve over a contiguous slice
-    of the group, so stacking the shard results reproduces the
-    single-process row order exactly; with fixed-step methods the
-    result is bit-identical (every instance's arithmetic is row-local),
-    while rkf45's shared step sequence may differ at tolerance level
-    because error control no longer sees the whole group.
-    """
-    n_shards = min(int(processes), len(indices))
-    if n_shards < 2:
-        return None
-    lead = systems[indices[0]]
-    fuse = (len(indices) * lead.n_states * lead.n_states
-            <= batch_codegen.FUSE_DENSE_LIMIT)
-    shards = [list(part)
-              for part in np.array_split(np.asarray(indices), n_shards)]
-    payloads = [(factory, [seeds[i] for i in shard], t_span, options,
-                 fuse)
-                for shard in shards if shard]
-    if not _payload_pickles((payloads[0],
-                             [seeds[i] for i in indices])):
-        return None
-    import multiprocessing
-
-    with multiprocessing.Pool(len(payloads)) as pool:
-        stacked = pool.map(_batch_shard_job, payloads)
-    y = np.concatenate(stacked, axis=0)
-    from repro.sim.batch_solver import _output_grid
-
-    grid = _output_grid(t_span, options.get("n_points", 500),
-                        options.get("t_eval"))
-    return BatchTrajectory(t=grid, y=y,
-                           systems=[systems[i] for i in indices])
-
-
-def _record_group(result: EnsembleResult, trajectory: BatchTrajectory,
-                  indices) -> None:
-    result.batches.append(trajectory)
-    result.groups.append(list(indices))
-    for row, index in enumerate(indices):
-        result.trajectories[index] = trajectory.instance(row)
+def resolve_engine(engine: str) -> str:
+    """Map a driver ``engine`` name onto a plan backend, rejecting
+    unknown names up front (an unrecognized engine used to fall back
+    to the serial path silently)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{', '.join(ENGINES)}")
+    return "auto" if engine == "batch" else engine
 
 
 def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
@@ -204,99 +92,80 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
                  t_eval=None, max_step: float | None = None,
                  engine: str = "batch", min_batch: int = 2,
                  processes: int | None = None, dense: bool = True,
-                 cache=None,
-                 shard_min: int = DEFAULT_SHARD_MIN) -> EnsembleResult:
+                 cache=None, shard_min: int = DEFAULT_SHARD_MIN,
+                 freeze_tol: float | None = None,
+                 trials: int | None = None,
+                 noise_seed: int | None = None,
+                 sde_method: str = "heun", block: int = 256,
+                 reference: bool = True):
     """Simulate one fabricated instance per seed, batching wherever the
-    instances share structure.
+    instances share structure — the unified driver for deterministic
+    *and* transient-noise sweeps.
 
     :param factory: ``factory(seed) -> DynamicalGraph | OdeSystem``.
     :param method: ``auto`` (batched rkf45 + serial RK45 fallback),
         ``rkf45``/``rk4`` (force a batch solver), or any scipy
         ``solve_ivp`` method name (forces the serial path for every
-        instance).
-    :param engine: ``batch`` (default) or ``serial`` (legacy behavior:
-        one scipy solve per seed).
+        instance). Ignored on the noisy path (see ``sde_method``).
+    :param engine: execution backend — ``batch`` (default: the plan
+        layer's auto policy), ``serial`` (one solve per instance),
+        ``shard`` (force process-pool sharding), or ``auto``. Unknown
+        names raise :class:`ValueError`.
     :param min_batch: smallest structural group worth a batched compile;
         smaller groups run serially.
     :param processes: process-pool width. Batched groups of at least
         ``shard_min`` instances are split into per-core sub-batches,
         and serial-fallback instances fan out one-per-worker (both
         require a picklable factory; in-process execution otherwise).
+        On the noisy path the (chip x trial) SDE batches shard the
+        same way, bit-identically.
     :param dense: use dense-output interpolation in the batched rkf45
         (see :func:`~repro.sim.batch_solver.solve_batch`).
     :param cache: trajectory cache — ``True`` (process-wide default
         cache), a directory path (disk backed), or a
         :class:`~repro.sim.cache.TrajectoryCache`. Repeated sweeps
         with identical structure, attributes, grid, and solver options
-        reuse the stored integration bit-for-bit.
+        reuse the stored integration bit-for-bit; noisy sweeps key the
+        per-(chip, trial) Wiener tokens identically.
     :param shard_min: smallest batched group worth splitting across the
         pool (pool spawn + per-shard compile amortize only on large
         groups).
+    :param freeze_tol: per-instance step masks — converged (or
+        diverged) instances freeze instead of forcing the worst-case
+        step on the whole batch (see
+        :func:`~repro.sim.batch_solver.solve_batch`).
+    :param trials: ``None`` (default) runs the deterministic mismatch
+        sweep and returns an :class:`EnsembleResult`. An integer K
+        switches to the transient-noise path: every chip is replicated
+        K times inside the batch, each row drawing the deterministic
+        Wiener realization of ``"<chip_seed>:<noise_seed + trial>"``,
+        and the result is a
+        :class:`~repro.sim.noisy.NoisyEnsembleResult`.
+    :param noise_seed: first trial index of the noisy path (default 0)
+        — shift to draw a fresh, non-overlapping set of realizations
+        for the same chips. Setting it without ``trials`` raises.
+    :param sde_method: SDE solver of the noisy path, ``heun`` (default)
+        or ``em``.
+    :param block: Wiener pre-draw block length (noisy path only).
+    :param reference: also integrate each chip once deterministically
+        (batched RK4 on the same grid) for reliability references
+        (noisy path only).
     """
-    seeds = list(seeds)
-    systems = [_compile_target(factory(seed)) for seed in seeds]
-    result = EnsembleResult(trajectories=[None] * len(seeds))
-    store = resolve_cache(cache)
-
-    batchable = engine == "batch" and method in BATCH_METHODS
-    serial_method = "RK45" if method in BATCH_METHODS else method
-    serial_options = dict(n_points=n_points, method=serial_method,
-                          rtol=rtol, atol=atol, backend=backend,
-                          t_eval=t_eval, max_step=max_step)
-
-    serial_indices: list[int] = []
-    if batchable:
-        batch_method = "rkf45" if method == "auto" else method
-        solver_options = dict(n_points=n_points, method=batch_method,
-                              rtol=rtol, atol=atol, t_eval=t_eval,
-                              max_step=max_step, dense=dense)
-        for indices in group_by_signature(systems):
-            if len(indices) < min_batch:
-                serial_indices.extend(indices)
-                continue
-            group_systems = [systems[i] for i in indices]
-
-            def solve(indices=indices, group_systems=group_systems):
-                if processes and processes > 1 and \
-                        len(indices) >= max(shard_min, 2 * min_batch):
-                    sharded = _solve_batch_sharded(
-                        factory, seeds, indices, systems, t_span,
-                        solver_options, processes)
-                    if sharded is not None:
-                        # Shard-split rkf45 runs per-shard step
-                        # control, so an uncached whole-group rerun
-                        # would not reproduce it bit-for-bit — keep it
-                        # out of the cache. Fixed-step rk4 shards are
-                        # bit-identical and safe to store.
-                        return sharded, batch_method == "rk4"
-                batch = compile_batch(group_systems)
-                return solve_batch(batch, t_span,
-                                   **solver_options), True
-
-            try:
-                trajectory = cached_batch_solve(
-                    store, group_systems, "batch",
-                    {**solver_options,
-                     "t_span": (float(t_span[0]), float(t_span[1]))},
-                    solve)
-            except SimulationError:
-                # A group the batch path cannot integrate (e.g. a stiff
-                # outlier underflowing the rkf45 step floor) is demoted
-                # to the serial scipy path rather than failing the
-                # whole ensemble — unless the caller forced a batch
-                # method explicitly.
-                if method != "auto":
-                    raise
-                serial_indices.extend(indices)
-                continue
-            _record_group(result, trajectory, indices)
-    else:
-        serial_indices = list(range(len(seeds)))
-
-    if serial_indices:
-        serial = _run_serial(factory, seeds, serial_indices, systems,
-                             t_span, serial_options, processes)
-        for index, trajectory in serial.items():
-            result.trajectories[index] = trajectory
-    result.serial_indices = sorted(serial_indices)
-    return result
+    plan_backend = resolve_engine(engine)
+    noise = None
+    if trials is not None:
+        noise = NoiseSpec(trials=trials, method=sde_method,
+                          noise_seed=noise_seed or 0, block=block,
+                          reference=reference)
+    elif noise_seed is not None:
+        raise ValueError(
+            "noise_seed was given without trials; pass trials=K to "
+            "request a transient-noise sweep")
+    plan = ExecutionPlan(
+        factory=factory, seeds=list(seeds), t_span=t_span,
+        backend=plan_backend, noise=noise, n_points=n_points,
+        t_eval=t_eval, method=method, rtol=rtol, atol=atol,
+        max_step=max_step, dense=dense, freeze_tol=freeze_tol,
+        serial_backend=backend, min_batch=min_batch,
+        processes=processes, shard_min=shard_min, cache=cache)
+    return plan.run()

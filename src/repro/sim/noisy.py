@@ -5,31 +5,31 @@ mismatch (one sample per *chip*, §4.3) and transient noise (one
 realization per *trial*). Reliability-style questions need both: how
 stable is one fabricated chip's behavior across repeated noisy runs?
 
-:func:`run_noisy_ensemble` runs the full outer product in as few batched
-SDE solves as possible: every chip is compiled once, structurally
-compatible chips share one :class:`~repro.sim.batch_codegen.BatchRhs`,
-and each chip's system is *replicated* ``trials`` times inside the batch
-(replication is free — the per-instance attribute arrays just repeat
-rows), so a 16-chip × 8-trial sweep is one 128-instance vectorized
-integration instead of 128 scipy solves. Noise seeds are
-``"<chip_seed>:<trial>"`` tokens, so every pair owns an independent —
-and reproducible — Wiener realization.
+Since the unified execution-plan layer (:mod:`repro.sim.plan`),
+:func:`run_noisy_ensemble` is a thin shim over
+:func:`repro.sim.run_ensemble` — ``run_ensemble(..., trials=K)`` runs
+the identical (chip × trial) outer product in as few batched SDE solves
+as possible: every chip is compiled once, structurally compatible chips
+share one :class:`~repro.sim.batch_codegen.BatchRhs`, and each chip's
+system is *replicated* ``trials`` times inside the batch (replication
+is free — the per-instance attribute arrays just repeat rows), so a
+16-chip × 8-trial sweep is one 128-instance vectorized integration
+instead of 128 scipy solves. Noise seeds are ``"<chip_seed>:<trial>"``
+tokens, so every pair owns an independent — and reproducible — Wiener
+realization, regardless of batch layout, sharding, or caching.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.compiler import compile_graph
-from repro.core.graph import DynamicalGraph
-from repro.core.odesystem import OdeSystem
 from repro.core.simulator import Trajectory
 from repro.errors import SimulationError
 
-from repro.sim.batch_codegen import compile_batch, group_by_signature
-from repro.sim.batch_solver import BatchTrajectory, solve_batch
-from repro.sim.cache import cached_batch_solve, resolve_cache
-from repro.sim.sde_solver import solve_sde
+from repro.sim.batch_solver import BatchTrajectory
+from repro.sim.plan import DEFAULT_SHARD_MIN
+
+__all__ = ["NoisyEnsembleResult", "run_noisy_ensemble"]
 
 
 @dataclass
@@ -82,23 +82,23 @@ class NoisyEnsembleResult:
         return self.references[chip_index]
 
 
-def _compile_target(target) -> OdeSystem:
-    if isinstance(target, DynamicalGraph):
-        return compile_graph(target)
-    if isinstance(target, OdeSystem):
-        return target
-    raise SimulationError(
-        f"noisy-ensemble factory must return a DynamicalGraph or "
-        f"OdeSystem, got {type(target).__name__}")
-
-
 def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        n_points: int = 500, method: str = "heun",
                        t_eval=None, max_step: float | None = None,
                        reference: bool = True, trial_base: int = 0,
-                       block: int = 256,
-                       cache=None) -> NoisyEnsembleResult:
+                       block: int = 256, cache=None,
+                       engine: str = "batch",
+                       processes: int | None = None,
+                       shard_min: int = DEFAULT_SHARD_MIN,
+                       freeze_tol: float | None = None,
+                       ) -> NoisyEnsembleResult:
     """Simulate every (fabricated chip, noise trial) pair, batched.
+
+    A delegating shim over the unified driver — exactly
+    ``run_ensemble(factory, seeds, t_span, trials=trials,
+    sde_method=method, noise_seed=trial_base, ...)`` — kept as the
+    established name of the (chips × trials) sweep. Outputs are
+    bit-identical to the unified call (test-enforced).
 
     :param factory: ``factory(seed) -> DynamicalGraph | OdeSystem`` —
         the §4.3 chip factory; its graphs carry the noise sources
@@ -115,55 +115,20 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
         the noise-seed tokens, so a rerun of the same (chips × trials)
         sweep replays the stored realizations bit-for-bit while a
         shifted ``trial_base`` misses and integrates fresh ones.
+    :param engine: execution backend (``batch``/``serial``/``shard``/
+        ``auto``, see :func:`~repro.sim.ensemble.run_ensemble`).
+    :param processes: process-pool width — (chip × trial) SDE batches
+        of at least ``shard_min`` rows split into per-core sub-batches,
+        bit-identical to the unsharded solve.
+    :param freeze_tol: per-instance step masks (see
+        :func:`~repro.sim.sde_solver.solve_sde`).
     """
-    seeds = list(seeds)
-    if trials < 1:
-        raise SimulationError(f"trials must be >= 1, got {trials}")
-    systems = [_compile_target(factory(seed)) for seed in seeds]
-    result = NoisyEnsembleResult(seeds=seeds, trials=trials)
-    store = resolve_cache(cache)
+    from repro.sim.ensemble import run_ensemble
 
-    for indices in group_by_signature(systems):
-        replicated: list[OdeSystem] = []
-        noise_seeds: list[str] = []
-        for row_base, index in enumerate(indices):
-            result._rows[index] = (len(result.batches),
-                                   row_base * trials)
-            replicated.extend([systems[index]] * trials)
-            noise_seeds.extend(
-                f"{seeds[index]}:{trial_base + trial}"
-                for trial in range(trials))
-        # `block` is excluded from the key on purpose: the Wiener
-        # realization is block-size independent, so it cannot change
-        # the result.
-        batch = cached_batch_solve(
-            store, replicated, "sde",
-            {"noise_seeds": tuple(noise_seeds), "method": method,
-             "n_points": n_points, "t_eval": t_eval,
-             "max_step": max_step,
-             "t_span": (float(t_span[0]), float(t_span[1]))},
-            lambda replicated=replicated, noise_seeds=noise_seeds: (
-                solve_sde(compile_batch(replicated), t_span,
-                          noise_seeds=noise_seeds, n_points=n_points,
-                          method=method, t_eval=t_eval,
-                          max_step=max_step, block=block), True))
-        result.batches.append(batch)
-        result.groups.append(list(indices))
-
-    if reference:
-        result.references = [None] * len(seeds)
-        for indices in group_by_signature(systems):
-            group_systems = [systems[i] for i in indices]
-            reference_batch = cached_batch_solve(
-                store, group_systems, "batch",
-                {"n_points": n_points, "method": "rk4",
-                 "t_eval": t_eval, "max_step": max_step,
-                 "t_span": (float(t_span[0]), float(t_span[1]))},
-                lambda group_systems=group_systems: (
-                    solve_batch(compile_batch(group_systems), t_span,
-                                n_points=n_points, method="rk4",
-                                t_eval=t_eval, max_step=max_step),
-                    True))
-            for row, index in enumerate(indices):
-                result.references[index] = reference_batch.instance(row)
-    return result
+    return run_ensemble(factory, seeds, t_span, trials=trials,
+                        sde_method=method, noise_seed=trial_base,
+                        n_points=n_points, t_eval=t_eval,
+                        max_step=max_step, reference=reference,
+                        block=block, cache=cache, engine=engine,
+                        processes=processes, shard_min=shard_min,
+                        freeze_tol=freeze_tol)

@@ -1,0 +1,721 @@
+"""Unified execution-plan layer: one driver for every ensemble sweep.
+
+The paper's evaluation workflow is one story — sweep fabrication
+mismatch (§4.3) and transient noise over a compiled dynamical system —
+and this module tells it through one architecture. An
+:class:`ExecutionPlan` captures *what* to integrate (a ``factory(seed)``
+per fabricated chip, the seed list, the time span), *how* (grid, solver
+options, optional :class:`NoiseSpec` for SDE trials, per-instance
+freeze masks) and *where* (an execution backend plus cache/shard
+policy). Every public driver — :func:`repro.sim.run_ensemble`,
+:func:`repro.sim.run_noisy_ensemble`, and
+:func:`repro.simulate_ensemble` — compiles its arguments into a plan
+and funnels through :func:`execute_plan`, so features land once and
+cover both the deterministic and the stochastic path.
+
+Backends are pluggable through a registry (:data:`BACKENDS`,
+:func:`register_backend`):
+
+* ``serial`` — one solve per instance: scipy ``solve_ivp`` per seed on
+  the deterministic path, a batch-of-one SDE solve per (chip, trial)
+  row on the noisy path (the reference the batched engines are
+  benchmarked against);
+* ``batch``  — one single-process vectorized solve per structurally
+  compatible group (:func:`~repro.sim.batch_solver.solve_batch` /
+  :func:`~repro.sim.sde_solver.solve_sde`);
+* ``shard``  — the batched solve split into per-core sub-batches across
+  a ``multiprocessing`` pool. Fixed-step methods (``rk4`` and both SDE
+  methods) are bit-identical to the unsharded solve because every
+  instance's arithmetic is row-local and Wiener streams are keyed by
+  ``(noise seed, element, path)`` — never by batch layout;
+* ``auto``   — per-group policy: ``shard`` when a pool is requested and
+  the group is large enough, else ``batch``. This is the default and
+  reproduces the historical driver behavior.
+
+Trajectory caching (:mod:`repro.sim.cache`) is applied uniformly in the
+executor — the noisy path is keyed and replayed exactly like the
+deterministic one, including sharded SDE results (bit-identical, hence
+storable); shard-split *adaptive* ODE solves remain uncachable because
+per-shard step control may differ from the whole-group run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.compiler import compile_graph
+from repro.core.graph import DynamicalGraph
+from repro.core.odesystem import OdeSystem
+from repro.core.simulator import Trajectory, simulate
+from repro.errors import SimulationError
+
+from repro.sim import batch_codegen
+from repro.sim.batch_codegen import (compile_batch, group_by_signature,
+                                     surviving_diffusion)
+from repro.sim.batch_solver import (BatchTrajectory, _output_grid,
+                                    solve_batch)
+from repro.sim.cache import cached_batch_solve, resolve_cache
+from repro.sim.sde_solver import SDE_METHODS, solve_sde
+
+#: Methods handled natively by the batched ODE solver.
+BATCH_METHODS = ("auto", "rkf45", "rk45", "rk4")
+
+#: Smallest batched group the auto policy will split across a pool.
+DEFAULT_SHARD_MIN = 64
+
+
+# ----------------------------------------------------------------------
+# Plan
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """The stochastic half of a plan: how many transient-noise trials
+    to realize per fabricated chip, and with which SDE solver.
+
+    ``noise_seed`` is the first trial index; every (chip, trial) pair
+    draws the deterministic Wiener realization keyed by the token
+    ``"<chip_seed>:<noise_seed + trial>"``, so shifting ``noise_seed``
+    selects a fresh, non-overlapping set of realizations for the same
+    chips while a rerun replays the identical ones.
+    """
+
+    trials: int = 8
+    method: str = "heun"
+    noise_seed: int = 0
+    block: int = 256
+    reference: bool = True
+
+    def tokens(self, chip_seed) -> list[str]:
+        """The chip's per-trial Wiener seed tokens, trial-minor order."""
+        return [f"{chip_seed}:{self.noise_seed + trial}"
+                for trial in range(self.trials)]
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything that determines one ensemble execution.
+
+    :param factory: ``factory(seed) -> DynamicalGraph | OdeSystem``.
+    :param seeds: mismatch seeds, one fabricated instance each.
+    :param t_span: integration span ``(t0, t1)``.
+    :param backend: execution backend name (see :data:`BACKENDS`);
+        ``auto`` picks ``shard`` or ``batch`` per group.
+    :param noise: ``None`` for a deterministic (ODE) sweep, a
+        :class:`NoiseSpec` for a (chip x trial) SDE sweep.
+    :param method: ODE method — ``auto``/``rkf45``/``rk4`` run batched,
+        any scipy name forces the serial path (ignored when ``noise``
+        is set; the SDE method lives in the spec).
+    :param freeze_tol: per-instance step mask tolerance — converged (or,
+        on the SDE path, diverged) instances freeze at their current
+        state instead of forcing the worst-case step on the whole
+        batch; ``None`` disables masking (see
+        :func:`~repro.sim.batch_solver.solve_batch`).
+    :param serial_backend: RHS backend of the serial scipy path
+        (``codegen``/``interpreter``).
+    :param min_batch: smallest structural group worth a batched compile.
+    :param processes: process-pool width for the ``shard`` backend and
+        the serial fan-out.
+    :param shard_min: smallest batched group the ``auto`` policy shards.
+    :param cache: trajectory-cache spec (``True``, a directory path, or
+        a :class:`~repro.sim.cache.TrajectoryCache`).
+    """
+
+    factory: object
+    seeds: list
+    t_span: tuple
+    backend: str = "auto"
+    noise: NoiseSpec | None = None
+    n_points: int = 500
+    t_eval: object = None
+    method: str = "auto"
+    rtol: float = 1e-7
+    atol: float = 1e-9
+    max_step: float | None = None
+    dense: bool = True
+    freeze_tol: float | None = None
+    serial_backend: str = "codegen"
+    min_batch: int = 2
+    processes: int | None = None
+    shard_min: int = DEFAULT_SHARD_MIN
+    cache: object = None
+
+    def validate(self) -> None:
+        """Reject malformed plans up front (unknown backend or SDE
+        method, non-positive trial counts) instead of silently running
+        a different sweep than the one asked for."""
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"registered backends: {', '.join(backend_names())}")
+        if self.noise is not None:
+            if self.noise.trials < 1:
+                raise SimulationError(
+                    f"trials must be >= 1, got {self.noise.trials}")
+            if self.noise.method not in SDE_METHODS:
+                raise SimulationError(
+                    f"unknown SDE method {self.noise.method!r}; "
+                    f"expected one of {', '.join(SDE_METHODS)}")
+        if self.freeze_tol is not None and self.freeze_tol <= 0.0:
+            raise ValueError(
+                f"freeze_tol must be > 0 (or None), got "
+                f"{self.freeze_tol}")
+
+    def run(self):
+        """Execute the plan (see :func:`execute_plan`)."""
+        return execute_plan(self)
+
+
+# ----------------------------------------------------------------------
+# Shared machinery
+# ----------------------------------------------------------------------
+
+
+def _compile_target(target) -> OdeSystem:
+    if isinstance(target, DynamicalGraph):
+        return compile_graph(target)
+    if isinstance(target, OdeSystem):
+        return target
+    raise SimulationError(
+        f"ensemble factory must return a DynamicalGraph or OdeSystem, "
+        f"got {type(target).__name__}")
+
+
+def _payload_pickles(payload) -> bool:
+    """Pre-flight picklability check. Callers pass one representative
+    pool payload plus the full seed list (payloads differ only in
+    their seeds, so this answers for all of them at a fraction of
+    serializing every duplicated factory/options copy). Checking up
+    front (instead of catching the pool's errors) keeps genuine worker
+    exceptions — including worker ``TypeError``s — propagating to the
+    caller instead of being silently retried in-process."""
+    import pickle
+
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
+
+
+def _serial_job(payload):
+    """Module-level worker so a multiprocessing pool can pickle it. The
+    factory itself must also pickle — the driver falls back to
+    in-process execution when the parent-side pre-flight check fails
+    (e.g. lambdas). Failures only visible in the child (a ``spawn``
+    worker that cannot re-import the factory's module) propagate like
+    any other worker error rather than silently degrading."""
+    factory, seed, t_span, options = payload
+    trajectory = simulate(factory(seed), t_span, **options)
+    return trajectory.t, trajectory.y
+
+
+def _run_serial(factory, seeds, indices, systems, t_span, options,
+                processes):
+    """Serial scipy path for structurally unique instances, optionally
+    across a process pool. Returns {index: Trajectory}."""
+    results: dict[int, Trajectory] = {}
+    pending = list(indices)
+    if processes and processes > 1 and len(pending) > 1:
+        payloads = [(factory, seeds[i], t_span, options)
+                    for i in pending]
+        if _payload_pickles((payloads[0],
+                             [seeds[i] for i in pending])):
+            import multiprocessing
+
+            with multiprocessing.Pool(processes) as pool:
+                rows = pool.map(_serial_job, payloads)
+            for index, (t, y) in zip(pending, rows):
+                results[index] = Trajectory(t=t, y=y,
+                                            system=systems[index])
+            return results
+    for index in pending:
+        results[index] = simulate(systems[index], t_span, **options)
+    return results
+
+
+def _whole_group_fuse(n_rows: int, lead: OdeSystem) -> bool:
+    """The fuse decision the *unsharded* batch would make. Shard
+    workers must inherit it: the emitter's dense-tensor memory guard
+    depends on batch size, so a shard deciding for itself could compile
+    a fused RHS where the whole group would not, breaking
+    shard-vs-whole bit-identity for fixed-step methods."""
+    return (n_rows * lead.n_states * lead.n_states
+            <= batch_codegen.FUSE_DENSE_LIMIT)
+
+
+def _batch_shard_job(payload):
+    """Pool worker integrating one shard of a batched ODE group:
+    rebuild the shard's instances from (factory, seeds) — systems
+    themselves rarely pickle — and run the same batched solve the
+    parent would."""
+    factory, shard_seeds, t_span, options, fuse = payload
+    systems = [_compile_target(factory(seed)) for seed in shard_seeds]
+    trajectory = solve_batch(compile_batch(systems, fuse=fuse), t_span,
+                             **options)
+    return trajectory.y
+
+
+def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
+                         options, processes) -> BatchTrajectory | None:
+    """Integrate one structural group as per-core sub-batches across a
+    process pool. Returns ``None`` when the pool cannot be used (the
+    caller then runs the single-process batched solve).
+
+    Each shard is an independent batched solve over a contiguous slice
+    of the group, so stacking the shard results reproduces the
+    single-process row order exactly; with fixed-step methods the
+    result is bit-identical (every instance's arithmetic is row-local),
+    while rkf45's shared step sequence may differ at tolerance level
+    because error control no longer sees the whole group.
+    """
+    n_shards = min(int(processes), len(indices))
+    if n_shards < 2:
+        return None
+    fuse = _whole_group_fuse(len(indices), systems[indices[0]])
+    shards = [list(part)
+              for part in np.array_split(np.asarray(indices), n_shards)]
+    payloads = [(factory, [seeds[i] for i in shard], t_span, options,
+                 fuse)
+                for shard in shards if shard]
+    if not _payload_pickles((payloads[0],
+                             [seeds[i] for i in indices])):
+        return None
+    import multiprocessing
+
+    with multiprocessing.Pool(len(payloads)) as pool:
+        stacked = pool.map(_batch_shard_job, payloads)
+    y = np.concatenate(stacked, axis=0)
+    grid = _output_grid(t_span, options.get("n_points", 500),
+                        options.get("t_eval"))
+    return BatchTrajectory(t=grid, y=y,
+                           systems=[systems[i] for i in indices])
+
+
+def _sde_shard_job(payload):
+    """Pool worker integrating one shard of a replicated SDE batch.
+    ``rows`` is a list of ``(chip_key, chip_seed, noise_token)`` —
+    every chip is rebuilt through the factory exactly once per shard
+    and replicated for its trial rows; the Wiener realization of a row
+    depends only on its token, never on the batch layout, so the shard
+    rows are bit-identical to the unsharded solve."""
+    factory, rows, t_span, options, fuse = payload
+    compiled: dict = {}
+    replicated, tokens = [], []
+    for chip_key, chip_seed, token in rows:
+        if chip_key not in compiled:
+            compiled[chip_key] = _compile_target(factory(chip_seed))
+        replicated.append(compiled[chip_key])
+        tokens.append(token)
+    trajectory = solve_sde(compile_batch(replicated, fuse=fuse), t_span,
+                           noise_seeds=tokens, **options)
+    return trajectory.y
+
+
+def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
+                      replicated, t_span, options,
+                      processes) -> BatchTrajectory | None:
+    """Integrate a replicated (chip x trial) SDE batch as per-core
+    sub-batches. Row ``r`` belongs to chip ``chip_keys[r]`` (an index
+    into ``chip_seeds``) and draws the Wiener realization of
+    ``noise_seeds[r]``. Returns ``None`` when the pool cannot be used;
+    otherwise the result is **bit-identical** to the unsharded
+    :func:`~repro.sim.sde_solver.solve_sde` — fixed-step solvers keep
+    every instance's arithmetic row-local and streams are keyed per
+    token, so splitting rows across processes cannot change them.
+    """
+    n_rows = len(noise_seeds)
+    n_shards = min(int(processes), n_rows)
+    if n_shards < 2:
+        return None
+    fuse = _whole_group_fuse(n_rows, replicated[0])
+    rows = [(chip_keys[r], chip_seeds[chip_keys[r]], noise_seeds[r])
+            for r in range(n_rows)]
+    shards = [part for part in np.array_split(np.arange(n_rows),
+                                              n_shards) if len(part)]
+    payloads = [(factory, [rows[r] for r in shard], t_span, options,
+                 fuse)
+                for shard in shards]
+    if not _payload_pickles((payloads[0], list(chip_seeds),
+                             list(noise_seeds))):
+        return None
+    import multiprocessing
+
+    with multiprocessing.Pool(len(payloads)) as pool:
+        stacked = pool.map(_sde_shard_job, payloads)
+    y = np.concatenate(stacked, axis=0)
+    grid = _output_grid(t_span, options.get("n_points", 500),
+                        options.get("t_eval"))
+    return BatchTrajectory(t=grid, y=y, systems=list(replicated))
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GroupTask:
+    """One structurally compatible group, ready for a backend.
+
+    For ODE groups ``group_systems`` holds one system per chip and
+    ``noise_seeds`` is ``None``; for SDE groups ``group_systems`` holds
+    the chip-major, trial-minor *replicated* batch, ``chip_keys[r]``
+    names the chip (an index into ``chip_indices``) of each row, and
+    ``noise_seeds[r]`` its Wiener token. ``options`` are the solver
+    keyword arguments of :func:`~repro.sim.batch_solver.solve_batch` /
+    :func:`~repro.sim.sde_solver.solve_sde` respectively.
+    """
+
+    plan: ExecutionPlan
+    indices: list[int]
+    group_systems: list[OdeSystem]
+    options: dict
+    noise_seeds: list[str] | None = None
+    chip_keys: list[int] | None = None
+
+    @property
+    def chip_seeds(self) -> list:
+        seeds = list(self.plan.seeds)
+        return [seeds[i] for i in self.indices]
+
+
+class ExecutionBackend:
+    """One strategy for integrating a structurally compatible group.
+
+    Subclasses implement :meth:`solve_ode` and :meth:`solve_sde`, each
+    returning ``(BatchTrajectory, storable)`` — ``storable=False``
+    vetoes caching a result an uncached rerun could not reproduce
+    bit-for-bit. ``batches = False`` marks a backend that forgoes
+    vectorized groups entirely (the deterministic executor then sends
+    every instance down the per-instance scipy path).
+    """
+
+    name = "?"
+    #: Whether ODE groups should be batched at all under this backend.
+    batches = True
+
+    def solve_ode(self, task: GroupTask):
+        raise NotImplementedError
+
+    def solve_sde(self, task: GroupTask):
+        raise NotImplementedError
+
+
+class BatchBackend(ExecutionBackend):
+    """Single-process vectorized solve of the whole group."""
+
+    name = "batch"
+
+    def solve_ode(self, task: GroupTask):
+        batch = compile_batch(task.group_systems)
+        return solve_batch(batch, task.plan.t_span,
+                           **task.options), True
+
+    def solve_sde(self, task: GroupTask):
+        batch = compile_batch(task.group_systems)
+        return solve_sde(batch, task.plan.t_span,
+                         noise_seeds=task.noise_seeds,
+                         **task.options), True
+
+
+class SerialBackend(ExecutionBackend):
+    """One solve per instance — the legacy/reference shape.
+
+    Deterministic sweeps run scipy ``solve_ivp`` per seed (handled by
+    the executor's per-instance path, hence ``batches = False``); noisy
+    sweeps run one batch-of-one SDE solve per (chip, trial) row, each
+    consuming the identical per-token Wiener stream the batched engines
+    use, so responses agree bit for bit with ``batch``/``shard``.
+    """
+
+    name = "serial"
+    batches = False
+
+    def solve_ode(self, task: GroupTask):  # pragma: no cover - unused
+        raise SimulationError(
+            "the serial backend integrates ODE instances through the "
+            "per-instance scipy path, not through batched groups")
+
+    def solve_sde(self, task: GroupTask):
+        singles: dict[int, object] = {}
+        rows = []
+        for row, system in enumerate(task.group_systems):
+            chip = task.chip_keys[row]
+            if chip not in singles:
+                singles[chip] = compile_batch([system])
+            trajectory = solve_sde(singles[chip], task.plan.t_span,
+                                   noise_seeds=[task.noise_seeds[row]],
+                                   **task.options)
+            rows.append(trajectory.y)
+        return BatchTrajectory(t=trajectory.t,
+                               y=np.concatenate(rows, axis=0),
+                               systems=list(task.group_systems)), True
+
+
+class ShardBackend(ExecutionBackend):
+    """Process-pool sharded solve, falling back to ``batch`` when the
+    pool cannot be used (unpicklable factory, group too small, or a
+    one-wide pool)."""
+
+    name = "shard"
+
+    def _processes(self, plan: ExecutionPlan) -> int:
+        if plan.processes is not None:
+            return int(plan.processes)
+        return os.cpu_count() or 1
+
+    def solve_ode(self, task: GroupTask):
+        plan = task.plan
+        processes = self._processes(plan)
+        sharded = _solve_batch_sharded(
+            plan.factory, list(plan.seeds), task.indices,
+            {i: s for i, s in zip(task.indices, task.group_systems)},
+            plan.t_span, task.options, processes)
+        if sharded is None:
+            return BACKENDS["batch"].solve_ode(task)
+        # Shard-split rkf45 runs per-shard step control, so an uncached
+        # whole-group rerun would not reproduce it bit-for-bit — keep
+        # it out of the cache. Fixed-step rk4 shards are bit-identical
+        # and safe to store.
+        return sharded, task.options.get("method") == "rk4"
+
+    def solve_sde(self, task: GroupTask):
+        plan = task.plan
+        sharded = sharded_solve_sde(
+            plan.factory, task.chip_seeds, task.chip_keys,
+            task.noise_seeds, task.group_systems, plan.t_span,
+            task.options, self._processes(plan))
+        if sharded is None:
+            return BACKENDS["batch"].solve_sde(task)
+        # Both SDE methods are fixed-step: shards are bit-identical to
+        # the whole-group solve, so the result is safely cachable.
+        return sharded, True
+
+
+class AutoBackend(ExecutionBackend):
+    """Per-group policy: shard large groups when a pool was requested,
+    run everything else single-process — the historical behavior of
+    ``run_ensemble(processes=N)``."""
+
+    name = "auto"
+
+    def _pick(self, task: GroupTask) -> ExecutionBackend:
+        plan = task.plan
+        # Size by integrated rows: the group's chips on the ODE path,
+        # the full (chip x trial) replication on the SDE path.
+        big_enough = len(task.group_systems) >= max(plan.shard_min,
+                                                    2 * plan.min_batch)
+        if plan.processes and plan.processes > 1 and big_enough:
+            return BACKENDS["shard"]
+        return BACKENDS["batch"]
+
+    def solve_ode(self, task: GroupTask):
+        return self._pick(task).solve_ode(task)
+
+    def solve_sde(self, task: GroupTask):
+        return self._pick(task).solve_sde(task)
+
+
+#: The pluggable backend registry. Keys are plan ``backend`` names.
+BACKENDS: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Register (or replace) an execution backend under its name."""
+    BACKENDS[backend.name] = backend
+    return backend
+
+
+def backend_names() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(BACKENDS))
+
+
+register_backend(BatchBackend())
+register_backend(SerialBackend())
+register_backend(ShardBackend())
+register_backend(AutoBackend())
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+
+def execute_plan(plan: ExecutionPlan):
+    """Compile every instance, group by structural signature, and
+    integrate each group through the plan's backend (with uniform
+    trajectory caching). Returns an
+    :class:`~repro.sim.ensemble.EnsembleResult` for deterministic plans
+    and a :class:`~repro.sim.noisy.NoisyEnsembleResult` for plans
+    carrying a :class:`NoiseSpec`."""
+    plan.validate()
+    seeds = list(plan.seeds)
+    # Normalize up front: a generator would be exhausted by the first
+    # traversal, and shard tasks re-read plan.seeds.
+    plan = replace(plan, seeds=seeds)
+    systems = [_compile_target(plan.factory(seed)) for seed in seeds]
+    if plan.noise is None:
+        return _execute_ode(plan, seeds, systems)
+    return _execute_sde(plan, seeds, systems)
+
+
+def _span_key(t_span) -> tuple[float, float]:
+    return (float(t_span[0]), float(t_span[1]))
+
+
+def _execute_ode(plan: ExecutionPlan, seeds, systems):
+    from repro.sim.ensemble import EnsembleResult
+
+    backend = BACKENDS[plan.backend]
+    result = EnsembleResult(trajectories=[None] * len(seeds))
+    store = resolve_cache(plan.cache)
+
+    batchable = backend.batches and plan.method in BATCH_METHODS
+    serial_method = "RK45" if plan.method in BATCH_METHODS \
+        else plan.method
+    serial_options = dict(n_points=plan.n_points, method=serial_method,
+                          rtol=plan.rtol, atol=plan.atol,
+                          backend=plan.serial_backend,
+                          t_eval=plan.t_eval, max_step=plan.max_step)
+
+    serial_indices: list[int] = []
+    if batchable:
+        batch_method = "rkf45" if plan.method == "auto" else plan.method
+        solver_options = dict(n_points=plan.n_points,
+                              method=batch_method, rtol=plan.rtol,
+                              atol=plan.atol, t_eval=plan.t_eval,
+                              max_step=plan.max_step, dense=plan.dense,
+                              freeze_tol=plan.freeze_tol)
+        for indices in group_by_signature(systems):
+            if len(indices) < plan.min_batch:
+                serial_indices.extend(indices)
+                continue
+            group_systems = [systems[i] for i in indices]
+            task = GroupTask(plan=plan, indices=list(indices),
+                             group_systems=group_systems,
+                             options=solver_options)
+            try:
+                trajectory = cached_batch_solve(
+                    store, group_systems, "batch",
+                    {**solver_options, "t_span": _span_key(plan.t_span)},
+                    lambda task=task: backend.solve_ode(task))
+            except SimulationError:
+                # A group the batch path cannot integrate (e.g. a stiff
+                # outlier underflowing the rkf45 step floor) is demoted
+                # to the serial scipy path rather than failing the
+                # whole ensemble — unless the caller forced a batch
+                # method explicitly.
+                if plan.method != "auto":
+                    raise
+                serial_indices.extend(indices)
+                continue
+            _record_group(result, trajectory, indices)
+    else:
+        serial_indices = list(range(len(seeds)))
+
+    if serial_indices:
+        serial = _run_serial(plan.factory, seeds, serial_indices,
+                             systems, plan.t_span, serial_options,
+                             plan.processes)
+        for index, trajectory in serial.items():
+            result.trajectories[index] = trajectory
+    result.serial_indices = sorted(serial_indices)
+    return result
+
+
+def _group_has_noise(group_systems) -> bool:
+    """Whether the group carries diffusion terms that survive
+    shared-value folding (a ``noise(0)`` annotation compiles away)."""
+    return bool(surviving_diffusion(group_systems))
+
+
+def _execute_sde(plan: ExecutionPlan, seeds, systems):
+    from repro.sim.noisy import NoisyEnsembleResult
+
+    backend = BACKENDS[plan.backend]
+    noise = plan.noise
+    result = NoisyEnsembleResult(seeds=seeds, trials=noise.trials)
+    store = resolve_cache(plan.cache)
+    groups = group_by_signature(systems)
+
+    if not any(_group_has_noise([systems[i] for i in indices])
+               for indices in groups):
+        raise SimulationError(
+            "transient-noise trials were requested (trials="
+            f"{noise.trials}) but every instance compiles to a "
+            "deterministic system — no live noise() terms or ns "
+            "annotations survive; drop trials=/noise_seed= or add "
+            "noise sources to the design")
+
+    # rtol/atol only steer the freeze-mask criterion on the fixed-step
+    # SDE solvers, but they must follow the plan so the same
+    # freeze_tol masks identically on both halves of a mixed sweep.
+    solver_options = dict(n_points=plan.n_points, method=noise.method,
+                          t_eval=plan.t_eval, max_step=plan.max_step,
+                          block=noise.block, rtol=plan.rtol,
+                          atol=plan.atol, freeze_tol=plan.freeze_tol)
+    for indices in groups:
+        replicated: list[OdeSystem] = []
+        noise_seeds: list[str] = []
+        chip_keys: list[int] = []
+        for row_base, index in enumerate(indices):
+            result._rows[index] = (len(result.batches),
+                                   row_base * noise.trials)
+            replicated.extend([systems[index]] * noise.trials)
+            noise_seeds.extend(noise.tokens(seeds[index]))
+            chip_keys.extend([row_base] * noise.trials)
+        task = GroupTask(plan=plan, indices=list(indices),
+                         group_systems=replicated,
+                         options=solver_options,
+                         noise_seeds=noise_seeds, chip_keys=chip_keys)
+        # `block` is excluded from the key on purpose: the Wiener
+        # realization is block-size independent, so it cannot change
+        # the result.
+        key_options = {k: v for k, v in solver_options.items()
+                       if k != "block"}
+        batch = cached_batch_solve(
+            store, replicated, "sde",
+            {**key_options, "noise_seeds": tuple(noise_seeds),
+             "t_span": _span_key(plan.t_span)},
+            lambda task=task: backend.solve_sde(task))
+        result.batches.append(batch)
+        result.groups.append(list(indices))
+
+    if noise.reference:
+        result.references = [None] * len(seeds)
+        # References are the chips' deterministic baselines: freeze
+        # masks are intentionally not applied, so reliability metrics
+        # always compare against the exact noise-free transient.
+        reference_options = dict(n_points=plan.n_points, method="rk4",
+                                 rtol=plan.rtol, atol=plan.atol,
+                                 t_eval=plan.t_eval,
+                                 max_step=plan.max_step,
+                                 dense=plan.dense, freeze_tol=None)
+        reference_backend = backend if backend.batches \
+            else BACKENDS["batch"]
+        for indices in groups:
+            group_systems = [systems[i] for i in indices]
+            task = GroupTask(plan=plan, indices=list(indices),
+                             group_systems=group_systems,
+                             options=reference_options)
+            reference_batch = cached_batch_solve(
+                store, group_systems, "batch",
+                {**reference_options,
+                 "t_span": _span_key(plan.t_span)},
+                lambda task=task: reference_backend.solve_ode(task))
+            for row, index in enumerate(indices):
+                result.references[index] = reference_batch.instance(row)
+    return result
+
+
+def _record_group(result, trajectory: BatchTrajectory, indices) -> None:
+    result.batches.append(trajectory)
+    result.groups.append(list(indices))
+    for row, index in enumerate(indices):
+        result.trajectories[index] = trajectory.instance(row)

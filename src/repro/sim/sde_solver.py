@@ -41,7 +41,8 @@ from repro.errors import SimulationError
 
 from repro.sim.batch_codegen import BatchRhs, compile_batch
 from repro.sim.batch_solver import (BatchTrajectory, _output_grid,
-                                    _resolve_max_step)
+                                    _resolve_max_step,
+                                    freeze_converged)
 
 #: Methods handled by :func:`solve_sde`.
 SDE_METHODS = ("heun", "em")
@@ -140,7 +141,9 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
               t_span: tuple[float, float], *, noise_seeds=None,
               n_points: int = 500, method: str = "heun",
               t_eval=None, max_step: float | None = None,
-              block: int = 256) -> BatchTrajectory:
+              block: int = 256, freeze_tol: float | None = None,
+              rtol: float = 1e-7,
+              atol: float = 1e-9) -> BatchTrajectory:
     """Integrate a structurally compatible stochastic ensemble.
 
     :param batch: a compiled :class:`BatchRhs` or a list of systems.
@@ -152,6 +155,23 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
         adaptivity), so dense output grids double as accuracy control.
     :param block: Wiener pre-draw block length (memory/speed knob; the
         realization is block-size independent).
+    :param freeze_tol: per-instance step masks. An instance freezes —
+        its row is pinned at the current state — when both its drift
+        extrapolated over the remaining span *and* its diffusion
+        amplitude scaled by the remaining span's Wiener deviation stay
+        below ``freeze_tol`` times the tolerance scale
+        (``atol + rtol * |y|``), i.e. neither the deterministic flow
+        nor the noise can move it beyond tolerance anymore; and an
+        instance whose state goes non-finite mid-sweep (a diverged
+        stiff outlier) freezes at its last grid value instead of
+        failing the whole batch. Once every instance is frozen the
+        remaining grid fills without further evaluations. Freezing is
+        decided per row from row-local data only, so masked runs stay
+        bit-identical under sharding. ``None`` (default) disables
+        masking — exact legacy behavior.
+    :param rtol:/:param atol: tolerance scale of the freeze criterion
+        (the fixed-step solvers have no adaptive error control; these
+        only steer ``freeze_tol``).
     """
     if not isinstance(batch, BatchRhs):
         batch = compile_batch(batch)
@@ -185,12 +205,25 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
     state_index = batch.term_state_index
     path_index = batch.term_path_index
 
+    if freeze_tol is not None and freeze_tol <= 0.0:
+        raise SimulationError(
+            f"freeze_tol must be > 0 (or None), got {freeze_tol}")
+
     y = batch.y0.astype(float)
     out = np.empty((y.shape[0], n_states, len(work_grid)))
     out[:, :, 0] = y
+    frozen = np.zeros(y.shape[0], dtype=bool)
+    nfev = 0
+    t_end = work_grid[-1]
     for k, (t_start, h, n_sub, offset) in enumerate(plan):
+        if frozen.all():
+            # Every instance holds constant: fill the remaining grid
+            # without stepping (frozen rows would be pinned anyway).
+            out[:, :, k + 1:] = y[:, :, None]
+            break
         t = t_start
         sqrt_h = np.sqrt(h)
+        hold = y[frozen] if frozen.any() else None
         for sub in range(n_sub):
             if noisy:
                 xi = wiener.normals(offset + sub)
@@ -200,9 +233,11 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
             else:
                 g0 = 0.0
             f0 = batch(t, y)
+            nfev += 1
             if heun:
                 y_pred = y + h * f0 + g0
                 f1 = batch(t + h, y_pred)
+                nfev += 1
                 if noisy:
                     g1 = _scatter(batch.diffusion(t + h, y_pred) * dw,
                                   state_index, n_states)
@@ -211,8 +246,40 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
                 y = y + 0.5 * h * (f0 + f1) + 0.5 * (g0 + g1)
             else:
                 y = y + h * f0 + g0
+            if hold is not None:
+                # Pinned rows: frozen instances hold their value (all
+                # batch arithmetic is row-local, so their columns
+                # cannot perturb active siblings).
+                y[frozen] = hold
             t += h
+        if freeze_tol is not None:
+            # Diverged rows (a stiff outlier going non-finite) freeze
+            # at their last grid value instead of failing the batch.
+            bad = ~frozen & ~np.isfinite(y).all(axis=1)
+            if bad.any():
+                y[bad] = out[:, :, k][bad]
+                frozen |= bad
         out[:, :, k + 1] = y
+        t_next = work_grid[k + 1]
+        if freeze_tol is not None and t_next < t_end and \
+                not frozen.all():
+            remaining = t_end - t_next
+            f = batch(t_next, y)
+            nfev += 1
+            settle = freeze_converged(y, f, remaining, rtol, atol,
+                                      freeze_tol)
+            if noisy and settle.any():
+                # The drift has settled — but freeze only where the
+                # noise cannot move the instance beyond tolerance
+                # either: |g| scaled by the remaining span's Wiener
+                # deviation must stay below the same bound.
+                amplitude = np.abs(batch.diffusion(t_next, y))
+                g_state = _scatter(amplitude, state_index, n_states)
+                scale = atol + rtol * np.abs(y)
+                wiggle = g_state * np.sqrt(remaining)
+                settle &= np.sqrt(np.mean((wiggle / scale) ** 2,
+                                          axis=1)) <= freeze_tol
+            frozen |= ~frozen & settle
     if preroll:
         out = out[:, :, 1:]
     if not np.all(np.isfinite(out)):
@@ -220,7 +287,9 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
             f"sde {method} produced non-finite states for "
             f"{batch.systems[0].graph.name}; reduce max_step (explicit "
             "fixed-step stability) or the noise amplitude")
-    return BatchTrajectory(t=grid, y=out, systems=batch.systems)
+    return BatchTrajectory(t=grid, y=out, systems=batch.systems,
+                           frozen=frozen if freeze_tol is not None
+                           else None, nfev=nfev)
 
 
 def simulate_sde(target: OdeSystem | DynamicalGraph,

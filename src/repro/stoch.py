@@ -13,9 +13,11 @@ mismatch):
 * **Solvers**: vectorized Euler–Maruyama and stochastic Heun over
   ``(n_instances, n_states)`` batches
   (:mod:`repro.sim.sde_solver`);
-* **Driver**: the (chip seed × noise trial) outer-product sweep
-  (:mod:`repro.sim.noisy`) behind PUF transient-noise reliability and
-  the OBC quality-vs-noise study.
+* **Driver**: the (chip seed × noise trial) outer-product sweep behind
+  PUF transient-noise reliability and the OBC quality-vs-noise study —
+  since the unified execution-plan layer (:mod:`repro.sim.plan`) this
+  is ``run_ensemble(..., trials=K)``; :func:`run_noisy_ensemble` is the
+  established name, kept as a delegating shim.
 
 The implementation lives in :mod:`repro.core` / :mod:`repro.sim`
 (noise shares the compiler and the batched engine with the
@@ -28,16 +30,21 @@ subsystem's nominal home and re-exports its public API::
 from repro.core.datatypes import Noise
 from repro.core.noise import stream, stream_seed
 from repro.core.odesystem import DiffusionTerm
+from repro.sim.ensemble import run_ensemble
 from repro.sim.noisy import NoisyEnsembleResult, run_noisy_ensemble
+from repro.sim.plan import ExecutionPlan, NoiseSpec
 from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
                                   simulate_sde, solve_sde)
 
 __all__ = [
     "DiffusionTerm",
+    "ExecutionPlan",
     "Noise",
+    "NoiseSpec",
     "NoisyEnsembleResult",
     "SDE_METHODS",
     "WienerSource",
+    "run_ensemble",
     "run_noisy_ensemble",
     "simulate_sde",
     "solve_sde",

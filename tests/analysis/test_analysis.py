@@ -11,7 +11,6 @@ from repro.analysis import (energy_capture, ensemble_matrix,
                             ensemble_spread, fold_phase, is_settled,
                             observation_window, phase_distance,
                             settling_time, window_covers, window_spread)
-from repro.core.odesystem import OdeSystem
 from repro.core.simulator import Trajectory
 from repro.paradigms.tln import TLineSpec, branched_tline, linear_tline
 

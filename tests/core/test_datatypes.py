@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.datatypes import (INF, IntType, LambdaType, Mismatch,
+from repro.core.datatypes import (INF, LambdaType, Mismatch,
                                   RealType, integer, lambd, real,
                                   same_kind)
 from repro.errors import DatatypeError

@@ -8,7 +8,6 @@ import pytest
 import repro
 from repro.core import function as F
 from repro.core.builder import GraphBuilder
-from repro.core.exprparse import parse_expression
 from tests.conftest import build_leaky_language, build_two_pole
 
 

@@ -123,7 +123,8 @@ class TestLookup:
         base = _base()
         mid = Language("mid", parent=base)
         top = Language("top", parent=mid)
-        assert [l.name for l in top.chain()] == ["top", "mid", "base"]
+        assert [lang.name for lang in top.chain()] == \
+            ["top", "mid", "base"]
 
 
 class TestInheritanceRules:

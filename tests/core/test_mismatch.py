@@ -82,5 +82,5 @@ class TestSemantics:
     def test_resolve_skips_lambda(self):
         from repro.core.datatypes import lambd
         sampler = MismatchSampler(3)
-        fn = lambda t: t
+        fn = lambda t: t  # noqa: E731 (the lambda-ness is the point)
         assert sampler.resolve("n", "fn", lambd(1), fn) is fn

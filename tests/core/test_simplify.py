@@ -135,8 +135,8 @@ class TestCodegenIntegration:
         system = compile_graph(builder.finish())
         source = system.generate_source({})
         # The zero-weight coupling must be gone from dy[1].
-        dy1_line = [l for l in source.splitlines()
-                    if l.strip().startswith("dy[1]")][0]
+        dy1_line = [line for line in source.splitlines()
+                    if line.strip().startswith("dy[1]")][0]
         assert "var" not in dy1_line and "y[0]" not in dy1_line
 
     def test_cnn_codegen_shrinks(self):

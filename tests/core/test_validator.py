@@ -5,7 +5,6 @@ import pytest
 
 import repro
 from repro.core.builder import GraphBuilder
-from repro.core.validation import parse_constraint
 from repro.core.validator import BACKENDS, is_described, validate
 from repro.errors import ValidationError
 from tests.conftest import build_leaky_language, build_two_pole

@@ -2,7 +2,6 @@
 the example scripts run end to end at reduced sizes."""
 
 import pathlib
-import sys
 
 import numpy as np
 import pytest

@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.builder import GraphBuilder
 from repro.paradigms.cnn import (BLACK, WHITE, CORNER_TEMPLATE,
-                                 EDGE_TEMPLATE, CnnTemplate, binarize,
+                                 EDGE_TEMPLATE, CnnTemplate,
                                  cnn_grid, cnn_language, default_image,
                                  edge_detector, expected_edges,
                                  hw_cnn_language, pixel_errors, run_cnn,

@@ -6,12 +6,10 @@ import numpy as np
 import pytest
 
 from repro.paradigms.cnn import (CORNER_TEMPLATE, DILATION_TEMPLATE,
-                                 EROSION_TEMPLATE, HOLE_FILL_TEMPLATE,
-                                 LIBRARY, SHADOW_TEMPLATE, WHITE,
+                                 EROSION_TEMPLATE, LIBRARY, WHITE,
                                  CnnTemplate, apply_template, cnn_grid,
                                  expected_corners, expected_dilation,
-                                 expected_erosion, expected_hole_fill,
-                                 expected_opening, expected_shadow,
+                                 expected_opening,
                                  run_library_template)
 from repro.paradigms.cnn.templates import _boundary_bias
 

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 import repro
 from repro.paradigms.obc import (classify_color, color_obc_language,

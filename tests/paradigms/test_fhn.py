@@ -171,8 +171,8 @@ class TestHwExtension:
         assert jittered[0] != ideal_arrivals
 
     def test_mismatch_deterministic_per_seed(self):
-        make = lambda: neuron_chain(4, mismatched_coupling=True,
-                                    seed=9)
+        def make():
+            return neuron_chain(4, mismatched_coupling=True, seed=9)
         a = repro.simulate(make(), (0.0, 40.0), n_points=201)
         b = repro.simulate(make(), (0.0, 40.0), n_points=201)
         assert np.array_equal(a["U_2"], b["U_2"])

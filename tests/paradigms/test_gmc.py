@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 import repro
-from repro.paradigms.tln import (TLineSpec, gmc_tln_language,
-                                 linear_tline, mismatched_tline,
-                                 tln_language)
+from repro.paradigms.tln import (TLineSpec, linear_tline,
+                                 mismatched_tline, tln_language)
 
 
 class TestInheritance:

@@ -230,8 +230,9 @@ class TestHwExtension:
         assert not np.allclose(runs[0]["x"], runs[1]["x"], atol=1e-3)
 
     def test_weight_mismatch_deterministic_per_seed(self):
-        make = lambda: harmonic_oscillator(
-            types=leaky(0.0, mismatched_weights=True), seed=9)
+        def make():
+            return harmonic_oscillator(
+                types=leaky(0.0, mismatched_weights=True), seed=9)
         first = repro.simulate(make(), (0.0, 6.0), n_points=121)
         second = repro.simulate(make(), (0.0, 6.0), n_points=121)
         assert np.array_equal(first["x"], second["x"])

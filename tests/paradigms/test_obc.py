@@ -3,7 +3,6 @@ offset extension, and the interconnect extension."""
 
 import math
 
-import numpy as np
 import pytest
 
 import repro

@@ -1,9 +1,7 @@
 """OBC under phase noise: solution quality vs. amplitude (the noisy
 counterpart of the Table 1 study)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.core.compiler import compile_graph

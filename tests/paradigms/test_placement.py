@@ -9,7 +9,7 @@ import pytest
 import repro
 from repro.core.builder import GraphBuilder
 from repro.core.simulator import simulate
-from repro.paradigms.obc import (GLOBAL_COST, LOCAL_COST, Placement,
+from repro.paradigms.obc import (GLOBAL_COST, LOCAL_COST,
                                  evaluate_placement, extract_partition,
                                  intercon_obc_language,
                                  interconnect_cost, maxcut_network,

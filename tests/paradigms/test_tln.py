@@ -7,7 +7,7 @@ import repro
 from repro.core.builder import GraphBuilder
 from repro.paradigms.tln import (TLineSpec, branched_tline,
                                  branched_tline_function, linear_tline,
-                                 pulse, tln_language, trapezoid)
+                                 pulse, trapezoid)
 
 
 class TestWaveforms:

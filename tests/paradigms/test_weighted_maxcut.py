@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.paradigms.obc import (brute_force_maxcut, cut_value,
                                  random_graphs, random_weights,

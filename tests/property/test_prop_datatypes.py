@@ -1,10 +1,9 @@
 """Property tests on datatypes, mismatch sampling, and range algebra."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.datatypes import Mismatch, RealType, integer, real
+from repro.core.datatypes import Mismatch, RealType, integer
 from repro.core.mismatch import MismatchSampler
 from repro.errors import DatatypeError
 

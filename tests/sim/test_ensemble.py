@@ -78,11 +78,12 @@ class TestRunEnsemble:
         # whole ensemble; the group falls back to the serial scipy path.
         from repro.errors import SimulationError
         from repro.sim import ensemble as ens
+        from repro.sim import plan as plan_module
 
         def explode(*args, **kwargs):
             raise SimulationError("rkf45 step size underflow (forced)")
 
-        monkeypatch.setattr(ens, "solve_batch", explode)
+        monkeypatch.setattr(plan_module, "solve_batch", explode)
         result = ens.run_ensemble(_pair_factory, range(3), (0.0, 1.0),
                                   n_points=40)
         assert result.batches == []
@@ -93,11 +94,12 @@ class TestRunEnsemble:
                                                        monkeypatch):
         from repro.errors import SimulationError
         from repro.sim import ensemble as ens
+        from repro.sim import plan as plan_module
 
         def explode(*args, **kwargs):
             raise SimulationError("forced failure")
 
-        monkeypatch.setattr(ens, "solve_batch", explode)
+        monkeypatch.setattr(plan_module, "solve_batch", explode)
         with pytest.raises(SimulationError, match="forced"):
             ens.run_ensemble(_pair_factory, range(3), (0.0, 1.0),
                              n_points=40, method="rkf45")

@@ -7,7 +7,6 @@ too-large dense tensors) must transparently keep the per-line source.
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro.core.compiler import compile_graph
