@@ -1,5 +1,6 @@
 """Ensemble-engine benchmark runner: serial vs. batched wall time plus
-trajectory-cache cold/warm reruns.
+trajectory-cache cold/warm reruns, the persistent zero-copy pool
+backend, and streaming time-to-first-result.
 
 Writes ``BENCH_ensemble.json`` at the repository root so future PRs
 have a perf trajectory to regress against::
@@ -24,12 +25,29 @@ dense-output rkf45), records the row-wise deviation between the two so
 the speedup is never bought with silent inaccuracy, and then measures
 the trajectory cache: a cold cached run (integrate + store) against a
 warm rerun (key + load), asserting the rerun is bit-identical.
+
+Two further sections (both gated on bit-identity, so they exit
+non-zero instead of silently skewing):
+
+* ``pool`` — the 64-instance t-line through the ``shard`` backend (a
+  throwaway pool per solve, trajectories returned via pickle) against
+  the persistent ``pool`` backend (workers spawned once, results via
+  shared memory), cold and warm; records the pickle bytes the shm
+  transport avoids and the warm-worker reuse win. ``cpu_count`` is
+  recorded because on a single-core host neither pool can beat the
+  single-process batch on wall clock — the numbers to read are
+  warm-vs-cold and pool-vs-shard.
+* ``streaming`` — a two-structural-group t-line sweep through
+  ``stream_ensemble``: time to the *first* finished group vs. the
+  barriered total, with the assembled stream gated bit-identical to
+  the barriered run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -44,8 +62,26 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import repro  # noqa: E402
 from conftest import mismatch_maxcut_factory  # noqa: E402
 from repro.core.compiler import compile_graph  # noqa: E402
-from repro.paradigms.tln import mismatched_tline  # noqa: E402
-from repro.sim import TrajectoryCache, run_ensemble  # noqa: E402
+from repro.paradigms.tln import TLineSpec, mismatched_tline  # noqa: E402
+from repro.sim import (TrajectoryCache, assemble_chunks,  # noqa: E402
+                       run_ensemble, stream_ensemble)
+from repro.sim.pool import shutdown_pools  # noqa: E402
+
+
+class TlineBenchFactory:
+    """Module-level (picklable) t-line factory for the pool workers."""
+
+    def __call__(self, seed):
+        return mismatched_tline("gm", seed=seed)
+
+
+class TwoGroupTlineFactory:
+    """Two structural groups (alternating 9/10-segment lines) so the
+    streaming executor has more than one chunk to deliver."""
+
+    def __call__(self, seed):
+        spec = TLineSpec(n_segments=9 if seed % 2 else 10)
+        return mismatched_tline("gm", seed=seed, spec=spec)
 
 DEFAULT_RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
     "BENCH_ensemble.json"
@@ -140,6 +176,105 @@ def run_cache_scenario(spec: dict, n_instances: int) -> dict:
     }
 
 
+def run_pool_scenario(n_instances: int, n_points: int) -> dict:
+    """shard (throwaway pool + pickle returns) vs the persistent
+    zero-copy pool on the t-line mismatch sweep, cold and warm. The
+    two backends share the row split, so the rkf45 results must be
+    bit-identical — the gate that keeps the comparison honest."""
+    factory = TlineBenchFactory()
+    span = (0.0, 8e-8)
+    processes = min(4, max(2, os.cpu_count() or 1))
+    kwargs = dict(n_points=n_points, processes=processes, shard_min=2)
+    start = time.perf_counter()
+    sharded = run_ensemble(factory, range(n_instances), span,
+                           engine="shard", **kwargs)
+    shard_seconds = time.perf_counter() - start
+    shutdown_pools()  # measure a genuinely cold pool (worker spawn)
+    start = time.perf_counter()
+    cold = run_ensemble(factory, range(n_instances), span,
+                        engine="pool", **kwargs)
+    cold_seconds = time.perf_counter() - start
+    # Warm: workers, payload caches, and compiled kernels are reused.
+    warm_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        warm = run_ensemble(factory, range(n_instances), span,
+                            engine="pool", **kwargs)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    identical = bool(
+        np.array_equal(sharded.batches[0].y, cold.batches[0].y)
+        and np.array_equal(cold.batches[0].y, warm.batches[0].y))
+    # What the shard backend pickles back through the pipe per solve —
+    # the transport cost the shared-memory blocks eliminate.
+    pickle_bytes = int(sum(batch.y.nbytes for batch in cold.batches))
+    result = {
+        "workload": f"tline_{n_instances}",
+        "n_instances": n_instances,
+        "n_points": n_points,
+        "processes": processes,
+        "cpu_count": os.cpu_count(),
+        "shard_seconds": round(shard_seconds, 4),
+        "pool_cold_seconds": round(cold_seconds, 4),
+        "pool_warm_seconds": round(warm_seconds, 4),
+        "pool_warm_speedup_vs_shard": round(
+            shard_seconds / warm_seconds, 2),
+        "pool_warm_speedup_vs_cold": round(
+            cold_seconds / warm_seconds, 2),
+        "pickle_bytes_avoided_per_solve": pickle_bytes,
+        "bit_identical": identical,
+    }
+    print(f"[pool] shard {shard_seconds:.2f}s  pool cold "
+          f"{cold_seconds:.2f}s  warm {warm_seconds:.2f}s  "
+          f"(warm vs shard {result['pool_warm_speedup_vs_shard']:.1f}x"
+          f", {pickle_bytes / 1e6:.1f} MB pickle avoided/solve, "
+          f"identical={identical}, cpus: {os.cpu_count()})")
+    return result
+
+
+def run_stream_scenario(n_instances: int, n_points: int) -> dict:
+    """Time-to-first-result: the streaming executor hands the first
+    structural group to analysis while the rest of the sweep is still
+    integrating; the barriered run returns nothing until the end."""
+    factory = TwoGroupTlineFactory()
+    span = (0.0, 8e-8)
+    seeds = list(range(n_instances))
+    start = time.perf_counter()
+    barrier = run_ensemble(factory, seeds, span, n_points=n_points)
+    barrier_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    chunks = []
+    first_seconds = None
+    for chunk in stream_ensemble(factory, seeds, span,
+                                 n_points=n_points):
+        if first_seconds is None:
+            first_seconds = time.perf_counter() - start
+        chunks.append(chunk)
+    stream_seconds = time.perf_counter() - start
+    assembled = assemble_chunks(chunks, seeds)
+    identical = (
+        len(assembled.batches) == len(barrier.batches)
+        and all(np.array_equal(a.y, b.y) for a, b in
+                zip(assembled.batches, barrier.batches)))
+    result = {
+        "workload": f"tline_two_groups_{n_instances}",
+        "n_instances": n_instances,
+        "n_groups": len(chunks),
+        "n_points": n_points,
+        "barrier_seconds": round(barrier_seconds, 4),
+        "stream_total_seconds": round(stream_seconds, 4),
+        "time_to_first_result_seconds": round(first_seconds, 4),
+        "first_result_fraction": round(
+            first_seconds / stream_seconds, 3),
+        "bit_identical": bool(identical),
+    }
+    print(f"[streaming] barrier {barrier_seconds:.2f}s  first chunk "
+          f"at {first_seconds:.2f}s "
+          f"({result['first_result_fraction'] * 100:.0f}% of the "
+          f"streamed total, {len(chunks)} groups, "
+          f"identical={identical})")
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -149,9 +284,11 @@ def main(argv=None) -> int:
                         "BENCH_ensemble.json)")
     args = parser.parse_args(argv)
     n_instances = 8 if args.smoke else 64
+    tline_points = 100 if args.smoke else 300
     payload = {
         "benchmark": "ensemble-engine serial vs batched "
-                     "(fused RHS + dense output) + trajectory cache",
+                     "(fused RHS + dense output) + trajectory cache "
+                     "+ persistent pool + streaming",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "smoke": args.smoke,
@@ -159,9 +296,15 @@ def main(argv=None) -> int:
             name: run_workload(name, spec, n_instances)
             for name, spec in workloads(n_instances,
                                         args.smoke).items()},
+        "pool": run_pool_scenario(n_instances, tline_points),
+        "streaming": run_stream_scenario(n_instances, tline_points),
     }
     failures = [name for name, record in payload["workloads"].items()
                 if not record["cache"]["bit_identical"]]
+    if not payload["pool"]["bit_identical"]:
+        failures.append("pool-vs-shard")
+    if not payload["streaming"]["bit_identical"]:
+        failures.append("streaming-vs-barrier")
     if args.out:
         result_path = pathlib.Path(args.out)
     elif args.smoke:
@@ -174,8 +317,7 @@ def main(argv=None) -> int:
     result_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {result_path}")
     if failures:
-        print(f"cache rerun NOT bit-identical for: {failures}",
-              file=sys.stderr)
+        print(f"NOT bit-identical: {failures}", file=sys.stderr)
         return 1
     return 0
 

@@ -63,6 +63,7 @@ from repro.puf.response import (DEFAULT_WINDOW,  # noqa: E402
                                 evaluate_puf_noisy)
 from repro.sim import (compile_batch, run_ensemble,  # noqa: E402
                        solve_batch, solve_sde)
+from repro.sim.pool import shutdown_pools  # noqa: E402
 
 DEFAULT_RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / \
     "BENCH_noise.json"
@@ -157,11 +158,33 @@ def bench_sharded_sde(n_chips, n_trials, n_points,
     processes = min(4, max(2, os.cpu_count() or 1))
     start = time.perf_counter()
     sharded = run_ensemble(factory, range(n_chips), span,
-                           processes=processes,
+                           engine="shard", processes=processes,
                            shard_min=n_chips * n_trials, **kwargs)
     sharded_seconds = time.perf_counter() - start
+    # The persistent zero-copy pool on the same (chips x trials)
+    # split: cold (spawns workers) and warm (reuses them + the
+    # per-worker payload/kernel caches); results return via shared
+    # memory instead of pickle.
+    shutdown_pools()
+    start = time.perf_counter()
+    pool_cold = run_ensemble(factory, range(n_chips), span,
+                             engine="pool", processes=processes,
+                             **kwargs)
+    pool_cold_seconds = time.perf_counter() - start
+    pool_warm_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        pool_warm = run_ensemble(factory, range(n_chips), span,
+                                 engine="pool", processes=processes,
+                                 **kwargs)
+        pool_warm_seconds = min(pool_warm_seconds,
+                                time.perf_counter() - start)
     identical = bool(np.array_equal(unsharded.batches[0].y,
                                     sharded.batches[0].y))
+    pool_identical = bool(
+        np.array_equal(sharded.batches[0].y, pool_cold.batches[0].y)
+        and np.array_equal(pool_cold.batches[0].y,
+                           pool_warm.batches[0].y))
     result = {
         "n_chips": n_chips,
         "n_trials": n_trials,
@@ -176,11 +199,24 @@ def bench_sharded_sde(n_chips, n_trials, n_points,
         "sharded_speedup_vs_batched": round(
             unsharded_seconds / sharded_seconds, 2),
         "bit_identical": identical,
+        "pool_cold_seconds": round(pool_cold_seconds, 4),
+        "pool_warm_seconds": round(pool_warm_seconds, 4),
+        "pool_warm_speedup_vs_shard": round(
+            sharded_seconds / pool_warm_seconds, 2),
+        "pool_warm_speedup_vs_serial": round(
+            serial_seconds / pool_warm_seconds, 2),
+        "pickle_bytes_avoided_per_solve": int(
+            sum(batch.y.nbytes for batch in pool_cold.batches)),
+        "pool_bit_identical": pool_identical,
     }
     print(f"[sharded_sde] batched {unsharded_seconds:.2f}s  sharded "
-          f"(p={processes}) {sharded_seconds:.2f}s  vs-serial "
-          f"{result['sharded_speedup_vs_serial']:.1f}x  "
-          f"identical={identical}  (cpus: {os.cpu_count()})")
+          f"(p={processes}) {sharded_seconds:.2f}s  pool cold/warm "
+          f"{pool_cold_seconds:.2f}/{pool_warm_seconds:.2f}s  "
+          f"vs-serial {result['sharded_speedup_vs_serial']:.1f}x  "
+          f"pool-warm-vs-shard "
+          f"{result['pool_warm_speedup_vs_shard']:.1f}x  "
+          f"identical={identical}/{pool_identical}  "
+          f"(cpus: {os.cpu_count()})")
     return result
 
 
@@ -279,6 +315,10 @@ def main(argv=None) -> int:
     }
     if not payload["sharded_sde"]["bit_identical"]:
         print("ERROR: sharded SDE result is not bit-identical",
+              file=sys.stderr)
+        return 1
+    if not payload["sharded_sde"]["pool_bit_identical"]:
+        print("ERROR: pool SDE result is not bit-identical",
               file=sys.stderr)
         return 1
     if not payload["puf_reliability"]["responses_identical"]:

@@ -86,7 +86,7 @@ from repro.framework import RunResult, run
 from repro.sim import (BatchTrajectory, EnsembleResult,
                        NoisyEnsembleResult, run_ensemble,
                        run_noisy_ensemble, simulate_sde,
-                       solve_sde)
+                       solve_sde, stream_ensemble)
 
 __version__ = "1.0.0"
 
@@ -142,6 +142,7 @@ __all__ = [
     "run_noisy_ensemble",
     "simulate_sde",
     "solve_sde",
+    "stream_ensemble",
     "NoisyEnsembleResult",
     "__version__",
 ]

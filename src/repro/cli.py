@@ -11,6 +11,8 @@ Implements the §4.6 user workflow without writing Python::
         --t-end 8e-8 --seeds 64 --node OUT_V --csv spread.csv
     python -m repro ensemble program.ark --func noisy-cell \
         --t-end 5.0 --seeds 4 --trials 16 --node x --csv noise.csv
+    python -m repro ensemble program.ark --func br-func --arg br=1 \
+        --t-end 8e-8 --seeds 256 --engine pool --processes 8 --stream
     python -m repro dot program.ark --func br-func --arg br=1
 
 (``repro noise`` remains as a deprecated alias of ``repro ensemble
@@ -176,6 +178,34 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+class _CliFactory:
+    """The ensemble command's ``factory(seed)`` as a module-level class
+    so it pickles — the persistent ``pool`` backend (and ``shard``/
+    ``--processes``) rebuild instances inside worker processes. The
+    parent reuses the already-validated (and, on the noisy path,
+    compiled) first instance; that cached object is dropped from the
+    pickled state — workers rebuild every seed through ``invoke`` —
+    because compiled systems rarely pickle. Falls back gracefully: if
+    the parsed function itself does not pickle, the plan layer's
+    pre-flight probe keeps everything in-process."""
+
+    def __init__(self, function, arguments, seed_base, first_target):
+        self.function = function
+        self.arguments = arguments
+        self.seed_base = seed_base
+        self.first_target = first_target
+
+    def __call__(self, seed):
+        if seed == self.seed_base and self.first_target is not None:
+            return self.first_target
+        return self.function.invoke(self.arguments, seed=seed)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["first_target"] = None
+        return state
+
+
 def _stats_columns(nodes, grid, matrix_for):
     """The per-node ensemble statistics block both sweep flavors emit:
     mean/std/p05/p95 columns over ``matrix_for(node)`` (an
@@ -250,10 +280,10 @@ def cmd_ensemble(args) -> int:
                 "drop --trials to run the mismatch sweep")
         first_target = first_system
 
-    def factory(seed):
-        # The validated first instance is reused, not rebuilt.
-        return first_target if seed == args.seed_base else \
-            function.invoke(arguments, seed=seed)
+    # The validated first instance is reused, not rebuilt (workers
+    # rebuild it — see _CliFactory.__getstate__).
+    factory = _CliFactory(function, arguments, args.seed_base,
+                          first_target)
 
     cache = args.cache_dir if args.cache_dir else None
     start = time.perf_counter()
@@ -267,7 +297,26 @@ def cmd_ensemble(args) -> int:
                           trials=args.trials,
                           noise_seed=(args.noise_seed or 0) if noisy
                           else None,
-                          sde_method=args.sde_method)
+                          sde_method=args.sde_method,
+                          stream=args.stream)
+    if args.stream:
+        # Drain the chunk stream, narrating each finished group, then
+        # reassemble — the emitted statistics/CSV are bit-identical to
+        # the barriered run (test-enforced).
+        from repro.sim import assemble_chunks
+
+        chunks = []
+        for chunk in result:
+            chunks.append(chunk)
+            rows = chunk.batches[0].n_instances if chunk.batches \
+                else len(chunk.indices)
+            flavor = "serial" if not chunk.batches else (
+                "SDE" if noisy else "batched")
+            print(f"[stream] group {chunk.order}: {rows} {flavor} "
+                  f"row(s) covering {len(chunk.indices)} seed(s) "
+                  f"at {time.perf_counter() - start:.2f}s")
+        result = assemble_chunks(chunks, list(seeds),
+                                 trials=args.trials)
     elapsed = time.perf_counter() - start
 
     nodes = args.node or [
@@ -328,6 +377,7 @@ def cmd_noise(args) -> int:
     args.noise_seed = getattr(args, "noise_seed", 0)
     args.processes = getattr(args, "processes", None)
     args.freeze_tol = getattr(args, "freeze_tol", None)
+    args.stream = getattr(args, "stream", False)
     if not hasattr(args, "shard_min"):
         from repro.sim import ensemble as _ensemble
 
@@ -447,13 +497,20 @@ def build_parser() -> argparse.ArgumentParser:
                        "instances freeze instead of forcing the "
                        "worst-case step on the whole batch")
     p_ens.add_argument("--engine", default="batch",
-                       choices=("batch", "serial", "shard", "auto"))
+                       choices=("batch", "serial", "shard", "pool",
+                                "auto"))
     p_ens.add_argument("--backend", default="milp",
                        choices=("milp", "flow"))
     p_ens.add_argument("--processes", type=int, default=None,
-                       help="process-pool width: shards batched groups "
-                       "of >= --shard-min instances into per-core "
-                       "sub-batches and fans out serial fallbacks")
+                       help="process-pool width: batched groups of >= "
+                       "--shard-min instances run on the persistent "
+                       "zero-copy worker pool as per-core sub-batches "
+                       "and serial fallbacks fan out one-per-worker")
+    p_ens.add_argument("--stream", action="store_true",
+                       help="stream per-group results as they finish "
+                       "(prints one progress line per completed "
+                       "group; final statistics/CSV are identical to "
+                       "the barriered run)")
     from repro.sim.ensemble import DEFAULT_SHARD_MIN
     p_ens.add_argument("--shard-min", type=int,
                        default=DEFAULT_SHARD_MIN,

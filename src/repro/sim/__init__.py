@@ -47,13 +47,16 @@ from repro.sim.batch_codegen import (BatchRhs, compile_batch,
 from repro.sim.batch_solver import BatchTrajectory, solve_batch
 from repro.sim.cache import CacheStats, TrajectoryCache, default_cache
 from repro.sim.plan import (BACKENDS, ExecutionBackend, ExecutionPlan,
-                            NoiseSpec, backend_names, execute_plan,
-                            register_backend)
-from repro.sim.ensemble import (BATCH_METHODS, ENGINES, EnsembleResult,
-                                resolve_engine, run_ensemble)
+                            NoiseSpec, assemble_chunks, backend_names,
+                            execute_plan, register_backend,
+                            stream_plan)
+from repro.sim.ensemble import (BATCH_METHODS, ENGINES, EnsembleChunk,
+                                EnsembleResult, resolve_engine,
+                                run_ensemble, stream_ensemble)
 from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
                                   simulate_sde, solve_sde)
-from repro.sim.noisy import NoisyEnsembleResult, run_noisy_ensemble
+from repro.sim.noisy import (NoisyEnsembleChunk, NoisyEnsembleResult,
+                             run_noisy_ensemble)
 
 __all__ = [
     "BACKENDS",
@@ -62,14 +65,17 @@ __all__ = [
     "BatchTrajectory",
     "CacheStats",
     "ENGINES",
+    "EnsembleChunk",
     "EnsembleResult",
     "ExecutionBackend",
     "ExecutionPlan",
     "NoiseSpec",
+    "NoisyEnsembleChunk",
     "NoisyEnsembleResult",
     "SDE_METHODS",
     "TrajectoryCache",
     "WienerSource",
+    "assemble_chunks",
     "backend_names",
     "compile_batch",
     "default_cache",
@@ -83,4 +89,6 @@ __all__ = [
     "simulate_sde",
     "solve_batch",
     "solve_sde",
+    "stream_ensemble",
+    "stream_plan",
 ]

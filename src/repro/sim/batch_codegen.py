@@ -30,6 +30,8 @@ readout.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core import expr as E
@@ -436,6 +438,31 @@ def _fused_rhs_lines(systems: list[OdeSystem], namespace: dict,
     return lines
 
 
+#: Kernel cache: compiled code objects keyed by their emitted source.
+#: Re-batching the same structural group (reference solves, cache-miss
+#: reruns, and above all the persistent pool workers, which rebuild a
+#: BatchRhs per shard task) re-emits a byte-identical source; caching
+#: the ``compile()`` step means each batched RHS source is compiled at
+#: most once per process. Only the code object is shared — ``exec``
+#: still runs per batch, because the namespace carries the per-instance
+#: attribute arrays.
+_CODE_CACHE: "OrderedDict[tuple[str, str], object]" = OrderedDict()
+_CODE_CACHE_MAX = 128
+
+
+def _compile_source(source: str, filename: str):
+    key = (source, filename)
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        code = compile(source, filename, "exec")
+        _CODE_CACHE[key] = code
+        while len(_CODE_CACHE) > _CODE_CACHE_MAX:
+            _CODE_CACHE.popitem(last=False)
+    else:
+        _CODE_CACHE.move_to_end(key)
+    return code
+
+
 def generate_batch_source(systems: list[OdeSystem],
                           namespace: dict[str, object],
                           survivors=None, fuse: bool = True) -> str:
@@ -542,8 +569,8 @@ class BatchRhs:
                                             fuse=fuse)
         #: True when the emitted RHS drives a fused coefficient matmul.
         self.fused = "_lin_A" in namespace
-        exec(compile(self.source,
-                     f"<ark-batch:{systems[0].graph.name}>", "exec"),
+        exec(_compile_source(self.source,
+                             f"<ark-batch:{systems[0].graph.name}>"),
              namespace)
         self._rhs_inner = namespace["_rhs"]
         self._alg_inner = namespace["_alg"]

@@ -30,15 +30,19 @@ __all__ = [
     "BATCH_METHODS",
     "DEFAULT_SHARD_MIN",
     "ENGINES",
+    "EnsembleChunk",
     "EnsembleResult",
     "resolve_engine",
     "run_ensemble",
+    "stream_ensemble",
 ]
 
 #: Execution-backend names accepted by ``run_ensemble(engine=...)``.
-#: ``batch`` maps to the plan layer's per-group ``auto`` policy (shard
-#: large groups when a pool is requested) — the historical behavior.
-ENGINES = ("batch", "serial", "shard", "auto")
+#: ``batch`` maps to the plan layer's per-group ``auto`` policy (send
+#: large groups to the persistent pool when one is requested) — the
+#: historical behavior; ``pool`` forces the persistent zero-copy pool,
+#: ``shard`` the legacy throwaway-pool variant.
+ENGINES = ("batch", "serial", "shard", "pool", "auto")
 
 
 @dataclass
@@ -75,6 +79,25 @@ class EnsembleResult:
             else 0.0
 
 
+@dataclass
+class EnsembleChunk(EnsembleResult):
+    """One finished slice of a *streamed* deterministic sweep: either a
+    batched structural group or the serial-fallback remainder.
+
+    Unlike the full :class:`EnsembleResult`, ``trajectories`` here is
+    chunk-local — ``trajectories[k]`` belongs to seed index
+    ``indices[k]`` of the original seed list. ``order`` is the group's
+    submission position; :func:`repro.sim.plan.assemble_chunks` sorts
+    by it so a drained stream reassembles bit-identically to the
+    barriered run no matter the completion order the pool delivered.
+    """
+
+    #: Seed-list indices covered by this chunk, one per trajectory.
+    indices: list[int] = field(default_factory=list)
+    #: Submission order of the chunk's group (serial remainder last).
+    order: int = 0
+
+
 def resolve_engine(engine: str) -> str:
     """Map a driver ``engine`` name onto a plan backend, rejecting
     unknown names up front (an unrecognized engine used to fall back
@@ -97,7 +120,7 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
                  trials: int | None = None,
                  noise_seed: int | None = None,
                  sde_method: str = "heun", block: int = 256,
-                 reference: bool = True):
+                 reference: bool = True, stream: bool = False):
     """Simulate one fabricated instance per seed, batching wherever the
     instances share structure — the unified driver for deterministic
     *and* transient-noise sweeps.
@@ -109,16 +132,19 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         instance). Ignored on the noisy path (see ``sde_method``).
     :param engine: execution backend — ``batch`` (default: the plan
         layer's auto policy), ``serial`` (one solve per instance),
-        ``shard`` (force process-pool sharding), or ``auto``. Unknown
-        names raise :class:`ValueError`.
+        ``pool`` (force the persistent zero-copy worker pool),
+        ``shard`` (force the legacy throwaway-pool sharding), or
+        ``auto``. Unknown names raise :class:`ValueError`.
     :param min_batch: smallest structural group worth a batched compile;
         smaller groups run serially.
     :param processes: process-pool width. Batched groups of at least
-        ``shard_min`` instances are split into per-core sub-batches,
-        and serial-fallback instances fan out one-per-worker (both
-        require a picklable factory; in-process execution otherwise).
-        On the noisy path the (chip x trial) SDE batches shard the
-        same way, bit-identically.
+        ``shard_min`` instances run on the persistent zero-copy pool
+        (spawned once, reused across solves; results return through
+        shared memory instead of pickle), and serial-fallback
+        instances fan out one-per-worker (both require a picklable
+        factory; in-process execution otherwise). On the noisy path
+        the (chip x trial) SDE batches split the same way,
+        bit-identically.
     :param dense: use dense-output interpolation in the batched rkf45
         (see :func:`~repro.sim.batch_solver.solve_batch`).
     :param cache: trajectory cache — ``True`` (process-wide default
@@ -150,6 +176,14 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
     :param reference: also integrate each chip once deterministically
         (batched RK4 on the same grid) for reliability references
         (noisy path only).
+    :param stream: return an *iterator of per-group chunks* instead of
+        the barriered result: each finished structural group yields an
+        :class:`EnsembleChunk` (or, with ``trials=K``, a
+        :class:`~repro.sim.noisy.NoisyEnsembleChunk`) as soon as it
+        completes — under the pool backend in worker-completion order —
+        so analysis can start before the stiffest group finishes.
+        :func:`repro.sim.plan.assemble_chunks` folds a drained stream
+        back into the barriered result, bit-identically.
     """
     plan_backend = resolve_engine(engine)
     noise = None
@@ -168,4 +202,20 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         max_step=max_step, dense=dense, freeze_tol=freeze_tol,
         serial_backend=backend, min_batch=min_batch,
         processes=processes, shard_min=shard_min, cache=cache)
-    return plan.run()
+    return plan.stream() if stream else plan.run()
+
+
+def stream_ensemble(factory, seeds, t_span, **kwargs):
+    """Streaming form of :func:`run_ensemble`: returns the chunk
+    iterator directly (exactly ``run_ensemble(..., stream=True)``).
+
+    The first chunk arrives after one structural group finishes — not
+    after the whole sweep — so spread/BER analysis can overlap the
+    remaining integration::
+
+        for chunk in stream_ensemble(factory, range(1000), span,
+                                     processes=8):
+            for row, index in enumerate(chunk.indices):
+                score(index, chunk.batches[0].instance(row))
+    """
+    return run_ensemble(factory, seeds, t_span, stream=True, **kwargs)

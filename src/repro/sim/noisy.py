@@ -29,7 +29,8 @@ from repro.errors import SimulationError
 from repro.sim.batch_solver import BatchTrajectory
 from repro.sim.plan import DEFAULT_SHARD_MIN
 
-__all__ = ["NoisyEnsembleResult", "run_noisy_ensemble"]
+__all__ = ["NoisyEnsembleChunk", "NoisyEnsembleResult",
+           "run_noisy_ensemble"]
 
 
 @dataclass
@@ -82,6 +83,24 @@ class NoisyEnsembleResult:
         return self.references[chip_index]
 
 
+@dataclass
+class NoisyEnsembleChunk(NoisyEnsembleResult):
+    """One finished structural group of a *streamed* (chips × trials)
+    sweep. The inherited accessors (``trajectory``, ``trials_of``,
+    ``reference``…) work chunk-locally: chip ``k`` of the chunk is seed
+    index ``indices[k]`` of the original seed list, and ``seeds`` holds
+    just this group's chip seeds. ``order`` is the group's submission
+    position — :func:`repro.sim.plan.assemble_chunks` sorts by it, so
+    a stream drained in any completion order reassembles bit-identically
+    to the barriered :class:`NoisyEnsembleResult`.
+    """
+
+    #: Seed-list indices of this group's chips (chip-major order).
+    indices: list[int] = field(default_factory=list)
+    #: Submission order of the chunk's group.
+    order: int = 0
+
+
 def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        n_points: int = 500, method: str = "heun",
                        t_eval=None, max_step: float | None = None,
@@ -91,7 +110,7 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        processes: int | None = None,
                        shard_min: int = DEFAULT_SHARD_MIN,
                        freeze_tol: float | None = None,
-                       ) -> NoisyEnsembleResult:
+                       stream: bool = False):
     """Simulate every (fabricated chip, noise trial) pair, batched.
 
     A delegating shim over the unified driver — exactly
@@ -116,12 +135,19 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
         sweep replays the stored realizations bit-for-bit while a
         shifted ``trial_base`` misses and integrates fresh ones.
     :param engine: execution backend (``batch``/``serial``/``shard``/
-        ``auto``, see :func:`~repro.sim.ensemble.run_ensemble`).
+        ``pool``/``auto``, see
+        :func:`~repro.sim.ensemble.run_ensemble`).
     :param processes: process-pool width — (chip × trial) SDE batches
-        of at least ``shard_min`` rows split into per-core sub-batches,
-        bit-identical to the unsharded solve.
+        of at least ``shard_min`` rows run on the persistent zero-copy
+        pool as per-core sub-batches, bit-identical to the unsharded
+        solve.
     :param freeze_tol: per-instance step masks (see
         :func:`~repro.sim.sde_solver.solve_sde`).
+    :param stream: yield per-group :class:`NoisyEnsembleChunk` objects
+        as they finish instead of the barriered result (see
+        :func:`~repro.sim.ensemble.run_ensemble`).
+    :returns: a :class:`NoisyEnsembleResult`, or — with
+        ``stream=True`` — an iterator of :class:`NoisyEnsembleChunk`.
     """
     from repro.sim.ensemble import run_ensemble
 
@@ -131,4 +157,4 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                         max_step=max_step, reference=reference,
                         block=block, cache=cache, engine=engine,
                         processes=processes, shard_min=shard_min,
-                        freeze_tol=freeze_tol)
+                        freeze_tol=freeze_tol, stream=stream)

@@ -24,13 +24,28 @@ Backends are pluggable through a registry (:data:`BACKENDS`,
   compatible group (:func:`~repro.sim.batch_solver.solve_batch` /
   :func:`~repro.sim.sde_solver.solve_sde`);
 * ``shard``  — the batched solve split into per-core sub-batches across
-  a ``multiprocessing`` pool. Fixed-step methods (``rk4`` and both SDE
-  methods) are bit-identical to the unsharded solve because every
-  instance's arithmetic is row-local and Wiener streams are keyed by
-  ``(noise seed, element, path)`` — never by batch layout;
-* ``auto``   — per-group policy: ``shard`` when a pool is requested and
-  the group is large enough, else ``batch``. This is the default and
-  reproduces the historical driver behavior.
+  a throwaway ``multiprocessing`` pool. Fixed-step methods (``rk4`` and
+  both SDE methods) are bit-identical to the unsharded solve because
+  every instance's arithmetic is row-local and Wiener streams are keyed
+  by ``(noise seed, element, path)`` — never by batch layout;
+* ``pool``   — the same row split run on the **persistent zero-copy
+  pool** (:mod:`repro.sim.pool`): workers are spawned once and reused
+  across solves, and shard results come back through shared memory
+  (:mod:`repro.sim.shm`) instead of pickle. Bit-identical to ``shard``
+  (identical splits, identical arithmetic) at a fraction of the
+  per-solve overhead;
+* ``auto``   — per-group policy: the persistent ``pool`` when a pool
+  is requested (``processes > 1``) and the group is large enough, else
+  ``batch``.
+
+The executor itself is a *streaming* generator: :func:`stream_plan`
+yields one chunk per structurally compatible group as it finishes —
+under the ``pool`` backend all groups are submitted up front and chunks
+arrive in completion order, so spread/BER analysis can start on the
+first group while the stiffest one is still integrating.
+:func:`execute_plan` is the barriered form: it drains the stream and
+reassembles the chunks (:func:`assemble_chunks`) into the classic
+result objects, bit-identical to the pre-streaming driver.
 
 Trajectory caching (:mod:`repro.sim.cache`) is applied uniformly in the
 executor — the noisy path is keyed and replayed exactly like the
@@ -42,6 +57,7 @@ per-shard step control may differ from the whole-group run.
 from __future__ import annotations
 
 import os
+import pickle
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -57,7 +73,8 @@ from repro.sim.batch_codegen import (compile_batch, group_by_signature,
                                      surviving_diffusion)
 from repro.sim.batch_solver import (BatchTrajectory, _output_grid,
                                     solve_batch)
-from repro.sim.cache import cached_batch_solve, resolve_cache
+from repro.sim.cache import (cache_lookup, cache_store,
+                             cached_batch_solve, resolve_cache)
 from repro.sim.sde_solver import SDE_METHODS, solve_sde
 
 #: Methods handled natively by the batched ODE solver.
@@ -104,7 +121,7 @@ class ExecutionPlan:
     :param seeds: mismatch seeds, one fabricated instance each.
     :param t_span: integration span ``(t0, t1)``.
     :param backend: execution backend name (see :data:`BACKENDS`);
-        ``auto`` picks ``shard`` or ``batch`` per group.
+        ``auto`` picks ``pool`` or ``batch`` per group.
     :param noise: ``None`` for a deterministic (ODE) sweep, a
         :class:`NoiseSpec` for a (chip x trial) SDE sweep.
     :param method: ODE method — ``auto``/``rkf45``/``rk4`` run batched,
@@ -118,9 +135,10 @@ class ExecutionPlan:
     :param serial_backend: RHS backend of the serial scipy path
         (``codegen``/``interpreter``).
     :param min_batch: smallest structural group worth a batched compile.
-    :param processes: process-pool width for the ``shard`` backend and
-        the serial fan-out.
-    :param shard_min: smallest batched group the ``auto`` policy shards.
+    :param processes: process-pool width for the ``pool``/``shard``
+        backends and the serial fan-out.
+    :param shard_min: smallest batched group the ``auto`` policy sends
+        to the pool.
     :param cache: trajectory-cache spec (``True``, a directory path, or
         a :class:`~repro.sim.cache.TrajectoryCache`).
     """
@@ -169,6 +187,10 @@ class ExecutionPlan:
         """Execute the plan (see :func:`execute_plan`)."""
         return execute_plan(self)
 
+    def stream(self):
+        """Stream the plan (see :func:`stream_plan`)."""
+        return stream_plan(self)
+
 
 # ----------------------------------------------------------------------
 # Shared machinery
@@ -185,16 +207,25 @@ def _compile_target(target) -> OdeSystem:
         f"got {type(target).__name__}")
 
 
-def _payload_pickles(payload) -> bool:
-    """Pre-flight picklability check. Callers pass one representative
-    pool payload plus the full seed list (payloads differ only in
-    their seeds, so this answers for all of them at a fraction of
-    serializing every duplicated factory/options copy). Checking up
-    front (instead of catching the pool's errors) keeps genuine worker
-    exceptions — including worker ``TypeError``s — propagating to the
-    caller instead of being silently retried in-process."""
-    import pickle
+def _pickled_common(*payload) -> bytes | None:
+    """Serialize the group-wide head of a pool payload — factory, span,
+    solver options — exactly once, returning the bytes (or ``None``
+    when unpicklable, e.g. a lambda factory: callers then fall back to
+    in-process execution). The bytes double as the payload shipped to
+    the workers, so a sweep never pays the factory's serialization
+    twice (it used to be pickled once by the pre-flight probe and again
+    by the pool, per task)."""
+    try:
+        return pickle.dumps(payload)
+    except Exception:
+        return None
 
+
+def _pickles(payload) -> bool:
+    """Cheap probe for the small per-task remainder (seed lists, noise
+    tokens). Probing up front — instead of catching the pool's errors —
+    keeps genuine worker exceptions propagating to the caller instead
+    of being silently retried in-process."""
     try:
         pickle.dumps(payload)
     except Exception:
@@ -202,14 +233,24 @@ def _payload_pickles(payload) -> bool:
     return True
 
 
-def _serial_job(payload):
-    """Module-level worker so a multiprocessing pool can pickle it. The
-    factory itself must also pickle — the driver falls back to
-    in-process execution when the parent-side pre-flight check fails
-    (e.g. lambdas). Failures only visible in the child (a ``spawn``
-    worker that cannot re-import the factory's module) propagate like
-    any other worker error rather than silently degrading."""
-    factory, seed, t_span, options = payload
+#: Group-wide payload installed into throwaway pool workers by
+#: :func:`_pool_init` — deserialized once per worker instead of once
+#: per task.
+_POOL_COMMON: tuple | None = None
+
+
+def _pool_init(blob: bytes) -> None:
+    global _POOL_COMMON
+    _POOL_COMMON = pickle.loads(blob)
+
+
+def _serial_job(seed):
+    """Pool worker for the serial fan-out: one scipy solve per seed.
+    The factory/options arrive once per worker via the initializer.
+    Failures only visible in the child (a ``spawn`` worker that cannot
+    re-import the factory's module) propagate like any other worker
+    error rather than silently degrading."""
+    factory, t_span, options = _POOL_COMMON
     trajectory = simulate(factory(seed), t_span, **options)
     return trajectory.t, trajectory.y
 
@@ -221,14 +262,15 @@ def _run_serial(factory, seeds, indices, systems, t_span, options,
     results: dict[int, Trajectory] = {}
     pending = list(indices)
     if processes and processes > 1 and len(pending) > 1:
-        payloads = [(factory, seeds[i], t_span, options)
-                    for i in pending]
-        if _payload_pickles((payloads[0],
-                             [seeds[i] for i in pending])):
+        common = _pickled_common(factory, t_span, options)
+        job_seeds = [seeds[i] for i in pending]
+        if common is not None and _pickles(job_seeds):
             import multiprocessing
 
-            with multiprocessing.Pool(processes) as pool:
-                rows = pool.map(_serial_job, payloads)
+            with multiprocessing.Pool(processes,
+                                      initializer=_pool_init,
+                                      initargs=(common,)) as pool:
+                rows = pool.map(_serial_job, job_seeds)
             for index, (t, y) in zip(pending, rows):
                 results[index] = Trajectory(t=t, y=y,
                                             system=systems[index])
@@ -239,7 +281,7 @@ def _run_serial(factory, seeds, indices, systems, t_span, options,
 
 
 def _whole_group_fuse(n_rows: int, lead: OdeSystem) -> bool:
-    """The fuse decision the *unsharded* batch would make. Shard
+    """The fuse decision the *unsharded* batch would make. Shard/pool
     workers must inherit it: the emitter's dense-tensor memory guard
     depends on batch size, so a shard deciding for itself could compile
     a fused RHS where the whole group would not, breaking
@@ -248,12 +290,23 @@ def _whole_group_fuse(n_rows: int, lead: OdeSystem) -> bool:
             <= batch_codegen.FUSE_DENSE_LIMIT)
 
 
-def _batch_shard_job(payload):
+def _shard_parts(n_rows: int, processes: int) -> list[np.ndarray]:
+    """The canonical row split: contiguous, near-equal sub-batches.
+    ``shard`` and ``pool`` share it, which is what makes the two
+    backends bit-identical even for the adaptive rkf45 (whose step
+    control depends on shard membership)."""
+    n_shards = min(int(processes), n_rows)
+    if n_shards < 2:
+        return []
+    return [part for part in np.array_split(np.arange(n_rows), n_shards)
+            if len(part)]
+
+
+def _batch_shard_job(shard_seeds):
     """Pool worker integrating one shard of a batched ODE group:
-    rebuild the shard's instances from (factory, seeds) — systems
-    themselves rarely pickle — and run the same batched solve the
-    parent would."""
-    factory, shard_seeds, t_span, options, fuse = payload
+    rebuild the shard's instances from the seeds — systems themselves
+    rarely pickle — and run the same batched solve the parent would."""
+    factory, t_span, options, fuse = _POOL_COMMON
     systems = [_compile_target(factory(seed)) for seed in shard_seeds]
     trajectory = solve_batch(compile_batch(systems, fuse=fuse), t_span,
                              **options)
@@ -263,8 +316,8 @@ def _batch_shard_job(payload):
 def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
                          options, processes) -> BatchTrajectory | None:
     """Integrate one structural group as per-core sub-batches across a
-    process pool. Returns ``None`` when the pool cannot be used (the
-    caller then runs the single-process batched solve).
+    throwaway process pool. Returns ``None`` when the pool cannot be
+    used (the caller then runs the single-process batched solve).
 
     Each shard is an independent batched solve over a contiguous slice
     of the group, so stacking the shard results reproduces the
@@ -273,22 +326,20 @@ def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
     while rkf45's shared step sequence may differ at tolerance level
     because error control no longer sees the whole group.
     """
-    n_shards = min(int(processes), len(indices))
-    if n_shards < 2:
+    parts = _shard_parts(len(indices), processes)
+    if not parts:
         return None
     fuse = _whole_group_fuse(len(indices), systems[indices[0]])
-    shards = [list(part)
-              for part in np.array_split(np.asarray(indices), n_shards)]
-    payloads = [(factory, [seeds[i] for i in shard], t_span, options,
-                 fuse)
-                for shard in shards if shard]
-    if not _payload_pickles((payloads[0],
-                             [seeds[i] for i in indices])):
+    common = _pickled_common(factory, t_span, options, fuse)
+    shard_seeds = [[seeds[indices[row]] for row in part]
+                   for part in parts]
+    if common is None or not _pickles(shard_seeds):
         return None
     import multiprocessing
 
-    with multiprocessing.Pool(len(payloads)) as pool:
-        stacked = pool.map(_batch_shard_job, payloads)
+    with multiprocessing.Pool(len(parts), initializer=_pool_init,
+                              initargs=(common,)) as pool:
+        stacked = pool.map(_batch_shard_job, shard_seeds)
     y = np.concatenate(stacked, axis=0)
     grid = _output_grid(t_span, options.get("n_points", 500),
                         options.get("t_eval"))
@@ -296,14 +347,15 @@ def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
                            systems=[systems[i] for i in indices])
 
 
-def _sde_shard_job(payload):
-    """Pool worker integrating one shard of a replicated SDE batch.
-    ``rows`` is a list of ``(chip_key, chip_seed, noise_token)`` —
-    every chip is rebuilt through the factory exactly once per shard
-    and replicated for its trial rows; the Wiener realization of a row
-    depends only on its token, never on the batch layout, so the shard
-    rows are bit-identical to the unsharded solve."""
-    factory, rows, t_span, options, fuse = payload
+def _compile_sde_rows(factory, rows):
+    """Worker-side rebuild of one SDE shard: every chip is rebuilt
+    through the factory exactly once per shard and *replicated* for its
+    trial rows; the Wiener realization of a row depends only on its
+    token, never on the batch layout, so shard rows are bit-identical
+    to the unsharded solve. ``rows`` is a list of ``(chip_key,
+    chip_seed, noise_token)``; returns ``(replicated, tokens)``.
+    Shared by the throwaway shard jobs and the persistent pool's
+    workers — one copy keeps the two backends' arithmetic identical."""
     compiled: dict = {}
     replicated, tokens = [], []
     for chip_key, chip_seed, token in rows:
@@ -311,9 +363,22 @@ def _sde_shard_job(payload):
             compiled[chip_key] = _compile_target(factory(chip_seed))
         replicated.append(compiled[chip_key])
         tokens.append(token)
+    return replicated, tokens
+
+
+def _sde_shard_job(rows):
+    """Pool worker integrating one shard of a replicated SDE batch
+    (see :func:`_compile_sde_rows` for the replication contract)."""
+    factory, t_span, options, fuse = _POOL_COMMON
+    replicated, tokens = _compile_sde_rows(factory, rows)
     trajectory = solve_sde(compile_batch(replicated, fuse=fuse), t_span,
                            noise_seeds=tokens, **options)
     return trajectory.y
+
+
+def _sde_rows(chip_seeds, chip_keys, noise_seeds) -> list[tuple]:
+    return [(chip_keys[r], chip_seeds[chip_keys[r]], noise_seeds[r])
+            for r in range(len(noise_seeds))]
 
 
 def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
@@ -329,24 +394,20 @@ def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
     token, so splitting rows across processes cannot change them.
     """
     n_rows = len(noise_seeds)
-    n_shards = min(int(processes), n_rows)
-    if n_shards < 2:
+    parts = _shard_parts(n_rows, processes)
+    if not parts:
         return None
     fuse = _whole_group_fuse(n_rows, replicated[0])
-    rows = [(chip_keys[r], chip_seeds[chip_keys[r]], noise_seeds[r])
-            for r in range(n_rows)]
-    shards = [part for part in np.array_split(np.arange(n_rows),
-                                              n_shards) if len(part)]
-    payloads = [(factory, [rows[r] for r in shard], t_span, options,
-                 fuse)
-                for shard in shards]
-    if not _payload_pickles((payloads[0], list(chip_seeds),
-                             list(noise_seeds))):
+    common = _pickled_common(factory, t_span, options, fuse)
+    rows = _sde_rows(chip_seeds, chip_keys, noise_seeds)
+    shard_rows = [[rows[r] for r in part] for part in parts]
+    if common is None or not _pickles(shard_rows):
         return None
     import multiprocessing
 
-    with multiprocessing.Pool(len(payloads)) as pool:
-        stacked = pool.map(_sde_shard_job, payloads)
+    with multiprocessing.Pool(len(parts), initializer=_pool_init,
+                              initargs=(common,)) as pool:
+        stacked = pool.map(_sde_shard_job, shard_rows)
     y = np.concatenate(stacked, axis=0)
     grid = _output_grid(t_span, options.get("n_points", 500),
                         options.get("t_eval"))
@@ -392,7 +453,11 @@ class ExecutionBackend:
     vetoes caching a result an uncached rerun could not reproduce
     bit-for-bit. ``batches = False`` marks a backend that forgoes
     vectorized groups entirely (the deterministic executor then sends
-    every instance down the per-instance scipy path).
+    every instance down the per-instance scipy path). Backends that can
+    run a group *asynchronously* (for the streaming executor) also
+    implement :meth:`submit_ode`/:meth:`submit_sde`, returning a
+    :class:`~repro.sim.pool.PoolHandle` or ``None`` when the group must
+    run synchronously.
     """
 
     name = "?"
@@ -404,6 +469,14 @@ class ExecutionBackend:
 
     def solve_sde(self, task: GroupTask):
         raise NotImplementedError
+
+    def submit_ode(self, task: GroupTask):
+        """Asynchronous form of :meth:`solve_ode` (``None`` = not
+        supported; the executor falls back to the synchronous call)."""
+        return None
+
+    def submit_sde(self, task: GroupTask):
+        return None
 
 
 class BatchBackend(ExecutionBackend):
@@ -457,25 +530,26 @@ class SerialBackend(ExecutionBackend):
                                systems=list(task.group_systems)), True
 
 
+def _pool_width(plan: ExecutionPlan) -> int:
+    if plan.processes is not None:
+        return int(plan.processes)
+    return os.cpu_count() or 1
+
+
 class ShardBackend(ExecutionBackend):
-    """Process-pool sharded solve, falling back to ``batch`` when the
+    """Throwaway-pool sharded solve, falling back to ``batch`` when the
     pool cannot be used (unpicklable factory, group too small, or a
-    one-wide pool)."""
+    one-wide pool). Kept as the explicit no-persistent-state variant;
+    the ``pool`` backend runs the identical split on reused workers."""
 
     name = "shard"
 
-    def _processes(self, plan: ExecutionPlan) -> int:
-        if plan.processes is not None:
-            return int(plan.processes)
-        return os.cpu_count() or 1
-
     def solve_ode(self, task: GroupTask):
         plan = task.plan
-        processes = self._processes(plan)
         sharded = _solve_batch_sharded(
             plan.factory, list(plan.seeds), task.indices,
             {i: s for i, s in zip(task.indices, task.group_systems)},
-            plan.t_span, task.options, processes)
+            plan.t_span, task.options, _pool_width(plan))
         if sharded is None:
             return BACKENDS["batch"].solve_ode(task)
         # Shard-split rkf45 runs per-shard step control, so an uncached
@@ -489,7 +563,7 @@ class ShardBackend(ExecutionBackend):
         sharded = sharded_solve_sde(
             plan.factory, task.chip_seeds, task.chip_keys,
             task.noise_seeds, task.group_systems, plan.t_span,
-            task.options, self._processes(plan))
+            task.options, _pool_width(plan))
         if sharded is None:
             return BACKENDS["batch"].solve_sde(task)
         # Both SDE methods are fixed-step: shards are bit-identical to
@@ -497,10 +571,97 @@ class ShardBackend(ExecutionBackend):
         return sharded, True
 
 
+class PoolBackend(ExecutionBackend):
+    """Persistent zero-copy pool: the ``shard`` row split executed on
+    reused workers (:mod:`repro.sim.pool`) with results returned
+    through shared memory (:mod:`repro.sim.shm`) instead of pickle.
+
+    Bit-identical to ``shard`` for every method (the two backends share
+    :func:`_shard_parts` and the whole-group fuse decision), and to
+    ``batch`` for fixed-step methods. Falls back to ``batch`` when the
+    pool cannot be used. Supports asynchronous submission, which is
+    what lets the streaming executor yield groups as workers finish.
+    """
+
+    name = "pool"
+
+    def _submit(self, task: GroupTask, kind: str, rows: list,
+                storable: bool):
+        from repro.sim import pool as pool_module
+        from repro.sim.shm import ShmBlock
+
+        plan = task.plan
+        parts = _shard_parts(len(rows), _pool_width(plan))
+        if not parts:
+            return None
+        fuse = _whole_group_fuse(len(rows), task.group_systems[0])
+        common = _pickled_common(plan.factory, plan.t_span,
+                                 task.options, fuse)
+        if common is None or not _pickles(rows):
+            return None
+        grid = _output_grid(plan.t_span,
+                            task.options.get("n_points", 500),
+                            task.options.get("t_eval"))
+        worker_pool = pool_module.get_pool(_pool_width(plan))
+        block = ShmBlock.create((len(rows),
+                                 task.group_systems[0].n_states,
+                                 len(grid)))
+        handle = pool_module.PoolHandle(
+            pool=worker_pool, block=block, grid=grid,
+            systems=list(task.group_systems), storable=storable,
+            masked=task.options.get("freeze_tol") is not None)
+        offset = 0
+        try:
+            for part in parts:
+                worker_pool.submit(handle, kind, common,
+                                   [rows[r] for r in part], offset)
+                offset += len(part)
+        except BaseException:
+            handle.discard()
+            raise
+        return handle
+
+    def submit_ode(self, task: GroupTask):
+        seeds = list(task.plan.seeds)
+        rows = [seeds[i] for i in task.indices]
+        # rkf45 runs per-shard step control (same shards as `shard`,
+        # hence bit-identical to it) — uncachable for the same reason.
+        return self._submit(task, "ode", rows,
+                            task.options.get("method") == "rk4")
+
+    def submit_sde(self, task: GroupTask):
+        rows = _sde_rows(task.chip_seeds, task.chip_keys,
+                         task.noise_seeds)
+        return self._submit(task, "sde", rows, True)
+
+    def _finish(self, handle):
+        try:
+            handle.wait()
+        except BaseException:
+            handle.discard()
+            raise
+        return handle.result()
+
+    def solve_ode(self, task: GroupTask):
+        handle = self.submit_ode(task)
+        if handle is None:
+            return BACKENDS["batch"].solve_ode(task)
+        return self._finish(handle)
+
+    def solve_sde(self, task: GroupTask):
+        handle = self.submit_sde(task)
+        if handle is None:
+            return BACKENDS["batch"].solve_sde(task)
+        return self._finish(handle)
+
+
 class AutoBackend(ExecutionBackend):
-    """Per-group policy: shard large groups when a pool was requested,
-    run everything else single-process — the historical behavior of
-    ``run_ensemble(processes=N)``."""
+    """Per-group policy: send large groups to the persistent pool when
+    one was requested (``processes > 1``), run everything else
+    single-process — the historical behavior of
+    ``run_ensemble(processes=N)``, now with warm workers and pickle-free
+    returns (``pool`` is bit-identical to the ``shard`` backend it
+    replaced as the auto choice)."""
 
     name = "auto"
 
@@ -511,7 +672,7 @@ class AutoBackend(ExecutionBackend):
         big_enough = len(task.group_systems) >= max(plan.shard_min,
                                                     2 * plan.min_batch)
         if plan.processes and plan.processes > 1 and big_enough:
-            return BACKENDS["shard"]
+            return BACKENDS["pool"]
         return BACKENDS["batch"]
 
     def solve_ode(self, task: GroupTask):
@@ -519,6 +680,12 @@ class AutoBackend(ExecutionBackend):
 
     def solve_sde(self, task: GroupTask):
         return self._pick(task).solve_sde(task)
+
+    def submit_ode(self, task: GroupTask):
+        return self._pick(task).submit_ode(task)
+
+    def submit_sde(self, task: GroupTask):
+        return self._pick(task).submit_sde(task)
 
 
 #: The pluggable backend registry. Keys are plan ``backend`` names.
@@ -539,6 +706,7 @@ def backend_names() -> tuple[str, ...]:
 register_backend(BatchBackend())
 register_backend(SerialBackend())
 register_backend(ShardBackend())
+register_backend(PoolBackend())
 register_backend(AutoBackend())
 
 
@@ -553,27 +721,140 @@ def execute_plan(plan: ExecutionPlan):
     trajectory caching). Returns an
     :class:`~repro.sim.ensemble.EnsembleResult` for deterministic plans
     and a :class:`~repro.sim.noisy.NoisyEnsembleResult` for plans
-    carrying a :class:`NoiseSpec`."""
+    carrying a :class:`NoiseSpec`.
+
+    This is the barriered form of :func:`stream_plan`: it drains the
+    chunk stream and reassembles it, bit-identically to the historical
+    monolithic driver."""
+    seeds = list(plan.seeds)
+    plan = replace(plan, seeds=seeds)
+    trials = plan.noise.trials if plan.noise is not None else None
+    return assemble_chunks(stream_plan(plan), seeds, trials=trials)
+
+
+def stream_plan(plan: ExecutionPlan):
+    """Execute the plan as a stream: an iterator of per-group chunks
+    (:class:`~repro.sim.ensemble.EnsembleChunk` /
+    :class:`~repro.sim.noisy.NoisyEnsembleChunk`), each one finished
+    structurally compatible group, yielded as it completes instead of
+    barriering the whole sweep.
+
+    Groups running on the ``pool`` backend are all submitted up front
+    and arrive in *completion* order — analysis can start on the first
+    (fastest) group while the stiffest one is still integrating; other
+    backends yield lazily in group order, which still delivers the
+    first chunk after one group's integration rather than the whole
+    sweep's. :func:`assemble_chunks` folds a drained stream back into
+    the barriered result object. Validation errors raise here, not at
+    the first ``next()``."""
     plan.validate()
     seeds = list(plan.seeds)
     # Normalize up front: a generator would be exhausted by the first
     # traversal, and shard tasks re-read plan.seeds.
     plan = replace(plan, seeds=seeds)
+    return _stream(plan, seeds)
+
+
+def _stream(plan: ExecutionPlan, seeds: list):
     systems = [_compile_target(plan.factory(seed)) for seed in seeds]
     if plan.noise is None:
-        return _execute_ode(plan, seeds, systems)
-    return _execute_sde(plan, seeds, systems)
+        yield from _stream_ode(plan, seeds, systems)
+    else:
+        yield from _stream_sde(plan, seeds, systems)
 
 
 def _span_key(t_span) -> tuple[float, float]:
     return (float(t_span[0]), float(t_span[1]))
 
 
-def _execute_ode(plan: ExecutionPlan, seeds, systems):
-    from repro.sim.ensemble import EnsembleResult
+def _effective_backend(backend: ExecutionBackend,
+                       task: GroupTask) -> ExecutionBackend:
+    if isinstance(backend, AutoBackend):
+        return backend._pick(task)
+    return backend
+
+
+def _drive_groups(plan, tasks, store, kind, key_options, solve_sync,
+                  submit_async, on_error):
+    """The executor's scheduling core: run every :class:`GroupTask`,
+    yielding ``(order, task, BatchTrajectory)`` as groups finish.
+
+    Cache hits yield first (they cost a key + load). Pool-backed groups
+    are submitted asynchronously *up front* — workers start integrating
+    immediately — and yield in completion order; everything else solves
+    synchronously and lazily in group order. ``on_error(task, exc)``
+    returns True to swallow a group's :class:`SimulationError` (the ODE
+    path demotes the group to the serial fallback); storable results
+    land in the trajectory cache exactly as the synchronous driver
+    stored them. Any teardown — consumer abandoning the stream, a
+    worker crash, ``KeyboardInterrupt`` — discards the in-flight
+    handles, which releases their shared-memory blocks."""
+    backend = BACKENDS[plan.backend]
+    hits, sync, runs = [], [], []
+    try:
+        for order, task in enumerate(tasks):
+            key, hit = cache_lookup(store, task.group_systems, kind,
+                                    key_options(task))
+            if hit is not None:
+                hits.append((order, task, hit))
+                continue
+            effective = _effective_backend(backend, task)
+            handle = submit_async(effective, task)
+            if handle is not None:
+                runs.append((order, task, key, handle))
+            else:
+                sync.append((order, task, key, effective))
+        yield from hits
+        for order, task, key, effective in sync:
+            try:
+                trajectory, storable = solve_sync(effective, task)
+            except SimulationError as exc:
+                if not on_error(task, exc):
+                    raise
+                continue
+            cache_store(store, key, trajectory, storable)
+            yield (order, task, trajectory)
+        while runs:
+            from repro.sim import pool as pool_module
+
+            try:
+                handle = pool_module.wait_any(
+                    [run[3] for run in runs])
+            except pool_module.PoolBrokenError as exc:
+                # A dying worker takes every in-flight group with it.
+                # Consult on_error for each — the ODE auto path demotes
+                # them all to the serial fallback, so a hard crash
+                # degrades the sweep instead of killing it; explicit
+                # methods and the SDE path re-raise.
+                pending = runs[:]
+                runs.clear()
+                for _order, _task, _key, broken in pending:
+                    broken.discard()
+                if not all(on_error(task, exc)
+                           for _order, task, _key, _handle in pending):
+                    raise
+                break
+            position = next(index for index, run in enumerate(runs)
+                            if run[3] is handle)
+            order, task, key, handle = runs.pop(position)
+            try:
+                trajectory, storable = handle.result()
+            except SimulationError as exc:
+                if not on_error(task, exc):
+                    raise
+                continue
+            cache_store(store, key, trajectory, storable)
+            yield (order, task, trajectory)
+    except BaseException:
+        for run in runs:
+            run[3].discard()
+        raise
+
+
+def _stream_ode(plan: ExecutionPlan, seeds, systems):
+    from repro.sim.ensemble import EnsembleChunk
 
     backend = BACKENDS[plan.backend]
-    result = EnsembleResult(trajectories=[None] * len(seeds))
     store = resolve_cache(plan.cache)
 
     batchable = backend.batches and plan.method in BATCH_METHODS
@@ -585,6 +866,7 @@ def _execute_ode(plan: ExecutionPlan, seeds, systems):
                           t_eval=plan.t_eval, max_step=plan.max_step)
 
     serial_indices: list[int] = []
+    tasks: list[GroupTask] = []
     if batchable:
         batch_method = "rkf45" if plan.method == "auto" else plan.method
         solver_options = dict(n_points=plan.n_points,
@@ -596,37 +878,52 @@ def _execute_ode(plan: ExecutionPlan, seeds, systems):
             if len(indices) < plan.min_batch:
                 serial_indices.extend(indices)
                 continue
-            group_systems = [systems[i] for i in indices]
-            task = GroupTask(plan=plan, indices=list(indices),
-                             group_systems=group_systems,
-                             options=solver_options)
-            try:
-                trajectory = cached_batch_solve(
-                    store, group_systems, "batch",
-                    {**solver_options, "t_span": _span_key(plan.t_span)},
-                    lambda task=task: backend.solve_ode(task))
-            except SimulationError:
-                # A group the batch path cannot integrate (e.g. a stiff
-                # outlier underflowing the rkf45 step floor) is demoted
-                # to the serial scipy path rather than failing the
-                # whole ensemble — unless the caller forced a batch
-                # method explicitly.
-                if plan.method != "auto":
-                    raise
-                serial_indices.extend(indices)
-                continue
-            _record_group(result, trajectory, indices)
+            tasks.append(GroupTask(
+                plan=plan, indices=list(indices),
+                group_systems=[systems[i] for i in indices],
+                options=solver_options))
     else:
-        serial_indices = list(range(len(seeds)))
+        serial_indices = list(range(len(systems)))
+
+    fanout = [plan.processes]
+
+    def on_error(task, exc):
+        # A group the batch path cannot integrate (e.g. a stiff
+        # outlier underflowing the rkf45 step floor) is demoted to the
+        # serial scipy path rather than failing the whole ensemble —
+        # unless the caller forced a batch method explicitly.
+        if plan.method != "auto":
+            return False
+        from repro.sim.pool import PoolBrokenError
+
+        if isinstance(exc, PoolBrokenError):
+            # Whatever killed the worker (OOM, a crashing factory)
+            # would kill a serial fan-out worker too — finish the
+            # demoted instances in-process.
+            fanout[0] = None
+        serial_indices.extend(task.indices)
+        return True
+
+    for order, task, trajectory in _drive_groups(
+            plan, tasks, store, "batch",
+            lambda task: {**task.options,
+                          "t_span": _span_key(plan.t_span)},
+            lambda effective, task: effective.solve_ode(task),
+            lambda effective, task: effective.submit_ode(task),
+            on_error):
+        yield EnsembleChunk(order=order, indices=list(task.indices),
+                            trajectories=trajectory.trajectories(),
+                            batches=[trajectory],
+                            groups=[list(task.indices)])
 
     if serial_indices:
         serial = _run_serial(plan.factory, seeds, serial_indices,
                              systems, plan.t_span, serial_options,
-                             plan.processes)
-        for index, trajectory in serial.items():
-            result.trajectories[index] = trajectory
-    result.serial_indices = sorted(serial_indices)
-    return result
+                             fanout[0])
+        ordered = sorted(serial_indices)
+        yield EnsembleChunk(order=len(tasks), indices=ordered,
+                            trajectories=[serial[i] for i in ordered],
+                            serial_indices=ordered)
 
 
 def _group_has_noise(group_systems) -> bool:
@@ -635,12 +932,11 @@ def _group_has_noise(group_systems) -> bool:
     return bool(surviving_diffusion(group_systems))
 
 
-def _execute_sde(plan: ExecutionPlan, seeds, systems):
-    from repro.sim.noisy import NoisyEnsembleResult
+def _stream_sde(plan: ExecutionPlan, seeds, systems):
+    from repro.sim.noisy import NoisyEnsembleChunk
 
     backend = BACKENDS[plan.backend]
     noise = plan.noise
-    result = NoisyEnsembleResult(seeds=seeds, trials=noise.trials)
     store = resolve_cache(plan.cache)
     groups = group_by_signature(systems)
 
@@ -660,62 +956,116 @@ def _execute_sde(plan: ExecutionPlan, seeds, systems):
                           t_eval=plan.t_eval, max_step=plan.max_step,
                           block=noise.block, rtol=plan.rtol,
                           atol=plan.atol, freeze_tol=plan.freeze_tol)
+    tasks: list[GroupTask] = []
     for indices in groups:
         replicated: list[OdeSystem] = []
         noise_seeds: list[str] = []
         chip_keys: list[int] = []
         for row_base, index in enumerate(indices):
-            result._rows[index] = (len(result.batches),
-                                   row_base * noise.trials)
             replicated.extend([systems[index]] * noise.trials)
             noise_seeds.extend(noise.tokens(seeds[index]))
             chip_keys.extend([row_base] * noise.trials)
-        task = GroupTask(plan=plan, indices=list(indices),
-                         group_systems=replicated,
-                         options=solver_options,
-                         noise_seeds=noise_seeds, chip_keys=chip_keys)
+        tasks.append(GroupTask(plan=plan, indices=list(indices),
+                               group_systems=replicated,
+                               options=solver_options,
+                               noise_seeds=noise_seeds,
+                               chip_keys=chip_keys))
+
+    reference_backend = backend if backend.batches \
+        else BACKENDS["batch"]
+    # References are the chips' deterministic baselines: freeze masks
+    # are intentionally not applied, so reliability metrics always
+    # compare against the exact noise-free transient.
+    reference_options = dict(n_points=plan.n_points, method="rk4",
+                             rtol=plan.rtol, atol=plan.atol,
+                             t_eval=plan.t_eval, max_step=plan.max_step,
+                             dense=plan.dense, freeze_tol=None)
+
+    def key_options(task):
         # `block` is excluded from the key on purpose: the Wiener
         # realization is block-size independent, so it cannot change
         # the result.
-        key_options = {k: v for k, v in solver_options.items()
-                       if k != "block"}
-        batch = cached_batch_solve(
-            store, replicated, "sde",
-            {**key_options, "noise_seeds": tuple(noise_seeds),
-             "t_span": _span_key(plan.t_span)},
-            lambda task=task: backend.solve_sde(task))
-        result.batches.append(batch)
-        result.groups.append(list(indices))
+        trimmed = {k: v for k, v in task.options.items()
+                   if k != "block"}
+        return {**trimmed, "noise_seeds": tuple(task.noise_seeds),
+                "t_span": _span_key(plan.t_span)}
 
-    if noise.reference:
-        result.references = [None] * len(seeds)
-        # References are the chips' deterministic baselines: freeze
-        # masks are intentionally not applied, so reliability metrics
-        # always compare against the exact noise-free transient.
-        reference_options = dict(n_points=plan.n_points, method="rk4",
-                                 rtol=plan.rtol, atol=plan.atol,
-                                 t_eval=plan.t_eval,
-                                 max_step=plan.max_step,
-                                 dense=plan.dense, freeze_tol=None)
-        reference_backend = backend if backend.batches \
-            else BACKENDS["batch"]
-        for indices in groups:
+    for order, task, batch in _drive_groups(
+            plan, tasks, store, "sde", key_options,
+            lambda effective, task: effective.solve_sde(task),
+            lambda effective, task: effective.submit_sde(task),
+            lambda task, exc: False):
+        indices = task.indices
+        references = None
+        if noise.reference:
             group_systems = [systems[i] for i in indices]
-            task = GroupTask(plan=plan, indices=list(indices),
-                             group_systems=group_systems,
-                             options=reference_options)
+            reference_task = GroupTask(plan=plan, indices=list(indices),
+                                       group_systems=group_systems,
+                                       options=reference_options)
             reference_batch = cached_batch_solve(
                 store, group_systems, "batch",
                 {**reference_options,
                  "t_span": _span_key(plan.t_span)},
-                lambda task=task: reference_backend.solve_ode(task))
-            for row, index in enumerate(indices):
-                result.references[index] = reference_batch.instance(row)
+                lambda task=reference_task:
+                reference_backend.solve_ode(task))
+            references = [reference_batch.instance(row)
+                          for row in range(len(indices))]
+        yield NoisyEnsembleChunk(
+            order=order, indices=list(indices),
+            seeds=[seeds[i] for i in indices], trials=noise.trials,
+            batches=[batch],
+            groups=[list(range(len(indices)))],
+            references=references,
+            _rows={local: (0, local * noise.trials)
+                   for local in range(len(indices))})
+
+
+def assemble_chunks(chunks, seeds, trials: int | None = None):
+    """Fold a (drained) chunk stream back into the barriered result —
+    the exact :class:`~repro.sim.ensemble.EnsembleResult` /
+    :class:`~repro.sim.noisy.NoisyEnsembleResult` the pre-streaming
+    driver returned, independent of chunk arrival order (chunks are
+    re-sorted by submission order). ``trials`` disambiguates an empty
+    noisy stream; it is ignored when chunks are present."""
+    from repro.sim.ensemble import EnsembleResult
+    from repro.sim.noisy import NoisyEnsembleChunk, NoisyEnsembleResult
+
+    seeds = list(seeds)
+    chunks = sorted(chunks, key=lambda chunk: chunk.order)
+    noisy = trials is not None or any(
+        isinstance(chunk, NoisyEnsembleChunk) for chunk in chunks)
+    if noisy:
+        if chunks:
+            trials = chunks[0].trials
+        result = NoisyEnsembleResult(seeds=seeds, trials=trials or 0)
+        with_references = bool(chunks) and all(
+            chunk.references is not None for chunk in chunks)
+        if with_references:
+            result.references = [None] * len(seeds)
+        for chunk in chunks:
+            batch_number = len(result.batches)
+            result.batches.append(chunk.batches[0])
+            result.groups.append(list(chunk.indices))
+            for row_base, index in enumerate(chunk.indices):
+                result._rows[index] = (batch_number,
+                                       row_base * result.trials)
+                if with_references:
+                    result.references[index] = \
+                        chunk.references[row_base]
+        return result
+
+    result = EnsembleResult(trajectories=[None] * len(seeds))
+    serial_indices: list[int] = []
+    for chunk in chunks:
+        if chunk.batches:
+            result.batches.append(chunk.batches[0])
+            result.groups.append(list(chunk.indices))
+        else:
+            serial_indices.extend(chunk.serial_indices)
+        # The chunk already unpacked its per-instance views — reuse
+        # them instead of materializing a second set.
+        for index, trajectory in zip(chunk.indices,
+                                     chunk.trajectories):
+            result.trajectories[index] = trajectory
+    result.serial_indices = sorted(serial_indices)
     return result
-
-
-def _record_group(result, trajectory: BatchTrajectory, indices) -> None:
-    result.batches.append(trajectory)
-    result.groups.append(list(indices))
-    for row, index in enumerate(indices):
-        result.trajectories[index] = trajectory.instance(row)

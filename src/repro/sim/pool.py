@@ -1,0 +1,382 @@
+"""Persistent zero-copy worker pool for sharded ensemble solves.
+
+The ``shard`` backend pays two per-solve overheads the paper's
+large-scale mismatch/noise sweeps cannot amortize: a fresh
+``multiprocessing.Pool`` is spawned (and torn down) for every batched
+group, and every shard's trajectory tensor returns through pickle.
+This module removes both:
+
+* **Persistent workers** — :class:`WorkerPool` spawns its processes
+  once and reuses them across solves (and across sweeps inside one
+  session). Workers keep a per-process cache of unpickled shared
+  payloads, and the batch-codegen kernel cache
+  (:mod:`repro.sim.batch_codegen`) means a structural group's RHS
+  source is compiled at most once per worker no matter how many shards
+  or reruns it serves.
+* **Shared-memory results** — every task carries a tiny
+  :class:`~repro.sim.shm.ShmBlock` header; the worker integrates its
+  shard and stores the rows straight into the shared tensor. Only a
+  small metadata dict (nfev, freeze mask) rides back on the result
+  queue, so ``(n_instances, n_points, n_states)``-scale arrays never
+  pass through pickle.
+
+The parent-side unit of work is a :class:`PoolHandle`: one batched
+group, split into per-worker shard tasks, all writing disjoint row
+slices of one shared block. Handles complete asynchronously —
+:func:`wait_any` is what lets the plan layer's streaming executor yield
+finished groups while the stiffest group is still integrating.
+
+Failure contract: an exception inside a task travels back pickled and
+re-raises in the parent (so the plan layer's demote-to-serial handling
+keeps working); a *dying* worker (hard crash, ``os._exit``) breaks the
+whole pool — it is torn down, evicted from the registry, and
+:class:`PoolBrokenError` raised; the next :func:`get_pool` call spawns
+a fresh one. Every path discards the group's shared block, so no
+``/dev/shm`` segment outlives its sweep.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import pickle
+import queue as queue_module
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+from repro.sim import shm as shm_module
+from repro.sim.batch_codegen import compile_batch
+from repro.sim.batch_solver import BatchTrajectory, solve_batch
+from repro.sim.sde_solver import solve_sde
+
+
+class PoolBrokenError(SimulationError):
+    """A pool worker died without reporting a result. The pool has been
+    torn down; the next :func:`get_pool` call starts a fresh one."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardTask:
+    """One shard of a batched group, as shipped to a worker.
+
+    ``common`` is the pickle of the group-wide ``(factory, t_span,
+    options, fuse)`` tuple — serialized once per group and cached
+    per-worker, so the factory's (possibly large) attribute payload is
+    not re-pickled for every shard. ``rows`` is the shard's work list:
+    mismatch seeds for ODE shards, ``(chip_key, chip_seed, token)``
+    triples for SDE shards. ``header``/``row_offset`` name the shared
+    block and the shard's slice of it.
+    """
+
+    task_id: int
+    kind: str
+    common: bytes
+    rows: list
+    header: tuple
+    row_offset: int
+
+
+#: Per-worker cache of unpickled ``common`` payloads, keyed by content
+#: hash: the shards of one group (and of every rerun of the same sweep)
+#: deserialize the factory exactly once per worker.
+_COMMON_CACHE: dict[bytes, tuple] = {}
+_COMMON_CACHE_MAX = 32
+
+
+def _load_common(blob: bytes) -> tuple:
+    key = hashlib.sha1(blob).digest()
+    hit = _COMMON_CACHE.get(key)
+    if hit is None:
+        hit = pickle.loads(blob)
+        if len(_COMMON_CACHE) >= _COMMON_CACHE_MAX:
+            _COMMON_CACHE.clear()
+        _COMMON_CACHE[key] = hit
+    return hit
+
+
+def _run_shard(task: ShardTask) -> dict:
+    """Integrate one shard and store its rows into the shared block.
+    The arithmetic is exactly the ``shard`` backend's — the rebuild
+    helpers are literally shared with :mod:`repro.sim.plan` (same row
+    split, same whole-group fuse decision) — so pool results are
+    bit-identical to ``shard`` (and, for fixed-step methods, to
+    ``batch``)."""
+    # Lazy import: plan.py is the registry module and imports this one
+    # inside functions only, so importing it here (in the worker) is
+    # cycle-free.
+    from repro.sim.plan import _compile_sde_rows, _compile_target
+
+    factory, t_span, options, fuse = _load_common(task.common)
+    if task.kind == "ode":
+        systems = [_compile_target(factory(seed)) for seed in task.rows]
+        trajectory = solve_batch(compile_batch(systems, fuse=fuse),
+                                 t_span, **options)
+    else:
+        replicated, tokens = _compile_sde_rows(factory, task.rows)
+        trajectory = solve_sde(compile_batch(replicated, fuse=fuse),
+                               t_span, noise_seeds=tokens, **options)
+    block = shm_module.ShmBlock.attach(task.header)
+    try:
+        block.write_rows(task.row_offset, trajectory.y)
+    finally:
+        block.close()
+    return {
+        "n_rows": trajectory.y.shape[0],
+        "nfev": trajectory.nfev,
+        "frozen": None if trajectory.frozen is None
+        else np.asarray(trajectory.frozen, dtype=bool),
+    }
+
+
+def _encode_error(exc: BaseException) -> bytes:
+    try:
+        return pickle.dumps(exc)
+    except Exception:
+        return pickle.dumps(SimulationError(
+            f"pool worker failed with unpicklable "
+            f"{type(exc).__name__}: {exc}"))
+
+
+def _decode_error(blob: bytes) -> BaseException:
+    try:
+        return pickle.loads(blob)
+    except Exception:  # pragma: no cover - defensive
+        return SimulationError("pool worker failed (undecodable error)")
+
+
+def _worker_main(tasks, results):  # pragma: no cover - subprocess body
+    """Worker loop: runs until the ``None`` sentinel. Exceptions —
+    including solver ``SimulationError``s — are reported, never fatal,
+    so one stiff shard cannot take the pool down."""
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        try:
+            meta = _run_shard(task)
+        except BaseException as exc:  # noqa: BLE001 - must stay alive
+            results.put((task.task_id, False, _encode_error(exc)))
+        else:
+            results.put((task.task_id, True, meta))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PoolHandle:
+    """Parent-side state of one in-flight batched group.
+
+    Tracks the group's pending shard task ids, accumulates the small
+    per-shard metadata, and owns the group's shared block until
+    :meth:`result` (success) or :meth:`discard` (any failure path)
+    releases it.
+    """
+
+    pool: "WorkerPool"
+    block: shm_module.ShmBlock
+    grid: np.ndarray
+    systems: list
+    storable: bool
+    masked: bool
+    pending: set = field(default_factory=set)
+    offsets: list = field(default_factory=list)
+    metas: dict = field(default_factory=dict)
+    error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return not self.pending
+
+    def _complete(self, task_id: int, ok: bool, payload) -> None:
+        self.pending.discard(task_id)
+        if ok:
+            self.metas[task_id] = payload
+        elif self.error is None:
+            self.error = _decode_error(payload)
+
+    def wait(self) -> None:
+        """Block until every shard reported (or the pool broke)."""
+        while self.pending:
+            self.pool.drain_one()
+
+    def result(self):
+        """The group's ``(BatchTrajectory, storable)`` — call when
+        :attr:`done`. Raises the first shard error (after releasing the
+        block) so callers treat pool groups like any other solve."""
+        if self.pending:
+            raise SimulationError("pool group is still running")
+        if self.error is not None:
+            self.discard()
+            raise self.error
+        y = self.block.read_copy()
+        self.discard()
+        nfev = sum(meta["nfev"] or 0 for meta in self.metas.values())
+        frozen = None
+        if self.masked:
+            frozen = np.zeros(y.shape[0], dtype=bool)
+            for task_id, offset in self.offsets:
+                part = self.metas[task_id]["frozen"]
+                if part is not None:
+                    frozen[offset:offset + len(part)] = part
+        return BatchTrajectory(t=self.grid, y=y,
+                               systems=list(self.systems),
+                               frozen=frozen, nfev=nfev), self.storable
+
+    def discard(self) -> None:
+        """Release the shared block and forget pending tasks
+        (idempotent) — the single cleanup path for success, shard
+        errors, pool breakage, and ``KeyboardInterrupt`` alike."""
+        for task_id in self.pending:
+            self.pool._handles.pop(task_id, None)
+        self.pending.clear()
+        self.block.discard()
+
+
+class WorkerPool:
+    """A fixed set of persistent worker processes plus task/result
+    queues. Spawned once (see :func:`get_pool`) and reused across
+    solves; submitting is cheap, results route back to their
+    :class:`PoolHandle` by task id."""
+
+    def __init__(self, processes: int):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        self.processes = int(processes)
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        self._handles: dict[int, PoolHandle] = {}
+        self._next_task_id = 0
+        self.broken = False
+        self._workers = [
+            context.Process(target=_worker_main,
+                            args=(self._tasks, self._results),
+                            daemon=True, name=f"ark-pool-{index}")
+            for index in range(self.processes)]
+        for worker in self._workers:
+            worker.start()
+
+    def submit(self, handle: PoolHandle, kind: str, common: bytes,
+               rows: list, row_offset: int) -> int:
+        if self.broken:
+            raise PoolBrokenError(
+                "worker pool is broken; acquire a fresh one with "
+                "get_pool()")
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        handle.pending.add(task_id)
+        handle.offsets.append((task_id, row_offset))
+        self._handles[task_id] = handle
+        self._tasks.put(ShardTask(task_id=task_id, kind=kind,
+                                  common=common, rows=rows,
+                                  header=handle.block.header,
+                                  row_offset=row_offset))
+        return task_id
+
+    def drain_one(self, poll: float = 0.1) -> PoolHandle:
+        """Route the next result to its handle and return that handle.
+        Detects dead workers while waiting: a worker that vanished with
+        tasks outstanding breaks the pool (every in-flight group is
+        unrecoverable — its shard may have died mid-write)."""
+        while True:
+            try:
+                task_id, ok, payload = self._results.get(timeout=poll)
+            except queue_module.Empty:
+                if any(not worker.is_alive()
+                       for worker in self._workers):
+                    self._break()
+                    raise PoolBrokenError(
+                        "a pool worker died without reporting a "
+                        "result; the pool was torn down") from None
+                continue
+            handle = self._handles.pop(task_id, None)
+            if handle is None:
+                continue  # result of a discarded (cancelled) group
+            handle._complete(task_id, ok, payload)
+            return handle
+
+    def _break(self) -> None:
+        self.broken = True
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for key, pool in list(_POOLS.items()):
+            if pool is self:
+                del _POOLS[key]
+
+    def close(self) -> None:
+        """Orderly shutdown: sentinel every worker, then join."""
+        if self.broken:
+            return
+        self.broken = True
+        for _ in self._workers:
+            self._tasks.put(None)
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+        for key, pool in list(_POOLS.items()):
+            if pool is self:
+                del _POOLS[key]
+
+
+def wait_any(handles: list[PoolHandle]) -> PoolHandle:
+    """Block until at least one of ``handles`` is complete and return
+    it — the streaming executor's yield-as-workers-finish primitive."""
+    while True:
+        for handle in handles:
+            if handle.done:
+                return handle
+        handles[0].pool.drain_one()
+
+
+# ----------------------------------------------------------------------
+# Pool registry (spawn once, reuse across solves)
+# ----------------------------------------------------------------------
+
+_POOLS: dict[int, WorkerPool] = {}
+
+
+def get_pool(processes: int) -> WorkerPool:
+    """The process-wide persistent pool of the given width, spawning it
+    on first use (or after breakage). Reuse across solves is the point:
+    repeated sweeps skip both worker spawn and — through the per-worker
+    caches — payload deserialization and RHS source compilation.
+
+    Pools of *other* widths are retired when they are idle, so a
+    session that sweeps with varying ``processes`` values does not
+    accumulate resident workers; an idle-width pool that is still
+    wanted simply respawns on its next use (paying one cold start).
+    :func:`shutdown_pools` releases everything explicitly."""
+    processes = int(processes)
+    for width, other in list(_POOLS.items()):
+        # A pool with registered handles has groups in flight (e.g. an
+        # interleaved stream of a different width) — leave it alone.
+        if width != processes and not other._handles:
+            other.close()
+    pool = _POOLS.get(processes)
+    if pool is None or pool.broken:
+        pool = WorkerPool(processes)
+        _POOLS[processes] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every registered pool (atexit hook; also used by tests)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

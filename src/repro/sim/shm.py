@@ -1,0 +1,155 @@
+"""Shared-memory result transport for the persistent worker pool.
+
+The ``shard`` backend returns every per-shard trajectory tensor through
+the multiprocessing pipe: the worker pickles an
+``(n_rows, n_states, n_points)`` float array, the parent unpickles and
+then concatenates it — two full copies plus serialization per shard, on
+the sweep sizes of the paper's Fig. 4 / Table 1 studies easily hundreds
+of megabytes per run. This module removes that round trip: the parent
+allocates one :class:`ShmBlock` per batched group, workers attach by a
+lightweight picklable *header* (name, shape, dtype — a few dozen
+bytes) and integrate **directly into their row slice** of the shared
+tensor, and the parent materializes the finished block with a single
+memcpy. Trajectory data never passes through ``pickle``.
+
+Lifetime contract: the parent (creator) owns the segment — it unlinks
+exactly once, in a ``finally`` path, so success, worker crashes, and
+``KeyboardInterrupt`` all leave ``/dev/shm`` clean (test-enforced via
+:func:`active_blocks`). Workers only ever attach + close; their
+attachment is explicitly *untracked* so Python's resource tracker in a
+long-lived worker never unlinks (or warns about) a segment it does not
+own.
+"""
+
+from __future__ import annotations
+
+import uuid
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Names of parent-created segments that have not been unlinked yet.
+#: Tests assert this drains back to empty — a leaked ``/dev/shm`` block
+#: outlives the sweep and, accumulated over a long session, fills the
+#: shared-memory filesystem.
+_ACTIVE: set[str] = set()
+
+
+def active_blocks() -> list[str]:
+    """Parent-owned segments still awaiting unlink (leak detector)."""
+    return sorted(_ACTIVE)
+
+
+def _untrack(segment) -> None:
+    """Unregister a worker-side attachment from the resource tracker.
+
+    Before Python 3.13 (``track=False``), *attaching* to a segment also
+    registers it with the process's resource tracker, which then unlinks
+    it when the process exits — wrong for our persistent workers, which
+    attach to parent-owned segments: the parent is the sole owner of the
+    unlink. Private API, hence the defensive except."""
+    try:  # pragma: no cover - depends on stdlib internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class ShmBlock:
+    """One shared-memory tensor: a float block workers fill in place.
+
+    Create with :meth:`create` in the parent, ship :attr:`header` to
+    workers, attach there with :meth:`attach`. All numpy views are
+    created and dropped *inside* the accessor methods so ``close()``
+    never trips over exported buffers.
+    """
+
+    def __init__(self, segment, shape, dtype, owner: bool):
+        self._segment = segment
+        self.shape = tuple(int(n) for n in shape)
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, shape, dtype=np.float64) -> "ShmBlock":
+        """Allocate a parent-owned block sized for ``shape`` doubles."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes <= 0:
+            raise SimulationError(
+                f"cannot allocate an empty shared-memory block "
+                f"(shape {tuple(shape)})")
+        name = f"arkshm_{uuid.uuid4().hex[:16]}"
+        segment = shared_memory.SharedMemory(name=name, create=True,
+                                             size=nbytes)
+        _ACTIVE.add(segment.name)
+        return cls(segment, shape, dtype, owner=True)
+
+    @property
+    def header(self) -> tuple:
+        """The picklable descriptor workers attach by: a few dozen
+        bytes instead of the tensor itself."""
+        return (self._segment.name, self.shape, self.dtype.str)
+
+    @classmethod
+    def attach(cls, header) -> "ShmBlock":
+        """Attach to an existing block from its header (worker side)."""
+        name, shape, dtype = header
+        segment = shared_memory.SharedMemory(name=name)
+        _untrack(segment)
+        return cls(segment, shape, dtype, owner=False)
+
+    # ------------------------------------------------------------------
+    # Data access (views never escape, so close() is always legal)
+    # ------------------------------------------------------------------
+
+    def write_rows(self, offset: int, rows: np.ndarray) -> None:
+        """Store ``rows`` at ``[offset:offset+len(rows)]`` along the
+        leading axis — the worker's single in-place store."""
+        view = np.ndarray(self.shape, dtype=self.dtype,
+                          buffer=self._segment.buf)
+        view[offset:offset + rows.shape[0]] = rows
+
+    def read_copy(self) -> np.ndarray:
+        """The whole tensor as a regular array (the parent's single
+        memcpy out of the segment)."""
+        view = np.ndarray(self.shape, dtype=self.dtype,
+                          buffer=self._segment.buf)
+        return view.copy()
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (both sides; idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._segment.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner only; idempotent).
+        Safe while workers still hold mappings — POSIX keeps the memory
+        alive until the last mapping closes."""
+        if not self.owner:
+            return
+        if self._segment.name in _ACTIVE:
+            _ACTIVE.discard(self._segment.name)
+            self._segment.unlink()
+
+    def discard(self) -> None:
+        """close + unlink in one call — the parent's cleanup path."""
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShmBlock {self._segment.name} shape={self.shape} "
+                f"owner={self.owner}>")

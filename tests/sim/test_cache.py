@@ -116,6 +116,52 @@ class TestStore:
         np.testing.assert_array_equal(hit[0], t)
         np.testing.assert_array_equal(hit[1], y)
 
+    def test_disk_write_is_atomic_no_temp_leftovers(self, tmp_path):
+        cache = TrajectoryCache(directory=tmp_path)
+        cache.put("aa" * 8, np.linspace(0.0, 1.0, 4),
+                  np.ones((2, 1, 4)))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [f"{'aa' * 8}.npz"]  # no .tmp.npz survived
+
+    def test_failed_disk_write_publishes_nothing(self, tmp_path,
+                                                 monkeypatch):
+        # A writer dying mid-serialization (ENOSPC, crash) must never
+        # leave a torn .npz behind for a concurrent pool worker to
+        # load: the destination name only ever appears via os.replace
+        # of a fully fsynced temp file.
+        cache = TrajectoryCache(directory=tmp_path)
+
+        def explode(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full (forced)")
+
+        monkeypatch.setattr(np, "savez", explode)
+        with pytest.raises(OSError, match="disk full"):
+            cache.put("bb" * 8, np.linspace(0.0, 1.0, 4),
+                      np.ones((1, 1, 4)))
+        assert list(tmp_path.iterdir()) == []  # no entry, no temp
+        monkeypatch.undo()
+        # The same key stores cleanly afterwards and loads back.
+        cache.put("bb" * 8, np.linspace(0.0, 1.0, 4),
+                  np.ones((1, 1, 4)))
+        fresh = TrajectoryCache(directory=tmp_path)
+        assert fresh.get("bb" * 8) is not None
+
+    def test_concurrent_writers_same_key_leave_valid_entry(self,
+                                                           tmp_path):
+        # Two stores racing on one key (pool workers sharing a
+        # --cache-dir): last rename wins, the entry is always a
+        # complete npz, and no per-writer temp files leak.
+        t = np.linspace(0.0, 1.0, 4)
+        for value in (1.0, 2.0):
+            TrajectoryCache(directory=tmp_path).put(
+                "cc" * 8, t, np.full((1, 1, 4), value))
+        reader = TrajectoryCache(directory=tmp_path)
+        hit = reader.get("cc" * 8)
+        assert hit is not None and np.all(hit[1] == 2.0)
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            [f"{'cc' * 8}.npz"]
+
     def test_resolve_cache_forms(self, tmp_path):
         assert resolve_cache(None) is None
         assert resolve_cache(False) is None

@@ -1,0 +1,301 @@
+"""Tests for the persistent zero-copy worker pool (:mod:`repro.sim.
+pool` + :mod:`repro.sim.shm` + the ``pool`` execution backend):
+bit-identity against ``shard``/``batch``, worker reuse, shared-memory
+hygiene on success / worker crash / KeyboardInterrupt, and graceful
+fallbacks."""
+
+import glob
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.paradigms.tln import TLineSpec, mismatched_tline
+from repro.paradigms.tln.noisy import NoisyTlineFactory
+from repro.sim import run_ensemble, shm
+from repro.sim.pool import (PoolBrokenError, WorkerPool, get_pool,
+                            _POOLS)
+from repro.sim.shm import ShmBlock
+
+
+class TlineFactory:
+    """Module-level (picklable) deterministic factory."""
+
+    def __call__(self, seed):
+        return mismatched_tline("gm", seed=seed)
+
+
+class TwoGroupFactory:
+    """Two structural groups: 3- and 4-segment lines alternate."""
+
+    def __call__(self, seed):
+        spec = TLineSpec(n_segments=3 if seed % 2 else 4)
+        return mismatched_tline("gm", seed=seed, spec=spec)
+
+
+class CrashFactory:
+    """Builds normally in the parent, kills any *worker* that calls it
+    — simulates a hard worker crash (segfault/OOM-kill shape)."""
+
+    def __init__(self):
+        self.parent_pid = os.getpid()
+
+    def __call__(self, seed):
+        if os.getpid() != self.parent_pid:
+            os._exit(13)
+        return mismatched_tline("gm", seed=seed)
+
+
+class PoisonFactory:
+    """Raises a (picklable) SimulationError inside workers only — the
+    soft-failure path: the worker survives and reports the error."""
+
+    def __init__(self):
+        self.parent_pid = os.getpid()
+
+    def __call__(self, seed):
+        if os.getpid() != self.parent_pid:
+            raise SimulationError("poisoned shard (forced)")
+        return mismatched_tline("gm", seed=seed)
+
+
+SPAN = (0.0, 4e-8)
+
+
+def _assert_no_leaks():
+    assert shm.active_blocks() == []
+    assert glob.glob("/dev/shm/arkshm_*") == []
+
+
+class TestBitIdentity:
+    def test_pool_matches_batch_and_shard_rk4(self):
+        factory = TlineFactory()
+        kwargs = dict(n_points=40, method="rk4")
+        batch = run_ensemble(factory, range(6), SPAN, **kwargs)
+        shard = run_ensemble(factory, range(6), SPAN, engine="shard",
+                             processes=2, **kwargs)
+        pool = run_ensemble(factory, range(6), SPAN, engine="pool",
+                            processes=2, **kwargs)
+        np.testing.assert_array_equal(batch.batches[0].y,
+                                      pool.batches[0].y)
+        np.testing.assert_array_equal(shard.batches[0].y,
+                                      pool.batches[0].y)
+        _assert_no_leaks()
+
+    def test_pool_matches_shard_rkf45(self):
+        # Adaptive steps depend on shard membership, so rkf45 is the
+        # strict test that pool and shard split rows identically.
+        factory = TwoGroupFactory()
+        shard = run_ensemble(factory, range(8), SPAN, engine="shard",
+                             processes=2, n_points=40)
+        pool = run_ensemble(factory, range(8), SPAN, engine="pool",
+                            processes=2, n_points=40)
+        assert len(shard.batches) == len(pool.batches) == 2
+        for a, b in zip(shard.batches, pool.batches):
+            np.testing.assert_array_equal(a.y, b.y)
+        _assert_no_leaks()
+
+    def test_pool_sde_matches_batch_and_shard(self):
+        factory = NoisyTlineFactory(TLineSpec(n_segments=4),
+                                    noise=1e-9)
+        kwargs = dict(trials=2, n_points=40)
+        batch = run_ensemble(factory, range(4), SPAN, **kwargs)
+        shard = run_ensemble(factory, range(4), SPAN, engine="shard",
+                             processes=2, **kwargs)
+        pool = run_ensemble(factory, range(4), SPAN, engine="pool",
+                            processes=2, **kwargs)
+        np.testing.assert_array_equal(batch.batches[0].y,
+                                      pool.batches[0].y)
+        np.testing.assert_array_equal(shard.batches[0].y,
+                                      pool.batches[0].y)
+        for chip in range(4):
+            np.testing.assert_array_equal(batch.reference(chip).y,
+                                          pool.reference(chip).y)
+        _assert_no_leaks()
+
+    def test_auto_prefers_pool_and_stays_bit_identical(self):
+        # processes>1 + a large-enough group: auto now routes through
+        # the persistent pool; outputs must equal the plain batch.
+        factory = NoisyTlineFactory(TLineSpec(n_segments=4),
+                                    noise=1e-9)
+        batch = run_ensemble(factory, range(4), SPAN, trials=2,
+                             n_points=40)
+        auto = run_ensemble(factory, range(4), SPAN, trials=2,
+                            n_points=40, processes=2, shard_min=4)
+        np.testing.assert_array_equal(batch.batches[0].y,
+                                      auto.batches[0].y)
+        _assert_no_leaks()
+
+    def test_pool_freeze_masks_survive_transport(self):
+        # frozen/nfev metadata rides the result queue, not the shm
+        # block; masked pool runs must agree with the masked batch.
+        factory = TlineFactory()
+        kwargs = dict(n_points=40, method="rk4", freeze_tol=1e3)
+        batch = run_ensemble(factory, range(6), SPAN, **kwargs)
+        pool = run_ensemble(factory, range(6), SPAN, engine="pool",
+                            processes=2, **kwargs)
+        np.testing.assert_array_equal(batch.batches[0].y,
+                                      pool.batches[0].y)
+        assert pool.batches[0].frozen is not None
+        assert pool.batches[0].nfev is not None
+        _assert_no_leaks()
+
+
+class TestPersistence:
+    def test_workers_are_reused_across_solves(self):
+        factory = TlineFactory()
+        run_ensemble(factory, range(4), SPAN, engine="pool",
+                     processes=2, n_points=30, method="rk4")
+        first = _POOLS.get(2)
+        assert first is not None
+        pids = sorted(worker.pid for worker in first._workers)
+        run_ensemble(factory, range(4), SPAN, engine="pool",
+                     processes=2, n_points=30, method="rk4")
+        second = _POOLS.get(2)
+        assert second is first
+        assert sorted(w.pid for w in second._workers) == pids
+        _assert_no_leaks()
+
+    def test_get_pool_respawns_after_breakage(self):
+        pool = get_pool(2)
+        pool._break()
+        assert pool.broken
+        fresh = get_pool(2)
+        assert fresh is not pool and not fresh.broken
+
+    def test_idle_pools_of_other_widths_are_retired(self):
+        # Sweeps with varying `processes` must not accumulate resident
+        # workers: requesting a new width retires idle pools of other
+        # widths (in-flight ones are left alone).
+        two = get_pool(2)
+        three = get_pool(3)
+        assert two.broken and 2 not in _POOLS
+        again = get_pool(2)
+        assert three.broken and again is not two
+        assert sorted(_POOLS) == [2]
+
+    def test_pool_result_is_cachable(self, tmp_path):
+        from repro.sim import TrajectoryCache
+
+        factory = NoisyTlineFactory(TLineSpec(n_segments=4),
+                                    noise=1e-9)
+        cache = TrajectoryCache(directory=tmp_path)
+        pooled = run_ensemble(factory, range(4), SPAN, trials=2,
+                              n_points=30, processes=2, engine="pool",
+                              cache=cache, reference=False)
+        assert cache.stats.stores >= 1
+        replay = run_ensemble(factory, range(4), SPAN, trials=2,
+                              n_points=30, cache=cache,
+                              reference=False)
+        assert cache.stats.hits >= 1
+        np.testing.assert_array_equal(pooled.batches[0].y,
+                                      replay.batches[0].y)
+        _assert_no_leaks()
+
+
+class TestFallbacks:
+    def test_unpicklable_factory_falls_back_to_batch(self):
+        spec = TLineSpec(n_segments=4)
+        factory = lambda seed: mismatched_tline("gm", seed=seed,  # noqa: E731
+                                                spec=spec)
+        pooled = run_ensemble(factory, range(4), SPAN, engine="pool",
+                              processes=2, n_points=30)
+        batch = run_ensemble(factory, range(4), SPAN, n_points=30)
+        np.testing.assert_array_equal(batch.batches[0].y,
+                                      pooled.batches[0].y)
+        _assert_no_leaks()
+
+    def test_single_process_falls_back_to_batch(self):
+        factory = TlineFactory()
+        pooled = run_ensemble(factory, range(4), SPAN, engine="pool",
+                              processes=1, n_points=30)
+        batch = run_ensemble(factory, range(4), SPAN, n_points=30)
+        np.testing.assert_array_equal(batch.batches[0].y,
+                                      pooled.batches[0].y)
+        _assert_no_leaks()
+
+
+class TestFailureHygiene:
+    def test_worker_crash_raises_and_unlinks(self):
+        factory = CrashFactory()
+        with pytest.raises(PoolBrokenError, match="died"):
+            run_ensemble(factory, range(6), SPAN, engine="pool",
+                         processes=2, n_points=30, method="rk4")
+        _assert_no_leaks()
+        # The broken pool was evicted; the next run gets fresh workers
+        # and succeeds.
+        result = run_ensemble(TlineFactory(), range(4), SPAN,
+                              engine="pool", processes=2, n_points=30,
+                              method="rk4")
+        assert len(result.batches) == 1
+        _assert_no_leaks()
+
+    def test_worker_crash_with_auto_method_demotes_to_serial(self):
+        # A PoolBrokenError is a SimulationError, so the auto method's
+        # demote-to-serial resilience covers hard crashes too: the
+        # sweep completes through scipy instead of dying.
+        factory = CrashFactory()
+        result = run_ensemble(factory, range(6), SPAN, engine="pool",
+                              processes=2, n_points=30)
+        assert result.serial_indices == list(range(6))
+        assert all(t is not None for t in result.trajectories)
+        _assert_no_leaks()
+
+    def test_soft_worker_error_propagates_and_unlinks(self):
+        factory = PoisonFactory()
+        with pytest.raises(SimulationError, match="poisoned"):
+            run_ensemble(factory, range(6), SPAN, engine="pool",
+                         processes=2, n_points=30, method="rk4")
+        _assert_no_leaks()
+        # Soft errors keep the workers alive: the pool is NOT broken.
+        assert 2 in _POOLS and not _POOLS[2].broken
+
+    def test_keyboard_interrupt_unlinks(self, monkeypatch):
+        factory = TlineFactory()
+
+        def interrupted(self, poll=0.1):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(WorkerPool, "drain_one", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_ensemble(factory, range(6), SPAN, engine="pool",
+                         processes=2, n_points=30, method="rk4")
+        _assert_no_leaks()
+        monkeypatch.undo()
+        # The pool survives an interrupt (stale results are dropped on
+        # the next drain) and still produces correct runs.
+        result = run_ensemble(factory, range(6), SPAN, engine="pool",
+                              processes=2, n_points=30, method="rk4")
+        batch = run_ensemble(factory, range(6), SPAN, n_points=30,
+                             method="rk4")
+        np.testing.assert_array_equal(batch.batches[0].y,
+                                      result.batches[0].y)
+        _assert_no_leaks()
+
+
+class TestShmBlock:
+    def test_header_is_tiny_and_attachable(self):
+        block = ShmBlock.create((3, 2, 5))
+        try:
+            assert len(pickle.dumps(block.header)) < 200
+            rows = np.arange(2 * 2 * 5, dtype=float).reshape(2, 2, 5)
+            attached = ShmBlock.attach(block.header)
+            attached.write_rows(1, rows)
+            attached.close()
+            out = block.read_copy()
+            np.testing.assert_array_equal(out[1:], rows)
+        finally:
+            block.discard()
+        _assert_no_leaks()
+
+    def test_unlink_is_idempotent(self):
+        block = ShmBlock.create((2, 2))
+        block.discard()
+        block.discard()
+        _assert_no_leaks()
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(SimulationError, match="empty"):
+            ShmBlock.create((0, 3))
