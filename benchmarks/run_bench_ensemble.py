@@ -275,6 +275,75 @@ def run_stream_scenario(n_instances: int, n_points: int) -> dict:
     return result
 
 
+def run_telemetry_scenario(n_instances: int, n_points: int) -> dict:
+    """Telemetry cost, both ways, on the t-line mismatch sweep.
+
+    Enabled: a metered run must stay bit-identical to the plain run
+    (the gate that keeps instrumentation honest) and its RunReport must
+    carry non-zero solver counters. Disabled: the only residue at each
+    hook site is one ContextVar check — priced directly as (per-op
+    disabled cost x the op count an enabled run records) over the
+    plain run's wall time, and asserted under 2%.
+    """
+    from repro import telemetry
+    from repro.telemetry import RunReport, collect_metrics
+
+    factory = TlineBenchFactory()
+    span = (0.0, 8e-8)
+    # Fresh caches so every run pays the full integration.
+    plain_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        plain = run_ensemble(factory, range(n_instances), span,
+                             n_points=n_points,
+                             cache=TrajectoryCache())
+        plain_seconds = min(plain_seconds,
+                            time.perf_counter() - start)
+    metered_seconds = float("inf")
+    ops = 0
+    for _ in range(3):
+        report = RunReport()
+        start = time.perf_counter()
+        with collect_metrics(into=report):
+            metered = run_ensemble(factory, range(n_instances), span,
+                                   n_points=n_points,
+                                   cache=TrajectoryCache())
+            ops = telemetry.current().ops
+        metered_seconds = min(metered_seconds,
+                              time.perf_counter() - start)
+    identical = bool(np.array_equal(plain.batches[0].y,
+                                    metered.batches[0].y))
+    # Disabled-path microbenchmark: telemetry.add outside any window is
+    # the exact code every hook runs when collection is off.
+    probes = 200_000
+    start = time.perf_counter()
+    for _ in range(probes):
+        telemetry.add("bench.noop")
+    per_op_seconds = (time.perf_counter() - start) / probes
+    disabled_pct = 100.0 * per_op_seconds * ops / plain_seconds
+    result = {
+        "workload": f"tline_{n_instances}",
+        "n_instances": n_instances,
+        "n_points": n_points,
+        "plain_seconds": round(plain_seconds, 4),
+        "metered_seconds": round(metered_seconds, 4),
+        "enabled_overhead_pct": round(
+            100.0 * (metered_seconds - plain_seconds) / plain_seconds,
+            2),
+        "hook_ops_per_run": ops,
+        "disabled_ns_per_op": round(per_op_seconds * 1e9, 1),
+        "disabled_overhead_pct": round(disabled_pct, 4),
+        "solver_nfev": int(report.counter("solver.nfev")),
+        "bit_identical": identical,
+    }
+    print(f"[telemetry] plain {plain_seconds:.2f}s  metered "
+          f"{metered_seconds:.2f}s  enabled overhead "
+          f"{result['enabled_overhead_pct']:+.1f}%  disabled "
+          f"{ops} ops x {result['disabled_ns_per_op']:.0f}ns = "
+          f"{disabled_pct:.4f}% of wall  identical={identical}")
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -298,6 +367,7 @@ def main(argv=None) -> int:
                                         args.smoke).items()},
         "pool": run_pool_scenario(n_instances, tline_points),
         "streaming": run_stream_scenario(n_instances, tline_points),
+        "telemetry": run_telemetry_scenario(n_instances, tline_points),
     }
     failures = [name for name, record in payload["workloads"].items()
                 if not record["cache"]["bit_identical"]]
@@ -305,6 +375,10 @@ def main(argv=None) -> int:
         failures.append("pool-vs-shard")
     if not payload["streaming"]["bit_identical"]:
         failures.append("streaming-vs-barrier")
+    if not payload["telemetry"]["bit_identical"]:
+        failures.append("telemetry-vs-plain")
+    if payload["telemetry"]["disabled_overhead_pct"] >= 2.0:
+        failures.append("telemetry-disabled-overhead")
     if args.out:
         result_path = pathlib.Path(args.out)
     elif args.smoke:

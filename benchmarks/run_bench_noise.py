@@ -181,10 +181,23 @@ def bench_sharded_sde(n_chips, n_trials, n_points,
                                 time.perf_counter() - start)
     identical = bool(np.array_equal(unsharded.batches[0].y,
                                     sharded.batches[0].y))
+    # One extra metered pool run (outside the timed loop, so the
+    # wall-clock numbers stay clean): its RunReport documents what the
+    # sweep actually did — shm transport, shard split, per-worker load.
+    from repro.telemetry import RunReport, collect_metrics
+
+    tele_report = RunReport()
+    with collect_metrics(into=tele_report,
+                         meta={"driver": "bench_sharded_sde"}):
+        pool_metered = run_ensemble(factory, range(n_chips), span,
+                                    engine="pool",
+                                    processes=processes, **kwargs)
     pool_identical = bool(
         np.array_equal(sharded.batches[0].y, pool_cold.batches[0].y)
         and np.array_equal(pool_cold.batches[0].y,
-                           pool_warm.batches[0].y))
+                           pool_warm.batches[0].y)
+        and np.array_equal(pool_warm.batches[0].y,
+                           pool_metered.batches[0].y))
     result = {
         "n_chips": n_chips,
         "n_trials": n_trials,
@@ -208,6 +221,21 @@ def bench_sharded_sde(n_chips, n_trials, n_points,
         "pickle_bytes_avoided_per_solve": int(
             sum(batch.y.nbytes for batch in pool_cold.batches)),
         "pool_bit_identical": pool_identical,
+        "telemetry": {
+            "solver_nfev": int(tele_report.counter("solver.nfev")),
+            "pool_shards": int(tele_report.counter("pool.shards")),
+            "shm_bytes_transferred": int(
+                tele_report.counter("pool.shm_bytes_transferred")),
+            "queue_wait_seconds": round(float(
+                tele_report.counter("pool.queue_wait_seconds")), 4),
+            "worker_busy_seconds": round(float(
+                tele_report.counter("pool.worker_busy_seconds")), 4),
+            "workers": {
+                name: {key: (round(value, 4)
+                             if isinstance(value, float) else value)
+                       for key, value in block.items()}
+                for name, block in tele_report.workers.items()},
+        },
     }
     print(f"[sharded_sde] batched {unsharded_seconds:.2f}s  sharded "
           f"(p={processes}) {sharded_seconds:.2f}s  pool cold/warm "

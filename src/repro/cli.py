@@ -286,37 +286,55 @@ def cmd_ensemble(args) -> int:
                           first_target)
 
     cache = args.cache_dir if args.cache_dir else None
-    start = time.perf_counter()
-    result = run_ensemble(factory, seeds, (0.0, args.t_end),
-                          n_points=args.points, method=args.method,
-                          engine=args.engine, dense=args.dense,
-                          processes=args.processes, cache=cache,
-                          shard_min=args.shard_min,
-                          max_step=args.max_step,
-                          freeze_tol=args.freeze_tol,
-                          trials=args.trials,
-                          noise_seed=(args.noise_seed or 0) if noisy
-                          else None,
-                          sde_method=args.sde_method,
-                          stream=args.stream)
-    if args.stream:
-        # Drain the chunk stream, narrating each finished group, then
-        # reassemble — the emitted statistics/CSV are bit-identical to
-        # the barriered run (test-enforced).
-        from repro.sim import assemble_chunks
+    metrics_out = getattr(args, "metrics_out", None)
+    trace = getattr(args, "trace", False)
+    report = None
+    import contextlib
+    if metrics_out or trace:
+        # One collection window covers the full run *and* the stream
+        # drain, so pool waits and chunk arrivals land in the report.
+        from repro.telemetry import RunReport, collect_metrics
 
-        chunks = []
-        for chunk in result:
-            chunks.append(chunk)
-            rows = chunk.batches[0].n_instances if chunk.batches \
-                else len(chunk.indices)
-            flavor = "serial" if not chunk.batches else (
-                "SDE" if noisy else "batched")
-            print(f"[stream] group {chunk.order}: {rows} {flavor} "
-                  f"row(s) covering {len(chunk.indices)} seed(s) "
-                  f"at {time.perf_counter() - start:.2f}s")
-        result = assemble_chunks(chunks, list(seeds),
-                                 trials=args.trials)
+        report = RunReport()
+        window = collect_metrics(
+            into=report,
+            meta={"driver": "cli.ensemble", "file": str(args.file),
+                  "engine": args.engine, "seeds": args.seeds,
+                  **({"trials": args.trials} if noisy else {})})
+    else:
+        window = contextlib.nullcontext()
+    start = time.perf_counter()
+    with window:
+        result = run_ensemble(factory, seeds, (0.0, args.t_end),
+                              n_points=args.points, method=args.method,
+                              engine=args.engine, dense=args.dense,
+                              processes=args.processes, cache=cache,
+                              shard_min=args.shard_min,
+                              max_step=args.max_step,
+                              freeze_tol=args.freeze_tol,
+                              trials=args.trials,
+                              noise_seed=(args.noise_seed or 0) if noisy
+                              else None,
+                              sde_method=args.sde_method,
+                              stream=args.stream)
+        if args.stream:
+            # Drain the chunk stream, narrating each finished group,
+            # then reassemble — the emitted statistics/CSV are
+            # bit-identical to the barriered run (test-enforced).
+            from repro.sim import assemble_chunks
+
+            chunks = []
+            for chunk in result:
+                chunks.append(chunk)
+                rows = chunk.batches[0].n_instances if chunk.batches \
+                    else len(chunk.indices)
+                flavor = "serial" if not chunk.batches else (
+                    "SDE" if noisy else "batched")
+                print(f"[stream] group {chunk.order}: {rows} {flavor} "
+                      f"row(s) covering {len(chunk.indices)} seed(s) "
+                      f"at {time.perf_counter() - start:.2f}s")
+            result = assemble_chunks(chunks, list(seeds),
+                                     trials=args.trials)
     elapsed = time.perf_counter() - start
 
     nodes = args.node or [
@@ -359,6 +377,54 @@ def cmd_ensemble(args) -> int:
         step = max(1, len(grid) // args.print_rows)
         for row in matrix[::step]:
             print(",".join(f"{value:.6g}" for value in row))
+    if report is not None:
+        if trace:
+            from repro.telemetry import render_report
+
+            print()
+            print(render_report(report))
+        if metrics_out:
+            report.save(metrics_out)
+            print(f"wrote run metrics (schema v{report.schema}) "
+                  f"to {metrics_out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render or diff saved :class:`~repro.telemetry.RunReport` JSONs
+    (as written by ``repro ensemble --metrics-out``)."""
+    import json
+
+    from repro.telemetry import (RunReport, diff_reports, render_report,
+                                 validate_report)
+
+    if len(args.files) > 2:
+        raise ArkError(
+            f"report takes one file (render) or two (diff), got "
+            f"{len(args.files)}")
+    loaded = []
+    for path in args.files:
+        try:
+            data = json.loads(pathlib.Path(path).read_text())
+        except (OSError, ValueError) as error:
+            raise ArkError(f"cannot read {path}: {error}") from None
+        problems = validate_report(data)
+        if problems:
+            detail = "; ".join(problems)
+            if args.validate:
+                print(f"{path}: INVALID ({detail})")
+                return 1
+            raise ArkError(f"{path} is not a valid RunReport: {detail}")
+        loaded.append(RunReport.from_dict(data))
+    if args.validate:
+        for path, rep in zip(args.files, loaded):
+            print(f"{path}: OK (schema v{rep.schema})")
+        return 0
+    if len(loaded) == 1:
+        print(render_report(loaded[0]))
+    else:
+        print(diff_reports(loaded[0], loaded[1],
+                           label_a=args.files[0], label_b=args.files[1]))
     return 0
 
 
@@ -532,7 +598,26 @@ def build_parser() -> argparse.ArgumentParser:
                        "(mean/std/p05/p95 per node) to a CSV file")
     p_ens.add_argument("--print-rows", type=int, default=20,
                        help="rows to print when not writing CSV")
+    p_ens.add_argument("--metrics-out", default=None, metavar="JSON",
+                       help="collect run telemetry (solver/cache/pool/"
+                       "shm counters, span tree) and write the "
+                       "RunReport JSON here; results are bit-identical "
+                       "with collection on or off")
+    p_ens.add_argument("--trace", action="store_true",
+                       help="collect run telemetry and pretty-print "
+                       "the span tree and counters after the sweep")
     p_ens.set_defaults(handler=cmd_ensemble)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render one saved RunReport JSON, or diff two (as "
+        "written by `repro ensemble --metrics-out`)")
+    p_report.add_argument("files", nargs="+", metavar="report.json",
+                          help="one file renders; two files diff")
+    p_report.add_argument("--validate", action="store_true",
+                          help="only check the files against the "
+                          "RunReport schema (exit 1 on mismatch)")
+    p_report.set_defaults(handler=cmd_report)
 
     p_noise = sub.add_parser(
         "noise",

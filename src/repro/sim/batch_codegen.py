@@ -34,6 +34,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import expr as E
 from repro.core.odesystem import ChainRhs, OdeSystem, optimize_terms
 from repro.core.types import Reduction
@@ -454,11 +455,13 @@ def _compile_source(source: str, filename: str):
     key = (source, filename)
     code = _CODE_CACHE.get(key)
     if code is None:
+        telemetry.add("codegen.kernel_cache_misses")
         code = compile(source, filename, "exec")
         _CODE_CACHE[key] = code
         while len(_CODE_CACHE) > _CODE_CACHE_MAX:
             _CODE_CACHE.popitem(last=False)
     else:
+        telemetry.add("codegen.kernel_cache_hits")
         _CODE_CACHE.move_to_end(key)
     return code
 
@@ -569,6 +572,15 @@ class BatchRhs:
                                             fuse=fuse)
         #: True when the emitted RHS drives a fused coefficient matmul.
         self.fused = "_lin_A" in namespace
+        telemetry.add("codegen.batch_compiles")
+        telemetry.add("codegen.fused_rhs" if self.fused
+                      else "codegen.unfused_rhs")
+        # Residual ``dy[:, i] +=`` stores are what the fuser could not
+        # fold into the matmul — their count is the per-step dispatch
+        # cost the fused path still pays.
+        telemetry.add("codegen.residual_lines",
+                      self.source.count("dy[:, ") - 1
+                      if self.fused else self.source.count("dy[:, "))
         exec(_compile_source(self.source,
                              f"<ark-batch:{systems[0].graph.name}>"),
              namespace)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.odesystem import OdeSystem
 from repro.core.simulator import Trajectory, check_sample_times
 from repro.errors import SimulationError
@@ -212,6 +213,7 @@ def _rk4_batch(rhs: BatchRhs, grid: np.ndarray, max_step: float,
     out[:, :, 0] = y
     frozen = np.zeros(y.shape[0], dtype=bool)
     nfev = 0
+    accepted = 0
     t_end = grid[-1]
     for k in range(len(grid) - 1):
         if frozen.all():
@@ -230,6 +232,7 @@ def _rk4_batch(rhs: BatchRhs, grid: np.ndarray, max_step: float,
             k3 = rhs(t + 0.5 * h, y + 0.5 * h * k2)
             k4 = rhs(t + h, y + h * k3)
             nfev += 4
+            accepted += 1
             y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
             if hold is not None:
                 # Pinned rows: frozen instances hold their value (the
@@ -243,7 +246,7 @@ def _rk4_batch(rhs: BatchRhs, grid: np.ndarray, max_step: float,
             nfev += 1
             frozen |= freeze_converged(y, f, t_end - grid[k + 1],
                                        rtol, atol, freeze_tol)
-    return out, frozen, nfev
+    return out, frozen, nfev, accepted, 0
 
 
 def _error_norms(error: np.ndarray, y_old: np.ndarray,
@@ -321,6 +324,8 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
     out[:, :, 0] = y
     frozen = np.zeros(y.shape[0], dtype=bool)
     nfev = 0
+    accepted = 0
+    rejected = 0
     h = min(max_step, span / 100.0)
     t = grid[0]
     t_end = grid[-1]
@@ -350,13 +355,16 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             last_norms = norms
             worst = float(norms.max()) if norms.size else 0.0
             if not np.isfinite(worst):
+                rejected += 1
                 h *= 0.2
                 continue
             if worst <= 1.0:
+                accepted += 1
                 t += h
                 y = y5
                 h *= _step_factor(worst)
             else:
+                rejected += 1
                 h *= max(0.2, 0.9 * worst ** -0.2)
         out[:, :, k] = y
         if freeze_tol is not None and t_next < t_end:
@@ -364,7 +372,7 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             nfev += 1
             frozen |= freeze_converged(y, f, t_end - t_next, rtol,
                                        atol, freeze_tol)
-    return out, frozen, nfev
+    return out, frozen, nfev, accepted, rejected
 
 
 #: Collocation node of the bootstrapped quartic interpolant. theta=1/2
@@ -442,6 +450,8 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
     out[:, :, 0] = y
     frozen = np.zeros(y.shape[0], dtype=bool)
     nfev = 1
+    accepted = 0
+    rejected = 0
     t = grid[0]
     h = min(max_step, span / 100.0)
     k1 = rhs(t, y)
@@ -474,11 +484,14 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
         last_norms = norms
         worst = float(norms.max()) if norms.size else 0.0
         if not np.isfinite(worst):
+            rejected += 1
             h *= 0.2
             continue
         if worst > 1.0:
+            rejected += 1
             h *= max(0.2, 0.9 * worst ** -0.2)
             continue
+        accepted += 1
         f_new = rhs(t_new, y5)
         nfev += 1
         stop = next_index
@@ -505,7 +518,7 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
         y = y5
         k1 = f_new
         h *= _step_factor(worst)
-    return out, frozen, nfev
+    return out, frozen, nfev, accepted, rejected
 
 
 def solve_batch(batch: BatchRhs | list[OdeSystem],
@@ -564,16 +577,23 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
             f"freeze_tol must be > 0 (or None), got {freeze_tol}")
     name = method.lower()
     if name == "rk4":
-        y_out, frozen, nfev = _rk4_batch(batch, work_grid, max_step,
-                                         rtol, atol, freeze_tol)
+        y_out, frozen, nfev, accepted, rejected = _rk4_batch(
+            batch, work_grid, max_step, rtol, atol, freeze_tol)
     elif name in ("rkf45", "rk45"):
         solver = _rkf45_dense_batch if dense else _rkf45_batch
-        y_out, frozen, nfev = solver(batch, work_grid, rtol, atol,
-                                     max_step, freeze_tol)
+        y_out, frozen, nfev, accepted, rejected = solver(
+            batch, work_grid, rtol, atol, max_step, freeze_tol)
     else:
         raise SimulationError(
             f"unknown batch method {method!r}; expected 'rkf45' or "
             "'rk4' (scipy methods run through the serial path)")
+    if telemetry.enabled():
+        telemetry.add("solver.solves")
+        telemetry.add("solver.nfev", nfev)
+        telemetry.add("solver.steps_accepted", accepted)
+        telemetry.add("solver.steps_rejected", rejected)
+        if freeze_tol is not None:
+            telemetry.add("solver.frozen_rows", int(frozen.sum()))
     if preroll:
         y_out = y_out[:, :, 1:]
     if not np.all(np.isfinite(y_out)):

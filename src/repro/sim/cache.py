@@ -35,11 +35,13 @@ import os
 import pathlib
 import sys
 import uuid
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import expr as E
 from repro.core.odesystem import OdeSystem
 
@@ -93,17 +95,42 @@ def _value_token(value) -> tuple | None:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters (the benchmark runner reports these)."""
+    """Hit/miss/eviction counters, surfaced on the cache object itself.
+
+    Field access (``cache.stats.hits``) keeps working for existing
+    callers; ``cache.stats()`` additionally returns the whole block as
+    a plain dict snapshot, which is what benchmarks and ``RunReport``
+    consumers embed.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     uncachable: int = 0
+    evictions: int = 0
+    #: disk entries that existed but could not be read back (truncated
+    #: write from a crashed run, filesystem corruption...) — counted as
+    #: misses and warned about, never raised mid-sweep.
+    corrupt: int = 0
+    bytes_stored: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def __call__(self) -> dict:
+        """Snapshot as a plain dict (includes the derived hit rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "uncachable": self.uncachable,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "bytes_stored": self.bytes_stored,
+            "hit_rate": self.hit_rate,
+        }
 
 
 @dataclass
@@ -148,6 +175,7 @@ class TrajectoryCache:
             token = _function_token(name, fn)
             if token is None:
                 self.stats.uncachable += 1
+                telemetry.add("cache.uncachable")
                 return None
             function_tokens.append((name, token))
         stable = (signature[0], signature[1], signature[2],
@@ -163,6 +191,7 @@ class TrajectoryCache:
             tokens = [_value_token(v) for v in values]
             if any(token is None for token in tokens):
                 self.stats.uncachable += 1
+                telemetry.add("cache.uncachable")
                 return None
             hasher.update(repr((key, tokens)).encode())
         hasher.update(np.stack([system.y0 for system in systems])
@@ -186,20 +215,42 @@ class TrajectoryCache:
         return pathlib.Path(self.directory) / f"{key}.npz"
 
     def get(self, key: str) -> tuple[np.ndarray, np.ndarray] | None:
-        """The stored ``(t, y)`` pair (copies), or ``None`` on miss."""
+        """The stored ``(t, y)`` pair (copies), or ``None`` on miss.
+
+        A disk entry that exists but cannot be read back (torn write
+        from a crashed run, disk corruption) is a *miss*, not an error:
+        it is counted in ``stats.corrupt``, warned about once, and the
+        caller re-solves — a damaged cache file must never abort a
+        sweep that would have succeeded without a cache.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            telemetry.add("cache.hits")
             return entry[0].copy(), entry[1].copy()
         path = self._disk_path(key)
         if path is not None and path.exists():
-            with np.load(path) as payload:
-                t, y = payload["t"], payload["y"]
+            try:
+                with np.load(path) as payload:
+                    t, y = payload["t"], payload["y"]
+            except Exception as error:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                telemetry.add("cache.corrupt")
+                telemetry.add("cache.misses")
+                warnings.warn(
+                    f"trajectory cache entry {path} is unreadable "
+                    f"({type(error).__name__}: {error}); treating as "
+                    f"a miss and re-solving", RuntimeWarning,
+                    stacklevel=2)
+                return None
             self._remember(key, t, y)
             self.stats.hits += 1
+            telemetry.add("cache.hits")
             return t.copy(), y.copy()
         self.stats.misses += 1
+        telemetry.add("cache.misses")
         return None
 
     def put(self, key: str, t: np.ndarray, y: np.ndarray):
@@ -228,6 +279,9 @@ class TrajectoryCache:
             finally:
                 temporary.unlink(missing_ok=True)
         self.stats.stores += 1
+        self.stats.bytes_stored += t.nbytes + y.nbytes
+        telemetry.add("cache.stores")
+        telemetry.add("cache.bytes_stored", t.nbytes + y.nbytes)
 
     def _remember(self, key: str, t: np.ndarray, y: np.ndarray):
         if self.maxsize < 1:
@@ -236,6 +290,8 @@ class TrajectoryCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            telemetry.add("cache.evictions")
 
     def __len__(self) -> int:
         return len(self._entries)

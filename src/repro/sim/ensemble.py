@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.simulator import Trajectory
+from repro.telemetry import RunReport, collect_metrics
 
 from repro.sim.batch_solver import BatchTrajectory
 from repro.sim.plan import (BATCH_METHODS, DEFAULT_SHARD_MIN,
@@ -61,6 +62,9 @@ class EnsembleResult:
     groups: list[list[int]] = field(default_factory=list)
     #: Seed-list indices that took the serial scipy path.
     serial_indices: list[int] = field(default_factory=list)
+    #: The run's :class:`~repro.telemetry.RunReport` when the driver was
+    #: called with ``telemetry=`` (``None`` otherwise).
+    telemetry: RunReport | None = None
 
     def __len__(self) -> int:
         return len(self.trajectories)
@@ -96,6 +100,9 @@ class EnsembleChunk(EnsembleResult):
     indices: list[int] = field(default_factory=list)
     #: Submission order of the chunk's group (serial remainder last).
     order: int = 0
+    #: Chunk-level stream stats (arrival time, order, rows) when the
+    #: stream ran inside a telemetry collection window; else ``None``.
+    stats: dict | None = None
 
 
 def resolve_engine(engine: str) -> str:
@@ -120,7 +127,8 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
                  trials: int | None = None,
                  noise_seed: int | None = None,
                  sde_method: str = "heun", block: int = 256,
-                 reference: bool = True, stream: bool = False):
+                 reference: bool = True, stream: bool = False,
+                 telemetry=None):
     """Simulate one fabricated instance per seed, batching wherever the
     instances share structure — the unified driver for deterministic
     *and* transient-noise sweeps.
@@ -184,6 +192,18 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         so analysis can start before the stiffest group finishes.
         :func:`repro.sim.plan.assemble_chunks` folds a drained stream
         back into the barriered result, bit-identically.
+    :param telemetry: metric collection for this run. ``None``/``False``
+        (default) disables it at single-context-var-check cost;
+        ``True`` collects into a fresh
+        :class:`~repro.telemetry.RunReport`; an existing ``RunReport``
+        collects into that instance. The populated report is attached
+        as ``result.telemetry``. Telemetry never perturbs results —
+        trajectories are bit-identical with collection on or off
+        (test-enforced). With ``stream=True`` pass a ``RunReport``
+        instance (it is finalized when the stream is exhausted) or
+        wrap the drain loop in
+        :func:`repro.telemetry.collect_metrics` yourself; ``True``
+        is rejected because the barriered attach point does not exist.
     """
     plan_backend = resolve_engine(engine)
     noise = None
@@ -202,7 +222,39 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         max_step=max_step, dense=dense, freeze_tol=freeze_tol,
         serial_backend=backend, min_batch=min_batch,
         processes=processes, shard_min=shard_min, cache=cache)
-    return plan.stream() if stream else plan.run()
+    if telemetry is None or telemetry is False:
+        return plan.stream() if stream else plan.run()
+    if isinstance(telemetry, RunReport):
+        report = telemetry
+    elif telemetry is True:
+        if stream:
+            raise ValueError(
+                "telemetry=True needs the barriered result to attach "
+                "the report to; with stream=True pass a RunReport "
+                "instance (finalized at stream exhaustion) or wrap "
+                "the drain loop in repro.telemetry.collect_metrics")
+        report = RunReport()
+    else:
+        raise TypeError(
+            f"telemetry must be None, bool, or a RunReport, got "
+            f"{type(telemetry).__name__}")
+    meta = {"driver": "run_ensemble", "engine": engine,
+            "seeds": len(plan.seeds)}
+    if noise is not None:
+        meta["trials"] = noise.trials
+    if stream:
+        return _collected_stream(plan, report, meta)
+    with collect_metrics(into=report, meta=meta):
+        result = plan.run()
+    result.telemetry = report
+    return result
+
+
+def _collected_stream(plan, report, meta):
+    """Stream a plan inside its own collection window: the report is
+    finalized when the stream is exhausted (or closed early)."""
+    with collect_metrics(into=report, meta=meta):
+        yield from plan.stream()
 
 
 def stream_ensemble(factory, seeds, t_span, **kwargs):

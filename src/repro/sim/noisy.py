@@ -51,6 +51,9 @@ class NoisyEnsembleResult:
     references: list[Trajectory] | None = None
     #: chip index -> (batch number, first row of its trial block).
     _rows: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: The run's :class:`~repro.telemetry.RunReport` when the driver
+    #: was called with ``telemetry=`` (``None`` otherwise).
+    telemetry: object = None
 
     @property
     def n_chips(self) -> int:
@@ -99,6 +102,9 @@ class NoisyEnsembleChunk(NoisyEnsembleResult):
     indices: list[int] = field(default_factory=list)
     #: Submission order of the chunk's group.
     order: int = 0
+    #: Chunk-level stream stats (arrival time, order, rows) when the
+    #: stream ran inside a telemetry collection window; else ``None``.
+    stats: dict | None = None
 
 
 def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
@@ -110,7 +116,7 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        processes: int | None = None,
                        shard_min: int = DEFAULT_SHARD_MIN,
                        freeze_tol: float | None = None,
-                       stream: bool = False):
+                       stream: bool = False, telemetry=None):
     """Simulate every (fabricated chip, noise trial) pair, batched.
 
     A delegating shim over the unified driver — exactly
@@ -146,6 +152,10 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
     :param stream: yield per-group :class:`NoisyEnsembleChunk` objects
         as they finish instead of the barriered result (see
         :func:`~repro.sim.ensemble.run_ensemble`).
+    :param telemetry: metric collection (``True``, a
+        :class:`~repro.telemetry.RunReport`, or ``None``; see
+        :func:`~repro.sim.ensemble.run_ensemble`). The populated
+        report lands on ``result.telemetry``.
     :returns: a :class:`NoisyEnsembleResult`, or — with
         ``stream=True`` — an iterator of :class:`NoisyEnsembleChunk`.
     """
@@ -157,4 +167,5 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                         max_step=max_step, reference=reference,
                         block=block, cache=cache, engine=engine,
                         processes=processes, shard_min=shard_min,
-                        freeze_tol=freeze_tol, stream=stream)
+                        freeze_tol=freeze_tol, stream=stream,
+                        telemetry=telemetry)

@@ -58,10 +58,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.compiler import compile_graph
 from repro.core.graph import DynamicalGraph
 from repro.core.odesystem import OdeSystem
@@ -261,6 +263,7 @@ def _run_serial(factory, seeds, indices, systems, t_span, options,
     across a process pool. Returns {index: Trajectory}."""
     results: dict[int, Trajectory] = {}
     pending = list(indices)
+    telemetry.add("serial.solves", len(pending))
     if processes and processes > 1 and len(pending) > 1:
         common = _pickled_common(factory, t_span, options)
         job_seeds = [seeds[i] for i in pending]
@@ -310,7 +313,7 @@ def _batch_shard_job(shard_seeds):
     systems = [_compile_target(factory(seed)) for seed in shard_seeds]
     trajectory = solve_batch(compile_batch(systems, fuse=fuse), t_span,
                              **options)
-    return trajectory.y
+    return trajectory.y, trajectory.nfev
 
 
 def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
@@ -340,11 +343,14 @@ def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
     with multiprocessing.Pool(len(parts), initializer=_pool_init,
                               initargs=(common,)) as pool:
         stacked = pool.map(_batch_shard_job, shard_seeds)
-    y = np.concatenate(stacked, axis=0)
+    y = np.concatenate([part for part, _nfev in stacked], axis=0)
+    nfev = sum(part_nfev or 0 for _part, part_nfev in stacked)
+    telemetry.add("solver.nfev", nfev)
     grid = _output_grid(t_span, options.get("n_points", 500),
                         options.get("t_eval"))
     return BatchTrajectory(t=grid, y=y,
-                           systems=[systems[i] for i in indices])
+                           systems=[systems[i] for i in indices],
+                           nfev=nfev)
 
 
 def _compile_sde_rows(factory, rows):
@@ -373,7 +379,7 @@ def _sde_shard_job(rows):
     replicated, tokens = _compile_sde_rows(factory, rows)
     trajectory = solve_sde(compile_batch(replicated, fuse=fuse), t_span,
                            noise_seeds=tokens, **options)
-    return trajectory.y
+    return trajectory.y, trajectory.nfev
 
 
 def _sde_rows(chip_seeds, chip_keys, noise_seeds) -> list[tuple]:
@@ -408,10 +414,13 @@ def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
     with multiprocessing.Pool(len(parts), initializer=_pool_init,
                               initargs=(common,)) as pool:
         stacked = pool.map(_sde_shard_job, shard_rows)
-    y = np.concatenate(stacked, axis=0)
+    y = np.concatenate([part for part, _nfev in stacked], axis=0)
+    nfev = sum(part_nfev or 0 for _part, part_nfev in stacked)
+    telemetry.add("solver.nfev", nfev)
     grid = _output_grid(t_span, options.get("n_points", 500),
                         options.get("t_eval"))
-    return BatchTrajectory(t=grid, y=y, systems=list(replicated))
+    return BatchTrajectory(t=grid, y=y, systems=list(replicated),
+                           nfev=nfev)
 
 
 # ----------------------------------------------------------------------
@@ -756,11 +765,31 @@ def stream_plan(plan: ExecutionPlan):
 
 
 def _stream(plan: ExecutionPlan, seeds: list):
-    systems = [_compile_target(plan.factory(seed)) for seed in seeds]
-    if plan.noise is None:
-        yield from _stream_ode(plan, seeds, systems)
-    else:
-        yield from _stream_sde(plan, seeds, systems)
+    with telemetry.span("plan.compile"):
+        systems = [_compile_target(plan.factory(seed))
+                   for seed in seeds]
+    telemetry.add("plan.instances", len(systems))
+    inner = (_stream_ode(plan, seeds, systems) if plan.noise is None
+             else _stream_sde(plan, seeds, systems))
+    start = time.monotonic()
+    first = True
+    for chunk in inner:
+        if telemetry.enabled():
+            # Chunk-arrival accounting: the time-to-first-chunk gauge
+            # is the streaming executor's headline number, the arrival
+            # list its (monotone) completion profile. The same numbers
+            # ride on the chunk itself for consumers of stream_plan.
+            arrival = time.monotonic() - start
+            if first:
+                telemetry.gauge("stream.time_to_first_chunk_seconds",
+                                arrival)
+                first = False
+            telemetry.append("stream.chunk_arrival_seconds", arrival)
+            telemetry.add("stream.chunks")
+            chunk.stats = {"arrival_seconds": arrival,
+                           "order": chunk.order,
+                           "rows": len(chunk.indices)}
+        yield chunk
 
 
 def _span_key(t_span) -> tuple[float, float]:
@@ -807,7 +836,9 @@ def _drive_groups(plan, tasks, store, kind, key_options, solve_sync,
         yield from hits
         for order, task, key, effective in sync:
             try:
-                trajectory, storable = solve_sync(effective, task)
+                with telemetry.span(
+                        f"group[{order}].solve:{effective.name}"):
+                    trajectory, storable = solve_sync(effective, task)
             except SimulationError as exc:
                 if not on_error(task, exc):
                     raise
@@ -818,8 +849,9 @@ def _drive_groups(plan, tasks, store, kind, key_options, solve_sync,
             from repro.sim import pool as pool_module
 
             try:
-                handle = pool_module.wait_any(
-                    [run[3] for run in runs])
+                with telemetry.span("pool.wait"):
+                    handle = pool_module.wait_any(
+                        [run[3] for run in runs])
             except pool_module.PoolBrokenError as exc:
                 # A dying worker takes every in-flight group with it.
                 # Consult on_error for each — the ODE auto path demotes
@@ -917,9 +949,10 @@ def _stream_ode(plan: ExecutionPlan, seeds, systems):
                             groups=[list(task.indices)])
 
     if serial_indices:
-        serial = _run_serial(plan.factory, seeds, serial_indices,
-                             systems, plan.t_span, serial_options,
-                             fanout[0])
+        with telemetry.span("serial.fanout"):
+            serial = _run_serial(plan.factory, seeds, serial_indices,
+                                 systems, plan.t_span, serial_options,
+                                 fanout[0])
         ordered = sorted(serial_indices)
         yield EnsembleChunk(order=len(tasks), indices=ordered,
                             trajectories=[serial[i] for i in ordered],
@@ -1002,12 +1035,13 @@ def _stream_sde(plan: ExecutionPlan, seeds, systems):
             reference_task = GroupTask(plan=plan, indices=list(indices),
                                        group_systems=group_systems,
                                        options=reference_options)
-            reference_batch = cached_batch_solve(
-                store, group_systems, "batch",
-                {**reference_options,
-                 "t_span": _span_key(plan.t_span)},
-                lambda task=reference_task:
-                reference_backend.solve_ode(task))
+            with telemetry.span(f"group[{order}].reference"):
+                reference_batch = cached_batch_solve(
+                    store, group_systems, "batch",
+                    {**reference_options,
+                     "t_span": _span_key(plan.t_span)},
+                    lambda task=reference_task:
+                    reference_backend.solve_ode(task))
             references = [reference_batch.instance(row)
                           for row in range(len(indices))]
         yield NoisyEnsembleChunk(

@@ -41,10 +41,12 @@ import atexit
 import hashlib
 import pickle
 import queue as queue_module
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import SimulationError
 
 from repro.sim import shm as shm_module
@@ -82,6 +84,16 @@ class ShardTask:
     rows: list
     header: tuple
     row_offset: int
+    #: Telemetry flag: when True the worker measures queue wait, busy
+    #: time, and payload-cache behavior and ships them back inside the
+    #: result meta. Deliberately *not* part of ``common`` (that blob is
+    #: the payload-cache key) and never read by the solve itself, so
+    #: collection cannot perturb results.
+    collect: bool = False
+    #: ``time.monotonic()`` at submit (when ``collect``) — monotonic is
+    #: comparable across processes on Linux, unlike ``perf_counter``,
+    #: so the worker can compute its queue wait from it.
+    submitted_at: float = 0.0
 
 
 #: Per-worker cache of unpickled ``common`` payloads, keyed by content
@@ -91,15 +103,17 @@ _COMMON_CACHE: dict[bytes, tuple] = {}
 _COMMON_CACHE_MAX = 32
 
 
-def _load_common(blob: bytes) -> tuple:
+def _load_common(blob: bytes) -> tuple[tuple, bool]:
+    """The unpickled common payload plus whether it was a cache hit."""
     key = hashlib.sha1(blob).digest()
     hit = _COMMON_CACHE.get(key)
-    if hit is None:
-        hit = pickle.loads(blob)
-        if len(_COMMON_CACHE) >= _COMMON_CACHE_MAX:
-            _COMMON_CACHE.clear()
-        _COMMON_CACHE[key] = hit
-    return hit
+    if hit is not None:
+        return hit, True
+    hit = pickle.loads(blob)
+    if len(_COMMON_CACHE) >= _COMMON_CACHE_MAX:
+        _COMMON_CACHE.clear()
+    _COMMON_CACHE[key] = hit
+    return hit, False
 
 
 def _run_shard(task: ShardTask) -> dict:
@@ -114,7 +128,9 @@ def _run_shard(task: ShardTask) -> dict:
     # cycle-free.
     from repro.sim.plan import _compile_sde_rows, _compile_target
 
-    factory, t_span, options, fuse = _load_common(task.common)
+    started = time.monotonic() if task.collect else 0.0
+    factory_common, payload_hit = _load_common(task.common)
+    factory, t_span, options, fuse = factory_common
     if task.kind == "ode":
         systems = [_compile_target(factory(seed)) for seed in task.rows]
         trajectory = solve_batch(compile_batch(systems, fuse=fuse),
@@ -128,12 +144,31 @@ def _run_shard(task: ShardTask) -> dict:
         block.write_rows(task.row_offset, trajectory.y)
     finally:
         block.close()
-    return {
+    meta = {
         "n_rows": trajectory.y.shape[0],
         "nfev": trajectory.nfev,
         "frozen": None if trajectory.frozen is None
         else np.asarray(trajectory.frozen, dtype=bool),
     }
+    if task.collect:
+        # Workers have no ContextVar collector (they outlive any single
+        # collection window), so counters are computed directly and
+        # ride home in the meta dict; the parent folds them in via
+        # telemetry.merge_worker when the handle resolves.
+        import multiprocessing
+
+        meta["telemetry"] = {
+            "worker": multiprocessing.current_process().name,
+            "shards": 1,
+            "rows": trajectory.y.shape[0],
+            "nfev": trajectory.nfev or 0,
+            "queue_wait_seconds": max(0.0,
+                                      started - task.submitted_at),
+            "busy_seconds": time.monotonic() - started,
+            "payload_cache_hits": int(payload_hit),
+            "payload_cache_misses": int(not payload_hit),
+        }
+    return meta
 
 
 def _encode_error(exc: BaseException) -> bytes:
@@ -222,6 +257,15 @@ class PoolHandle:
         y = self.block.read_copy()
         self.discard()
         nfev = sum(meta["nfev"] or 0 for meta in self.metas.values())
+        if telemetry.enabled():
+            telemetry.add("pool.shards", len(self.metas))
+            telemetry.add("pool.shm_bytes_transferred", y.nbytes)
+            telemetry.add("pool.pickle_bytes_avoided", y.nbytes)
+            telemetry.add("solver.nfev", nfev)
+            for meta in self.metas.values():
+                info = meta.get("telemetry")
+                if info is not None:
+                    telemetry.merge_worker(info)
         frozen = None
         if self.masked:
             frozen = np.zeros(y.shape[0], dtype=bool)
@@ -229,6 +273,7 @@ class PoolHandle:
                 part = self.metas[task_id]["frozen"]
                 if part is not None:
                     frozen[offset:offset + len(part)] = part
+            telemetry.add("solver.frozen_rows", int(frozen.sum()))
         return BatchTrajectory(t=self.grid, y=y,
                                systems=list(self.systems),
                                frozen=frozen, nfev=nfev), self.storable
@@ -278,10 +323,14 @@ class WorkerPool:
         handle.pending.add(task_id)
         handle.offsets.append((task_id, row_offset))
         self._handles[task_id] = handle
+        collect = telemetry.enabled()
         self._tasks.put(ShardTask(task_id=task_id, kind=kind,
                                   common=common, rows=rows,
                                   header=handle.block.header,
-                                  row_offset=row_offset))
+                                  row_offset=row_offset,
+                                  collect=collect,
+                                  submitted_at=time.monotonic()
+                                  if collect else 0.0))
         return task_id
 
     def drain_one(self, poll: float = 0.1) -> PoolHandle:
@@ -373,10 +422,19 @@ def get_pool(processes: int) -> WorkerPool:
 
 
 def shutdown_pools() -> None:
-    """Close every registered pool (atexit hook; also used by tests)."""
+    """Close every registered pool (atexit hook; also used by tests).
+
+    After the workers are gone, any surviving parent-owned shared-
+    memory segment is by definition leaked — each group's block should
+    have been released when its handle resolved or was discarded — so
+    the shutdown doubles as the leak check: a ``ResourceWarning`` names
+    and sizes every survivor."""
+    had_pools = bool(_POOLS)
     for pool in list(_POOLS.values()):
         pool.close()
     _POOLS.clear()
+    if had_pools:
+        shm_module.warn_leaked_blocks("pool shutdown")
 
 
 atexit.register(shutdown_pools)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.compiler import compile_graph
 from repro.core.graph import DynamicalGraph
 from repro.core.noise import stream as _wiener_stream
@@ -280,6 +281,11 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
                 settle &= np.sqrt(np.mean((wiggle / scale) ** 2,
                                           axis=1)) <= freeze_tol
             frozen |= ~frozen & settle
+    if telemetry.enabled():
+        telemetry.add("solver.sde_solves")
+        telemetry.add("solver.nfev", nfev)
+        if freeze_tol is not None:
+            telemetry.add("solver.frozen_rows", int(frozen.sum()))
     if preroll:
         out = out[:, :, 1:]
     if not np.all(np.isfinite(out)):

@@ -24,22 +24,45 @@ own.
 from __future__ import annotations
 
 import uuid
+import warnings
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import SimulationError
 
-#: Names of parent-created segments that have not been unlinked yet.
-#: Tests assert this drains back to empty — a leaked ``/dev/shm`` block
-#: outlives the sweep and, accumulated over a long session, fills the
-#: shared-memory filesystem.
-_ACTIVE: set[str] = set()
+#: Parent-created segments that have not been unlinked yet, mapped to
+#: their size in bytes. Tests assert this drains back to empty — a
+#: leaked ``/dev/shm`` block outlives the sweep and, accumulated over a
+#: long session, fills the shared-memory filesystem.
+_ACTIVE: dict[str, int] = {}
 
 
 def active_blocks() -> list[str]:
     """Parent-owned segments still awaiting unlink (leak detector)."""
     return sorted(_ACTIVE)
+
+
+def active_block_sizes() -> dict[str, int]:
+    """Like :func:`active_blocks`, with each segment's byte size."""
+    return dict(sorted(_ACTIVE.items()))
+
+
+def warn_leaked_blocks(context: str) -> list[str]:
+    """Emit a :class:`ResourceWarning` naming (and sizing) any segments
+    still alive — the pool-shutdown leak check. Returns the leaked
+    names so callers/tests can assert on them."""
+    leaked = active_block_sizes()
+    if leaked:
+        detail = ", ".join(f"{name} ({nbytes} bytes)"
+                           for name, nbytes in leaked.items())
+        warnings.warn(
+            f"{context}: {len(leaked)} shared-memory block(s) still "
+            f"active after shutdown: {detail}. The owner should have "
+            f"unlinked them; /dev/shm will fill up if this repeats.",
+            ResourceWarning, stacklevel=2)
+    return sorted(leaked)
 
 
 def _untrack(segment) -> None:
@@ -90,7 +113,9 @@ class ShmBlock:
         name = f"arkshm_{uuid.uuid4().hex[:16]}"
         segment = shared_memory.SharedMemory(name=name, create=True,
                                              size=nbytes)
-        _ACTIVE.add(segment.name)
+        _ACTIVE[segment.name] = nbytes
+        telemetry.add("shm.blocks")
+        telemetry.add("shm.bytes_allocated", nbytes)
         return cls(segment, shape, dtype, owner=True)
 
     @property
@@ -142,7 +167,7 @@ class ShmBlock:
         if not self.owner:
             return
         if self._segment.name in _ACTIVE:
-            _ACTIVE.discard(self._segment.name)
+            del _ACTIVE[self._segment.name]
             self._segment.unlink()
 
     def discard(self) -> None:

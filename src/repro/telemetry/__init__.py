@@ -1,0 +1,46 @@
+"""``repro.telemetry`` — zero-overhead-when-disabled instrumentation
+for the execution-plan engine.
+
+Usage, from the outside in::
+
+    from repro.telemetry import collect_metrics
+
+    with collect_metrics(meta={"workload": "tline"}) as report:
+        result = run_ensemble(system, seeds=range(64), ...)
+    report.save("report.json")          # schema-stable JSON
+    print(report.counter("solver.nfev"))
+
+Library code emits unconditionally via the module-level helpers
+(:func:`add`, :func:`gauge`, :func:`append`, :func:`span`,
+:func:`merge_worker`); each is a no-op behind a single ContextVar check
+when no collection window is open, so the hooks stay compiled into hot
+paths at negligible disabled cost. Telemetry never touches the numbers
+being computed — bit-identity with collection on vs off is test- and
+bench-enforced.
+
+``repro ensemble --metrics-out report.json --trace`` and the ``repro
+report`` subcommand are the CLI surface over the same objects.
+"""
+
+from .collect import (Collector, add, append, collect_metrics, current,
+                      enabled, gauge, merge_worker, span)
+from .render import diff_reports, render_report, render_span_tree
+from .report import SCHEMA_VERSION, RunReport, validate_report
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Collector",
+    "RunReport",
+    "add",
+    "append",
+    "collect_metrics",
+    "current",
+    "diff_reports",
+    "enabled",
+    "gauge",
+    "merge_worker",
+    "render_report",
+    "render_span_tree",
+    "span",
+    "validate_report",
+]

@@ -1,0 +1,225 @@
+"""Context-local metric collection for the sim stack.
+
+The whole layer hangs off one :class:`contextvars.ContextVar`: inside a
+:func:`collect_metrics` block the var holds a :class:`Collector` and
+every instrumentation call (:func:`add`, :func:`gauge`, :func:`span`,
+...) records into it; outside, the var is ``None`` and each call is a
+single dict-free attribute load plus an ``is None`` test before
+returning. That single-check discipline is what makes the disabled path
+cheap enough to leave the hooks permanently compiled into hot loops
+(``solve_batch``, cache lookups, shm writes) — the bench smoke asserts
+the disabled cost stays under 2% of the tline workload's wall time.
+
+Being context-local (rather than a module global) means nested or
+concurrent collections don't bleed into each other: a benchmark can
+profile two back-to-back sweeps into two separate reports, and library
+code never needs plumbing — it just emits.
+
+Worker processes are the one place the ContextVar cannot reach (pool
+workers are spawned long before any collection starts). Workers instead
+compute their counters directly when a task is flagged for collection
+and ship them home inside the existing result payload; the parent folds
+them in via :func:`merge_worker`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+
+from .report import RunReport
+
+_COLLECTOR: contextvars.ContextVar["Collector | None"] = \
+    contextvars.ContextVar("repro_telemetry_collector", default=None)
+
+
+class Collector:
+    """Mutable accumulator behind one :func:`collect_metrics` window."""
+
+    __slots__ = ("counters", "gauges", "workers", "roots", "_stack",
+                 "ops", "started")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, object] = {}
+        self.workers: dict[str, dict[str, float]] = {}
+        self.roots: list[dict] = []
+        self._stack: list[dict] = []
+        #: instrumentation events seen — lets benchmarks price the
+        #: disabled path as (ops x per-op disabled cost) / wall time.
+        self.ops = 0
+        self.started = time.perf_counter()
+
+    # -- spans ---------------------------------------------------------
+
+    def open_span(self, name: str) -> dict:
+        node = {"name": name, "seconds": 0.0, "children": [],
+                "_t0": time.perf_counter()}
+        (self._stack[-1]["children"] if self._stack
+         else self.roots).append(node)
+        self._stack.append(node)
+        return node
+
+    def close_span(self, node: dict) -> None:
+        node["seconds"] = time.perf_counter() - node.pop("_t0")
+        # Tolerate mispaired exits (a span closed out of order drops
+        # everything opened after it) rather than corrupting the tree.
+        while self._stack:
+            if self._stack.pop() is node:
+                break
+
+    def finalize(self, report: RunReport) -> RunReport:
+        for node in self._stack:  # unclosed spans (error paths)
+            node["seconds"] = time.perf_counter() - node.pop("_t0")
+        self._stack.clear()
+        report.wall_seconds = time.perf_counter() - self.started
+        report.counters = self.counters
+        report.gauges = self.gauges
+        report.workers = self.workers
+        report.spans = self.roots
+        return report
+
+
+class _SpanHandle:
+    """``with span("name"):`` — times a phase into the active tree."""
+
+    __slots__ = ("_collector", "_node", "_name")
+
+    def __init__(self, collector: Collector, name: str) -> None:
+        self._collector = collector
+        self._name = name
+        self._node: dict | None = None
+
+    def __enter__(self) -> "_SpanHandle":
+        self._node = self._collector.open_span(self._name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._node is not None:
+            self._collector.close_span(self._node)
+        return None
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path (no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# ----------------------------------------------------------------------
+# Emission API — each call makes exactly one ContextVar lookup and
+# returns immediately when no collection is active.
+# ----------------------------------------------------------------------
+
+def enabled() -> bool:
+    """True while some :func:`collect_metrics` window is active."""
+    return _COLLECTOR.get() is not None
+
+
+def current() -> Collector | None:
+    """The active collector, or ``None`` (for multi-step emitters that
+    want to pay the ContextVar lookup once)."""
+    return _COLLECTOR.get()
+
+
+def add(name: str, value: float = 1) -> None:
+    """Increment counter ``name`` (created at 0 on first touch)."""
+    collector = _COLLECTOR.get()
+    if collector is None:
+        return
+    collector.ops += 1
+    collector.counters[name] = collector.counters.get(name, 0) + value
+
+
+def gauge(name: str, value) -> None:
+    """Set gauge ``name`` to a point-in-time scalar observation."""
+    collector = _COLLECTOR.get()
+    if collector is None:
+        return
+    collector.ops += 1
+    collector.gauges[name] = value
+
+
+def append(name: str, value) -> None:
+    """Append to a list-valued gauge (e.g. chunk arrival times)."""
+    collector = _COLLECTOR.get()
+    if collector is None:
+        return
+    collector.ops += 1
+    collector.gauges.setdefault(name, []).append(value)
+
+
+def span(name: str):
+    """A context manager timing ``name`` into the span tree; a shared
+    no-op object when collection is off."""
+    collector = _COLLECTOR.get()
+    if collector is None:
+        return _NULL_SPAN
+    collector.ops += 1
+    return _SpanHandle(collector, name)
+
+
+def merge_worker(info: dict) -> None:
+    """Fold a worker-side counter block (shipped back in a pool result
+    payload) into the active collection.
+
+    ``info`` must carry a ``"worker"`` name; every other numeric entry
+    is summed into that worker's block under ``report.workers`` and,
+    for the queue/busy/payload-cache metrics, into the matching global
+    ``pool.*`` counters so single-number totals stay one lookup away.
+    """
+    collector = _COLLECTOR.get()
+    if collector is None:
+        return
+    collector.ops += 1
+    name = str(info.get("worker", "?"))
+    block = collector.workers.setdefault(name, {})
+    for key, value in info.items():
+        if key == "worker" or not isinstance(value, (int, float)):
+            continue
+        block[key] = block.get(key, 0) + value
+    counters = collector.counters
+    for key, pooled in (("queue_wait_seconds", "pool.queue_wait_seconds"),
+                        ("busy_seconds", "pool.worker_busy_seconds"),
+                        ("payload_cache_hits", "pool.payload_cache_hits"),
+                        ("payload_cache_misses",
+                         "pool.payload_cache_misses")):
+        if key in info:
+            counters[pooled] = counters.get(pooled, 0) + info[key]
+
+
+@contextlib.contextmanager
+def collect_metrics(*, meta: dict | None = None,
+                    into: RunReport | None = None):
+    """Collect every metric emitted in the ``with`` body.
+
+    Yields the :class:`RunReport` that will be populated — ``into`` if
+    given (so callers can pre-allocate and hand the same object to
+    ``run_ensemble(..., telemetry=report)``), else a fresh one. The
+    report's counters/spans/gauges are filled in when the block exits;
+    ``meta`` seeds its identity dict.
+
+    Nested windows are independent: the inner window captures its own
+    metrics and the outer one resumes untouched (events are *not*
+    double-counted into both).
+    """
+    report = into if into is not None else RunReport()
+    if meta:
+        report.meta.update(meta)
+    collector = Collector()
+    token = _COLLECTOR.set(collector)
+    try:
+        yield report
+    finally:
+        _COLLECTOR.reset(token)
+        collector.finalize(report)

@@ -1,0 +1,133 @@
+"""Human-readable views of saved :class:`RunReport` files.
+
+Backs the ``repro report`` subcommand and ``repro ensemble --trace``:
+:func:`render_report` draws the span tree (box-drawing, per-span wall
+time, percent of total) followed by the counter table, gauges, and
+per-worker blocks; :func:`diff_reports` lines two reports up
+counter-by-counter with absolute and relative deltas — the intended
+workflow being cold-vs-warm cache, shard-vs-pool, before-vs-after a
+perf change.
+"""
+
+from __future__ import annotations
+
+from .report import RunReport
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.6g}"
+    if isinstance(value, list):
+        if len(value) > 6:
+            head = ", ".join(_fmt_value(v) for v in value[:6])
+            return f"[{head}, ... {len(value)} total]"
+        return "[" + ", ".join(_fmt_value(v) for v in value) + "]"
+    return str(value)
+
+
+def render_span_tree(spans: list, total_seconds: float) -> list[str]:
+    """The span forest as indented box-drawing lines."""
+    lines: list[str] = []
+
+    def walk(node: dict, prefix: str, child_prefix: str) -> None:
+        seconds = float(node.get("seconds", 0.0))
+        share = (f" ({seconds / total_seconds * 100:4.1f}%)"
+                 if total_seconds > 0 else "")
+        lines.append(f"{prefix}{node.get('name', '?')}  "
+                     f"{_fmt_seconds(seconds)}{share}")
+        children = node.get("children", [])
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            walk(child,
+                 child_prefix + ("└─ " if last else "├─ "),
+                 child_prefix + ("   " if last else "│  "))
+
+    for node in spans:
+        walk(node, "", "")
+    return lines
+
+
+def render_report(report: RunReport) -> str:
+    """The full pretty-printed report (what ``repro report f.json``
+    prints for a single file)."""
+    lines: list[str] = []
+    meta = " ".join(f"{k}={v}" for k, v in sorted(report.meta.items()))
+    lines.append(f"RunReport (schema {report.schema})"
+                 + (f"  {meta}" if meta else ""))
+    lines.append(f"wall time: {_fmt_seconds(report.wall_seconds)}")
+    if report.spans:
+        lines.append("")
+        lines.append("spans:")
+        lines.extend("  " + line for line in
+                     render_span_tree(report.spans, report.wall_seconds))
+    if report.counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in report.counters)
+        for name in sorted(report.counters):
+            lines.append(f"  {name.ljust(width)}  "
+                         f"{_fmt_value(report.counters[name])}")
+    if report.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name in report.gauges)
+        for name in sorted(report.gauges):
+            lines.append(f"  {name.ljust(width)}  "
+                         f"{_fmt_value(report.gauges[name])}")
+    if report.workers:
+        lines.append("")
+        lines.append("workers:")
+        for worker in sorted(report.workers):
+            block = report.workers[worker]
+            parts = " ".join(f"{key}={_fmt_value(block[key])}"
+                             for key in sorted(block))
+            lines.append(f"  {worker}: {parts}")
+    return "\n".join(lines)
+
+
+def diff_reports(a: RunReport, b: RunReport,
+                 label_a: str = "a", label_b: str = "b") -> str:
+    """Counter-by-counter comparison of two reports."""
+    lines: list[str] = []
+    lines.append(f"diff: {label_a} -> {label_b}")
+    delta_wall = b.wall_seconds - a.wall_seconds
+    pct = (f" ({delta_wall / a.wall_seconds * 100:+.1f}%)"
+           if a.wall_seconds > 0 else "")
+    lines.append(f"wall time: {_fmt_seconds(a.wall_seconds)} -> "
+                 f"{_fmt_seconds(b.wall_seconds)}{pct}")
+    names = sorted(set(a.counters) | set(b.counters))
+    if names:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in names)
+        for name in names:
+            va = a.counters.get(name, 0)
+            vb = b.counters.get(name, 0)
+            delta = vb - va
+            mark = "" if delta == 0 else f"  ({delta:+g})"
+            lines.append(f"  {name.ljust(width)}  "
+                         f"{_fmt_value(va)} -> {_fmt_value(vb)}{mark}")
+    only_gauges = sorted(set(a.gauges) | set(b.gauges))
+    scalar = [name for name in only_gauges
+              if not isinstance(a.gauges.get(name, b.gauges.get(name)),
+                                list)]
+    if scalar:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name in scalar)
+        for name in scalar:
+            va = a.gauges.get(name, "-")
+            vb = b.gauges.get(name, "-")
+            lines.append(f"  {name.ljust(width)}  "
+                         f"{_fmt_value(va)} -> {_fmt_value(vb)}")
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""The :class:`RunReport` artifact: a JSON-serializable, schema-stable
+account of one instrumented run.
+
+A report is what :func:`repro.telemetry.collect_metrics` hands back
+after the ``with`` block closes: the hierarchical span tree (wall time
+per phase, nested), the typed counters and gauges the sim stack
+emitted, and the per-worker counter blocks that rode back from pool
+workers. The schema is versioned (:data:`SCHEMA_VERSION`) and validated
+on load, so saved reports — CI artifacts, ``repro ensemble
+--metrics-out`` files, benchmark sections — stay machine-readable
+across PRs; :func:`validate_report` is the single source of truth for
+what a well-formed report looks like.
+
+Spans are stored as plain nested dicts (``{"name", "seconds",
+"children"}``) rather than a dataclass tree: the JSON round trip is
+then the identity, which keeps ``repro report`` diffing trivial.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+#: Bump whenever the report layout changes incompatibly (renamed
+#: top-level keys, span-node shape). Counter/gauge *names* may grow
+#: freely — consumers must treat absent names as zero.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every report carries, with their expected types.
+_REQUIRED = {
+    "schema": int,
+    "meta": dict,
+    "wall_seconds": (int, float),
+    "counters": dict,
+    "gauges": dict,
+    "workers": dict,
+    "spans": list,
+}
+
+
+def _span_problems(node, path: str, problems: list[str]) -> None:
+    if not isinstance(node, dict):
+        problems.append(f"{path}: span node must be a dict, got "
+                        f"{type(node).__name__}")
+        return
+    if not isinstance(node.get("name"), str):
+        problems.append(f"{path}: span 'name' must be a string")
+    if not isinstance(node.get("seconds"), (int, float)):
+        problems.append(f"{path}: span 'seconds' must be a number")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{path}: span 'children' must be a list")
+        return
+    for index, child in enumerate(children):
+        _span_problems(child, f"{path}.children[{index}]", problems)
+
+
+def validate_report(data) -> list[str]:
+    """Every way ``data`` fails to be a well-formed report dict (empty
+    list = valid). Checked on :meth:`RunReport.from_dict`, by ``repro
+    report --validate``, and by the CI bench smoke on the uploaded
+    artifact."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"report must be a dict, got {type(data).__name__}"]
+    for key, kind in _REQUIRED.items():
+        if key not in data:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(data[key], kind):
+            problems.append(
+                f"key {key!r} must be {getattr(kind, '__name__', kind)}"
+                f", got {type(data[key]).__name__}")
+    if isinstance(data.get("schema"), int) and \
+            data["schema"] != SCHEMA_VERSION:
+        problems.append(
+            f"unsupported schema version {data['schema']} "
+            f"(this build reads {SCHEMA_VERSION})")
+    if isinstance(data.get("counters"), dict):
+        for name, value in data["counters"].items():
+            if not isinstance(value, (int, float)):
+                problems.append(
+                    f"counter {name!r} must be numeric, got "
+                    f"{type(value).__name__}")
+    if isinstance(data.get("workers"), dict):
+        for worker, block in data["workers"].items():
+            if not isinstance(block, dict):
+                problems.append(
+                    f"worker {worker!r} block must be a dict")
+    if isinstance(data.get("spans"), list):
+        for index, node in enumerate(data["spans"]):
+            _span_problems(node, f"spans[{index}]", problems)
+    return problems
+
+
+@dataclass
+class RunReport:
+    """One run's telemetry, ready to serialize.
+
+    :ivar schema: report schema version (:data:`SCHEMA_VERSION`).
+    :ivar meta: free-form run identity (driver, backend, seed count...)
+        set by whoever opened the collection.
+    :ivar wall_seconds: wall time of the whole collection window.
+    :ivar counters: monotonic totals (``solver.nfev``,
+        ``cache.hits``...), merged across workers where applicable.
+    :ivar gauges: point-in-time observations; values are scalars or
+        lists (e.g. ``stream.chunk_arrival_seconds`` is the monotone
+        arrival-time list of a streamed sweep).
+    :ivar workers: per-worker counter blocks keyed by worker name, as
+        shipped back in pool result payloads.
+    :ivar spans: root span nodes ``{"name", "seconds", "children"}``.
+    """
+
+    schema: int = SCHEMA_VERSION
+    meta: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    workers: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "meta": dict(self.meta),
+            "wall_seconds": self.wall_seconds,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "workers": {name: dict(block)
+                        for name, block in self.workers.items()},
+            "spans": self.spans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        problems = validate_report(data)
+        if problems:
+            raise ValueError(
+                "not a valid RunReport: " + "; ".join(problems))
+        return cls(schema=data["schema"], meta=dict(data["meta"]),
+                   wall_seconds=float(data["wall_seconds"]),
+                   counters=dict(data["counters"]),
+                   gauges=dict(data["gauges"]),
+                   workers={name: dict(block)
+                            for name, block in data["workers"].items()},
+                   spans=list(data["spans"]))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> pathlib.Path:
+        """Write the report as JSON; returns the path written."""
+        path = pathlib.Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "RunReport":
+        """Read (and validate) a saved report."""
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, default: float = 0) -> float:
+        """A counter's value, 0 when the run never emitted it."""
+        return self.counters.get(name, default)
+
+    def merged_worker_counters(self) -> dict:
+        """The per-worker blocks folded into one totals dict."""
+        totals: dict = {}
+        for block in self.workers.values():
+            for name, value in block.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RunReport wall={self.wall_seconds:.3f}s "
+                f"counters={len(self.counters)} "
+                f"spans={len(self.spans)} workers={len(self.workers)}>")

@@ -176,7 +176,7 @@ class TestDivergenceContainment:
             with pytest.raises(SimulationError, match="underflow"):
                 bs._rkf45_dense_batch(nasty, np.linspace(0, 1, 50),
                                       1e-7, 1e-9, 1.0 / 64.0, None)
-            out, frozen, _ = bs._rkf45_dense_batch(
+            out, frozen, *_ = bs._rkf45_dense_batch(
                 nasty, np.linspace(0, 1, 50), 1e-7, 1e-9, 1.0 / 64.0,
                 1e-2)
         assert frozen[0] and not frozen[1]
