@@ -308,6 +308,33 @@ def bench_obc(trials, sigmas) -> dict:
             "seconds": round(elapsed, 4), "points": rows}
 
 
+def append_history(payload: dict, history_path) -> None:
+    """One history line per headline timing (see
+    ``repro bench check``); the size tag keeps smoke and full-size
+    baselines apart."""
+    from repro.telemetry import RunReport, history
+
+    tag = "smoke" if payload["smoke"] else "full"
+    sha = history.git_sha()
+
+    def record(workload, wall, **meta):
+        report = RunReport(wall_seconds=float(wall),
+                           meta={"driver": "bench.noise", **meta})
+        history.append_entry(
+            history_path, history.summarize(report, workload, sha=sha))
+
+    puf = payload["puf_reliability"]
+    record(f"noise.puf.batched[{tag}]", puf["batched_seconds"],
+           n_chips=puf["n_chips"], n_trials=puf["n_trials"])
+    sde = payload["sharded_sde"]
+    record(f"noise.sde.pool_warm[{tag}]", sde["pool_warm_seconds"],
+           processes=sde["processes"])
+    mask = payload["step_mask"]
+    record(f"noise.step_mask.masked[{tag}]", mask["masked_seconds"],
+           n_instances=mask["n_instances"])
+    print(f"appended 3 history entries to {history_path} (sha {sha})")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -316,6 +343,10 @@ def main(argv=None) -> int:
                         help="result JSON path (defaults to "
                         "BENCH_noise.json, or BENCH_noise_smoke.json "
                         "with --smoke)")
+    parser.add_argument("--history", default=None,
+                        help="benchmark history JSONL to append "
+                        "headline timings to (default: "
+                        "benchmarks/history.jsonl; 'none' disables)")
     args = parser.parse_args(argv)
     if args.smoke:
         n_chips, n_trials, n_points = 2, 2, 120
@@ -355,6 +386,10 @@ def main(argv=None) -> int:
         return 1
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
+    if args.history != "none":
+        history_path = args.history or (
+            pathlib.Path(__file__).resolve().parent / "history.jsonl")
+        append_history(payload, history_path)
     return 0
 
 

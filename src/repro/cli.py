@@ -28,6 +28,7 @@ Paradigm languages ship with the package, so an ``.ark`` file may use
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -288,9 +289,15 @@ def cmd_ensemble(args) -> int:
     cache = args.cache_dir if args.cache_dir else None
     metrics_out = getattr(args, "metrics_out", None)
     trace = getattr(args, "trace", False)
+    trace_out = getattr(args, "trace_out", None)
+    progress = None
+    if getattr(args, "progress", False):
+        from repro.telemetry import auto_progress
+
+        progress = auto_progress()
     report = None
     import contextlib
-    if metrics_out or trace:
+    if metrics_out or trace or trace_out:
         # One collection window covers the full run *and* the stream
         # drain, so pool waits and chunk arrivals land in the report.
         from repro.telemetry import RunReport, collect_metrics
@@ -316,7 +323,7 @@ def cmd_ensemble(args) -> int:
                               noise_seed=(args.noise_seed or 0) if noisy
                               else None,
                               sde_method=args.sde_method,
-                              stream=args.stream)
+                              stream=args.stream, progress=progress)
         if args.stream:
             # Drain the chunk stream, narrating each finished group,
             # then reassemble — the emitted statistics/CSV are
@@ -387,16 +394,28 @@ def cmd_ensemble(args) -> int:
             report.save(metrics_out)
             print(f"wrote run metrics (schema v{report.schema}) "
                   f"to {metrics_out}")
+        if trace_out:
+            from repro.telemetry import export_trace
+            from repro.telemetry.trace import worker_lanes
+
+            export_trace(report, trace_out)
+            lanes = worker_lanes(report)
+            lane_note = (f", {len(lanes)} worker lane(s)" if lanes
+                         else "")
+            print(f"wrote Chrome trace to {trace_out}{lane_note} — "
+                  f"open in Perfetto (ui.perfetto.dev) or "
+                  f"chrome://tracing")
     return 0
 
 
 def cmd_report(args) -> int:
-    """Render or diff saved :class:`~repro.telemetry.RunReport` JSONs
-    (as written by ``repro ensemble --metrics-out``)."""
+    """Render, diff, validate, or trace-export saved
+    :class:`~repro.telemetry.RunReport` JSONs (as written by ``repro
+    ensemble --metrics-out``)."""
     import json
 
-    from repro.telemetry import (RunReport, diff_reports, render_report,
-                                 validate_report)
+    from repro.telemetry import (RunReport, diff_data, diff_reports,
+                                 render_report, validate_report)
 
     if len(args.files) > 2:
         raise ArkError(
@@ -420,12 +439,215 @@ def cmd_report(args) -> int:
         for path, rep in zip(args.files, loaded):
             print(f"{path}: OK (schema v{rep.schema})")
         return 0
+    if args.export_trace:
+        if len(loaded) != 1:
+            raise ArkError("--export-trace takes exactly one report")
+        from repro.telemetry import export_trace
+
+        export_trace(loaded[0], args.export_trace)
+        print(f"wrote Chrome trace to {args.export_trace} — open in "
+              f"Perfetto (ui.perfetto.dev) or chrome://tracing")
+        return 0
     if len(loaded) == 1:
-        print(render_report(loaded[0]))
+        if args.json:
+            print(json.dumps(loaded[0].to_dict(), indent=2))
+        else:
+            print(render_report(loaded[0]))
+    elif args.json:
+        print(json.dumps(diff_data(loaded[0], loaded[1],
+                                   label_a=args.files[0],
+                                   label_b=args.files[1]), indent=2))
     else:
         print(diff_reports(loaded[0], loaded[1],
                            label_a=args.files[0], label_b=args.files[1]))
     return 0
+
+
+class _BenchTlineFactory:
+    """Picklable factory behind the built-in bench workloads (pool
+    workers rebuild instances from it, so it must live at module
+    level)."""
+
+    def __call__(self, seed):
+        from repro.paradigms.tln import mismatched_tline
+
+        return mismatched_tline("gm", seed=seed)
+
+
+def _bench_workloads(smoke: bool) -> dict:
+    """The named workloads ``repro bench run`` knows how to execute.
+
+    Sizes are baked into the names (``tline_ode[8x60]``) so smoke and
+    full runs accumulate *separate* histories — comparing a smoke wall
+    time against a full baseline would always look like a 10x speedup.
+    """
+    seeds = 8 if smoke else 48
+    points = 60 if smoke else 200
+    sde_seeds = 3 if smoke else 8
+    trials = 2 if smoke else 6
+    return {
+        f"tline_ode[{seeds}x{points}]": dict(
+            kind="ode", seeds=seeds, n_points=points,
+            t_span=(0.0, 8e-8)),
+        f"tline_sde[{sde_seeds}x{trials}x{points}]": dict(
+            kind="sde", seeds=sde_seeds, trials=trials,
+            n_points=points, t_span=(0.0, 4e-8)),
+    }
+
+
+def _bench_once(spec: dict, workload: str):
+    """One instrumented run of a bench workload; returns its
+    RunReport. A fresh trajectory cache per run keeps every repeat
+    paying the full integration (warm hits would poison the median)."""
+    from repro.sim import run_ensemble
+    from repro.sim.cache import TrajectoryCache
+    from repro.telemetry import RunReport, collect_metrics
+
+    if spec["kind"] == "ode":
+        factory = _BenchTlineFactory()
+        kwargs = {}
+    else:
+        from repro.paradigms.tln import TLineSpec
+        from repro.paradigms.tln.noisy import NoisyTlineFactory
+
+        factory = NoisyTlineFactory(TLineSpec(n_segments=3),
+                                    noise=1e-9)
+        kwargs = {"trials": spec["trials"]}
+    report = RunReport()
+    with collect_metrics(into=report,
+                         meta={"driver": "repro.bench",
+                               "workload": workload}):
+        run_ensemble(factory, range(spec["seeds"]), spec["t_span"],
+                     n_points=spec["n_points"],
+                     cache=TrajectoryCache(), **kwargs)
+    return report
+
+
+def _bench_select(names, requested) -> list[str]:
+    """Resolve requested workload names against the known set: exact
+    match, or prefix match up to the size bracket."""
+    if not requested:
+        return list(names)
+    chosen = []
+    for want in requested:
+        hits = [name for name in names
+                if name == want or name.split("[")[0] == want]
+        if not hits:
+            raise ArkError(
+                f"unknown bench workload {want!r}; available: "
+                f"{', '.join(names)}")
+        chosen.extend(hits)
+    return chosen
+
+
+def cmd_bench(args) -> int:
+    """Benchmark history + regression sentinel: ``run`` appends a
+    median-of-N wall time per workload to the JSONL history, ``check``
+    judges the newest entry against its own recent past (noise-aware:
+    median baseline + MAD slack), ``compare`` diffs two workloads'
+    latest entries, ``list`` shows what the history holds."""
+    import json
+    import statistics
+
+    from repro.telemetry import history
+
+    path = args.history
+    specs = _bench_workloads(getattr(args, "smoke", False))
+
+    if args.bench_command == "list":
+        known = history.workloads(path)
+        print(f"history: {path} "
+              f"({len(history.load_history(path))} entries)")
+        for name in known:
+            entries = history.load_history(path, name)
+            walls = [entry["wall_seconds"] for entry in entries]
+            print(f"  {name}: {len(entries)} point(s), median "
+                  f"{statistics.median(walls):.3f}s, latest "
+                  f"{walls[-1]:.3f}s")
+        if not known:
+            print("  (empty — `repro bench run` appends entries)")
+        return 0
+
+    if args.bench_command == "run":
+        for workload in _bench_select(list(specs), args.workloads):
+            spec = specs[workload]
+            reports = [_bench_once(spec, workload)
+                       for _ in range(args.repeats)]
+            reports.sort(key=lambda report: report.wall_seconds)
+            median_report = reports[len(reports) // 2]
+            entry = history.summarize(median_report, workload)
+            history.append_entry(path, entry)
+            walls = ", ".join(f"{report.wall_seconds:.3f}"
+                              for report in reports)
+            print(f"[bench] {workload}: median "
+                  f"{median_report.wall_seconds:.3f}s of "
+                  f"{args.repeats} run(s) [{walls}] -> {path} "
+                  f"(sha {entry['sha']})")
+        return 0
+
+    if args.bench_command == "compare":
+        entry_a = history.latest(path, args.a)
+        entry_b = history.latest(path, args.b)
+        missing = [name for name, entry in
+                   ((args.a, entry_a), (args.b, entry_b))
+                   if entry is None]
+        if missing:
+            raise ArkError(
+                f"no history for workload(s) {', '.join(missing)} "
+                f"in {path}")
+        from repro.telemetry import diff_data, diff_reports
+
+        report_a = history.entry_report(entry_a)
+        report_b = history.entry_report(entry_b)
+        if args.json:
+            print(json.dumps(diff_data(report_a, report_b,
+                                       label_a=args.a, label_b=args.b),
+                             indent=2))
+        else:
+            print(diff_reports(report_a, report_b,
+                               label_a=args.a, label_b=args.b))
+        return 0
+
+    # check: judge each workload's newest entry against its past.
+    names = _bench_select(history.workloads(path) or list(specs),
+                          args.workloads)
+    failed = False
+    verdicts = []
+    for workload in names:
+        newest = history.latest(path, workload)
+        if newest is None:
+            verdicts.append({"workload": workload,
+                             "status": "insufficient-history",
+                             "points": 0})
+            continue
+        measured = float(newest["wall_seconds"]) * args.scale
+        verdict = history.check(
+            path, workload, measured,
+            rel_threshold=args.rel_threshold,
+            noise_factor=args.noise_factor,
+            min_history=args.min_history, exclude_latest=True)
+        verdicts.append(verdict)
+        if verdict["status"] == "regression":
+            failed = True
+    if args.json:
+        print(json.dumps(verdicts, indent=2))
+    else:
+        for verdict in verdicts:
+            status = verdict["status"]
+            if status == "insufficient-history":
+                print(f"[bench] {verdict['workload']}: "
+                      f"{verdict['points']} baseline point(s) < "
+                      f"{args.min_history} — soft pass (warn only)")
+            else:
+                print(f"[bench] {verdict['workload']}: {status} — "
+                      f"measured {verdict['measured']:.3f}s vs "
+                      f"allowed {verdict['allowed']:.3f}s "
+                      f"(baseline {verdict['baseline']:.3f}s "
+                      f"+ {args.rel_threshold * 100:.0f}% "
+                      f"+ {args.noise_factor:g} x MAD "
+                      f"{verdict['mad']:.3f}s, "
+                      f"{verdict['points']} point(s))")
+    return 1 if failed else 0
 
 
 def cmd_noise(args) -> int:
@@ -606,6 +828,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_ens.add_argument("--trace", action="store_true",
                        help="collect run telemetry and pretty-print "
                        "the span tree and counters after the sweep")
+    p_ens.add_argument("--trace-out", default=None, metavar="JSON",
+                       help="collect run telemetry and export the "
+                       "wall-clock timeline as Chrome Trace Event "
+                       "JSON (parent spans + one lane per pool "
+                       "worker); open in Perfetto or chrome://tracing")
+    p_ens.add_argument("--progress", action="store_true",
+                       help="live progress on stderr: a single-line "
+                       "dashboard (groups done/total, instances/s, "
+                       "cache hit-rate, pool busy, ETA) on a TTY, "
+                       "periodic log lines otherwise")
     p_ens.set_defaults(handler=cmd_ensemble)
 
     p_report = sub.add_parser(
@@ -617,7 +849,91 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--validate", action="store_true",
                           help="only check the files against the "
                           "RunReport schema (exit 1 on mismatch)")
+    p_report.add_argument("--json", action="store_true",
+                          help="machine-readable output: the "
+                          "(migrated) report dict for one file, the "
+                          "diff_data deltas for two — the same "
+                          "comparator `repro bench check` and the CI "
+                          "soft gate consume")
+    p_report.add_argument("--export-trace", default=None,
+                          metavar="JSON",
+                          help="convert one saved report to Chrome "
+                          "Trace Event JSON (open in Perfetto or "
+                          "chrome://tracing); v1 reports export as a "
+                          "degenerate all-at-offset-0 trace")
     p_report.set_defaults(handler=cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark history + regression sentinel: run named "
+        "workloads, append medians to a JSONL history, and check new "
+        "numbers against the noise-aware baseline")
+    from repro.telemetry.history import DEFAULT_PATH as _HISTORY_PATH
+    bench_sub = p_bench.add_subparsers(dest="bench_command",
+                                       required=True)
+
+    def bench_common(p):
+        p.add_argument("--history", default=_HISTORY_PATH,
+                       metavar="JSONL",
+                       help=f"history file (default {_HISTORY_PATH})")
+
+    b_run = bench_sub.add_parser(
+        "run", help="run workload(s) N times, append each median")
+    bench_common(b_run)
+    b_run.add_argument("workloads", nargs="*",
+                       help="workload names (default: all built-ins; "
+                       "prefix before the size bracket also matches)")
+    b_run.add_argument("--smoke", action="store_true",
+                       help="small sizes for CI (separate history "
+                       "keys — sizes are part of workload names)")
+    b_run.add_argument("--repeats", type=int, default=3,
+                       help="runs per workload; the median is what "
+                       "gets appended (default 3)")
+    b_run.set_defaults(handler=cmd_bench)
+
+    b_check = bench_sub.add_parser(
+        "check",
+        help="judge each workload's newest entry against its recent "
+        "history (exit 1 on regression; <min-history points = soft "
+        "pass)")
+    bench_common(b_check)
+    b_check.add_argument("workloads", nargs="*",
+                         help="workloads to check (default: all in "
+                         "the history)")
+    b_check.add_argument("--smoke", action="store_true",
+                         help="resolve default workload names at "
+                         "smoke sizes")
+    b_check.add_argument("--rel-threshold", type=float, default=0.25,
+                         help="relative slowdown allowed over the "
+                         "median baseline (default 0.25 = 25%%)")
+    b_check.add_argument("--noise-factor", type=float, default=3.0,
+                         help="extra slack in units of the history's "
+                         "median absolute deviation (default 3)")
+    b_check.add_argument("--min-history", type=int, default=3,
+                         help="baseline points required for a hard "
+                         "verdict; below this the check warns and "
+                         "passes (default 3)")
+    b_check.add_argument("--scale", type=float, default=1.0,
+                         help="multiply the measured wall time "
+                         "(testing aid: --scale 2.0 must turn a "
+                         "clean history into a regression)")
+    b_check.add_argument("--json", action="store_true",
+                         help="print verdicts as JSON")
+    b_check.set_defaults(handler=cmd_bench)
+
+    b_compare = bench_sub.add_parser(
+        "compare", help="diff the latest entries of two workloads")
+    bench_common(b_compare)
+    b_compare.add_argument("a", help="baseline workload name")
+    b_compare.add_argument("b", help="candidate workload name")
+    b_compare.add_argument("--json", action="store_true",
+                           help="print diff_data deltas as JSON")
+    b_compare.set_defaults(handler=cmd_bench)
+
+    b_list = bench_sub.add_parser(
+        "list", help="summarize the history file's workloads")
+    bench_common(b_list)
+    b_list.set_defaults(handler=cmd_bench)
 
     p_noise = sub.add_parser(
         "noise",
@@ -677,6 +993,13 @@ def main(argv=None) -> int:
     except ArkError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro report ... | head`):
+        # stop quietly instead of dumping a traceback. Detach stdout
+        # so interpreter shutdown doesn't trip over the dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -128,7 +128,7 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
                  noise_seed: int | None = None,
                  sde_method: str = "heun", block: int = 256,
                  reference: bool = True, stream: bool = False,
-                 telemetry=None):
+                 telemetry=None, progress=None):
     """Simulate one fabricated instance per seed, batching wherever the
     instances share structure — the unified driver for deterministic
     *and* transient-noise sweeps.
@@ -204,6 +204,12 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         wrap the drain loop in
         :func:`repro.telemetry.collect_metrics` yourself; ``True``
         is rejected because the barriered attach point does not exist.
+    :param progress: an optional
+        :class:`~repro.telemetry.ProgressSink` notified per finished
+        group (totals up front, counts per chunk) — the hook behind
+        ``repro ensemble --stream --progress``. Works with or without
+        ``stream`` and receives counts only, so it cannot perturb
+        results.
     """
     plan_backend = resolve_engine(engine)
     noise = None
@@ -223,7 +229,8 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         serial_backend=backend, min_batch=min_batch,
         processes=processes, shard_min=shard_min, cache=cache)
     if telemetry is None or telemetry is False:
-        return plan.stream() if stream else plan.run()
+        return (plan.stream(progress=progress) if stream
+                else plan.run(progress=progress))
     if isinstance(telemetry, RunReport):
         report = telemetry
     elif telemetry is True:
@@ -243,18 +250,18 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
     if noise is not None:
         meta["trials"] = noise.trials
     if stream:
-        return _collected_stream(plan, report, meta)
+        return _collected_stream(plan, report, meta, progress)
     with collect_metrics(into=report, meta=meta):
-        result = plan.run()
+        result = plan.run(progress=progress)
     result.telemetry = report
     return result
 
 
-def _collected_stream(plan, report, meta):
+def _collected_stream(plan, report, meta, progress=None):
     """Stream a plan inside its own collection window: the report is
     finalized when the stream is exhausted (or closed early)."""
     with collect_metrics(into=report, meta=meta):
-        yield from plan.stream()
+        yield from plan.stream(progress=progress)
 
 
 def stream_ensemble(factory, seeds, t_span, **kwargs):

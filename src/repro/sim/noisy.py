@@ -116,7 +116,8 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        processes: int | None = None,
                        shard_min: int = DEFAULT_SHARD_MIN,
                        freeze_tol: float | None = None,
-                       stream: bool = False, telemetry=None):
+                       stream: bool = False, telemetry=None,
+                       progress=None):
     """Simulate every (fabricated chip, noise trial) pair, batched.
 
     A delegating shim over the unified driver — exactly
@@ -168,4 +169,4 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                         block=block, cache=cache, engine=engine,
                         processes=processes, shard_min=shard_min,
                         freeze_tol=freeze_tol, stream=stream,
-                        telemetry=telemetry)
+                        telemetry=telemetry, progress=progress)

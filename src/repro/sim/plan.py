@@ -185,13 +185,13 @@ class ExecutionPlan:
                 f"freeze_tol must be > 0 (or None), got "
                 f"{self.freeze_tol}")
 
-    def run(self):
+    def run(self, progress=None):
         """Execute the plan (see :func:`execute_plan`)."""
-        return execute_plan(self)
+        return execute_plan(self, progress=progress)
 
-    def stream(self):
+    def stream(self, progress=None):
         """Stream the plan (see :func:`stream_plan`)."""
-        return stream_plan(self)
+        return stream_plan(self, progress=progress)
 
 
 # ----------------------------------------------------------------------
@@ -724,7 +724,7 @@ register_backend(AutoBackend())
 # ----------------------------------------------------------------------
 
 
-def execute_plan(plan: ExecutionPlan):
+def execute_plan(plan: ExecutionPlan, progress=None):
     """Compile every instance, group by structural signature, and
     integrate each group through the plan's backend (with uniform
     trajectory caching). Returns an
@@ -734,14 +734,17 @@ def execute_plan(plan: ExecutionPlan):
 
     This is the barriered form of :func:`stream_plan`: it drains the
     chunk stream and reassembles it, bit-identically to the historical
-    monolithic driver."""
+    monolithic driver. ``progress`` (a
+    :class:`~repro.telemetry.progress.ProgressSink`) still fires per
+    finished group — barriered callers get live progress too."""
     seeds = list(plan.seeds)
     plan = replace(plan, seeds=seeds)
     trials = plan.noise.trials if plan.noise is not None else None
-    return assemble_chunks(stream_plan(plan), seeds, trials=trials)
+    return assemble_chunks(stream_plan(plan, progress=progress), seeds,
+                           trials=trials)
 
 
-def stream_plan(plan: ExecutionPlan):
+def stream_plan(plan: ExecutionPlan, progress=None):
     """Execute the plan as a stream: an iterator of per-group chunks
     (:class:`~repro.sim.ensemble.EnsembleChunk` /
     :class:`~repro.sim.noisy.NoisyEnsembleChunk`), each one finished
@@ -755,41 +758,81 @@ def stream_plan(plan: ExecutionPlan):
     first chunk after one group's integration rather than the whole
     sweep's. :func:`assemble_chunks` folds a drained stream back into
     the barriered result object. Validation errors raise here, not at
-    the first ``next()``."""
+    the first ``next()``.
+
+    ``progress`` is an optional
+    :class:`~repro.telemetry.progress.ProgressSink`: it gets ``begin``
+    with the sweep's totals, ``advance`` after every yielded chunk, and
+    ``finish`` when the stream ends (even abandoned mid-way) — the hook
+    behind ``repro ensemble --stream --progress``. It receives counts
+    only, never data, so it cannot perturb results."""
     plan.validate()
     seeds = list(plan.seeds)
     # Normalize up front: a generator would be exhausted by the first
     # traversal, and shard tasks re-read plan.seeds.
     plan = replace(plan, seeds=seeds)
-    return _stream(plan, seeds)
+    return _stream(plan, seeds, progress)
 
 
-def _stream(plan: ExecutionPlan, seeds: list):
+def _progress_totals(plan: ExecutionPlan, systems: list) -> tuple:
+    """(total chunks, total instance-rows) the stream will deliver —
+    mirrors the grouping the ODE/SDE streams apply, computed only when
+    a progress sink is attached."""
+    groups = group_by_signature(systems)
+    if plan.noise is not None:
+        return len(groups), len(systems) * plan.noise.trials
+    backend = BACKENDS[plan.backend]
+    if backend.batches and plan.method in BATCH_METHODS:
+        batched = [g for g in groups if len(g) >= plan.min_batch]
+        n_serial = len(systems) - sum(len(g) for g in batched)
+        return len(batched) + (1 if n_serial else 0), len(systems)
+    return 1, len(systems)
+
+
+def _stream(plan: ExecutionPlan, seeds: list, progress=None):
     with telemetry.span("plan.compile"):
         systems = [_compile_target(plan.factory(seed))
                    for seed in seeds]
     telemetry.add("plan.instances", len(systems))
+    if progress is not None:
+        total_chunks, total_rows = _progress_totals(plan, systems)
+        progress.begin(groups=total_chunks, instances=total_rows)
     inner = (_stream_ode(plan, seeds, systems) if plan.noise is None
              else _stream_sde(plan, seeds, systems))
     start = time.monotonic()
     first = True
-    for chunk in inner:
-        if telemetry.enabled():
-            # Chunk-arrival accounting: the time-to-first-chunk gauge
-            # is the streaming executor's headline number, the arrival
-            # list its (monotone) completion profile. The same numbers
-            # ride on the chunk itself for consumers of stream_plan.
-            arrival = time.monotonic() - start
-            if first:
-                telemetry.gauge("stream.time_to_first_chunk_seconds",
-                                arrival)
-                first = False
-            telemetry.append("stream.chunk_arrival_seconds", arrival)
-            telemetry.add("stream.chunks")
-            chunk.stats = {"arrival_seconds": arrival,
-                           "order": chunk.order,
-                           "rows": len(chunk.indices)}
-        yield chunk
+    chunks_done = 0
+    rows_done = 0
+    try:
+        for chunk in inner:
+            if telemetry.enabled():
+                # Chunk-arrival accounting: the time-to-first-chunk
+                # gauge is the streaming executor's headline number,
+                # the arrival list its (monotone) completion profile.
+                # The same numbers ride on the chunk itself for
+                # consumers of stream_plan.
+                arrival = time.monotonic() - start
+                if first:
+                    telemetry.gauge(
+                        "stream.time_to_first_chunk_seconds", arrival)
+                    first = False
+                telemetry.append("stream.chunk_arrival_seconds",
+                                 arrival)
+                telemetry.add("stream.chunks")
+                chunk.stats = {"arrival_seconds": arrival,
+                               "order": chunk.order,
+                               "rows": len(chunk.indices)}
+            if progress is not None:
+                chunks_done += 1
+                rows_done += len(chunk.indices) * (
+                    plan.noise.trials if plan.noise is not None else 1)
+                progress.advance(groups_done=chunks_done,
+                                 instances_done=rows_done,
+                                 backend=plan.backend)
+            yield chunk
+    finally:
+        if progress is not None:
+            progress.finish()
 
 
 def _span_key(t_span) -> tuple[float, float]:

@@ -157,6 +157,7 @@ def _run_shard(task: ShardTask) -> dict:
         # telemetry.merge_worker when the handle resolves.
         import multiprocessing
 
+        busy = time.monotonic() - started
         meta["telemetry"] = {
             "worker": multiprocessing.current_process().name,
             "shards": 1,
@@ -164,9 +165,16 @@ def _run_shard(task: ShardTask) -> dict:
             "nfev": trajectory.nfev or 0,
             "queue_wait_seconds": max(0.0,
                                       started - task.submitted_at),
-            "busy_seconds": time.monotonic() - started,
+            "busy_seconds": busy,
             "payload_cache_hits": int(payload_hit),
             "payload_cache_misses": int(not payload_hit),
+            # Timestamped span for the trace timeline: ``t0`` is the
+            # worker's monotonic clock at shard start, which the parent
+            # rebases onto the collection window (monotonic is the one
+            # clock comparable across processes on Linux).
+            "events": [{"name": f"shard.solve:{task.kind}",
+                        "t0": started, "seconds": busy,
+                        "rows": trajectory.y.shape[0]}],
         }
     return meta
 
@@ -395,6 +403,13 @@ def wait_any(handles: list[PoolHandle]) -> PoolHandle:
 # ----------------------------------------------------------------------
 
 _POOLS: dict[int, WorkerPool] = {}
+
+
+def active_tasks() -> int:
+    """Shard tasks currently in flight across every registered pool —
+    the live-progress dashboard's "workers busy" signal (an in-flight
+    task is either executing on a worker or queued at one)."""
+    return sum(len(pool._handles) for pool in _POOLS.values())
 
 
 def get_pool(processes: int) -> WorkerPool:

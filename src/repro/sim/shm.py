@@ -116,6 +116,8 @@ class ShmBlock:
         _ACTIVE[segment.name] = nbytes
         telemetry.add("shm.blocks")
         telemetry.add("shm.bytes_allocated", nbytes)
+        telemetry.gauge_max("mem.shm_bytes_high_water",
+                            sum(_ACTIVE.values()))
         return cls(segment, shape, dtype, owner=True)
 
     @property

@@ -23,24 +23,40 @@ report`` subcommand are the CLI surface over the same objects.
 """
 
 from .collect import (Collector, add, append, collect_metrics, current,
-                      enabled, gauge, merge_worker, span)
-from .render import diff_reports, render_report, render_span_tree
-from .report import SCHEMA_VERSION, RunReport, validate_report
+                      enabled, gauge, gauge_max, merge_worker, span)
+from .progress import (LogProgress, ProgressSink, TtyProgress,
+                       auto_progress)
+from .render import (diff_data, diff_reports, render_report,
+                     render_span_tree)
+from .report import (READABLE_SCHEMAS, SCHEMA_VERSION, RunReport,
+                     migrate_report, validate_report)
+from .trace import export_trace, to_chrome_trace, trace_events
 
 __all__ = [
+    "READABLE_SCHEMAS",
     "SCHEMA_VERSION",
     "Collector",
+    "LogProgress",
+    "ProgressSink",
     "RunReport",
+    "TtyProgress",
     "add",
     "append",
+    "auto_progress",
     "collect_metrics",
     "current",
+    "diff_data",
     "diff_reports",
     "enabled",
+    "export_trace",
     "gauge",
+    "gauge_max",
     "merge_worker",
+    "migrate_report",
     "render_report",
     "render_span_tree",
     "span",
+    "to_chrome_trace",
+    "trace_events",
     "validate_report",
 ]

@@ -34,28 +34,66 @@ _COLLECTOR: contextvars.ContextVar["Collector | None"] = \
     contextvars.ContextVar("repro_telemetry_collector", default=None)
 
 
+def _as_builtin(value):
+    """Collapse numpy scalars (and their lists) to builtin int/float so
+    every report is ``json.dumps``-able: counters fed from solver
+    internals routinely arrive as ``np.int64``/``np.float64``, and
+    ``np.int64`` is *not* an ``int`` subclass — ``RunReport.save`` used
+    to crash on it. Duck-typed via ``.item()`` so the telemetry package
+    itself never needs a numpy import."""
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):  # np.float64 subclasses float
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_as_builtin(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _as_builtin(item) for key, item in value.items()}
+    item = getattr(value, "item", None)  # numpy scalars / 0-d arrays
+    if callable(item):
+        try:
+            return _as_builtin(item())
+        except (TypeError, ValueError):
+            pass
+    return value
+
+
 class Collector:
     """Mutable accumulator behind one :func:`collect_metrics` window."""
 
-    __slots__ = ("counters", "gauges", "workers", "roots", "_stack",
-                 "ops", "started")
+    __slots__ = ("counters", "gauges", "workers", "roots", "events",
+                 "_stack", "ops", "started", "started_monotonic")
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, object] = {}
         self.workers: dict[str, dict[str, float]] = {}
         self.roots: list[dict] = []
+        #: flat timestamped events (worker shard solves shipped home in
+        #: pool payloads) — one timeline lane per worker in the trace
+        #: export, complementing the parent's hierarchical spans.
+        self.events: list[dict] = []
         self._stack: list[dict] = []
         #: instrumentation events seen — lets benchmarks price the
         #: disabled path as (ops x per-op disabled cost) / wall time.
         self.ops = 0
         self.started = time.perf_counter()
+        #: Same instant on the ``time.monotonic`` clock — the clock
+        #: worker processes stamp their events with (comparable across
+        #: processes on Linux, unlike ``perf_counter`` guarantees), so
+        #: :meth:`merge_worker` can place worker events on this
+        #: window's timeline.
+        self.started_monotonic = time.monotonic()
 
     # -- spans ---------------------------------------------------------
 
     def open_span(self, name: str) -> dict:
-        node = {"name": name, "seconds": 0.0, "children": [],
-                "_t0": time.perf_counter()}
+        now = time.perf_counter()
+        node = {"name": name, "seconds": 0.0,
+                "start": now - self.started, "children": [],
+                "_t0": now}
         (self._stack[-1]["children"] if self._stack
          else self.roots).append(node)
         self._stack.append(node)
@@ -69,16 +107,51 @@ class Collector:
             if self._stack.pop() is node:
                 break
 
+    def add_worker_events(self, lane: str, events) -> None:
+        """Place worker-side monotonic-stamped events onto this
+        window's timeline (start offsets relative to window open)."""
+        for event in events:
+            entry = {key: value for key, value in event.items()
+                     if key not in ("t0",)}
+            entry["lane"] = lane
+            entry["start"] = max(
+                0.0, float(event.get("t0", 0.0))
+                - self.started_monotonic)
+            entry.setdefault("name", "?")
+            entry.setdefault("seconds", 0.0)
+            self.events.append(entry)
+
     def finalize(self, report: RunReport) -> RunReport:
         for node in self._stack:  # unclosed spans (error paths)
             node["seconds"] = time.perf_counter() - node.pop("_t0")
         self._stack.clear()
+        self._memory_gauges()
         report.wall_seconds = time.perf_counter() - self.started
-        report.counters = self.counters
-        report.gauges = self.gauges
-        report.workers = self.workers
-        report.spans = self.roots
+        report.counters = _as_builtin(self.counters)
+        report.gauges = _as_builtin(self.gauges)
+        report.workers = _as_builtin(self.workers)
+        report.spans = _as_builtin(self.roots)
+        report.events = sorted(_as_builtin(self.events),
+                               key=lambda event: event["start"])
         return report
+
+    def _memory_gauges(self) -> None:
+        """Peak-memory gauges recorded at window close: the process RSS
+        high-water from the kernel, and the shared-memory high-water the
+        shm transport tracked during the window (see
+        :func:`gauge_max` calls in :mod:`repro.sim.shm`)."""
+        try:
+            import resource
+            import sys
+
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is kilobytes on Linux, bytes on macOS.
+            if sys.platform != "darwin":
+                peak *= 1024
+            self.gauges["mem.peak_rss_bytes"] = int(peak)
+        except Exception:  # pragma: no cover - non-POSIX platforms
+            pass
+        self.gauges.setdefault("mem.shm_bytes_high_water", 0)
 
 
 class _SpanHandle:
@@ -159,6 +232,18 @@ def append(name: str, value) -> None:
     collector.gauges.setdefault(name, []).append(value)
 
 
+def gauge_max(name: str, value) -> None:
+    """Raise gauge ``name`` to ``value`` if it is a new high-water mark
+    (used for window-local peaks, e.g. resident shm bytes)."""
+    collector = _COLLECTOR.get()
+    if collector is None:
+        return
+    collector.ops += 1
+    current_value = collector.gauges.get(name)
+    if current_value is None or value > current_value:
+        collector.gauges[name] = value
+
+
 def span(name: str):
     """A context manager timing ``name`` into the span tree; a shared
     no-op object when collection is off."""
@@ -177,6 +262,9 @@ def merge_worker(info: dict) -> None:
     is summed into that worker's block under ``report.workers`` and,
     for the queue/busy/payload-cache metrics, into the matching global
     ``pool.*`` counters so single-number totals stay one lookup away.
+    An optional ``"events"`` list (monotonic-stamped shard-solve spans)
+    is rebased onto this window's timeline and lands in
+    ``report.events`` — one trace lane per worker.
     """
     collector = _COLLECTOR.get()
     if collector is None:
@@ -188,6 +276,7 @@ def merge_worker(info: dict) -> None:
         if key == "worker" or not isinstance(value, (int, float)):
             continue
         block[key] = block.get(key, 0) + value
+    collector.add_worker_events(name, info.get("events") or ())
     counters = collector.counters
     for key, pooled in (("queue_wait_seconds", "pool.queue_wait_seconds"),
                         ("busy_seconds", "pool.worker_busy_seconds"),

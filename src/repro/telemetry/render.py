@@ -2,11 +2,16 @@
 
 Backs the ``repro report`` subcommand and ``repro ensemble --trace``:
 :func:`render_report` draws the span tree (box-drawing, per-span wall
-time, percent of total) followed by the counter table, gauges, and
-per-worker blocks; :func:`diff_reports` lines two reports up
+time, percent of total) followed by the counter table, gauges, memory
+peaks, and per-worker blocks; :func:`diff_reports` lines two reports up
 counter-by-counter with absolute and relative deltas — the intended
 workflow being cold-vs-warm cache, shard-vs-pool, before-vs-after a
 perf change.
+
+:func:`diff_data` is the machine-readable form of the same comparison
+— one deltas dict consumed by ``repro report --json``, the CI soft
+gate, and ``repro bench check``, so every consumer agrees on what "X%
+slower" means.
 """
 
 from __future__ import annotations
@@ -33,6 +38,17 @@ def _fmt_value(value) -> str:
             return f"[{head}, ... {len(value)} total]"
         return "[" + ", ".join(_fmt_value(v) for v in value) + "]"
     return str(value)
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    nbytes = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(nbytes) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{int(nbytes)}{unit}"
+            return f"{nbytes:.1f}{unit}"
+        nbytes /= 1024.0
+    return f"{nbytes:.1f}GiB"  # pragma: no cover - unreachable
 
 
 def render_span_tree(spans: list, total_seconds: float) -> list[str]:
@@ -77,13 +93,26 @@ def render_report(report: RunReport) -> str:
         for name in sorted(report.counters):
             lines.append(f"  {name.ljust(width)}  "
                          f"{_fmt_value(report.counters[name])}")
-    if report.gauges:
+    memory = {name: value for name, value in report.gauges.items()
+              if name.startswith("mem.")}
+    gauges = {name: value for name, value in report.gauges.items()
+              if name not in memory}
+    if gauges:
         lines.append("")
         lines.append("gauges:")
-        width = max(len(name) for name in report.gauges)
-        for name in sorted(report.gauges):
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
             lines.append(f"  {name.ljust(width)}  "
-                         f"{_fmt_value(report.gauges[name])}")
+                         f"{_fmt_value(gauges[name])}")
+    if memory:
+        lines.append("")
+        lines.append("memory:")
+        width = max(len(name) for name in memory)
+        for name in sorted(memory):
+            value = memory[name]
+            shown = (_fmt_bytes(value) if name.endswith("_bytes")
+                     or "_bytes_" in name else _fmt_value(value))
+            lines.append(f"  {name.ljust(width)}  {shown}")
     if report.workers:
         lines.append("")
         lines.append("workers:")
@@ -95,39 +124,69 @@ def render_report(report: RunReport) -> str:
     return "\n".join(lines)
 
 
+def diff_data(a: RunReport, b: RunReport,
+              label_a: str = "a", label_b: str = "b") -> dict:
+    """Machine-readable comparison of two reports — the single
+    comparator behind ``repro report <a> <b> --json``, the CI soft
+    gate, and ``repro bench check``.
+
+    Every compared quantity gets an entry ``{"a", "b", "delta",
+    "ratio"}`` where ``ratio`` is ``b / a`` (``None`` when ``a`` is 0,
+    so consumers cannot divide by zero by accident). Scalar gauges are
+    compared by value only; list-valued gauges are skipped.
+    """
+    def entry(va: float, vb: float) -> dict:
+        return {"a": va, "b": vb, "delta": vb - va,
+                "ratio": (vb / va) if va else None}
+
+    counters = {name: entry(a.counters.get(name, 0),
+                            b.counters.get(name, 0))
+                for name in sorted(set(a.counters) | set(b.counters))}
+    gauges = {}
+    for name in sorted(set(a.gauges) | set(b.gauges)):
+        va = a.gauges.get(name)
+        vb = b.gauges.get(name)
+        if isinstance(va, list) or isinstance(vb, list):
+            continue
+        gauges[name] = {"a": va, "b": vb}
+    return {
+        "labels": {"a": label_a, "b": label_b},
+        "wall_seconds": entry(a.wall_seconds, b.wall_seconds),
+        "counters": counters,
+        "gauges": gauges,
+    }
+
+
 def diff_reports(a: RunReport, b: RunReport,
                  label_a: str = "a", label_b: str = "b") -> str:
-    """Counter-by-counter comparison of two reports."""
+    """Counter-by-counter comparison of two reports (the text view of
+    :func:`diff_data`)."""
+    data = diff_data(a, b, label_a, label_b)
     lines: list[str] = []
     lines.append(f"diff: {label_a} -> {label_b}")
-    delta_wall = b.wall_seconds - a.wall_seconds
-    pct = (f" ({delta_wall / a.wall_seconds * 100:+.1f}%)"
-           if a.wall_seconds > 0 else "")
-    lines.append(f"wall time: {_fmt_seconds(a.wall_seconds)} -> "
-                 f"{_fmt_seconds(b.wall_seconds)}{pct}")
-    names = sorted(set(a.counters) | set(b.counters))
-    if names:
+    wall = data["wall_seconds"]
+    pct = (f" ({wall['delta'] / wall['a'] * 100:+.1f}%)"
+           if wall["a"] > 0 else "")
+    lines.append(f"wall time: {_fmt_seconds(wall['a'])} -> "
+                 f"{_fmt_seconds(wall['b'])}{pct}")
+    if data["counters"]:
         lines.append("")
         lines.append("counters:")
-        width = max(len(name) for name in names)
-        for name in names:
-            va = a.counters.get(name, 0)
-            vb = b.counters.get(name, 0)
-            delta = vb - va
+        width = max(len(name) for name in data["counters"])
+        for name, row in data["counters"].items():
+            delta = row["delta"]
             mark = "" if delta == 0 else f"  ({delta:+g})"
-            lines.append(f"  {name.ljust(width)}  "
-                         f"{_fmt_value(va)} -> {_fmt_value(vb)}{mark}")
-    only_gauges = sorted(set(a.gauges) | set(b.gauges))
-    scalar = [name for name in only_gauges
-              if not isinstance(a.gauges.get(name, b.gauges.get(name)),
-                                list)]
-    if scalar:
+            lines.append(
+                f"  {name.ljust(width)}  "
+                f"{_fmt_value(row['a'])} -> {_fmt_value(row['b'])}"
+                f"{mark}")
+    if data["gauges"]:
         lines.append("")
         lines.append("gauges:")
-        width = max(len(name) for name in scalar)
-        for name in scalar:
-            va = a.gauges.get(name, "-")
-            vb = b.gauges.get(name, "-")
+        width = max(len(name) for name in data["gauges"])
+        for name, row in data["gauges"].items():
+            va = "-" if row["a"] is None else row["a"]
+            vb = "-" if row["b"] is None else row["b"]
             lines.append(f"  {name.ljust(width)}  "
                          f"{_fmt_value(va)} -> {_fmt_value(vb)}")
     return "\n".join(lines)

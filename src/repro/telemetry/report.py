@@ -25,7 +25,18 @@ from dataclasses import dataclass, field
 #: Bump whenever the report layout changes incompatibly (renamed
 #: top-level keys, span-node shape). Counter/gauge *names* may grow
 #: freely — consumers must treat absent names as zero.
-SCHEMA_VERSION = 1
+#:
+#: v2 (timeline traces): span nodes gained a ``"start"`` offset
+#: (seconds from collection-window open) and reports gained a flat
+#: ``"events"`` list of timestamped per-worker entries
+#: (``{"name", "lane", "start", "seconds", ...}``) — together they are
+#: what :mod:`repro.telemetry.trace` exports as a Chrome trace. v1
+#: reports still load: :func:`migrate_report` fills the missing pieces.
+SCHEMA_VERSION = 2
+
+#: Schema versions :func:`validate_report` accepts (v1 is migrated on
+#: load by :meth:`RunReport.from_dict`).
+READABLE_SCHEMAS = (1, 2)
 
 #: Top-level keys every report carries, with their expected types.
 _REQUIRED = {
@@ -39,7 +50,8 @@ _REQUIRED = {
 }
 
 
-def _span_problems(node, path: str, problems: list[str]) -> None:
+def _span_problems(node, path: str, problems: list[str],
+                   schema: int) -> None:
     if not isinstance(node, dict):
         problems.append(f"{path}: span node must be a dict, got "
                         f"{type(node).__name__}")
@@ -48,19 +60,44 @@ def _span_problems(node, path: str, problems: list[str]) -> None:
         problems.append(f"{path}: span 'name' must be a string")
     if not isinstance(node.get("seconds"), (int, float)):
         problems.append(f"{path}: span 'seconds' must be a number")
+    if schema >= 2 and not isinstance(node.get("start"), (int, float)):
+        problems.append(f"{path}: span 'start' must be a number "
+                        f"(schema v2)")
     children = node.get("children", [])
     if not isinstance(children, list):
         problems.append(f"{path}: span 'children' must be a list")
         return
     for index, child in enumerate(children):
-        _span_problems(child, f"{path}.children[{index}]", problems)
+        _span_problems(child, f"{path}.children[{index}]", problems,
+                       schema)
+
+
+def _event_problems(data, problems: list[str]) -> None:
+    events = data.get("events")
+    if not isinstance(events, list):
+        problems.append("key 'events' must be list (schema v2)")
+        return
+    for index, event in enumerate(events):
+        path = f"events[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{path}: event must be a dict")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{path}: event 'name' must be a string")
+        if not isinstance(event.get("lane"), str):
+            problems.append(f"{path}: event 'lane' must be a string")
+        for key in ("start", "seconds"):
+            if not isinstance(event.get(key), (int, float)):
+                problems.append(
+                    f"{path}: event {key!r} must be a number")
 
 
 def validate_report(data) -> list[str]:
     """Every way ``data`` fails to be a well-formed report dict (empty
     list = valid). Checked on :meth:`RunReport.from_dict`, by ``repro
     report --validate``, and by the CI bench smoke on the uploaded
-    artifact."""
+    artifact. Both readable schemas pass: v2 (current) and v1 (which
+    has no ``events`` key and no span ``start`` offsets)."""
     problems: list[str] = []
     if not isinstance(data, dict):
         return [f"report must be a dict, got {type(data).__name__}"]
@@ -71,11 +108,13 @@ def validate_report(data) -> list[str]:
             problems.append(
                 f"key {key!r} must be {getattr(kind, '__name__', kind)}"
                 f", got {type(data[key]).__name__}")
-    if isinstance(data.get("schema"), int) and \
-            data["schema"] != SCHEMA_VERSION:
+    schema = data.get("schema")
+    if isinstance(schema, int) and schema not in READABLE_SCHEMAS:
         problems.append(
-            f"unsupported schema version {data['schema']} "
-            f"(this build reads {SCHEMA_VERSION})")
+            f"unsupported schema version {schema} (this build reads "
+            f"{', '.join(str(v) for v in READABLE_SCHEMAS)})")
+    if schema == SCHEMA_VERSION:
+        _event_problems(data, problems)
     if isinstance(data.get("counters"), dict):
         for name, value in data["counters"].items():
             if not isinstance(value, (int, float)):
@@ -89,8 +128,37 @@ def validate_report(data) -> list[str]:
                     f"worker {worker!r} block must be a dict")
     if isinstance(data.get("spans"), list):
         for index, node in enumerate(data["spans"]):
-            _span_problems(node, f"spans[{index}]", problems)
+            _span_problems(node, f"spans[{index}]", problems,
+                           schema if isinstance(schema, int) else
+                           SCHEMA_VERSION)
     return problems
+
+
+def migrate_report(data: dict) -> dict:
+    """A (copied) v2-shaped report dict from any readable schema.
+
+    v1 reports predate timeline traces: their span nodes carry no
+    ``start`` offset and there is no ``events`` list. Migration fills
+    both with the only honest values available — every span starts at
+    offset 0.0 (v1 recorded durations only) and the event timeline is
+    empty — so v1 artifacts keep rendering, diffing, and exporting
+    (as a degenerate trace) without special-casing downstream."""
+    if data.get("schema") == SCHEMA_VERSION:
+        return data
+
+    def _with_start(node: dict) -> dict:
+        node = dict(node)
+        node.setdefault("start", 0.0)
+        node["children"] = [_with_start(child)
+                            for child in node.get("children", [])]
+        return node
+
+    migrated = dict(data)
+    migrated["schema"] = SCHEMA_VERSION
+    migrated["spans"] = [_with_start(node)
+                         for node in data.get("spans", [])]
+    migrated["events"] = list(data.get("events", []))
+    return migrated
 
 
 @dataclass
@@ -108,7 +176,12 @@ class RunReport:
         arrival-time list of a streamed sweep).
     :ivar workers: per-worker counter blocks keyed by worker name, as
         shipped back in pool result payloads.
-    :ivar spans: root span nodes ``{"name", "seconds", "children"}``.
+    :ivar spans: root span nodes ``{"name", "seconds", "start",
+        "children"}`` — ``start`` is the offset (seconds) from the
+        collection-window open, so the tree doubles as a timeline.
+    :ivar events: flat timestamped events, one per worker shard solve
+        (``{"name", "lane", "start", "seconds", ...}``), sorted by
+        ``start``; the worker lanes of the Chrome trace export.
     """
 
     schema: int = SCHEMA_VERSION
@@ -118,6 +191,7 @@ class RunReport:
     gauges: dict = field(default_factory=dict)
     workers: dict = field(default_factory=dict)
     spans: list = field(default_factory=list)
+    events: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -133,6 +207,7 @@ class RunReport:
             "workers": {name: dict(block)
                         for name, block in self.workers.items()},
             "spans": self.spans,
+            "events": self.events,
         }
 
     @classmethod
@@ -141,13 +216,15 @@ class RunReport:
         if problems:
             raise ValueError(
                 "not a valid RunReport: " + "; ".join(problems))
+        data = migrate_report(data)
         return cls(schema=data["schema"], meta=dict(data["meta"]),
                    wall_seconds=float(data["wall_seconds"]),
                    counters=dict(data["counters"]),
                    gauges=dict(data["gauges"]),
                    workers={name: dict(block)
                             for name, block in data["workers"].items()},
-                   spans=list(data["spans"]))
+                   spans=list(data["spans"]),
+                   events=list(data["events"]))
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent,

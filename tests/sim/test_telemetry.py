@@ -271,6 +271,33 @@ class TestRunReportSchema:
         assert report.wall_seconds >= report.spans[0]["seconds"] >= 0.0
         assert validate_report(report.to_dict()) == []
 
+    def test_numpy_scalars_coerced_to_builtins(self, tmp_path):
+        # Regression: np.int64 is NOT an int subclass, so a counter fed
+        # from solver internals used to crash json.dumps in save().
+        report = RunReport()
+        with collect_metrics(into=report):
+            telemetry.add("n.int64", np.int64(3))
+            telemetry.gauge("g.float64", np.float64(1.5))
+            telemetry.gauge("g.zero_d", np.array(7))
+            telemetry.append("lst", np.float32(0.5))
+            telemetry.merge_worker({"worker": "w0",
+                                    "busy_seconds": np.float64(0.25)})
+        assert type(report.counters["n.int64"]) is int
+        assert type(report.gauges["g.float64"]) is float
+        assert type(report.gauges["g.zero_d"]) is int
+        assert type(report.gauges["lst"][0]) is float
+        assert type(report.workers["w0"]["busy_seconds"]) is float
+        path = report.save(tmp_path / "np.json")  # must not raise
+        assert validate_report(json.loads(path.read_text())) == []
+
+    def test_memory_gauges_recorded_and_rendered(self):
+        report = self._populated()
+        assert report.gauges["mem.peak_rss_bytes"] > 0
+        assert "mem.shm_bytes_high_water" in report.gauges
+        text = render_report(report)
+        assert "memory:" in text
+        assert "mem.peak_rss_bytes" in text
+
     def test_render_and_diff_are_text(self):
         report = self._populated()
         text = render_report(report)
@@ -461,7 +488,7 @@ class TestCliSurface:
         assert self._run(program_file, out) == 0
         capsys.readouterr()
         assert main(["report", "--validate", str(out)]) == 0
-        assert "OK (schema v1)" in capsys.readouterr().out
+        assert "OK (schema v2)" in capsys.readouterr().out
 
     def test_report_rejects_three_files(self, tmp_path, capsys):
         from repro.cli import main
