@@ -41,6 +41,11 @@ non-zero instead of silently skewing):
   ``stream_ensemble``: time to the *first* finished group vs. the
   barriered total, with the assembled stream gated bit-identical to
   the barriered run.
+* ``array_backend`` — the t-line sweep through the pluggable array
+  layer: the explicit ``numpy:float64`` spec gated bit-identical to
+  the default path, plus (when jax is installed) jax-CPU cold/warm
+  timings showing ``jax.jit`` compile amortization; skips cleanly
+  without jax.
 """
 
 from __future__ import annotations
@@ -231,6 +236,82 @@ def run_pool_scenario(n_instances: int, n_points: int) -> dict:
     return result
 
 
+def run_array_backend_scenario(n_instances: int,
+                               n_points: int) -> dict:
+    """numpy vs jax-CPU on the t-line mismatch sweep through the
+    array-backend layer. The numpy/float64 run must be bit-identical
+    to the default path (that is the gate); jax timings are recorded
+    cold (first solve pays `jax.jit` kernel compilation) and warm
+    (compilation amortized across reruns — the number that matters
+    for sweeps). When jax is not installed the section records
+    ``jax_available: false`` and skips, never fails: the backend is an
+    optional import by design."""
+    factory = TlineBenchFactory()
+    span = (0.0, 8e-8)
+    kwargs = dict(n_points=n_points)
+    start = time.perf_counter()
+    default = run_ensemble(factory, range(n_instances), span, **kwargs)
+    numpy_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    explicit = run_ensemble(factory, range(n_instances), span,
+                            array_backend="numpy:float64", **kwargs)
+    explicit_seconds = time.perf_counter() - start
+    identical = bool(np.array_equal(default.batches[0].y,
+                                    explicit.batches[0].y))
+    result = {
+        "workload": f"tline_{n_instances}",
+        "n_instances": n_instances,
+        "n_points": n_points,
+        "numpy_seconds": round(numpy_seconds, 4),
+        "numpy_explicit_seconds": round(explicit_seconds, 4),
+        "bit_identical": identical,
+        "note": "jax cold includes jax.jit kernel compilation; "
+                "compile cost amortizes across reruns of the same "
+                "structural group (warm is the sweep-relevant "
+                "number). Host transfer happens once per solve at "
+                "trajectory assembly.",
+    }
+    try:
+        import jax  # noqa: F401
+        jax_available = True
+    except ImportError:
+        jax_available = False
+    result["jax_available"] = jax_available
+    if jax_available:
+        start = time.perf_counter()
+        cold = run_ensemble(factory, range(n_instances), span,
+                            array_backend="jax", **kwargs)
+        cold_seconds = time.perf_counter() - start
+        warm_seconds = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            warm = run_ensemble(factory, range(n_instances), span,
+                                array_backend="jax", **kwargs)
+            warm_seconds = min(warm_seconds,
+                               time.perf_counter() - start)
+        scale = float(np.max(np.abs(default.batches[0].y)))
+        deviation = float(np.max(np.abs(
+            warm.batches[0].y - default.batches[0].y)))
+        result.update({
+            "jax_cold_seconds": round(cold_seconds, 4),
+            "jax_warm_seconds": round(warm_seconds, 4),
+            "jax_compile_amortization": round(
+                cold_seconds / warm_seconds, 2),
+            "jax_max_rel_deviation": deviation / scale,
+            "jax_within_tolerance": bool(deviation < 1e-9 * scale),
+        })
+        print(f"[array-backend] numpy {numpy_seconds:.2f}s  jax cold "
+              f"{cold_seconds:.2f}s  warm {warm_seconds:.2f}s  "
+              f"(identical={identical}, jax max rel dev "
+              f"{deviation / scale:.1e})")
+        cold = warm = None
+    else:
+        print(f"[array-backend] numpy {numpy_seconds:.2f}s  "
+              f"(identical={identical}; jax not installed — section "
+              f"skipped)")
+    return result
+
+
 def run_stream_scenario(n_instances: int, n_points: int) -> dict:
     """Time-to-first-result: the streaming executor hands the first
     structural group to analysis while the rest of the sweep is still
@@ -402,6 +483,8 @@ def main(argv=None) -> int:
         "pool": run_pool_scenario(n_instances, tline_points),
         "streaming": run_stream_scenario(n_instances, tline_points),
         "telemetry": run_telemetry_scenario(n_instances, tline_points),
+        "array_backend": run_array_backend_scenario(n_instances,
+                                                    tline_points),
     }
     failures = [name for name, record in payload["workloads"].items()
                 if not record["cache"]["bit_identical"]]
@@ -413,6 +496,10 @@ def main(argv=None) -> int:
         failures.append("telemetry-vs-plain")
     if payload["telemetry"]["disabled_overhead_pct"] >= 2.0:
         failures.append("telemetry-disabled-overhead")
+    if not payload["array_backend"]["bit_identical"]:
+        failures.append("array-backend-numpy-identity")
+    if payload["array_backend"].get("jax_within_tolerance") is False:
+        failures.append("array-backend-jax-tolerance")
     if args.out:
         result_path = pathlib.Path(args.out)
     elif args.smoke:

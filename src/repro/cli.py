@@ -307,6 +307,8 @@ def cmd_ensemble(args) -> int:
             into=report,
             meta={"driver": "cli.ensemble", "file": str(args.file),
                   "engine": args.engine, "seeds": args.seeds,
+                  **({"array_backend": args.array_backend}
+                     if args.array_backend else {}),
                   **({"trials": args.trials} if noisy else {})})
     else:
         window = contextlib.nullcontext()
@@ -323,6 +325,8 @@ def cmd_ensemble(args) -> int:
                               noise_seed=(args.noise_seed or 0) if noisy
                               else None,
                               sde_method=args.sde_method,
+                              array_backend=getattr(
+                                  args, "array_backend", None),
                               stream=args.stream, progress=progress)
         if args.stream:
             # Drain the chunk stream, narrating each finished group,
@@ -787,6 +791,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ens.add_argument("--engine", default="batch",
                        choices=("batch", "serial", "shard", "pool",
                                 "auto"))
+    p_ens.add_argument("--array-backend", default=None,
+                       metavar="NAME[:DTYPE]",
+                       help="array namespace for the batched kernels "
+                       "and solver loops: numpy (default, "
+                       "bit-identical), numpy:float32, jax, or cupy "
+                       "(the latter two require their packages); "
+                       "non-numpy backends run in-process only "
+                       "(--engine pool/shard refuse)")
     p_ens.add_argument("--backend", default="milp",
                        choices=("milp", "flow"))
     p_ens.add_argument("--processes", type=int, default=None,

@@ -25,7 +25,12 @@ implementation runs them as vectorized batches (``--vectorize --bz
   the same ``(n_instances, n_states)`` storage;
 * :mod:`repro.sim.noisy` — :func:`~repro.sim.noisy.run_noisy_ensemble`,
   the established (chip seed × noise trial) name, now a delegating shim
-  over the unified driver.
+  over the unified driver;
+* :mod:`repro.sim.array_api` — the pluggable array-namespace layer:
+  an :class:`~repro.sim.array_api.ArrayBackend` protocol with numpy
+  always present (bit-identical default) and jax/cupy registered
+  lazily behind optional imports, selected per run via
+  ``run_ensemble(..., array_backend=...)`` / ``--array-backend``.
 
 Quickstart::
 
@@ -41,6 +46,10 @@ Quickstart::
 legacy list-of-trajectories API.
 """
 
+from repro.sim.array_api import (ArrayBackend, NumpyBackend,
+                                 array_backend_names, canonical_spec,
+                                 register_array_backend,
+                                 resolve_array_backend)
 from repro.sim.batch_codegen import (BatchRhs, compile_batch,
                                      generate_batch_source,
                                      group_by_signature)
@@ -59,6 +68,7 @@ from repro.sim.noisy import (NoisyEnsembleChunk, NoisyEnsembleResult,
                              run_noisy_ensemble)
 
 __all__ = [
+    "ArrayBackend",
     "BACKENDS",
     "BATCH_METHODS",
     "BatchRhs",
@@ -72,17 +82,22 @@ __all__ = [
     "NoiseSpec",
     "NoisyEnsembleChunk",
     "NoisyEnsembleResult",
+    "NumpyBackend",
     "SDE_METHODS",
     "TrajectoryCache",
     "WienerSource",
+    "array_backend_names",
     "assemble_chunks",
     "backend_names",
+    "canonical_spec",
     "compile_batch",
     "default_cache",
     "execute_plan",
     "generate_batch_source",
     "group_by_signature",
+    "register_array_backend",
     "register_backend",
+    "resolve_array_backend",
     "resolve_engine",
     "run_ensemble",
     "run_noisy_ensemble",

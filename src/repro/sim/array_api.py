@@ -1,0 +1,405 @@
+"""Pluggable array-namespace backends for the batched engines.
+
+Every hot path in the simulation stack — the emitted batched kernels
+(:mod:`repro.sim.batch_codegen`), the ODE solvers
+(:mod:`repro.sim.batch_solver`), and the SDE solvers
+(:mod:`repro.sim.sde_solver`) — runs against a *narrow* array-namespace
+interface instead of importing numpy directly. An
+:class:`ArrayBackend` bundles:
+
+* ``xp`` — the array namespace handle (``numpy``, ``jax.numpy``,
+  ``cupy``) every kernel and solver op dispatches through;
+* ``asarray`` / ``to_numpy`` — the device boundary: host constants in,
+  host trajectories out (transfer happens only at trajectory assembly);
+* a **dtype policy** (``float64`` default, ``float32`` opt-in) applied
+  to every array that enters the namespace;
+* a ``jit`` hook — identity on eager backends, ``jax.jit`` on jax —
+  applied to emitted kernels that carry no host callables;
+* a **Wiener-stream adapter** — the deterministic per-``(seed,
+  element, path)`` PCG64 draws of :mod:`repro.core.noise` are always
+  generated on the host (so realizations are backend-independent) and
+  converted at the policy dtype; on ``numpy``/``float64`` the draws
+  pass through untouched, keeping noise bit-identical to the
+  pre-abstraction engine;
+* ``mutable_kernels`` — whether emitted kernels may fill preallocated
+  buffers in place (numpy, cupy) or must be emitted in functional form
+  (jax, whose arrays are immutable).
+
+The ``numpy`` backend is always present and is the default everywhere;
+``jax`` and ``cupy`` are registered lazily behind optional imports, so
+the engine works unchanged on hosts without either. Numpy/float64
+results are **bit-identical** to the pre-abstraction engine
+(test-enforced — the same gate every prior refactor shipped under);
+accelerator backends are gated by numpy-vs-``xp`` equivalence tests at
+tolerance.
+
+Backend resolution accepts a *spec string* — ``"numpy"``, ``"jax"``,
+``"numpy:float32"`` — an :class:`ArrayBackend` instance, or ``None``
+(the numpy default). Spec strings are what travels through
+:class:`~repro.sim.plan.ExecutionPlan` options, worker payloads, and
+trajectory-cache keys: they are picklable and their canonical form
+(:meth:`ArrayBackend.spec`) names both the backend and the dtype, so a
+float32/jax run can never collide with a float64/numpy cache entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "array_backend_names",
+    "canonical_spec",
+    "register_array_backend",
+    "resolve_array_backend",
+]
+
+#: Dtype policies a backend accepts (the canonical spelling is the key).
+_DTYPES = {"float64": np.float64, "float32": np.float32}
+
+
+def _canonical_dtype(dtype) -> str:
+    """Normalize a dtype spec (name, numpy dtype, or type) onto the
+    canonical policy name, rejecting anything outside the policy set —
+    the solvers' error control and the cache's key hashing are only
+    specified for real floating point."""
+    if dtype is None:
+        return "float64"
+    name = np.dtype(dtype).name
+    if name not in _DTYPES:
+        raise SimulationError(
+            f"unsupported array dtype {name!r}; the dtype policy "
+            f"accepts {', '.join(sorted(_DTYPES))}")
+    return name
+
+
+class ArrayBackend:
+    """One array namespace the batched engines can run on.
+
+    Subclasses provide :attr:`name` and the ``xp`` property; the base
+    class implements the dtype policy, the host boundary, and the
+    functional-kernel helpers in terms of ``xp``. All hooks default to
+    eager/host semantics so a minimal backend only overrides what its
+    namespace actually does differently.
+    """
+
+    #: Registry name (also the cache-key/telemetry tag).
+    name = "?"
+    #: Whether emitted kernels may fill preallocated buffers in place.
+    #: ``False`` switches codegen to the functional emission (column
+    #: stacking instead of ``dy[:, i] = ...`` stores) that immutable
+    #: array libraries (jax) require.
+    mutable_kernels = True
+
+    def __init__(self, dtype=None):
+        self.dtype_name = _canonical_dtype(dtype)
+
+    # -- namespace ----------------------------------------------------
+
+    @property
+    def xp(self):
+        """The array namespace handle (a module-like object)."""
+        raise NotImplementedError
+
+    @property
+    def dtype(self):
+        """The policy dtype as a numpy dtype (shared vocabulary across
+        backends — jax and cupy both speak numpy dtypes)."""
+        return np.dtype(self.dtype_name)
+
+    # -- host boundary ------------------------------------------------
+
+    def asarray(self, value):
+        """A backend array of the policy dtype (host constants in)."""
+        return self.xp.asarray(value, dtype=self.dtype)
+
+    def to_numpy(self, value) -> np.ndarray:
+        """Host transfer (trajectory assembly out). Identity-cheap on
+        numpy: ``np.asarray`` of a float64 array is the array itself."""
+        return np.asarray(value)
+
+    def empty_like(self, value):
+        """Uninitialized work buffer matching an array (mutable
+        kernels fill it; functional backends never ask for one)."""
+        return self.xp.empty_like(value)
+
+    # -- kernel hooks -------------------------------------------------
+
+    def jit(self, fn):
+        """Compile an emitted kernel, or return it unchanged (the
+        eager default). Only kernels free of host callables are
+        offered for jitting."""
+        return fn
+
+    def vector_functions(self) -> dict:
+        """The namespace's counterparts of the scalar builtins (see
+        :data:`repro.sim.batch_codegen.VECTOR_FUNCTIONS` for the numpy
+        instance this generalizes)."""
+        xp = self.xp
+        return {
+            "sin": xp.sin, "cos": xp.cos, "tan": xp.tan, "exp": xp.exp,
+            "ln": xp.log, "log": xp.log, "sqrt": xp.sqrt,
+            "abs": xp.abs, "tanh": xp.tanh, "sgn": xp.sign,
+            "min": xp.minimum, "max": xp.maximum, "pow": xp.power,
+        }
+
+    def index_add(self, target, index, values):
+        """Scatter-add ``values`` onto ``target`` rows selected by
+        ``index`` (duplicates accumulate). May mutate ``target``;
+        callers must use the return value."""
+        np.add.at(target, index, values)
+        return target
+
+    def column(self, value, y):
+        """Broadcast one emitted column expression to ``(len(y),)`` at
+        the policy dtype — the functional emission's counterpart of
+        numpy's assignment broadcasting (``out[:, i] = scalar``)."""
+        xp = self.xp
+        return xp.broadcast_to(xp.asarray(value, dtype=self.dtype),
+                               y.shape[:1])
+
+    def column_add(self, matrix, index, values):
+        """Functional ``matrix[:, index] += values``: returns a new
+        matrix, leaving the input untouched."""
+        out = matrix.copy()
+        out[:, index] = out[:, index] + values
+        return out
+
+    def column_set(self, matrix, index, values):
+        """Functional ``matrix[:, index] = values``."""
+        out = matrix.copy()
+        out[:, index] = values
+        return out
+
+    # -- Wiener adapter -----------------------------------------------
+
+    def wiener_source(self, noise_seeds, paths, block: int = 256):
+        """The batch's Wiener-increment source. Draws always come from
+        the host-side deterministic PCG64 streams of
+        :mod:`repro.core.noise` — realizations are backend-independent
+        — and are converted to backend arrays at the policy dtype. On
+        numpy/float64 the draws pass through bit-identically."""
+        from repro.sim.sde_solver import WienerSource
+
+        source = WienerSource(noise_seeds, paths, block=block)
+        if type(self) is NumpyBackend and self.dtype_name == "float64":
+            return source
+        return _ConvertingWiener(source, self)
+
+    # -- identity -----------------------------------------------------
+
+    def spec(self) -> str:
+        """Canonical, picklable spec string: ``"<name>:<dtype>"``.
+        Resolves back to an equivalent backend, and is what plan
+        options, worker payloads, and cache keys carry."""
+        return f"{self.name}:{self.dtype_name}"
+
+    def __repr__(self) -> str:
+        return f"<array-backend {self.spec()}>"
+
+
+class _ConvertingWiener:
+    """Wiener adapter of non-default backends: host draws in, backend
+    arrays of the policy dtype out (see
+    :meth:`ArrayBackend.wiener_source`)."""
+
+    def __init__(self, source, backend: ArrayBackend):
+        self._source = source
+        self._backend = backend
+
+    @property
+    def paths(self):
+        return self._source.paths
+
+    def normals(self, step: int):
+        return self._backend.asarray(self._source.normals(step))
+
+
+class NumpyBackend(ArrayBackend):
+    """The always-present default: plain numpy, eager, mutable.
+
+    With the default float64 policy every operation the solvers and
+    kernels perform is the exact operation the pre-abstraction engine
+    performed — results are bit-identical (test-enforced).
+
+    ``mutable_kernels=False`` is supported as the *reference
+    implementation of the functional emission contract*: it runs the
+    same column-stacking kernels an immutable backend (jax) receives,
+    on plain numpy — which is how the functional emitter is tested on
+    hosts without jax.
+    """
+
+    name = "numpy"
+
+    def __init__(self, dtype=None, mutable_kernels: bool = True):
+        super().__init__(dtype)
+        self.mutable_kernels = bool(mutable_kernels)
+
+    @property
+    def xp(self):
+        return np
+
+    def vector_functions(self) -> dict:
+        from repro.sim.batch_codegen import VECTOR_FUNCTIONS
+
+        return VECTOR_FUNCTIONS
+
+
+class JaxBackend(ArrayBackend):
+    """jax.numpy backend (optional; registered lazily).
+
+    Kernels are emitted functionally (jax arrays are immutable) and
+    jitted through :func:`jax.jit` when they carry no host callables.
+    The float64 policy enables jax's x64 mode process-wide — jax
+    defaults to float32 otherwise, which would silently violate the
+    dtype policy. Agreement with numpy is tolerance-gated (the
+    numpy-vs-xp equivalence suite), never assumed bit-exact.
+    """
+
+    name = "jax"
+    mutable_kernels = False
+
+    def __init__(self, dtype=None):
+        super().__init__(dtype)
+        try:
+            import jax
+            import jax.numpy as jnp
+        except ImportError as error:
+            raise SimulationError(
+                "array backend 'jax' requires jax, which is not "
+                "installed (pip install jax); the 'numpy' backend is "
+                "always available") from error
+        if self.dtype_name == "float64":
+            jax.config.update("jax_enable_x64", True)
+        self._jax = jax
+        self._jnp = jnp
+
+    @property
+    def xp(self):
+        return self._jnp
+
+    def jit(self, fn):
+        return self._jax.jit(fn)
+
+    def index_add(self, target, index, values):
+        return target.at[index].add(values)
+
+    def column_add(self, matrix, index, values):
+        return matrix.at[:, index].add(values)
+
+    def column_set(self, matrix, index, values):
+        return matrix.at[:, index].set(values)
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA backend through cupy (optional; registered lazily).
+
+    cupy arrays are mutable, so the numpy-shaped kernels run unchanged
+    on device; only the host boundary (``asarray``/``to_numpy``)
+    differs. Tolerance-gated like jax.
+    """
+
+    name = "cupy"
+
+    def __init__(self, dtype=None):
+        super().__init__(dtype)
+        try:
+            import cupy
+        except ImportError as error:
+            raise SimulationError(
+                "array backend 'cupy' requires cupy, which is not "
+                "installed; the 'numpy' backend is always available"
+            ) from error
+        self._cupy = cupy
+
+    @property
+    def xp(self):
+        return self._cupy
+
+    def to_numpy(self, value) -> np.ndarray:
+        if isinstance(value, self._cupy.ndarray):
+            return self._cupy.asnumpy(value)
+        return np.asarray(value)
+
+    def index_add(self, target, index, values):
+        self._cupy.add.at(target, index, values)
+        return target
+
+
+#: Registered backend factories: ``name -> callable(dtype) ->
+#: ArrayBackend``. The optional backends' factories raise a clear
+#: :class:`~repro.errors.SimulationError` when their import is absent —
+#: registration itself never imports them.
+ARRAY_BACKENDS: dict = {
+    "numpy": NumpyBackend,
+    "jax": JaxBackend,
+    "cupy": CupyBackend,
+}
+
+
+def register_array_backend(name: str, factory) -> None:
+    """Register (or replace) an array-backend factory under a name.
+    ``factory(dtype)`` must return an :class:`ArrayBackend`."""
+    ARRAY_BACKENDS[name] = factory
+
+
+def array_backend_names() -> tuple[str, ...]:
+    """The registered array-backend names, sorted. Listing a name does
+    not imply its import is installed — resolution reports that."""
+    return tuple(sorted(ARRAY_BACKENDS))
+
+
+def parse_backend_spec(spec: str) -> tuple[str, str | None]:
+    """Split a ``"name[:dtype]"`` spec string; the name is *not*
+    validated here (callers decide between raising and listing)."""
+    name, _, dtype = spec.partition(":")
+    return name.strip(), (dtype.strip() or None)
+
+
+def canonical_spec(spec=None) -> str:
+    """The canonical ``"name:dtype"`` form of an array-backend argument
+    — ``None`` means the default ``"numpy:float64"`` — computed
+    *without* constructing the backend, so cache keys and name-based
+    validation never trigger an optional import. The name is not
+    checked against the registry here (resolution does that)."""
+    if spec is None:
+        return "numpy:float64"
+    if isinstance(spec, ArrayBackend):
+        return spec.spec()
+    name, dtype = parse_backend_spec(str(spec))
+    return f"{name}:{_canonical_dtype(dtype)}"
+
+
+#: Resolution cache: the default backend (and repeated spec strings)
+#: resolve to one shared instance, so kernel caches keyed per backend
+#: stay warm across solves.
+_RESOLVED: dict = {}
+
+
+def resolve_array_backend(spec=None) -> ArrayBackend:
+    """Normalize an array-backend argument: ``None`` (the numpy
+    default), a spec string (``"numpy"``, ``"jax"``,
+    ``"numpy:float32"``), or an :class:`ArrayBackend` instance (passed
+    through). Unknown names raise with the registered list."""
+    if spec is None:
+        spec = "numpy"
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise SimulationError(
+            f"array_backend must be a spec string or an ArrayBackend, "
+            f"got {type(spec).__name__}")
+    name, dtype = parse_backend_spec(spec)
+    if name not in ARRAY_BACKENDS:
+        raise SimulationError(
+            f"unknown array backend {name!r}; registered array "
+            f"backends: {', '.join(array_backend_names())}")
+    key = (name, _canonical_dtype(dtype))
+    backend = _RESOLVED.get(key)
+    if backend is None:
+        backend = ARRAY_BACKENDS[name](dtype)
+        _RESOLVED[key] = backend
+    return backend

@@ -26,6 +26,18 @@ wherever an ``(n_instances,)`` array is expected, so a batch of size one
 compiles to the same code — :class:`~repro.core.simulator.Trajectory`
 reuses it with *time* as the batch axis to vectorize algebraic-node
 readout.
+
+Kernels are emitted against an injected array namespace (see
+:mod:`repro.sim.array_api`): ``_np`` in the emitted source is the
+backend's ``xp`` handle, attribute/coefficient arrays are built on the
+host and converted through the backend's dtype policy before ``exec``,
+and compiled code objects are cached per backend. Backends whose arrays
+are immutable (``mutable_kernels=False``, e.g. jax) receive a
+*functional* emission — stacked column expressions and
+``_col_add``/``_col_set`` helpers instead of in-place ``dy[:, i] =``
+stores — and their host-callable-free kernels are offered to the
+backend's ``jit`` hook. The default numpy backend emits the exact
+byte-identical source this module always emitted.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from repro.core import expr as E
 from repro.core.odesystem import ChainRhs, OdeSystem, optimize_terms
 from repro.core.types import Reduction
 from repro.errors import CompileError, SimulationError
+from repro.sim.array_api import resolve_array_backend
 
 #: NumPy counterparts of the scalar builtins in
 #: :data:`repro.core.expr.BUILTIN_FUNCTIONS`. Only used when the
@@ -123,9 +136,12 @@ class _BatchCodegen(E.CodegenContext):
     arrays, control flow to elementwise NumPy."""
 
     def __init__(self, systems: list[OdeSystem],
-                 namespace: dict[str, object]):
+                 namespace: dict[str, object],
+                 vector_functions: dict[str, object] | None = None):
         self._systems = systems
         self._namespace = namespace
+        self._vector_functions = VECTOR_FUNCTIONS \
+            if vector_functions is None else vector_functions
         self._alg_names: dict[str, str] = {}
         self._attr_slots: dict[tuple, str] = {}
 
@@ -188,7 +204,7 @@ class _BatchCodegen(E.CodegenContext):
             except KeyError:
                 raise CompileError(
                     f"batch codegen: unknown function {name}") from None
-            vector = VECTOR_FUNCTIONS.get(name)
+            vector = self._vector_functions.get(name)
             if vector is not None and fn is E.BUILTIN_FUNCTIONS.get(name):
                 self._namespace[alias] = vector
             else:
@@ -365,7 +381,8 @@ def surviving_diffusion(systems: list[OdeSystem]):
 
 
 def _fused_rhs_lines(systems: list[OdeSystem], namespace: dict,
-                     codegen: "_BatchCodegen", lookup) -> list[str] | None:
+                     codegen: "_BatchCodegen", lookup,
+                     mutable: bool = True) -> list[str] | None:
     """Body of the fused ``_rhs``: every affine contribution of every
     SUM-reduction (and chain) line stacked into one per-instance
     coefficient tensor driven by a single batched matmul, with only the
@@ -375,6 +392,11 @@ def _fused_rhs_lines(systems: list[OdeSystem], namespace: dict,
     per-line statements would be eliminated, or the dense tensor would
     exceed :data:`FUSE_DENSE_LIMIT` — in which case the caller keeps the
     classic per-line emission.
+
+    ``mutable=False`` switches the emission to the functional form
+    immutable-array backends require: the matmul result binds a local
+    ``dy`` and residual/product rows update it through the namespace's
+    ``_col_add``/``_col_set`` helpers instead of in-place stores.
     """
     lead = systems[0]
     n, s = len(systems), len(lead.rhs_specs)
@@ -416,7 +438,7 @@ def _fused_rhs_lines(systems: list[OdeSystem], namespace: dict,
     if use_constant:
         namespace["_lin_c"] = constant
         fused += " + _lin_c"
-    lines = [f"    dy[:, :] = {fused}"]
+    lines = [f"    dy[:, :] = {fused}" if mutable else f"    dy = {fused}"]
     scale_slots = 0
     for index, residuals in residual_rows:
         fragments = []
@@ -430,12 +452,19 @@ def _fused_rhs_lines(systems: list[OdeSystem], namespace: dict,
             elif scale is not None:
                 source = f"{repr(float(scale))} * {source}"
             fragments.append(source)
-        lines.append(f"    dy[:, {index}] += " + " + ".join(fragments))
+        joined = " + ".join(fragments)
+        if mutable:
+            lines.append(f"    dy[:, {index}] += {joined}")
+        else:
+            lines.append(f"    dy = _col_add(dy, {index}, {joined})")
     for index, terms in product_rows:
         body = " * ".join(E.to_python(term, codegen)
                           for term in terms) or \
             repr(Reduction.MUL.identity)
-        lines.append(f"    dy[:, {index}] = {body}")
+        if mutable:
+            lines.append(f"    dy[:, {index}] = {body}")
+        else:
+            lines.append(f"    dy = _col_set(dy, {index}, {body})")
     return lines
 
 
@@ -447,12 +476,16 @@ def _fused_rhs_lines(systems: list[OdeSystem], namespace: dict,
 #: most once per process. Only the code object is shared — ``exec``
 #: still runs per batch, because the namespace carries the per-instance
 #: attribute arrays.
-_CODE_CACHE: "OrderedDict[tuple[str, str], object]" = OrderedDict()
+_CODE_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _CODE_CACHE_MAX = 128
 
 
-def _compile_source(source: str, filename: str):
-    key = (source, filename)
+def _compile_source(source: str, filename: str, backend_name: str = "numpy"):
+    # The backend name keys the cache alongside the source: two backends
+    # can emit byte-identical functional sources whose compiled kernels
+    # must still stay distinct entries (they close over different
+    # namespaces, and per-backend hit/miss telemetry stays meaningful).
+    key = (source, filename, backend_name)
     code = _CODE_CACHE.get(key)
     if code is None:
         telemetry.add("codegen.kernel_cache_misses")
@@ -468,7 +501,9 @@ def _compile_source(source: str, filename: str):
 
 def generate_batch_source(systems: list[OdeSystem],
                           namespace: dict[str, object],
-                          survivors=None, fuse: bool = True) -> str:
+                          survivors=None, fuse: bool = True,
+                          mutable: bool = True,
+                          vector_functions=None) -> str:
     """Emit the source of the batched RHS (``_rhs``), the batched
     algebraic-readout function (``_alg``), and — for stochastic systems
     — the batched diffusion-amplitude function (``_dif``) for a
@@ -487,9 +522,17 @@ def generate_batch_source(systems: list[OdeSystem],
 
     ``survivors`` is a precomputed :func:`surviving_diffusion` result;
     pass it when the caller also needs the diffusion layout (as
-    :class:`BatchRhs` does) so the shared-value pass runs once."""
+    :class:`BatchRhs` does) so the shared-value pass runs once.
+
+    ``mutable=False`` emits the functional variant immutable-array
+    backends (jax) require: ``_rhs(t, y)`` / ``_dif(t, y)`` *return*
+    freshly built matrices — per-line columns broadcast through the
+    namespace's ``_col`` helper and stacked, fused-path updates through
+    ``_col_add``/``_col_set`` — instead of filling ``dy``/``out``
+    buffers in place. ``vector_functions`` overrides the namespace's
+    ufunc map (defaults to the numpy :data:`VECTOR_FUNCTIONS`)."""
     lead = systems[0]
-    codegen = _BatchCodegen(systems, namespace)
+    codegen = _BatchCodegen(systems, namespace, vector_functions)
     lookup = _shared_lookup(systems)
 
     algebraic_lines: list[str] = []
@@ -502,16 +545,17 @@ def generate_batch_source(systems: list[OdeSystem],
             repr(spec.reduction.identity)
         algebraic_lines.append(f"    {local} = {body}")
 
-    fused_lines = _fused_rhs_lines(systems, namespace, codegen, lookup) \
-        if fuse else None
-    lines = ["def _rhs(t, y, dy):"] + list(algebraic_lines)
+    fused_lines = _fused_rhs_lines(systems, namespace, codegen, lookup,
+                                   mutable=mutable) if fuse else None
+    lines = ["def _rhs(t, y, dy):" if mutable else "def _rhs(t, y):"]
+    lines.extend(algebraic_lines)
     if fused_lines is not None:
         lines.extend(fused_lines)
     else:
+        columns: list[str] = []
         for index, spec in enumerate(lead.rhs_specs):
             if isinstance(spec, ChainRhs):
-                lines.append(
-                    f"    dy[:, {index}] = y[:, {spec.next_index}]")
+                body = f"y[:, {spec.next_index}]"
             else:
                 joiner = " + " if spec.reduction is Reduction.SUM \
                     else " * "
@@ -520,7 +564,14 @@ def generate_batch_source(systems: list[OdeSystem],
                 body = joiner.join(E.to_python(term, codegen)
                                    for term in terms) or \
                     repr(spec.reduction.identity)
+            if mutable:
                 lines.append(f"    dy[:, {index}] = {body}")
+            else:
+                lines.append(f"    _c{index} = _col({body}, y)")
+                columns.append(f"_c{index}")
+        if not mutable:
+            lines.append(
+                f"    dy = _np.stack([{', '.join(columns)}], axis=1)")
     lines.append("    return dy")
 
     lines.append("")
@@ -535,12 +586,22 @@ def generate_batch_source(systems: list[OdeSystem],
         survivors = surviving_diffusion(systems)
     if survivors:
         lines.append("")
-        lines.append("def _dif(t, y, out):")
+        lines.append("def _dif(t, y, out):" if mutable
+                     else "def _dif(t, y):")
         lines.extend(algebraic_lines)
+        columns = []
         for column, (_term, amplitude) in enumerate(survivors):
             body = E.to_python(amplitude, codegen)
-            lines.append(f"    out[:, {column}] = {body}")
-        lines.append("    return out")
+            if mutable:
+                lines.append(f"    out[:, {column}] = {body}")
+            else:
+                lines.append(f"    _d{column} = _col({body}, y)")
+                columns.append(f"_d{column}")
+        if mutable:
+            lines.append("    return out")
+        else:
+            lines.append(
+                f"    return _np.stack([{', '.join(columns)}], axis=1)")
     return "\n".join(lines)
 
 
@@ -553,7 +614,8 @@ class BatchRhs:
     :meth:`~repro.core.odesystem.OdeSystem.structural_signature`).
     """
 
-    def __init__(self, systems: list[OdeSystem], fuse: bool = True):
+    def __init__(self, systems: list[OdeSystem], fuse: bool = True,
+                 array_backend=None):
         if not systems:
             raise SimulationError("cannot batch an empty system list")
         signature = systems[0].structural_signature()
@@ -565,28 +627,66 @@ class BatchRhs:
                     "compatible; use the serial path or group by "
                     "structural_signature()")
         self.systems = list(systems)
-        namespace: dict[str, object] = {"_np": np}
+        #: The array backend the kernels are emitted against (see
+        #: :mod:`repro.sim.array_api`); solvers run on its arrays.
+        self.backend = resolve_array_backend(array_backend)
+        backend = self.backend
+        self._mutable = backend.mutable_kernels
+        namespace: dict[str, object] = {"_np": backend.xp}
+        if not self._mutable:
+            namespace["_col"] = backend.column
+            namespace["_col_add"] = backend.column_add
+            namespace["_col_set"] = backend.column_set
         survivors = surviving_diffusion(self.systems)
-        self.source = generate_batch_source(self.systems, namespace,
-                                            survivors=survivors,
-                                            fuse=fuse)
+        self.source = generate_batch_source(
+            self.systems, namespace, survivors=survivors, fuse=fuse,
+            mutable=self._mutable,
+            vector_functions=backend.vector_functions())
         #: True when the emitted RHS drives a fused coefficient matmul.
         self.fused = "_lin_A" in namespace
         telemetry.add("codegen.batch_compiles")
+        telemetry.add(f"codegen.backend.{backend.name}")
         telemetry.add("codegen.fused_rhs" if self.fused
                       else "codegen.unfused_rhs")
         # Residual ``dy[:, i] +=`` stores are what the fuser could not
         # fold into the matmul — their count is the per-step dispatch
-        # cost the fused path still pays.
-        telemetry.add("codegen.residual_lines",
-                      self.source.count("dy[:, ") - 1
-                      if self.fused else self.source.count("dy[:, "))
+        # cost the fused path still pays. (The functional emission's
+        # counterparts are its `_col*` helper calls and column temps.)
+        if self._mutable:
+            telemetry.add("codegen.residual_lines",
+                          self.source.count("dy[:, ") - 1
+                          if self.fused else self.source.count("dy[:, "))
+        else:
+            telemetry.add("codegen.residual_lines",
+                          self.source.count(" = _col(")
+                          + self.source.count("_col_add(")
+                          + self.source.count("_col_set("))
+        # Host-built constant tensors (per-instance attributes, fused
+        # coefficients, residual scales) cross onto the backend at the
+        # policy dtype here; on numpy/float64 the conversion is the
+        # identity, so the namespace — like the source — is exactly the
+        # pre-abstraction one.
+        for slot, value in list(namespace.items()):
+            if isinstance(value, np.ndarray):
+                namespace[slot] = backend.asarray(value)
         exec(_compile_source(self.source,
-                             f"<ark-batch:{systems[0].graph.name}>"),
+                             f"<ark-batch:{systems[0].graph.name}>",
+                             backend.name),
              namespace)
         self._rhs_inner = namespace["_rhs"]
         self._alg_inner = namespace["_alg"]
         self._dif_inner = namespace.get("_dif")
+        #: Kernels carrying host callables (auto-vectorized scalar
+        #: functions, per-instance callables) cannot enter a compiler
+        #: trace; everything else is offered to the backend's ``jit``
+        #: hook (identity on eager backends).
+        self.can_jit = not any(
+            isinstance(value, (_AutoVector, _PerInstanceFn))
+            for value in namespace.values())
+        if self.can_jit:
+            self._rhs_inner = backend.jit(self._rhs_inner)
+            if self._dif_inner is not None:
+                self._dif_inner = backend.jit(self._dif_inner)
         #: Diffusion terms that survived shared-value folding (see
         #: :func:`surviving_diffusion`); column order of ``diffusion``.
         self.diffusion_terms = [term for term, _amp in survivors]
@@ -627,31 +727,49 @@ class BatchRhs:
             raise SimulationError(
                 f"batch {self.systems[0].graph.name} has no diffusion "
                 "terms; integrate it with a deterministic solver")
-        if out is None:
-            out = np.empty((y.shape[0], len(self.diffusion_terms)))
-        return self._dif_inner(t, y, out)
+        if self._mutable:
+            if out is None:
+                out = self.backend.xp.empty(
+                    (y.shape[0], len(self.diffusion_terms)),
+                    dtype=self.backend.dtype)
+            return self._dif_inner(t, y, out)
+        amplitudes = self._dif_inner(t, y)
+        if out is not None:
+            out[...] = amplitudes
+            return out
+        return amplitudes
 
     @property
     def y0(self) -> np.ndarray:
-        """Stacked initial states, shape (n_instances, n_states)."""
-        return np.stack([system.y0 for system in self.systems])
+        """Stacked initial states, shape (n_instances, n_states), as a
+        backend array at the policy dtype."""
+        return self.backend.asarray(
+            np.stack([system.y0 for system in self.systems]))
 
     def __call__(self, t: float, y: np.ndarray,
                  out: np.ndarray | None = None) -> np.ndarray:
         """Evaluate the batched RHS; ``y`` and the result have shape
         ``(n_instances, n_states)``."""
-        if out is None:
-            out = np.empty_like(y)
-        return self._rhs_inner(t, y, out)
+        if self._mutable:
+            if out is None:
+                out = self.backend.empty_like(y)
+            return self._rhs_inner(t, y, out)
+        dy = self._rhs_inner(t, y)
+        if out is not None:
+            out[...] = dy
+            return out
+        return dy
 
     def algebraic_values(self, t, y: np.ndarray) -> dict[str, np.ndarray]:
         """Order-0 node values for the whole batch, each broadcast to
         ``(n_instances,)`` (or to ``len(y)`` when another axis — e.g.
-        time — plays the batch role)."""
+        time — plays the batch role). Always host numpy float64 —
+        algebraic readout is an assembly boundary."""
         values = self._alg_inner(t, y)
         n = y.shape[0]
-        return {name: np.broadcast_to(np.asarray(value, dtype=float),
-                                      (n,)).copy()
+        return {name: np.broadcast_to(
+                    np.asarray(self.backend.to_numpy(value), dtype=float),
+                    (n,)).copy()
                 for name, value in values.items()}
 
     def __repr__(self) -> str:
@@ -659,12 +777,16 @@ class BatchRhs:
                 f"instances={self.n_instances} states={self.n_states}>")
 
 
-def compile_batch(systems: list[OdeSystem],
-                  fuse: bool = True) -> BatchRhs:
+def compile_batch(systems: list[OdeSystem], fuse: bool = True,
+                  array_backend=None) -> BatchRhs:
     """Compile a structurally compatible batch of systems into one
     vectorized RHS. ``fuse`` enables the fused affine emitter (see
-    :func:`generate_batch_source`)."""
-    return BatchRhs(list(systems), fuse=fuse)
+    :func:`generate_batch_source`); ``array_backend`` selects the array
+    namespace the kernels are emitted against — a spec string
+    (``"numpy"``, ``"jax"``, ``"numpy:float32"``), an
+    :class:`~repro.sim.array_api.ArrayBackend`, or ``None`` for the
+    numpy default."""
+    return BatchRhs(list(systems), fuse=fuse, array_backend=array_backend)
 
 
 def group_by_signature(systems: list[OdeSystem]) -> list[list[int]]:

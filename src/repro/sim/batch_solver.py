@@ -20,9 +20,23 @@ fine output grids no longer force extra RHS evaluations
 return a :class:`BatchTrajectory` with ``(n_instances, n_states, n_t)``
 storage plus the ensemble accessors (mean/std/percentile bands) the
 paper's Fig. 4c/4d-style mismatch studies read.
+
+The step loops run on the batch's array backend (see
+:mod:`repro.sim.array_api`): state matrices live as backend arrays, the
+per-instance freeze masks are applied through value-identical
+``xp.where`` selects (no in-place stores, so immutable backends work),
+and host transfer happens only where accepted states land in the
+preallocated numpy output buffer — the trajectory-assembly boundary.
+Step-size control stays host-side python-float math, which also keeps
+the float32 dtype policy intact (python scalars are weak under NEP 50
+promotion; numpy float64 scalars are not). On the default numpy
+backend every arithmetic operation is exactly the pre-abstraction one —
+results are bit-identical (test-enforced).
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass
 
@@ -33,6 +47,7 @@ from repro.core.odesystem import OdeSystem
 from repro.core.simulator import Trajectory, check_sample_times
 from repro.errors import SimulationError
 
+from repro.sim.array_api import resolve_array_backend
 from repro.sim.batch_codegen import BatchRhs, compile_batch
 
 #: Fehlberg 4(5) tableau — stage nodes, stage weights, and the 5th/4th
@@ -180,6 +195,7 @@ def _resolve_max_step(max_step, span: float) -> float:
     lifts the cap to the whole span, and anything else must be a
     positive finite number — zero used to die in a substep division
     and negatives were silently swallowed by ``max(1, ...)``."""
+    span = float(span)
     if max_step is None:
         return span / 64.0
     max_step = float(max_step)
@@ -191,41 +207,65 @@ def _resolve_max_step(max_step, span: float) -> float:
     return max_step
 
 
-def freeze_converged(y: np.ndarray, f: np.ndarray, remaining: float,
-                     rtol: float, atol: float,
-                     freeze_tol: float) -> np.ndarray:
+def _batch_backend(batch, array_backend):
+    """Resolve the array backend a solve runs on. A precompiled
+    :class:`BatchRhs` carries its own (its kernels were emitted for
+    that namespace), so an explicit *conflicting* request is an error
+    rather than a silent mixed-namespace run; system lists and
+    duck-typed rhs objects take the requested backend, defaulting to
+    numpy."""
+    compiled = getattr(batch, "backend", None)
+    if array_backend is None:
+        return compiled if compiled is not None \
+            else resolve_array_backend(None)
+    requested = resolve_array_backend(array_backend)
+    if compiled is not None and compiled.spec() != requested.spec():
+        raise SimulationError(
+            f"array_backend {requested.spec()!r} conflicts with the "
+            f"precompiled batch's backend {compiled.spec()!r}; "
+            "recompile the batch on the requested backend (or drop "
+            "the argument to use the batch's own)")
+    return requested
+
+
+def freeze_converged(y, f, remaining: float, rtol: float, atol: float,
+                     freeze_tol: float, xp=np):
     """Per-instance convergence test of the step-mask machinery: an
     instance may freeze when extrapolating its current drift over the
     *entire remaining span* moves every state by less than
     ``freeze_tol`` times the solver's tolerance scale — i.e. the
     instance has settled and, left alone, would stay put to within the
     requested accuracy. Returns the boolean ``(n_instances,)`` mask."""
-    scale = atol + rtol * np.abs(y)
-    drift = np.abs(f) * remaining
-    return np.sqrt(np.mean((drift / scale) ** 2, axis=1)) <= freeze_tol
+    remaining = float(remaining)
+    scale = atol + rtol * xp.abs(y)
+    drift = xp.abs(f) * remaining
+    return xp.sqrt(xp.mean((drift / scale) ** 2, axis=1)) <= freeze_tol
 
 
 def _rk4_batch(rhs: BatchRhs, grid: np.ndarray, max_step: float,
                rtol: float, atol: float,
-               freeze_tol: float | None):
-    y = rhs.y0.astype(float)
-    out = np.empty((y.shape[0], y.shape[1], len(grid)))
-    out[:, :, 0] = y
-    frozen = np.zeros(y.shape[0], dtype=bool)
+               freeze_tol: float | None, backend=None):
+    B = backend if backend is not None else resolve_array_backend(None)
+    xp = B.xp
+    y = B.asarray(rhs.y0)
+    out = np.empty((y.shape[0], y.shape[1], len(grid)),
+                   dtype=B.dtype)  # ark: host-boundary
+    out[:, :, 0] = B.to_numpy(y)
+    frozen = xp.zeros(y.shape[0], dtype=bool)
     nfev = 0
     accepted = 0
     t_end = grid[-1]
     for k in range(len(grid) - 1):
-        if frozen.all():
+        if bool(frozen.all()):
             # Every instance holds constant: fill the rest of the grid
             # without evaluating the RHS again.
-            out[:, :, k + 1:] = y[:, :, None]
+            out[:, :, k + 1:] = B.to_numpy(y)[:, :, None]
             break
-        dt = grid[k + 1] - grid[k]
-        substeps = max(1, int(np.ceil(dt / max_step)))
+        dt = float(grid[k + 1] - grid[k])
+        substeps = max(1, math.ceil(dt / max_step))
         h = dt / substeps
-        t = grid[k]
-        hold = y[frozen] if frozen.any() else None
+        t = float(grid[k])
+        hold = y if bool(frozen.any()) else None
         for _ in range(substeps):
             k1 = rhs(t, y)
             k2 = rhs(t + 0.5 * h, y + 0.5 * h * k1)
@@ -238,23 +278,21 @@ def _rk4_batch(rhs: BatchRhs, grid: np.ndarray, max_step: float,
                 # Pinned rows: frozen instances hold their value (the
                 # batch RHS is row-local, so their columns cannot
                 # influence active siblings).
-                y[frozen] = hold
+                y = xp.where(frozen[:, None], hold, y)
             t += h
-        out[:, :, k + 1] = y
+        out[:, :, k + 1] = B.to_numpy(y)
         if freeze_tol is not None and grid[k + 1] < t_end:
-            f = rhs(grid[k + 1], y)
+            f = rhs(float(grid[k + 1]), y)
             nfev += 1
-            frozen |= freeze_converged(y, f, t_end - grid[k + 1],
-                                       rtol, atol, freeze_tol)
+            frozen = frozen | freeze_converged(
+                y, f, t_end - grid[k + 1], rtol, atol, freeze_tol, xp)
     return out, frozen, nfev, accepted, 0
 
 
-def _error_norms(error: np.ndarray, y_old: np.ndarray,
-                 y_new: np.ndarray, rtol: float, atol: float,
-                 ) -> np.ndarray:
+def _error_norms(error, y_old, y_new, rtol: float, atol: float, xp=np):
     """Per-instance RMS error norm (scipy's scaling convention)."""
-    scale = atol + rtol * np.maximum(np.abs(y_old), np.abs(y_new))
-    return np.sqrt(np.mean((error / scale) ** 2, axis=1))
+    scale = atol + rtol * xp.maximum(xp.abs(y_old), xp.abs(y_new))
+    return xp.sqrt(xp.mean((error / scale) ** 2, axis=1))
 
 
 def _rkf45_stages(rhs: BatchRhs, t: float, y: np.ndarray, h: float,
@@ -293,68 +331,72 @@ def _step_factor(worst: float) -> float:
         min(5.0, max(0.2, 0.9 * worst ** -0.2))
 
 
-def _freeze_offenders(frozen: np.ndarray, norms,
-                      freeze_tol: float | None) -> bool:
+def _freeze_offenders(frozen, norms, freeze_tol: float | None, xp=np):
     """Step-size underflow handling with masks enabled: the instances
     whose error refuses to drop below tolerance at the step floor (the
     out-of-tolerance outliers forcing the worst-case step on the whole
     batch) freeze at their last accepted state so their siblings can
-    proceed. Mutates ``frozen``; returns True when at least one new
-    instance was frozen, False when no offender is identifiable (the
-    caller must then raise the classic underflow error)."""
+    proceed. Returns ``(frozen, changed)`` — the updated mask and
+    whether at least one new instance was frozen; ``changed=False``
+    means no offender is identifiable (the caller must then raise the
+    classic underflow error)."""
     if freeze_tol is None or norms is None:
-        return False
-    offenders = ~frozen & ~(np.asarray(norms) <= 1.0)
-    if not offenders.any():
-        return False
-    frozen |= offenders
-    return True
+        return frozen, False
+    offenders = ~frozen & ~(xp.asarray(norms) <= 1.0)
+    if not bool(offenders.any()):
+        return frozen, False
+    return frozen | offenders, True
 
 
 def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
                  atol: float, max_step: float,
-                 freeze_tol: float | None):
+                 freeze_tol: float | None, backend=None):
     """Grid-clipped RKF45: every step lands exactly on the next output
     point, so a fine grid forces extra (small) steps. Kept as the
     ``dense=False`` reference path."""
-    span = grid[-1] - grid[0]
+    B = backend if backend is not None else resolve_array_backend(None)
+    xp = B.xp
+    span = float(grid[-1] - grid[0])
     min_step = 1e-14 * span
-    y = rhs.y0.astype(float)
-    out = np.empty((y.shape[0], y.shape[1], len(grid)))
-    out[:, :, 0] = y
-    frozen = np.zeros(y.shape[0], dtype=bool)
+    y = B.asarray(rhs.y0)
+    out = np.empty((y.shape[0], y.shape[1], len(grid)),
+                   dtype=B.dtype)  # ark: host-boundary
+    out[:, :, 0] = B.to_numpy(y)
+    frozen = xp.zeros(y.shape[0], dtype=bool)
     nfev = 0
     accepted = 0
     rejected = 0
     h = min(max_step, span / 100.0)
-    t = grid[0]
+    t = float(grid[0])
     t_end = grid[-1]
     for k in range(1, len(grid)):
-        if frozen.all():
-            out[:, :, k:] = y[:, :, None]
+        if bool(frozen.all()):
+            out[:, :, k:] = B.to_numpy(y)[:, :, None]
             break
-        t_next = grid[k]
+        t_next = float(grid[k])
         last_norms = None
         while t < t_next:
             h = min(h, max_step, t_next - t)
             if h < min_step:
-                if _freeze_offenders(frozen, last_norms, freeze_tol):
+                frozen, changed = _freeze_offenders(
+                    frozen, last_norms, freeze_tol, xp)
+                if changed:
                     h = min(max_step, span / 100.0)
                     continue
                 raise _underflow(t, h)
             k1 = rhs(t, y)
             y5, y4 = _rkf45_stages(rhs, t, y, h, k1)
             nfev += 6
-            if frozen.any():
+            if bool(frozen.any()):
                 # Pinned rows are excluded from error control (their
                 # y5 - y4 is forced to 0) and held at their frozen
                 # state.
-                y5[frozen] = y[frozen]
-                y4[frozen] = y[frozen]
-            norms = _error_norms(y5 - y4, y, y5, rtol, atol)
+                y5 = xp.where(frozen[:, None], y, y5)
+                y4 = xp.where(frozen[:, None], y, y4)
+            norms = _error_norms(y5 - y4, y, y5, rtol, atol, xp)
             last_norms = norms
             worst = float(norms.max()) if norms.size else 0.0
-            if not np.isfinite(worst):
+            if not math.isfinite(worst):
                 rejected += 1
                 h *= 0.2
                 continue
@@ -366,12 +408,12 @@ def _rkf45_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             else:
                 rejected += 1
                 h *= max(0.2, 0.9 * worst ** -0.2)
-        out[:, :, k] = y
+        out[:, :, k] = B.to_numpy(y)
         if freeze_tol is not None and t_next < t_end:
             f = rhs(t_next, y)
             nfev += 1
-            frozen |= freeze_converged(y, f, t_end - t_next, rtol,
-                                       atol, freeze_tol)
+            frozen = frozen | freeze_converged(
+                y, f, t_end - t_next, rtol, atol, freeze_tol, xp)
     return out, frozen, nfev, accepted, rejected
 
 
@@ -421,8 +463,7 @@ def _quartic_coefficients(y_old: np.ndarray, y_new: np.ndarray,
     return a, b, c, d
 
 
-def _quartic_eval(theta: np.ndarray, y_old: np.ndarray,
-                  coefficients) -> np.ndarray:
+def _quartic_eval(theta, y_old, coefficients):
     """Evaluate the quartic at positions ``theta`` (shape (m,));
     result (m, n_instances, n_states)."""
     a, b, c, d = coefficients
@@ -432,7 +473,7 @@ def _quartic_eval(theta: np.ndarray, y_old: np.ndarray,
 
 def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
                        atol: float, max_step: float,
-                       freeze_tol: float | None):
+                       freeze_tol: float | None, backend=None):
     """Dense-output RKF45: step control is decoupled from the output
     grid. Steps are sized by the error estimate alone (never clipped to
     grid points); every output sample inside an accepted step is filled
@@ -442,28 +483,33 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
     derivative doubles as the next step's ``k1`` (first-same-as-last),
     so dense output costs at most one extra RHS evaluation per
     *output-producing* step — fine grids stop forcing small steps."""
-    t_end = grid[-1]
-    span = t_end - grid[0]
+    B = backend if backend is not None else resolve_array_backend(None)
+    xp = B.xp
+    t_end = float(grid[-1])
+    span = t_end - float(grid[0])
     min_step = 1e-14 * span
-    y = rhs.y0.astype(float)
-    out = np.empty((y.shape[0], y.shape[1], len(grid)))
-    out[:, :, 0] = y
-    frozen = np.zeros(y.shape[0], dtype=bool)
+    y = B.asarray(rhs.y0)
+    out = np.empty((y.shape[0], y.shape[1], len(grid)),
+                   dtype=B.dtype)  # ark: host-boundary
+    out[:, :, 0] = B.to_numpy(y)
+    frozen = xp.zeros(y.shape[0], dtype=bool)
     nfev = 1
     accepted = 0
     rejected = 0
-    t = grid[0]
+    t = float(grid[0])
     h = min(max_step, span / 100.0)
     k1 = rhs(t, y)
     last_norms = None
     next_index = 1
     while next_index < len(grid):
-        if frozen.all():
-            out[:, :, next_index:] = y[:, :, None]
+        if bool(frozen.all()):
+            out[:, :, next_index:] = B.to_numpy(y)[:, :, None]
             break
         h = min(h, max_step)
         if h < min_step:
-            if _freeze_offenders(frozen, last_norms, freeze_tol):
+            frozen, changed = _freeze_offenders(
+                frozen, last_norms, freeze_tol, xp)
+            if changed:
                 h = min(max_step, span / 100.0)
                 continue
             raise _underflow(t, h)
@@ -474,16 +520,16 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             t_new = t + h
         y5, y4 = _rkf45_stages(rhs, t, y, h, k1)
         nfev += 5
-        if frozen.any():
+        if bool(frozen.any()):
             # Pinned rows: held constant and excluded from error
             # control, so a converged stiff instance stops dictating
             # the shared step size.
-            y5[frozen] = y[frozen]
-            y4[frozen] = y[frozen]
-        norms = _error_norms(y5 - y4, y, y5, rtol, atol)
+            y5 = xp.where(frozen[:, None], y, y5)
+            y4 = xp.where(frozen[:, None], y, y4)
+        norms = _error_norms(y5 - y4, y, y5, rtol, atol, xp)
         last_norms = norms
         worst = float(norms.max()) if norms.size else 0.0
-        if not np.isfinite(worst):
+        if not math.isfinite(worst):
             rejected += 1
             h *= 0.2
             continue
@@ -503,17 +549,19 @@ def _rkf45_dense_batch(rhs: BatchRhs, grid: np.ndarray, rtol: float,
             nfev += 1
             coefficients = _quartic_coefficients(y, y5, k1, f_node,
                                                  f_new, h)
-            theta = (grid[next_index:stop] - t) / h
+            theta = B.asarray((grid[next_index:stop] - t) / h)
             values = _quartic_eval(theta, y, coefficients)
-            if frozen.any():
+            if bool(frozen.any()):
                 # The interpolant would wiggle frozen rows by their
                 # (tolerance-bounded) residual drift; pin them exactly.
-                values[:, frozen, :] = y[frozen]
-            out[:, :, next_index:stop] = np.moveaxis(values, 0, 2)
+                values = xp.where(frozen[None, :, None], y[None, :, :],
+                                  values)
+            out[:, :, next_index:stop] = B.to_numpy(
+                xp.moveaxis(values, 0, 2))
             next_index = stop
         if freeze_tol is not None and t_new < t_end:
-            frozen |= freeze_converged(y5, f_new, t_end - t_new, rtol,
-                                       atol, freeze_tol)
+            frozen = frozen | freeze_converged(
+                y5, f_new, t_end - t_new, rtol, atol, freeze_tol, xp)
         t = t_new
         y = y5
         k1 = f_new
@@ -527,7 +575,8 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
                 atol: float = 1e-9, t_eval=None,
                 max_step: float | None = None,
                 dense: bool = True,
-                freeze_tol: float | None = None) -> BatchTrajectory:
+                freeze_tol: float | None = None,
+                array_backend=None) -> BatchTrajectory:
     """Integrate a structurally compatible ensemble in one pass.
 
     :param batch: a compiled :class:`BatchRhs` or a list of systems to
@@ -557,9 +606,16 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
         further RHS evaluations. ``None`` (default) disables masking —
         the exact legacy behavior. The returned trajectory carries the
         final ``frozen`` mask and the ``nfev`` evaluation count.
+    :param array_backend: array namespace the solve runs on — a spec
+        string (``"numpy"``, ``"jax"``, ``"numpy:float32"``), an
+        :class:`~repro.sim.array_api.ArrayBackend`, or ``None`` for the
+        numpy default. A precompiled ``batch`` carries its own backend;
+        passing a *different* one here is an error (the kernels were
+        emitted for the other namespace).
     """
+    backend = _batch_backend(batch, array_backend)
     if not isinstance(batch, BatchRhs):
-        batch = compile_batch(batch)
+        batch = compile_batch(batch, array_backend=backend)
     grid = _output_grid(t_span, n_points, t_eval)
     t0 = float(t_span[0])
     if grid[0] < t0:
@@ -578,17 +634,21 @@ def solve_batch(batch: BatchRhs | list[OdeSystem],
     name = method.lower()
     if name == "rk4":
         y_out, frozen, nfev, accepted, rejected = _rk4_batch(
-            batch, work_grid, max_step, rtol, atol, freeze_tol)
+            batch, work_grid, max_step, rtol, atol, freeze_tol,
+            backend)
     elif name in ("rkf45", "rk45"):
         solver = _rkf45_dense_batch if dense else _rkf45_batch
         y_out, frozen, nfev, accepted, rejected = solver(
-            batch, work_grid, rtol, atol, max_step, freeze_tol)
+            batch, work_grid, rtol, atol, max_step, freeze_tol,
+            backend)
     else:
         raise SimulationError(
             f"unknown batch method {method!r}; expected 'rkf45' or "
             "'rk4' (scipy methods run through the serial path)")
+    frozen = backend.to_numpy(frozen)
     if telemetry.enabled():
         telemetry.add("solver.solves")
+        telemetry.add(f"solver.array_backend.{backend.name}")
         telemetry.add("solver.nfev", nfev)
         telemetry.add("solver.steps_accepted", accepted)
         telemetry.add("solver.steps_rejected", rejected)

@@ -15,7 +15,9 @@ solves keyed by *everything that determines the result bit-for-bit*:
 * the stacked initial states;
 * the output grid (``t_span``/``n_points`` or an explicit ``t_eval``)
   and every solver option that steers the integrator (method, rtol,
-  atol, max_step, dense flag, SDE noise seeds).
+  atol, max_step, dense flag, SDE noise seeds, and the canonical
+  array-backend spec — backend name plus dtype — so numerically
+  different executions never collide).
 
 A batch whose identity cannot be established *stably* — e.g. a
 registered closure with no ``_ark_vector_key`` — is reported as
@@ -44,6 +46,7 @@ import numpy as np
 from repro import telemetry
 from repro.core import expr as E
 from repro.core.odesystem import OdeSystem
+from repro.sim.array_api import canonical_spec
 
 
 #: Folded into every key: bump whenever solver numerics change in a
@@ -53,7 +56,11 @@ from repro.core.odesystem import OdeSystem
 #: 2: the unified execution-plan layer keys ``freeze_tol`` (and the
 #: noisy path keys the full solver-option set), so pre-plan disk
 #: entries no longer match.
-CACHE_SCHEMA = 2
+#: 3: keys fold in the *canonical* array-backend spec (backend name +
+#: dtype, e.g. ``numpy:float64``), so a float32 or jax solve can never
+#: replay a float64/numpy entry — and ``None``/``"numpy"``/
+#: ``"numpy:float64"`` spellings of the default all share one key.
+CACHE_SCHEMA = 3
 
 
 def _function_token(name: str, fn) -> tuple | None:
@@ -198,6 +205,12 @@ class TrajectoryCache:
                       .tobytes())
         for name in sorted(options):
             value = options[name]
+            if name == "array_backend":
+                # Canonicalize so every spelling of the default
+                # (None, "numpy", "numpy:float64") shares one key while
+                # any other backend or dtype gets its own; see
+                # :func:`repro.sim.array_api.canonical_spec`.
+                value = canonical_spec(value)
             hasher.update(name.encode())
             if isinstance(value, np.ndarray):
                 hasher.update(value.astype(float).tobytes())
@@ -254,9 +267,11 @@ class TrajectoryCache:
         return None
 
     def put(self, key: str, t: np.ndarray, y: np.ndarray):
-        """Store one batched result (arrays are copied in)."""
+        """Store one batched result (arrays are copied in). ``y``
+        keeps its dtype — a float32-policy entry must replay as
+        float32, not silently widen on the warm path."""
         t = np.asarray(t, dtype=float).copy()
-        y = np.asarray(y, dtype=float).copy()
+        y = np.asarray(y).copy()
         self._remember(key, t, y)
         path = self._disk_path(key)
         if path is not None:

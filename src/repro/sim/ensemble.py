@@ -128,7 +128,7 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
                  noise_seed: int | None = None,
                  sde_method: str = "heun", block: int = 256,
                  reference: bool = True, stream: bool = False,
-                 telemetry=None, progress=None):
+                 array_backend=None, telemetry=None, progress=None):
     """Simulate one fabricated instance per seed, batching wherever the
     instances share structure — the unified driver for deterministic
     *and* transient-noise sweeps.
@@ -204,6 +204,16 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         wrap the drain loop in
         :func:`repro.telemetry.collect_metrics` yourself; ``True``
         is rejected because the barriered attach point does not exist.
+    :param array_backend: array namespace the batched kernels and
+        solver loops run on — ``None``/``"numpy"`` (default, the host
+        path, bit-identical to previous releases), a spec string such
+        as ``"numpy:float32"``, ``"jax"``, or ``"cupy"`` (the latter
+        two require their packages installed), or an
+        :class:`~repro.sim.array_api.ArrayBackend` instance. Non-numpy
+        backends are restricted to in-process execution —
+        ``engine='pool'``/``'shard'`` raise (their workers pickle,
+        which would haul device arrays through the host) and ``auto``
+        stays on the batch backend.
     :param progress: an optional
         :class:`~repro.telemetry.ProgressSink` notified per finished
         group (totals up front, counts per chunk) — the hook behind
@@ -227,7 +237,8 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
         t_eval=t_eval, method=method, rtol=rtol, atol=atol,
         max_step=max_step, dense=dense, freeze_tol=freeze_tol,
         serial_backend=backend, min_batch=min_batch,
-        processes=processes, shard_min=shard_min, cache=cache)
+        processes=processes, shard_min=shard_min, cache=cache,
+        array_backend=array_backend)
     if telemetry is None or telemetry is False:
         return (plan.stream(progress=progress) if stream
                 else plan.run(progress=progress))
@@ -247,6 +258,8 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
             f"{type(telemetry).__name__}")
     meta = {"driver": "run_ensemble", "engine": engine,
             "seeds": len(plan.seeds)}
+    if plan.array_spec() != "numpy:float64":
+        meta["array_backend"] = plan.array_spec()
     if noise is not None:
         meta["trials"] = noise.trials
     if stream:

@@ -116,8 +116,8 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        processes: int | None = None,
                        shard_min: int = DEFAULT_SHARD_MIN,
                        freeze_tol: float | None = None,
-                       stream: bool = False, telemetry=None,
-                       progress=None):
+                       stream: bool = False, array_backend=None,
+                       telemetry=None, progress=None):
     """Simulate every (fabricated chip, noise trial) pair, batched.
 
     A delegating shim over the unified driver — exactly
@@ -153,6 +153,10 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
     :param stream: yield per-group :class:`NoisyEnsembleChunk` objects
         as they finish instead of the barriered result (see
         :func:`~repro.sim.ensemble.run_ensemble`).
+    :param array_backend: array namespace for the batched SDE kernels
+        (``None``/``"numpy"`` default; see
+        :func:`~repro.sim.ensemble.run_ensemble`). Wiener draws stay
+        on the host PRNG, so realizations are backend-independent.
     :param telemetry: metric collection (``True``, a
         :class:`~repro.telemetry.RunReport`, or ``None``; see
         :func:`~repro.sim.ensemble.run_ensemble`). The populated
@@ -169,4 +173,5 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                         block=block, cache=cache, engine=engine,
                         processes=processes, shard_min=shard_min,
                         freeze_tol=freeze_tol, stream=stream,
+                        array_backend=array_backend,
                         telemetry=telemetry, progress=progress)

@@ -71,6 +71,9 @@ from repro.core.simulator import Trajectory, simulate
 from repro.errors import SimulationError
 
 from repro.sim import batch_codegen
+from repro.sim.array_api import (array_backend_names, canonical_spec,
+                                 parse_backend_spec,
+                                 resolve_array_backend)
 from repro.sim.batch_codegen import (compile_batch, group_by_signature,
                                      surviving_diffusion)
 from repro.sim.batch_solver import (BatchTrajectory, _output_grid,
@@ -143,6 +146,15 @@ class ExecutionPlan:
         to the pool.
     :param cache: trajectory-cache spec (``True``, a directory path, or
         a :class:`~repro.sim.cache.TrajectoryCache`).
+    :param array_backend: array namespace of the batched solvers (see
+        :mod:`repro.sim.array_api`): ``None``/``"numpy"`` (default), a
+        spec string like ``"jax"`` or ``"numpy:float32"``, or an
+        :class:`~repro.sim.array_api.ArrayBackend`. The ``pool`` and
+        ``shard`` backends refuse non-numpy array backends (their
+        workers communicate by pickling, which would silently haul
+        device arrays through the host); ``auto`` simply keeps such
+        groups single-process. The serial scipy ODE path always runs
+        numpy.
     """
 
     factory: object
@@ -163,15 +175,49 @@ class ExecutionPlan:
     processes: int | None = None
     shard_min: int = DEFAULT_SHARD_MIN
     cache: object = None
+    array_backend: object = None
+
+    def array_spec(self) -> str:
+        """The plan's canonical array-backend spec string
+        (``"name:dtype"``) — what travels through solver options,
+        worker payloads, and cache keys."""
+        return canonical_spec(self.array_backend)
 
     def validate(self) -> None:
         """Reject malformed plans up front (unknown backend or SDE
-        method, non-positive trial counts) instead of silently running
-        a different sweep than the one asked for."""
+        method, unknown/unshippable array backend, non-positive trial
+        counts) instead of silently running a different sweep than the
+        one asked for."""
         if self.backend not in BACKENDS:
-            raise ValueError(
+            raise SimulationError(
                 f"unknown execution backend {self.backend!r}; "
-                f"registered backends: {', '.join(backend_names())}")
+                f"registered execution backends: "
+                f"{', '.join(backend_names())}; registered array "
+                f"backends (array_backend=/--array-backend): "
+                f"{', '.join(array_backend_names())}")
+        # Array-backend checks are name-based on purpose: rejecting
+        # 'jax' under a pickling backend must not require jax to be
+        # importable.
+        array_name, _ = parse_backend_spec(self.array_spec())
+        if array_name not in array_backend_names():
+            raise SimulationError(
+                f"unknown array backend {array_name!r}; registered "
+                f"array backends: {', '.join(array_backend_names())}; "
+                f"registered execution backends: "
+                f"{', '.join(backend_names())}")
+        if array_name != "numpy" and self.backend in ("pool", "shard"):
+            raise SimulationError(
+                f"execution backend {self.backend!r} cannot run on "
+                f"array backend {array_name!r}: its workers exchange "
+                "work by pickling, which would silently haul device "
+                "arrays through the host. Use backend='batch' (one "
+                "in-process device solve) or the numpy array backend.")
+        if array_name != "numpy":
+            # Resolve eagerly so a missing optional dependency fails
+            # the plan up front; raised at solve time instead, the
+            # auto-method fallback would demote the groups to the
+            # serial numpy path and silently ignore the request.
+            resolve_array_backend(self.array_backend)
         if self.noise is not None:
             if self.noise.trials < 1:
                 raise SimulationError(
@@ -311,8 +357,9 @@ def _batch_shard_job(shard_seeds):
     rarely pickle — and run the same batched solve the parent would."""
     factory, t_span, options, fuse = _POOL_COMMON
     systems = [_compile_target(factory(seed)) for seed in shard_seeds]
-    trajectory = solve_batch(compile_batch(systems, fuse=fuse), t_span,
-                             **options)
+    batch = compile_batch(systems, fuse=fuse,
+                          array_backend=options.get("array_backend"))
+    trajectory = solve_batch(batch, t_span, **options)
     return trajectory.y, trajectory.nfev
 
 
@@ -377,8 +424,9 @@ def _sde_shard_job(rows):
     (see :func:`_compile_sde_rows` for the replication contract)."""
     factory, t_span, options, fuse = _POOL_COMMON
     replicated, tokens = _compile_sde_rows(factory, rows)
-    trajectory = solve_sde(compile_batch(replicated, fuse=fuse), t_span,
-                           noise_seeds=tokens, **options)
+    batch = compile_batch(replicated, fuse=fuse,
+                          array_backend=options.get("array_backend"))
+    trajectory = solve_sde(batch, t_span, noise_seeds=tokens, **options)
     return trajectory.y, trajectory.nfev
 
 
@@ -494,12 +542,16 @@ class BatchBackend(ExecutionBackend):
     name = "batch"
 
     def solve_ode(self, task: GroupTask):
-        batch = compile_batch(task.group_systems)
+        batch = compile_batch(
+            task.group_systems,
+            array_backend=task.options.get("array_backend"))
         return solve_batch(batch, task.plan.t_span,
                            **task.options), True
 
     def solve_sde(self, task: GroupTask):
-        batch = compile_batch(task.group_systems)
+        batch = compile_batch(
+            task.group_systems,
+            array_backend=task.options.get("array_backend"))
         return solve_sde(batch, task.plan.t_span,
                          noise_seeds=task.noise_seeds,
                          **task.options), True
@@ -529,7 +581,9 @@ class SerialBackend(ExecutionBackend):
         for row, system in enumerate(task.group_systems):
             chip = task.chip_keys[row]
             if chip not in singles:
-                singles[chip] = compile_batch([system])
+                singles[chip] = compile_batch(
+                    [system],
+                    array_backend=task.options.get("array_backend"))
             trajectory = solve_sde(singles[chip], task.plan.t_span,
                                    noise_seeds=[task.noise_seeds[row]],
                                    **task.options)
@@ -676,6 +730,10 @@ class AutoBackend(ExecutionBackend):
 
     def _pick(self, task: GroupTask) -> ExecutionBackend:
         plan = task.plan
+        # Non-numpy array backends stay in-process: pool workers would
+        # pickle device arrays through the host (see validate()).
+        if parse_backend_spec(plan.array_spec())[0] != "numpy":
+            return BACKENDS["batch"]
         # Size by integrated rows: the group's chips on the ODE path,
         # the full (chip x trial) replication on the SDE path.
         big_enough = len(task.group_systems) >= max(plan.shard_min,
@@ -944,11 +1002,15 @@ def _stream_ode(plan: ExecutionPlan, seeds, systems):
     tasks: list[GroupTask] = []
     if batchable:
         batch_method = "rkf45" if plan.method == "auto" else plan.method
+        # The array backend travels as its canonical spec string — a
+        # picklable token the pool workers resolve locally, and the
+        # component cache keys discriminate on.
         solver_options = dict(n_points=plan.n_points,
                               method=batch_method, rtol=plan.rtol,
                               atol=plan.atol, t_eval=plan.t_eval,
                               max_step=plan.max_step, dense=plan.dense,
-                              freeze_tol=plan.freeze_tol)
+                              freeze_tol=plan.freeze_tol,
+                              array_backend=plan.array_spec())
         for indices in group_by_signature(systems):
             if len(indices) < plan.min_batch:
                 serial_indices.extend(indices)
@@ -968,6 +1030,11 @@ def _stream_ode(plan: ExecutionPlan, seeds, systems):
         # serial scipy path rather than failing the whole ensemble —
         # unless the caller forced a batch method explicitly.
         if plan.method != "auto":
+            return False
+        if parse_backend_spec(plan.array_spec())[0] != "numpy":
+            # The serial fallback integrates on numpy: demoting a
+            # device-backend group would silently swap the array
+            # backend out from under the caller.
             return False
         from repro.sim.pool import PoolBrokenError
 
@@ -1031,7 +1098,8 @@ def _stream_sde(plan: ExecutionPlan, seeds, systems):
     solver_options = dict(n_points=plan.n_points, method=noise.method,
                           t_eval=plan.t_eval, max_step=plan.max_step,
                           block=noise.block, rtol=plan.rtol,
-                          atol=plan.atol, freeze_tol=plan.freeze_tol)
+                          atol=plan.atol, freeze_tol=plan.freeze_tol,
+                          array_backend=plan.array_spec())
     tasks: list[GroupTask] = []
     for indices in groups:
         replicated: list[OdeSystem] = []
@@ -1055,7 +1123,8 @@ def _stream_sde(plan: ExecutionPlan, seeds, systems):
     reference_options = dict(n_points=plan.n_points, method="rk4",
                              rtol=plan.rtol, atol=plan.atol,
                              t_eval=plan.t_eval, max_step=plan.max_step,
-                             dense=plan.dense, freeze_tol=None)
+                             dense=plan.dense, freeze_tol=None,
+                             array_backend=plan.array_spec())
 
     def key_options(task):
         # `block` is excluded from the key on purpose: the Wiener

@@ -131,14 +131,18 @@ def _run_shard(task: ShardTask) -> dict:
     started = time.monotonic() if task.collect else 0.0
     factory_common, payload_hit = _load_common(task.common)
     factory, t_span, options, fuse = factory_common
+    array_backend = options.get("array_backend")
     if task.kind == "ode":
         systems = [_compile_target(factory(seed)) for seed in task.rows]
-        trajectory = solve_batch(compile_batch(systems, fuse=fuse),
-                                 t_span, **options)
+        batch = compile_batch(systems, fuse=fuse,
+                              array_backend=array_backend)
+        trajectory = solve_batch(batch, t_span, **options)
     else:
         replicated, tokens = _compile_sde_rows(factory, task.rows)
-        trajectory = solve_sde(compile_batch(replicated, fuse=fuse),
-                               t_span, noise_seeds=tokens, **options)
+        batch = compile_batch(replicated, fuse=fuse,
+                              array_backend=array_backend)
+        trajectory = solve_sde(batch, t_span, noise_seeds=tokens,
+                               **options)
     block = shm_module.ShmBlock.attach(task.header)
     try:
         block.write_rows(task.row_offset, trajectory.y)

@@ -30,6 +30,8 @@ models independent thermal-noise trials of one fabricated chip.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro import telemetry
@@ -40,9 +42,10 @@ from repro.core.odesystem import OdeSystem
 from repro.core.simulator import Trajectory
 from repro.errors import SimulationError
 
+from repro.sim.array_api import resolve_array_backend
 from repro.sim.batch_codegen import BatchRhs, compile_batch
-from repro.sim.batch_solver import (BatchTrajectory, _output_grid,
-                                    _resolve_max_step,
+from repro.sim.batch_solver import (BatchTrajectory, _batch_backend,
+                                    _output_grid, _resolve_max_step,
                                     freeze_converged)
 
 #: Methods handled by :func:`solve_sde`.
@@ -121,21 +124,110 @@ def _substep_plan(grid: np.ndarray, max_step: float):
     plan = []
     offset = 0
     for k in range(len(grid) - 1):
-        dt = grid[k + 1] - grid[k]
-        n_sub = max(1, int(np.ceil(dt / max_step)))
-        plan.append((grid[k], dt / n_sub, n_sub, offset))
+        dt = float(grid[k + 1] - grid[k])
+        n_sub = max(1, math.ceil(dt / max_step))
+        plan.append((float(grid[k]), dt / n_sub, n_sub, offset))
         offset += n_sub
     return plan, offset
 
 
-def _scatter(contrib: np.ndarray, state_index: np.ndarray,
-             n_states: int) -> np.ndarray:
+def _scatter(contrib, state_index: np.ndarray, n_states: int,
+             backend=None):
     """Accumulate per-term contributions ``(n_instances, n_terms)`` onto
     their target states: returns ``(n_instances, n_states)``. Multiple
-    terms may share a state (np.add.at handles the duplicates)."""
-    acc = np.zeros((n_states, contrib.shape[0]))
-    np.add.at(acc, state_index, contrib.T)
-    return acc.T
+    terms may share a state (the backend's scatter-add handles the
+    duplicates)."""
+    B = backend if backend is not None else resolve_array_backend(None)
+    acc = B.xp.zeros((n_states, contrib.shape[0]), dtype=B.dtype)
+    return B.index_add(acc, state_index, contrib.T).T
+
+
+def _sde_loop(batch: BatchRhs, work_grid: np.ndarray, plan, wiener,
+              heun: bool, noisy: bool, freeze_tol: float | None,
+              rtol: float, atol: float, backend):
+    """The fixed-step Euler–Maruyama / stochastic-Heun sweep over one
+    substep plan: backend arrays throughout, value-identical
+    ``xp.where`` row pinning for the freeze masks, host transfer only
+    where accepted grid states land in the output buffer."""
+    B = backend
+    xp = B.xp
+    n_states = batch.n_states
+    state_index = batch.term_state_index
+    path_index = batch.term_path_index
+    y = B.asarray(batch.y0)
+    out = np.empty((y.shape[0], n_states, len(work_grid)),
+                   dtype=B.dtype)  # ark: host-boundary
+    out[:, :, 0] = B.to_numpy(y)
+    frozen = xp.zeros(y.shape[0], dtype=bool)
+    nfev = 0
+    t_end = work_grid[-1]
+    for k, (t_start, h, n_sub, offset) in enumerate(plan):
+        if bool(frozen.all()):
+            # Every instance holds constant: fill the remaining grid
+            # without stepping (frozen rows would be pinned anyway).
+            out[:, :, k + 1:] = B.to_numpy(y)[:, :, None]
+            break
+        t = t_start
+        sqrt_h = math.sqrt(h)
+        hold = y if bool(frozen.any()) else None
+        for sub in range(n_sub):
+            if noisy:
+                xi = wiener.normals(offset + sub)
+                dw = sqrt_h * xi[:, path_index]
+                g0 = _scatter(batch.diffusion(t, y) * dw, state_index,
+                              n_states, B)
+            else:
+                g0 = 0.0
+            f0 = batch(t, y)
+            nfev += 1
+            if heun:
+                y_pred = y + h * f0 + g0
+                f1 = batch(t + h, y_pred)
+                nfev += 1
+                if noisy:
+                    g1 = _scatter(batch.diffusion(t + h, y_pred) * dw,
+                                  state_index, n_states, B)
+                else:
+                    g1 = 0.0
+                y = y + 0.5 * h * (f0 + f1) + 0.5 * (g0 + g1)
+            else:
+                y = y + h * f0 + g0
+            if hold is not None:
+                # Pinned rows: frozen instances hold their value (all
+                # batch arithmetic is row-local, so their columns
+                # cannot perturb active siblings).
+                y = xp.where(frozen[:, None], hold, y)
+            t += h
+        if freeze_tol is not None:
+            # Diverged rows (a stiff outlier going non-finite) freeze
+            # at their last grid value instead of failing the batch.
+            bad = ~frozen & ~xp.all(xp.isfinite(y), axis=1)
+            if bool(bad.any()):
+                y = xp.where(bad[:, None], B.asarray(out[:, :, k]), y)
+                frozen = frozen | bad
+        out[:, :, k + 1] = B.to_numpy(y)
+        t_next = float(work_grid[k + 1])
+        if freeze_tol is not None and t_next < t_end and \
+                not bool(frozen.all()):
+            remaining = float(t_end - t_next)
+            f = batch(t_next, y)
+            nfev += 1
+            settle = freeze_converged(y, f, remaining, rtol, atol,
+                                      freeze_tol, xp)
+            if noisy and bool(settle.any()):
+                # The drift has settled — but freeze only where the
+                # noise cannot move the instance beyond tolerance
+                # either: |g| scaled by the remaining span's Wiener
+                # deviation must stay below the same bound.
+                amplitude = xp.abs(batch.diffusion(t_next, y))
+                g_state = _scatter(amplitude, state_index, n_states, B)
+                scale = atol + rtol * xp.abs(y)
+                wiggle = g_state * math.sqrt(remaining)
+                settle = settle & (
+                    xp.sqrt(xp.mean((wiggle / scale) ** 2, axis=1))
+                    <= freeze_tol)
+            frozen = frozen | (~frozen & settle)
+    return out, frozen, nfev
 
 
 def solve_sde(batch: BatchRhs | list[OdeSystem],
@@ -143,8 +235,8 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
               n_points: int = 500, method: str = "heun",
               t_eval=None, max_step: float | None = None,
               block: int = 256, freeze_tol: float | None = None,
-              rtol: float = 1e-7,
-              atol: float = 1e-9) -> BatchTrajectory:
+              rtol: float = 1e-7, atol: float = 1e-9,
+              array_backend=None) -> BatchTrajectory:
     """Integrate a structurally compatible stochastic ensemble.
 
     :param batch: a compiled :class:`BatchRhs` or a list of systems.
@@ -173,9 +265,16 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
     :param rtol:/:param atol: tolerance scale of the freeze criterion
         (the fixed-step solvers have no adaptive error control; these
         only steer ``freeze_tol``).
+    :param array_backend: array namespace the solve runs on (spec
+        string, :class:`~repro.sim.array_api.ArrayBackend`, or ``None``
+        for numpy). Wiener draws always come from the host-side
+        deterministic streams, so the *realization* is backend-
+        independent; a precompiled ``batch`` carries its own backend
+        and a conflicting request raises.
     """
+    backend = _batch_backend(batch, array_backend)
     if not isinstance(batch, BatchRhs):
-        batch = compile_batch(batch)
+        batch = compile_batch(batch, array_backend=backend)
     if method not in SDE_METHODS:
         raise SimulationError(
             f"unknown SDE method {method!r}; expected one of "
@@ -198,91 +297,22 @@ def solve_sde(batch: BatchRhs | list[OdeSystem],
                                  work_grid[-1] - work_grid[0])
 
     noisy = batch.has_noise
-    wiener = WienerSource(noise_seeds, batch.wiener_paths if noisy
-                          else [], block=block)
+    wiener = backend.wiener_source(noise_seeds,
+                                   batch.wiener_paths if noisy else [],
+                                   block=block)
     plan, _total = _substep_plan(work_grid, max_step)
-    heun = method == "heun"
-    n_states = batch.n_states
-    state_index = batch.term_state_index
-    path_index = batch.term_path_index
 
     if freeze_tol is not None and freeze_tol <= 0.0:
         raise SimulationError(
             f"freeze_tol must be > 0 (or None), got {freeze_tol}")
 
-    y = batch.y0.astype(float)
-    out = np.empty((y.shape[0], n_states, len(work_grid)))
-    out[:, :, 0] = y
-    frozen = np.zeros(y.shape[0], dtype=bool)
-    nfev = 0
-    t_end = work_grid[-1]
-    for k, (t_start, h, n_sub, offset) in enumerate(plan):
-        if frozen.all():
-            # Every instance holds constant: fill the remaining grid
-            # without stepping (frozen rows would be pinned anyway).
-            out[:, :, k + 1:] = y[:, :, None]
-            break
-        t = t_start
-        sqrt_h = np.sqrt(h)
-        hold = y[frozen] if frozen.any() else None
-        for sub in range(n_sub):
-            if noisy:
-                xi = wiener.normals(offset + sub)
-                dw = sqrt_h * xi[:, path_index]
-                g0 = _scatter(batch.diffusion(t, y) * dw, state_index,
-                              n_states)
-            else:
-                g0 = 0.0
-            f0 = batch(t, y)
-            nfev += 1
-            if heun:
-                y_pred = y + h * f0 + g0
-                f1 = batch(t + h, y_pred)
-                nfev += 1
-                if noisy:
-                    g1 = _scatter(batch.diffusion(t + h, y_pred) * dw,
-                                  state_index, n_states)
-                else:
-                    g1 = 0.0
-                y = y + 0.5 * h * (f0 + f1) + 0.5 * (g0 + g1)
-            else:
-                y = y + h * f0 + g0
-            if hold is not None:
-                # Pinned rows: frozen instances hold their value (all
-                # batch arithmetic is row-local, so their columns
-                # cannot perturb active siblings).
-                y[frozen] = hold
-            t += h
-        if freeze_tol is not None:
-            # Diverged rows (a stiff outlier going non-finite) freeze
-            # at their last grid value instead of failing the batch.
-            bad = ~frozen & ~np.isfinite(y).all(axis=1)
-            if bad.any():
-                y[bad] = out[:, :, k][bad]
-                frozen |= bad
-        out[:, :, k + 1] = y
-        t_next = work_grid[k + 1]
-        if freeze_tol is not None and t_next < t_end and \
-                not frozen.all():
-            remaining = t_end - t_next
-            f = batch(t_next, y)
-            nfev += 1
-            settle = freeze_converged(y, f, remaining, rtol, atol,
-                                      freeze_tol)
-            if noisy and settle.any():
-                # The drift has settled — but freeze only where the
-                # noise cannot move the instance beyond tolerance
-                # either: |g| scaled by the remaining span's Wiener
-                # deviation must stay below the same bound.
-                amplitude = np.abs(batch.diffusion(t_next, y))
-                g_state = _scatter(amplitude, state_index, n_states)
-                scale = atol + rtol * np.abs(y)
-                wiggle = g_state * np.sqrt(remaining)
-                settle &= np.sqrt(np.mean((wiggle / scale) ** 2,
-                                          axis=1)) <= freeze_tol
-            frozen |= ~frozen & settle
+    out, frozen, nfev = _sde_loop(batch, work_grid, plan, wiener,
+                                  method == "heun", noisy, freeze_tol,
+                                  rtol, atol, backend)
+    frozen = backend.to_numpy(frozen)
     if telemetry.enabled():
         telemetry.add("solver.sde_solves")
+        telemetry.add(f"solver.array_backend.{backend.name}")
         telemetry.add("solver.nfev", nfev)
         if freeze_tol is not None:
             telemetry.add("solver.frozen_rows", int(frozen.sum()))

@@ -13,7 +13,7 @@ import repro
 from repro.core.compiler import compile_graph
 from repro.paradigms.obc import maxcut_network
 from repro.paradigms.tln import TLineSpec, mismatched_tline
-from repro.sim import compile_batch, solve_batch
+from repro.sim import NumpyBackend, compile_batch, solve_batch
 
 #: Comparison threshold: both solvers run at rtol=1e-7/atol=1e-9 but
 #: accumulate *global* error independently, so row agreement is checked
@@ -52,6 +52,48 @@ class TestObcMaxcutEquivalence:
             np.testing.assert_allclose(
                 batch.instance(row).y, reference.y,
                 rtol=RTOL, atol=RTOL * 2.0 * math.pi)
+
+
+class TestArrayBackendEquivalence:
+    """numpy-vs-xp: the default backend must be *bit-identical* under
+    every spelling, and the functional (immutable-kernel) emission —
+    the contract jax receives — must agree at float64 round-off on
+    arbitrary mismatch draws."""
+
+    @given(kind=st.sampled_from(["cint", "gm"]),
+           base_seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_explicit_numpy_spec_bit_identical(self, kind, base_seed):
+        spec = TLineSpec(n_segments=6)
+        t_span = (0.0, 4e-8)
+        systems = [
+            compile_graph(mismatched_tline(kind, spec,
+                                           seed=base_seed * 10 + k))
+            for k in range(3)]
+        grid = np.linspace(*t_span, 60)
+        default = solve_batch(compile_batch(systems), t_span,
+                              t_eval=grid)
+        explicit = solve_batch(systems, t_span, t_eval=grid,
+                               array_backend="numpy:float64")
+        np.testing.assert_array_equal(default.y, explicit.y)
+
+    @given(base_seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_functional_emission_matches_mutable(self, base_seed):
+        spec = TLineSpec(n_segments=6)
+        t_span = (0.0, 4e-8)
+        systems = [
+            compile_graph(mismatched_tline("gm", spec,
+                                           seed=base_seed * 10 + k))
+            for k in range(3)]
+        grid = np.linspace(*t_span, 60)
+        mutable = solve_batch(compile_batch(systems), t_span,
+                              t_eval=grid)
+        functional = solve_batch(
+            systems, t_span, t_eval=grid,
+            array_backend=NumpyBackend(mutable_kernels=False))
+        np.testing.assert_allclose(functional.y, mutable.y,
+                                   rtol=1e-12, atol=1e-12)
 
 
 class TestTlnMismatchEquivalence:

@@ -1,0 +1,496 @@
+"""Tests for the pluggable array-namespace layer
+(:mod:`repro.sim.array_api`).
+
+The abstraction's contract has three tiers, all covered here:
+
+* **numpy/float64 is bit-identical** — the default backend (and every
+  spelling of it) reproduces the pre-abstraction engine exactly, on
+  the ODE and the SDE path;
+* **the functional emission is equivalent** — ``NumpyBackend(
+  mutable_kernels=False)`` runs the column-stacking kernels an
+  immutable backend (jax) receives, on plain numpy, and must agree
+  with the mutable emission at float64 round-off;
+* **other dtypes/backends are tolerance-gated** — float32 is
+  self-consistent and tracks float64 within a documented band on the
+  paper's workloads; jax (when installed) matches numpy at tolerance.
+
+Plus the plumbing: registry/spec behavior, pool/shard refusal of
+non-numpy backends, Wiener backend-independence, and telemetry tags.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.compiler import compile_graph
+from repro.errors import SimulationError
+from repro.lang import parse_program
+from repro.paradigms.obc import maxcut_network
+from repro.paradigms.tln import mismatched_tline
+from repro.sim import (ExecutionPlan, NumpyBackend, array_backend_names,
+                       canonical_spec, compile_batch,
+                       register_array_backend, resolve_array_backend,
+                       run_ensemble, solve_batch, solve_sde)
+from repro.sim.array_api import ARRAY_BACKENDS, parse_backend_spec
+
+OU_SOURCE = """
+lang ou {
+    ntyp(1,sum) X {attr tau=real[1e-3,10] mm(0,0.05),
+                   attr nsig=real[0,inf]};
+    etyp R {};
+    prod(e:R, s:X->s:X) s <= -var(s)/s.tau + noise(s.nsig);
+    cstr X {acc[match(1,1,R,X)]};
+}
+"""
+
+
+def _ou_system(tau=1.0, nsig=0.5, name="ou", x0=1.0):
+    lang = parse_program(OU_SOURCE).languages["ou"]
+    g = repro.GraphBuilder(lang, name)
+    g.node("x", "X").set_attr("x", "tau", tau)
+    g.set_attr("x", "nsig", nsig)
+    g.edge("x", "x", "r0", "R").set_init("x", x0)
+    return compile_graph(g.finish())
+
+
+def _tline_systems(n=4):
+    return [compile_graph(mismatched_tline("gm", seed=s))
+            for s in range(n)]
+
+
+def _maxcut_systems(n=3):
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    phases = np.random.default_rng(7).uniform(0.0, 2.0 * np.pi, 4)
+    return [compile_graph(
+        maxcut_network(edges, 4, initial_phases=phases,
+                       edge_type="Cpl_ofs", seed=seed))
+        for seed in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Registry / spec plumbing
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_names_include_numpy_jax_cupy(self):
+        assert set(array_backend_names()) >= {"numpy", "jax", "cupy"}
+
+    def test_resolve_default_is_shared_numpy_float64(self):
+        a = resolve_array_backend(None)
+        b = resolve_array_backend("numpy")
+        c = resolve_array_backend("numpy:float64")
+        assert a is b is c
+        assert a.name == "numpy"
+        assert a.dtype == np.float64
+        assert a.mutable_kernels
+
+    def test_instance_passes_through(self):
+        backend = NumpyBackend("float32")
+        assert resolve_array_backend(backend) is backend
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(SimulationError,
+                           match="unknown array backend 'torch'.*"
+                                 "registered array backends"):
+            resolve_array_backend("torch")
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(SimulationError, match="dtype"):
+            resolve_array_backend("numpy:int32")
+        with pytest.raises(SimulationError, match="dtype"):
+            NumpyBackend("complex128")
+
+    def test_non_spec_type_rejected(self):
+        with pytest.raises(SimulationError, match="spec string"):
+            resolve_array_backend(42)
+
+    def test_canonical_spec(self):
+        assert canonical_spec(None) == "numpy:float64"
+        assert canonical_spec("numpy") == "numpy:float64"
+        assert canonical_spec("numpy:float32") == "numpy:float32"
+        assert canonical_spec("jax") == "jax:float64"  # no import
+        assert (canonical_spec(NumpyBackend("float32"))
+                == "numpy:float32")
+
+    def test_parse_backend_spec(self):
+        assert parse_backend_spec("numpy") == ("numpy", None)
+        assert parse_backend_spec("jax:float32") == ("jax", "float32")
+        assert parse_backend_spec(" cupy : float64 ") == ("cupy",
+                                                          "float64")
+
+    def test_optional_backends_raise_clear_error_when_absent(self):
+        for name in ("jax", "cupy"):
+            try:
+                __import__(name)
+            except ImportError:
+                with pytest.raises(SimulationError,
+                                   match=f"requires {name}"):
+                    resolve_array_backend(name)
+
+    def test_register_custom_backend(self):
+        class Doubled(NumpyBackend):
+            name = "doubled"
+
+        register_array_backend("doubled", Doubled)
+        try:
+            backend = resolve_array_backend("doubled:float32")
+            assert backend.name == "doubled"
+            assert backend.dtype == np.float32
+            assert "doubled" in array_backend_names()
+        finally:
+            ARRAY_BACKENDS.pop("doubled", None)
+            from repro.sim.array_api import _RESOLVED
+            _RESOLVED.pop(("doubled", "float32"), None)
+
+
+# ----------------------------------------------------------------------
+# numpy/float64 bit-identity (the tentpole's hard gate)
+# ----------------------------------------------------------------------
+
+class TestNumpyBitIdentity:
+    def test_rkf45_dense_explicit_spec_identical(self):
+        systems = _tline_systems()
+        default = solve_batch(compile_batch(systems), (0.0, 8e-8),
+                              n_points=200)
+        explicit = solve_batch(systems, (0.0, 8e-8), n_points=200,
+                               array_backend="numpy:float64")
+        np.testing.assert_array_equal(default.y, explicit.y)
+        assert explicit.y.dtype == np.float64
+
+    def test_rk4_explicit_spec_identical(self):
+        systems = _tline_systems(2)
+        default = solve_batch(compile_batch(systems), (0.0, 8e-8),
+                              method="rk4", n_points=120)
+        explicit = solve_batch(systems, (0.0, 8e-8), method="rk4",
+                               n_points=120, array_backend="numpy")
+        np.testing.assert_array_equal(default.y, explicit.y)
+
+    def test_rkf45_clipped_explicit_spec_identical(self):
+        systems = _tline_systems(2)
+        default = solve_batch(compile_batch(systems), (0.0, 8e-8),
+                              n_points=120, dense=False)
+        explicit = solve_batch(systems, (0.0, 8e-8), n_points=120,
+                               dense=False, array_backend="numpy")
+        np.testing.assert_array_equal(default.y, explicit.y)
+
+    @pytest.mark.parametrize("method", ["em", "heun"])
+    def test_sde_explicit_spec_identical(self, method):
+        systems = [_ou_system(name=f"ou{k}") for k in range(3)]
+        seeds = ["a", "b", "c"]
+        default = solve_sde(compile_batch(systems), (0.0, 2.0),
+                            noise_seeds=seeds, method=method,
+                            n_points=100)
+        explicit = solve_sde(compile_batch(systems), (0.0, 2.0),
+                             noise_seeds=seeds, method=method,
+                             n_points=100, array_backend="numpy")
+        np.testing.assert_array_equal(default.y, explicit.y)
+
+    def test_step_mask_explicit_spec_identical(self):
+        systems = _tline_systems()
+        default = solve_batch(compile_batch(systems), (0.0, 8e-8),
+                              n_points=150, freeze_tol=1e-8)
+        explicit = solve_batch(systems, (0.0, 8e-8), n_points=150,
+                               freeze_tol=1e-8, array_backend="numpy")
+        np.testing.assert_array_equal(default.y, explicit.y)
+        np.testing.assert_array_equal(default.frozen, explicit.frozen)
+
+    def test_ensemble_driver_explicit_spec_identical(self):
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        default = run_ensemble(factory, range(4), (0.0, 8e-8),
+                               n_points=100)
+        explicit = run_ensemble(factory, range(4), (0.0, 8e-8),
+                                n_points=100, array_backend="numpy")
+        for a, b in zip(default.batches, explicit.batches):
+            np.testing.assert_array_equal(a.y, b.y)
+
+    def test_precompiled_batch_conflicting_spec_raises(self):
+        batch = compile_batch(_tline_systems(2),
+                              array_backend="numpy:float32")
+        with pytest.raises(SimulationError, match="conflicts"):
+            solve_batch(batch, (0.0, 8e-8), n_points=50,
+                        array_backend="numpy:float64")
+
+    def test_precompiled_batch_carries_its_backend(self):
+        batch = compile_batch(_tline_systems(2),
+                              array_backend="numpy:float32")
+        trajectory = solve_batch(batch, (0.0, 8e-8), n_points=50)
+        assert trajectory.y.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# Functional emission (the immutable-kernel contract, on numpy)
+# ----------------------------------------------------------------------
+
+class TestFunctionalEmission:
+    def test_ode_functional_matches_mutable(self):
+        systems = _tline_systems()
+        mutable = solve_batch(compile_batch(systems), (0.0, 8e-8),
+                              n_points=150)
+        functional = solve_batch(
+            systems, (0.0, 8e-8), n_points=150,
+            array_backend=NumpyBackend(mutable_kernels=False))
+        np.testing.assert_allclose(functional.y, mutable.y,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_ode_unfused_functional_matches_mutable(self):
+        systems = _tline_systems(2)
+        mutable = solve_batch(compile_batch(systems, fuse=False),
+                              (0.0, 8e-8), n_points=100)
+        functional = solve_batch(
+            compile_batch(systems, fuse=False,
+                          array_backend=NumpyBackend(
+                              mutable_kernels=False)),
+            (0.0, 8e-8), n_points=100)
+        np.testing.assert_allclose(functional.y, mutable.y,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_sde_functional_matches_mutable(self):
+        systems = [_ou_system(name=f"ou{k}") for k in range(2)]
+        seeds = ["p", "q"]
+        mutable = solve_sde(compile_batch(systems), (0.0, 2.0),
+                            noise_seeds=seeds, n_points=80)
+        functional = solve_sde(
+            compile_batch(systems,
+                          array_backend=NumpyBackend(
+                              mutable_kernels=False)),
+            (0.0, 2.0), noise_seeds=seeds, n_points=80)
+        np.testing.assert_allclose(functional.y, mutable.y,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_maxcut_functional_matches_mutable(self):
+        systems = _maxcut_systems(2)
+        mutable = solve_batch(compile_batch(systems), (0.0, 100e-9),
+                              n_points=60)
+        functional = solve_batch(
+            systems, (0.0, 100e-9), n_points=60,
+            array_backend=NumpyBackend(mutable_kernels=False))
+        np.testing.assert_allclose(functional.y, mutable.y,
+                                   rtol=1e-10, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# dtype policy (satellite: float32 self-consistency + tolerance)
+# ----------------------------------------------------------------------
+
+class TestDtypePolicy:
+    def test_float32_self_consistent(self):
+        systems = _tline_systems()
+        a = solve_batch(systems, (0.0, 8e-8), n_points=120,
+                        array_backend="numpy:float32")
+        b = solve_batch(systems, (0.0, 8e-8), n_points=120,
+                        array_backend="numpy:float32")
+        np.testing.assert_array_equal(a.y, b.y)
+        assert a.y.dtype == np.float32
+
+    def test_float32_tracks_float64_on_tline(self):
+        # Documented band (README "Array backends"): single precision
+        # carries ~7 significant digits; after adaptive integration
+        # the paper's tline transient stays within 1e-3 relative of
+        # the float64 trajectory.
+        systems = _tline_systems()
+        double = solve_batch(systems, (0.0, 8e-8), n_points=120,
+                             array_backend="numpy:float64")
+        single = solve_batch(systems, (0.0, 8e-8), n_points=120,
+                             array_backend="numpy:float32")
+        scale = np.max(np.abs(double.y))
+        assert np.max(np.abs(single.y.astype(np.float64) - double.y)) \
+            < 1e-3 * scale
+
+    def test_float32_tracks_float64_on_maxcut(self):
+        systems = _maxcut_systems(2)
+        double = solve_batch(systems, (0.0, 100e-9), n_points=60,
+                             array_backend="numpy:float64")
+        single = solve_batch(systems, (0.0, 100e-9), n_points=60,
+                             array_backend="numpy:float32")
+        scale = np.max(np.abs(double.y))
+        assert np.max(np.abs(single.y.astype(np.float64) - double.y)) \
+            < 5e-3 * scale
+
+    def test_float32_ensemble_self_consistent(self):
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        a = run_ensemble(factory, range(3), (0.0, 8e-8), n_points=80,
+                         array_backend="numpy:float32")
+        b = run_ensemble(factory, range(3), (0.0, 8e-8), n_points=80,
+                         array_backend="numpy:float32")
+        for batch_a, batch_b in zip(a.batches, b.batches):
+            np.testing.assert_array_equal(batch_a.y, batch_b.y)
+
+    def test_sde_float32_wiener_backend_independent(self):
+        # The float32 run consumes the same host PCG64 realization as
+        # the float64 run (converted at the boundary), so the noisy
+        # trajectories track at single-precision tolerance.
+        systems = [_ou_system(name=f"ou{k}") for k in range(2)]
+        seeds = ["a", "b"]
+        double = solve_sde(compile_batch(systems), (0.0, 1.0),
+                           noise_seeds=seeds, n_points=60)
+        single = solve_sde(
+            compile_batch(systems, array_backend="numpy:float32"),
+            (0.0, 1.0), noise_seeds=seeds, n_points=60)
+        scale = np.max(np.abs(double.y))
+        assert np.max(np.abs(single.y.astype(np.float64) - double.y)) \
+            < 1e-3 * scale
+
+
+# ----------------------------------------------------------------------
+# Execution-plan integration: refusal + errors (satellite)
+# ----------------------------------------------------------------------
+
+class TestPlanIntegration:
+    @pytest.mark.parametrize("engine", ["pool", "shard"])
+    def test_pool_and_shard_refuse_non_numpy(self, engine):
+        # Name-based: refusing 'jax' must not require jax installed.
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        with pytest.raises(SimulationError,
+                           match=f"execution backend '{engine}'.*jax"):
+            run_ensemble(factory, range(2), (0.0, 8e-8),
+                         engine=engine, array_backend="jax")
+
+    def test_auto_engine_stays_in_process_on_non_numpy(self):
+        # auto + processes normally picks the pool for big groups; a
+        # non-numpy array backend must keep it on batch. Name-based —
+        # probing the policy must not import jax.
+        from repro.sim.plan import BACKENDS, GroupTask
+
+        plan = ExecutionPlan(
+            factory=lambda s: None, seeds=list(range(64)),
+            t_span=(0.0, 1.0), backend="auto", processes=8,
+            array_backend="jax")
+        task = GroupTask(plan=plan, indices=list(range(64)),
+                         group_systems=[object()] * 64, options={})
+        assert BACKENDS["auto"]._pick(task) is BACKENDS["batch"]
+        numpy_plan = ExecutionPlan(
+            factory=lambda s: None, seeds=list(range(64)),
+            t_span=(0.0, 1.0), backend="auto", processes=8)
+        numpy_task = GroupTask(plan=numpy_plan,
+                               indices=list(range(64)),
+                               group_systems=[object()] * 64,
+                               options={})
+        assert BACKENDS["auto"]._pick(numpy_task) is BACKENDS["pool"]
+
+    def test_unknown_array_backend_lists_both_registries(self):
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        with pytest.raises(SimulationError,
+                           match="registered array backends.*"
+                                 "registered execution backends"):
+            run_ensemble(factory, range(2), (0.0, 8e-8),
+                         array_backend="torch")
+
+    def test_unknown_execution_backend_lists_both_registries(self):
+        plan = ExecutionPlan(factory=lambda s: None, seeds=[0],
+                             t_span=(0.0, 1.0), backend="bogus")
+        with pytest.raises(SimulationError,
+                           match="registered execution backends.*"
+                                 "registered array backends"):
+            plan.validate()
+
+    def test_float32_pool_allowed(self):
+        # The refusal is about device arrays, not dtype: numpy:float32
+        # is host memory and pools fine.
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        result = run_ensemble(factory, range(2), (0.0, 8e-8),
+                              n_points=50, engine="pool", processes=2,
+                              array_backend="numpy:float32")
+        assert result.batches[0].y.dtype == np.float32
+
+    def test_missing_optional_backend_fails_eagerly(self):
+        # Without eager resolution in validate(), the solve-time
+        # "jax is not installed" SimulationError would be swallowed by
+        # the auto-method serial fallback and the sweep would silently
+        # run on numpy.
+        import repro.sim.array_api as array_api
+
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        def unavailable(dtype):
+            raise SimulationError(
+                "jax is not installed in this environment")
+
+        original = array_api.ARRAY_BACKENDS["jax"]
+        resolved = dict(array_api._RESOLVED)
+        array_api.ARRAY_BACKENDS["jax"] = unavailable
+        array_api._RESOLVED.clear()
+        try:
+            with pytest.raises(SimulationError, match="not installed"):
+                run_ensemble(factory, range(4), (0.0, 8e-8),
+                             n_points=50, array_backend="jax")
+        finally:
+            array_api.ARRAY_BACKENDS["jax"] = original
+            array_api._RESOLVED.clear()
+            array_api._RESOLVED.update(resolved)
+
+
+# ----------------------------------------------------------------------
+# Telemetry tags
+# ----------------------------------------------------------------------
+
+class TestTelemetryTags:
+    def test_backend_tags_recorded(self):
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        result = run_ensemble(factory, range(2), (0.0, 8e-8),
+                              n_points=50, telemetry=True)
+        counters = result.telemetry.counters
+        assert counters.get("codegen.backend.numpy", 0) >= 1
+        assert counters.get("solver.array_backend.numpy", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# jax equivalence (skips cleanly when jax is absent)
+# ----------------------------------------------------------------------
+
+def _has_jax() -> bool:
+    try:
+        import jax  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.mark.skipif(not _has_jax(),
+                    reason="jax not installed; the numpy-vs-jax "
+                    "equivalence gate runs in the optional CI leg")
+class TestJaxEquivalence:
+    def test_tline_ode_matches_numpy(self):
+        systems = _tline_systems()
+        host = solve_batch(systems, (0.0, 8e-8), n_points=120)
+        device = solve_batch(
+            compile_batch(systems, array_backend="jax"),
+            (0.0, 8e-8), n_points=120)
+        scale = np.max(np.abs(host.y))
+        assert np.max(np.abs(device.y - host.y)) < 1e-9 * scale
+        assert isinstance(device.y, np.ndarray)
+
+    def test_ou_sde_matches_numpy(self):
+        systems = [_ou_system(name=f"ou{k}") for k in range(2)]
+        seeds = ["a", "b"]
+        host = solve_sde(compile_batch(systems), (0.0, 1.0),
+                         noise_seeds=seeds, n_points=60)
+        device = solve_sde(
+            compile_batch(systems, array_backend="jax"),
+            (0.0, 1.0), noise_seeds=seeds, n_points=60)
+        scale = np.max(np.abs(host.y))
+        assert np.max(np.abs(device.y - host.y)) < 1e-9 * scale
+
+    def test_ensemble_driver_jax(self):
+        def factory(seed):
+            return mismatched_tline("gm", seed=seed)
+
+        host = run_ensemble(factory, range(3), (0.0, 8e-8),
+                            n_points=80)
+        device = run_ensemble(factory, range(3), (0.0, 8e-8),
+                              n_points=80, array_backend="jax")
+        for a, b in zip(host.batches, device.batches):
+            scale = np.max(np.abs(a.y))
+            assert np.max(np.abs(b.y - a.y)) < 1e-9 * scale

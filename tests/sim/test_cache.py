@@ -59,6 +59,32 @@ class TestKeying:
             assert cache.key_for(_systems(range(3)), "batch",
                                  changed) != base
 
+    def test_array_backend_spellings_share_one_key(self):
+        # Regression (CACHE_SCHEMA 3): the array_backend option is
+        # canonicalized before hashing, so every spelling of the
+        # default resolves to the same entry — a sweep that sets
+        # array_backend="numpy" must hit the cache a plain sweep
+        # populated.
+        cache = TrajectoryCache()
+        base = cache.key_for(_systems(range(3)), "batch",
+                             dict(_OPTIONS, array_backend=None))
+        for spelling in ("numpy", "numpy:float64"):
+            spelled = cache.key_for(
+                _systems(range(3)), "batch",
+                dict(_OPTIONS, array_backend=spelling))
+            assert spelled == base, spelling
+
+    def test_array_backend_name_and_dtype_change_key(self):
+        # ...while a different backend or dtype policy — numerically
+        # different results — can never collide with the default.
+        cache = TrajectoryCache()
+        base = cache.key_for(_systems(range(3)), "batch",
+                             dict(_OPTIONS, array_backend=None))
+        for spec in ("numpy:float32", "jax", "jax:float32", "cupy"):
+            other = cache.key_for(_systems(range(3)), "batch",
+                                  dict(_OPTIONS, array_backend=spec))
+            assert other != base, spec
+
     def test_ndarray_option_values_hash(self):
         cache = TrajectoryCache()
         a = dict(_OPTIONS, t_eval=np.linspace(0.0, 1.0, 7))
@@ -186,6 +212,36 @@ class TestEnsembleIntegration:
         for a, b in zip(first.batches, second.batches):
             np.testing.assert_array_equal(a.y, b.y)
             np.testing.assert_array_equal(a.t, b.t)
+
+    def test_explicit_numpy_spelling_hits_default_entry(self):
+        cache = TrajectoryCache()
+        first = run_ensemble(_factory, range(4), (0.0, 1.0),
+                             n_points=40, cache=cache)
+        second = run_ensemble(_factory, range(4), (0.0, 1.0),
+                              n_points=40, cache=cache,
+                              array_backend="numpy:float64")
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        for a, b in zip(first.batches, second.batches):
+            np.testing.assert_array_equal(a.y, b.y)
+
+    def test_float32_never_replays_float64_entry(self):
+        cache = TrajectoryCache()
+        run_ensemble(_factory, range(4), (0.0, 1.0), n_points=40,
+                     cache=cache)
+        single = run_ensemble(_factory, range(4), (0.0, 1.0),
+                              n_points=40, cache=cache,
+                              array_backend="numpy:float32")
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert single.batches[0].y.dtype == np.float32
+        # ...and the float32 entry replays as float32, not widened.
+        warm = run_ensemble(_factory, range(4), (0.0, 1.0),
+                            n_points=40, cache=cache,
+                            array_backend="numpy:float32")
+        assert cache.stats.hits == 1
+        assert warm.batches[0].y.dtype == np.float32
+        np.testing.assert_array_equal(warm.batches[0].y,
+                                      single.batches[0].y)
 
     def test_grid_change_misses(self):
         cache = TrajectoryCache()

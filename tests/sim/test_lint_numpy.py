@@ -1,0 +1,142 @@
+"""Tests for the no-direct-numpy CI lint
+(``tools/check_no_direct_numpy.py``): the repo's backend zones are
+clean, violations are flagged with file:line, the host-boundary pragma
+excuses deliberate crossings, and a renamed zone cannot silently drop
+coverage."""
+
+import importlib.util
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+TOOL = REPO_ROOT / "tools" / "check_no_direct_numpy.py"
+
+spec = importlib.util.spec_from_file_location("check_no_direct_numpy",
+                                              TOOL)
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+def _check_source(tmp_path, source, zones):
+    path = tmp_path / "zone.py"
+    path.write_text(source)
+    return lint.check_file(path, zones, "zone.py")
+
+
+class TestRepoIsClean:
+    def test_main_exits_zero(self, capsys):
+        assert lint.main([]) == 0
+        assert "zones clean" in capsys.readouterr().out
+
+    def test_every_zone_exists(self):
+        # The zone table names real functions — a refactor that renames
+        # one must update the table (and this asserts it did).
+        for file, zones in lint.FORBIDDEN_ZONES.items():
+            path = REPO_ROOT / file
+            problems = lint.check_file(path, zones, file)
+            missing = [p for p in problems if "not found" in p]
+            assert not missing, missing
+
+
+class TestViolations:
+    def test_np_reference_flagged_with_line(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "import numpy as np\n"
+            "def step(y, xp):\n"
+            "    return xp.abs(y) + np.zeros(3)\n"
+        ), ("step",))
+        assert len(problems) == 1
+        assert problems[0].startswith("zone.py:3:")
+
+    def test_import_numpy_inside_zone_flagged(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "def step(y):\n"
+            "    import numpy\n"
+            "    return numpy.abs(y)\n"
+        ), ("step",))
+        assert any("import numpy" in p for p in problems)
+
+    def test_from_numpy_import_flagged(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "def step(y):\n"
+            "    from numpy import abs as np_abs\n"
+            "    return np_abs(y)\n"
+        ), ("step",))
+        assert len(problems) == 1
+
+    def test_method_zone_notation(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "import numpy as np\n"
+            "class Rhs:\n"
+            "    def __call__(self, y):\n"
+            "        return np.empty_like(y)\n"
+        ), ("Rhs.__call__",))
+        assert len(problems) == 1
+        assert "zone.py:4" in problems[0]
+
+
+class TestAllowances:
+    def test_pragma_excuses_statement(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "import numpy as np\n"
+            "def step(y, xp):\n"
+            "    out = np.empty(3)  # ark: host-boundary\n"
+            "    return xp.abs(y)\n"
+        ), ("step",))
+        assert problems == []
+
+    def test_pragma_covers_multiline_statement(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "import numpy as np\n"
+            "def step(y, xp):\n"
+            "    out = np.empty(\n"
+            "        (3, 4))  # ark: host-boundary\n"
+            "    return xp.abs(y)\n"
+        ), ("step",))
+        assert problems == []
+
+    def test_outside_zone_untouched(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "import numpy as np\n"
+            "def assemble(y):\n"
+            "    return np.asarray(y)\n"
+            "def step(y, xp):\n"
+            "    return xp.abs(y)\n"
+        ), ("step",))
+        assert problems == []
+
+    def test_signature_defaults_allowed(self, tmp_path):
+        # ``xp=np`` defaults and ``np.ndarray`` annotations state the
+        # host-facing contract; they run at import, not per step.
+        problems = _check_source(tmp_path, (
+            "import numpy as np\n"
+            "def step(y: np.ndarray, xp=np) -> np.ndarray:\n"
+            "    return xp.abs(y)\n"
+        ), ("step",))
+        assert problems == []
+
+
+class TestZoneDrift:
+    def test_missing_zone_is_an_error(self, tmp_path):
+        problems = _check_source(tmp_path, (
+            "def other():\n"
+            "    pass\n"
+        ), ("vanished",))
+        assert len(problems) == 1
+        assert "not found" in problems[0]
+        assert "FORBIDDEN_ZONES" in problems[0]
+
+    def test_missing_file_is_an_error(self, monkeypatch, capsys):
+        monkeypatch.setattr(lint, "FORBIDDEN_ZONES",
+                            {"no/such/file.py": ("f",)})
+        assert lint.main([]) == 1
+        assert "zone file missing" in capsys.readouterr().err
+
+
+def test_cli_runs_standalone():
+    import subprocess
+
+    done = subprocess.run([sys.executable, str(TOOL)],
+                          capture_output=True, text=True)
+    assert done.returncode == 0, done.stderr
+    assert "zones clean" in done.stdout

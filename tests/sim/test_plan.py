@@ -58,7 +58,7 @@ class TestValidation:
     def test_unknown_backend_in_plan(self):
         plan = ExecutionPlan(factory=_ou_factory(), seeds=[0],
                              t_span=(0.0, 1.0), backend="nope")
-        with pytest.raises(ValueError, match="unknown execution"):
+        with pytest.raises(SimulationError, match="unknown execution"):
             plan.run()
 
     def test_trials_below_one(self):
