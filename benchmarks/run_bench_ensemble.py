@@ -37,6 +37,13 @@ non-zero instead of silently skewing):
   recorded because on a single-core host neither pool can beat the
   single-process batch on wall clock — the numbers to read are
   warm-vs-cold and pool-vs-shard.
+* ``scheduling`` — the adaptive scheduler on a deliberately skewed
+  OBC workload (expensive rows contiguous at the head of one batch):
+  even split vs cost-balanced split (cut from the profile the even
+  run just learned) vs cost + ``overshard=4``, with per-group worker
+  imbalance ratios. All three gated bit-identical; the >= 1.3x
+  cost+overshard speedup additionally gates full-size runs on hosts
+  with at least 4 CPUs.
 * ``streaming`` — a two-structural-group t-line sweep through
   ``stream_ensemble``: time to the *first* finished group vs. the
   barriered total, with the assembled stream gated bit-identical to
@@ -78,6 +85,42 @@ class TlineBenchFactory:
 
     def __call__(self, seed):
         return mismatched_tline("gm", seed=seed)
+
+
+class SkewedMaxcutFactory:
+    """Deliberately cost-skewed OBC workload, one structural group.
+
+    Every seed builds the same 12-oscillator offset-afflicted max-cut
+    ring (identical structure, so the whole sweep is one batch), but
+    the first quarter of seeds get a strong coupling — their networks
+    keep evolving over the whole span — while the rest get a weak one
+    and lock almost immediately, so under ``freeze_tol`` their rows
+    freeze out of the RHS early (~4x cheaper per row). The expensive
+    rows sit *contiguously at the head* of the batch: an even row
+    split hands one worker all of them, which is exactly the imbalance
+    the cost schedule and oversharding exist to fix."""
+
+    N_VERTICES = 12
+    SLOW_COUPLING = -1.0
+    FAST_COUPLING = -0.02
+
+    def __init__(self, n_seeds: int):
+        self.n_slow = max(1, n_seeds // 4)
+
+    def __call__(self, seed):
+        import math
+
+        from repro.paradigms.obc import maxcut_network
+
+        n_v = self.N_VERTICES
+        edges = [(i, (i + 1) % n_v) for i in range(n_v)]
+        phases = np.random.default_rng(7).uniform(
+            0.0, 2.0 * math.pi, n_v)
+        coupling = (self.SLOW_COUPLING if seed < self.n_slow
+                    else self.FAST_COUPLING)
+        return maxcut_network(edges, n_v, initial_phases=phases,
+                              edge_type="Cpl_ofs", seed=seed,
+                              coupling=coupling)
 
 
 class TwoGroupTlineFactory:
@@ -356,6 +399,84 @@ def run_stream_scenario(n_instances: int, n_points: int) -> dict:
     return result
 
 
+def run_scheduling_scenario(n_instances: int, smoke: bool) -> dict:
+    """Even vs cost-balanced vs oversharded scheduling on the skewed
+    OBC workload (see :class:`SkewedMaxcutFactory`).
+
+    The even baseline runs with a cost profile attached: the split is
+    still the historical even one, but the scheduler observes per-shard
+    timings — so the baseline run *is* the learning run, and the cost
+    run that follows cuts shards from a warm profile. All three
+    configurations are gated bit-identical (rk4 row arithmetic is
+    partition-independent); the >= 1.3x cost+overshard speedup is gated
+    only on full-size runs with at least 4 CPUs — on smaller hosts the
+    workers share cores and balancing cannot buy wall time, so the
+    numbers are recorded but not judged.
+    """
+    import tempfile
+
+    from repro.telemetry import RunReport
+
+    factory = SkewedMaxcutFactory(n_instances)
+    span = (0.0, 100e-9)
+    processes = min(4, max(2, os.cpu_count() or 1))
+    kwargs = dict(n_points=60, method="rk4", freeze_tol=50.0,
+                  max_step=0.2e-9, engine="pool",
+                  processes=processes, shard_min=2)
+    baseline = run_ensemble(factory, range(n_instances), span,
+                            **kwargs)  # warm the pool + kernel caches
+
+    def timed(schedule, overshard, profile):
+        best = float("inf")
+        for _ in range(2):
+            report = RunReport()
+            start = time.perf_counter()
+            result = run_ensemble(factory, range(n_instances), span,
+                                  schedule=schedule,
+                                  overshard=overshard,
+                                  cost_profile=profile,
+                                  telemetry=report, **kwargs)
+            best = min(best, time.perf_counter() - start)
+        ratios = report.gauges.get("sched.imbalance_ratio") or []
+        identical = bool(np.array_equal(baseline.batches[0].y,
+                                        result.batches[0].y))
+        return {"seconds": round(best, 4),
+                "imbalance_ratio": round(max(ratios), 3) if ratios
+                else None,
+                "bit_identical": identical}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        profile = os.path.join(tmp, "cost_profile.json")
+        even = timed("even", 1, profile)   # learns the profile
+        cost = timed("cost", 1, profile)
+        oversharded = timed("cost", 4, profile)
+    speedup = round(even["seconds"] / oversharded["seconds"], 2)
+    gate_speedup = not smoke and (os.cpu_count() or 1) >= 4
+    result = {
+        "workload": f"skewed_maxcut_{n_instances}",
+        "n_instances": n_instances,
+        "n_slow_rows": factory.n_slow,
+        "processes": processes,
+        "cpu_count": os.cpu_count(),
+        "even": even,
+        "cost": cost,
+        "cost_overshard4": oversharded,
+        "cost_overshard_speedup_vs_even": speedup,
+        "speedup_gated": gate_speedup,
+        "bit_identical": bool(even["bit_identical"]
+                              and cost["bit_identical"]
+                              and oversharded["bit_identical"]),
+        "speedup_ok": bool(not gate_speedup or speedup >= 1.3),
+    }
+    print(f"[scheduling] even {even['seconds']:.2f}s (imbalance "
+          f"{even['imbalance_ratio']})  cost {cost['seconds']:.2f}s  "
+          f"cost+overshard4 {oversharded['seconds']:.2f}s  "
+          f"speedup {speedup:.2f}x"
+          f"{'' if gate_speedup else ' (not gated: small host/smoke)'}"
+          f"  identical={result['bit_identical']}")
+    return result
+
+
 def run_telemetry_scenario(n_instances: int, n_points: int) -> dict:
     """Telemetry cost, both ways, on the t-line mismatch sweep.
 
@@ -447,11 +568,16 @@ def append_history(payload: dict, history_path) -> None:
     pool = payload["pool"]
     record(f"ensemble.pool.warm[{tag}]", pool["pool_warm_seconds"],
            processes=pool["processes"])
+    sched = payload["scheduling"]
+    record(f"ensemble.sched.cost_overshard[{tag}]",
+           sched["cost_overshard4"]["seconds"],
+           processes=sched["processes"],
+           speedup_vs_even=sched["cost_overshard_speedup_vs_even"])
     stream = payload["streaming"]
     record(f"ensemble.stream.first[{tag}]",
            stream["time_to_first_result_seconds"],
            n_groups=stream["n_groups"])
-    print(f"appended {2 + len(payload['workloads'])} history entries "
+    print(f"appended {3 + len(payload['workloads'])} history entries "
           f"to {history_path} (sha {sha})")
 
 
@@ -481,6 +607,7 @@ def main(argv=None) -> int:
             for name, spec in workloads(n_instances,
                                         args.smoke).items()},
         "pool": run_pool_scenario(n_instances, tline_points),
+        "scheduling": run_scheduling_scenario(n_instances, args.smoke),
         "streaming": run_stream_scenario(n_instances, tline_points),
         "telemetry": run_telemetry_scenario(n_instances, tline_points),
         "array_backend": run_array_backend_scenario(n_instances,
@@ -490,6 +617,10 @@ def main(argv=None) -> int:
                 if not record["cache"]["bit_identical"]]
     if not payload["pool"]["bit_identical"]:
         failures.append("pool-vs-shard")
+    if not payload["scheduling"]["bit_identical"]:
+        failures.append("scheduling-cost-vs-even")
+    if not payload["scheduling"]["speedup_ok"]:
+        failures.append("scheduling-overshard-speedup")
     if not payload["streaming"]["bit_identical"]:
         failures.append("streaming-vs-barrier")
     if not payload["telemetry"]["bit_identical"]:

@@ -198,6 +198,18 @@ def bench_sharded_sde(n_chips, n_trials, n_points,
                            pool_warm.batches[0].y)
         and np.array_equal(pool_warm.batches[0].y,
                            pool_metered.batches[0].y))
+    # Adaptive scheduling on the SDE path: both SDE methods are
+    # fixed-step with per-(seed, element, path) Wiener streams, so a
+    # cost-balanced oversharded split must replay the identical
+    # realizations — the bit-identity gate that keeps the scheduler
+    # honest on stochastic workloads too.
+    start = time.perf_counter()
+    scheduled = run_ensemble(factory, range(n_chips), span,
+                             engine="pool", processes=processes,
+                             schedule="cost", overshard=4, **kwargs)
+    scheduled_seconds = time.perf_counter() - start
+    sched_identical = bool(np.array_equal(pool_warm.batches[0].y,
+                                          scheduled.batches[0].y))
     result = {
         "n_chips": n_chips,
         "n_trials": n_trials,
@@ -221,6 +233,12 @@ def bench_sharded_sde(n_chips, n_trials, n_points,
         "pickle_bytes_avoided_per_solve": int(
             sum(batch.y.nbytes for batch in pool_cold.batches)),
         "pool_bit_identical": pool_identical,
+        "scheduling": {
+            "schedule": "cost",
+            "overshard": 4,
+            "seconds": round(scheduled_seconds, 4),
+            "bit_identical": sched_identical,
+        },
         "telemetry": {
             "solver_nfev": int(tele_report.counter("solver.nfev")),
             "pool_shards": int(tele_report.counter("pool.shards")),
@@ -378,6 +396,10 @@ def main(argv=None) -> int:
         return 1
     if not payload["sharded_sde"]["pool_bit_identical"]:
         print("ERROR: pool SDE result is not bit-identical",
+              file=sys.stderr)
+        return 1
+    if not payload["sharded_sde"]["scheduling"]["bit_identical"]:
+        print("ERROR: cost-scheduled SDE result is not bit-identical",
               file=sys.stderr)
         return 1
     if not payload["puf_reliability"]["responses_identical"]:

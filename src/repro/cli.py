@@ -327,6 +327,9 @@ def cmd_ensemble(args) -> int:
                               sde_method=args.sde_method,
                               array_backend=getattr(
                                   args, "array_backend", None),
+                              schedule=args.schedule,
+                              overshard=args.overshard,
+                              pin_workers=args.pin_workers,
                               stream=args.stream, progress=progress)
         if args.stream:
             # Drain the chunk stream, narrating each finished group,
@@ -670,6 +673,9 @@ def cmd_noise(args) -> int:
     args.processes = getattr(args, "processes", None)
     args.freeze_tol = getattr(args, "freeze_tol", None)
     args.stream = getattr(args, "stream", False)
+    args.schedule = getattr(args, "schedule", "even")
+    args.overshard = getattr(args, "overshard", 1)
+    args.pin_workers = getattr(args, "pin_workers", False)
     if not hasattr(args, "shard_min"):
         from repro.sim import ensemble as _ensemble
 
@@ -806,6 +812,23 @@ def build_parser() -> argparse.ArgumentParser:
                        "--shard-min instances run on the persistent "
                        "zero-copy worker pool as per-core sub-batches "
                        "and serial fallbacks fan out one-per-worker")
+    p_ens.add_argument("--schedule", default="even",
+                       choices=("even", "cost"),
+                       help="pool/shard row-split policy: even "
+                       "(default, near-equal row counts) or cost "
+                       "(shards cut at predicted-cost quantiles from "
+                       "the persisted cost profile, stiffest group "
+                       "submitted first); bit-identical to even for "
+                       "every method")
+    p_ens.add_argument("--overshard", type=int, default=1,
+                       metavar="K",
+                       help="shards per process for fixed-step "
+                       "groups: K x --processes shards drain from "
+                       "the pool's pull queue so fast workers steal "
+                       "the tail of a skewed group (default 1)")
+    p_ens.add_argument("--pin-workers", action="store_true",
+                       help="pin pool workers round-robin to CPUs "
+                       "(Linux sched_setaffinity; no-op elsewhere)")
     p_ens.add_argument("--stream", action="store_true",
                        help="stream per-group results as they finish "
                        "(prints one progress line per completed "

@@ -26,6 +26,11 @@ implementation runs them as vectorized batches (``--vectorize --bz
 * :mod:`repro.sim.noisy` — :func:`~repro.sim.noisy.run_noisy_ensemble`,
   the established (chip seed × noise trial) name, now a delegating shim
   over the unified driver;
+* :mod:`repro.sim.sched` — cost-model-driven adaptive scheduling for
+  the ``shard``/``pool`` backends: cost-balanced uneven row splits,
+  oversharding onto the pull queue, a persisted per-group cost
+  profile, and optional worker CPU pinning — all bit-identical to the
+  even split (adaptive methods are pinned to the canonical split);
 * :mod:`repro.sim.array_api` — the pluggable array-namespace layer:
   an :class:`~repro.sim.array_api.ArrayBackend` protocol with numpy
   always present (bit-identical default) and jax/cupy registered
@@ -62,6 +67,8 @@ from repro.sim.plan import (BACKENDS, ExecutionBackend, ExecutionPlan,
 from repro.sim.ensemble import (BATCH_METHODS, ENGINES, EnsembleChunk,
                                 EnsembleResult, resolve_engine,
                                 run_ensemble, stream_ensemble)
+from repro.sim.sched import (SCHEDULES, CostProfile, Scheduler,
+                             balanced_parts, even_parts)
 from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
                                   simulate_sde, solve_sde)
 from repro.sim.noisy import (NoisyEnsembleChunk, NoisyEnsembleResult,
@@ -83,14 +90,19 @@ __all__ = [
     "NoisyEnsembleChunk",
     "NoisyEnsembleResult",
     "NumpyBackend",
+    "SCHEDULES",
     "SDE_METHODS",
+    "CostProfile",
+    "Scheduler",
     "TrajectoryCache",
     "WienerSource",
     "array_backend_names",
     "assemble_chunks",
     "backend_names",
+    "balanced_parts",
     "canonical_spec",
     "compile_batch",
+    "even_parts",
     "default_cache",
     "execute_plan",
     "generate_batch_source",

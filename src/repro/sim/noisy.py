@@ -117,6 +117,8 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                        shard_min: int = DEFAULT_SHARD_MIN,
                        freeze_tol: float | None = None,
                        stream: bool = False, array_backend=None,
+                       schedule: str = "even", overshard: int = 1,
+                       pin_workers: bool = False,
                        telemetry=None, progress=None):
     """Simulate every (fabricated chip, noise trial) pair, batched.
 
@@ -157,6 +159,10 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
         (``None``/``"numpy"`` default; see
         :func:`~repro.sim.ensemble.run_ensemble`). Wiener draws stay
         on the host PRNG, so realizations are backend-independent.
+    :param schedule: pool/shard row-split policy (``even``/``cost``);
+        both SDE methods are fixed-step, so ``cost`` splits (and
+        ``overshard``/``pin_workers``) apply fully and stay
+        bit-identical (see :func:`~repro.sim.ensemble.run_ensemble`).
     :param telemetry: metric collection (``True``, a
         :class:`~repro.telemetry.RunReport`, or ``None``; see
         :func:`~repro.sim.ensemble.run_ensemble`). The populated
@@ -174,4 +180,6 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
                         processes=processes, shard_min=shard_min,
                         freeze_tol=freeze_tol, stream=stream,
                         array_backend=array_backend,
+                        schedule=schedule, overshard=overshard,
+                        pin_workers=pin_workers,
                         telemetry=telemetry, progress=progress)

@@ -71,6 +71,7 @@ from repro.core.simulator import Trajectory, simulate
 from repro.errors import SimulationError
 
 from repro.sim import batch_codegen
+from repro.sim import sched as sched_module
 from repro.sim.array_api import (array_backend_names, canonical_spec,
                                  parse_backend_spec,
                                  resolve_array_backend)
@@ -155,6 +156,23 @@ class ExecutionPlan:
         device arrays through the host); ``auto`` simply keeps such
         groups single-process. The serial scipy ODE path always runs
         numpy.
+    :param schedule: row-split policy of the ``shard``/``pool``
+        backends — ``even`` (default: the historical near-equal row
+        counts) or ``cost`` (shards cut at predicted-cost quantiles
+        using the persisted cost profile, and groups submitted
+        longest-predicted-first). Bit-identical to ``even`` for every
+        method: fixed-step rows are partition-independent, and
+        adaptive (rkf45) groups are pinned to the canonical even
+        split (see :mod:`repro.sim.sched`).
+    :param overshard: shards per process for fixed-step groups —
+        ``overshard * processes`` shards drain from the pool's pull
+        queue so fast workers steal the tail of a skewed group
+        (default 1, the historical one-shard-per-process).
+    :param pin_workers: round-robin pool workers across CPUs via
+        ``os.sched_setaffinity`` (Linux; no-op elsewhere).
+    :param cost_profile: explicit path for the persisted JSON cost
+        profile; default is ``cost_profile.json`` next to the disk
+        trajectory cache (no persistence without one).
     """
 
     factory: object
@@ -176,6 +194,10 @@ class ExecutionPlan:
     shard_min: int = DEFAULT_SHARD_MIN
     cache: object = None
     array_backend: object = None
+    schedule: str = "even"
+    overshard: int = 1
+    pin_workers: bool = False
+    cost_profile: object = None
 
     def array_spec(self) -> str:
         """The plan's canonical array-backend spec string
@@ -230,6 +252,13 @@ class ExecutionPlan:
             raise ValueError(
                 f"freeze_tol must be > 0 (or None), got "
                 f"{self.freeze_tol}")
+        if self.schedule not in sched_module.SCHEDULES:
+            raise SimulationError(
+                f"unknown schedule {self.schedule!r}; expected one of "
+                f"{', '.join(sched_module.SCHEDULES)}")
+        if int(self.overshard) < 1:
+            raise SimulationError(
+                f"overshard must be >= 1, got {self.overshard}")
 
     def run(self, progress=None):
         """Execute the plan (see :func:`execute_plan`)."""
@@ -340,31 +369,47 @@ def _whole_group_fuse(n_rows: int, lead: OdeSystem) -> bool:
 
 
 def _shard_parts(n_rows: int, processes: int) -> list[np.ndarray]:
-    """The canonical row split: contiguous, near-equal sub-batches.
-    ``shard`` and ``pool`` share it, which is what makes the two
-    backends bit-identical even for the adaptive rkf45 (whose step
-    control depends on shard membership)."""
-    n_shards = min(int(processes), n_rows)
-    if n_shards < 2:
+    """The canonical row split: contiguous, near-equal sub-batches
+    (now delegated to :func:`repro.sim.sched.even_parts`). ``shard``
+    and ``pool`` share it, which is what makes the two backends
+    bit-identical even for the adaptive rkf45 (whose step control
+    depends on shard membership)."""
+    if int(processes) < 2:
         return []
-    return [part for part in np.array_split(np.arange(n_rows), n_shards)
-            if len(part)]
+    return sched_module.even_parts(n_rows, processes)
 
 
 def _batch_shard_job(shard_seeds):
     """Pool worker integrating one shard of a batched ODE group:
     rebuild the shard's instances from the seeds — systems themselves
-    rarely pickle — and run the same batched solve the parent would."""
+    rarely pickle — and run the same batched solve the parent would.
+    The measured wall time feeds the scheduler's cost profile."""
     factory, t_span, options, fuse = _POOL_COMMON
+    started = time.perf_counter()
     systems = [_compile_target(factory(seed)) for seed in shard_seeds]
     batch = compile_batch(systems, fuse=fuse,
                           array_backend=options.get("array_backend"))
     trajectory = solve_batch(batch, t_span, **options)
-    return trajectory.y, trajectory.nfev
+    return trajectory.y, trajectory.nfev, time.perf_counter() - started
+
+
+def _observe_throwaway(scheduler, key, parts, stacked) -> None:
+    """Feed a throwaway-pool group's per-shard wall times into the
+    scheduler (the persistent pool routes the same data through
+    ``PoolHandle`` instead). Worker identities do not exist here, so
+    only the cost profile is refined — no imbalance counters."""
+    if scheduler is None or key is None:
+        return
+    n_rows = sum(len(part) for part in parts)
+    stats = [{"offset": int(part[0]), "rows": len(part),
+              "seconds": seconds}
+             for part, (_y, _nfev, seconds) in zip(parts, stacked)]
+    scheduler.observe(key, n_rows, stats)
 
 
 def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
-                         options, processes) -> BatchTrajectory | None:
+                         options, processes, scheduler=None,
+                         key=None) -> BatchTrajectory | None:
     """Integrate one structural group as per-core sub-batches across a
     throwaway process pool. Returns ``None`` when the pool cannot be
     used (the caller then runs the single-process batched solve).
@@ -372,11 +417,17 @@ def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
     Each shard is an independent batched solve over a contiguous slice
     of the group, so stacking the shard results reproduces the
     single-process row order exactly; with fixed-step methods the
-    result is bit-identical (every instance's arithmetic is row-local),
-    while rkf45's shared step sequence may differ at tolerance level
-    because error control no longer sees the whole group.
+    result is bit-identical (every instance's arithmetic is row-local)
+    for *any* contiguous partition — which is what lets the scheduler
+    cut shards at cost quantiles — while rkf45's shared step sequence
+    may differ at tolerance level because error control no longer sees
+    the whole group (the scheduler pins it to the canonical split).
     """
-    parts = _shard_parts(len(indices), processes)
+    if scheduler is not None:
+        parts = scheduler.parts(len(indices), processes,
+                                method=options.get("method"), key=key)
+    else:
+        parts = _shard_parts(len(indices), processes)
     if not parts:
         return None
     fuse = _whole_group_fuse(len(indices), systems[indices[0]])
@@ -387,11 +438,17 @@ def _solve_batch_sharded(factory, seeds, indices, systems, t_span,
         return None
     import multiprocessing
 
-    with multiprocessing.Pool(len(parts), initializer=_pool_init,
+    # Oversharded groups queue more parts than workers; chunksize=1
+    # keeps the surplus pull-balanced instead of pre-dealt.
+    with multiprocessing.Pool(min(int(processes), len(parts)),
+                              initializer=_pool_init,
                               initargs=(common,)) as pool:
-        stacked = pool.map(_batch_shard_job, shard_seeds)
-    y = np.concatenate([part for part, _nfev in stacked], axis=0)
-    nfev = sum(part_nfev or 0 for _part, part_nfev in stacked)
+        stacked = pool.map(_batch_shard_job, shard_seeds, chunksize=1)
+    if scheduler is not None and scheduler.wants_timing(
+            options.get("method")):
+        _observe_throwaway(scheduler, key, parts, stacked)
+    y = np.concatenate([part for part, _nfev, _secs in stacked], axis=0)
+    nfev = sum(part_nfev or 0 for _part, part_nfev, _secs in stacked)
     telemetry.add("solver.nfev", nfev)
     grid = _output_grid(t_span, options.get("n_points", 500),
                         options.get("t_eval"))
@@ -423,11 +480,12 @@ def _sde_shard_job(rows):
     """Pool worker integrating one shard of a replicated SDE batch
     (see :func:`_compile_sde_rows` for the replication contract)."""
     factory, t_span, options, fuse = _POOL_COMMON
+    started = time.perf_counter()
     replicated, tokens = _compile_sde_rows(factory, rows)
     batch = compile_batch(replicated, fuse=fuse,
                           array_backend=options.get("array_backend"))
     trajectory = solve_sde(batch, t_span, noise_seeds=tokens, **options)
-    return trajectory.y, trajectory.nfev
+    return trajectory.y, trajectory.nfev, time.perf_counter() - started
 
 
 def _sde_rows(chip_seeds, chip_keys, noise_seeds) -> list[tuple]:
@@ -436,8 +494,8 @@ def _sde_rows(chip_seeds, chip_keys, noise_seeds) -> list[tuple]:
 
 
 def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
-                      replicated, t_span, options,
-                      processes) -> BatchTrajectory | None:
+                      replicated, t_span, options, processes,
+                      scheduler=None, key=None) -> BatchTrajectory | None:
     """Integrate a replicated (chip x trial) SDE batch as per-core
     sub-batches. Row ``r`` belongs to chip ``chip_keys[r]`` (an index
     into ``chip_seeds``) and draws the Wiener realization of
@@ -445,10 +503,16 @@ def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
     otherwise the result is **bit-identical** to the unsharded
     :func:`~repro.sim.sde_solver.solve_sde` — fixed-step solvers keep
     every instance's arithmetic row-local and streams are keyed per
-    token, so splitting rows across processes cannot change them.
+    token, so splitting rows across processes (under *any* contiguous
+    partition, including the scheduler's cost-balanced one) cannot
+    change them.
     """
     n_rows = len(noise_seeds)
-    parts = _shard_parts(n_rows, processes)
+    if scheduler is not None:
+        parts = scheduler.parts(n_rows, processes,
+                                method=options.get("method"), key=key)
+    else:
+        parts = _shard_parts(n_rows, processes)
     if not parts:
         return None
     fuse = _whole_group_fuse(n_rows, replicated[0])
@@ -459,11 +523,15 @@ def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
         return None
     import multiprocessing
 
-    with multiprocessing.Pool(len(parts), initializer=_pool_init,
+    with multiprocessing.Pool(min(int(processes), len(parts)),
+                              initializer=_pool_init,
                               initargs=(common,)) as pool:
-        stacked = pool.map(_sde_shard_job, shard_rows)
-    y = np.concatenate([part for part, _nfev in stacked], axis=0)
-    nfev = sum(part_nfev or 0 for _part, part_nfev in stacked)
+        stacked = pool.map(_sde_shard_job, shard_rows, chunksize=1)
+    if scheduler is not None and scheduler.wants_timing(
+            options.get("method")):
+        _observe_throwaway(scheduler, key, parts, stacked)
+    y = np.concatenate([part for part, _nfev, _secs in stacked], axis=0)
+    nfev = sum(part_nfev or 0 for _part, part_nfev, _secs in stacked)
     telemetry.add("solver.nfev", nfev)
     grid = _output_grid(t_span, options.get("n_points", 500),
                         options.get("t_eval"))
@@ -609,10 +677,14 @@ class ShardBackend(ExecutionBackend):
 
     def solve_ode(self, task: GroupTask):
         plan = task.plan
+        scheduler = sched_module.scheduler_for(plan)
+        key = sched_module.group_key(task.group_systems[0],
+                                     task.options.get("method"), "ode")
         sharded = _solve_batch_sharded(
             plan.factory, list(plan.seeds), task.indices,
             {i: s for i, s in zip(task.indices, task.group_systems)},
-            plan.t_span, task.options, _pool_width(plan))
+            plan.t_span, task.options, _pool_width(plan),
+            scheduler=scheduler, key=key)
         if sharded is None:
             return BACKENDS["batch"].solve_ode(task)
         # Shard-split rkf45 runs per-shard step control, so an uncached
@@ -623,10 +695,14 @@ class ShardBackend(ExecutionBackend):
 
     def solve_sde(self, task: GroupTask):
         plan = task.plan
+        scheduler = sched_module.scheduler_for(plan)
+        key = sched_module.group_key(task.group_systems[0],
+                                     task.options.get("method"), "sde")
         sharded = sharded_solve_sde(
             plan.factory, task.chip_seeds, task.chip_keys,
             task.noise_seeds, task.group_systems, plan.t_span,
-            task.options, _pool_width(plan))
+            task.options, _pool_width(plan), scheduler=scheduler,
+            key=key)
         if sharded is None:
             return BACKENDS["batch"].solve_sde(task)
         # Both SDE methods are fixed-step: shards are bit-identical to
@@ -654,7 +730,13 @@ class PoolBackend(ExecutionBackend):
         from repro.sim.shm import ShmBlock
 
         plan = task.plan
-        parts = _shard_parts(len(rows), _pool_width(plan))
+        scheduler = sched_module.scheduler_for(plan)
+        method = task.options.get("method")
+        key = sched_module.group_key(task.group_systems[0], method,
+                                     kind)
+        processes = _pool_width(plan)
+        parts = scheduler.parts(len(rows), processes, method=method,
+                                key=key)
         if not parts:
             return None
         fuse = _whole_group_fuse(len(rows), task.group_systems[0])
@@ -665,7 +747,8 @@ class PoolBackend(ExecutionBackend):
         grid = _output_grid(plan.t_span,
                             task.options.get("n_points", 500),
                             task.options.get("t_eval"))
-        worker_pool = pool_module.get_pool(_pool_width(plan))
+        worker_pool = pool_module.get_pool(
+            processes, pin_workers=scheduler.pin_workers)
         block = ShmBlock.create((len(rows),
                                  task.group_systems[0].n_states,
                                  len(grid)))
@@ -673,11 +756,18 @@ class PoolBackend(ExecutionBackend):
             pool=worker_pool, block=block, grid=grid,
             systems=list(task.group_systems), storable=storable,
             masked=task.options.get("freeze_tol") is not None)
+        timing = scheduler.wants_timing(method)
+        if timing:
+            n_rows = len(rows)
+            handle.on_shards = (
+                lambda stats: scheduler.observe(key, n_rows, stats,
+                                                processes=processes))
         offset = 0
         try:
             for part in parts:
                 worker_pool.submit(handle, kind, common,
-                                   [rows[r] for r in part], offset)
+                                   [rows[r] for r in part], offset,
+                                   timing=timing)
                 offset += len(part)
         except BaseException:
             handle.discard()
@@ -889,6 +979,10 @@ def _stream(plan: ExecutionPlan, seeds: list, progress=None):
                                  backend=plan.backend)
             yield chunk
     finally:
+        # Persist whatever the scheduler learned this sweep — also on
+        # early abandonment, so a killed stream still warms the next
+        # run's cost profile.
+        sched_module.flush_plan(plan)
         if progress is not None:
             progress.finish()
 
@@ -902,6 +996,33 @@ def _effective_backend(backend: ExecutionBackend,
     if isinstance(backend, AutoBackend):
         return backend._pick(task)
     return backend
+
+
+def _submission_order(plan, tasks, kind) -> list[tuple]:
+    """``(order, task)`` pairs in submission order. Under
+    ``schedule="cost"`` groups submit longest-predicted-first (LPT), so
+    the stiffest group starts integrating before the cheap ones queue
+    behind it; ``order`` keeps the original label — groups solve
+    independently and :func:`assemble_chunks` re-sorts by it, so
+    reordering cannot change results."""
+    ordered = list(enumerate(tasks))
+    if len(ordered) < 2 or plan.schedule != "cost":
+        return ordered
+    scheduler = sched_module.scheduler_for(plan)
+    # The executor's cache kind for ODE groups is "batch"; the shard
+    # payload (and hence profile) kind is "ode" — map to the latter so
+    # ordering reads the same profile entries the splits write.
+    key_kind = "ode" if kind == "batch" else kind
+
+    def predicted(pair):
+        task = pair[1]
+        lead = task.group_systems[0]
+        method = task.options.get("method")
+        key = sched_module.group_key(lead, method, key_kind)
+        return scheduler.group_cost(key, len(task.group_systems),
+                                    lead.n_states, method)
+
+    return sorted(ordered, key=predicted, reverse=True)
 
 
 def _drive_groups(plan, tasks, store, kind, key_options, solve_sync,
@@ -922,7 +1043,7 @@ def _drive_groups(plan, tasks, store, kind, key_options, solve_sync,
     backend = BACKENDS[plan.backend]
     hits, sync, runs = [], [], []
     try:
-        for order, task in enumerate(tasks):
+        for order, task in _submission_order(plan, tasks, kind):
             key, hit = cache_lookup(store, task.group_systems, kind,
                                     key_options(task))
             if hit is not None:

@@ -240,6 +240,12 @@ class PoolHandle:
     offsets: list = field(default_factory=list)
     metas: dict = field(default_factory=dict)
     error: BaseException | None = None
+    #: Optional observer called from :meth:`result` with one dict per
+    #: shard (``offset``/``rows``/``seconds``/``worker``) — the
+    #: scheduler's cost-model feedback channel (see
+    #: :mod:`repro.sim.sched`). Only populated when shards were
+    #: submitted with ``timing=True``.
+    on_shards: object = None
 
     @property
     def done(self) -> bool:
@@ -286,6 +292,16 @@ class PoolHandle:
                 if part is not None:
                     frozen[offset:offset + len(part)] = part
             telemetry.add("solver.frozen_rows", int(frozen.sum()))
+        if self.on_shards is not None:
+            stats = []
+            for task_id, offset in self.offsets:
+                meta = self.metas.get(task_id) or {}
+                info = meta.get("telemetry") or {}
+                stats.append({"offset": offset,
+                              "rows": meta.get("n_rows", 0),
+                              "seconds": info.get("busy_seconds"),
+                              "worker": info.get("worker")})
+            self.on_shards(stats)
         return BatchTrajectory(t=self.grid, y=y,
                                systems=list(self.systems),
                                frozen=frozen, nfev=nfev), self.storable
@@ -306,11 +322,13 @@ class WorkerPool:
     solves; submitting is cheap, results route back to their
     :class:`PoolHandle` by task id."""
 
-    def __init__(self, processes: int):
+    def __init__(self, processes: int, pin: bool = False):
         import multiprocessing
 
         context = multiprocessing.get_context()
         self.processes = int(processes)
+        self.pin = bool(pin)
+        self.pinned = 0
         self._tasks = context.Queue()
         self._results = context.Queue()
         self._handles: dict[int, PoolHandle] = {}
@@ -323,9 +341,19 @@ class WorkerPool:
             for index in range(self.processes)]
         for worker in self._workers:
             worker.start()
+        if self.pin:
+            from repro.sim.sched import pin_worker_processes
+
+            self.pinned = pin_worker_processes(
+                [worker.pid for worker in self._workers])
 
     def submit(self, handle: PoolHandle, kind: str, common: bytes,
-               rows: list, row_offset: int) -> int:
+               rows: list, row_offset: int,
+               timing: bool = False) -> int:
+        """Queue one shard. ``timing=True`` forces the worker-side wall
+        clock measurement even without an active telemetry window — the
+        scheduler's cost model consumes it via ``PoolHandle.on_shards``
+        (collection never perturbs the solve either way)."""
         if self.broken:
             raise PoolBrokenError(
                 "worker pool is broken; acquire a fresh one with "
@@ -335,7 +363,7 @@ class WorkerPool:
         handle.pending.add(task_id)
         handle.offsets.append((task_id, row_offset))
         self._handles[task_id] = handle
-        collect = telemetry.enabled()
+        collect = telemetry.enabled() or timing
         self._tasks.put(ShardTask(task_id=task_id, kind=kind,
                                   common=common, rows=rows,
                                   header=handle.block.header,
@@ -345,17 +373,23 @@ class WorkerPool:
                                   if collect else 0.0))
         return task_id
 
-    def drain_one(self, poll: float = 0.1) -> PoolHandle:
+    def drain_one(self, poll: float | None = None) -> PoolHandle:
         """Route the next result to its handle and return that handle.
-        Detects dead workers while waiting: a worker that vanished with
-        tasks outstanding breaks the pool (every in-flight group is
-        unrecoverable — its shard may have died mid-write)."""
+
+        Event-driven: waits on the result queue's pipe *and* every
+        worker's death sentinel in one ``multiprocessing.connection.
+        wait`` call, so the parent wakes the moment a result (or a
+        crash) lands instead of paying the historical up-to-100 ms
+        timeout poll per chunk. A worker that vanished with tasks
+        outstanding breaks the pool (every in-flight group is
+        unrecoverable — its shard may have died mid-write). ``poll``
+        optionally bounds one wait (compatibility knob; ``None`` blocks
+        until an event)."""
         while True:
             try:
-                task_id, ok, payload = self._results.get(timeout=poll)
+                task_id, ok, payload = self._results.get_nowait()
             except queue_module.Empty:
-                if any(not worker.is_alive()
-                       for worker in self._workers):
+                if not self._wait_for_result(poll):
                     self._break()
                     raise PoolBrokenError(
                         "a pool worker died without reporting a "
@@ -366,6 +400,31 @@ class WorkerPool:
                 continue  # result of a discarded (cancelled) group
             handle._complete(task_id, ok, payload)
             return handle
+
+    def _wait_for_result(self, poll: float | None = None) -> bool:
+        """Block until the result queue (probably) has data. ``False``
+        means a worker died with nothing left to drain — the caller
+        breaks the pool."""
+        from multiprocessing import connection
+
+        reader = getattr(self._results, "_reader", None)
+        if reader is None:  # pragma: no cover - exotic queue impl
+            # No pipe to select on: fall back to the historical
+            # bounded sleep + liveness check.
+            time.sleep(poll if poll is not None else 0.05)
+            return all(worker.is_alive() for worker in self._workers)
+        sentinels = [worker.sentinel for worker in self._workers]
+        ready = connection.wait([reader, *sentinels], timeout=poll)
+        if reader in ready:
+            return True
+        if ready:
+            # Only death sentinels fired. The dead worker's queue
+            # feeder may still be flushing a final result it managed to
+            # put before exiting — give the pipe one bounded chance.
+            if reader.poll(0.1):
+                return True
+            return all(worker.is_alive() for worker in self._workers)
+        return True  # bounded wait timed out with everyone alive
 
     def _break(self) -> None:
         self.broken = True
@@ -416,7 +475,7 @@ def active_tasks() -> int:
     return sum(len(pool._handles) for pool in _POOLS.values())
 
 
-def get_pool(processes: int) -> WorkerPool:
+def get_pool(processes: int, pin_workers: bool = False) -> WorkerPool:
     """The process-wide persistent pool of the given width, spawning it
     on first use (or after breakage). Reuse across solves is the point:
     repeated sweeps skip both worker spawn and — through the per-worker
@@ -426,6 +485,9 @@ def get_pool(processes: int) -> WorkerPool:
     session that sweeps with varying ``processes`` values does not
     accumulate resident workers; an idle-width pool that is still
     wanted simply respawns on its next use (paying one cold start).
+    ``pin_workers`` is a spawn-time property: an idle same-width pool
+    with the wrong pinning respawns, an in-flight one is reused as-is
+    (pinning is best-effort, never worth breaking a running sweep).
     :func:`shutdown_pools` releases everything explicitly."""
     processes = int(processes)
     for width, other in list(_POOLS.items()):
@@ -434,8 +496,12 @@ def get_pool(processes: int) -> WorkerPool:
         if width != processes and not other._handles:
             other.close()
     pool = _POOLS.get(processes)
+    if pool is not None and not pool.broken \
+            and pool.pin != bool(pin_workers) and not pool._handles:
+        pool.close()
+        pool = None
     if pool is None or pool.broken:
-        pool = WorkerPool(processes)
+        pool = WorkerPool(processes, pin=pin_workers)
         _POOLS[processes] = pool
     return pool
 

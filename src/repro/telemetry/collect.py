@@ -20,6 +20,19 @@ workers are spawned long before any collection starts). Workers instead
 compute their counters directly when a task is flagged for collection
 and ship them home inside the existing result payload; the parent folds
 them in via :func:`merge_worker`.
+
+Counter namespaces: ``solver.*`` (nfev, frozen rows), ``cache.*``,
+``pool.*`` (shards, shm/pickle bytes, per-worker queue/busy/payload
+aggregates), ``shm.*``, ``stream.*``, ``serial.*``, and — since the
+adaptive scheduler (:mod:`repro.sim.sched`) — ``sched.*``:
+``sched.shards``, ``sched.groups.cost``/``sched.groups.even`` (which
+split each group got), ``sched.adaptive_pinned`` (adaptive groups
+pinned to the canonical split), ``sched.predicted_shard_seconds`` vs
+``sched.actual_shard_seconds`` (cost-model accuracy),
+``sched.steals``, ``sched.pinned_workers``, the
+``sched.imbalance_ratio`` list gauge (max/mean worker busy per group),
+and ``sched.profile.corrupt``. ``repro report`` renders them as the
+``scheduling:`` section.
 """
 
 from __future__ import annotations

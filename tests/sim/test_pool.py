@@ -252,6 +252,29 @@ class TestFailureHygiene:
         # Soft errors keep the workers alive: the pool is NOT broken.
         assert 2 in _POOLS and not _POOLS[2].broken
 
+    def test_drain_one_wakes_promptly_on_silent_worker_death(self):
+        # The event-driven drain waits on the workers' death sentinels,
+        # so a worker that dies without reporting anything breaks the
+        # pool immediately instead of after a poll interval.
+        import time
+
+        from repro.sim.pool import shutdown_pools
+
+        shutdown_pools()
+        try:
+            pool = get_pool(2)
+            victim = pool._workers[0]
+            victim.terminate()
+            victim.join()
+            started = time.perf_counter()
+            with pytest.raises(PoolBrokenError, match="died"):
+                pool.drain_one()
+            assert time.perf_counter() - started < 2.0
+            assert pool.broken
+            assert 2 not in _POOLS
+        finally:
+            shutdown_pools()
+
     def test_keyboard_interrupt_unlinks(self, monkeypatch):
         factory = TlineFactory()
 
