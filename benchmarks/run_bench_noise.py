@@ -36,6 +36,23 @@ Sections:
   plus the masked-vs-unmasked deviation.
 * ``obc_noise_sweep`` — the OBC max-cut solution-quality-vs-noise
   sweep, the workload-level artifact of the noisy engine.
+* ``adaptive_sde`` — the adaptive embedded-pair controller
+  (``heun-adaptive``) against the best fixed-step ladder on the stiff
+  noisy OBC ensemble. Every run draws its noise from the *same*
+  Brownian-bridge lattice (the fixed-step comparator is the adaptive
+  machinery pinned to one uniform level via ``max_step`` with the
+  tolerance test disabled), so pathwise RMS against a 16x-finer
+  reference is meaningful: all integrators see one Wiener realization
+  at different resolutions. The headline is ``nfev_ratio`` — drift
+  evaluations of the cheapest fixed level that matches the adaptive
+  run's accuracy, over the adaptive run's own; the full-size run
+  gates on ``>= 2``.
+* ``correlated_noise`` — ``PufDesign(shared_supply=True)``: every
+  diffusion term of each chip aliased onto one shared "supply" Wiener
+  path (:func:`repro.core.noise.share_wiener`), against the default
+  independent per-segment thermal sources at the same amplitude —
+  the common-mode-rejection story of the differential response
+  encoding, measured as intra-chip reliability.
 """
 
 from __future__ import annotations
@@ -307,6 +324,153 @@ def bench_step_mask(n_instances, n_points) -> dict:
     return result
 
 
+ADAPTIVE_SIGMA = 10.0
+ADAPTIVE_RTOL, ADAPTIVE_ATOL = 3e-2, 3e-4
+
+
+def bench_adaptive_sde(smoke: bool) -> dict:
+    """Adaptive vs. best-fixed-step drift evals at matched accuracy.
+
+    The SHIL binarization term (``-1e9*sin(2*theta)``) makes the lock
+    transient stiff: a fixed ladder must carry the transient's step
+    everywhere, while the controller relaxes to the stability bound
+    once every oscillator locks. All runs share one Brownian-bridge
+    realization, so the RMS against the ``ref_level`` solve is a
+    pathwise trajectory error, not a distributional one.
+    """
+    t_end = 200e-9 if smoke else 400e-9
+    n_points = 79 if smoke else 157
+    n_trials = 2 if smoke else 4
+    levels = list(range(3, 6)) if smoke else list(range(3, 7))
+    ref_level = 8 if smoke else 10
+    rng = np.random.default_rng(1)
+    initials = tuple(tuple(row) for row in
+                     rng.uniform(0.0, 2.0 * np.pi, (n_trials, 4)))
+    factory = MaxcutTrialFactory(((0, 1), (1, 2), (2, 3), (3, 0)), 4,
+                                 initials, ADAPTIVE_SIGMA)
+    batch = compile_batch([compile_graph(factory(k))
+                           for k in range(n_trials)])
+    tokens = [f"1:{k}" for k in range(n_trials)]
+    span = (0.0, t_end)
+    dt_out = t_end / (n_points - 1)
+
+    def fixed(level):
+        # Uniform level-`level` stepping on the same bridge lattice:
+        # max_step pins the floor, the huge tolerances disable the
+        # error test, and grow never passes level_min — i.e. a
+        # fixed-step stochastic-Heun solve that is pathwise
+        # comparable to every other run here.
+        start = time.perf_counter()
+        run = solve_sde(batch, span, noise_seeds=tokens,
+                        n_points=n_points, method="heun-adaptive",
+                        rtol=1e9, atol=1e9,
+                        max_step=dt_out / 2 ** level)
+        return run, time.perf_counter() - start
+
+    reference, _ = fixed(ref_level)
+
+    def rms(run):
+        return float(np.sqrt(np.mean((run.y - reference.y) ** 2)))
+
+    ladder = []
+    for level in levels:
+        run, seconds = fixed(level)
+        ladder.append({"level": level,
+                       "h": dt_out / 2 ** level,
+                       "nfev": run.nfev,
+                       "rms": rms(run),
+                       "seconds": round(seconds, 4)})
+
+    from repro.telemetry import RunReport, collect_metrics
+
+    report = RunReport()
+    start = time.perf_counter()
+    with collect_metrics(into=report,
+                         meta={"driver": "bench_adaptive_sde"}):
+        adaptive = solve_sde(batch, span, noise_seeds=tokens,
+                             n_points=n_points,
+                             method="heun-adaptive",
+                             rtol=ADAPTIVE_RTOL, atol=ADAPTIVE_ATOL)
+    adaptive_seconds = time.perf_counter() - start
+    adaptive_rms = rms(adaptive)
+    # Cheapest fixed level at least as accurate as the adaptive run;
+    # if none qualifies the comparison falls back to the finest rung
+    # (and the ratio gate below will catch the regression).
+    matched = [row for row in ladder if row["rms"] <= adaptive_rms]
+    matched = min(matched, key=lambda row: row["nfev"])         if matched else ladder[-1]
+    ratio = matched["nfev"] / adaptive.nfev
+    result = {
+        "workload": "obc_maxcut_4cycle (SHIL Jacobian ~4e9 rad/s)",
+        "n_trials": n_trials,
+        "n_points": n_points,
+        "t_end": t_end,
+        "noise_sigma": ADAPTIVE_SIGMA,
+        "rtol": ADAPTIVE_RTOL,
+        "atol": ADAPTIVE_ATOL,
+        "reference_level": ref_level,
+        "fixed_ladder": ladder,
+        "adaptive": {
+            "nfev": adaptive.nfev,
+            "rms": adaptive_rms,
+            "seconds": round(adaptive_seconds, 4),
+            "steps_accepted": int(
+                report.counter("solver.steps_accepted")),
+            "steps_rejected": int(
+                report.counter("solver.steps_rejected")),
+        },
+        "matched_fixed_level": matched["level"],
+        "matched_fixed_nfev": matched["nfev"],
+        "nfev_ratio": round(ratio, 2),
+        "meets_2x": bool(ratio >= 2.0),
+    }
+    print(f"[adaptive_sde] adaptive nfev={adaptive.nfev} "
+          f"rms={adaptive_rms:.2e}  matched fixed L="
+          f"{matched['level']} nfev={matched['nfev']} "
+          f"rms={matched['rms']:.2e}  ratio "
+          f"{ratio:.1f}x  (gate >= 2x on full runs)")
+    return result
+
+
+def bench_correlated_noise(n_chips, n_trials, n_points) -> dict:
+    """Shared-supply ripple vs. independent thermal noise, same
+    amplitude: the differential response encoding should reject the
+    common-mode disturbance far better, and the reliability gap
+    measures exactly that."""
+    from repro.puf import puf_reliability
+
+    shared_design = PufDesign(spec=DESIGN.spec,
+                              branch_positions=DESIGN.branch_positions,
+                              branch_lengths=DESIGN.branch_lengths,
+                              noise=DESIGN.noise, shared_supply=True)
+    start = time.perf_counter()
+    shared = puf_reliability(shared_design, CHALLENGE,
+                             range(n_chips), trials=n_trials,
+                             n_bits=N_BITS, n_points=n_points)
+    shared_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    independent = puf_reliability(DESIGN, CHALLENGE, range(n_chips),
+                                  trials=n_trials, n_bits=N_BITS,
+                                  n_points=n_points)
+    independent_seconds = time.perf_counter() - start
+    result = {
+        "n_chips": n_chips,
+        "n_trials": n_trials,
+        "n_points": n_points,
+        "noise_amplitude": DESIGN.noise,
+        "shared_seconds": round(shared_seconds, 4),
+        "independent_seconds": round(independent_seconds, 4),
+        "shared_mean_reliability": round(float(shared.mean), 4),
+        "independent_mean_reliability": round(
+            float(independent.mean), 4),
+    }
+    print(f"[correlated_noise] shared-supply rel "
+          f"{result['shared_mean_reliability']:.3f} "
+          f"({shared_seconds:.2f}s)  independent rel "
+          f"{result['independent_mean_reliability']:.3f} "
+          f"({independent_seconds:.2f}s)")
+    return result
+
+
 def bench_obc(trials, sigmas) -> dict:
     edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
     start = time.perf_counter()
@@ -350,7 +514,15 @@ def append_history(payload: dict, history_path) -> None:
     mask = payload["step_mask"]
     record(f"noise.step_mask.masked[{tag}]", mask["masked_seconds"],
            n_instances=mask["n_instances"])
-    print(f"appended 3 history entries to {history_path} (sha {sha})")
+    adaptive = payload["adaptive_sde"]
+    record(f"noise.sde.adaptive[{tag}]",
+           adaptive["adaptive"]["seconds"],
+           nfev=adaptive["adaptive"]["nfev"],
+           nfev_ratio=adaptive["nfev_ratio"])
+    ripple = payload["correlated_noise"]
+    record(f"noise.puf.ripple[{tag}]", ripple["shared_seconds"],
+           n_chips=ripple["n_chips"], n_trials=ripple["n_trials"])
+    print(f"appended 5 history entries to {history_path} (sha {sha})")
 
 
 def main(argv=None) -> int:
@@ -389,6 +561,9 @@ def main(argv=None) -> int:
                                          puf["serial_seconds"]),
         "step_mask": bench_step_mask(mask_instances, mask_points),
         "obc_noise_sweep": bench_obc(obc_trials, sigmas),
+        "adaptive_sde": bench_adaptive_sde(args.smoke),
+        "correlated_noise": bench_correlated_noise(
+            n_chips, n_trials, n_points),
     }
     if not payload["sharded_sde"]["bit_identical"]:
         print("ERROR: sharded SDE result is not bit-identical",
@@ -405,6 +580,10 @@ def main(argv=None) -> int:
     if not payload["puf_reliability"]["responses_identical"]:
         print("ERROR: serial and batched responses differ",
               file=sys.stderr)
+        return 1
+    if not args.smoke and not payload["adaptive_sde"]["meets_2x"]:
+        print("ERROR: adaptive SDE is not >= 2x cheaper than the "
+              "matched fixed-step ladder", file=sys.stderr)
         return 1
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")

@@ -325,6 +325,12 @@ def cmd_ensemble(args) -> int:
                               noise_seed=(args.noise_seed or 0) if noisy
                               else None,
                               sde_method=args.sde_method,
+                              **{key: value for key, value in
+                                 (("rtol", getattr(args, "sde_rtol",
+                                                   None)),
+                                  ("atol", getattr(args, "sde_atol",
+                                                   None)))
+                                 if noisy and value is not None},
                               array_backend=getattr(
                                   args, "array_backend", None),
                               schedule=args.schedule,
@@ -492,6 +498,8 @@ def _bench_workloads(smoke: bool) -> dict:
     points = 60 if smoke else 200
     sde_seeds = 3 if smoke else 8
     trials = 2 if smoke else 6
+    obc_trials = 4 if smoke else 12
+    obc_points = 40 if smoke else 60
     return {
         f"tline_ode[{seeds}x{points}]": dict(
             kind="ode", seeds=seeds, n_points=points,
@@ -499,6 +507,13 @@ def _bench_workloads(smoke: bool) -> dict:
         f"tline_sde[{sde_seeds}x{trials}x{points}]": dict(
             kind="sde", seeds=sde_seeds, trials=trials,
             n_points=points, t_span=(0.0, 4e-8)),
+        f"puf_ripple[{sde_seeds}x{trials}]": dict(
+            kind="puf_ripple", seeds=sde_seeds, trials=trials,
+            n_points=points),
+        f"obc_sde_adaptive[{obc_trials}x{obc_points}]": dict(
+            kind="obc_sde_adaptive", seeds=obc_trials,
+            n_points=obc_points, t_span=(0.0, 100e-9),
+            noise_sigma=10.0, rtol=3e-2, atol=3e-4),
     }
 
 
@@ -510,6 +525,46 @@ def _bench_once(spec: dict, workload: str):
     from repro.sim.cache import TrajectoryCache
     from repro.telemetry import RunReport, collect_metrics
 
+    report = RunReport()
+    if spec["kind"] == "puf_ripple":
+        # Correlated supply ripple: every diffusion term of each chip
+        # is aliased onto one shared "supply" Wiener path, end to end
+        # through the reliability driver.
+        from repro.paradigms.tln import TLineSpec
+        from repro.puf import PufDesign, puf_reliability
+
+        design = PufDesign(spec=TLineSpec(n_segments=10),
+                           branch_positions=(3, 6),
+                           branch_lengths=(4, 6),
+                           noise=1e-8, shared_supply=True)
+        with collect_metrics(into=report,
+                             meta={"driver": "repro.bench",
+                                   "workload": workload}):
+            puf_reliability(design, 2, seeds=range(spec["seeds"]),
+                            trials=spec["trials"], n_bits=8,
+                            n_points=spec["n_points"])
+        return report
+    if spec["kind"] == "obc_sde_adaptive":
+        # The adaptive SDE controller on the stiff noisy OBC max-cut
+        # ensemble (SHIL binarization Jacobian ~5e9 rad/s): each seed
+        # is one trial with its own initial phases and Wiener path.
+        from repro.paradigms.obc.noisy import MaxcutTrialFactory
+
+        initials = tuple(
+            tuple(row) for row in np.random.default_rng(1).uniform(
+                0.0, 2.0 * np.pi, (spec["seeds"], 4)))
+        factory = MaxcutTrialFactory(
+            edges=((0, 1), (1, 2), (2, 3), (3, 0)), n_vertices=4,
+            initials=initials, noise_sigma=spec["noise_sigma"])
+        with collect_metrics(into=report,
+                             meta={"driver": "repro.bench",
+                                   "workload": workload}):
+            run_ensemble(factory, range(spec["seeds"]), spec["t_span"],
+                         n_points=spec["n_points"], trials=1,
+                         sde_method="heun-adaptive",
+                         rtol=spec["rtol"], atol=spec["atol"],
+                         reference=False, cache=TrajectoryCache())
+        return report
     if spec["kind"] == "ode":
         factory = _BenchTlineFactory()
         kwargs = {}
@@ -520,7 +575,6 @@ def _bench_once(spec: dict, workload: str):
         factory = NoisyTlineFactory(TLineSpec(n_segments=3),
                                     noise=1e-9)
         kwargs = {"trials": spec["trials"]}
-    report = RunReport()
     with collect_metrics(into=report,
                          meta={"driver": "repro.bench",
                                "workload": workload}):
@@ -786,8 +840,15 @@ def build_parser() -> argparse.ArgumentParser:
                        "(shift for fresh realizations; default 0; "
                        "requires --trials)")
     p_ens.add_argument("--sde-method", default="heun",
-                       help="SDE method with --trials: heun (default) "
-                       "or em")
+                       help="SDE method with --trials: heun (default), "
+                       "em, milstein, heun-adaptive, or em-adaptive")
+    p_ens.add_argument("--sde-rtol", type=float, default=None,
+                       help="relative tolerance of the adaptive SDE "
+                       "controller (heun-adaptive/em-adaptive; "
+                       "default 1e-7)")
+    p_ens.add_argument("--sde-atol", type=float, default=None,
+                       help="absolute tolerance of the adaptive SDE "
+                       "controller (default 1e-9)")
     p_ens.add_argument("--max-step", type=float, default=None,
                        help="solver step cap (default span/64)")
     p_ens.add_argument("--freeze-tol", type=float, default=None,

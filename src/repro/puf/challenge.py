@@ -39,6 +39,16 @@ class PufDesign:
         system, so repeated noisy evaluations of *one* chip probe
         intra-chip reliability with actual perturbed dynamics instead
         of readout-stage noise.
+    :param shared_supply: model the noise as *supply ripple* instead of
+        independent per-segment thermal sources: every diffusion term
+        of the built chip is aliased onto one shared Wiener path
+        (:func:`repro.core.noise.share_wiener` with label
+        ``"supply"``), so all segments see the same correlated
+        disturbance — the common-mode scenario a differential response
+        encoding should reject far better than independent noise.
+        Requires ``noise > 0``. Consumed by
+        :class:`repro.puf.response.ChipFactory`, i.e. by every batched
+        evaluation/reliability driver.
     """
 
     spec: TLineSpec = TLineSpec()
@@ -47,8 +57,13 @@ class PufDesign:
     variant: str = "gm"
     switch_alpha: float = 0.0
     noise: float = 0.0
+    shared_supply: bool = False
 
     def __post_init__(self):
+        if self.shared_supply and self.noise <= 0.0:
+            raise GraphError(
+                "shared_supply models correlated supply ripple over "
+                "the transient-noise sources; it needs noise > 0")
         if len(self.branch_positions) != len(self.branch_lengths):
             raise GraphError(
                 "branch_positions and branch_lengths must align")

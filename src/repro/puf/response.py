@@ -80,13 +80,26 @@ class ChipFactory:
     must ship the factory to worker processes — a ``lambda`` silently
     degrades to in-process execution. This module-level class pickles,
     so population sweeps and (chip × trial) SDE batches can shard.
+
+    A ``PufDesign(shared_supply=True)`` design is compiled here and
+    its diffusion terms aliased onto the single ``"supply"`` Wiener
+    path (factories may return either a graph or a compiled
+    :class:`~repro.core.odesystem.OdeSystem`), so every driver built on
+    this factory — population sweeps, noisy trials, reliability —
+    sees correlated supply ripple without further plumbing.
     """
 
     design: PufDesign
     challenge: object
 
     def __call__(self, seed):
-        return self.design.build(self.challenge, seed=seed)
+        graph = self.design.build(self.challenge, seed=seed)
+        if not self.design.shared_supply:
+            return graph
+        from repro.core.compiler import compile_graph
+        from repro.core.noise import share_wiener
+
+        return share_wiener(compile_graph(graph), "supply")
 
 
 def evaluate_puf(design: PufDesign, challenge, seed: int, *,

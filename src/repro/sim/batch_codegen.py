@@ -690,6 +690,12 @@ class BatchRhs:
         #: Diffusion terms that survived shared-value folding (see
         #: :func:`surviving_diffusion`); column order of ``diffusion``.
         self.diffusion_terms = [term for term, _amp in survivors]
+        # Survivor amplitudes kept for the lazily compiled Milstein
+        # derivative kernel (most solves never ask for it).
+        self._survivor_amplitudes = [amp for _term, amp in survivors]
+        self._dif_prime_inner = None
+        self._dif_prime_done = False
+        self._milstein_trivial = True
         #: Distinct Wiener-process identities, first-appearance order.
         self.wiener_paths: list[tuple[str, str]] = []
         path_index: dict[tuple[str, str], int] = {}
@@ -738,6 +744,118 @@ class BatchRhs:
             out[...] = amplitudes
             return out
         return amplitudes
+
+    def _ensure_dif_prime(self):
+        """Lazily differentiate and compile the diagonal diffusion
+        derivative ``∂b_k/∂y_{target(k)}`` (one column per surviving
+        term). A separate source/namespace from the main kernels, so
+        the bytes of every pre-existing emission stay untouched; only
+        the Milstein method pays the extra compile."""
+        if self._dif_prime_done:
+            return
+        self._dif_prime_done = True
+        lead = self.systems[0]
+        lookup = _shared_lookup(self.systems)
+        node_of_index = {index: name
+                         for (name, deriv), index in
+                         lead.state_index.items() if deriv == 0}
+        derivatives: list = []
+        for term, amplitude in zip(self.diffusion_terms,
+                                   self._survivor_amplitudes):
+            for name in E.referenced_vars(amplitude):
+                if (name, 0) not in lead.state_index:
+                    raise CompileError(
+                        f"milstein: diffusion amplitude {amplitude} "
+                        f"reads algebraic node {name}; its state "
+                        "dependence is not differentiable at compile "
+                        "time — use an em/heun SDE method")
+            target = node_of_index.get(term.state_index)
+            derivative = (E.differentiate(amplitude, target)
+                          if target is not None else E.Const(0.0))
+            optimized = optimize_terms((derivative,), Reduction.SUM,
+                                       lookup)
+            derivatives.append(optimized[0] if optimized else None)
+        if all(derivative is None for derivative in derivatives):
+            # Additive noise everywhere: the correction is identically
+            # zero and ``milstein`` degenerates to ``em`` exactly.
+            return
+        self._milstein_trivial = False
+        backend = self.backend
+        namespace: dict[str, object] = {"_np": backend.xp}
+        if not self._mutable:
+            namespace["_col"] = backend.column
+        codegen = _BatchCodegen(self.systems, namespace,
+                                backend.vector_functions())
+        lines = ["def _dif_prime(t, y, out):" if self._mutable
+                 else "def _dif_prime(t, y):"]
+        columns = []
+        for column, derivative in enumerate(derivatives):
+            body = ("0.0" if derivative is None
+                    else E.to_python(derivative, codegen))
+            if self._mutable:
+                lines.append(f"    out[:, {column}] = {body}")
+            else:
+                lines.append(f"    _p{column} = _col({body}, y)")
+                columns.append(f"_p{column}")
+        if self._mutable:
+            lines.append("    return out")
+        else:
+            lines.append(
+                f"    return _np.stack([{', '.join(columns)}], axis=1)")
+        source = "\n".join(lines)
+        telemetry.add("codegen.dif_prime_compiles")
+        for slot, value in list(namespace.items()):
+            if isinstance(value, np.ndarray):
+                namespace[slot] = backend.asarray(value)
+        exec(_compile_source(
+            source, f"<ark-batch-dprime:{lead.graph.name}>",
+            backend.name), namespace)
+        inner = namespace["_dif_prime"]
+        if not any(isinstance(value, (_AutoVector, _PerInstanceFn))
+                   for value in namespace.values()):
+            inner = backend.jit(inner)
+        self._dif_prime_inner = inner
+
+    @property
+    def milstein_trivial(self) -> bool:
+        """True when every surviving diffusion amplitude is
+        state-independent (additive noise): the Milstein correction is
+        identically zero and ``milstein`` reproduces ``em`` bit for
+        bit. Raises :class:`~repro.errors.CompileError` when an
+        amplitude is state-dependent in a non-differentiable way."""
+        self._ensure_dif_prime()
+        return self._milstein_trivial
+
+    def diffusion_derivative(self, t: float, y: np.ndarray,
+                             out: np.ndarray | None = None
+                             ) -> np.ndarray:
+        """Evaluate ``∂b_k/∂y_{target(k)}`` for every surviving
+        diffusion term: shape ``(n_instances, len(diffusion_terms))``.
+        Zero columns (additive terms) are emitted as constants; a batch
+        whose correction is identically zero (see
+        :attr:`milstein_trivial`) returns zeros without compiling a
+        kernel."""
+        if self._dif_inner is None:
+            raise SimulationError(
+                f"batch {self.systems[0].graph.name} has no diffusion "
+                "terms; there is nothing to differentiate")
+        self._ensure_dif_prime()
+        if self._dif_prime_inner is None:
+            zeros = self.backend.xp.zeros(
+                (y.shape[0], len(self.diffusion_terms)),
+                dtype=self.backend.dtype)
+            return zeros
+        if self._mutable:
+            if out is None:
+                out = self.backend.xp.empty(
+                    (y.shape[0], len(self.diffusion_terms)),
+                    dtype=self.backend.dtype)
+            return self._dif_prime_inner(t, y, out)
+        derivative = self._dif_prime_inner(t, y)
+        if out is not None:
+            out[...] = derivative
+            return out
+        return derivative
 
     @property
     def y0(self) -> np.ndarray:

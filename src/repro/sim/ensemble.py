@@ -180,8 +180,11 @@ def run_ensemble(factory, seeds, t_span, *, n_points: int = 500,
     :param noise_seed: first trial index of the noisy path (default 0)
         — shift to draw a fresh, non-overlapping set of realizations
         for the same chips. Setting it without ``trials`` raises.
-    :param sde_method: SDE solver of the noisy path, ``heun`` (default)
-        or ``em``.
+    :param sde_method: SDE solver of the noisy path — ``heun``
+        (default), ``em``, ``milstein``, or the adaptive pair
+        ``heun-adaptive``/``em-adaptive`` (``rtol``/``atol`` then
+        steer its per-instance error control; see
+        :mod:`repro.sim.sde_solver`).
     :param block: Wiener pre-draw block length (noisy path only).
     :param reference: also integrate each chip once deterministically
         (batched RK4 on the same grid) for reliability references

@@ -133,7 +133,9 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
         (``noise(...)`` terms or ``ns`` annotations).
     :param seeds: mismatch seeds, one fabricated chip each.
     :param trials: independent noise realizations per chip.
-    :param method: SDE method, ``heun`` (default) or ``em``.
+    :param method: SDE method — ``heun`` (default), ``em``,
+        ``milstein``, or the adaptive pair ``heun-adaptive``/
+        ``em-adaptive`` (see :mod:`repro.sim.sde_solver`).
     :param reference: also integrate each chip once deterministically
         (batched RK4 on the same grid) for reliability references.
     :param trial_base: first trial number — shift to draw a fresh,
@@ -160,9 +162,11 @@ def run_noisy_ensemble(factory, seeds, t_span, *, trials: int = 8,
         :func:`~repro.sim.ensemble.run_ensemble`). Wiener draws stay
         on the host PRNG, so realizations are backend-independent.
     :param schedule: pool/shard row-split policy (``even``/``cost``);
-        both SDE methods are fixed-step, so ``cost`` splits (and
-        ``overshard``/``pin_workers``) apply fully and stay
-        bit-identical (see :func:`~repro.sim.ensemble.run_ensemble`).
+        the fixed-step SDE methods are partition-independent, so
+        ``cost`` splits (and ``overshard``/``pin_workers``) apply
+        fully and stay bit-identical, while the adaptive pair is
+        pinned to the canonical even split (see
+        :func:`~repro.sim.ensemble.run_ensemble`).
     :param telemetry: metric collection (``True``, a
         :class:`~repro.telemetry.RunReport`, or ``None``; see
         :func:`~repro.sim.ensemble.run_ensemble`). The populated

@@ -25,9 +25,13 @@ Backends are pluggable through a registry (:data:`BACKENDS`,
   :func:`~repro.sim.sde_solver.solve_sde`);
 * ``shard``  — the batched solve split into per-core sub-batches across
   a throwaway ``multiprocessing`` pool. Fixed-step methods (``rk4`` and
-  both SDE methods) are bit-identical to the unsharded solve because
-  every instance's arithmetic is row-local and Wiener streams are keyed
-  by ``(noise seed, element, path)`` — never by batch layout;
+  the fixed-step SDE trio ``em``/``heun``/``milstein``) are
+  bit-identical to the unsharded solve because every instance's
+  arithmetic is row-local and Wiener streams are keyed by ``(noise
+  seed, element, path)`` — never by batch layout; the adaptive SDE
+  pair keeps a path-invariant Wiener *realization* under sharding but
+  runs per-shard step control, so it is pinned to the canonical even
+  split and kept out of the cache, like rkf45;
 * ``pool``   — the same row split run on the **persistent zero-copy
   pool** (:mod:`repro.sim.pool`): workers are spawned once and reused
   across solves, and shard results come back through shared memory
@@ -81,7 +85,8 @@ from repro.sim.batch_solver import (BatchTrajectory, _output_grid,
                                     solve_batch)
 from repro.sim.cache import (cache_lookup, cache_store,
                              cached_batch_solve, resolve_cache)
-from repro.sim.sde_solver import SDE_METHODS, solve_sde
+from repro.sim.sde_solver import (ADAPTIVE_SDE_METHODS, SDE_METHODS,
+                                  solve_sde)
 
 #: Methods handled natively by the batched ODE solver.
 BATCH_METHODS = ("auto", "rkf45", "rk45", "rk4")
@@ -162,8 +167,8 @@ class ExecutionPlan:
         using the persisted cost profile, and groups submitted
         longest-predicted-first). Bit-identical to ``even`` for every
         method: fixed-step rows are partition-independent, and
-        adaptive (rkf45) groups are pinned to the canonical even
-        split (see :mod:`repro.sim.sched`).
+        adaptive groups (rkf45 and the adaptive SDE pair) are pinned
+        to the canonical even split (see :mod:`repro.sim.sched`).
     :param overshard: shards per process for fixed-step groups —
         ``overshard * processes`` shards drain from the pool's pull
         queue so fast workers steal the tail of a skewed group
@@ -501,11 +506,14 @@ def sharded_solve_sde(factory, chip_seeds, chip_keys, noise_seeds,
     into ``chip_seeds``) and draws the Wiener realization of
     ``noise_seeds[r]``. Returns ``None`` when the pool cannot be used;
     otherwise the result is **bit-identical** to the unsharded
-    :func:`~repro.sim.sde_solver.solve_sde` — fixed-step solvers keep
-    every instance's arithmetic row-local and streams are keyed per
-    token, so splitting rows across processes (under *any* contiguous
-    partition, including the scheduler's cost-balanced one) cannot
-    change them.
+    :func:`~repro.sim.sde_solver.solve_sde` for the fixed-step methods
+    — they keep every instance's arithmetic row-local and streams are
+    keyed per token, so splitting rows across processes (under *any*
+    contiguous partition, including the scheduler's cost-balanced one)
+    cannot change them. Adaptive SDE shards share step control per
+    shard, so they are pinned to the canonical even split (results are
+    then deterministic for a given worker count) and the caller keeps
+    them out of the trajectory cache.
     """
     n_rows = len(noise_seeds)
     if scheduler is not None:
@@ -705,9 +713,13 @@ class ShardBackend(ExecutionBackend):
             key=key)
         if sharded is None:
             return BACKENDS["batch"].solve_sde(task)
-        # Both SDE methods are fixed-step: shards are bit-identical to
-        # the whole-group solve, so the result is safely cachable.
-        return sharded, True
+        # Fixed-step SDE shards are bit-identical to the whole-group
+        # solve, so the result is safely cachable. The adaptive pair
+        # runs per-shard step control (the Wiener *path* is invariant,
+        # but the shared accept/reject sequence is not), so a shard
+        # split must stay out of the cache — like rkf45 above.
+        return sharded, (task.options.get("method")
+                         not in ADAPTIVE_SDE_METHODS)
 
 
 class PoolBackend(ExecutionBackend):
@@ -785,7 +797,11 @@ class PoolBackend(ExecutionBackend):
     def submit_sde(self, task: GroupTask):
         rows = _sde_rows(task.chip_seeds, task.chip_keys,
                          task.noise_seeds)
-        return self._submit(task, "sde", rows, True)
+        # Adaptive SDE shards run per-shard step control — uncachable,
+        # mirroring rkf45 (fixed-step shards stay bit-identical).
+        return self._submit(task, "sde", rows,
+                            task.options.get("method")
+                            not in ADAPTIVE_SDE_METHODS)
 
     def _finish(self, handle):
         try:
@@ -1213,9 +1229,10 @@ def _stream_sde(plan: ExecutionPlan, seeds, systems):
             "annotations survive; drop trials=/noise_seed= or add "
             "noise sources to the design")
 
-    # rtol/atol only steer the freeze-mask criterion on the fixed-step
-    # SDE solvers, but they must follow the plan so the same
-    # freeze_tol masks identically on both halves of a mixed sweep.
+    # rtol/atol drive the embedded-pair controller on the adaptive SDE
+    # methods and the freeze-mask criterion everywhere; they must
+    # follow the plan so the same freeze_tol masks identically on both
+    # halves of a mixed sweep.
     solver_options = dict(n_points=plan.n_points, method=noise.method,
                           t_eval=plan.t_eval, max_step=plan.max_step,
                           block=noise.block, rtol=plan.rtol,

@@ -66,10 +66,12 @@ __all__ = [
 SCHEDULES = ("even", "cost")
 
 #: Methods whose arithmetic depends on shard membership: the adaptive
-#: solvers run one shared step sequence per shard, so repartitioning
+#: solvers (deterministic rkf45 family and the adaptive SDE pair alike)
+#: run one shared step-control sequence per shard, so repartitioning
 #: changes results at tolerance level. The scheduler pins these to the
 #: canonical even split regardless of ``schedule``/``overshard``.
-ADAPTIVE_METHODS = ("auto", "rkf45", "rk45")
+ADAPTIVE_METHODS = ("auto", "rkf45", "rk45", "heun-adaptive",
+                    "em-adaptive")
 
 #: File name of the persisted cost profile, created next to the disk
 #: trajectory cache (or wherever ``cost_profile=`` points).
@@ -84,10 +86,12 @@ EWMA_ALPHA = 0.5
 
 #: Static per-step work weights by method (relative: rkf45 evaluates
 #: six stages per step, heun two drift + two diffusion, rk4 four, em
-#: one of each) — only the *ratios* matter, they seed group ordering
-#: before any timing has been observed.
+#: one of each, milstein EM plus the derivative kernel, the adaptive
+#: SDE pair a Heun step plus rejections) — only the *ratios* matter,
+#: they seed group ordering before any timing has been observed.
 _METHOD_WEIGHT = {"rk4": 1.0, "auto": 1.5, "rkf45": 1.5, "rk45": 1.5,
-                  "em": 0.5, "heun": 1.0}
+                  "em": 0.5, "heun": 1.0, "milstein": 0.75,
+                  "heun-adaptive": 1.5, "em-adaptive": 1.25}
 
 
 # ----------------------------------------------------------------------

@@ -28,24 +28,34 @@ subsystem's nominal home and re-exports its public API::
 """
 
 from repro.core.datatypes import Noise
-from repro.core.noise import stream, stream_seed
+from repro.core.noise import (SHARED_ELEMENT, bridge_bits, bridge_seed,
+                              share_wiener, stream, stream_seed)
 from repro.core.odesystem import DiffusionTerm
 from repro.sim.ensemble import run_ensemble
 from repro.sim.noisy import NoisyEnsembleResult, run_noisy_ensemble
 from repro.sim.plan import ExecutionPlan, NoiseSpec
-from repro.sim.sde_solver import (SDE_METHODS, WienerSource,
+from repro.sim.sde_solver import (ADAPTIVE_SDE_METHODS,
+                                  FIXED_SDE_METHODS, SDE_METHODS,
+                                  BridgeWienerSource, WienerSource,
                                   simulate_sde, solve_sde)
 
 __all__ = [
+    "ADAPTIVE_SDE_METHODS",
+    "BridgeWienerSource",
     "DiffusionTerm",
     "ExecutionPlan",
+    "FIXED_SDE_METHODS",
     "Noise",
     "NoiseSpec",
     "NoisyEnsembleResult",
     "SDE_METHODS",
+    "SHARED_ELEMENT",
     "WienerSource",
+    "bridge_bits",
+    "bridge_seed",
     "run_ensemble",
     "run_noisy_ensemble",
+    "share_wiener",
     "simulate_sde",
     "solve_sde",
     "stream",

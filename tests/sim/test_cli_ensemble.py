@@ -25,10 +25,34 @@ func pair (w:real[-5,5]) uses leaky-mm {
 """
 
 
+NOISY_PROGRAM = """
+lang ou-cli {
+    ntyp(1,sum) X {attr tau=real[1e-3,10], attr nsig=real[0,inf]};
+    etyp R {};
+    prod(e:R, s:X->s:X) s <= -var(s)/s.tau + noise(s.nsig);
+    cstr X {acc[match(1,1,R,X)]};
+}
+
+func cell () uses ou-cli {
+    node x:X;
+    edge <x,x> r0:R;
+    set-attr x.tau=1.0; set-attr x.nsig=0.3;
+    set-init x(0)=1.0;
+}
+"""
+
+
 @pytest.fixture()
 def program_file(tmp_path):
     path = tmp_path / "prog.ark"
     path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture()
+def noisy_file(tmp_path):
+    path = tmp_path / "noisy.ark"
+    path.write_text(NOISY_PROGRAM)
     return str(path)
 
 
@@ -103,3 +127,43 @@ class TestEnsembleCommand:
         np.testing.assert_allclose(paths["dense"]["x0_mean"],
                                    paths["clipped"]["x0_mean"],
                                    rtol=1e-5, atol=1e-8)
+
+
+class TestAdaptiveSdeFlags:
+    def _run(self, noisy_file, tmp_path, name, *extra):
+        csv_path = tmp_path / f"{name}.csv"
+        code = main(["ensemble", noisy_file, "--t-end", "1.0",
+                     "--seeds", "2", "--trials", "2", "--node", "x",
+                     "--csv", str(csv_path), *extra])
+        return code, csv_path
+
+    def test_unknown_sde_method_exits_2(self, noisy_file, tmp_path,
+                                        capsys):
+        code, _ = self._run(noisy_file, tmp_path, "bad",
+                            "--sde-method", "euler")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "heun-adaptive" in err  # names the alternatives
+
+    def test_adaptive_method_with_tolerances(self, noisy_file,
+                                             tmp_path, capsys):
+        code, loose_csv = self._run(
+            noisy_file, tmp_path, "loose", "--sde-method",
+            "heun-adaptive", "--sde-rtol", "1e-2", "--sde-atol",
+            "1e-4")
+        assert code == 0
+        code, tight_csv = self._run(
+            noisy_file, tmp_path, "tight", "--sde-method",
+            "heun-adaptive", "--sde-rtol", "1e-7", "--sde-atol",
+            "1e-10")
+        assert code == 0
+        loose = np.genfromtxt(loose_csv, delimiter=",", names=True)
+        tight = np.genfromtxt(tight_csv, delimiter=",", names=True)
+        # The tolerance flags reach the controller: the loose and
+        # tight runs take different step sequences, hence (slightly)
+        # different trajectories on the same bridge realization.
+        assert not np.array_equal(loose["x_mean"], tight["x_mean"])
+        # ... but refine the SAME Wiener path, so they agree closely.
+        np.testing.assert_allclose(loose["x_mean"], tight["x_mean"],
+                                   atol=0.05)

@@ -83,7 +83,7 @@ class TestValidation:
     def test_unknown_sde_method(self):
         with pytest.raises(SimulationError, match="SDE method"):
             run_ensemble(_ou_factory(), range(2), (0.0, 1.0),
-                         trials=2, sde_method="milstein")
+                         trials=2, sde_method="euler")
 
     def test_bad_freeze_tol(self):
         with pytest.raises(ValueError, match="freeze_tol"):

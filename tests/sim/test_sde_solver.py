@@ -169,9 +169,15 @@ class TestDeterminism:
 
 class TestSolverValidation:
     def test_unknown_method(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match="rk99.*expected one"):
             solve_sde(compile_batch([_ou_system()]), (0.0, 1.0),
-                      method="milstein")
+                      method="rk99")
+
+    def test_unknown_method_rejected_before_compile(self):
+        # Validation must fire even on an uncompiled system list (no
+        # late AttributeError from a half-built batch).
+        with pytest.raises(SimulationError, match="expected one of"):
+            solve_sde([_ou_system()], (0.0, 1.0), method="euler")
 
     def test_seed_count_mismatch(self):
         with pytest.raises(SimulationError):

@@ -61,11 +61,15 @@ FORBIDDEN_ZONES: dict[str, tuple[str, ...]] = {
     ),
     "src/repro/sim/sde_solver.py": (
         "_scatter",
+        "_ScatterAccumulator.__call__",
+        "_noise_settle",
         "_sde_loop",
+        "_sde_adaptive_loop",
     ),
     "src/repro/sim/batch_codegen.py": (
         "BatchRhs.__call__",
         "BatchRhs.diffusion",
+        "BatchRhs.diffusion_derivative",
     ),
 }
 
